@@ -1,0 +1,269 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment family of
+   DESIGN.md §5 (wall-clock timing of the code paths each experiment
+   exercises — the experiments' own tables, which are step-count based and
+   deterministic, are produced by bin/experiments.exe).
+
+   Output: nanoseconds per run for every benchmark, plus R² of the fit. *)
+
+open Bechamel
+open Toolkit
+
+module Policy = Dsu.Find_policy
+module Rng = Repro_util.Rng
+
+(* Pre-built inputs shared by the benchmark closures; building them outside
+   the staged function keeps setup cost out of the measurement. *)
+
+let n_small = 1 lsl 10
+let n_medium = 1 lsl 14
+
+let spanning_ops n seed =
+  Workload.Random_mix.spanning_unites ~rng:(Rng.create seed) ~n
+
+let mixed_ops n m seed =
+  Workload.Random_mix.mixed ~rng:(Rng.create seed) ~n ~m ~unite_fraction:0.3
+
+(* E1/E13 family: native end-to-end workload per policy. *)
+let bench_native_policy policy =
+  let ops = mixed_ops n_medium n_medium 3 in
+  Test.make
+    ~name:(Printf.sprintf "native/%s" (Policy.to_string policy))
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~policy ~seed:7 n_medium in
+         Workload.Op.run_native d ops))
+
+(* E10 family: early termination. *)
+let bench_native_early =
+  let ops = mixed_ops n_medium n_medium 3 in
+  Test.make ~name:"native/two-try+early"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~early:true ~seed:7 n_medium in
+         Workload.Op.run_native d ops))
+
+(* E8 family: baselines on the same workload. *)
+let bench_aw =
+  let ops = mixed_ops n_medium n_medium 3 in
+  Test.make ~name:"baseline/anderson-woll"
+    (Staged.stage (fun () ->
+         let d = Baselines.Anderson_woll.Native.create n_medium in
+         List.iter
+           (fun op ->
+             match op with
+             | Workload.Op.Unite (x, y) -> Baselines.Anderson_woll.Native.unite d x y
+             | Workload.Op.Same_set (x, y) ->
+               ignore (Baselines.Anderson_woll.Native.same_set d x y)
+             | Workload.Op.Find x -> ignore (Baselines.Anderson_woll.Native.find d x))
+           ops))
+
+let bench_locked =
+  let ops = mixed_ops n_medium n_medium 3 in
+  Test.make ~name:"baseline/global-lock"
+    (Staged.stage (fun () ->
+         let d = Baselines.Locked_dsu.create n_medium in
+         List.iter
+           (fun op ->
+             match op with
+             | Workload.Op.Unite (x, y) -> Baselines.Locked_dsu.unite d x y
+             | Workload.Op.Same_set (x, y) ->
+               ignore (Baselines.Locked_dsu.same_set d x y)
+             | Workload.Op.Find x -> ignore (Baselines.Locked_dsu.find d x))
+           ops))
+
+(* E9 family: sequential variants. *)
+let bench_seq linking compaction =
+  let ops = mixed_ops n_medium n_medium 3 in
+  Test.make
+    ~name:
+      (Printf.sprintf "seq/%s-%s"
+         (Sequential.Seq_dsu.linking_to_string linking)
+         (Sequential.Seq_dsu.compaction_to_string compaction))
+    (Staged.stage (fun () ->
+         let d = Sequential.Seq_dsu.create ~linking ~compaction ~seed:5 n_medium in
+         Workload.Op.run_seq d ops))
+
+(* E4/E5 family: one simulated execution (work measurement machinery). *)
+let bench_sim policy =
+  let ops = Workload.Op.round_robin (spanning_ops n_small 11) ~p:4 in
+  Test.make
+    ~name:(Printf.sprintf "sim/p4-%s" (Policy.to_string policy))
+    (Staged.stage (fun () ->
+         ignore (Harness.Measure.run_sim ~policy ~n:n_small ~seed:13 ~ops ())))
+
+(* E6/E7 family: the adversarial binomial build. *)
+let bench_binomial =
+  let k = 1 lsl 10 in
+  let ops = Workload.Binomial.schedule ~base:0 ~k in
+  Test.make ~name:"workload/binomial-build"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~seed:17 k in
+         Workload.Op.run_native d ops))
+
+(* E11 family: linearizability checking cost. *)
+let bench_lincheck =
+  let history =
+    let ops =
+      Array.init 3 (fun pid ->
+          List.init 4 (fun i ->
+              if (pid + i) mod 2 = 0 then Workload.Op.Unite (pid, (pid + i) mod 6)
+              else Workload.Op.Same_set (i, pid * i mod 6)))
+    in
+    let r = Harness.Measure.run_sim ~n:6 ~seed:19 ~ops () in
+    r.Harness.Measure.history
+  in
+  Test.make ~name:"lincheck/12-op-history"
+    (Staged.stage (fun () -> ignore (Lincheck.Checker.check ~n:6 history)))
+
+(* E12 family: the applications. *)
+let bench_components =
+  let g =
+    Graphs.Generators.erdos_renyi ~rng:(Rng.create 23) ~n:n_medium ~m:(2 * n_medium)
+  in
+  Test.make ~name:"apps/connected-components"
+    (Staged.stage (fun () -> ignore (Graphs.Components.sequential g)))
+
+let bench_kruskal =
+  let rng = Rng.create 29 in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n:n_small ~m:(4 * n_small) in
+  let w = Graphs.Graph.with_random_weights ~rng g in
+  Test.make ~name:"apps/kruskal-msf"
+    (Staged.stage (fun () -> ignore (Graphs.Kruskal.run_concurrent_dsu ~seed:3 w)))
+
+let bench_percolation =
+  Test.make ~name:"apps/percolation-32x32"
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          ignore (Graphs.Percolation.simulate ~rng:(Rng.create !counter) 32)))
+
+let bench_scc =
+  let g =
+    Graphs.Generators.clustered_digraph ~rng:(Rng.create 31) ~clusters:32
+      ~cluster_size:16 ~extra:256
+  in
+  Test.make ~name:"apps/scc-condensation"
+    (Staged.stage (fun () -> ignore (Graphs.Scc.condense_with_dsu ~seed:5 g)))
+
+(* New-application families (E12 extensions). *)
+let bench_boruvka =
+  let rng = Rng.create 63 in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n:n_small ~m:(4 * n_small) in
+  let w = Graphs.Graph.with_random_weights ~rng g in
+  Test.make ~name:"apps/boruvka-msf"
+    (Staged.stage (fun () -> ignore (Graphs.Boruvka.run w)))
+
+let bench_lca =
+  let rng = Rng.create 67 in
+  let t = Graphs.Lca.random_tree ~rng ~n:n_small in
+  let queries = List.init 512 (fun _ -> (Rng.int rng n_small, Rng.int rng n_small)) in
+  Test.make ~name:"apps/offline-lca"
+    (Staged.stage (fun () -> ignore (Graphs.Lca.solve t queries)))
+
+let bench_dominators =
+  let g = Graphs.Generators.random_digraph ~rng:(Rng.create 71) ~n:n_small ~m:(3 * n_small) in
+  Test.make ~name:"apps/dominators-lt"
+    (Staged.stage (fun () -> ignore (Graphs.Dominators.lengauer_tarjan g ~root:0)))
+
+let bench_steensgaard =
+  let rng = Rng.create 73 in
+  let var i = Printf.sprintf "v%d" i in
+  let program =
+    List.init 2048 (fun _ ->
+        let x = var (Rng.int rng 128) and y = var (Rng.int rng 128) in
+        match Rng.int rng 4 with
+        | 0 -> Analysis.Steensgaard.Address_of (x, y)
+        | 1 -> Analysis.Steensgaard.Copy (x, y)
+        | 2 -> Analysis.Steensgaard.Load (x, y)
+        | _ -> Analysis.Steensgaard.Store (x, y))
+  in
+  Test.make ~name:"apps/steensgaard"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Steensgaard.analyze ~capacity:16_384 program)))
+
+(* MakeSet extension. *)
+let bench_growable =
+  Test.make ~name:"growable/make_set+unite"
+    (Staged.stage (fun () ->
+         let g = Dsu.Growable.create ~capacity:4096 ~seed:37 () in
+         let first = Dsu.Growable.make_set g in
+         for _ = 2 to 4096 do
+           let e = Dsu.Growable.make_set g in
+           Dsu.Growable.unite g first e
+         done))
+
+let bench_growable_unbounded =
+  Test.make ~name:"growable/unbounded"
+    (Staged.stage (fun () ->
+         let g = Dsu.Growable_unbounded.create ~chunk_size:256 ~seed:39 () in
+         let first = Dsu.Growable_unbounded.make_set g in
+         for _ = 2 to 4096 do
+           let e = Dsu.Growable_unbounded.make_set g in
+           Dsu.Growable_unbounded.unite g first e
+         done))
+
+(* Micro: single operations on a prepared structure. *)
+let bench_single_find =
+  let d = Dsu.Native.create ~seed:41 n_medium in
+  Workload.Op.run_native d (spanning_ops n_medium 43);
+  let rng = Rng.create 47 in
+  Test.make ~name:"micro/find"
+    (Staged.stage (fun () -> ignore (Dsu.Native.find d (Rng.int rng n_medium))))
+
+let bench_single_same_set =
+  let d = Dsu.Native.create ~seed:53 n_medium in
+  Workload.Op.run_native d (spanning_ops n_medium 59);
+  let rng = Rng.create 61 in
+  Test.make ~name:"micro/same_set"
+    (Staged.stage (fun () ->
+         ignore (Dsu.Native.same_set d (Rng.int rng n_medium) (Rng.int rng n_medium))))
+
+let tests =
+  Test.make_grouped ~name:"dsu"
+    [
+      bench_native_policy Policy.No_compaction;
+      bench_native_policy Policy.One_try_splitting;
+      bench_native_policy Policy.Two_try_splitting;
+      bench_native_early;
+      bench_aw;
+      bench_locked;
+      bench_seq Sequential.Seq_dsu.By_rank Sequential.Seq_dsu.Splitting;
+      bench_seq Sequential.Seq_dsu.By_random Sequential.Seq_dsu.Splitting;
+      bench_seq Sequential.Seq_dsu.By_size Sequential.Seq_dsu.Halving;
+      bench_sim Policy.Two_try_splitting;
+      bench_sim Policy.One_try_splitting;
+      bench_binomial;
+      bench_lincheck;
+      bench_components;
+      bench_kruskal;
+      bench_percolation;
+      bench_scc;
+      bench_boruvka;
+      bench_lca;
+      bench_dominators;
+      bench_steensgaard;
+      bench_growable;
+      bench_growable_unbounded;
+      bench_single_find;
+      bench_single_same_set;
+    ]
+
+let () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  Printf.printf "%-40s %15s %10s\n" "benchmark" "ns/run" "R^2";
+  Printf.printf "%s\n" (String.make 67 '-');
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt results name with
+      | None -> ()
+      | Some ols ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+        Printf.printf "%-40s %15.1f %10.4f\n" name estimate r2)
+    (List.sort compare names)

@@ -1,0 +1,301 @@
+(* dsu_workload — run configurable workloads against any of the
+   implementations, natively (wall-clock, optional domains) or inside the
+   APRAM simulator (exact work counts), and fuzz linearizability from the
+   command line.
+
+   Examples:
+     dsu_workload native --impl jt --policy two-try -n 65536 --ops 262144
+     dsu_workload native --impl lock --domains 4
+     dsu_workload sim --procs 8 --sched cas-adversary -n 4096
+     dsu_workload lincheck --trials 200 --procs 3 *)
+
+open Cmdliner
+
+module Rng = Repro_util.Rng
+module Policy = Dsu.Find_policy
+
+(* ------------------------------------------------------- shared options *)
+
+let n_arg =
+  Arg.(value & opt int 4096 & info [ "n"; "elements" ] ~docv:"N" ~doc:"Number of elements.")
+
+let ops_arg =
+  Arg.(value & opt int 16384 & info [ "ops" ] ~docv:"M" ~doc:"Number of operations.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let unite_frac_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "unite-frac" ] ~docv:"F" ~doc:"Fraction of operations that are unions.")
+
+let policy_conv =
+  let parse s =
+    match Policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, Policy.pp)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Policy.Two_try_splitting
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Find policy: none, one-try, two-try or compression.")
+
+let sched_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "round-robin" ] -> Ok (`Round_robin : [ `Round_robin | `Sequential | `Random | `Cas_adversary | `Quantum of int ])
+    | [ "sequential" ] -> Ok `Sequential
+    | [ "random" ] -> Ok `Random
+    | [ "cas-adversary" ] -> Ok `Cas_adversary
+    | [ "quantum"; q ] -> (
+      match int_of_string_opt q with
+      | Some q when q > 0 -> Ok (`Quantum q)
+      | _ -> Error (`Msg "quantum:<positive int>"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let print ppf = function
+    | `Round_robin -> Format.pp_print_string ppf "round-robin"
+    | `Sequential -> Format.pp_print_string ppf "sequential"
+    | `Random -> Format.pp_print_string ppf "random"
+    | `Cas_adversary -> Format.pp_print_string ppf "cas-adversary"
+    | `Quantum q -> Format.fprintf ppf "quantum:%d" q
+  in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  Arg.(
+    value
+    & opt sched_conv `Random
+    & info [ "sched" ] ~docv:"SCHED"
+        ~doc:
+          "Scheduler: round-robin, sequential, random, cas-adversary or \
+           quantum:K.")
+
+let make_sched kind seed =
+  match kind with
+  | `Round_robin -> Apram.Scheduler.round_robin ()
+  | `Sequential -> Apram.Scheduler.sequential ()
+  | `Random -> Apram.Scheduler.random ~seed
+  | `Cas_adversary -> Apram.Scheduler.cas_adversary ~seed
+  | `Quantum q -> Apram.Scheduler.quantum ~seed ~quantum:q
+
+let workload ~n ~ops ~unite_frac ~seed =
+  Workload.Random_mix.mixed ~rng:(Rng.create seed) ~n ~m:ops
+    ~unite_fraction:unite_frac
+
+(* ---------------------------------------------------------- native mode *)
+
+type impl = Jt | Jt_early | Rank | Aw | Lock | Seq
+
+let impl_conv =
+  let parse = function
+    | "jt" -> Ok Jt
+    | "jt-early" -> Ok Jt_early
+    | "rank" -> Ok Rank
+    | "aw" -> Ok Aw
+    | "lock" -> Ok Lock
+    | "seq" -> Ok Seq
+    | s -> Error (`Msg (Printf.sprintf "unknown implementation %S" s))
+  in
+  let print ppf impl =
+    Format.pp_print_string ppf
+      (match impl with
+      | Jt -> "jt"
+      | Jt_early -> "jt-early"
+      | Rank -> "rank"
+      | Aw -> "aw"
+      | Lock -> "lock"
+      | Seq -> "seq")
+  in
+  Arg.conv (parse, print)
+
+let impl_arg =
+  Arg.(
+    value
+    & opt impl_conv Jt
+    & info [ "impl" ] ~docv:"IMPL"
+        ~doc:
+          "Implementation: jt (the paper's algorithm), jt-early (Section 6 \
+           variant), rank (Section 7 variant), aw (Anderson-Woll), lock \
+           (global mutex), seq (sequential).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:"OCaml domains to spread the operations over (native mode).")
+
+let run_native impl policy n ops unite_frac seed domains =
+  if domains < 1 then failwith "domains must be >= 1";
+  let ops_list = workload ~n ~ops ~unite_frac ~seed in
+  let buckets = Workload.Op.round_robin ops_list ~p:domains in
+  let apply_ops ~unite ~same_set ~find bucket =
+    List.iter
+      (fun op ->
+        match op with
+        | Workload.Op.Unite (x, y) -> unite x y
+        | Workload.Op.Same_set (x, y) -> ignore (same_set x y : bool)
+        | Workload.Op.Find x -> ignore (find x : int))
+      bucket
+  in
+  let in_domains work =
+    let t0 = Unix.gettimeofday () in
+    let handles =
+      List.init domains (fun k -> Domain.spawn (fun () -> work buckets.(k)))
+    in
+    List.iter Domain.join handles;
+    Unix.gettimeofday () -. t0
+  in
+  let elapsed, final_sets, extra =
+    match impl with
+    | Jt | Jt_early ->
+      let d =
+        Dsu.Native.create ~policy ~early:(impl = Jt_early) ~collect_stats:true
+          ~seed n
+      in
+      let dt =
+        in_domains
+          (apply_ops ~unite:(Dsu.Native.unite d) ~same_set:(Dsu.Native.same_set d)
+             ~find:(Dsu.Native.find d))
+      in
+      (dt, Dsu.Native.count_sets d, Format.asprintf "%a" Dsu.Stats.pp (Dsu.Native.stats d))
+    | Rank ->
+      let d = Dsu.Rank.Native.create ~collect_stats:true n in
+      let dt =
+        in_domains
+          (apply_ops ~unite:(Dsu.Rank.Native.unite d)
+             ~same_set:(Dsu.Rank.Native.same_set d) ~find:(Dsu.Rank.Native.find d))
+      in
+      (dt, Dsu.Rank.Native.count_sets d,
+       Format.asprintf "%a" Dsu.Stats.pp (Dsu.Rank.Native.stats d))
+    | Aw ->
+      let d = Baselines.Anderson_woll.Native.create ~collect_stats:true n in
+      let dt =
+        in_domains
+          (apply_ops
+             ~unite:(Baselines.Anderson_woll.Native.unite d)
+             ~same_set:(Baselines.Anderson_woll.Native.same_set d)
+             ~find:(Baselines.Anderson_woll.Native.find d))
+      in
+      (dt, Baselines.Anderson_woll.Native.count_sets d,
+       Format.asprintf "%a" Dsu.Stats.pp (Baselines.Anderson_woll.Native.stats d))
+    | Lock ->
+      let d = Baselines.Locked_dsu.create ~seed n in
+      let dt =
+        in_domains
+          (apply_ops ~unite:(Baselines.Locked_dsu.unite d)
+             ~same_set:(Baselines.Locked_dsu.same_set d)
+             ~find:(Baselines.Locked_dsu.find d))
+      in
+      (dt, Baselines.Locked_dsu.count_sets d, "")
+    | Seq ->
+      if domains > 1 then failwith "--impl seq is single-threaded; use --domains 1";
+      let d = Sequential.Seq_dsu.create ~seed n in
+      let t0 = Unix.gettimeofday () in
+      Workload.Op.run_seq d ops_list;
+      (Unix.gettimeofday () -. t0, Sequential.Seq_dsu.count_sets d, "")
+  in
+  Printf.printf "elements:      %d\noperations:    %d (%.0f%% unions)\ndomains:       %d\n"
+    n ops (unite_frac *. 100.) domains;
+  Printf.printf "elapsed:       %.4fs (%.2f Mops/s)\nfinal sets:    %d\n" elapsed
+    (float_of_int ops /. elapsed /. 1e6)
+    final_sets;
+  if extra <> "" then Printf.printf "counters:      %s\n" extra
+
+let native_cmd =
+  let doc = "Run a workload natively (wall clock; optional domains)." in
+  Cmd.v (Cmd.info "native" ~doc)
+    Term.(
+      const run_native $ impl_arg $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg
+      $ seed_arg $ domains_arg)
+
+(* ------------------------------------------------------------- sim mode *)
+
+let procs_arg =
+  Arg.(value & opt int 4 & info [ "procs" ] ~docv:"P" ~doc:"Simulated processes.")
+
+let run_sim policy n ops unite_frac seed procs sched_kind =
+  let ops_list = workload ~n ~ops ~unite_frac ~seed in
+  let split = Workload.Op.round_robin ops_list ~p:procs in
+  let sched = make_sched sched_kind (seed + 1) in
+  let r = Harness.Measure.run_sim ~sched ~policy ~n ~seed ~ops:split () in
+  let costs = Array.map float_of_int r.Harness.Measure.op_costs in
+  let s = Repro_util.Stats.summarize costs in
+  Printf.printf
+    "elements:      %d\noperations:    %d on %d processes (%s schedule)\n" n ops
+    procs (Apram.Scheduler.name sched);
+  Printf.printf "total work:    %d shared-memory steps (%.2f/op)\n"
+    r.Harness.Measure.total_steps
+    (Harness.Measure.work_per_op r);
+  Printf.printf "steps/op:      mean %.2f  median %.0f  p99 %.0f  max %.0f\n"
+    s.Repro_util.Stats.mean s.Repro_util.Stats.median s.Repro_util.Stats.p99
+    s.Repro_util.Stats.max;
+  Format.printf "counters:      %a@." Dsu.Stats.pp r.Harness.Measure.stats
+
+let sim_cmd =
+  let doc = "Run a workload in the APRAM simulator (exact work counts)." in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run_sim $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg $ seed_arg
+      $ procs_arg $ sched_arg)
+
+(* -------------------------------------------------------- lincheck mode *)
+
+let trials_arg =
+  Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T" ~doc:"Random trials.")
+
+let ops_per_proc_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "ops-per-proc" ] ~docv:"K" ~doc:"Operations per process (keep small).")
+
+let run_lincheck n procs ops_per_proc trials seed sched_kind =
+  if procs * ops_per_proc > 20 then
+    failwith "history too large for the exact checker (procs * ops-per-proc <= 20)";
+  let rng = Rng.create seed in
+  let failures = ref 0 in
+  for trial = 1 to trials do
+    let ops =
+      Array.init procs (fun _ ->
+          List.init ops_per_proc (fun _ ->
+              let x = Rng.int rng n and y = Rng.int rng n in
+              if Rng.bool rng then Workload.Op.Unite (x, y)
+              else Workload.Op.Same_set (x, y)))
+    in
+    let sched = make_sched sched_kind (seed + trial) in
+    List.iter
+      (fun policy ->
+        let r = Harness.Measure.run_sim ~sched ~policy ~n ~seed:trial ~ops () in
+        match Lincheck.Checker.check ~n r.Harness.Measure.history with
+        | Lincheck.Checker.Linearizable -> ()
+        | Lincheck.Checker.Not_linearizable msg ->
+          incr failures;
+          Printf.printf "VIOLATION (policy %s): %s\n" (Policy.to_string policy) msg)
+      Policy.all
+  done;
+  let total = trials * List.length Policy.all in
+  Printf.printf "%d histories checked, %d violations\n" total !failures;
+  if !failures > 0 then exit 1
+
+let lincheck_cmd =
+  let doc = "Fuzz linearizability: random workloads under a chosen scheduler." in
+  let n_small =
+    Arg.(value & opt int 5 & info [ "n"; "elements" ] ~docv:"N" ~doc:"Elements (keep small).")
+  in
+  Cmd.v (Cmd.info "lincheck" ~doc)
+    Term.(
+      const run_lincheck $ n_small $ procs_arg $ ops_per_proc_arg $ trials_arg
+      $ seed_arg $ sched_arg)
+
+let main =
+  let doc = "Workload driver for the concurrent disjoint-set-union library" in
+  Cmd.group (Cmd.info "dsu_workload" ~doc) [ native_cmd; sim_cmd; lincheck_cmd ]
+
+let () = exit (Cmd.eval main)

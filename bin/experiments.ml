@@ -1,0 +1,48 @@
+(* The experiment driver: regenerates the paper-claim tables of DESIGN.md §5.
+
+   Usage:
+     experiments list         enumerate experiments
+     experiments run e4 e5    run selected experiments
+     experiments all          run everything (the EXPERIMENTS.md record) *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List all experiments with their claims." in
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %s@.     %s@." e.Harness.Experiment.id
+          e.Harness.Experiment.title e.Harness.Experiment.claim)
+      Harness.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_ids ids =
+  let unknown = List.filter (fun id -> Harness.Registry.find id = None) ids in
+  if unknown <> [] then begin
+    Format.eprintf "unknown experiment(s): %s@." (String.concat ", " unknown);
+    exit 1
+  end;
+  List.iter
+    (fun id ->
+      match Harness.Registry.find id with
+      | Some e -> Harness.Experiment.run Format.std_formatter e
+      | None -> ())
+    ids
+
+let run_cmd =
+  let doc = "Run the named experiments (e1 .. e13)." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+
+let all_cmd =
+  let doc = "Run every experiment in order." in
+  let run () = Harness.Registry.run_all Format.std_formatter in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "Reproduction experiments for Jayanti & Tarjan, PODC 2016" in
+  Cmd.group (Cmd.info "experiments" ~doc) [ list_cmd; run_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,54 @@
+(* Connected components of a large random graph, computed three ways:
+   sequential DSU, concurrent DSU driven by several domains, and the
+   incremental (dynamic-connectivity) interface.
+
+   This is the canonical application from the paper's introduction:
+   "maintaining connected components in a graph under edge insertions".
+
+   Run with:  dune exec examples/connected_components.exe *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let rng = Repro_util.Rng.create 2024 in
+  let n = 200_000 and m = 300_000 in
+  Printf.printf "generating Erdos-Renyi graph: n=%d m=%d...\n%!" n m;
+  let g = Graphs.Generators.erdos_renyi ~rng ~n ~m in
+
+  let seq_labels, seq_time = time (fun () -> Graphs.Components.sequential g) in
+  Printf.printf "sequential DSU:  %d components in %.3fs\n%!"
+    (Graphs.Components.count seq_labels) seq_time;
+
+  let conc_labels, conc_time =
+    time (fun () -> Graphs.Components.concurrent ~domains:4 ~seed:11 g)
+  in
+  Printf.printf "concurrent DSU:  %d components in %.3fs (4 domains)\n%!"
+    (Graphs.Components.count conc_labels) conc_time;
+
+  assert (seq_labels = conc_labels);
+  print_endline "sequential and concurrent labelings agree";
+
+  (* Dynamic connectivity through the incremental interface: watch the
+     giant component emerge as random edges arrive (the Erdos-Renyi phase
+     transition around m = n/2). *)
+  let n = 50_000 in
+  let add_edge, connected = Graphs.Components.incremental ~seed:3 ~n () in
+  let sets = ref n in
+  Printf.printf "\nedge arrivals on n=%d (watch the phase transition):\n" n;
+  Printf.printf "%10s %12s\n" "edges" "components";
+  let next_report = ref (n / 8) in
+  let added = ref 0 in
+  while !sets > 1 && !added < 20 * n do
+    let x = Repro_util.Rng.int rng n and y = Repro_util.Rng.int rng n in
+    if not (connected x y) then decr sets;
+    add_edge x y;
+    incr added;
+    if !added = !next_report then begin
+      Printf.printf "%10d %12d\n%!" !added !sets;
+      next_report := !next_report * 2
+    end
+  done;
+  Printf.printf "single component after %d edge arrivals\n" !added

@@ -1,0 +1,50 @@
+(* Minimum spanning forests with Kruskal's algorithm — the MST application
+   from the paper's introduction.  The DSU is the algorithm's engine: an
+   edge enters the forest exactly when its endpoints are in different sets.
+
+   Run with:  dune exec examples/kruskal_mst.exe *)
+
+let () =
+  let rng = Repro_util.Rng.create 7 in
+
+  (* A small hand-readable instance first. *)
+  let g =
+    Graphs.Graph.create ~n:5
+      ~edges:[| (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (0, 2); (1, 3) |]
+  in
+  let w =
+    { Graphs.Graph.graph = g; weights = [| 4.; 8.; 7.; 9.; 1.; 2.; 3. |] }
+  in
+  let r = Graphs.Kruskal.run w in
+  Printf.printf "toy graph MST (weight %.0f):\n" r.Graphs.Kruskal.total_weight;
+  List.iter
+    (fun (u, v, wt) -> Printf.printf "  %d -- %d  (%.0f)\n" u v wt)
+    r.Graphs.Kruskal.edges;
+
+  (* A larger random instance, solved with both the sequential DSU and the
+     concurrent one; the forests may differ (ties) but weights must agree. *)
+  let n = 50_000 and m = 200_000 in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n ~m in
+  let w = Graphs.Graph.with_random_weights ~rng g in
+  let seq = Graphs.Kruskal.run w in
+  let conc = Graphs.Kruskal.run_concurrent_dsu ~seed:13 w in
+  Printf.printf
+    "\nrandom graph n=%d m=%d:\n  sequential DSU: weight %.2f, %d trees\n  concurrent DSU: weight %.2f, %d trees\n"
+    n m seq.Graphs.Kruskal.total_weight seq.Graphs.Kruskal.components
+    conc.Graphs.Kruskal.total_weight conc.Graphs.Kruskal.components;
+  assert (Float.abs (seq.Graphs.Kruskal.total_weight -. conc.Graphs.Kruskal.total_weight) < 1e-6);
+  print_endline "weights agree";
+
+  (* Boruvka on the same instance: same forest weight, logarithmically many
+     rounds, and its edge scans parallelize across domains. *)
+  let b = Graphs.Boruvka.run_parallel ~domains:4 w in
+  Printf.printf "  Boruvka (4 domains): weight %.2f in %d rounds\n"
+    b.Graphs.Boruvka.total_weight b.Graphs.Boruvka.rounds;
+  assert (Float.abs (b.Graphs.Boruvka.total_weight -. seq.Graphs.Kruskal.total_weight) < 1e-6);
+
+  (* Sparse graphs leave a forest: count the trees. *)
+  let sparse = Graphs.Generators.erdos_renyi ~rng ~n:10_000 ~m:4_000 in
+  let sw = Graphs.Graph.with_random_weights ~rng sparse in
+  let rf = Graphs.Kruskal.run sw in
+  Printf.printf "sparse graph: %d trees in the minimum spanning forest\n"
+    rf.Graphs.Kruskal.components

@@ -1,0 +1,105 @@
+(* Maze generation with union-find (randomized Kruskal): knock down a
+   random wall whenever it separates two cells that are not yet connected;
+   when all cells are in one set, the standing walls form a perfect maze
+   (unique path between any two cells).  The DSU answers exactly the
+   connectivity question the algorithm needs after every removal.
+
+   Run with:  dune exec examples/maze.exe *)
+
+let rows = 12
+let cols = 32
+
+type wall = { a : int; b : int; horizontal : bool }
+(* The wall between cells [a] and [b]; [horizontal] walls are between
+   vertically adjacent cells. *)
+
+let () =
+  let rng = Repro_util.Rng.create 20260706 in
+  let cell r c = (r * cols) + c in
+  let walls = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        walls := { a = cell r c; b = cell r (c + 1); horizontal = false } :: !walls;
+      if r + 1 < rows then
+        walls := { a = cell r c; b = cell (r + 1) c; horizontal = true } :: !walls
+    done
+  done;
+  let walls = Array.of_list !walls in
+  Repro_util.Rng.shuffle rng walls;
+
+  let dsu = Dsu.Native.create ~seed:7 (rows * cols) in
+  let open_right = Hashtbl.create 256 in
+  let open_down = Hashtbl.create 256 in
+  let removed = ref 0 in
+  Array.iter
+    (fun w ->
+      if not (Dsu.Native.same_set dsu w.a w.b) then begin
+        Dsu.Native.unite dsu w.a w.b;
+        incr removed;
+        if w.horizontal then Hashtbl.replace open_down w.a ()
+        else Hashtbl.replace open_right w.a ()
+      end)
+    walls;
+  assert (Dsu.Native.count_sets dsu = 1);
+  assert (!removed = (rows * cols) - 1);
+  Printf.printf "perfect maze: %dx%d cells, %d walls removed of %d\n\n" rows cols
+    !removed (Array.length walls);
+
+  (* Solve it (breadth-first) to draw the entrance-to-exit path. *)
+  let neighbours v =
+    let r = v / cols and c = v mod cols in
+    List.concat
+      [
+        (if Hashtbl.mem open_right v then [ cell r (c + 1) ] else []);
+        (if c > 0 && Hashtbl.mem open_right (cell r (c - 1)) then [ cell r (c - 1) ]
+         else []);
+        (if Hashtbl.mem open_down v then [ cell (r + 1) c ] else []);
+        (if r > 0 && Hashtbl.mem open_down (cell (r - 1) c) then [ cell (r - 1) c ]
+         else []);
+      ]
+  in
+  let start = cell 0 0 and goal = cell (rows - 1) (cols - 1) in
+  let prev = Array.make (rows * cols) (-1) in
+  let queue = Queue.create () in
+  prev.(start) <- start;
+  Queue.push start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if prev.(w) = -1 then begin
+          prev.(w) <- v;
+          Queue.push w queue
+        end)
+      (neighbours v)
+  done;
+  let on_path = Array.make (rows * cols) false in
+  let rec mark v =
+    on_path.(v) <- true;
+    if v <> start then mark prev.(v)
+  in
+  mark goal;
+  let path_length = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 on_path in
+
+  (* Render: every cell is 2 characters wide; '.' marks the solution. *)
+  print_string "+";
+  for _ = 1 to cols do
+    print_string "--+"
+  done;
+  print_newline ();
+  for r = 0 to rows - 1 do
+    print_string "|";
+    for c = 0 to cols - 1 do
+      print_string (if on_path.(cell r c) then "()" else "  ");
+      print_string (if Hashtbl.mem open_right (cell r c) then " " else "|")
+    done;
+    print_newline ();
+    print_string "+";
+    for c = 0 to cols - 1 do
+      print_string (if Hashtbl.mem open_down (cell r c) then "  +" else "--+")
+    done;
+    print_newline ()
+  done;
+  Printf.printf "\nsolution length: %d cells (unique, since the maze is a tree)\n"
+    path_length

@@ -1,0 +1,59 @@
+module StringSet = Set.Make (String)
+
+type t = { pts : (string, StringSet.t) Hashtbl.t; vars : StringSet.t }
+
+let get tbl v = Option.value ~default:StringSet.empty (Hashtbl.find_opt tbl v)
+
+let add_all tbl v set =
+  let cur = get tbl v in
+  let next = StringSet.union cur set in
+  if StringSet.equal cur next then false
+  else begin
+    Hashtbl.replace tbl v next;
+    true
+  end
+
+let analyze stmts =
+  let pts : (string, StringSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let vars =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt with
+        | Steensgaard.Address_of (x, y)
+        | Steensgaard.Copy (x, y)
+        | Steensgaard.Load (x, y)
+        | Steensgaard.Store (x, y) ->
+          StringSet.add x (StringSet.add y acc))
+      StringSet.empty stmts
+  in
+  (* Fixpoint: apply every constraint until nothing changes.  Cubic, which
+     is fine for the reference role. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun stmt ->
+        let step =
+          match stmt with
+          | Steensgaard.Address_of (x, y) -> add_all pts x (StringSet.singleton y)
+          | Steensgaard.Copy (x, y) -> add_all pts x (get pts y)
+          | Steensgaard.Load (x, y) ->
+            StringSet.fold
+              (fun l acc -> add_all pts x (get pts l) || acc)
+              (get pts y) false
+          | Steensgaard.Store (x, y) ->
+            StringSet.fold
+              (fun l acc -> add_all pts l (get pts y) || acc)
+              (get pts x) false
+        in
+        if step then changed := true)
+      stmts
+  done;
+  { pts; vars }
+
+let points_to t v = StringSet.elements (get t.pts v)
+
+let may_alias t x y =
+  not (StringSet.is_empty (StringSet.inter (get t.pts x) (get t.pts y)))
+
+let variables t = StringSet.elements t.vars

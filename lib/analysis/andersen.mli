@@ -1,0 +1,24 @@
+(** Andersen's inclusion-based points-to analysis over the same statement
+    fragment — the precision reference for {!Steensgaard}.
+
+    Andersen computes, for every variable, the set of {e named} locations
+    (variables whose address was taken) it may point to, by a cubic
+    fixpoint over subset constraints.  It is strictly more precise than
+    Steensgaard's unification, which gives the soundness test used in the
+    suite: whenever Andersen says two variables may alias, Steensgaard must
+    agree (the converse can fail — that is exactly the precision
+    Steensgaard trades for near-linear time). *)
+
+type t
+
+val analyze : Steensgaard.stmt list -> t
+(** Naive worklist-to-fixpoint solver; exact but cubic, for small
+    programs. *)
+
+val points_to : t -> string -> string list
+(** The named locations the variable may point to, sorted. *)
+
+val may_alias : t -> string -> string -> bool
+(** Non-empty intersection of the two points-to sets. *)
+
+val variables : t -> string list

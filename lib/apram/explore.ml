@@ -1,0 +1,62 @@
+type summary = { schedules : int; truncated : bool }
+
+type violation = { schedule_index : int; choices : int list; outcome : Sim.outcome }
+
+(* One replay: follow [prefix]; once it is exhausted choose index 0.  The
+   scheduler records (chosen index, runnable count) for every decision. *)
+let replay ~mem_size ~init ~make_ops prefix =
+  let remaining = ref prefix in
+  let trace = ref [] in
+  let sched =
+    Scheduler.custom ~name:"explore" (fun ~memory:_ pending ->
+        let count = List.length pending in
+        let idx =
+          match !remaining with
+          | [] -> 0
+          | i :: rest ->
+            remaining := rest;
+            if i >= count then
+              (* The prefix was built against this same deterministic tree,
+                 so an out-of-range index means [make_ops] is not
+                 deterministic. *)
+              invalid_arg "Explore: non-deterministic workload";
+            i
+        in
+        trace := (idx, count) :: !trace;
+        (List.nth pending idx).Scheduler.pid)
+  in
+  let outcome = Sim.run_ops ~mem_size ~init ~sched (make_ops ()) in
+  (outcome, List.rev !trace)
+
+(* Next prefix in depth-first order: bump the deepest decision that still
+   has an unexplored sibling, drop everything after it. *)
+let next_prefix trace =
+  let rec backtrack = function
+    | [] -> None
+    | (idx, count) :: shallower ->
+      if idx + 1 < count then Some (List.rev ((idx + 1, count) :: shallower))
+      else backtrack shallower
+  in
+  match backtrack (List.rev trace) with
+  | None -> None
+  | Some t -> Some (List.map fst t)
+
+let run_all ?(max_schedules = 1_000_000) ~mem_size ~init ~make_ops ~check () =
+  let rec loop prefix index =
+    let outcome, trace = replay ~mem_size ~init ~make_ops prefix in
+    if not (check outcome) then
+      Error { schedule_index = index; choices = List.map fst trace; outcome }
+    else if index + 1 >= max_schedules then
+      Ok { schedules = index + 1; truncated = next_prefix trace <> None }
+    else begin
+      match next_prefix trace with
+      | None -> Ok { schedules = index + 1; truncated = false }
+      | Some prefix -> loop prefix (index + 1)
+    end
+  in
+  loop [] 0
+
+let count_schedules ?max_schedules ~mem_size ~init ~make_ops () =
+  match run_all ?max_schedules ~mem_size ~init ~make_ops ~check:(fun _ -> true) () with
+  | Ok summary -> summary
+  | Error _ -> assert false

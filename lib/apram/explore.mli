@@ -1,0 +1,44 @@
+(** Exhaustive schedule exploration: run a simulated workload under {e every}
+    interleaving (or the first [max_schedules] of them, depth-first) and
+    check a predicate on each outcome — a bounded model checker for
+    algorithms running on the APRAM.
+
+    Exploration is replay-based: each schedule is executed from scratch with
+    a scheduler that follows a recorded choice prefix and then defaults to
+    the lowest-pid runnable process, while recording how many processes were
+    runnable at every decision point; backtracking increments the deepest
+    incrementable choice, exactly like an odometer over the schedule tree.
+
+    The workload must be deterministic apart from scheduling (true of the
+    DSU operations), and every execution must terminate (the object is
+    wait-free, and {!Sim.run}'s step limit backstops bugs). *)
+
+type summary = {
+  schedules : int;  (** distinct complete schedules executed *)
+  truncated : bool;  (** true if [max_schedules] stopped the exploration *)
+}
+
+type violation = {
+  schedule_index : int;  (** 0-based index of the offending schedule *)
+  choices : int list;  (** decision sequence (index into the runnable list) *)
+  outcome : Sim.outcome;
+}
+
+val run_all :
+  ?max_schedules:int ->
+  mem_size:int ->
+  init:(int -> int) ->
+  make_ops:(unit -> (unit -> unit) list array) ->
+  check:(Sim.outcome -> bool) ->
+  unit ->
+  (summary, violation) result
+(** [run_all ~mem_size ~init ~make_ops ~check ()] returns [Ok summary] when
+    [check] held on every explored schedule, or [Error violation] with the
+    first failing schedule.  [make_ops] is called once per schedule and must
+    build fresh operation closures (and any per-run handles they capture).
+    [max_schedules] defaults to 1_000_000. *)
+
+val count_schedules : ?max_schedules:int ->
+  mem_size:int -> init:(int -> int) ->
+  make_ops:(unit -> (unit -> unit) list array) -> unit -> summary
+(** Exploration without a predicate, to size a state space. *)

@@ -1,0 +1,72 @@
+type call = { name : string; args : int list }
+
+type proto = Proto_invoke of call | Proto_return of int
+
+type event =
+  | Invoke of { pid : int; call : call; step : int }
+  | Return of { pid : int; value : int; step : int }
+
+type t = event list
+
+type complete_op = {
+  pid : int;
+  call : call;
+  result : int;
+  invoked_at : int;
+  returned_at : int;
+  steps : int;
+}
+
+let complete_ops events =
+  let pending : (int, call * int * int) Hashtbl.t = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iteri
+    (fun idx event ->
+      match event with
+      | Invoke { pid; call; step } ->
+        if Hashtbl.mem pending pid then
+          invalid_arg "History.complete_ops: overlapping invocations on one process";
+        Hashtbl.replace pending pid (call, idx, step)
+      | Return { pid; value; step } -> (
+        match Hashtbl.find_opt pending pid with
+        | None -> invalid_arg "History.complete_ops: return without invocation"
+        | Some (call, invoked_at, inv_step) ->
+          Hashtbl.remove pending pid;
+          acc :=
+            {
+              pid;
+              call;
+              result = value;
+              invoked_at;
+              returned_at = idx;
+              steps = step - inv_step;
+            }
+            :: !acc))
+    events;
+  List.rev !acc
+
+let pending_calls events =
+  let pending : (int, call) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun event ->
+      match event with
+      | Invoke { pid; call; _ } -> Hashtbl.replace pending pid call
+      | Return { pid; _ } -> Hashtbl.remove pending pid)
+    events;
+  Hashtbl.fold (fun pid call acc -> (pid, call) :: acc) pending []
+  |> List.sort compare
+
+let op_step_costs events = List.map (fun op -> op.steps) (complete_ops events)
+
+let pp_call ppf { name; args } =
+  Format.fprintf ppf "%s(%s)" name (String.concat ", " (List.map string_of_int args))
+
+let pp ppf events =
+  List.iteri
+    (fun i event ->
+      match event with
+      | Invoke { pid; call; step } ->
+        Format.fprintf ppf "%4d p%d  inv %a (step %d)@." i pid pp_call call step
+      | Return { pid; value; step } ->
+        Format.fprintf ppf "%4d p%d  ret %d (step %d)@." i pid value step)
+    events

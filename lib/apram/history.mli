@@ -1,0 +1,47 @@
+(** Operation histories recorded during a simulation.
+
+    Because the simulator executes one shared-memory step at a time, the
+    recorded events are totally ordered; an operation's execution interval is
+    the span between its [Invoke] and matching [Return].  Each event also
+    carries the invoking process's step counter at the instant of the event,
+    so an operation's exact step cost is [Return.step - Invoke.step].  The
+    linearizability checker consumes this representation. *)
+
+type call = { name : string; args : int list }
+(** A high-level operation, e.g. [{ name = "unite"; args = [x; y] }]. *)
+
+type proto = Proto_invoke of call | Proto_return of int
+(** What a process reports from inside the simulation; the simulator stamps
+    it with the pid and step counter. *)
+
+type event =
+  | Invoke of { pid : int; call : call; step : int }
+  | Return of { pid : int; value : int; step : int }
+
+type t = event list
+(** Events in simulation order (earliest first). *)
+
+type complete_op = {
+  pid : int;
+  call : call;
+  result : int;
+  invoked_at : int;  (** index of the [Invoke] event *)
+  returned_at : int;  (** index of the [Return] event *)
+  steps : int;  (** shared-memory steps the operation cost its process *)
+}
+
+val complete_ops : t -> complete_op list
+(** Pair up invokes with returns.  Raises [Invalid_argument] on a malformed
+    history (a process with two outstanding invocations) and drops trailing
+    pending operations (invoked but never returned), which is the standard
+    treatment for histories cut off mid-operation. *)
+
+val pending_calls : t -> (int * call) list
+(** Invocations with no matching return, with their pids. *)
+
+val op_step_costs : t -> int list
+(** The per-operation step costs of all completed operations, in completion
+    order — the measurements behind the paper's per-operation bounds. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_call : Format.formatter -> call -> unit

@@ -1,0 +1,34 @@
+type t = int array
+
+type op = Read of int | Write of int * int | Cas of int * int * int
+
+let create n f = Array.init n f
+
+let length = Array.length
+
+let apply t = function
+  | Read a -> t.(a)
+  | Write (a, v) ->
+    t.(a) <- v;
+    v
+  | Cas (a, expected, desired) ->
+    if t.(a) = expected then begin
+      t.(a) <- desired;
+      1
+    end
+    else 0
+
+let peek t a = t.(a)
+
+let poke t a v = t.(a) <- v
+
+let snapshot t = Array.copy t
+
+let address_of_op = function Read a | Write (a, _) | Cas (a, _, _) -> a
+
+let is_cas = function Cas _ -> true | Read _ | Write _ -> false
+
+let pp_op ppf = function
+  | Read a -> Format.fprintf ppf "read[%d]" a
+  | Write (a, v) -> Format.fprintf ppf "write[%d]<-%d" a v
+  | Cas (a, e, d) -> Format.fprintf ppf "cas[%d](%d->%d)" a e d

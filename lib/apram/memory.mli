@@ -1,0 +1,34 @@
+(** Simulated shared memory of the APRAM.
+
+    A flat array of integer cells.  The scheduler applies one operation at a
+    time, so plain OCaml mutation is enough: atomicity of [Cas] is a
+    consequence of the simulation's one-op-at-a-time execution, exactly as in
+    the APRAM model where [Cas] is a primitive atomic step. *)
+
+type t
+
+type op =
+  | Read of int  (** [Read a] returns the value at address [a]. *)
+  | Write of int * int  (** [Write (a, v)] stores [v] at [a]; returns [v]. *)
+  | Cas of int * int * int
+      (** [Cas (a, expected, desired)] returns 1 and stores [desired] if the
+          cell holds [expected], else returns 0 and leaves it unchanged. *)
+
+val create : int -> (int -> int) -> t
+(** [create n f] is a memory of [n] cells, cell [a] initialized to [f a]. *)
+
+val length : t -> int
+val apply : t -> op -> int
+(** Apply one operation atomically and return its result. *)
+
+val peek : t -> int -> int
+(** Read a cell without going through the scheduler; for assertions and
+    post-mortem inspection only. *)
+
+val poke : t -> int -> int -> unit
+(** Direct store, for test setup only. *)
+
+val snapshot : t -> int array
+val address_of_op : op -> int
+val is_cas : op -> bool
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,17 @@
+type _ Effect.t +=
+  | Access : Memory.op -> int Effect.t
+  | Record : History.proto -> unit Effect.t
+  | Self : int Effect.t
+
+let read a = Effect.perform (Access (Memory.Read a))
+
+let write a v = ignore (Effect.perform (Access (Memory.Write (a, v))))
+
+let cas a expected desired = Effect.perform (Access (Memory.Cas (a, expected, desired))) = 1
+
+let self () = Effect.perform Self
+
+let record_invoke ~name ~args =
+  Effect.perform (Record (History.Proto_invoke { History.name; args }))
+
+let record_return value = Effect.perform (Record (History.Proto_return value))

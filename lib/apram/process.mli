@@ -1,0 +1,33 @@
+(** The process-facing view of the APRAM.
+
+    Code running inside a simulated process uses these functions to touch the
+    shared memory; each call performs an effect that suspends the process and
+    hands control to the scheduler, which applies the operation atomically
+    and charges one step to the process.  [record_*] calls log history events
+    without consuming a step (they model the operation boundary, not a memory
+    access).
+
+    Calling any of these outside {!Sim.run} raises [Effect.Unhandled]. *)
+
+type _ Effect.t +=
+  | Access : Memory.op -> int Effect.t
+  | Record : History.proto -> unit Effect.t
+  | Self : int Effect.t
+
+val read : int -> int
+(** Atomic read of a shared cell; one step. *)
+
+val write : int -> int -> unit
+(** Atomic write; one step. *)
+
+val cas : int -> int -> int -> bool
+(** Atomic compare-and-swap; one step. *)
+
+val self : unit -> int
+(** The executing process's id (free; local knowledge). *)
+
+val record_invoke : name:string -> args:int list -> unit
+(** Log the start of a high-level operation for the history. *)
+
+val record_return : int -> unit
+(** Log the completion of the current high-level operation. *)

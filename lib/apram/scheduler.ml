@@ -1,0 +1,108 @@
+module Rng = Repro_util.Rng
+
+type pending = { pid : int; op : Memory.op }
+
+type t = {
+  name : string;
+  choose : memory:Memory.t -> pending list -> int;
+}
+
+let name t = t.name
+
+let choose t ~memory runnable = t.choose ~memory runnable
+
+let custom ~name choose = { name; choose }
+
+let round_robin () =
+  let last = ref (-1) in
+  let choose ~memory:_ runnable =
+    (* First runnable pid strictly greater than the last scheduled one,
+       wrapping around: every runnable process advances once per cycle. *)
+    let next =
+      match List.find_opt (fun p -> p.pid > !last) runnable with
+      | Some p -> p.pid
+      | None -> (List.hd runnable).pid
+    in
+    last := next;
+    next
+  in
+  { name = "round-robin"; choose }
+
+let sequential () =
+  { name = "sequential"; choose = (fun ~memory:_ runnable -> (List.hd runnable).pid) }
+
+let random ~seed =
+  let rng = Rng.create seed in
+  let choose ~memory:_ runnable =
+    (List.nth runnable (Rng.int rng (List.length runnable))).pid
+  in
+  { name = "random"; choose }
+
+let quantum ~seed ~quantum =
+  if quantum < 1 then invalid_arg "Scheduler.quantum: quantum must be >= 1";
+  let rng = Rng.create seed in
+  let current = ref (-1) in
+  let remaining = ref 0 in
+  let choose ~memory:_ runnable =
+    let still_runnable = List.exists (fun p -> p.pid = !current) runnable in
+    if !remaining > 0 && still_runnable then begin
+      decr remaining;
+      !current
+    end
+    else begin
+      let p = List.nth runnable (Rng.int rng (List.length runnable)) in
+      current := p.pid;
+      remaining := quantum - 1;
+      p.pid
+    end
+  in
+  { name = Printf.sprintf "quantum-%d" quantum; choose }
+
+let cas_adversary ~seed =
+  let rng = Rng.create seed in
+  let choose ~memory runnable =
+    let cas_addr p =
+      match p.op with
+      | Memory.Cas (a, e, _) when Memory.peek memory a = e -> Some a
+      | Memory.Cas _ | Memory.Read _ | Memory.Write _ -> None
+    in
+    let would_succeed = List.filter (fun p -> cas_addr p <> None) runnable in
+    let contended =
+      List.filter
+        (fun p ->
+          match cas_addr p with
+          | None -> false
+          | Some a ->
+            List.exists
+              (fun q ->
+                q.pid <> p.pid
+                &&
+                match q.op with
+                | Memory.Cas (a', _, _) -> a' = a
+                | Memory.Read _ | Memory.Write _ -> false)
+              runnable)
+        would_succeed
+    in
+    let pool = if contended <> [] then contended else runnable in
+    (List.nth pool (Rng.int rng (List.length pool))).pid
+  in
+  { name = "cas-adversary"; choose }
+
+let laggard ~seed ~victim ~delay =
+  if delay < 1 then invalid_arg "Scheduler.laggard: delay must be >= 1";
+  let rng = Rng.create seed in
+  let since_victim = ref 0 in
+  let choose ~memory:_ runnable =
+    let others = List.filter (fun p -> p.pid <> victim) runnable in
+    if others = [] then victim
+    else if !since_victim >= delay && List.exists (fun p -> p.pid = victim) runnable
+    then begin
+      since_victim := 0;
+      victim
+    end
+    else begin
+      incr since_victim;
+      (List.nth others (Rng.int rng (List.length others))).pid
+    end
+  in
+  { name = "laggard"; choose }

@@ -1,0 +1,52 @@
+(** Scheduling policies for the APRAM simulator.
+
+    The model is fully asynchronous: any interleaving of process steps is a
+    legal execution.  A policy inspects the set of runnable processes (each
+    with its pending shared-memory operation) and picks which one executes
+    its step next.  Adversarial policies exercise the algorithm's wait-free
+    progress and linearizability under hostile timing; the lockstep policy
+    realizes the synchronous executions used by the paper's lower-bound
+    constructions (Theorem 5.4). *)
+
+type pending = { pid : int; op : Memory.op }
+
+type t
+(** A (possibly stateful) scheduling policy. *)
+
+val name : t -> string
+
+val choose : t -> memory:Memory.t -> pending list -> int
+(** [choose t ~memory runnable] returns the pid of the process to step next.
+    [runnable] is non-empty and sorted by pid. *)
+
+val custom : name:string -> (memory:Memory.t -> pending list -> int) -> t
+(** Arbitrary user policy — used by tests to enumerate interleavings
+    exhaustively.  The function must return the pid of some runnable
+    process. *)
+
+val round_robin : unit -> t
+(** Cycle through runnable processes in pid order, one step each — the
+    lockstep schedule of the lower-bound experiments. *)
+
+val sequential : unit -> t
+(** Always run the lowest-pid runnable process: executes processes one after
+    another, i.e. a sequential execution. *)
+
+val random : seed:int -> t
+(** Uniformly random runnable process at every step. *)
+
+val quantum : seed:int -> quantum:int -> t
+(** Run a randomly chosen process for up to [quantum] consecutive steps
+    before re-choosing; models coarse-grained preemption. *)
+
+val cas_adversary : seed:int -> t
+(** Contention adversary: when some runnable process is about to perform a
+    [Cas] that would currently succeed at an address that another runnable
+    process is also about to [Cas], schedule the would-succeed one first so
+    the competitor's [Cas] fails.  Falls back to random otherwise.  This is
+    the schedule that maximizes wasted compare-and-swaps in splitting. *)
+
+val laggard : seed:int -> victim:int -> delay:int -> t
+(** Starve process [victim]: step it only once per [delay] steps of the
+    others (or when it is the only runnable process).  Exercises wait-freedom:
+    the victim must still complete. *)

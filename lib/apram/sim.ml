@@ -1,0 +1,91 @@
+open Effect.Deep
+
+type outcome = {
+  steps : int array;
+  total_steps : int;
+  history : History.t;
+  memory : Memory.t;
+  schedule_len : int;
+}
+
+(* A process is either waiting to perform a memory op, or finished.  Running
+   a process always runs it up to its next memory access (local computation
+   and history recording are handled inline and are free). *)
+type status =
+  | Blocked of Memory.op * (int, status) continuation
+  | Finished
+
+let run ?(max_steps = 200_000_000) ?on_step ~mem_size ~init ~sched bodies =
+  let p = Array.length bodies in
+  let memory = Memory.create mem_size init in
+  let events = ref [] in
+  let steps = Array.make p 0 in
+  let handler (pid : int) =
+    {
+      retc = (fun () -> Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Process.Access op ->
+            Some (fun (k : (a, status) continuation) -> Blocked (op, k))
+          | Process.Record proto ->
+            Some
+              (fun (k : (a, status) continuation) ->
+                let event =
+                  match proto with
+                  | History.Proto_invoke call ->
+                    History.Invoke { pid; call; step = steps.(pid) }
+                  | History.Proto_return value ->
+                    History.Return { pid; value; step = steps.(pid) }
+                in
+                events := event :: !events;
+                continue k ())
+          | Process.Self -> Some (fun (k : (a, status) continuation) -> continue k pid)
+          | _ -> None);
+    }
+  in
+  let statuses =
+    Array.mapi (fun pid body -> match_with (fun () -> body pid) () (handler pid)) bodies
+  in
+  let total = ref 0 in
+  let decisions = ref 0 in
+  let runnable () =
+    let acc = ref [] in
+    for pid = p - 1 downto 0 do
+      match statuses.(pid) with
+      | Blocked (op, _) -> acc := { Scheduler.pid; op } :: !acc
+      | Finished -> ()
+    done;
+    !acc
+  in
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | pending ->
+      let pid = Scheduler.choose sched ~memory pending in
+      (match statuses.(pid) with
+      | Finished -> invalid_arg "Sim.run: scheduler chose a finished process"
+      | Blocked (op, k) ->
+        let result = Memory.apply memory op in
+        (match on_step with None -> () | Some f -> f ~pid ~op ~result);
+        steps.(pid) <- steps.(pid) + 1;
+        incr total;
+        incr decisions;
+        if !total > max_steps then
+          failwith "Sim.run: max_steps exceeded (livelock or runaway workload)";
+        statuses.(pid) <- continue k result);
+      loop ()
+  in
+  loop ();
+  {
+    steps;
+    total_steps = !total;
+    history = List.rev !events;
+    memory;
+    schedule_len = !decisions;
+  }
+
+let run_ops ?max_steps ?on_step ~mem_size ~init ~sched ops =
+  let bodies = Array.map (fun closures _pid -> List.iter (fun f -> f ()) closures) ops in
+  run ?max_steps ?on_step ~mem_size ~init ~sched bodies

@@ -1,0 +1,49 @@
+(** The APRAM simulator: runs [p] asynchronous processes over a shared
+    memory under a pluggable schedule, counting every shared-memory step each
+    process takes.
+
+    Processes are ordinary OCaml functions that touch shared state only
+    through {!Process}.  Each {!Process.read}/[write]/[cas] suspends the
+    process (via an effect); the scheduler picks a suspended process, applies
+    its pending operation to the memory atomically, charges it one step, and
+    resumes it.  Local computation between accesses is free, matching the
+    paper's work metric where the dominant cost is traversals of shared
+    parent pointers.
+
+    Because the simulator is deterministic given the schedule (and its seed),
+    every work measurement in the experiments is exactly reproducible. *)
+
+type outcome = {
+  steps : int array;  (** shared-memory steps charged to each process *)
+  total_steps : int;
+  history : History.t;  (** recorded operation events, in execution order *)
+  memory : Memory.t;  (** final memory, for post-mortem inspection *)
+  schedule_len : int;  (** number of scheduling decisions taken *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?on_step:(pid:int -> op:Memory.op -> result:int -> unit) ->
+  mem_size:int ->
+  init:(int -> int) ->
+  sched:Scheduler.t ->
+  (int -> unit) array ->
+  outcome
+(** [run ~mem_size ~init ~sched bodies] executes [bodies.(pid) pid] for every
+    [pid] as one simulated process each.  [max_steps] (default 200 million)
+    guards against livelock in buggy algorithms; exceeding it raises
+    [Failure].  [on_step] observes every scheduled shared-memory step after
+    it is applied — the raw execution trace, for debugging and demos. *)
+
+val run_ops :
+  ?max_steps:int ->
+  ?on_step:(pid:int -> op:Memory.op -> result:int -> unit) ->
+  mem_size:int ->
+  init:(int -> int) ->
+  sched:Scheduler.t ->
+  (unit -> unit) list array ->
+  outcome
+(** [run_ops ... ops] is [run] where process [pid] executes the closures in
+    [ops.(pid)] in order.  Closures that should appear in the history must
+    record their own invoke/return via {!Process.record_invoke} and
+    {!Process.record_return} (the DSU simulator bindings do). *)

@@ -1,0 +1,61 @@
+(** The wait-free union-find of Anderson and Woll (STOC 1991) — the only
+    prior concurrent disjoint-set-union algorithm and the paper's
+    comparator.
+
+    Reconstructed from their paper (no public implementation exists): rank
+    linking with concurrent halving.  Their published structure reaches a
+    node's (parent, rank) pair through one level of indirection so both can
+    be compared and updated atomically; we realize the same atomicity by
+    packing [(rank, parent)] into a single word ([word = rank * n + parent])
+    and model the indirection's cost, when asked, as one extra shared read
+    per word access.  See DESIGN.md §2 and experiment E8. *)
+
+module Make (M : Dsu.Memory_intf.S) : sig
+  type t
+
+  val create : ?stats:Dsu.Stats.t -> ?indirection:bool -> mem:M.t -> n:int -> unit -> t
+  (** [indirection] (default false) charges the extra read per access that
+      AW's published indirection costs. *)
+
+  val init_word : int -> int -> int
+  (** [init_word n i] — initial memory word for node [i] (rank 0, parent
+      [i]). *)
+
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val count_sets : t -> int
+  val stats : t -> Dsu.Stats.snapshot
+end
+
+(** Native instantiation over [Atomic] arrays. *)
+module Native : sig
+  type t
+
+  val create : ?collect_stats:bool -> ?indirection:bool -> int -> t
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val count_sets : t -> int
+  (** Quiescent only. *)
+
+  val stats : t -> Dsu.Stats.snapshot
+end
+
+(** Simulator instantiation; see {!Dsu.Sim} for the usage pattern. *)
+module Sim : sig
+  type t
+
+  val mem_size : int -> int
+  val init : int -> int -> int
+  val handle : ?indirection:bool -> int -> t
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val stats : t -> Dsu.Stats.snapshot
+
+  val same_set_op : t -> int -> int -> unit -> unit
+  (** Closure for {!Apram.Sim.run_ops}, recorded in the history. *)
+
+  val unite_op : t -> int -> int -> unit -> unit
+end

@@ -1,0 +1,14 @@
+type t = { lock : Mutex.t; dsu : Sequential.Seq_dsu.t }
+
+let create ?linking ?compaction ?seed n =
+  { lock = Mutex.create (); dsu = Sequential.Seq_dsu.create ?linking ?compaction ?seed n }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.dsu)
+
+let same_set t x y = locked t (fun d -> Sequential.Seq_dsu.same_set d x y)
+let unite t x y = locked t (fun d -> Sequential.Seq_dsu.unite d x y)
+let find t x = locked t (fun d -> Sequential.Seq_dsu.find d x)
+let count_sets t = locked t Sequential.Seq_dsu.count_sets
+let counters t = locked t Sequential.Seq_dsu.counters

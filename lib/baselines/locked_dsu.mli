@@ -1,0 +1,21 @@
+(** The trivial concurrent baseline: a sequential DSU behind one global
+    mutex.
+
+    Linearizable by construction and blocking (not wait-free): a stalled
+    lock-holder stalls everyone, which is exactly the behaviour the paper's
+    wait-free algorithms avoid.  Included to anchor the comparison benches. *)
+
+type t
+
+val create :
+  ?linking:Sequential.Seq_dsu.linking ->
+  ?compaction:Sequential.Seq_dsu.compaction ->
+  ?seed:int ->
+  int ->
+  t
+
+val same_set : t -> int -> int -> bool
+val unite : t -> int -> int -> unit
+val find : t -> int -> int
+val count_sets : t -> int
+val counters : t -> Sequential.Seq_dsu.counters

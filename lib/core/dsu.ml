@@ -1,0 +1,31 @@
+(** Concurrent disjoint set union with randomized linking — an OCaml
+    implementation of Jayanti & Tarjan, "A Randomized Concurrent Algorithm
+    for Disjoint Set Union" (PODC 2016).
+
+    Entry points:
+
+    - {!Native} — the user-facing DSU over OCaml 5 domains.
+    - {!Growable} — the [MakeSet] extension (elements created on the fly).
+    - {!Sim} — the same algorithm instrumented to run inside the APRAM
+      simulator ({!Apram.Sim}) for exact work measurements.
+    - {!Find_policy} — selects among the paper's three [Find] variants.
+    - {!Stats} — operation counters shared by all instantiations.
+    - {!Algorithm} — the functor over {!Memory_intf.S}, for embedding the
+      algorithm over a custom shared memory. *)
+
+module Find_policy = Find_policy
+module Memory_intf = Memory_intf
+module Stats = Dsu_stats
+module Algorithm = Dsu_algorithm
+module Native_memory = Native_memory
+module Native = Dsu_native
+module Sim = Dsu_sim
+module Growable = Growable
+
+module Growable_unbounded = Growable_unbounded
+(** The capacity-free [MakeSet] variant: the universe grows without bound
+    (Section 3 remark); set operations stay lock-free. *)
+
+module Rank = Rank_dsu
+(** The concurrent linking-by-rank variant of Section 7, which needs no
+    independence assumption; see experiment E15. *)

@@ -1,0 +1,297 @@
+(** The concurrent disjoint-set-union algorithm of Jayanti and Tarjan,
+    parameterized by the shared-memory implementation.
+
+    The functor body transcribes the paper's pseudocode:
+
+    - [find] is Algorithm 1 ([No_compaction]), Algorithm 4
+      ([One_try_splitting]) or Algorithm 5 ([Two_try_splitting]);
+    - [same_set] and [unite] are Algorithms 2 and 3, or — with
+      [~early:true] — the early-termination Algorithms 6 and 7 that
+      interleave the two finds and always step from the node with the
+      smaller id.
+
+    Node ids are fixed uniformly at random at creation (randomized linking,
+    Section 3): [Unite] always links the root with the smaller id below the
+    root with the larger id, so every link is one [Cas] on one word and the
+    structure needs no rank or size fields.  Ids are immutable, so processes
+    read them from ordinary (non-shared-memory-step) storage.
+
+    One deliberate deviation from the printed pseudocode: Algorithms 6 and 7
+    perform the splitting [Cas(u.parent, z, w)] even when [z = w]; a [Cas]
+    that would store the value already present is unobservable, so we skip
+    it.  This only lowers constant factors and is noted in EXPERIMENTS.md. *)
+
+module Make (M : Memory_intf.S) = struct
+  type t = {
+    mem : M.t;
+    n : int;
+    prio : int -> int;
+        (** [prio i] = node [i]'s position in the random total order.  Ties
+            are broken by node index, so priorities need not be distinct
+            (needed by the growable extension, where priorities are drawn
+            on the fly from a large universe). *)
+    policy : Find_policy.t;
+    early : bool;
+    stats : Dsu_stats.t option;
+    on_link : (child:int -> parent:int -> unit) option;
+  }
+
+  let create ?(policy = Find_policy.Two_try_splitting) ?(early = false) ?stats
+      ?on_link ~mem ~n ~prio () =
+    if n < 1 then invalid_arg "Dsu_algorithm.create: n must be >= 1";
+    { mem; n; prio; policy; early; stats; on_link }
+
+  let n t = t.n
+  let mem t = t.mem
+  let policy t = t.policy
+  let early t = t.early
+  let stats t = t.stats
+
+  let id t i = t.prio i
+
+  let less t u v =
+    let pu = t.prio u and pv = t.prio v in
+    pu < pv || (pu = pv && u < v)
+
+  let bump t f = match t.stats with None -> () | Some s -> f s
+
+  let record_link t ~child ~parent =
+    match t.on_link with None -> () | Some f -> f ~child ~parent
+
+  (* Algorithm 1: Find without compaction. *)
+  let find_no_compaction t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      let p = M.read t.mem u in
+      if p = u then u else loop p
+    in
+    loop x
+
+  (* Algorithm 4: Find with one-try splitting. *)
+  let find_one_try t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      let v = M.read t.mem u in
+      let w = M.read t.mem v in
+      if v = w then v
+      else begin
+        let ok = M.cas t.mem u v w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        loop v
+      end
+    in
+    loop x
+
+  (* Algorithm 5: Find with two-try splitting.  Each parent update is tried
+     twice before the traversal advances; [u] advances to the second try's
+     [v]. *)
+  let find_two_try t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      let v = M.read t.mem u in
+      let w = M.read t.mem v in
+      if v = w then v
+      else begin
+        let ok = M.cas t.mem u v w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        let v2 = M.read t.mem u in
+        let w2 = M.read t.mem v2 in
+        if v2 = w2 then v2
+        else begin
+          let ok2 = M.cas t.mem u v2 w2 in
+          bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
+          loop v2
+        end
+      end
+    in
+    loop x
+
+  (* Concurrent two-pass compression (Section 6 conjecture).  Pass one walks
+     to the current root recording each (node, observed parent) pair; pass
+     two Cas-es each node's parent from the recorded value to the found
+     root.  Because the root found in pass one is an ancestor (in the union
+     forest) of every recorded parent, every successful Cas replaces a
+     parent by a proper ancestor, exactly the invariant Lemma 3.1 needs; a
+     Cas that fails because another process moved the parent first is
+     simply skipped. *)
+  let find_compression t x =
+    let rec walk u acc =
+      bump t Dsu_stats.incr_find_iter;
+      let p = M.read t.mem u in
+      if p = u then (u, acc) else walk p ((u, p) :: acc)
+    in
+    let root, path = walk x [] in
+    List.iter
+      (fun (u, observed_parent) ->
+        if observed_parent <> root then begin
+          let ok = M.cas t.mem u observed_parent root in
+          bump t (Dsu_stats.incr_compaction_cas ~ok)
+        end)
+      path;
+    root
+
+  let find_root t x =
+    bump t Dsu_stats.incr_find;
+    match t.policy with
+    | Find_policy.No_compaction -> find_no_compaction t x
+    | Find_policy.One_try_splitting -> find_one_try t x
+    | Find_policy.Two_try_splitting -> find_two_try t x
+    | Find_policy.Compression -> find_compression t x
+
+  let check_node t x =
+    if x < 0 || x >= t.n then invalid_arg "Dsu: node out of range"
+
+  let find t x =
+    check_node t x;
+    find_root t x
+
+  (* One early-termination step from node [u] (Algorithms 6 and 7, lines
+     7-11): advance [u] one hop along its find path, doing the splitting
+     [Cas] once or twice according to the policy.  [z], the parent of [u]
+     already read by the caller's root test, is reused rather than re-read —
+     the printed pseudocode reads it twice; merging the reads only removes a
+     redundant access (noted in EXPERIMENTS.md).  Returns the new [u]. *)
+  let early_step t u z =
+    bump t Dsu_stats.incr_find_iter;
+    match t.policy with
+    | Find_policy.No_compaction | Find_policy.Compression ->
+      (* Full compression needs a complete find path, which the interleaved
+         early-termination walk never has; its steps are plain hops. *)
+      z
+    | Find_policy.One_try_splitting ->
+      let w = M.read t.mem z in
+      if z <> w then begin
+        let ok = M.cas t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok)
+      end;
+      z
+    | Find_policy.Two_try_splitting ->
+      let w = M.read t.mem z in
+      if z <> w then begin
+        let ok = M.cas t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        let z2 = M.read t.mem u in
+        let w2 = M.read t.mem z2 in
+        if z2 <> w2 then begin
+          let ok2 = M.cas t.mem u z2 w2 in
+          bump t (Dsu_stats.incr_compaction_cas ~ok:ok2)
+        end;
+        z2
+      end
+      else z
+
+  (* Algorithm 2: SameSet via two complete finds per round. *)
+  let same_set_plain t x y =
+    let rec loop u v ~first =
+      if not first then bump t Dsu_stats.incr_outer_retry;
+      let u = find_root t u in
+      let v = find_root t v in
+      if u = v then true
+      else if M.read t.mem u = u then false
+      else loop u v ~first:false
+    in
+    loop x y ~first:true
+
+  (* Algorithm 6: SameSet with early termination — always step from the
+     smaller of the two current nodes; answer as soon as the smaller one is
+     a root. *)
+  let same_set_early t x y =
+    let rec loop u v ~first =
+      if not first then bump t Dsu_stats.incr_outer_retry;
+      if u = v then true
+      else begin
+        let u, v = if less t v u then (v, u) else (u, v) in
+        let z = M.read t.mem u in
+        if z = u then false
+        else begin
+          let u = early_step t u z in
+          loop u v ~first:false
+        end
+      end
+    in
+    loop x y ~first:true
+
+  (* Algorithm 3: Unite via two complete finds per round; link the root with
+     the smaller id below the other with one Cas. *)
+  let unite_plain t x y =
+    let rec loop u v ~first =
+      if not first then bump t Dsu_stats.incr_outer_retry;
+      let u = find_root t u in
+      let v = find_root t v in
+      if u = v then ()
+      else if less t u v then begin
+        let ok = M.cas t.mem u u v in
+        bump t (Dsu_stats.incr_link_cas ~ok);
+        if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
+      end
+      else begin
+        let ok = M.cas t.mem v v u in
+        bump t (Dsu_stats.incr_link_cas ~ok);
+        if ok then record_link t ~child:v ~parent:u else loop u v ~first:false
+      end
+    in
+    loop x y ~first:true
+
+  (* Algorithm 7: Unite with early termination.  The printed pseudocode uses
+     an unconditional linking Cas as the root test; attempting the Cas only
+     after a read observes [u] to be a root costs the same step when [u] is
+     a root and saves a wasted Cas when it is not (the Cas still re-verifies
+     rootness atomically, so correctness is unchanged). *)
+  let unite_early t x y =
+    let rec loop u v ~first =
+      if not first then bump t Dsu_stats.incr_outer_retry;
+      if u = v then ()
+      else begin
+        let u, v = if less t v u then (v, u) else (u, v) in
+        let z = M.read t.mem u in
+        if z = u then begin
+          let ok = M.cas t.mem u u v in
+          bump t (Dsu_stats.incr_link_cas ~ok);
+          if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
+        end
+        else begin
+          let u = early_step t u z in
+          loop u v ~first:false
+        end
+      end
+    in
+    loop x y ~first:true
+
+  let same_set t x y =
+    check_node t x;
+    check_node t y;
+    bump t Dsu_stats.incr_same_set;
+    if t.early then same_set_early t x y else same_set_plain t x y
+
+  let unite t x y =
+    check_node t x;
+    check_node t y;
+    bump t Dsu_stats.incr_unite;
+    if t.early then unite_early t x y else unite_plain t x y
+
+  (* Quiescent inspection helpers.  These read through [M], so under the
+     simulator they consume steps; call them only outside measured phases. *)
+
+  let parent_of t x =
+    check_node t x;
+    M.read t.mem x
+
+  let is_root t x = parent_of t x = x
+
+  let count_sets t =
+    let c = ref 0 in
+    for i = 0 to t.n - 1 do
+      if M.read t.mem i = i then incr c
+    done;
+    !c
+
+  (* The id-monotonicity invariant of Lemma 3.1: every non-root points to a
+     node with a strictly larger id. *)
+  let invariant_violations t =
+    let acc = ref [] in
+    for i = t.n - 1 downto 0 do
+      let p = M.read t.mem i in
+      if p <> i && not (less t i p) then acc := (i, p) :: !acc
+    done;
+    !acc
+end

@@ -1,0 +1,63 @@
+(** The concurrent disjoint-set-union algorithm of Jayanti and Tarjan,
+    as a functor over the shared-memory primitives — one implementation of
+    Algorithms 1–7 that runs both natively (over [Atomic]; see
+    {!Dsu_native}) and inside the APRAM simulator (see {!Dsu_sim}).
+
+    See the implementation for the transcription notes (the two documented
+    deviations from the printed pseudocode are the merged redundant read in
+    the early-termination variants and the skipped no-op splitting [Cas]). *)
+
+module Make (M : Memory_intf.S) : sig
+  type t
+  (** A handle: the memory holding the parent array plus the immutable
+      linking order, the chosen [Find] variant, and instrumentation. *)
+
+  val create :
+    ?policy:Find_policy.t ->
+    ?early:bool ->
+    ?stats:Dsu_stats.t ->
+    ?on_link:(child:int -> parent:int -> unit) ->
+    mem:M.t ->
+    n:int ->
+    prio:(int -> int) ->
+    unit ->
+    t
+  (** [create ~mem ~n ~prio ()] wraps a memory whose cell [i] holds node
+      [i]'s parent (initially [i]).  [prio i] is node [i]'s position in the
+      random total order; ties are broken by node index, so priorities need
+      not be distinct (the growable extension draws them from a large
+      universe on the fly).  [policy] defaults to two-try splitting;
+      [early] selects Algorithms 6/7; [on_link] observes every successful
+      link (the union forest). *)
+
+  val n : t -> int
+  val mem : t -> M.t
+  val policy : t -> Find_policy.t
+  val early : t -> bool
+  val stats : t -> Dsu_stats.t option
+
+  val id : t -> int -> int
+  (** The node's priority ([prio]). *)
+
+  val less : t -> int -> int -> bool
+  (** The linking order: priority, then node index. *)
+
+  val find : t -> int -> int
+  (** Current root of the node's tree (Algorithm 1, 4 or 5, or the
+      two-pass concurrent compression). *)
+
+  val same_set : t -> int -> int -> bool
+  (** Algorithm 2, or 6 when [early]. *)
+
+  val unite : t -> int -> int -> unit
+  (** Algorithm 3, or 7 when [early]. *)
+
+  val parent_of : t -> int -> int
+  val is_root : t -> int -> bool
+  val count_sets : t -> int
+  (** Quiescent only; under the simulator these consume steps. *)
+
+  val invariant_violations : t -> (int * int) list
+  (** Pairs [(node, parent)] breaking the Lemma 3.1 order-monotonicity
+      invariant; always empty for a correct implementation. *)
+end

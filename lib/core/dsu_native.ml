@@ -1,0 +1,105 @@
+module Atomic_array = Repro_util.Atomic_array
+module Rng = Repro_util.Rng
+
+module A = Dsu_algorithm.Make (Native_memory)
+
+type t = A.t
+
+let self_seed = ref 0x4d595df4d0f33173
+
+let create ?policy ?early ?(collect_stats = false) ?on_link ?seed n =
+  if n < 1 then invalid_arg "Dsu_native.create: n must be >= 1";
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+      incr self_seed;
+      !self_seed
+  in
+  let ids = Rng.permutation (Rng.create seed) n in
+  let mem = Atomic_array.make n (fun i -> i) in
+  let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+  A.create ?policy ?early ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()
+
+let n = A.n
+let same_set = A.same_set
+let unite = A.unite
+let find = A.find
+let id = A.id
+let parent_of = A.parent_of
+let is_root = A.is_root
+let count_sets = A.count_sets
+
+let stats t = match A.stats t with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
+
+let reset_stats t = match A.stats t with None -> () | Some s -> Dsu_stats.reset s
+
+let invariant_violations = A.invariant_violations
+
+let parents_snapshot t = Atomic_array.snapshot (A.mem t)
+
+let sets t =
+  let size = A.n t in
+  let root = Array.init size (fun i -> A.find t i) in
+  let classes : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  for i = size - 1 downto 0 do
+    let r = root.(i) in
+    Hashtbl.replace classes r (i :: Option.value ~default:[] (Hashtbl.find_opt classes r))
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) classes []
+  |> List.map (List.sort compare)
+  |> List.sort compare
+
+type snapshot = { parents : int array; ids : int array }
+
+let snapshot t =
+  { parents = parents_snapshot t; ids = Array.init (A.n t) (fun i -> A.id t i) }
+
+let restore ?policy ?early ?(collect_stats = false) (s : snapshot) =
+  let n = Array.length s.parents in
+  if n < 1 || Array.length s.ids <> n then
+    invalid_arg "Dsu_native.restore: malformed snapshot";
+  let ids = Array.copy s.ids in
+  let seen = Array.make n false in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= n || seen.(id) then
+        invalid_arg "Dsu_native.restore: ids are not a permutation";
+      seen.(id) <- true)
+    ids;
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p >= n then invalid_arg "Dsu_native.restore: parent out of range";
+      if p <> i && ids.(p) <= ids.(i) then
+        invalid_arg "Dsu_native.restore: parents violate the linking order")
+    s.parents;
+  let mem = Atomic_array.make n (fun i -> s.parents.(i)) in
+  let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+  A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+
+let snapshot_to_string (s : snapshot) =
+  let buf = Buffer.create (Array.length s.parents * 8) in
+  Buffer.add_string buf (string_of_int (Array.length s.parents));
+  Array.iter (fun p -> Buffer.add_char buf ' '; Buffer.add_string buf (string_of_int p)) s.parents;
+  Array.iter (fun id -> Buffer.add_char buf ' '; Buffer.add_string buf (string_of_int id)) s.ids;
+  Buffer.contents buf
+
+let snapshot_of_string text =
+  match String.split_on_char ' ' (String.trim text) with
+  | [] -> invalid_arg "Dsu_native.snapshot_of_string: empty"
+  | count :: rest -> (
+    match int_of_string_opt count with
+    | None -> invalid_arg "Dsu_native.snapshot_of_string: bad header"
+    | Some n ->
+      if n < 1 || List.length rest <> 2 * n then
+        invalid_arg "Dsu_native.snapshot_of_string: wrong field count";
+      let values =
+        List.map
+          (fun f ->
+            match int_of_string_opt f with
+            | Some v -> v
+            | None -> invalid_arg "Dsu_native.snapshot_of_string: bad integer")
+          rest
+      in
+      let arr = Array.of_list values in
+      { parents = Array.sub arr 0 n; ids = Array.sub arr n n })

@@ -1,0 +1,122 @@
+type t = {
+  same_set_calls : int Atomic.t;
+  unite_calls : int Atomic.t;
+  find_calls : int Atomic.t;
+  find_iters : int Atomic.t;
+  compaction_cas : int Atomic.t;
+  compaction_cas_failures : int Atomic.t;
+  link_cas : int Atomic.t;
+  link_cas_failures : int Atomic.t;
+  links : int Atomic.t;
+  outer_retries : int Atomic.t;
+}
+
+type snapshot = {
+  same_set_calls : int;
+  unite_calls : int;
+  find_calls : int;
+  find_iters : int;
+  compaction_cas : int;
+  compaction_cas_failures : int;
+  link_cas : int;
+  link_cas_failures : int;
+  links : int;
+  outer_retries : int;
+}
+
+let create () : t =
+  {
+    same_set_calls = Atomic.make 0;
+    unite_calls = Atomic.make 0;
+    find_calls = Atomic.make 0;
+    find_iters = Atomic.make 0;
+    compaction_cas = Atomic.make 0;
+    compaction_cas_failures = Atomic.make 0;
+    link_cas = Atomic.make 0;
+    link_cas_failures = Atomic.make 0;
+    links = Atomic.make 0;
+    outer_retries = Atomic.make 0;
+  }
+
+let reset (t : t) =
+  Atomic.set t.same_set_calls 0;
+  Atomic.set t.unite_calls 0;
+  Atomic.set t.find_calls 0;
+  Atomic.set t.find_iters 0;
+  Atomic.set t.compaction_cas 0;
+  Atomic.set t.compaction_cas_failures 0;
+  Atomic.set t.link_cas 0;
+  Atomic.set t.link_cas_failures 0;
+  Atomic.set t.links 0;
+  Atomic.set t.outer_retries 0
+
+let snapshot (t : t) : snapshot =
+  {
+    same_set_calls = Atomic.get t.same_set_calls;
+    unite_calls = Atomic.get t.unite_calls;
+    find_calls = Atomic.get t.find_calls;
+    find_iters = Atomic.get t.find_iters;
+    compaction_cas = Atomic.get t.compaction_cas;
+    compaction_cas_failures = Atomic.get t.compaction_cas_failures;
+    link_cas = Atomic.get t.link_cas;
+    link_cas_failures = Atomic.get t.link_cas_failures;
+    links = Atomic.get t.links;
+    outer_retries = Atomic.get t.outer_retries;
+  }
+
+let zero =
+  {
+    same_set_calls = 0;
+    unite_calls = 0;
+    find_calls = 0;
+    find_iters = 0;
+    compaction_cas = 0;
+    compaction_cas_failures = 0;
+    link_cas = 0;
+    link_cas_failures = 0;
+    links = 0;
+    outer_retries = 0;
+  }
+
+let map2 f (a : snapshot) (b : snapshot) : snapshot =
+  {
+    same_set_calls = f a.same_set_calls b.same_set_calls;
+    unite_calls = f a.unite_calls b.unite_calls;
+    find_calls = f a.find_calls b.find_calls;
+    find_iters = f a.find_iters b.find_iters;
+    compaction_cas = f a.compaction_cas b.compaction_cas;
+    compaction_cas_failures = f a.compaction_cas_failures b.compaction_cas_failures;
+    link_cas = f a.link_cas b.link_cas;
+    link_cas_failures = f a.link_cas_failures b.link_cas_failures;
+    links = f a.links b.links;
+    outer_retries = f a.outer_retries b.outer_retries;
+  }
+
+let add = map2 ( + )
+let sub = map2 ( - )
+
+let total_work (s : snapshot) = s.find_iters + s.compaction_cas + s.link_cas
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "@[<v>same_set=%d unite=%d finds=%d@ find_iters=%d@ compaction_cas=%d \
+     (failed %d)@ link_cas=%d (failed %d) links=%d@ outer_retries=%d \
+     total_work=%d@]"
+    s.same_set_calls s.unite_calls s.find_calls s.find_iters s.compaction_cas
+    s.compaction_cas_failures s.link_cas s.link_cas_failures s.links
+    s.outer_retries (total_work s)
+
+let incr_same_set (t : t) = Atomic.incr t.same_set_calls
+let incr_unite (t : t) = Atomic.incr t.unite_calls
+let incr_find (t : t) = Atomic.incr t.find_calls
+let incr_find_iter (t : t) = Atomic.incr t.find_iters
+
+let incr_compaction_cas (t : t) ~ok =
+  Atomic.incr t.compaction_cas;
+  if not ok then Atomic.incr t.compaction_cas_failures
+
+let incr_link_cas (t : t) ~ok =
+  Atomic.incr t.link_cas;
+  if ok then Atomic.incr t.links else Atomic.incr t.link_cas_failures
+
+let incr_outer_retry (t : t) = Atomic.incr t.outer_retries

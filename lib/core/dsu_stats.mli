@@ -1,0 +1,47 @@
+(** Operation counters for the concurrent DSU.
+
+    Counters are [Atomic] so they can be shared across domains; enabling them
+    costs one fetch-and-add per counted event, so native throughput
+    benchmarks run with counting disabled while all work-measurement
+    experiments run with it enabled.  A {!snapshot} is an immutable copy used
+    by reports. *)
+
+type t
+
+type snapshot = {
+  same_set_calls : int;
+  unite_calls : int;
+  find_calls : int;  (** invocations of the internal [Find] *)
+  find_iters : int;  (** parent-pointer traversal steps inside finds *)
+  compaction_cas : int;  (** splitting [Cas] attempts *)
+  compaction_cas_failures : int;
+  link_cas : int;  (** linking [Cas] attempts in [Unite] *)
+  link_cas_failures : int;
+  links : int;  (** successful links, i.e. unions that changed the partition *)
+  outer_retries : int;  (** extra iterations of [SameSet]/[Unite] loops *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> snapshot
+val zero : snapshot
+val add : snapshot -> snapshot -> snapshot
+val sub : snapshot -> snapshot -> snapshot
+(** Pointwise difference, for measuring a phase between two snapshots. *)
+
+val total_work : snapshot -> int
+(** A single work figure: find iterations plus all [Cas] attempts — the
+    quantity the paper's Theorems 4.3, 5.1, 5.2 bound. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+(**/**)
+
+(* Incrementers used by the algorithm; not part of the public API. *)
+val incr_same_set : t -> unit
+val incr_unite : t -> unit
+val incr_find : t -> unit
+val incr_find_iter : t -> unit
+val incr_compaction_cas : t -> ok:bool -> unit
+val incr_link_cas : t -> ok:bool -> unit
+val incr_outer_retry : t -> unit

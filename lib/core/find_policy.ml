@@ -1,0 +1,41 @@
+(** The concurrent [Find] variants.
+
+    The first three are the paper's (Algorithms 1, 4, 5):
+
+    - {!No_compaction} follows parent pointers without modifying them
+      (Algorithm 1); analyzed in Section 4 (Theorem 4.3).
+    - {!One_try_splitting} tries once per visited node to swing its parent to
+      its grandparent with a [Cas] (Algorithm 4); analyzed in Theorem 5.2.
+    - {!Two_try_splitting} retries each such update once before moving on
+      (Algorithm 5); achieves the paper's best bound (Theorem 5.1), tight by
+      Theorem 5.4.
+
+    {!Compression} is the concurrent two-pass compression whose existence
+    Section 6 conjectures ("we conjecture that appropriate concurrent
+    versions of compression will have the bounds of Theorems 5.1 and 5.2"):
+    the first pass walks to the root, the second swings every path node's
+    parent to it with a [Cas] from the parent observed in the first pass —
+    which keeps every update an ancestor move in the union forest, so the
+    Lemma 3.1 correctness argument goes through unchanged.  Experiment E14
+    measures the conjecture. *)
+
+type t = No_compaction | One_try_splitting | Two_try_splitting | Compression
+
+let all = [ No_compaction; One_try_splitting; Two_try_splitting; Compression ]
+
+let to_string = function
+  | No_compaction -> "none"
+  | One_try_splitting -> "one-try"
+  | Two_try_splitting -> "two-try"
+  | Compression -> "compression"
+
+let of_string = function
+  | "none" -> Some No_compaction
+  | "one-try" -> Some One_try_splitting
+  | "two-try" -> Some Two_try_splitting
+  | "compression" -> Some Compression
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = a = b

@@ -1,0 +1,78 @@
+module Atomic_array = Repro_util.Atomic_array
+module Rng = Repro_util.Rng
+
+module Algo = Dsu_algorithm.Make (Native_memory)
+
+type t = {
+  capacity : int;
+  next : int Atomic.t;
+  prios : Atomic_array.t;
+      (** atomic so priorities published by [make_set] are visible to every
+          domain without further synchronization *)
+  rng_state : int Atomic.t;  (** per-allocation counter, hashed to a priority *)
+  algo : Algo.t;
+}
+
+let mix64 z =
+  (* SplitMix64 finalizer on 62-bit ints; good avalanche, cheap. *)
+  let z = Int64.of_int z in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let create ?policy ?early ?(collect_stats = false) ?(seed = 0x9e3779b9) ~capacity () =
+  if capacity < 1 then invalid_arg "Growable.create: capacity must be >= 1";
+  let prios = Atomic_array.make capacity (fun _ -> 0) in
+  let mem = Atomic_array.make capacity (fun i -> i) in
+  let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+  let algo =
+    Algo.create ?policy ?early ?stats ~mem ~n:capacity
+      ~prio:(fun i -> Atomic_array.get prios i)
+      ()
+  in
+  { capacity; next = Atomic.make 0; prios; rng_state = Atomic.make seed; algo }
+
+let make_set t =
+  let slot = Atomic.fetch_and_add t.next 1 in
+  if slot >= t.capacity then begin
+    (* Undo is unnecessary: the counter may run past capacity harmlessly. *)
+    failwith "Growable.make_set: capacity exhausted"
+  end;
+  let r = Atomic.fetch_and_add t.rng_state 0x632be59bd9b4e019 in
+  Atomic_array.set t.prios slot (mix64 r);
+  slot
+
+let cardinal t = min (Atomic.get t.next) t.capacity
+let capacity t = t.capacity
+
+let check t x =
+  if x < 0 || x >= cardinal t then invalid_arg "Growable: element was not created"
+
+let same_set t x y =
+  check t x;
+  check t y;
+  Algo.same_set t.algo x y
+
+let unite t x y =
+  check t x;
+  check t y;
+  Algo.unite t.algo x y
+
+let find t x =
+  check t x;
+  Algo.find t.algo x
+
+let priority t x =
+  check t x;
+  Atomic_array.get t.prios x
+
+let stats t =
+  match Algo.stats t.algo with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
+
+let count_sets t =
+  let c = ref 0 in
+  for i = 0 to cardinal t - 1 do
+    if Algo.parent_of t.algo i = i then incr c
+  done;
+  !c

@@ -1,0 +1,42 @@
+(** The [MakeSet] extension of Section 3 (remark) and Section 7.
+
+    Elements are created on the fly: each [make_set] allocates a fresh node
+    and assigns it a priority drawn uniformly from a 62-bit universe, with
+    node index as the tie-break — the paper's recipe for generating the node
+    order on the fly when there is no a-priori bound on [MakeSet]s ("assign
+    to each new element a random number selected uniformly from a universe
+    large enough that the chance of a tie is sufficiently small, and add a
+    tie-breaking rule").
+
+    As the paper notes, in a setting where the universe grows without bound
+    a [SameSet] or [Unite] can keep making progress forever while new
+    elements join its sets, so the algorithms are lock-free rather than
+    wait-free here.  This implementation bounds capacity up front (slots are
+    preallocated; [make_set] is one fetch-and-add plus one atomic store), so
+    in any finite execution operations still terminate.
+
+    Nodes must not be passed to [same_set]/[unite]/[find] before [make_set]
+    returns them. *)
+
+type t
+
+val create :
+  ?policy:Find_policy.t -> ?early:bool -> ?collect_stats:bool -> ?seed:int ->
+  capacity:int -> unit -> t
+
+val make_set : t -> int
+(** Allocate and return a fresh singleton element.  Lock-free; raises
+    [Failure] when capacity is exhausted. *)
+
+val cardinal : t -> int
+(** Number of elements created so far. *)
+
+val capacity : t -> int
+
+val same_set : t -> int -> int -> bool
+val unite : t -> int -> int -> unit
+val find : t -> int -> int
+val priority : t -> int -> int
+val stats : t -> Dsu_stats.snapshot
+val count_sets : t -> int
+(** Quiescent only. *)

@@ -1,0 +1,41 @@
+(** The [MakeSet] extension with {e no a-priori capacity}: the universe
+    grows without bound, as in the paper's Section 3 remark ("in a setting
+    in which there is no a priori bound on the number of MakeSet
+    operations...").  In that setting the algorithms are lock-free rather
+    than wait-free — an operation can be overtaken forever by new elements
+    joining its sets — which this module inherits.
+
+    Storage is a chunk directory: parents and priorities live in fixed-size
+    chunks of [Atomic] cells; [make_set] appends a chunk (under a mutex,
+    amortized over [chunk_size] allocations) and publishes the new directory
+    through an [Atomic] reference, so {e all set operations remain
+    lock-free} — they read a directory snapshot and never take the lock.
+    Element indices are stable forever. *)
+
+type t
+
+val create :
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  ?chunk_size:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** [chunk_size] (default 1024) trades allocation frequency for slack. *)
+
+val make_set : t -> int
+(** Allocate a fresh singleton element; never fails.  Takes the growth lock
+    only when a new chunk is needed. *)
+
+val cardinal : t -> int
+val same_set : t -> int -> int -> bool
+val unite : t -> int -> int -> unit
+val find : t -> int -> int
+val priority : t -> int -> int
+val stats : t -> Dsu_stats.snapshot
+val count_sets : t -> int
+(** Quiescent only. *)
+
+val chunk_count : t -> int
+(** Chunks allocated so far (for tests). *)

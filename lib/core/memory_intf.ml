@@ -1,0 +1,20 @@
+(** The shared-memory primitives the concurrent algorithm needs.
+
+    Cell [i] of the memory holds the parent of node [i].  Only single-word
+    atomic reads and compare-and-swaps are required — this is the point of
+    randomized linking: unlike linking by rank or size, no second word ever
+    has to change together with a parent pointer (Section 3).
+
+    Two instantiations exist: {!Dsu.Native_memory} over [Atomic] for real
+    OCaml 5 domains, and {!Dsu_sim.Sim_memory} over the APRAM simulator's
+    effect-based shared memory for exact step counting. *)
+
+module type S = sig
+  type t
+
+  val read : t -> int -> int
+  (** Atomic load of node [i]'s parent. *)
+
+  val cas : t -> int -> int -> int -> bool
+  (** [cas t i expected desired] atomically replaces node [i]'s parent. *)
+end

@@ -1,0 +1,7 @@
+(** The {!Memory_intf.S} instance over [Atomic]-backed arrays: the shared
+    memory used by the native (OCaml 5 domains) instantiations. *)
+
+type t = Repro_util.Atomic_array.t
+
+let read = Repro_util.Atomic_array.get
+let cas = Repro_util.Atomic_array.cas

@@ -1,0 +1,205 @@
+(** Concurrent disjoint set union with {e linking by rank} — the direction
+    Section 7 announces ("we have developed several concurrent versions of
+    linking by rank that give the bounds of Sections 4 and 5 ... and need no
+    independence assumption").
+
+    Ranks must change atomically with parents, which randomized linking
+    exists to avoid; here we instead pack [(rank, parent)] into one word
+    ([word = rank * n + parent]), so a single [Cas] updates both.  Find uses
+    two-try splitting with rank-preserving updates.  The packing bounds the
+    universe: [n * (max_rank + 1)] must fit in an [int], i.e. roughly
+    [n <= 2^57] (ranks stay below [lg n]) — irrelevant in practice, but a
+    structural cost randomized linking does not pay.
+
+    The point of this variant in the reproduction is experiment E15: its
+    work bounds hold for {e every} union order, whereas randomized linking's
+    analysis needs the independence assumption (star) of Section 4 — an
+    id-aware adversary can drive the randomized union forest to linear
+    height, and this variant is the paper's own answer to that gap. *)
+
+module Make (M : Memory_intf.S) = struct
+  type t = { mem : M.t; n : int; stats : Dsu_stats.t option }
+
+  let create ?stats ~mem ~n () =
+    if n < 1 then invalid_arg "Rank_dsu.create: n must be >= 1";
+    { mem; n; stats }
+
+  let init_word _n i = i
+  let n t = t.n
+
+  let bump t f = match t.stats with None -> () | Some s -> f s
+
+  let parent_of_word t w = w mod t.n
+  let rank_of_word t w = w / t.n
+  let word t ~rank ~parent = (rank * t.n) + parent
+
+  (* Two-try splitting on packed words: each update swings a node's parent
+     to its grandparent while preserving the node's rank bits. *)
+  let find_root t x =
+    bump t Dsu_stats.incr_find;
+    let try_split u =
+      (* One splitting attempt from [u].  Returns [`Root r] when the root is
+         found, otherwise the grandparent to advance to. *)
+      let wu = M.read t.mem u in
+      let pu = parent_of_word t wu in
+      if pu = u then `Root u
+      else begin
+        let wp = M.read t.mem pu in
+        let pp = parent_of_word t wp in
+        if pp = pu then `Root pu
+        else begin
+          let ok = M.cas t.mem u wu (word t ~rank:(rank_of_word t wu) ~parent:pp) in
+          bump t (Dsu_stats.incr_compaction_cas ~ok);
+          `Advance pu
+        end
+      end
+    in
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      match try_split u with
+      | `Root r -> r
+      | `Advance _ -> (
+        (* second try on the same node *)
+        match try_split u with `Root r -> r | `Advance v -> loop v)
+    in
+    loop x
+
+  let check t x = if x < 0 || x >= t.n then invalid_arg "Rank_dsu: node out of range"
+
+  let find t x =
+    check t x;
+    find_root t x
+
+  let same_set t x y =
+    check t x;
+    check t y;
+    bump t Dsu_stats.incr_same_set;
+    let rec loop u v ~first =
+      if not first then bump t Dsu_stats.incr_outer_retry;
+      let u = find_root t u in
+      let v = find_root t v in
+      if u = v then true
+      else if parent_of_word t (M.read t.mem u) = u then false
+      else loop u v ~first:false
+    in
+    loop x y ~first:true
+
+  let unite t x y =
+    check t x;
+    check t y;
+    bump t Dsu_stats.incr_unite;
+    let rec loop u v ~first =
+      if not first then bump t Dsu_stats.incr_outer_retry;
+      let u = find_root t u in
+      let v = find_root t v in
+      if u = v then ()
+      else begin
+        let wu = M.read t.mem u in
+        let wv = M.read t.mem v in
+        let pu = parent_of_word t wu and ru = rank_of_word t wu in
+        let pv = parent_of_word t wv and rv = rank_of_word t wv in
+        if pu <> u || pv <> v then loop u v ~first:false
+        else begin
+          let link a wa ra b =
+            let ok = M.cas t.mem a wa (word t ~rank:ra ~parent:b) in
+            bump t (Dsu_stats.incr_link_cas ~ok);
+            ok
+          in
+          if ru < rv then begin
+            if not (link u wu ru v) then loop u v ~first:false
+          end
+          else if rv < ru then begin
+            if not (link v wv rv u) then loop u v ~first:false
+          end
+          else if u < v then begin
+            (* Rank tie, broken by node index; the winner's rank promotion
+               may fail harmlessly (someone promoted or linked it first). *)
+            if link u wu ru v then
+              ignore (M.cas t.mem v wv (word t ~rank:(rv + 1) ~parent:v))
+            else loop u v ~first:false
+          end
+          else if link v wv rv u then
+            ignore (M.cas t.mem u wu (word t ~rank:(ru + 1) ~parent:u))
+          else loop u v ~first:false
+        end
+      end
+    in
+    loop x y ~first:true
+
+  let count_sets t =
+    let c = ref 0 in
+    for i = 0 to t.n - 1 do
+      if parent_of_word t (M.read t.mem i) = i then incr c
+    done;
+    !c
+
+  let rank_of t x =
+    check t x;
+    rank_of_word t (M.read t.mem x)
+
+  let parent_of t x =
+    check t x;
+    parent_of_word t (M.read t.mem x)
+
+  let stats t =
+    match t.stats with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
+end
+
+(** Native instantiation over [Atomic] arrays. *)
+module Native = struct
+  module A = Make (Native_memory)
+
+  type t = A.t
+
+  let create ?(collect_stats = false) n =
+    let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+    let mem = Repro_util.Atomic_array.make n (A.init_word n) in
+    A.create ?stats ~mem ~n ()
+
+  let n = A.n
+  let find = A.find
+  let same_set = A.same_set
+  let unite = A.unite
+  let count_sets = A.count_sets
+  let rank_of = A.rank_of
+  let parent_of = A.parent_of
+  let stats = A.stats
+end
+
+(** Simulator instantiation; see {!Dsu_sim} for the usage pattern. *)
+module Sim = struct
+  module Sim_memory = struct
+    type t = unit
+
+    let read () a = Apram.Process.read a
+    let cas () a expected desired = Apram.Process.cas a expected desired
+  end
+
+  module A = Make (Sim_memory)
+
+  type t = A.t
+
+  let mem_size n = n
+  let init n i = A.init_word n i
+
+  let handle n =
+    let stats = Dsu_stats.create () in
+    A.create ~stats ~mem:() ~n ()
+
+  let find = A.find
+  let same_set = A.same_set
+  let unite = A.unite
+  let stats = A.stats
+  let parent_of = A.parent_of
+  let rank_of = A.rank_of
+
+  let same_set_op t x y () =
+    Apram.Process.record_invoke ~name:"same_set" ~args:[ x; y ];
+    let r = A.same_set t x y in
+    Apram.Process.record_return (if r then 1 else 0)
+
+  let unite_op t x y () =
+    Apram.Process.record_invoke ~name:"unite" ~args:[ x; y ];
+    A.unite t x y;
+    Apram.Process.record_return 0
+end

@@ -1,0 +1,70 @@
+(** Concurrent disjoint set union with {e linking by rank} — the direction
+    Section 7 announces ("we have developed several concurrent versions of
+    linking by rank that give the bounds of Sections 4 and 5 ... one of them
+    is randomized and needs no independence assumption; the other two are
+    deterministic").
+
+    This is the deterministic variant: [(rank, parent)] packed into one word
+    so a single [Cas] updates both, with two-try splitting finds that
+    preserve the rank bits.  Its union-forest height is O(log n) for
+    {e every} union order — no independence assumption — which experiment
+    E15 contrasts with randomized linking under an id-aware adversary.
+
+    The packing requires [n * (max_rank + 1)] to fit in an [int]
+    (n ≲ 2^57); randomized linking does not pay this structural cost. *)
+
+module Make (M : Memory_intf.S) : sig
+  type t
+
+  val create : ?stats:Dsu_stats.t -> mem:M.t -> n:int -> unit -> t
+  val init_word : int -> int -> int
+  (** [init_word n i] is the initial memory word for node [i] (rank 0,
+      parent [i]). *)
+
+  val n : t -> int
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val count_sets : t -> int
+  val rank_of : t -> int -> int
+  val parent_of : t -> int -> int
+  val stats : t -> Dsu_stats.snapshot
+end
+
+(** Native instantiation over [Atomic] arrays; safe from any number of
+    domains. *)
+module Native : sig
+  type t
+
+  val create : ?collect_stats:bool -> int -> t
+  val n : t -> int
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val count_sets : t -> int
+  (** Quiescent only. *)
+
+  val rank_of : t -> int -> int
+  val parent_of : t -> int -> int
+  val stats : t -> Dsu_stats.snapshot
+end
+
+(** Simulator instantiation; see {!Dsu_sim} for the usage pattern. *)
+module Sim : sig
+  type t
+
+  val mem_size : int -> int
+  val init : int -> int -> int
+  val handle : int -> t
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val rank_of : t -> int -> int
+  val parent_of : t -> int -> int
+  val stats : t -> Dsu_stats.snapshot
+
+  val same_set_op : t -> int -> int -> unit -> unit
+  (** Closure for {!Apram.Sim.run_ops}, recorded in the history. *)
+
+  val unite_op : t -> int -> int -> unit -> unit
+end

@@ -1,0 +1,94 @@
+type result = {
+  edges : (int * int * float) list;
+  total_weight : float;
+  components : int;
+  rounds : int;
+}
+
+(* Edge comparison key: (weight, index) lexicographic, so ties are broken
+   deterministically and the cheapest edge per component is unique. *)
+let cheaper weights i j =
+  match compare weights.(i) weights.(j) with 0 -> i < j | c -> c < 0
+
+(* One Borůvka round's scan: fill [cheapest.(root)] with the index of the
+   lightest edge leaving [root]'s component, over edge indices [lo, hi). *)
+let scan_range ~dsu ~edges ~weights ~cheapest_cas lo hi =
+  for i = lo to hi - 1 do
+    let u, v = edges.(i) in
+    let ru = Dsu.Native.find dsu u in
+    let rv = Dsu.Native.find dsu v in
+    if ru <> rv then begin
+      let offer r =
+        (* Atomic minimum by CAS loop. *)
+        let rec loop () =
+          let cur = Repro_util.Atomic_array.get cheapest_cas r in
+          if cur = -1 || cheaper weights i cur then
+            if not (Repro_util.Atomic_array.cas cheapest_cas r cur i) then loop ()
+        in
+        loop ()
+      in
+      offer ru;
+      offer rv
+    end
+  done
+
+let run_rounds ~domains ~seed (w : Graph.weighted) =
+  let g = w.Graph.graph in
+  let weights = w.Graph.weights in
+  let n = Graph.n g in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let dsu = Dsu.Native.create ~seed n in
+  let cheapest = Repro_util.Atomic_array.make n (fun _ -> -1) in
+  let forest = ref [] in
+  let total = ref 0. in
+  let components = ref n in
+  let rounds = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Phase 1 (parallel): cheapest incident edge per component. *)
+    if domains <= 1 || m < 1024 then
+      scan_range ~dsu ~edges ~weights ~cheapest_cas:cheapest 0 m
+    else begin
+      let worker k () =
+        scan_range ~dsu ~edges ~weights ~cheapest_cas:cheapest (m * k / domains)
+          (m * (k + 1) / domains)
+      in
+      let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
+      List.iter Domain.join handles
+    end;
+    (* Phase 2 (sequential): contract the selected edges.  An edge can be
+       the choice of both its endpoints' components, and two components can
+       pick different connecting edges, so re-check connectivity before
+       accepting — the scan's atomic minima make the selection
+       deterministic, the re-check keeps the output a forest. *)
+    incr rounds;
+    for r = 0 to n - 1 do
+      let i = Repro_util.Atomic_array.get cheapest r in
+      if i >= 0 then begin
+        Repro_util.Atomic_array.set cheapest r (-1);
+        let u, v = edges.(i) in
+        if not (Dsu.Native.same_set dsu u v) then begin
+          Dsu.Native.unite dsu u v;
+          forest := (u, v, weights.(i)) :: !forest;
+          total := !total +. weights.(i);
+          decr components;
+          progress := true
+        end
+      end
+    done
+  done;
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> compare a b) !forest
+  in
+  {
+    edges = sorted;
+    total_weight = !total;
+    components = !components;
+    rounds = !rounds - 1;
+  }
+
+let run w = run_rounds ~domains:1 ~seed:1 w
+
+let run_parallel ?(domains = 4) ?(seed = 1) w = run_rounds ~domains ~seed w

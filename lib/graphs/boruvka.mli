@@ -1,0 +1,31 @@
+(** Borůvka's minimum-spanning-forest algorithm, sequential and parallel.
+
+    Borůvka proceeds in rounds: every component selects its cheapest
+    incident edge, and all selected edges are contracted at once.  The
+    contraction structure {e is} a DSU, and — unlike Kruskal's sorted scan —
+    both phases of a round parallelize naturally: cheapest-edge selection
+    partitions the edges across domains (with atomic per-component minima),
+    and the contractions are concurrent [unite]s.  This is the classic
+    showcase for a {e concurrent} union-find inside a parallel graph
+    algorithm.
+
+    Edge weights must be distinct for the classic uniqueness argument; ties
+    are broken by edge index, so any weights work. *)
+
+type result = {
+  edges : (int * int * float) list;  (** forest edges, ascending weight *)
+  total_weight : float;
+  components : int;
+  rounds : int;
+}
+
+val run : Graph.weighted -> result
+(** Sequential Borůvka over the concurrent DSU (single caller). *)
+
+val run_parallel : ?domains:int -> ?seed:int -> Graph.weighted -> result
+(** Each round's cheapest-edge scan — the O(m) bulk of the work, every edge
+    doing two concurrent [find]s — is split across [domains] OCaml domains
+    (default 4) racing on atomic per-component minima; the O(#components)
+    contraction phase then runs sequentially (concurrent check-then-unite
+    pairs could otherwise accept two parallel edges between the same two
+    components). *)

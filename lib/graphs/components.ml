@@ -1,0 +1,39 @@
+let normalize labels =
+  let n = Array.length labels in
+  let smallest = Hashtbl.create 64 in
+  for v = n - 1 downto 0 do
+    Hashtbl.replace smallest labels.(v) v
+  done;
+  Array.map (fun l -> Hashtbl.find smallest l) labels
+
+let sequential g =
+  let d = Sequential.Seq_dsu.create (Graph.n g) in
+  Array.iter (fun (u, v) -> Sequential.Seq_dsu.unite d u v) (Graph.edges g);
+  normalize (Array.init (Graph.n g) (fun v -> Sequential.Seq_dsu.find d v))
+
+let concurrent ?(domains = 4) ?policy ?early ?seed g =
+  let n = Graph.n g in
+  let d = Dsu.Native.create ?policy ?early ?seed n in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let worker k () =
+    let lo = m * k / domains and hi = m * (k + 1) / domains in
+    for i = lo to hi - 1 do
+      let u, v = edges.(i) in
+      Dsu.Native.unite d u v
+    done
+  in
+  let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join handles;
+  normalize (Array.init n (fun v -> Dsu.Native.find d v))
+
+let count labels =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun l -> Hashtbl.replace seen l ()) labels;
+  Hashtbl.length seen
+
+let incremental ?policy ?seed ~n () =
+  let d = Dsu.Native.create ?policy ?seed n in
+  let add_edge u v = Dsu.Native.unite d u v in
+  let connected u v = Dsu.Native.same_set d u v in
+  (add_edge, connected)

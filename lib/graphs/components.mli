@@ -1,0 +1,27 @@
+(** Connected components via disjoint set union — the paper's canonical
+    application ("maintaining connected components in a graph under edge
+    insertions"). *)
+
+val sequential : Graph.t -> int array
+(** Component labels via the classical sequential DSU; label = smallest
+    vertex in the component. *)
+
+val concurrent :
+  ?domains:int -> ?policy:Dsu.Find_policy.t -> ?early:bool -> ?seed:int ->
+  Graph.t -> int array
+(** Component labels computed by uniting the edge list across [domains]
+    OCaml domains (default 4) sharing one concurrent DSU; the label pass
+    runs after all domains join.  Labels are normalized as in
+    {!sequential}, so results are comparable across implementations. *)
+
+val count : int array -> int
+(** Number of distinct labels. *)
+
+val incremental :
+  ?policy:Dsu.Find_policy.t -> ?seed:int -> n:int -> unit ->
+  (int -> int -> unit) * (int -> int -> bool)
+(** [incremental ~n ()] is [(add_edge, connected)]: dynamic connectivity
+    under edge insertions, directly exposing the DSU operations. *)
+
+val normalize : int array -> int array
+(** Relabel arbitrary component representatives to the smallest member. *)

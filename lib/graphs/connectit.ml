@@ -1,0 +1,73 @@
+type strategy = Direct | Sampled of int
+
+type stats = {
+  edges_total : int;
+  edges_skipped : int;
+  sample_unites : int;
+  dsu_work : int;
+}
+
+let in_domains ~domains f =
+  if domains <= 1 then f 0 1
+  else begin
+    let handles = List.init domains (fun k -> Domain.spawn (fun () -> f k domains)) in
+    List.iter Domain.join handles
+  end
+
+let components ?(domains = 4) ?(seed = 1) ?(strategy = Sampled 2) g =
+  let n = Graph.n g in
+  let edges = Graph.edges g in
+  let m = Array.length edges in
+  let d = Dsu.Native.create ~collect_stats:true ~seed n in
+  let sample_unites = ref 0 in
+  let skipped = Atomic.make 0 in
+  (match strategy with
+  | Direct ->
+    in_domains ~domains (fun k total ->
+        for i = m * k / total to (m * (k + 1) / total) - 1 do
+          let u, v = edges.(i) in
+          Dsu.Native.unite d u v
+        done)
+  | Sampled k_out ->
+    (* Phase 1: k-out sampling over the adjacency lists (parallel over
+       vertex ranges). *)
+    let adj = Graph.adjacency g in
+    in_domains ~domains (fun k total ->
+        for v = n * k / total to (n * (k + 1) / total) - 1 do
+          let neighbours = adj.(v) in
+          for j = 0 to min k_out (Array.length neighbours) - 1 do
+            Dsu.Native.unite d v neighbours.(j)
+          done
+        done);
+    sample_unites :=
+      Array.fold_left (fun acc row -> acc + min k_out (Array.length row)) 0 adj;
+    (* Phase 2: snapshot labels and find the giant class. *)
+    let labels = Array.init n (fun v -> Dsu.Native.find d v) in
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (fun l ->
+        Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+      labels;
+    let giant, _ =
+      Hashtbl.fold
+        (fun l c ((_, best) as acc) -> if c > best then (l, c) else acc)
+        counts (-1, 0)
+    in
+    (* Phase 3: finish — two array reads decide most edges. *)
+    in_domains ~domains (fun k total ->
+        let my_skipped = ref 0 in
+        for i = m * k / total to (m * (k + 1) / total) - 1 do
+          let u, v = edges.(i) in
+          if labels.(u) = giant && labels.(v) = giant then incr my_skipped
+          else Dsu.Native.unite d u v
+        done;
+        ignore (Atomic.fetch_and_add skipped !my_skipped)));
+  let labels = Components.normalize (Array.init n (fun v -> Dsu.Native.find d v)) in
+  let s = Dsu.Native.stats d in
+  ( labels,
+    {
+      edges_total = m;
+      edges_skipped = Atomic.get skipped;
+      sample_unites = !sample_unites;
+      dsu_work = Dsu.Stats.total_work s;
+    } )

@@ -1,0 +1,32 @@
+(** ConnectIt-style parallel connectivity: the follow-on pattern built on
+    this paper's algorithm (Dhulipala, Hong & Shun's ConnectIt framework
+    composes exactly such sampling and finish strategies around a
+    Jayanti–Tarjan-style concurrent union-find).
+
+    The key idea: a cheap {e sampling phase} (unite each vertex with up to
+    [k] of its neighbours — "k-out" sampling) already collapses most of a
+    graph with a giant component into one class; a snapshot labeling then
+    identifies that class, and the {e finish phase} skips every edge with
+    both endpoints already inside it using two array reads instead of two
+    traversals — most edges never touch the DSU at all. *)
+
+type strategy =
+  | Direct  (** unite every edge; no sampling *)
+  | Sampled of int  (** k-out sampling, then skip intra-giant edges *)
+
+type stats = {
+  edges_total : int;
+  edges_skipped : int;  (** finish-phase edges skipped by the snapshot test *)
+  sample_unites : int;  (** unites performed by the sampling phase *)
+  dsu_work : int;  (** total find iterations + CAS attempts (Dsu.Stats) *)
+}
+
+val components :
+  ?domains:int ->
+  ?seed:int ->
+  ?strategy:strategy ->
+  Graph.t ->
+  int array * stats
+(** Component labels (normalized to smallest member, comparable with
+    {!Components.sequential}) plus work statistics.  [domains] defaults to
+    4, [strategy] to [Sampled 2]. *)

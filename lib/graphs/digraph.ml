@@ -1,0 +1,37 @@
+(** Directed graphs for the strongly-connected-components application — the
+    model-checking use case the paper's introduction highlights (Bloemen et
+    al.'s on-the-fly SCC decomposition is the motivating consumer of a
+    concurrent DSU). *)
+
+type t = { n : int; out : int array array }
+
+let create ~n ~edges =
+  if n < 1 then invalid_arg "Digraph.create: n must be >= 1";
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Digraph.create: edge endpoint out of range";
+      deg.(u) <- deg.(u) + 1)
+    edges;
+  let out = Array.map (fun d -> Array.make d (-1)) deg in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      out.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1)
+    edges;
+  { n; out }
+
+let n t = t.n
+
+let out t v = t.out.(v)
+
+let num_edges t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.out
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    Array.iter (fun v -> acc := (u, v) :: !acc) t.out.(u)
+  done;
+  Array.of_list !acc

@@ -1,0 +1,171 @@
+(* Immediate dominators.  Vertex numbering conventions below follow the
+   Lengauer–Tarjan paper: [dfnum] is the DFS number, [vertex] its inverse,
+   [semi.(v)] the DFS number of v's semidominator. *)
+
+let predecessors g =
+  let n = Digraph.n g in
+  let deg = Array.make n 0 in
+  Array.iter (fun (_, v) -> deg.(v) <- deg.(v) + 1) (Digraph.edges g);
+  let preds = Array.map (fun d -> Array.make d (-1)) deg in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      preds.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    (Digraph.edges g);
+  preds
+
+(* Iterative DFS computing dfs numbers, parents, and the vertex order. *)
+let dfs g root =
+  let n = Digraph.n g in
+  let dfnum = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let vertex = Array.make n (-1) in
+  let counter = ref 0 in
+  let stack = ref [ (root, -1) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, par) :: rest ->
+      stack := rest;
+      if dfnum.(v) = -1 then begin
+        dfnum.(v) <- !counter;
+        vertex.(!counter) <- v;
+        incr counter;
+        parent.(v) <- par;
+        (* Push children in reverse so low-index successors are visited
+           first; order does not affect correctness. *)
+        let out = Digraph.out g v in
+        for i = Array.length out - 1 downto 0 do
+          if dfnum.(out.(i)) = -1 then stack := (out.(i), v) :: !stack
+        done
+      end
+  done;
+  (dfnum, parent, vertex, !counter)
+
+let lengauer_tarjan g ~root =
+  let n = Digraph.n g in
+  if root < 0 || root >= n then invalid_arg "Dominators: root out of range";
+  let preds = predecessors g in
+  let dfnum, parent, vertex, count = dfs g root in
+  let semi = Array.copy dfnum in
+  let idom = Array.make n (-1) in
+  let samedom = Array.make n (-1) in
+  let bucket = Array.make n [] in
+  (* Link–eval forest: [ancestor] is the forest parent (-1 = root of its
+     tree), [label.(v)] the vertex of minimum semi on the compressed path
+     from v to its tree root. *)
+  let ancestor = Array.make n (-1) in
+  let label = Array.init n (fun i -> i) in
+  let compress v =
+    (* Collect the path to the root, then fold labels top-down. *)
+    let path = ref [] in
+    let u = ref v in
+    while ancestor.(!u) <> -1 && ancestor.(ancestor.(!u)) <> -1 do
+      path := !u :: !path;
+      u := ancestor.(!u)
+    done;
+    (* [!path] has the shallowest collected node at its head (it was
+       prepended last); processing shallow-to-deep reproduces the unwinding
+       order of the recursive compress, so every node merges from an
+       already-compressed ancestor. *)
+    List.iter
+      (fun w ->
+        let a = ancestor.(w) in
+        if ancestor.(a) <> -1 then begin
+          if semi.(label.(a)) < semi.(label.(w)) then label.(w) <- label.(a);
+          ancestor.(w) <- ancestor.(a)
+        end)
+      !path
+  in
+  let eval v =
+    if ancestor.(v) = -1 then v
+    else begin
+      compress v;
+      label.(v)
+    end
+  in
+  let link parent_v w = ancestor.(w) <- parent_v in
+  (* Pass over vertices in reverse DFS order (skipping the root). *)
+  for i = count - 1 downto 1 do
+    let w = vertex.(i) in
+    let p = parent.(w) in
+    (* Semidominator of w. *)
+    Array.iter
+      (fun v ->
+        if dfnum.(v) <> -1 then begin
+          let u = eval v in
+          if semi.(u) < semi.(w) then semi.(w) <- semi.(u)
+        end)
+      preds.(w);
+    bucket.(vertex.(semi.(w))) <- w :: bucket.(vertex.(semi.(w)));
+    link p w;
+    (* Decide (or defer) dominators for p's bucket. *)
+    List.iter
+      (fun v ->
+        let u = eval v in
+        if semi.(u) < semi.(v) then samedom.(v) <- u else idom.(v) <- p)
+      bucket.(p);
+    bucket.(p) <- []
+  done;
+  (* Forward pass resolving deferred dominators. *)
+  for i = 1 to count - 1 do
+    let w = vertex.(i) in
+    if samedom.(w) <> -1 then idom.(w) <- idom.(samedom.(w))
+  done;
+  idom.(root) <- root;
+  idom
+
+let iterative g ~root =
+  let n = Digraph.n g in
+  if root < 0 || root >= n then invalid_arg "Dominators: root out of range";
+  let preds = predecessors g in
+  let dfnum, _, vertex, count = dfs g root in
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  (* Intersect in DFS-number space (a valid "reverse postorder-like"
+     ordering for the two-finger walk is any order where ancestors precede
+     descendants; DFS numbers qualify because idoms are DFS ancestors). *)
+  let rec intersect a b =
+    if a = b then a
+    else if dfnum.(a) > dfnum.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to count - 1 do
+      let w = vertex.(i) in
+      let new_idom = ref (-1) in
+      Array.iter
+        (fun p ->
+          if idom.(p) <> -1 then
+            new_idom := if !new_idom = -1 then p else intersect !new_idom p)
+        preds.(w);
+      if !new_idom <> -1 && idom.(w) <> !new_idom then begin
+        idom.(w) <- !new_idom;
+        changed := true
+      end
+    done
+  done;
+  idom
+
+let dominates idom ~root a b =
+  if idom.(b) = -1 then invalid_arg "Dominators.dominates: unreachable vertex";
+  let rec walk v = v = a || (v <> root && walk idom.(v)) in
+  walk b
+
+let dominator_tree_children idom =
+  let n = Array.length idom in
+  let deg = Array.make n 0 in
+  Array.iteri (fun v d -> if d <> -1 && d <> v then deg.(d) <- deg.(d) + 1) idom;
+  let children = Array.map (fun d -> Array.make d (-1)) deg in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v d ->
+      if d <> -1 && d <> v then begin
+        children.(d).(fill.(d)) <- v;
+        fill.(d) <- fill.(d) + 1
+      end)
+    idom;
+  children

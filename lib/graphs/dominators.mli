@@ -1,0 +1,22 @@
+(** Dominator trees of flow graphs — the "finding dominators via disjoint
+    set union" application the paper's introduction cites [FGMT14].
+
+    {!lengauer_tarjan} is the classical near-linear algorithm; its engine is
+    the link–eval structure — a union-find forest with path compression
+    whose classes carry a minimum-semidominator label — i.e. precisely the
+    compressed-tree machinery this repository is about, specialized with an
+    aggregate.  {!iterative} is the Cooper–Harvey–Kennedy dataflow
+    algorithm, simple and obviously correct, used as the oracle.
+
+    Both return the immediate-dominator array: [idom.(root) = root],
+    [idom.(v) = -1] for vertices unreachable from [root]. *)
+
+val lengauer_tarjan : Digraph.t -> root:int -> int array
+val iterative : Digraph.t -> root:int -> int array
+
+val dominates : int array -> root:int -> int -> int -> bool
+(** [dominates idom ~root a b] — does [a] dominate [b]?  (Walks the
+    dominator tree; [b] must be reachable.) *)
+
+val dominator_tree_children : int array -> int array array
+(** Children lists of the dominator tree ([-1] entries skipped). *)

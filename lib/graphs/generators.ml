@@ -1,0 +1,92 @@
+module Rng = Repro_util.Rng
+
+let erdos_renyi ~rng ~n ~m =
+  let edges = Array.init m (fun _ -> (Rng.int rng n, Rng.int rng n)) in
+  Graph.create ~n ~edges
+
+let random_tree ~rng ~n =
+  let relabel = Rng.permutation rng n in
+  let edges =
+    Array.init (n - 1) (fun i ->
+        let child = i + 1 in
+        (relabel.(child), relabel.(Rng.int rng child)))
+  in
+  Graph.create ~n ~edges
+
+let grid2d ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid2d: empty grid";
+  let vertex r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (vertex r c, vertex r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (vertex r c, vertex (r + 1) c) :: !acc
+    done
+  done;
+  Graph.create ~n:(rows * cols) ~edges:(Array.of_list !acc)
+
+let rmat ~rng ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) () =
+  if a +. b +. c >= 1. then invalid_arg "Generators.rmat: a + b + c must be < 1";
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let one_edge () =
+    let u = ref 0 and v = ref 0 in
+    for _bit = 1 to scale do
+      let r = Rng.float rng in
+      let du, dv =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor du;
+      v := (!v lsl 1) lor dv
+    done;
+    (!u, !v)
+  in
+  Graph.create ~n ~edges:(Array.init m (fun _ -> one_edge ()))
+
+let preferential ~rng ~n ~deg =
+  if deg < 1 then invalid_arg "Generators.preferential: deg must be >= 1";
+  if n < 2 then invalid_arg "Generators.preferential: n must be >= 2";
+  (* [targets] holds one entry per edge endpoint, so sampling a uniform
+     element of it is sampling proportionally to degree.  Each vertex's
+     attachment points are drawn from the state before it arrived. *)
+  let targets = ref [ 0 ] in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    let arr = Array.of_list !targets in
+    let len = Array.length arr in
+    for _ = 1 to min deg v do
+      let u = arr.(Rng.int rng len) in
+      edges := (u, v) :: !edges;
+      targets := u :: !targets
+    done;
+    targets := v :: !targets
+  done;
+  Graph.create ~n ~edges:(Array.of_list !edges)
+
+let random_digraph ~rng ~n ~m =
+  Digraph.create ~n ~edges:(Array.init m (fun _ -> (Rng.int rng n, Rng.int rng n)))
+
+let clustered_digraph ~rng ~clusters ~cluster_size ~extra =
+  if clusters < 1 || cluster_size < 1 then
+    invalid_arg "Generators.clustered_digraph: empty clusters";
+  let n = clusters * cluster_size in
+  let acc = ref [] in
+  for cl = 0 to clusters - 1 do
+    let base = cl * cluster_size in
+    for i = 0 to cluster_size - 1 do
+      acc := (base + i, base + ((i + 1) mod cluster_size)) :: !acc
+    done
+  done;
+  let added = ref 0 in
+  while !added < extra && clusters > 1 do
+    let cu = Rng.int rng (clusters - 1) in
+    let cv = Rng.int rng (clusters - cu - 1) + cu + 1 in
+    let u = (cu * cluster_size) + Rng.int rng cluster_size in
+    let v = (cv * cluster_size) + Rng.int rng cluster_size in
+    acc := (u, v) :: !acc;
+    incr added
+  done;
+  Digraph.create ~n ~edges:(Array.of_list !acc)

@@ -1,0 +1,31 @@
+(** Random graph generators for the application examples and benches. *)
+
+val erdos_renyi : rng:Repro_util.Rng.t -> n:int -> m:int -> Graph.t
+(** [m] edges with endpoints uniform (parallel edges possible) — G(n, m)
+    up to multi-edges, which the DSU applications tolerate. *)
+
+val random_tree : rng:Repro_util.Rng.t -> n:int -> Graph.t
+(** A uniformly random recursive tree: connected, [n - 1] edges. *)
+
+val grid2d : rows:int -> cols:int -> Graph.t
+(** The 4-neighbour lattice; vertex [(r, c)] is [r * cols + c]. *)
+
+val rmat :
+  rng:Repro_util.Rng.t -> scale:int -> edge_factor:int ->
+  ?a:float -> ?b:float -> ?c:float -> unit -> Graph.t
+(** R-MAT power-law graph on [2^scale] vertices with
+    [edge_factor * 2^scale] edges; defaults (a, b, c) = (0.57, 0.19, 0.19),
+    the Graph500 parameters. *)
+
+val preferential : rng:Repro_util.Rng.t -> n:int -> deg:int -> Graph.t
+(** Barabási–Albert-style preferential attachment: each new vertex attaches
+    [deg] edges to endpoints chosen proportionally to current degree. *)
+
+val random_digraph : rng:Repro_util.Rng.t -> n:int -> m:int -> Digraph.t
+
+val clustered_digraph :
+  rng:Repro_util.Rng.t -> clusters:int -> cluster_size:int -> extra:int -> Digraph.t
+(** SCC-rich directed graph: [clusters] directed cycles of [cluster_size]
+    vertices each (each cycle one SCC), plus [extra] random inter-cluster
+    edges oriented from lower to higher cluster so they never merge SCCs.
+    The ground truth for the SCC tests: exactly [clusters] components. *)

@@ -1,0 +1,53 @@
+type t = {
+  n : int;
+  edges : (int * int) array;
+  mutable adjacency : int array array option;
+}
+
+let create ~n ~edges =
+  if n < 1 then invalid_arg "Graph.create: n must be >= 1";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.create: edge endpoint out of range")
+    edges;
+  { n; edges; adjacency = None }
+
+let n t = t.n
+let num_edges t = Array.length t.edges
+let edges t = t.edges
+
+let build_adjacency t =
+  let deg = Array.make t.n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      if u <> v then deg.(v) <- deg.(v) + 1)
+    t.edges;
+  let adj = Array.map (fun d -> Array.make d (-1)) deg in
+  let fill = Array.make t.n 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      if u <> v then begin
+        adj.(v).(fill.(v)) <- u;
+        fill.(v) <- fill.(v) + 1
+      end)
+    t.edges;
+  adj
+
+let adjacency t =
+  match t.adjacency with
+  | Some adj -> adj
+  | None ->
+    let adj = build_adjacency t in
+    t.adjacency <- Some adj;
+    adj
+
+let degree t v = Array.length (adjacency t).(v)
+
+type weighted = { graph : t; weights : float array }
+
+let with_random_weights ~rng t =
+  { graph = t; weights = Array.init (num_edges t) (fun _ -> Repro_util.Rng.float rng) }

@@ -1,0 +1,24 @@
+(** Undirected graphs as edge lists with a cached adjacency view — the
+    substrate for the connected-components, spanning-tree and percolation
+    applications that motivate the paper (Section 1). *)
+
+type t
+
+val create : n:int -> edges:(int * int) array -> t
+(** Vertices are [0 .. n-1]; self-loops and parallel edges are permitted
+    (the DSU applications tolerate them). *)
+
+val n : t -> int
+val num_edges : t -> int
+val edges : t -> (int * int) array
+(** The underlying edge array (not a copy; treat as read-only). *)
+
+val adjacency : t -> int array array
+(** Symmetrized adjacency lists, built on first use and cached. *)
+
+val degree : t -> int -> int
+
+type weighted = { graph : t; weights : float array }
+(** Weight [weights.(i)] belongs to edge [i] of [graph]. *)
+
+val with_random_weights : rng:Repro_util.Rng.t -> t -> weighted

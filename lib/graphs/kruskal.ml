@@ -1,0 +1,41 @@
+type result = {
+  edges : (int * int * float) list;
+  total_weight : float;
+  components : int;
+}
+
+let sorted_edges (w : Graph.weighted) =
+  let { Graph.graph; weights } = w in
+  let m = Graph.num_edges graph in
+  let order = Array.init m (fun i -> i) in
+  Array.sort (fun i j -> compare weights.(i) weights.(j)) order;
+  let edges = Graph.edges graph in
+  Array.map
+    (fun i ->
+      let u, v = edges.(i) in
+      (u, v, weights.(i)))
+    order
+
+let scan ~same_set ~unite (w : Graph.weighted) =
+  let n = Graph.n w.Graph.graph in
+  let accepted = ref [] in
+  let total = ref 0. in
+  let count = ref n in
+  Array.iter
+    (fun (u, v, weight) ->
+      if not (same_set u v) then begin
+        unite u v;
+        accepted := (u, v, weight) :: !accepted;
+        total := !total +. weight;
+        decr count
+      end)
+    (sorted_edges w);
+  { edges = List.rev !accepted; total_weight = !total; components = !count }
+
+let run (w : Graph.weighted) =
+  let d = Sequential.Seq_dsu.create (Graph.n w.Graph.graph) in
+  scan ~same_set:(Sequential.Seq_dsu.same_set d) ~unite:(Sequential.Seq_dsu.unite d) w
+
+let run_concurrent_dsu ?policy ?seed (w : Graph.weighted) =
+  let d = Dsu.Native.create ?policy ?seed (Graph.n w.Graph.graph) in
+  scan ~same_set:(Dsu.Native.same_set d) ~unite:(Dsu.Native.unite d) w

@@ -1,0 +1,18 @@
+(** Kruskal's minimum-spanning-forest algorithm — the MST application of the
+    paper's introduction.  The DSU is the algorithm's core: an edge joins the
+    forest exactly when its endpoints are in different sets. *)
+
+type result = {
+  edges : (int * int * float) list;  (** forest edges in acceptance order *)
+  total_weight : float;
+  components : int;  (** trees in the resulting forest *)
+}
+
+val run : Graph.weighted -> result
+(** Classic sequential Kruskal over the rank+splitting sequential DSU. *)
+
+val run_concurrent_dsu :
+  ?policy:Dsu.Find_policy.t -> ?seed:int -> Graph.weighted -> result
+(** Same scan driven through the concurrent DSU (single caller): exercises
+    the public API on a real algorithm and must produce a forest of equal
+    weight. *)

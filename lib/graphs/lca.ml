@@ -1,0 +1,128 @@
+type tree = {
+  root : int;
+  parents : int array;
+  children : int array array;
+  depths : int array;
+}
+
+let build_children parents root =
+  let n = Array.length parents in
+  let deg = Array.make n 0 in
+  Array.iteri (fun v p -> if v <> root then deg.(p) <- deg.(p) + 1) parents;
+  let children = Array.map (fun d -> Array.make d (-1)) deg in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v p ->
+      if v <> root then begin
+        children.(p).(fill.(p)) <- v;
+        fill.(p) <- fill.(p) + 1
+      end)
+    parents;
+  children
+
+let compute_depths parents root =
+  let n = Array.length parents in
+  let depths = Array.make n (-1) in
+  depths.(root) <- 0;
+  let rec depth_of v hops =
+    if hops > n then invalid_arg "Lca.tree_of_parents: cycle detected";
+    if depths.(v) >= 0 then depths.(v)
+    else begin
+      let d = 1 + depth_of parents.(v) (hops + 1) in
+      depths.(v) <- d;
+      d
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (depth_of v 0)
+  done;
+  depths
+
+let tree_of_parents ~root parents =
+  let n = Array.length parents in
+  if n < 1 then invalid_arg "Lca.tree_of_parents: empty tree";
+  if root < 0 || root >= n || parents.(root) <> root then
+    invalid_arg "Lca.tree_of_parents: root must be its own parent";
+  Array.iteri
+    (fun v p ->
+      if p < 0 || p >= n then invalid_arg "Lca.tree_of_parents: parent out of range";
+      if v <> root && p = v then
+        invalid_arg "Lca.tree_of_parents: non-root self-loop")
+    parents;
+  {
+    root;
+    parents = Array.copy parents;
+    children = build_children parents root;
+    depths = compute_depths parents root;
+  }
+
+let random_tree ~rng ~n =
+  let parents = Array.make n 0 in
+  for v = 1 to n - 1 do
+    parents.(v) <- Repro_util.Rng.int rng v
+  done;
+  tree_of_parents ~root:0 parents
+
+let n t = Array.length t.parents
+let root t = t.root
+let parent t v = t.parents.(v)
+let depth t v = t.depths.(v)
+
+let lca_naive t u v =
+  let rec climb u v =
+    if u = v then u
+    else if t.depths.(u) >= t.depths.(v) then climb t.parents.(u) v
+    else climb u t.parents.(v)
+  in
+  climb u v
+
+(* Tarjan's offline algorithm.  [ancestor] maps the union-find class of a
+   visited vertex to the shallowest vertex on the current DFS path that the
+   class has been merged into; a query (u, v) is answered when its second
+   endpoint finishes, at which point [ancestor (find u)] is the LCA. *)
+let solve t queries =
+  let size = n t in
+  let dsu = Dsu.Native.create ~seed:1 size in
+  let ancestor = Array.init size (fun i -> i) in
+  let visited = Array.make size false in
+  let queries_arr = Array.of_list queries in
+  let answers = Array.make (Array.length queries_arr) (-1) in
+  (* Queries indexed by both endpoints. *)
+  let by_vertex = Array.make size [] in
+  Array.iteri
+    (fun qi (u, v) ->
+      if u < 0 || u >= size || v < 0 || v >= size then
+        invalid_arg "Lca.solve: query vertex out of range";
+      by_vertex.(u) <- (qi, v) :: by_vertex.(u);
+      by_vertex.(v) <- (qi, u) :: by_vertex.(v))
+    queries_arr;
+  (* Iterative post-order DFS: frames are (vertex, next-child index). *)
+  let stack = ref [ (t.root, ref 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, next) :: rest ->
+      if !next = 0 then begin
+        (* first visit *)
+        visited.(v) <- true;
+        List.iter
+          (fun (qi, other) ->
+            if visited.(other) && answers.(qi) < 0 then
+              answers.(qi) <- ancestor.(Dsu.Native.find dsu other))
+          by_vertex.(v)
+      end;
+      if !next < Array.length t.children.(v) then begin
+        let c = t.children.(v).(!next) in
+        incr next;
+        stack := (c, ref 0) :: !stack
+      end
+      else begin
+        (* post-order: fold v's class into its parent's and relabel *)
+        stack := rest;
+        if v <> t.root then begin
+          Dsu.Native.unite dsu v t.parents.(v);
+          ancestor.(Dsu.Native.find dsu v) <- t.parents.(v)
+        end
+      end
+  done;
+  Array.to_list answers

@@ -1,0 +1,29 @@
+(** Tarjan's offline lowest-common-ancestor algorithm — the textbook
+    union-find application: answer a batch of LCA queries on a rooted tree
+    in one DFS, uniting each child's subtree into its parent's set on the
+    way back up; when the second endpoint of a query is visited, the query's
+    answer is the current "set ancestor" of the first endpoint's class. *)
+
+type tree
+(** A rooted tree on vertices [0 .. n-1]. *)
+
+val tree_of_parents : root:int -> int array -> tree
+(** [tree_of_parents ~root parents] — [parents.(root) = root]; every other
+    vertex points to its parent.  Raises [Invalid_argument] on cycles or a
+    mislabeled root. *)
+
+val random_tree : rng:Repro_util.Rng.t -> n:int -> tree
+(** A uniformly random recursive tree rooted at 0. *)
+
+val n : tree -> int
+val root : tree -> int
+val parent : tree -> int -> int
+val depth : tree -> int -> int
+
+val solve : tree -> (int * int) list -> int list
+(** [solve t queries] answers every [(u, v)] query with the lowest common
+    ancestor of [u] and [v], in query order.  One DFS over the tree plus
+    near-constant amortized union-find work per query. *)
+
+val lca_naive : tree -> int -> int -> int
+(** Walk-up reference implementation, for tests. *)

@@ -1,0 +1,70 @@
+type t = {
+  size : int;
+  dsu : Dsu.Native.t;
+  opened : bool array;
+  mutable open_count : int;
+  top : int;  (** virtual node united with every open top-row site *)
+  bottom : int;
+}
+
+let create ?policy ?seed size =
+  if size < 1 then invalid_arg "Percolation.create: size must be >= 1";
+  let cells = size * size in
+  {
+    size;
+    dsu = Dsu.Native.create ?policy ?seed (cells + 2);
+    opened = Array.make cells false;
+    open_count = 0;
+    top = cells;
+    bottom = cells + 1;
+  }
+
+let size t = t.size
+
+let cell t ~row ~col =
+  if row < 0 || row >= t.size || col < 0 || col >= t.size then
+    invalid_arg "Percolation: site out of range";
+  (row * t.size) + col
+
+let is_open t ~row ~col = t.opened.(cell t ~row ~col)
+
+let open_count t = t.open_count
+
+let open_site t ~row ~col =
+  let c = cell t ~row ~col in
+  if not t.opened.(c) then begin
+    t.opened.(c) <- true;
+    t.open_count <- t.open_count + 1;
+    if row = 0 then Dsu.Native.unite t.dsu c t.top;
+    if row = t.size - 1 then Dsu.Native.unite t.dsu c t.bottom;
+    let try_join r k =
+      if r >= 0 && r < t.size && k >= 0 && k < t.size && t.opened.((r * t.size) + k)
+      then Dsu.Native.unite t.dsu c ((r * t.size) + k)
+    in
+    try_join (row - 1) col;
+    try_join (row + 1) col;
+    try_join row (col - 1);
+    try_join row (col + 1)
+  end
+
+let percolates t = Dsu.Native.same_set t.dsu t.top t.bottom
+
+let full t ~row ~col =
+  let c = cell t ~row ~col in
+  t.opened.(c) && Dsu.Native.same_set t.dsu c t.top
+
+let simulate ~rng ?policy size =
+  let t = create ?policy ~seed:(Repro_util.Rng.bits30 rng) size in
+  let cells = size * size in
+  let order = Repro_util.Rng.permutation rng cells in
+  let i = ref 0 in
+  while not (percolates t) && !i < cells do
+    let c = order.(!i) in
+    incr i;
+    open_site t ~row:(c / size) ~col:(c mod size)
+  done;
+  float_of_int t.open_count /. float_of_int cells
+
+let threshold_estimate ~rng ~size ~trials =
+  let samples = Array.init trials (fun _ -> simulate ~rng size) in
+  Repro_util.Stats.summarize samples

@@ -1,0 +1,28 @@
+(** Site percolation on an N×N grid — the percolation-testing application of
+    the paper's introduction (and the textbook union-find showcase of
+    Sedgewick & Wayne).
+
+    Sites open one by one in random order; two virtual nodes connect the top
+    and bottom rows, and the system percolates when they join.  The fraction
+    of open sites at that moment concentrates around the site-percolation
+    threshold ≈ 0.5927 as N grows, which the tests check. *)
+
+type t
+
+val create : ?policy:Dsu.Find_policy.t -> ?seed:int -> int -> t
+(** [create size] — a [size × size] grid, all sites closed. *)
+
+val size : t -> int
+val open_site : t -> row:int -> col:int -> unit
+val is_open : t -> row:int -> col:int -> bool
+val open_count : t -> int
+val percolates : t -> bool
+val full : t -> row:int -> col:int -> bool
+(** Connected to the top row through open sites. *)
+
+val simulate : rng:Repro_util.Rng.t -> ?policy:Dsu.Find_policy.t -> int -> float
+(** Open uniformly random sites until the grid percolates; the fraction of
+    open sites at that moment. *)
+
+val threshold_estimate :
+  rng:Repro_util.Rng.t -> size:int -> trials:int -> Repro_util.Stats.summary

@@ -1,0 +1,104 @@
+(* Iterative Tarjan SCC.  The explicit stack holds (vertex, next-edge-index)
+   frames; lowlink updates happen when a child frame is popped. *)
+let tarjan g =
+  let n = Digraph.n g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let labels = Array.make n (-1) in
+  let counter = ref 0 in
+  let frames = ref [] in
+  let push_vertex v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    frames := (v, ref 0) :: !frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      push_vertex root;
+      let continue = ref true in
+      while !continue do
+        match !frames with
+        | [] -> continue := false
+        | (v, next) :: rest ->
+          let out = Digraph.out g v in
+          if !next < Array.length out then begin
+            let w = out.(!next) in
+            incr next;
+            if index.(w) = -1 then push_vertex w
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          end
+          else begin
+            (* v's subtree is done: close its SCC if v is a root, then
+               propagate its lowlink to the parent frame. *)
+            if lowlink.(v) = index.(v) then begin
+              let rec pop () =
+                match !stack with
+                | [] -> assert false
+                | w :: tl ->
+                  stack := tl;
+                  on_stack.(w) <- false;
+                  labels.(w) <- v;
+                  if w <> v then pop ()
+              in
+              pop ()
+            end;
+            frames := rest;
+            (match rest with
+            | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | [] -> ())
+          end
+      done
+    end
+  done;
+  Components.normalize labels
+
+let count labels = Components.count labels
+
+type condensation = {
+  labels : int array;
+  quotient : Digraph.t;
+  scc_of_vertex : int array;
+}
+
+let condense_with_dsu ?policy ?seed g =
+  let n = Digraph.n g in
+  let labels = tarjan g in
+  (* Collapse each SCC in the DSU: unite every vertex with its label.  This
+     is how a parallel on-the-fly SCC algorithm publishes discovered
+     components; here the discovery is Tarjan's and the DSU is the shared
+     component store. *)
+  let d = Dsu.Native.create ?policy ?seed n in
+  for v = 0 to n - 1 do
+    if labels.(v) <> v then Dsu.Native.unite d v labels.(v)
+  done;
+  (* Dense renumbering of SCC representatives. *)
+  let dense = Hashtbl.create 64 in
+  let next = ref 0 in
+  let scc_of_vertex =
+    Array.init n (fun v ->
+        let rep = labels.(Dsu.Native.find d v) in
+        match Hashtbl.find_opt dense rep with
+        | Some i -> i
+        | None ->
+          let i = !next in
+          incr next;
+          Hashtbl.replace dense rep i;
+          i)
+  in
+  let quotient_edges = Hashtbl.create 256 in
+  Array.iter
+    (fun (u, v) ->
+      let cu = scc_of_vertex.(u) and cv = scc_of_vertex.(v) in
+      if cu <> cv then Hashtbl.replace quotient_edges (cu, cv) ())
+    (Digraph.edges g);
+  let qedges = Hashtbl.fold (fun e () acc -> e :: acc) quotient_edges [] in
+  {
+    labels;
+    quotient = Digraph.create ~n:!next ~edges:(Array.of_list qedges);
+    scc_of_vertex;
+  }

@@ -1,0 +1,26 @@
+(** Strongly connected components — the model-checking application that
+    motivates the paper (computing SCCs of huge implicit graphs; Bloemen et
+    al.).
+
+    {!tarjan} is the classical sequential algorithm (iterative, so it
+    handles deep graphs).  {!condense_with_dsu} then uses the concurrent DSU
+    to collapse each SCC to one set and build the condensation — the role a
+    concurrent DSU plays inside multi-core on-the-fly SCC decomposition,
+    where workers merging partial SCCs need exactly a concurrent [Unite]. *)
+
+val tarjan : Digraph.t -> int array
+(** SCC labels, normalized to the smallest member of each component. *)
+
+val count : int array -> int
+
+type condensation = {
+  labels : int array;  (** per-vertex SCC label *)
+  quotient : Digraph.t;  (** one vertex per SCC, renumbered densely *)
+  scc_of_vertex : int array;  (** vertex -> dense SCC index *)
+}
+
+val condense_with_dsu :
+  ?policy:Dsu.Find_policy.t -> ?seed:int -> Digraph.t -> condensation
+(** Collapse SCCs via the concurrent DSU ([unite] every intra-SCC tree edge,
+    queried with [find]) and build the quotient graph without duplicate
+    edges between the same pair of SCCs. *)

@@ -1,0 +1,51 @@
+(** E1 — Theorem 4.3: with any Find variant, every operation does O(log n)
+    steps w.h.p., so total work is O(m log n).  Measured here for Find
+    without compaction (the theorem's weakest case): per-operation
+    shared-memory step counts under a random schedule, against lg n. *)
+
+module Table = Repro_util.Table
+module Stats = Repro_util.Stats
+
+let run ppf =
+  let table =
+    Table.create
+      ~headers:
+        [ "n"; "p"; "ops"; "mean steps/op"; "p99"; "max"; "max / lg n" ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          let rng = Repro_util.Rng.create (97 * n) in
+          let ops_list =
+            Workload.Random_mix.spanning_unites ~rng ~n
+            @ Workload.Adversarial.all_same_set ~rng ~n ~m:n
+          in
+          let ops = Workload.Op.round_robin ops_list ~p in
+          let r = Measure.run_sim ~policy:Dsu.Find_policy.No_compaction ~n ~seed:n ~ops () in
+          let costs = Array.map float_of_int r.Measure.op_costs in
+          let s = Stats.summarize costs in
+          let lg = float_of_int (Repro_util.Alpha.floor_log2 n) in
+          Table.add_row table
+            [
+              Table.cell_int n;
+              Table.cell_int p;
+              Table.cell_int (Array.length costs);
+              Table.cell_float s.Stats.mean;
+              Table.cell_float s.Stats.p99;
+              Table.cell_float ~decimals:0 s.Stats.max;
+              Table.cell_float (s.Stats.max /. lg);
+            ])
+        [ 1; 4; 16 ])
+    [ 1 lsl 10; 1 lsl 12; 1 lsl 14 ];
+  Table.pp ppf table;
+  Format.fprintf ppf
+    "@.expected shape: max/op stays within a small constant times lg n as n \
+     grows 16x and p grows 16x.@."
+
+let experiment =
+  Experiment.make ~id:"e1" ~title:"per-operation step bound, no compaction"
+    ~claim:
+      "Theorem 4.3: every operation takes O(log n) steps w.h.p.; total work \
+       O(m log n)"
+    run

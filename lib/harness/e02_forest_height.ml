@@ -1,0 +1,81 @@
+(** E2 — Corollary 4.2.1: the union forest built by randomized linking has
+    height O(log n) w.h.p.  We record every link (the union forest ignores
+    compaction), measure forest height across n, and fit height against
+    lg n; the slope is the hidden constant.  A concurrent configuration is
+    included to show asynchrony does not change the shape. *)
+
+module Table = Repro_util.Table
+module Stats = Repro_util.Stats
+
+let native_forest_height ~n ~seed =
+  let links = ref [] in
+  let d =
+    Dsu.Native.create ~seed ~on_link:(fun ~child ~parent -> links := (child, parent) :: !links) n
+  in
+  let rng = Repro_util.Rng.create (seed * 31) in
+  Workload.Op.run_native d (Workload.Random_mix.spanning_unites ~rng ~n);
+  let f = Forest.of_links ~n !links in
+  (Forest.height f, Forest.avg_depth f)
+
+let concurrent_forest_height ~n ~seed ~p =
+  let rng = Repro_util.Rng.create (seed * 31) in
+  let ops = Workload.Op.round_robin (Workload.Random_mix.spanning_unites ~rng ~n) ~p in
+  let r = Measure.run_sim ~n ~seed ~ops () in
+  let f = Forest.of_links ~n r.Measure.links in
+  (Forest.height f, Forest.avg_depth f)
+
+let trials = 5
+
+let run ppf =
+  let table =
+    Table.create
+      ~headers:[ "n"; "mode"; "mean height"; "max height"; "height / lg n"; "avg depth" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let heights = Array.init trials (fun t -> native_forest_height ~n ~seed:(1000 + t)) in
+      let hs = Array.map (fun (h, _) -> float_of_int h) heights in
+      let av = Stats.mean (Array.map snd heights) in
+      let lg = float_of_int (Repro_util.Alpha.floor_log2 n) in
+      points := (lg, Stats.mean hs) :: !points;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          "seq";
+          Table.cell_float (Stats.mean hs);
+          Table.cell_float ~decimals:0 (Array.fold_left max 0. hs);
+          Table.cell_float (Stats.mean hs /. lg);
+          Table.cell_float av;
+        ])
+    [ 1 lsl 8; 1 lsl 10; 1 lsl 12; 1 lsl 14; 1 lsl 16 ];
+  (* one concurrent configuration, p = 4 under the random scheduler *)
+  let n = 1 lsl 12 in
+  let heights = Array.init trials (fun t -> concurrent_forest_height ~n ~seed:(2000 + t) ~p:4) in
+  let hs = Array.map (fun (h, _) -> float_of_int h) heights in
+  let lg = float_of_int (Repro_util.Alpha.floor_log2 n) in
+  Table.add_rule table;
+  Table.add_row table
+    [
+      Table.cell_int n;
+      "p=4 sim";
+      Table.cell_float (Stats.mean hs);
+      Table.cell_float ~decimals:0 (Array.fold_left max 0. hs);
+      Table.cell_float (Stats.mean hs /. lg);
+      Table.cell_float (Stats.mean (Array.map snd heights));
+    ];
+  Table.pp ppf table;
+  let slope, intercept = Stats.linear_fit (Array.of_list !points) in
+  Format.fprintf ppf "@.%s@."
+    (Repro_util.Ascii_plot.render_single ~height:12 ~x_label:"lg n"
+       ~y_label:"mean union-forest height" (List.rev !points));
+  Format.fprintf ppf
+    "least-squares fit: height = %.2f * lg n + %.2f (R^2 = %.3f)@.expected \
+     shape: linear in lg n with a small constant slope; the paper proves \
+     height <= c lg n w.h.p.@."
+    slope intercept
+    (Stats.r_squared (Array.of_list !points))
+
+let experiment =
+  Experiment.make ~id:"e2" ~title:"union-forest height is logarithmic"
+    ~claim:"Corollary 4.2.1: the union forest has height O(log n) w.h.p." run

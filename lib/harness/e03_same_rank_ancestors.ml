@@ -1,0 +1,55 @@
+(** E3 — Corollary 4.1.1: for any node, the expected number of union-forest
+    ancestors with the same rank is O(1) (the proof gives <= 2).  The rank
+    of the element numbered x (in the random order) is
+    floor(lg n) - floor(lg (n - x + 1)) — see {!Repro_util.Rank}. *)
+
+module Table = Repro_util.Table
+module Stats = Repro_util.Stats
+
+let measure ~n ~seed =
+  let links = ref [] in
+  let d =
+    Dsu.Native.create ~seed
+      ~on_link:(fun ~child ~parent -> links := (child, parent) :: !links)
+      n
+  in
+  let rng = Repro_util.Rng.create (seed * 7) in
+  Workload.Op.run_native d (Workload.Random_mix.spanning_unites ~rng ~n);
+  let f = Forest.of_links ~n !links in
+  let rank_of i = Repro_util.Rank.rank ~n (Dsu.Native.id d i + 1) in
+  let counts =
+    Array.init n (fun i ->
+        let r = rank_of i in
+        List.length (List.filter (fun a -> rank_of a = r) (Forest.ancestors f i)))
+  in
+  Stats.summarize_ints counts
+
+let run ppf =
+  let table =
+    Table.create
+      ~headers:[ "n"; "mean same-rank ancestors"; "p99"; "max"; "bound (expected)" ]
+  in
+  List.iter
+    (fun n ->
+      let s = measure ~n ~seed:(n + 5) in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float s.Stats.mean;
+          Table.cell_float s.Stats.p99;
+          Table.cell_float ~decimals:0 s.Stats.max;
+          "2.00";
+        ])
+    [ 1 lsl 8; 1 lsl 10; 1 lsl 12; 1 lsl 14 ];
+  Table.pp ppf table;
+  Format.fprintf ppf
+    "@.expected shape: the mean stays below 2 at every n (the geometric-series \
+     bound of Corollary 4.1.1); the max is small because deviations decay \
+     exponentially.@."
+
+let experiment =
+  Experiment.make ~id:"e3" ~title:"equal-rank ancestors are O(1) in expectation"
+    ~claim:
+      "Corollary 4.1.1: the expected number of ancestors of a node with its \
+       own rank is at most 2"
+    run

@@ -1,0 +1,55 @@
+(** E6 — Lemma 5.3: a suitable sequence of k-1 Unites builds a k-node tree
+    of average node depth >= (1/4) lg k even though every find does
+    splitting.  We execute the binomial-style schedule (unite in pairs
+    through designated representatives) and measure the average depth of the
+    {e actual} tree (post-compaction parent pointers, not the union
+    forest). *)
+
+module Table = Repro_util.Table
+
+let avg_depth_of_build ~policy ~k ~seed =
+  let d = Dsu.Native.create ~policy ~seed k in
+  Workload.Op.run_native d (Workload.Binomial.schedule ~base:0 ~k);
+  let f = Forest.of_parents (Dsu.Native.parents_snapshot d) in
+  Forest.avg_depth f
+
+let run ppf =
+  let table =
+    Table.create
+      ~headers:
+        [ "k"; "policy"; "avg depth"; "(lg k)/4"; "ratio"; "claim holds" ]
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun policy ->
+          let trials = 5 in
+          let depths =
+            Array.init trials (fun t -> avg_depth_of_build ~policy ~k ~seed:(t + k))
+          in
+          let mean = Repro_util.Stats.mean depths in
+          let target = float_of_int (Repro_util.Alpha.floor_log2 k) /. 4. in
+          Table.add_row table
+            [
+              Table.cell_int k;
+              Dsu.Find_policy.to_string policy;
+              Table.cell_float mean;
+              Table.cell_float target;
+              Table.cell_float (mean /. target);
+              (if mean >= target then "yes" else "NO");
+            ])
+        [ Dsu.Find_policy.One_try_splitting; Dsu.Find_policy.Two_try_splitting ];
+      Table.add_rule table)
+    [ 1 lsl 4; 1 lsl 6; 1 lsl 8; 1 lsl 10; 1 lsl 12 ];
+  Table.pp ppf table;
+  Format.fprintf ppf
+    "@.expected shape: average depth grows with lg k and stays at or above \
+     (lg k)/4 — splitting cannot flatten the binomial construction, which is \
+     what makes the lower bound of Theorem 5.4 work.@."
+
+let experiment =
+  Experiment.make ~id:"e6" ~title:"binomial construction defeats splitting"
+    ~claim:
+      "Lemma 5.3: k-1 Unites whose finds do one- or two-try splitting can \
+       still build a k-node tree of average depth >= (1/4) lg k"
+    run

@@ -1,0 +1,66 @@
+(** E7 — Theorem 5.4 (lower bound): an explicit workload forces
+    Omega(m log(np/m)) total work.  Following the paper's construction:
+    (a) one process builds n/delta binomial trees of delta nodes each
+    (Lemma 5.3); (b) a random node x_i is drawn from each tree; (c) all p
+    processes run SameSet(x_i, x_i) in lockstep.  Each probe must walk its
+    tree's depth, so phase-(c) work per operation grows like lg delta. *)
+
+module Table = Repro_util.Table
+
+let phase_c_work ~n ~tree_size ~p ~seed =
+  (* Phase (a): sequential build in the simulator, so phase (c) starts from
+     exactly the memory the construction produced. *)
+  let build = Workload.Binomial.forest_schedule ~n ~tree_size in
+  let r1 =
+    Measure.run_sim ~sched:(Apram.Scheduler.sequential ()) ~n ~seed
+      ~ops:[| build |] ()
+  in
+  let snapshot = Apram.Memory.snapshot r1.Measure.memory in
+  (* Phases (b) and (c). *)
+  let rng = Repro_util.Rng.create (seed * 13) in
+  let probes = Workload.Binomial.probes ~rng ~n ~tree_size in
+  let ops = Workload.Op.duplicate probes ~p in
+  let r2 =
+    Measure.run_sim ~sched:(Apram.Scheduler.round_robin ()) ~init_parents:snapshot
+      ~n ~seed ~ops ()
+  in
+  Measure.work_per_op r2
+
+let run ppf =
+  let n = 1 lsl 12 in
+  let p = 8 in
+  let table =
+    Table.create
+      ~headers:[ "delta (tree size)"; "probes x p"; "work/op"; "lg delta"; "work / lg delta" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun tree_size ->
+      let wpo = phase_c_work ~n ~tree_size ~p ~seed:(tree_size + 3) in
+      let lg = float_of_int (Repro_util.Alpha.floor_log2 tree_size) in
+      points := (lg, wpo) :: !points;
+      Table.add_row table
+        [
+          Table.cell_int tree_size;
+          Table.cell_int (n / tree_size * p);
+          Table.cell_float wpo;
+          Table.cell_float ~decimals:0 lg;
+          Table.cell_float (wpo /. lg);
+        ])
+    [ 4; 16; 64; 256; 1024 ];
+  Table.pp ppf table;
+  Format.fprintf ppf "@.%s@."
+    (Repro_util.Ascii_plot.render_single ~height:12 ~x_label:"lg delta"
+       ~y_label:"probe work per operation" (List.rev !points));
+  Format.fprintf ppf
+    "@.expected shape: probe work per operation grows linearly in lg delta \
+     (the work/lg-delta column levels off), matching the Omega(m log(np/m)) \
+     term of Theorem 5.4 with delta = np/3m.@."
+
+let experiment =
+  Experiment.make ~id:"e7" ~title:"explicit lower-bound workload"
+    ~claim:
+      "Theorem 5.4: there are workloads forcing \
+       Omega(m(alpha(n, m/np) + log(np/m + 1))) expected work — the bound of \
+       Theorem 5.1 is tight"
+    run

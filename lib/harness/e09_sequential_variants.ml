@@ -1,0 +1,55 @@
+(** E9 — the Section 2 context: all twelve classical sequential variants
+    (3 linking rules x 4 compaction rules) on one workload.  Every variant
+    with compaction should land in the same near-linear work band
+    (O(m alpha(n, m/n))); no-compaction variants pay logarithmic finds. *)
+
+module Table = Repro_util.Table
+module Seq = Sequential.Seq_dsu
+
+let run ppf =
+  let n = 1 lsl 14 in
+  let rng = Repro_util.Rng.create 4242 in
+  let ops =
+    Workload.Random_mix.spanning_unites ~rng ~n
+    @ Workload.Adversarial.all_same_set ~rng ~n ~m:(3 * n)
+  in
+  let total_ops = List.length ops in
+  let table =
+    Table.create
+      ~headers:
+        [ "linking"; "compaction"; "find iters"; "ptr updates"; "total work"; "work/op" ]
+  in
+  List.iter
+    (fun linking ->
+      List.iter
+        (fun compaction ->
+          if not (Seq.valid_combination linking compaction) then ()
+          else
+          let c = Measure.seq_work ~linking ~compaction ~seed:9 ~n ~ops () in
+          let work = Seq.total_work c in
+          Table.add_row table
+            [
+              Seq.linking_to_string linking;
+              Seq.compaction_to_string compaction;
+              Table.cell_int c.Seq.find_iters;
+              Table.cell_int c.Seq.parent_updates;
+              Table.cell_int work;
+              Table.cell_float (float_of_int work /. float_of_int total_ops);
+            ])
+        Seq.all_compactions;
+      Table.add_rule table)
+    Seq.all_linkings;
+  Table.pp ppf table;
+  Format.fprintf ppf
+    "@.n = %d, %d operations.  expected shape: the nine compacting variants \
+     sit in one near-linear band (alpha is effectively constant); randomized \
+     linking matches size/rank in expectation, confirming it costs nothing \
+     to switch to the linking rule that concurrency needs.@."
+    n total_ops
+
+let experiment =
+  Experiment.make ~id:"e9" ~title:"the classical sequential variants (incl. splicing)"
+    ~claim:
+      "Section 2: every linking x compaction combination runs in \
+       O(m alpha(n, m/n)) (expected, for randomized linking)"
+    run

@@ -1,0 +1,18 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : Format.formatter -> unit;
+}
+
+let make ~id ~title ~claim run = { id; title; claim; run }
+
+let header ppf t =
+  let rule = String.make 72 '=' in
+  Format.fprintf ppf "%s@.%s: %s@.claim: %s@.%s@." rule (String.uppercase_ascii t.id)
+    t.title t.claim (String.make 72 '-')
+
+let run ppf t =
+  header ppf t;
+  t.run ppf;
+  Format.fprintf ppf "@."

@@ -1,0 +1,19 @@
+(** The experiment registry: one entry per reproduced claim of the paper.
+    The paper is a theory paper with no numeric tables, so each experiment
+    regenerates one theorem/claim as a measured table; see DESIGN.md §5 and
+    EXPERIMENTS.md for the paper-vs-measured record. *)
+
+type t = {
+  id : string;  (** e.g. "e1" *)
+  title : string;
+  claim : string;  (** the paper statement being exercised *)
+  run : Format.formatter -> unit;
+}
+
+val make : id:string -> title:string -> claim:string -> (Format.formatter -> unit) -> t
+
+val header : Format.formatter -> t -> unit
+(** Print the experiment banner (id, title, claim). *)
+
+val run : Format.formatter -> t -> unit
+(** Banner then body. *)

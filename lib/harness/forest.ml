@@ -1,0 +1,65 @@
+type t = { parent : int array; mutable depths : int array option }
+
+let of_links ~n links =
+  let parent = Array.init n (fun i -> i) in
+  List.iter
+    (fun (child, par) ->
+      if child < 0 || child >= n || par < 0 || par >= n then
+        invalid_arg "Forest.of_links: node out of range";
+      if parent.(child) <> child then invalid_arg "Forest.of_links: node linked twice";
+      parent.(child) <- par)
+    links;
+  { parent; depths = None }
+
+let of_parents parent = { parent = Array.copy parent; depths = None }
+
+let n t = Array.length t.parent
+
+let parent t i = t.parent.(i)
+
+let is_root t i = t.parent.(i) = i
+
+let compute_depths t =
+  let n = Array.length t.parent in
+  let depths = Array.make n (-1) in
+  let rec depth_of i visiting =
+    if depths.(i) >= 0 then depths.(i)
+    else if List.mem i visiting then invalid_arg "Forest.depths: cycle detected"
+    else begin
+      let d =
+        if t.parent.(i) = i then 0 else 1 + depth_of t.parent.(i) (i :: visiting)
+      in
+      depths.(i) <- d;
+      d
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (depth_of i [])
+  done;
+  depths
+
+let depths t =
+  match t.depths with
+  | Some d -> d
+  | None ->
+    let d = compute_depths t in
+    t.depths <- Some d;
+    d
+
+let height t = Array.fold_left max 0 (depths t)
+
+let avg_depth t =
+  let d = depths t in
+  float_of_int (Array.fold_left ( + ) 0 d) /. float_of_int (Array.length d)
+
+let ancestors t i =
+  let rec loop acc u =
+    let p = t.parent.(u) in
+    if p = u then List.rev acc else loop (p :: acc) p
+  in
+  loop [] i
+
+let depth_histogram t =
+  let h = Repro_util.Histogram.create () in
+  Array.iter (fun d -> Repro_util.Histogram.add h d) (depths t);
+  h

@@ -1,0 +1,28 @@
+(** Static rooted forests, used to analyze the {e union forest} (the forest
+    formed by the links done in Unites, ignoring all compaction — Section 3)
+    and the final compressed trees. *)
+
+type t
+
+val of_links : n:int -> (int * int) list -> t
+(** Build from recorded [(child, parent)] link events.  Raises
+    [Invalid_argument] if a node is linked twice (impossible for a correct
+    DSU run). *)
+
+val of_parents : int array -> t
+(** From a parent array ([parent.(i) = i] marks roots), e.g. a final memory
+    snapshot. *)
+
+val n : t -> int
+val parent : t -> int -> int
+val is_root : t -> int -> bool
+val depths : t -> int array
+(** Depth of every node (roots have depth 0).  Raises [Invalid_argument] if
+    the structure contains a cycle. *)
+
+val height : t -> int
+val avg_depth : t -> float
+val ancestors : t -> int -> int list
+(** Proper ancestors of a node, nearest first. *)
+
+val depth_histogram : t -> Repro_util.Histogram.t

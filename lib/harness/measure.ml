@@ -1,0 +1,77 @@
+type sim_result = {
+  total_steps : int;
+  steps_per_process : int array;
+  op_costs : int array;
+  stats : Dsu.Stats.snapshot;
+  links : (int * int) list;
+  memory : Apram.Memory.t;
+  spec : Dsu.Sim.spec;
+  history : Apram.History.t;
+}
+
+let run_sim ?sched ?policy ?early ?init_parents ?max_steps ~n ~seed ~ops () =
+  let spec = Dsu.Sim.spec ?policy ?early ~n ~seed () in
+  let links = ref [] in
+  let handle = Dsu.Sim.handle ~on_link:(fun ~child ~parent -> links := (child, parent) :: !links) spec in
+  let sched =
+    match sched with Some s -> s | None -> Apram.Scheduler.random ~seed:(seed + 1)
+  in
+  let init =
+    match init_parents with
+    | None -> Dsu.Sim.init spec
+    | Some parents ->
+      if Array.length parents <> n then
+        invalid_arg "Measure.run_sim: init_parents length mismatch";
+      fun i -> parents.(i)
+  in
+  let bodies = Array.map (Workload.Op.to_sim_ops handle) ops in
+  let outcome =
+    Apram.Sim.run_ops ?max_steps ~mem_size:(Dsu.Sim.mem_size spec) ~init ~sched bodies
+  in
+  {
+    total_steps = outcome.Apram.Sim.total_steps;
+    steps_per_process = outcome.Apram.Sim.steps;
+    op_costs = Array.of_list (Apram.History.op_step_costs outcome.Apram.Sim.history);
+    stats = Dsu.Sim.stats handle;
+    links = List.rev !links;
+    memory = outcome.Apram.Sim.memory;
+    spec;
+    history = outcome.Apram.Sim.history;
+  }
+
+type aw_result = {
+  aw_total_steps : int;
+  aw_op_costs : int array;
+  aw_stats : Dsu.Stats.snapshot;
+}
+
+let run_sim_aw ?sched ?max_steps ?indirection ~n ~seed ~ops () =
+  let handle = Baselines.Anderson_woll.Sim.handle ?indirection n in
+  let sched =
+    match sched with Some s -> s | None -> Apram.Scheduler.random ~seed:(seed + 1)
+  in
+  let bodies = Array.map (Workload.Op.to_sim_ops_aw handle) ops in
+  let outcome =
+    Apram.Sim.run_ops ?max_steps
+      ~mem_size:(Baselines.Anderson_woll.Sim.mem_size n)
+      ~init:(Baselines.Anderson_woll.Sim.init n)
+      ~sched bodies
+  in
+  {
+    aw_total_steps = outcome.Apram.Sim.total_steps;
+    aw_op_costs = Array.of_list (Apram.History.op_step_costs outcome.Apram.Sim.history);
+    aw_stats = Baselines.Anderson_woll.Sim.stats handle;
+  }
+
+let seq_work ~linking ~compaction ?seed ~n ~ops () =
+  let d = Sequential.Seq_dsu.create ~linking ~compaction ?seed n in
+  Workload.Op.run_seq d ops;
+  Sequential.Seq_dsu.counters d
+
+let mean_int xs =
+  if Array.length xs = 0 then 0.
+  else float_of_int (Array.fold_left ( + ) 0 xs) /. float_of_int (Array.length xs)
+
+let work_per_op r =
+  let ops = Array.length r.op_costs in
+  if ops = 0 then 0. else float_of_int r.total_steps /. float_of_int ops

@@ -1,0 +1,60 @@
+(** Shared measurement machinery: run a workload against an implementation
+    (simulated concurrent, simulated Anderson–Woll, or sequential) and
+    collect every quantity the experiments report. *)
+
+type sim_result = {
+  total_steps : int;  (** total work in shared-memory steps *)
+  steps_per_process : int array;
+  op_costs : int array;  (** per completed operation, completion order *)
+  stats : Dsu.Stats.snapshot;
+  links : (int * int) list;  (** union-forest edges (child, parent) *)
+  memory : Apram.Memory.t;
+  spec : Dsu.Sim.spec;
+  history : Apram.History.t;
+}
+
+val run_sim :
+  ?sched:Apram.Scheduler.t ->
+  ?policy:Dsu.Find_policy.t ->
+  ?early:bool ->
+  ?init_parents:int array ->
+  ?max_steps:int ->
+  n:int ->
+  seed:int ->
+  ops:Workload.Op.t list array ->
+  unit ->
+  sim_result
+(** Run one simulated execution: process [i] performs [ops.(i)] in order.
+    [seed] fixes the random node order; the default scheduler is
+    [Apram.Scheduler.random] seeded from [seed]; [init_parents] warm-starts
+    the parent array (for phase-separated experiments). *)
+
+type aw_result = {
+  aw_total_steps : int;
+  aw_op_costs : int array;
+  aw_stats : Dsu.Stats.snapshot;
+}
+
+val run_sim_aw :
+  ?sched:Apram.Scheduler.t ->
+  ?max_steps:int ->
+  ?indirection:bool ->
+  n:int ->
+  seed:int ->
+  ops:Workload.Op.t list array ->
+  unit ->
+  aw_result
+(** Same execution shape for the Anderson–Woll baseline. *)
+
+val seq_work :
+  linking:Sequential.Seq_dsu.linking ->
+  compaction:Sequential.Seq_dsu.compaction ->
+  ?seed:int ->
+  n:int ->
+  ops:Workload.Op.t list ->
+  unit ->
+  Sequential.Seq_dsu.counters
+
+val mean_int : int array -> float
+val work_per_op : sim_result -> float
+(** [total_steps / number of completed operations]. *)

@@ -1,0 +1,25 @@
+let all =
+  [
+    E01_per_op_steps.experiment;
+    E02_forest_height.experiment;
+    E03_same_rank_ancestors.experiment;
+    E04_two_try_bound.experiment;
+    E05_policy_ablation.experiment;
+    E06_binomial_depth.experiment;
+    E07_lower_bound.experiment;
+    E08_vs_anderson_woll.experiment;
+    E09_sequential_variants.experiment;
+    E10_early_termination.experiment;
+    E11_linearizability.experiment;
+    E12_applications.experiment;
+    E13_native_throughput.experiment;
+    E14_compression_conjecture.experiment;
+    E15_independence_assumption.experiment;
+    E16_step_distribution.experiment;
+    E17_connectit_sampling.experiment;
+    E18_wait_freedom.experiment;
+  ]
+
+let find id = List.find_opt (fun e -> e.Experiment.id = id) all
+
+let run_all ppf = List.iter (Experiment.run ppf) all

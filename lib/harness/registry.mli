@@ -1,0 +1,5 @@
+(** All experiments, in DESIGN.md §5 order. *)
+
+val all : Experiment.t list
+val find : string -> Experiment.t option
+val run_all : Format.formatter -> unit

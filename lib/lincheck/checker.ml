@@ -1,0 +1,73 @@
+module History = Apram.History
+
+type verdict = Linearizable | Not_linearizable of string
+
+let explain_op (op : History.complete_op) =
+  Format.asprintf "p%d:%a=%d" op.pid History.pp_call op.call op.result
+
+(* Depth-first search for a legal linearization.  [order] accumulates the
+   chosen operations in reverse. *)
+let search ~n ops =
+  let num = Array.length ops in
+  if num > 62 then invalid_arg "Checker: more than 62 operations";
+  let full = if num = 62 then -1 lxor (1 lsl 62) else (1 lsl num) - 1 in
+  let failed : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec go mask state order =
+    if mask = full then Some (List.rev order)
+    else if Hashtbl.mem failed mask then None
+    else begin
+      (* Earliest response among not-yet-linearized operations: anything
+         invoked after it is ineligible. *)
+      let min_ret = ref max_int in
+      for i = 0 to num - 1 do
+        if mask land (1 lsl i) = 0 then
+          min_ret := min !min_ret ops.(i).History.returned_at
+      done;
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < num do
+        let idx = !i in
+        incr i;
+        (* Event indices are distinct, so < is equivalent to <=. *)
+        if mask land (1 lsl idx) = 0 && ops.(idx).History.invoked_at < !min_ret
+        then begin
+          let op = Spec.op_of_call ops.(idx).History.call in
+          if Spec.matches state op ops.(idx).History.result then begin
+            let state', _ = Spec.apply state op in
+            match go (mask lor (1 lsl idx)) state' (ops.(idx) :: order) with
+            | Some _ as found -> result := found
+            | None -> ()
+          end
+        end
+      done;
+      if !result = None then Hashtbl.replace failed mask ();
+      !result
+    end
+  in
+  go 0 (Spec.initial n) []
+
+let prepare history =
+  (match History.pending_calls history with
+  | [] -> ()
+  | pending ->
+    invalid_arg
+      (Format.asprintf "Checker: history has %d pending operations"
+         (List.length pending)));
+  Array.of_list (History.complete_ops history)
+
+let witness ~n history = search ~n (prepare history)
+
+let check ~n history =
+  let ops = prepare history in
+  match search ~n ops with
+  | Some _ -> Linearizable
+  | None ->
+    let desc =
+      ops |> Array.to_list |> List.map explain_op |> String.concat "; "
+    in
+    Not_linearizable ("no legal linearization of: " ^ desc)
+
+let check_exn ~n history =
+  match check ~n history with
+  | Linearizable -> ()
+  | Not_linearizable msg -> failwith msg

@@ -1,0 +1,30 @@
+(** A Wing–Gong linearizability checker for DSU histories.
+
+    Searches for a total order of the completed operations that (a) respects
+    the real-time order (an operation that returned before another was
+    invoked must be linearized first) and (b) is a legal sequential
+    execution of the {!Spec}.
+
+    The search memoizes on the set of linearized operations: for this
+    object the state reached is independent of the order in which a given
+    subset of unites is applied (set union is commutative and associative),
+    so the subset alone determines the state and the memoization is sound.
+
+    Histories must be complete (every invocation matched by a response):
+    the wait-free algorithm run to quiescence in the simulator always
+    produces complete histories.  A pending invocation raises
+    [Invalid_argument]. *)
+
+type verdict =
+  | Linearizable
+  | Not_linearizable of string  (** human-readable explanation *)
+
+val check : n:int -> Apram.History.t -> verdict
+(** [check ~n history] — [n] is the number of DSU elements.  At most 62
+    completed operations (the memo key is a bitmask). *)
+
+val check_exn : n:int -> Apram.History.t -> unit
+(** Raises [Failure] with the explanation if not linearizable. *)
+
+val witness : n:int -> Apram.History.t -> Apram.History.complete_op list option
+(** A linearization order if one exists. *)

@@ -1,0 +1,26 @@
+type t = { lock : Mutex.t; mutable events : Apram.History.event list }
+
+let create () = { lock = Mutex.create (); events = [] }
+
+let append t event =
+  Mutex.lock t.lock;
+  t.events <- event :: t.events;
+  Mutex.unlock t.lock
+
+let run t ~pid ~name ~args f =
+  append t (Apram.History.Invoke { pid; call = { Apram.History.name; args }; step = 0 });
+  let result = f () in
+  append t (Apram.History.Return { pid; value = result; step = 0 });
+  result
+
+let history t =
+  Mutex.lock t.lock;
+  let events = List.rev t.events in
+  Mutex.unlock t.lock;
+  events
+
+let size t =
+  Mutex.lock t.lock;
+  let n = List.length t.events in
+  Mutex.unlock t.lock;
+  n

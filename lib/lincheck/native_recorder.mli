@@ -1,0 +1,26 @@
+(** Record operation histories from {e native} multi-domain executions, for
+    post-hoc linearizability checking — the bridge between the simulator
+    (where every interleaving is controlled) and real OCaml 5 domains (where
+    the hardware interleaves).
+
+    Events are appended under a mutex, which perturbs timing slightly but
+    records a sound real-time order: if operation A returned before B was
+    invoked, A's return event precedes B's invoke event in the recorded
+    history, which is exactly what the checker's precedence constraint
+    needs.  Use small histories (the checker is exponential). *)
+
+type t
+
+val create : unit -> t
+
+val run : t -> pid:int -> name:string -> args:int list -> (unit -> int) -> int
+(** [run t ~pid ~name ~args f] records the invocation, executes [f ()],
+    records its result, and returns it.  [pid] identifies the calling
+    logical process (e.g. the domain index); a pid must not run two
+    operations concurrently. *)
+
+val history : t -> Apram.History.t
+(** The events recorded so far, in append order.  Call after all domains
+    have joined. *)
+
+val size : t -> int

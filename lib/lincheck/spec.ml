@@ -1,0 +1,45 @@
+module Quick_find = Sequential.Quick_find
+
+type op = Same_set of int * int | Unite of int * int | Find of int
+
+let op_of_call (call : Apram.History.call) =
+  match (call.name, call.args) with
+  | "same_set", [ x; y ] -> Same_set (x, y)
+  | "unite", [ x; y ] -> Unite (x, y)
+  | "find", [ x ] -> Find x
+  | name, _ -> invalid_arg ("Spec.op_of_call: unknown operation " ^ name)
+
+let call_of_op op : Apram.History.call =
+  match op with
+  | Same_set (x, y) -> { name = "same_set"; args = [ x; y ] }
+  | Unite (x, y) -> { name = "unite"; args = [ x; y ] }
+  | Find x -> { name = "find"; args = [ x ] }
+
+type state = Quick_find.t
+
+let initial n = Quick_find.create n
+
+let apply s op =
+  match op with
+  | Same_set (x, y) -> (s, if Quick_find.same_set s x y then 1 else 0)
+  | Unite (x, y) ->
+    let s' = Quick_find.copy s in
+    Quick_find.unite s' x y;
+    (s', 0)
+  | Find x -> (s, Quick_find.label s x)
+
+let matches s op observed =
+  match op with
+  | Same_set (x, y) -> (if Quick_find.same_set s x y then 1 else 0) = observed
+  | Unite _ -> true
+  | Find x ->
+    (* Weak spec: the witness must be some member of x's class.  The
+       concurrent object's root identity depends on the random node order,
+       which the sequential spec does not model. *)
+    observed >= 0
+    && observed < Quick_find.n s
+    && Quick_find.same_set s x observed
+
+let is_query = function Same_set _ | Find _ -> true | Unite _ -> false
+
+let pp_op ppf op = Apram.History.pp_call ppf (call_of_op op)

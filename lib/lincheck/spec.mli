@@ -1,0 +1,30 @@
+(** The sequential specification of the disjoint-set-union object.
+
+    States are set partitions (represented by {!Sequential.Quick_find}); the
+    operations are those the paper's object exposes, plus a weak
+    specification of [find] (the returned witness must be in the caller's
+    class — the concrete root identity is implementation-defined, so a
+    stronger sequential spec would be wrong for the concurrent object). *)
+
+type op = Same_set of int * int | Unite of int * int | Find of int
+
+val op_of_call : Apram.History.call -> op
+(** Raises [Invalid_argument] on an unknown operation name. *)
+
+val call_of_op : op -> Apram.History.call
+
+type state = Sequential.Quick_find.t
+
+val initial : int -> state
+
+val apply : state -> op -> state * int
+(** [apply s op] is the post-state and the specified return value.  The
+    input state is not mutated. *)
+
+val matches : state -> op -> int -> bool
+(** [matches s op observed] — would a sequential execution of [op] in state
+    [s] return [observed]?  For [Find x] this accepts any member of [x]'s
+    class. *)
+
+val is_query : op -> bool
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,50 @@
+type t = {
+  label : int array;  (** class label = smallest member *)
+  members : (int, int list) Hashtbl.t;  (** label -> members *)
+}
+
+let create n =
+  if n < 1 then invalid_arg "Quick_find.create: n must be >= 1";
+  let members = Hashtbl.create (2 * n) in
+  for i = 0 to n - 1 do
+    Hashtbl.replace members i [ i ]
+  done;
+  { label = Array.init n (fun i -> i); members }
+
+let n t = Array.length t.label
+
+let check t x = if x < 0 || x >= n t then invalid_arg "Quick_find: node out of range"
+
+let label t x =
+  check t x;
+  t.label.(x)
+
+let same_set t x y = label t x = label t y
+
+let unite t x y =
+  let lx = label t x and ly = label t y in
+  if lx <> ly then begin
+    let winner, loser = if lx < ly then (lx, ly) else (ly, lx) in
+    let moved = Hashtbl.find t.members loser in
+    List.iter (fun v -> t.label.(v) <- winner) moved;
+    Hashtbl.replace t.members winner (List.rev_append moved (Hashtbl.find t.members winner));
+    Hashtbl.remove t.members loser
+  end
+
+let count_sets t = Hashtbl.length t.members
+
+let classes t =
+  Hashtbl.fold (fun _ ms acc -> List.sort compare ms :: acc) t.members []
+  |> List.sort compare
+
+let copy t =
+  let members = Hashtbl.copy t.members in
+  { label = Array.copy t.label; members }
+
+let equal a b =
+  Array.length a.label = Array.length b.label && classes a = classes b
+
+let canonical t =
+  classes t
+  |> List.map (fun c -> String.concat "," (List.map string_of_int c))
+  |> String.concat "|"

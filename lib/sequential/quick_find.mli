@@ -1,0 +1,26 @@
+(** The obviously-correct reference partition: each element stores its class
+    label directly, and [unite] relabels the smaller class eagerly.
+
+    O(n) per union, O(1) per query — too slow to benchmark, but trivially
+    correct, which makes it the oracle for every correctness test and for the
+    linearizability checker's sequential specification. *)
+
+type t
+
+val create : int -> t
+val n : t -> int
+val same_set : t -> int -> int -> bool
+val unite : t -> int -> int -> unit
+val label : t -> int -> int
+(** A canonical class label: the smallest element of the class. *)
+
+val count_sets : t -> int
+val classes : t -> int list list
+(** The partition as sorted classes sorted by first element. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+(** Same partition (labels may differ). *)
+
+val canonical : t -> string
+(** A canonical string encoding of the partition, usable as a memo key. *)

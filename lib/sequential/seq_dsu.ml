@@ -1,0 +1,239 @@
+module Rng = Repro_util.Rng
+
+type linking = By_size | By_rank | By_random
+
+type compaction = No_compaction | Halving | Splitting | Compression | Splicing
+
+let all_linkings = [ By_size; By_rank; By_random ]
+let all_compactions = [ No_compaction; Halving; Splitting; Compression; Splicing ]
+
+let linking_to_string = function
+  | By_size -> "size"
+  | By_rank -> "rank"
+  | By_random -> "random"
+
+let compaction_to_string = function
+  | No_compaction -> "none"
+  | Halving -> "halving"
+  | Splitting -> "splitting"
+  | Compression -> "compression"
+  | Splicing -> "splicing"
+
+type counters = {
+  finds : int;
+  find_iters : int;
+  parent_updates : int;
+  links : int;
+  same_sets : int;
+  unites : int;
+}
+
+type t = {
+  linking : linking;
+  compaction : compaction;
+  parent : int array;
+  aux : int array;  (** size, rank, or random id depending on [linking] *)
+  mutable finds : int;
+  mutable find_iters : int;
+  mutable parent_updates : int;
+  mutable links : int;
+  mutable same_sets : int;
+  mutable unites : int;
+}
+
+let valid_combination linking compaction =
+  match (linking, compaction) with
+  | By_random, _ -> true
+  | (By_size | By_rank), Splicing -> false
+  | (By_size | By_rank), (No_compaction | Halving | Splitting | Compression) -> true
+
+let create ?(linking = By_rank) ?(compaction = Splitting) ?(seed = 1) n =
+  if n < 1 then invalid_arg "Seq_dsu.create: n must be >= 1";
+  if not (valid_combination linking compaction) then
+    invalid_arg "Seq_dsu.create: splicing requires randomized linking";
+  let aux =
+    match linking with
+    | By_size -> Array.make n 1
+    | By_rank -> Array.make n 0
+    | By_random -> Rng.permutation (Rng.create seed) n
+  in
+  {
+    linking;
+    compaction;
+    parent = Array.init n (fun i -> i);
+    aux;
+    finds = 0;
+    find_iters = 0;
+    parent_updates = 0;
+    links = 0;
+    same_sets = 0;
+    unites = 0;
+  }
+
+let n t = Array.length t.parent
+
+let check t x = if x < 0 || x >= n t then invalid_arg "Seq_dsu: node out of range"
+
+let find_no_compaction t x =
+  let rec loop u =
+    t.find_iters <- t.find_iters + 1;
+    let p = t.parent.(u) in
+    if p = u then u else loop p
+  in
+  loop x
+
+let find_halving t x =
+  let rec loop u =
+    t.find_iters <- t.find_iters + 1;
+    let p = t.parent.(u) in
+    let g = t.parent.(p) in
+    if p = g then p
+    else begin
+      t.parent.(u) <- g;
+      t.parent_updates <- t.parent_updates + 1;
+      loop g
+    end
+  in
+  loop x
+
+let find_splitting t x =
+  let rec loop u =
+    t.find_iters <- t.find_iters + 1;
+    let p = t.parent.(u) in
+    let g = t.parent.(p) in
+    if p = g then p
+    else begin
+      t.parent.(u) <- g;
+      t.parent_updates <- t.parent_updates + 1;
+      loop p
+    end
+  in
+  loop x
+
+let find_compression t x =
+  let root = find_no_compaction t x in
+  let rec compress u =
+    let p = t.parent.(u) in
+    if p <> root && u <> root then begin
+      t.parent.(u) <- root;
+      t.parent_updates <- t.parent_updates + 1;
+      compress p
+    end
+  in
+  compress x;
+  root
+
+let find t x =
+  check t x;
+  t.finds <- t.finds + 1;
+  match t.compaction with
+  | No_compaction -> find_no_compaction t x
+  | Halving -> find_halving t x
+  | Splitting -> find_splitting t x
+  | Compression -> find_compression t x
+  (* Queries cannot splice (splicing across two different sets would merge
+     them), so the splicing variant compacts query paths by splitting. *)
+  | Splicing -> find_splitting t x
+
+let same_set t x y =
+  t.same_sets <- t.same_sets + 1;
+  find t x = find t y
+
+(* Link root [rv] below root [ru] or vice versa according to the rule. *)
+let link t ru rv =
+  let make_child child parent =
+    t.parent.(child) <- parent;
+    t.links <- t.links + 1
+  in
+  match t.linking with
+  | By_size ->
+    let su = t.aux.(ru) and sv = t.aux.(rv) in
+    if su < sv then begin
+      make_child ru rv;
+      t.aux.(rv) <- su + sv
+    end
+    else begin
+      make_child rv ru;
+      t.aux.(ru) <- su + sv
+    end
+  | By_rank ->
+    let ku = t.aux.(ru) and kv = t.aux.(rv) in
+    if ku < kv then make_child ru rv
+    else if kv < ku then make_child rv ru
+    else begin
+      make_child rv ru;
+      t.aux.(ru) <- ku + 1
+    end
+  | By_random ->
+    if t.aux.(ru) < t.aux.(rv) then make_child ru rv else make_child rv ru
+
+(* Rem-style splicing unite: walk both find paths at once, always advancing
+   from the node whose parent has the smaller priority and splicing that
+   node's parent pointer into the other path.  Priorities (the random total
+   order in [aux]) strictly increase along parent chains, so the walk
+   terminates; the paths have met exactly when the two parents coincide. *)
+let unite_splice t x y =
+  let prio i = t.aux.(i) in
+  let rec loop u v =
+    t.find_iters <- t.find_iters + 1;
+    let pu = t.parent.(u) and pv = t.parent.(v) in
+    if pu = pv then ()
+    else if prio pu < prio pv then begin
+      t.parent.(u) <- pv;
+      if pu = u then t.links <- t.links + 1
+      else begin
+        t.parent_updates <- t.parent_updates + 1;
+        loop pu v
+      end
+    end
+    else begin
+      t.parent.(v) <- pu;
+      if pv = v then t.links <- t.links + 1
+      else begin
+        t.parent_updates <- t.parent_updates + 1;
+        loop u pv
+      end
+    end
+  in
+  loop x y
+
+let unite t x y =
+  t.unites <- t.unites + 1;
+  match t.compaction with
+  | Splicing ->
+    check t x;
+    check t y;
+    unite_splice t x y
+  | No_compaction | Halving | Splitting | Compression ->
+    let ru = find t x in
+    let rv = find t y in
+    if ru <> rv then link t ru rv
+
+let count_sets t =
+  let c = ref 0 in
+  Array.iteri (fun i p -> if i = p then incr c) t.parent;
+  !c
+
+let parent_of t x =
+  check t x;
+  t.parent.(x)
+
+let counters t =
+  {
+    finds = t.finds;
+    find_iters = t.find_iters;
+    parent_updates = t.parent_updates;
+    links = t.links;
+    same_sets = t.same_sets;
+    unites = t.unites;
+  }
+
+let reset_counters t =
+  t.finds <- 0;
+  t.find_iters <- 0;
+  t.parent_updates <- 0;
+  t.links <- 0;
+  t.same_sets <- 0;
+  t.unites <- 0
+
+let total_work (c : counters) = c.find_iters + c.parent_updates + c.links

@@ -1,0 +1,69 @@
+(** The classical sequential compressed-tree algorithms of Section 2.
+
+    Any of the compaction methods (none, halving, splitting, compression) can
+    be combined with any of the linking methods (by size, by rank,
+    randomized), giving the twelve classical variants; the nine with
+    compaction all run in O(m α(n, m/n)) time (worst-case for size/rank,
+    expected for randomized — Tarjan & van Leeuwen 1984, Goel et al. 2014).
+
+    These are single-threaded reference implementations: they are the
+    correctness oracle for the concurrent algorithm and the baseline for the
+    E9 work-comparison experiment.  All operations count their steps. *)
+
+type linking =
+  | By_size  (** link smaller tree below larger, ties arbitrary *)
+  | By_rank  (** link smaller rank below larger; tie increments the winner *)
+  | By_random  (** randomized linking: fixed random total order on nodes *)
+
+type compaction =
+  | No_compaction
+  | Halving
+  | Splitting
+  | Compression
+  | Splicing
+      (** Rem-style splicing (the fifth method Goel et al. analyze; the
+          paper's Section 6 discusses why it is dangerous {e concurrently} —
+          here it is the sequential version): [unite] walks both find paths
+          simultaneously, splicing each visited parent pointer into the
+          other path, so union and compaction happen in one interleaved
+          pass.  Queries compact by splitting (a query cannot splice: doing
+          so across two different sets would merge them).  Requires
+          [By_random] linking (splicing needs a static total order on
+          nodes). *)
+
+val all_linkings : linking list
+val all_compactions : compaction list
+val linking_to_string : linking -> string
+val compaction_to_string : compaction -> string
+
+type t
+
+val create : ?linking:linking -> ?compaction:compaction -> ?seed:int -> int -> t
+(** [create n] builds [n] singleton sets.  Defaults: [By_rank], [Splitting].
+    [seed] only matters for [By_random].  Raises [Invalid_argument] when
+    [Splicing] is combined with a linking other than [By_random]. *)
+
+val valid_combination : linking -> compaction -> bool
+(** Whether {!create} accepts the pair. *)
+
+val n : t -> int
+val find : t -> int -> int
+val same_set : t -> int -> int -> bool
+val unite : t -> int -> int -> unit
+val count_sets : t -> int
+val parent_of : t -> int -> int
+
+type counters = {
+  finds : int;
+  find_iters : int;  (** parent-pointer traversal steps *)
+  parent_updates : int;  (** pointer writes done by compaction *)
+  links : int;
+  same_sets : int;
+  unites : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val total_work : counters -> int
+(** [find_iters + parent_updates + links]: comparable to the concurrent
+    algorithm's work figure. *)

@@ -1,0 +1,58 @@
+let saturation = max_int / 2
+
+let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 256
+
+(* Saturating evaluation.  Closed forms handle the low levels (whose naive
+   recursion is linear in [j], infeasible for the huge intermediate values
+   the higher levels produce): A_0(j) = j+1, A_1(j) = j+2, A_2(j) = 2j+3.
+   For k >= 3, A_k(j) >= A_3(j) >= 2^(j+2), so any j >= 61 saturates a
+   63-bit integer immediately; the remaining recursion tree is tiny. *)
+let rec ackermann k j =
+  if k < 0 || j < 0 then invalid_arg "Alpha.ackermann: negative argument";
+  if k = 0 then if j >= saturation - 1 then saturation else j + 1
+  else if k = 1 then if j >= saturation - 2 then saturation else j + 2
+  else if k = 2 then if j >= (saturation - 3) / 2 then saturation else (2 * j) + 3
+  else if j >= 61 then saturation
+  else begin
+    match Hashtbl.find_opt tbl (k, j) with
+    | Some v -> v
+    | None ->
+      let v =
+        if j = 0 then ackermann (k - 1) 1
+        else begin
+          let inner = ackermann k (j - 1) in
+          if inner >= saturation then saturation else ackermann (k - 1) inner
+        end
+      in
+      Hashtbl.replace tbl (k, j) v;
+      v
+  end
+
+let alpha n d =
+  if n < 0 then invalid_arg "Alpha.alpha: negative n";
+  if d < 0. then invalid_arg "Alpha.alpha: negative d";
+  let dj =
+    if d >= float_of_int saturation then saturation
+    else int_of_float (Float.floor d)
+  in
+  let rec loop i = if ackermann i dj > n then i else loop (i + 1) in
+  loop 1
+
+let index i k =
+  if i < 0 || k < 0 then invalid_arg "Alpha.index: negative argument";
+  let rec loop j = if ackermann i j > k then j else loop (j + 1) in
+  loop 0
+
+let level ~d ~n:_ k j =
+  let a_kd = alpha k d in
+  let rec loop i =
+    if i > a_kd then a_kd + 1
+    else if ackermann i (index i k) > j then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let floor_log2 x =
+  if x < 1 then invalid_arg "Alpha.floor_log2: argument must be >= 1";
+  let rec loop acc x = if x = 1 then acc else loop (acc + 1) (x lsr 1) in
+  loop 0 x

@@ -1,0 +1,29 @@
+(** Ackermann's function and its functional inverse, as defined in Section 2
+    of the paper, plus the level/index machinery of Section 5.
+
+    The paper's definition: [A 0 j = j + 1], [A k 0 = A (k-1) 1] for [k > 0],
+    and [A k j = A (k-1) (A k (j-1))] for [k, j > 0].  For non-negative
+    integer [n] and non-negative real [d],
+    [alpha n d = min {i > 0 | A i (floor d) > n}]. *)
+
+val ackermann : int -> int -> int
+(** [ackermann k j] is [A_k(j)], saturating at [max_int / 2] (values beyond
+    that threshold are astronomically large and are treated as infinite;
+    saturation preserves all comparisons against realistic [n]). *)
+
+val alpha : int -> float -> int
+(** [alpha n d] is the paper's two-parameter inverse Ackermann
+    [min {i > 0 | A_i(floor d) > n}].  Requires [n >= 0] and [d >= 0.]. *)
+
+val index : int -> int -> int
+(** [index i k] is the paper's index function
+    [b(i, k) = min {j >= 0 | A_i(j) > k}]. *)
+
+val level : d:float -> n:int -> int -> int -> int
+(** [level ~d ~n k j] is the paper's level function
+    [a(k, j) = min ({alpha(k, d) + 1} U {i <= alpha(k, d) | A_i(b(i, k)) > j})].
+    Used by tests that exercise the Section 5 potential-function machinery;
+    [n] is accepted for interface symmetry and unused by the definition. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 x] is [floor (lg x)] for [x >= 1]. *)

@@ -1,0 +1,59 @@
+type series = { label : char; points : (float * float) list }
+
+let bounds series =
+  let all = List.concat_map (fun s -> s.points) series in
+  match all with
+  | [] -> invalid_arg "Ascii_plot.render: no points"
+  | (x0, y0) :: rest ->
+    List.fold_left
+      (fun (xmin, xmax, ymin, ymax) (x, y) ->
+        (min xmin x, max xmax x, min ymin y, max ymax y))
+      (x0, x0, y0, y0) rest
+
+let render ?(width = 60) ?(height = 16) ?(x_label = "") ?(y_label = "") series =
+  if width < 10 || height < 4 then invalid_arg "Ascii_plot.render: frame too small";
+  let xmin, xmax, ymin, ymax = bounds series in
+  (* Avoid zero-width ranges. *)
+  let xspan = if xmax -. xmin > 0. then xmax -. xmin else 1. in
+  let yspan = if ymax -. ymin > 0. then ymax -. ymin else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  let place label (x, y) =
+    let col =
+      int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+    in
+    let row =
+      height - 1
+      - int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (height - 1)))
+    in
+    grid.(row).(col) <- label
+  in
+  List.iter (fun s -> List.iter (place s.label) s.points) series;
+  let buf = Buffer.create ((width + 16) * (height + 3)) in
+  if y_label <> "" then begin
+    Buffer.add_string buf y_label;
+    Buffer.add_char buf '\n'
+  end;
+  let y_tick row =
+    (* Value corresponding to a grid row. *)
+    ymin +. (float_of_int (height - 1 - row) /. float_of_int (height - 1) *. yspan)
+  in
+  Array.iteri
+    (fun row line ->
+      let tick =
+        if row = 0 || row = height - 1 || row = height / 2 then
+          Printf.sprintf "%10.2f |" (y_tick row)
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buf tick;
+      Array.iter (Buffer.add_char buf) line;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %-*.2f%*.2f\n" "" (width - 8) xmin 8 xmax);
+  if x_label <> "" then
+    Buffer.add_string buf (Printf.sprintf "%10s  %s\n" "" x_label);
+  Buffer.contents buf
+
+let render_single ?width ?height ?x_label ?y_label points =
+  render ?width ?height ?x_label ?y_label [ { label = '*'; points } ]

@@ -1,0 +1,24 @@
+(** Minimal ASCII charts for the experiment reports: scatter/line plots of
+    measured series against a predictor, so the harness can render
+    figure-style output (the textual analogue of the plots a paper's
+    evaluation section would contain) without any graphics dependency. *)
+
+type series = { label : char; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** [render series] draws all series in one frame (distinct marker per
+    series), with linearly scaled axes covering the data's bounding box and
+    numeric tick labels on both axes.  Points that collide keep the marker
+    of the last series drawn.  Width/height are the plot area in characters
+    (defaults 60×16). *)
+
+val render_single :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  (float * float) list -> string
+(** One unlabeled series with marker ['*']. *)

@@ -1,0 +1,13 @@
+type t = int Atomic.t array
+
+let make n f = Array.init n (fun i -> Atomic.make (f i))
+
+let length = Array.length
+
+let get t i = Atomic.get t.(i)
+
+let set t i v = Atomic.set t.(i) v
+
+let cas t i expected desired = Atomic.compare_and_set t.(i) expected desired
+
+let snapshot t = Array.map Atomic.get t

@@ -1,0 +1,27 @@
+(** An array of atomically accessed integers.
+
+    OCaml 5.1 has no flat atomic array, so this wraps [int Atomic.t array].
+    The extra indirection costs a constant factor in native benchmarks and is
+    invisible to the simulator-based work measurements; see DESIGN.md.  All
+    operations are sequentially consistent, inheriting [Atomic]'s guarantees. *)
+
+type t
+
+val make : int -> (int -> int) -> t
+(** [make n f] creates an array of length [n] with cell [i] holding [f i]. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Atomic load. *)
+
+val set : t -> int -> int -> unit
+(** Atomic store. *)
+
+val cas : t -> int -> int -> int -> bool
+(** [cas t i expected desired] is a single-word compare-and-swap on cell
+    [i]. *)
+
+val snapshot : t -> int array
+(** Per-cell atomic reads collected into a plain array.  Not a consistent
+    snapshot under concurrent writers; intended for quiescent inspection. *)

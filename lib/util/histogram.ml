@@ -1,0 +1,40 @@
+type t = { counts : (int, int) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 64; total = 0 }
+
+let add_many t key k =
+  if k < 0 then invalid_arg "Histogram.add_many: negative count";
+  let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts key) in
+  Hashtbl.replace t.counts key (cur + k);
+  t.total <- t.total + k
+
+let add t key = add_many t key 1
+
+let count t key = Option.value ~default:0 (Hashtbl.find_opt t.counts key)
+
+let total t = t.total
+
+let keys t =
+  Hashtbl.fold (fun k c acc -> if c > 0 then k :: acc else acc) t.counts []
+  |> List.sort compare
+
+let max_key t =
+  match keys t with [] -> None | ks -> Some (List.fold_left max min_int ks)
+
+let mean t =
+  if t.total = 0 then 0.
+  else begin
+    let s = Hashtbl.fold (fun k c acc -> acc + (k * c)) t.counts 0 in
+    float_of_int s /. float_of_int t.total
+  end
+
+let to_sorted_assoc t = List.map (fun k -> (k, count t k)) (keys t)
+
+let pp ppf t =
+  let assoc = to_sorted_assoc t in
+  let width = List.fold_left (fun acc (_, c) -> max acc c) 1 assoc in
+  List.iter
+    (fun (k, c) ->
+      let bar = String.make (max 1 (c * 40 / width)) '#' in
+      Format.fprintf ppf "%6d: %8d %s@." k c bar)
+    assoc

@@ -1,0 +1,20 @@
+(** Integer-keyed frequency counts, used to report distributions such as
+    find-path lengths and node depths. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val add_many : t -> int -> int -> unit
+(** [add_many t key k] records [k] occurrences of [key]. *)
+
+val count : t -> int -> int
+val total : t -> int
+val keys : t -> int list
+(** Sorted list of keys with non-zero count. *)
+
+val max_key : t -> int option
+val mean : t -> float
+val to_sorted_assoc : t -> (int * int) list
+val pp : Format.formatter -> t -> unit
+(** One line per key: [key: count  bar]. *)

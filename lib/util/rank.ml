@@ -1,0 +1,18 @@
+let rank ~n x =
+  if n < 1 then invalid_arg "Rank.rank: n must be >= 1";
+  if x < 1 || x > n then invalid_arg "Rank.rank: element out of range";
+  Alpha.floor_log2 n - Alpha.floor_log2 (n - x + 1)
+
+let max_rank ~n = Alpha.floor_log2 n
+
+let count_with_rank ~n r =
+  if r < 0 || r > max_rank ~n then 0
+  else begin
+    (* Elements x with floor(lg (n - x + 1)) = floor(lg n) - r; writing
+       y = n - x + 1, y ranges over [2^k, 2^(k+1)) intersected with [1, n]
+       where k = floor(lg n) - r. *)
+    let k = Alpha.floor_log2 n - r in
+    let lo = 1 lsl k in
+    let hi = min n ((1 lsl (k + 1)) - 1) in
+    if hi < lo then 0 else hi - lo + 1
+  end

@@ -1,0 +1,21 @@
+(** The analysis rank of Section 4.
+
+    Number the [n] elements from 1 to [n] consistent with the random total
+    order.  The rank of element [x] (identified by its number) is
+    [floor (lg n) - floor (lg (n - x + 1))]: element [n] has rank
+    [floor (lg n)], elements [n-1] and [n-2] have rank [floor (lg n) - 1],
+    and so on.  Ranks are monotone (not strictly) in element number.
+
+    The rank is purely an analysis device — the algorithm never consults
+    it — but the experiments of Section 4 (equal-rank ancestors, union-forest
+    height) measure it directly. *)
+
+val rank : n:int -> int -> int
+(** [rank ~n x] is the rank of the element numbered [x], [1 <= x <= n]. *)
+
+val max_rank : n:int -> int
+(** [max_rank ~n] is [floor (lg n)], the rank of element [n]. *)
+
+val count_with_rank : n:int -> int -> int
+(** [count_with_rank ~n r] is the number of elements of rank [r]; useful to
+    sanity-check the geometric decay of high ranks. *)

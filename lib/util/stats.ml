@@ -1,0 +1,96 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q out of range";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let percentile xs q =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile_sorted sorted 50.;
+    p95 = percentile_sorted sorted 95.;
+    p99 = percentile_sorted sorted 99.;
+  }
+
+let summarize_ints xs = summarize (Array.map float_of_int xs)
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let fn = float_of_int n in
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. fn in
+  (slope, intercept)
+
+let r_squared points =
+  let slope, intercept = linear_fit points in
+  let ys = Array.map snd points in
+  let ym = mean ys in
+  let ss_tot = Array.fold_left (fun acc y -> acc +. ((y -. ym) *. (y -. ym))) 0. ys in
+  let ss_res =
+    Array.fold_left
+      (fun acc (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        acc +. (e *. e))
+      0. points
+  in
+  if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.median s.p95 s.p99 s.max

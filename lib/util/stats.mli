@@ -1,0 +1,36 @@
+(** Small statistics toolkit for the experiment harness: summary statistics,
+    percentiles, and least-squares fits used to compare measured growth
+    against the paper's asymptotic claims. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Summary statistics of a non-empty sample. *)
+
+val summarize_ints : int array -> summary
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] for [q] in [0, 100], with linear interpolation between
+    order statistics.  [xs] need not be sorted. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] is [(slope, intercept)] of the least-squares line
+    through [points].  Used to fit, e.g., forest height against [lg n].
+    Requires at least two distinct x values. *)
+
+val r_squared : (float * float) array -> float
+(** Coefficient of determination of the least-squares fit. *)
+
+val pp_summary : Format.formatter -> summary -> unit

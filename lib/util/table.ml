@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = { headers : string list; aligns : align list; mutable rows : row list }
+
+let default_align header =
+  (* Headers that name textual columns keep left alignment; everything else
+     (numbers) reads better right aligned. *)
+  ignore header;
+  Right
+
+let create ~headers =
+  { headers; aligns = List.map default_align headers; rows = [] }
+
+let create_aligned ~headers ~aligns =
+  if List.length headers <> List.length aligns then
+    invalid_arg "Table.create_aligned: length mismatch";
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.headers :: List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let slack = width - String.length s in
+    match align with
+    | Left -> s ^ String.make slack ' '
+    | Right -> String.make slack ' ' ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let align = List.nth t.aligns i in
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule_line () =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "--";
+      Buffer.add_string buf (String.make widths.(i) '-')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule_line ();
+  List.iter (function Cells c -> emit_cells c | Rule -> rule_line ()) rows;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let cell_ratio f = Printf.sprintf "%.2fx" f

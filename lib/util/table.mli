@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the experiment reports.  Every experiment
+    in the bench harness prints its results through this module so the output
+    has a single consistent shape that EXPERIMENTS.md can quote directly. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers.  Numeric-looking cells are right
+    aligned by default; override with [~aligns]. *)
+
+val create_aligned : headers:string list -> aligns:align list -> t
+
+val add_row : t -> string list -> unit
+(** Rows must have exactly as many cells as there are headers. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : float -> string
+(** Two-decimal ratio rendered with a trailing [x], e.g. ["3.20x"]. *)

@@ -1,0 +1,18 @@
+let chain ~n = List.init (n - 1) (fun i -> Op.Unite (i, i + 1))
+
+let star ~n = List.init (n - 1) (fun i -> Op.Unite (0, i + 1))
+
+let double_binary ~n =
+  (* Edges of the complete binary heap layout, deepest nodes first: node i
+     links to its parent (i-1)/2. *)
+  List.init (n - 1) (fun i ->
+      let child = n - 1 - i in
+      Op.Unite (child, (child - 1) / 2))
+
+let contended_pair ~m ~x ~y = List.init m (fun _ -> Op.Unite (x, y))
+
+let all_same_set ~rng ~n ~m =
+  List.init m (fun _ ->
+      let x = Repro_util.Rng.int rng n in
+      let y = Repro_util.Rng.int rng n in
+      Op.Same_set (x, y))

@@ -1,0 +1,22 @@
+(** Hand-shaped stress workloads: degenerate union orders and maximal
+    contention.  With randomized linking the resulting {e tree} shapes stay
+    shallow whatever the union order — that robustness is what these inputs
+    exercise — while the contention workloads maximize CAS interference. *)
+
+val chain : n:int -> Op.t list
+(** [unite (0, 1); unite (1, 2); ...] — the order that builds a path under
+    naive linking. *)
+
+val star : n:int -> Op.t list
+(** [unite (0, i)] for all [i] — every union through one hub element. *)
+
+val double_binary : n:int -> Op.t list
+(** Unions along a complete binary tree's edges, leaves first — the order
+    that maximizes rank growth under linking by rank. *)
+
+val contended_pair : m:int -> x:int -> y:int -> Op.t list
+(** [m] unites of the same two elements; after the first succeeds, the rest
+    race on the same roots. *)
+
+val all_same_set : rng:Repro_util.Rng.t -> n:int -> m:int -> Op.t list
+(** [m] random queries, no unions: the read-only regime. *)

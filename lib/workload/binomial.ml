@@ -1,0 +1,46 @@
+let is_power_of_two k = k > 0 && k land (k - 1) = 0
+
+let check_k k =
+  if not (is_power_of_two k) then
+    invalid_arg "Binomial: tree size must be a positive power of two"
+
+let rounds ~base ~k =
+  check_k k;
+  (* Representatives of the current trees, in block order. *)
+  let reps = ref (List.init k (fun i -> base + i)) in
+  let out = ref [] in
+  while List.length !reps > 1 do
+    let rec pair acc ops = function
+      | a :: b :: rest -> pair (a :: acc) (Op.Unite (a, b) :: ops) rest
+      | [] -> (List.rev acc, List.rev ops)
+      | [ _ ] -> invalid_arg "Binomial.rounds: odd number of representatives"
+    in
+    let new_reps, ops = pair [] [] !reps in
+    reps := new_reps;
+    out := ops :: !out
+  done;
+  List.rev !out
+
+let schedule ~base ~k = List.concat (rounds ~base ~k)
+
+let representative ~base ~k =
+  check_k k;
+  base
+
+let check_forest ~n ~tree_size =
+  check_k tree_size;
+  if n < tree_size || n mod tree_size <> 0 then
+    invalid_arg "Binomial: tree_size must divide n"
+
+let forest_schedule ~n ~tree_size =
+  check_forest ~n ~tree_size;
+  List.init (n / tree_size) (fun b -> schedule ~base:(b * tree_size) ~k:tree_size)
+  |> List.concat
+
+let probe_nodes ~rng ~n ~tree_size =
+  check_forest ~n ~tree_size;
+  List.init (n / tree_size) (fun b ->
+      (b * tree_size) + Repro_util.Rng.int rng tree_size)
+
+let probes ~rng ~n ~tree_size =
+  List.map (fun x -> Op.Same_set (x, x)) (probe_nodes ~rng ~n ~tree_size)

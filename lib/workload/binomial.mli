@@ -1,0 +1,34 @@
+(** The binomial-tree-style construction of Lemma 5.3: [k - 1] Unites that
+    build a [k]-node tree with average node depth Ω(log k) {e despite}
+    splitting — start with singletons, unite in pairs, unite the resulting
+    trees in pairs, and repeat, always accessing trees through their
+    designated representatives (which stay within depth 2, so the finds
+    barely compact anything).
+
+    This is the adversarial input of the lower-bound experiments E6 and E7:
+    a deep forest that forces Ω(log(np/m)) work per subsequent find. *)
+
+val rounds : base:int -> k:int -> Op.t list list
+(** The construction over elements [base .. base + k - 1], [k] a power of
+    two: [lg k] rounds, round [i] holding [k / 2^(i+1)] unites of
+    representative pairs.  Unites within a round touch disjoint trees, so a
+    round may execute concurrently. *)
+
+val schedule : base:int -> k:int -> Op.t list
+(** The rounds flattened to one sequential schedule. *)
+
+val representative : base:int -> k:int -> int
+(** The representative of the final tree. *)
+
+val forest_schedule : n:int -> tree_size:int -> Op.t list
+(** Lower-bound step (a) of Theorem 5.4: partition [0 .. n-1] into
+    [n / tree_size] blocks and build one Lemma-5.3 tree per block.
+    [tree_size] must be a power of two dividing [n]. *)
+
+val probe_nodes : rng:Repro_util.Rng.t -> n:int -> tree_size:int -> int list
+(** Lower-bound step (b): one uniformly random node from each tree. *)
+
+val probes : rng:Repro_util.Rng.t -> n:int -> tree_size:int -> Op.t list
+(** Lower-bound step (c): the [Same_set (x_i, x_i)] probes, one per tree;
+    run a copy on each of the [p] processes in lockstep to realize the
+    Ω(m log(np/m)) bound. *)

@@ -1,0 +1,88 @@
+type t = Unite of int * int | Same_set of int * int | Find of int
+
+let pp ppf = function
+  | Unite (x, y) -> Format.fprintf ppf "unite(%d, %d)" x y
+  | Same_set (x, y) -> Format.fprintf ppf "same_set(%d, %d)" x y
+  | Find x -> Format.fprintf ppf "find(%d)" x
+
+let max_node ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Unite (x, y) | Same_set (x, y) -> max acc (max x y)
+      | Find x -> max acc x)
+    (-1) ops
+
+let count_unites ops =
+  List.fold_left
+    (fun acc op -> match op with Unite _ -> acc + 1 | Same_set _ | Find _ -> acc)
+    0 ops
+
+let round_robin items ~p =
+  if p < 1 then invalid_arg "Op.round_robin: p must be >= 1";
+  let buckets = Array.make p [] in
+  List.iteri (fun i item -> buckets.(i mod p) <- item :: buckets.(i mod p)) items;
+  Array.map List.rev buckets
+
+let blocks items ~p =
+  if p < 1 then invalid_arg "Op.blocks: p must be >= 1";
+  let arr = Array.of_list items in
+  let total = Array.length arr in
+  let base = total / p and extra = total mod p in
+  let buckets = Array.make p [] in
+  let pos = ref 0 in
+  for i = 0 to p - 1 do
+    let len = base + if i < extra then 1 else 0 in
+    buckets.(i) <- Array.to_list (Array.sub arr !pos len);
+    pos := !pos + len
+  done;
+  buckets
+
+let duplicate items ~p =
+  if p < 1 then invalid_arg "Op.duplicate: p must be >= 1";
+  Array.make p items
+
+let run_native d ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Unite (x, y) -> Dsu.Native.unite d x y
+      | Same_set (x, y) -> ignore (Dsu.Native.same_set d x y)
+      | Find x -> ignore (Dsu.Native.find d x))
+    ops
+
+let run_seq d ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Unite (x, y) -> Sequential.Seq_dsu.unite d x y
+      | Same_set (x, y) -> ignore (Sequential.Seq_dsu.same_set d x y)
+      | Find x -> ignore (Sequential.Seq_dsu.find d x))
+    ops
+
+let run_quick_find d ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Unite (x, y) -> Sequential.Quick_find.unite d x y
+      | Same_set (x, y) -> ignore (Sequential.Quick_find.same_set d x y)
+      | Find x -> ignore (Sequential.Quick_find.label d x))
+    ops
+
+let to_sim_ops h ops =
+  List.map
+    (fun op ->
+      match op with
+      | Unite (x, y) -> Dsu.Sim.unite_op h x y
+      | Same_set (x, y) -> Dsu.Sim.same_set_op h x y
+      | Find x -> Dsu.Sim.find_op h x)
+    ops
+
+let to_sim_ops_aw h ops =
+  List.map
+    (fun op ->
+      match op with
+      | Unite (x, y) -> Baselines.Anderson_woll.Sim.unite_op h x y
+      | Same_set (x, y) -> Baselines.Anderson_woll.Sim.same_set_op h x y
+      | Find x -> Baselines.Anderson_woll.Sim.same_set_op h x x)
+    ops

@@ -1,0 +1,37 @@
+(** Abstract set operations, the currency of workload generators: a workload
+    is an [op list] (or one list per process), executable against any of the
+    implementations — native, simulated, sequential — so the same workload
+    drives correctness tests and cross-implementation work comparisons. *)
+
+type t = Unite of int * int | Same_set of int * int | Find of int
+
+val pp : Format.formatter -> t -> unit
+val max_node : t list -> int
+val count_unites : t list -> int
+
+(** {1 Distribution across processes} *)
+
+val round_robin : 'a list -> p:int -> 'a list array
+(** Deal the list out cyclically to [p] processes, preserving per-process
+    order. *)
+
+val blocks : 'a list -> p:int -> 'a list array
+(** Split into [p] contiguous blocks of near-equal length. *)
+
+val duplicate : 'a list -> p:int -> 'a list array
+(** Every process gets the whole list — the lockstep workloads of the
+    lower-bound experiments (Theorem 5.4). *)
+
+(** {1 Execution} *)
+
+val run_native : Dsu.Native.t -> t list -> unit
+val run_seq : Sequential.Seq_dsu.t -> t list -> unit
+val run_quick_find : Sequential.Quick_find.t -> t list -> unit
+
+val to_sim_ops : Dsu.Sim.t -> t list -> (unit -> unit) list
+(** Closures for {!Apram.Sim.run_ops}, each recording itself in the
+    history. *)
+
+val to_sim_ops_aw : Baselines.Anderson_woll.Sim.t -> t list -> (unit -> unit) list
+(** Same for the Anderson–Woll baseline ([Find] is run as a [same_set] with
+    itself, since AW exposes the same interface through its own root type). *)

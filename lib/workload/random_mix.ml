@@ -1,0 +1,37 @@
+module Rng = Repro_util.Rng
+
+let spanning_unites ~rng ~n =
+  if n < 1 then invalid_arg "Random_mix.spanning_unites: n must be >= 1";
+  let relabel = Rng.permutation rng n in
+  let edges = ref [] in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng i in
+    edges := Op.Unite (relabel.(i), relabel.(j)) :: !edges
+  done;
+  let arr = Array.of_list !edges in
+  Rng.shuffle rng arr;
+  Array.to_list arr
+
+let random_pairs ~rng ~n ~m =
+  List.init m (fun _ ->
+      let x = Rng.int rng n in
+      let y = Rng.int rng n in
+      Op.Unite (x, y))
+
+let mixed ~rng ~n ~m ~unite_fraction =
+  if unite_fraction < 0. || unite_fraction > 1. then
+    invalid_arg "Random_mix.mixed: unite_fraction out of range";
+  List.init m (fun _ ->
+      let x = Rng.int rng n in
+      let y = Rng.int rng n in
+      if Rng.float rng < unite_fraction then Op.Unite (x, y) else Op.Same_set (x, y))
+
+let queries_after_union ~rng ~n ~queries =
+  let unions = spanning_unites ~rng ~n in
+  let qs =
+    List.init queries (fun _ ->
+        let x = Rng.int rng n in
+        let y = Rng.int rng n in
+        Op.Same_set (x, y))
+  in
+  unions @ qs

@@ -1,0 +1,22 @@
+(** Random workload generators: the bread-and-butter inputs of the work
+    experiments (E1, E4, E5, E8). *)
+
+val spanning_unites : rng:Repro_util.Rng.t -> n:int -> Op.t list
+(** [n - 1] unites forming a uniformly random recursive tree over the [n]
+    elements, in random order: element [i] (in a random relabeling) is
+    united with a uniformly chosen earlier element.  Executing all of them
+    yields a single set. *)
+
+val random_pairs : rng:Repro_util.Rng.t -> n:int -> m:int -> Op.t list
+(** [m] unites with both endpoints uniform on [0, n): the classic random
+    multigraph workload; duplicate and redundant unions occur naturally. *)
+
+val mixed :
+  rng:Repro_util.Rng.t -> n:int -> m:int -> unite_fraction:float -> Op.t list
+(** [m] operations; each is a [Unite] with probability [unite_fraction]
+    (else a [Same_set]), endpoints uniform. *)
+
+val queries_after_union :
+  rng:Repro_util.Rng.t -> n:int -> queries:int -> Op.t list
+(** A spanning-union phase followed by [queries] random [Same_set]s — the
+    find-dominated regime where compaction pays. *)

@@ -1,0 +1,434 @@
+(* Tests for the APRAM simulator substrate: memory semantics, scheduling
+   policies, step accounting, history recording, and the effect plumbing. *)
+
+module Memory = Apram.Memory
+module Scheduler = Apram.Scheduler
+module Process = Apram.Process
+module Sim = Apram.Sim
+module History = Apram.History
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* --------------------------------------------------------------- Memory *)
+
+let memory_tests =
+  [
+    case "create initializes via f" (fun () ->
+        let m = Memory.create 4 (fun i -> 10 * i) in
+        check Alcotest.int "len" 4 (Memory.length m);
+        check Alcotest.int "cell 3" 30 (Memory.peek m 3));
+    case "read op" (fun () ->
+        let m = Memory.create 2 (fun i -> i + 5) in
+        check Alcotest.int "read" 6 (Memory.apply m (Memory.Read 1)));
+    case "write op returns value and stores" (fun () ->
+        let m = Memory.create 1 (fun _ -> 0) in
+        check Alcotest.int "write result" 9 (Memory.apply m (Memory.Write (0, 9)));
+        check Alcotest.int "stored" 9 (Memory.peek m 0));
+    case "cas success" (fun () ->
+        let m = Memory.create 1 (fun _ -> 3) in
+        check Alcotest.int "cas" 1 (Memory.apply m (Memory.Cas (0, 3, 4)));
+        check Alcotest.int "stored" 4 (Memory.peek m 0));
+    case "cas failure leaves memory" (fun () ->
+        let m = Memory.create 1 (fun _ -> 3) in
+        check Alcotest.int "cas" 0 (Memory.apply m (Memory.Cas (0, 7, 4)));
+        check Alcotest.int "unchanged" 3 (Memory.peek m 0));
+    case "address_of_op" (fun () ->
+        check Alcotest.int "read" 5 (Memory.address_of_op (Memory.Read 5));
+        check Alcotest.int "write" 6 (Memory.address_of_op (Memory.Write (6, 0)));
+        check Alcotest.int "cas" 7 (Memory.address_of_op (Memory.Cas (7, 0, 1))));
+    case "is_cas" (fun () ->
+        check Alcotest.bool "cas" true (Memory.is_cas (Memory.Cas (0, 0, 0)));
+        check Alcotest.bool "read" false (Memory.is_cas (Memory.Read 0)));
+    case "snapshot is a copy" (fun () ->
+        let m = Memory.create 2 (fun i -> i) in
+        let s = Memory.snapshot m in
+        Memory.poke m 0 99;
+        check Alcotest.int "stale" 0 s.(0));
+  ]
+
+(* ------------------------------------------------------------------ Sim *)
+
+let run_simple ?(sched = Scheduler.round_robin ()) ~mem_size ~init bodies =
+  Sim.run ~mem_size ~init ~sched bodies
+
+let sim_tests =
+  [
+    case "single process, exact step count" (fun () ->
+        let body _pid =
+          Process.write 0 1;
+          ignore (Process.read 0);
+          ignore (Process.cas 0 1 2)
+        in
+        let o = run_simple ~mem_size:1 ~init:(fun _ -> 0) [| body |] in
+        check Alcotest.int "steps" 3 o.Sim.total_steps;
+        check Alcotest.int "p0 steps" 3 o.Sim.steps.(0);
+        check Alcotest.int "final" 2 (Memory.peek o.Sim.memory 0));
+    case "local-only process costs zero steps" (fun () ->
+        let body _pid = ignore (1 + 1) in
+        let o = run_simple ~mem_size:1 ~init:(fun _ -> 0) [| body |] in
+        check Alcotest.int "steps" 0 o.Sim.total_steps);
+    case "cas atomicity: exactly one winner" (fun () ->
+        List.iter
+          (fun sched ->
+            let won = Array.make 3 false in
+            let body pid = won.(pid) <- Process.cas 0 0 (pid + 1) in
+            let o =
+              Sim.run ~mem_size:1 ~init:(fun _ -> 0) ~sched
+                (Array.make 3 (fun pid -> body pid))
+            in
+            let winners = Array.to_list won |> List.filter Fun.id |> List.length in
+            check Alcotest.int "one winner" 1 winners;
+            check Alcotest.bool "memory matches winner" true
+              (let v = Memory.peek o.Sim.memory 0 in
+               v >= 1 && v <= 3 && won.(v - 1)))
+          [
+            Scheduler.round_robin ();
+            Scheduler.sequential ();
+            Scheduler.random ~seed:5;
+            Scheduler.cas_adversary ~seed:6;
+          ]);
+    case "sequential scheduler runs p0 to completion first" (fun () ->
+        (* p0 writes then reads its own write; p1 would overwrite if it ran
+           in between. *)
+        let trace = ref [] in
+        let body pid =
+          Process.write 0 pid;
+          let v = Process.read 0 in
+          trace := (pid, v) :: !trace
+        in
+        let o =
+          Sim.run ~mem_size:1 ~init:(fun _ -> 99) ~sched:(Scheduler.sequential ())
+            [| body; body |]
+        in
+        check Alcotest.int "steps" 4 o.Sim.total_steps;
+        check
+          Alcotest.(list (pair int int))
+          "each read own write"
+          [ (0, 0); (1, 1) ]
+          (List.rev !trace));
+    case "round robin alternates" (fun () ->
+        (* Both processes increment distinct counters k times; under round
+           robin both finish with identical step counts. *)
+        let body pid =
+          for _ = 1 to 10 do
+            let v = Process.read pid in
+            Process.write pid (v + 1)
+          done
+        in
+        let o =
+          Sim.run ~mem_size:2 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+            [| body; body |]
+        in
+        check Alcotest.int "p0" 20 o.Sim.steps.(0);
+        check Alcotest.int "p1" 20 o.Sim.steps.(1);
+        check Alcotest.int "cell0" 10 (Memory.peek o.Sim.memory 0);
+        check Alcotest.int "cell1" 10 (Memory.peek o.Sim.memory 1));
+    case "random scheduler is deterministic given seed" (fun () ->
+        let run () =
+          let body pid =
+            for i = 0 to 9 do
+              Process.write ((pid + i) mod 4) i
+            done
+          in
+          let o =
+            Sim.run ~mem_size:4 ~init:(fun _ -> 0) ~sched:(Scheduler.random ~seed:11)
+              [| body; body; body |]
+          in
+          (o.Sim.total_steps, Memory.snapshot o.Sim.memory)
+        in
+        let a = run () and b = run () in
+        check Alcotest.int "steps equal" (fst a) (fst b);
+        check Alcotest.(array int) "memory equal" (snd a) (snd b));
+    case "interleaving visible under round robin" (fun () ->
+        (* p0: write 0 <- 1; read 1.  p1: write 1 <- 1; read 0.  Round robin
+           guarantees both reads see the other's write (the classic SB test
+           cannot give 0/0 under any sequentially consistent interleaving of
+           this schedule). *)
+        let r0 = ref (-1) and r1 = ref (-1) in
+        let body0 _ =
+          Process.write 0 1;
+          r0 := Process.read 1
+        in
+        let body1 _ =
+          Process.write 1 1;
+          r1 := Process.read 0
+        in
+        ignore
+          (Sim.run ~mem_size:2 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+             [| body0; body1 |]);
+        check Alcotest.bool "not both zero" true (not (!r0 = 0 && !r1 = 0)));
+    case "laggard victim still completes" (fun () ->
+        let done_flags = Array.make 3 false in
+        let body pid =
+          for _ = 1 to 20 do
+            ignore (Process.read 0)
+          done;
+          done_flags.(pid) <- true
+        in
+        ignore
+          (Sim.run ~mem_size:1 ~init:(fun _ -> 0)
+             ~sched:(Scheduler.laggard ~seed:3 ~victim:0 ~delay:7)
+             (Array.make 3 (fun pid -> body pid)));
+        Array.iteri
+          (fun i f -> check Alcotest.bool (Printf.sprintf "p%d done" i) true f)
+          done_flags);
+    case "quantum scheduler completes everything" (fun () ->
+        let body _ =
+          for _ = 1 to 25 do
+            ignore (Process.read 0)
+          done
+        in
+        let o =
+          Sim.run ~mem_size:1 ~init:(fun _ -> 0)
+            ~sched:(Scheduler.quantum ~seed:4 ~quantum:5)
+            (Array.make 4 (fun pid -> body pid))
+        in
+        check Alcotest.int "total" 100 o.Sim.total_steps);
+    case "max_steps guards against livelock" (fun () ->
+        let body _ =
+          while true do
+            ignore (Process.read 0)
+          done
+        in
+        Alcotest.check_raises "livelock"
+          (Failure "Sim.run: max_steps exceeded (livelock or runaway workload)")
+          (fun () ->
+            ignore
+              (Sim.run ~max_steps:100 ~mem_size:1 ~init:(fun _ -> 0)
+                 ~sched:(Scheduler.round_robin ())
+                 [| body |])));
+    case "Self returns the pid" (fun () ->
+        let seen = Array.make 3 (-1) in
+        let body pid =
+          ignore (Process.read 0);
+          seen.(pid) <- Process.self ()
+        in
+        ignore
+          (Sim.run ~mem_size:1 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+             (Array.make 3 (fun pid -> body pid)));
+        Array.iteri (fun i v -> check Alcotest.int (string_of_int i) i v) seen);
+    case "exceptions propagate" (fun () ->
+        let body _ =
+          ignore (Process.read 0);
+          failwith "boom"
+        in
+        Alcotest.check_raises "boom" (Failure "boom") (fun () ->
+            ignore
+              (Sim.run ~mem_size:1 ~init:(fun _ -> 0)
+                 ~sched:(Scheduler.round_robin ())
+                 [| body |])));
+    case "custom scheduler drives choices" (fun () ->
+        (* Always pick the highest pid: p1 completes before p0 starts. *)
+        let sched =
+          Scheduler.custom ~name:"highest" (fun ~memory:_ pending ->
+              (List.nth pending (List.length pending - 1)).Scheduler.pid)
+        in
+        let order = ref [] in
+        let body pid =
+          ignore (Process.read 0);
+          order := pid :: !order
+        in
+        ignore (Sim.run ~mem_size:1 ~init:(fun _ -> 0) ~sched [| body; body |]);
+        check Alcotest.(list int) "order" [ 1; 0 ] (List.rev !order));
+  ]
+
+(* -------------------------------------------------------------- History *)
+
+let history_tests =
+  [
+    case "invoke/return pairing with step costs" (fun () ->
+        let body _ =
+          Process.record_invoke ~name:"op_a" ~args:[ 1 ];
+          ignore (Process.read 0);
+          ignore (Process.read 0);
+          Process.record_return 7;
+          Process.record_invoke ~name:"op_b" ~args:[];
+          ignore (Process.read 0);
+          Process.record_return 8
+        in
+        let o =
+          Sim.run ~mem_size:1 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+            [| body |]
+        in
+        let ops = History.complete_ops o.Sim.history in
+        check Alcotest.int "two ops" 2 (List.length ops);
+        (match ops with
+        | [ a; b ] ->
+          check Alcotest.string "name a" "op_a" a.History.call.History.name;
+          check Alcotest.int "steps a" 2 a.History.steps;
+          check Alcotest.int "result a" 7 a.History.result;
+          check Alcotest.string "name b" "op_b" b.History.call.History.name;
+          check Alcotest.int "steps b" 1 b.History.steps
+        | _ -> Alcotest.fail "expected two ops"));
+    case "pending operations detected" (fun () ->
+        let body _ =
+          Process.record_invoke ~name:"never_returns" ~args:[];
+          ignore (Process.read 0)
+        in
+        let o =
+          Sim.run ~mem_size:1 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+            [| body |]
+        in
+        check Alcotest.int "pending" 1 (List.length (History.pending_calls o.Sim.history));
+        check Alcotest.int "complete" 0
+          (List.length (History.complete_ops o.Sim.history)));
+    case "op_step_costs ordering" (fun () ->
+        let body _ =
+          Process.record_invoke ~name:"x" ~args:[];
+          ignore (Process.read 0);
+          Process.record_return 0;
+          Process.record_invoke ~name:"y" ~args:[];
+          ignore (Process.read 0);
+          ignore (Process.read 0);
+          ignore (Process.read 0);
+          Process.record_return 0
+        in
+        let o =
+          Sim.run ~mem_size:1 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+            [| body |]
+        in
+        check Alcotest.(list int) "costs" [ 1; 3 ] (History.op_step_costs o.Sim.history));
+    case "overlapping invocations on one pid rejected" (fun () ->
+        let events =
+          [
+            History.Invoke { pid = 0; call = { History.name = "a"; args = [] }; step = 0 };
+            History.Invoke { pid = 0; call = { History.name = "b"; args = [] }; step = 1 };
+          ]
+        in
+        Alcotest.check_raises "overlap"
+          (Invalid_argument "History.complete_ops: overlapping invocations on one process")
+          (fun () -> ignore (History.complete_ops events)));
+    case "return without invocation rejected" (fun () ->
+        let events = [ History.Return { pid = 0; value = 1; step = 0 } ] in
+        Alcotest.check_raises "orphan"
+          (Invalid_argument "History.complete_ops: return without invocation")
+          (fun () -> ignore (History.complete_ops events)));
+  ]
+
+(* --------------------------------------------------------- run_ops glue *)
+
+let trace_tests =
+  [
+    case "on_step observes every applied step in order" (fun () ->
+        let trace = ref [] in
+        let body _ =
+          Process.write 0 7;
+          ignore (Process.read 0);
+          ignore (Process.cas 0 7 9)
+        in
+        ignore
+          (Sim.run
+             ~on_step:(fun ~pid ~op ~result -> trace := (pid, op, result) :: !trace)
+             ~mem_size:1 ~init:(fun _ -> 0) ~sched:(Scheduler.round_robin ())
+             [| body |]);
+        (match List.rev !trace with
+        | [ (0, Memory.Write (0, 7), 7); (0, Memory.Read 0, 7); (0, Memory.Cas (0, 7, 9), 1) ] -> ()
+        | other ->
+          Alcotest.failf "unexpected trace (%d entries)" (List.length other)));
+  ]
+
+(* ------------------------------------------------------------- explore *)
+
+let explore_tests =
+  [
+    case "counts schedules of independent processes" (fun () ->
+        (* Two processes, two steps each, touching distinct cells: the
+           number of interleavings is C(4,2) = 6. *)
+        let make_ops () =
+          Array.init 2 (fun pid ->
+              [ (fun () -> Process.write pid 1); (fun () -> Process.write pid 2) ])
+        in
+        let s =
+          Apram.Explore.count_schedules ~mem_size:2 ~init:(fun _ -> 0) ~make_ops ()
+        in
+        check Alcotest.int "schedules" 6 s.Apram.Explore.schedules;
+        check Alcotest.bool "complete" false s.Apram.Explore.truncated);
+    case "finds the lost-update interleaving" (fun () ->
+        (* Two read-then-write increments: some schedule loses an update,
+           and the explorer must find it. *)
+        let make_ops () =
+          Array.init 2 (fun _ ->
+              [
+                (fun () ->
+                  let v = Process.read 0 in
+                  Process.write 0 (v + 1));
+              ])
+        in
+        match
+          Apram.Explore.run_all ~mem_size:1 ~init:(fun _ -> 0) ~make_ops
+            ~check:(fun o -> Memory.peek o.Sim.memory 0 = 2)
+            ()
+        with
+        | Ok _ -> Alcotest.fail "expected a lost update"
+        | Error v ->
+          check Alcotest.int "final value" 1 (Memory.peek v.Apram.Explore.outcome.Sim.memory 0);
+          check Alcotest.bool "nonempty schedule" true (v.Apram.Explore.choices <> []));
+    case "single process has exactly one schedule" (fun () ->
+        let make_ops () = [| [ (fun () -> Process.write 0 1) ] |] in
+        let s =
+          Apram.Explore.count_schedules ~mem_size:1 ~init:(fun _ -> 0) ~make_ops ()
+        in
+        check Alcotest.int "schedules" 1 s.Apram.Explore.schedules);
+    case "max_schedules truncates" (fun () ->
+        let make_ops () =
+          Array.init 3 (fun pid ->
+              [ (fun () -> Process.write pid 1); (fun () -> Process.write pid 2) ])
+        in
+        let s =
+          Apram.Explore.count_schedules ~max_schedules:10 ~mem_size:3
+            ~init:(fun _ -> 0) ~make_ops ()
+        in
+        check Alcotest.int "schedules" 10 s.Apram.Explore.schedules;
+        check Alcotest.bool "truncated" true s.Apram.Explore.truncated);
+    case "atomic cas increments never lose updates" (fun () ->
+        (* The CAS-retry loop version must pass on every schedule. *)
+        let make_ops () =
+          Array.init 2 (fun _ ->
+              [
+                (fun () ->
+                  let rec retry () =
+                    let v = Process.read 0 in
+                    if not (Process.cas 0 v (v + 1)) then retry ()
+                  in
+                  retry ());
+              ])
+        in
+        match
+          Apram.Explore.run_all ~mem_size:1 ~init:(fun _ -> 0) ~make_ops
+            ~check:(fun o -> Memory.peek o.Sim.memory 0 = 2)
+            ()
+        with
+        | Ok s -> check Alcotest.bool "several schedules" true (s.Apram.Explore.schedules > 1)
+        | Error _ -> Alcotest.fail "cas loop lost an update");
+  ]
+
+let run_ops_tests =
+  [
+    case "closures execute in order per process" (fun () ->
+        let log = ref [] in
+        let mk pid i () =
+          ignore (Process.read 0);
+          log := (pid, i) :: !log
+        in
+        let ops = [| [ mk 0 0; mk 0 1 ]; [ mk 1 0; mk 1 1 ] |] in
+        ignore
+          (Sim.run_ops ~mem_size:1 ~init:(fun _ -> 0)
+             ~sched:(Scheduler.sequential ()) ops);
+        check
+          Alcotest.(list (pair int int))
+          "order"
+          [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+          (List.rev !log));
+  ]
+
+let () =
+  Alcotest.run "apram"
+    [
+      ("memory", memory_tests);
+      ("sim", sim_tests);
+      ("history", history_tests);
+      ("trace", trace_tests);
+      ("explore", explore_tests);
+      ("run_ops", run_ops_tests);
+    ]

@@ -1,0 +1,192 @@
+(* Tests for the baselines: the Anderson–Woll reconstruction (native and
+   simulated, with and without indirection modeling) and the global-lock
+   DSU. *)
+
+module AW = Baselines.Anderson_woll
+module Locked = Baselines.Locked_dsu
+module Quick_find = Sequential.Quick_find
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let aw_native_tests =
+  [
+    case "singletons at creation" (fun () ->
+        let d = AW.Native.create 8 in
+        check Alcotest.int "count" 8 (AW.Native.count_sets d);
+        check Alcotest.bool "0!~1" false (AW.Native.same_set d 0 1));
+    case "unite and transitivity" (fun () ->
+        let d = AW.Native.create 8 in
+        AW.Native.unite d 0 1;
+        AW.Native.unite d 1 2;
+        check Alcotest.bool "0~2" true (AW.Native.same_set d 0 2);
+        check Alcotest.int "count" 6 (AW.Native.count_sets d));
+    case "matches oracle on random workload" (fun () ->
+        List.iter
+          (fun indirection ->
+            let n = 60 in
+            let d = AW.Native.create ~indirection n in
+            let q = Quick_find.create n in
+            let rng = Rng.create 23 in
+            for _ = 1 to 600 do
+              let x = Rng.int rng n and y = Rng.int rng n in
+              if Rng.bool rng then begin
+                AW.Native.unite d x y;
+                Quick_find.unite q x y
+              end
+              else
+                check Alcotest.bool "query" (Quick_find.same_set q x y)
+                  (AW.Native.same_set d x y)
+            done;
+            check Alcotest.int "count" (Quick_find.count_sets q)
+              (AW.Native.count_sets d))
+          [ false; true ]);
+    case "find returns a member of the set" (fun () ->
+        let d = AW.Native.create 8 in
+        AW.Native.unite d 3 4;
+        let r = AW.Native.find d 3 in
+        check Alcotest.bool "same" true (AW.Native.same_set d r 4));
+  ]
+  @ [
+      case "star unions collapse to one set" (fun () ->
+          let n = 64 in
+          let d = AW.Native.create ~collect_stats:true n in
+          List.iter
+            (fun op ->
+              match op with
+              | Workload.Op.Unite (x, y) -> AW.Native.unite d x y
+              | Workload.Op.Same_set (x, y) -> ignore (AW.Native.same_set d x y)
+              | Workload.Op.Find x -> ignore (AW.Native.find d x))
+            (Workload.Adversarial.star ~n);
+          check Alcotest.int "one set" 1 (AW.Native.count_sets d);
+          check Alcotest.int "links" (n - 1) (AW.Native.stats d).Dsu.Stats.links);
+      case "stats disabled by default" (fun () ->
+          let d = AW.Native.create 4 in
+          AW.Native.unite d 0 1;
+          check Alcotest.int "zero" 0 (AW.Native.stats d).Dsu.Stats.unite_calls);
+    ]
+
+let aw_sim_tests =
+  [
+    case "sim partition matches oracle under schedulers" (fun () ->
+        let n = 20 in
+        let rng = Rng.create 3 in
+        let ops_lists =
+          Array.init 3 (fun _ ->
+              List.init 10 (fun _ ->
+                  Workload.Op.Unite (Rng.int rng n, Rng.int rng n)))
+        in
+        let q = Quick_find.create n in
+        Array.iter
+          (List.iter (fun op ->
+               match op with
+               | Workload.Op.Unite (x, y) -> Quick_find.unite q x y
+               | Workload.Op.Same_set _ | Workload.Op.Find _ -> ()))
+          ops_lists;
+        List.iter
+          (fun sched ->
+            let h = AW.Sim.handle n in
+            let bodies = Array.map (Workload.Op.to_sim_ops_aw h) ops_lists in
+            let outcome =
+              Apram.Sim.run_ops ~mem_size:(AW.Sim.mem_size n) ~init:(AW.Sim.init n)
+                ~sched bodies
+            in
+            (* Decode the final parents from the packed words. *)
+            let parent i = Apram.Memory.peek outcome.Apram.Sim.memory i mod n in
+            let rec root i = if parent i = i then i else root (parent i) in
+            for x = 0 to n - 1 do
+              for y = x to n - 1 do
+                check Alcotest.bool
+                  (Printf.sprintf "%s %d %d" (Apram.Scheduler.name sched) x y)
+                  (Quick_find.same_set q x y)
+                  (root x = root y)
+              done
+            done)
+          [
+            Apram.Scheduler.round_robin ();
+            Apram.Scheduler.random ~seed:4;
+            Apram.Scheduler.cas_adversary ~seed:5;
+          ]);
+    case "indirection costs more steps on the same workload" (fun () ->
+        let n = 128 in
+        let rng = Rng.create 9 in
+        let ops =
+          Workload.Op.round_robin
+            (Workload.Random_mix.spanning_unites ~rng ~n
+            @ Workload.Adversarial.all_same_set ~rng ~n ~m:n)
+            ~p:4
+        in
+        let plain = Harness.Measure.run_sim_aw ~indirection:false ~n ~seed:6 ~ops () in
+        let ind = Harness.Measure.run_sim_aw ~indirection:true ~n ~seed:6 ~ops () in
+        check Alcotest.bool "more steps" true
+          (ind.Harness.Measure.aw_total_steps
+          > plain.Harness.Measure.aw_total_steps);
+        check Alcotest.bool "at most 2x" true
+          (ind.Harness.Measure.aw_total_steps
+          <= 2 * plain.Harness.Measure.aw_total_steps));
+    case "aw histories linearize" (fun () ->
+        let n = 6 in
+        let rng = Rng.create 13 in
+        for trial = 1 to 10 do
+          let ops =
+            Array.init 3 (fun _ ->
+                List.init 3 (fun _ ->
+                    let x = Rng.int rng n and y = Rng.int rng n in
+                    if Rng.bool rng then Workload.Op.Unite (x, y)
+                    else Workload.Op.Same_set (x, y)))
+          in
+          let h = AW.Sim.handle n in
+          let bodies = Array.map (Workload.Op.to_sim_ops_aw h) ops in
+          let outcome =
+            Apram.Sim.run_ops ~mem_size:(AW.Sim.mem_size n) ~init:(AW.Sim.init n)
+              ~sched:(Apram.Scheduler.random ~seed:trial) bodies
+          in
+          match Lincheck.Checker.check ~n outcome.Apram.Sim.history with
+          | Lincheck.Checker.Linearizable -> ()
+          | Lincheck.Checker.Not_linearizable msg -> Alcotest.fail msg
+        done);
+  ]
+
+let locked_tests =
+  [
+    case "basic operations" (fun () ->
+        let d = Locked.create 8 in
+        Locked.unite d 0 1;
+        check Alcotest.bool "0~1" true (Locked.same_set d 0 1);
+        check Alcotest.int "count" 7 (Locked.count_sets d);
+        check Alcotest.bool "find member" true (Locked.same_set d (Locked.find d 0) 1));
+    case "concurrent domains agree with oracle" (fun () ->
+        let n = 200 in
+        let d = Locked.create n in
+        let per_domain = 500 in
+        let worker k () =
+          let rng = Rng.create (100 + k) in
+          for _ = 1 to per_domain do
+            Locked.unite d (Rng.int rng n) (Rng.int rng n)
+          done
+        in
+        let handles = List.init 4 (fun k -> Domain.spawn (worker k)) in
+        List.iter Domain.join handles;
+        (* Replay the same deterministic streams sequentially. *)
+        let q = Quick_find.create n in
+        for k = 0 to 3 do
+          let rng = Rng.create (100 + k) in
+          for _ = 1 to per_domain do
+            Quick_find.unite q (Rng.int rng n) (Rng.int rng n)
+          done
+        done;
+        check Alcotest.int "count" (Quick_find.count_sets q) (Locked.count_sets d));
+    case "counters accessible" (fun () ->
+        let d = Locked.create 4 in
+        Locked.unite d 0 1;
+        check Alcotest.int "unites" 1 (Locked.counters d).Sequential.Seq_dsu.unites);
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("aw_native", aw_native_tests);
+      ("aw_sim", aw_sim_tests);
+      ("locked", locked_tests);
+    ]

@@ -1,0 +1,636 @@
+(* Tests for the graph substrate and the four DSU applications: connected
+   components, Kruskal, SCC, percolation. *)
+
+module Graph = Graphs.Graph
+module Digraph = Graphs.Digraph
+module Generators = Graphs.Generators
+module Components = Graphs.Components
+module Kruskal = Graphs.Kruskal
+module Scc = Graphs.Scc
+module Percolation = Graphs.Percolation
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---------------------------------------------------------------- graph *)
+
+let graph_tests =
+  [
+    case "create and accessors" (fun () ->
+        let g = Graph.create ~n:4 ~edges:[| (0, 1); (1, 2) |] in
+        check Alcotest.int "n" 4 (Graph.n g);
+        check Alcotest.int "m" 2 (Graph.num_edges g));
+    case "edge endpoints validated" (fun () ->
+        Alcotest.check_raises "oob"
+          (Invalid_argument "Graph.create: edge endpoint out of range") (fun () ->
+            ignore (Graph.create ~n:2 ~edges:[| (0, 2) |])));
+    case "adjacency is symmetric" (fun () ->
+        let g = Graph.create ~n:4 ~edges:[| (0, 1); (1, 2); (0, 3) |] in
+        let adj = Graph.adjacency g in
+        check Alcotest.(list int) "adj 0" [ 1; 3 ] (List.sort compare (Array.to_list adj.(0)));
+        check Alcotest.(list int) "adj 1" [ 0; 2 ] (List.sort compare (Array.to_list adj.(1)));
+        check Alcotest.int "degree" 2 (Graph.degree g 0));
+    case "self-loop appears once in adjacency" (fun () ->
+        let g = Graph.create ~n:2 ~edges:[| (0, 0) |] in
+        check Alcotest.int "degree" 1 (Graph.degree g 0));
+    case "random weights match edge count" (fun () ->
+        let g = Graph.create ~n:3 ~edges:[| (0, 1); (1, 2) |] in
+        let w = Graph.with_random_weights ~rng:(Rng.create 1) g in
+        check Alcotest.int "weights" 2 (Array.length w.Graph.weights));
+  ]
+
+let digraph_tests =
+  [
+    case "out edges" (fun () ->
+        let g = Digraph.create ~n:3 ~edges:[| (0, 1); (0, 2); (1, 2) |] in
+        check Alcotest.(list int) "out 0" [ 1; 2 ]
+          (List.sort compare (Array.to_list (Digraph.out g 0)));
+        check Alcotest.int "m" 3 (Digraph.num_edges g));
+    case "edges round trip" (fun () ->
+        let edges = [| (0, 1); (2, 0); (1, 1) |] in
+        let g = Digraph.create ~n:3 ~edges in
+        check Alcotest.int "count" 3 (Array.length (Digraph.edges g)));
+  ]
+
+(* ----------------------------------------------------------- generators *)
+
+let generator_tests =
+  [
+    case "erdos_renyi sizes" (fun () ->
+        let g = Generators.erdos_renyi ~rng:(Rng.create 2) ~n:100 ~m:250 in
+        check Alcotest.int "n" 100 (Graph.n g);
+        check Alcotest.int "m" 250 (Graph.num_edges g));
+    case "random_tree is connected with n-1 edges" (fun () ->
+        let g = Generators.random_tree ~rng:(Rng.create 3) ~n:200 in
+        check Alcotest.int "m" 199 (Graph.num_edges g);
+        check Alcotest.int "one component" 1
+          (Components.count (Components.sequential g)));
+    case "grid2d edge count" (fun () ->
+        (* rows*(cols-1) + cols*(rows-1) *)
+        let g = Generators.grid2d ~rows:5 ~cols:7 in
+        check Alcotest.int "n" 35 (Graph.n g);
+        check Alcotest.int "m" ((5 * 6) + (7 * 4)) (Graph.num_edges g);
+        check Alcotest.int "connected" 1 (Components.count (Components.sequential g)));
+    case "rmat sizes" (fun () ->
+        let g = Generators.rmat ~rng:(Rng.create 4) ~scale:8 ~edge_factor:4 () in
+        check Alcotest.int "n" 256 (Graph.n g);
+        check Alcotest.int "m" 1024 (Graph.num_edges g));
+    case "rmat validates probabilities" (fun () ->
+        Alcotest.check_raises "bad"
+          (Invalid_argument "Generators.rmat: a + b + c must be < 1") (fun () ->
+            ignore (Generators.rmat ~rng:(Rng.create 1) ~scale:4 ~edge_factor:2 ~a:0.5 ~b:0.3 ~c:0.3 ())));
+    case "preferential attachment is connected" (fun () ->
+        let g = Generators.preferential ~rng:(Rng.create 5) ~n:150 ~deg:2 in
+        check Alcotest.int "one component" 1
+          (Components.count (Components.sequential g)));
+    case "clustered_digraph has exactly clusters SCCs" (fun () ->
+        let g =
+          Generators.clustered_digraph ~rng:(Rng.create 6) ~clusters:7
+            ~cluster_size:5 ~extra:30
+        in
+        check Alcotest.int "n" 35 (Digraph.n g);
+        check Alcotest.int "sccs" 7 (Scc.count (Scc.tarjan g)));
+  ]
+
+(* ----------------------------------------------------------- components *)
+
+let component_tests =
+  [
+    case "sequential labels on a known graph" (fun () ->
+        let g = Graph.create ~n:6 ~edges:[| (0, 1); (1, 2); (4, 5) |] in
+        let labels = Components.sequential g in
+        check Alcotest.(array int) "labels" [| 0; 0; 0; 3; 4; 4 |] labels;
+        check Alcotest.int "count" 3 (Components.count labels));
+    case "concurrent equals sequential" (fun () ->
+        List.iter
+          (fun (n, m) ->
+            let g = Generators.erdos_renyi ~rng:(Rng.create (n + m)) ~n ~m in
+            let s = Components.sequential g in
+            let c = Components.concurrent ~domains:3 ~seed:9 g in
+            check Alcotest.(array int) (Printf.sprintf "n=%d m=%d" n m) s c)
+          [ (50, 20); (100, 100); (500, 1200) ]);
+    case "incremental connectivity" (fun () ->
+        let add_edge, connected = Components.incremental ~seed:4 ~n:10 () in
+        check Alcotest.bool "initially apart" false (connected 0 9);
+        add_edge 0 5;
+        add_edge 5 9;
+        check Alcotest.bool "now connected" true (connected 0 9);
+        check Alcotest.bool "others apart" false (connected 1 2));
+    case "normalize maps to smallest member" (fun () ->
+        let labels = [| 2; 2; 2; 5; 5 |] in
+        check Alcotest.(array int) "normalized" [| 0; 0; 0; 3; 3 |]
+          (Components.normalize labels));
+    case "normalize is idempotent" (fun () ->
+        let labels = Components.normalize [| 1; 1; 4; 4; 4 |] in
+        check Alcotest.(array int) "fixpoint" labels (Components.normalize labels));
+  ]
+
+(* -------------------------------------------------------------- kruskal *)
+
+let kruskal_tests =
+  [
+    case "hand-checked MST" (fun () ->
+        (* Square 0-1-2-3 with diagonal: MST must take the three cheapest
+           non-cyclic edges: 0-1 (1), 1-2 (2), 2-3 (1). *)
+        let g = Graph.create ~n:4 ~edges:[| (0, 1); (1, 2); (2, 3); (3, 0); (0, 2) |] in
+        let w = { Graph.graph = g; weights = [| 1.; 2.; 1.; 4.; 5. |] } in
+        let r = Kruskal.run w in
+        check (Alcotest.float 1e-9) "weight" 4. r.Kruskal.total_weight;
+        check Alcotest.int "edges" 3 (List.length r.Kruskal.edges);
+        check Alcotest.int "one tree" 1 r.Kruskal.components);
+    case "forest on disconnected graph" (fun () ->
+        let g = Graph.create ~n:4 ~edges:[| (0, 1); (2, 3) |] in
+        let w = { Graph.graph = g; weights = [| 1.; 2. |] } in
+        let r = Kruskal.run w in
+        check Alcotest.int "components" 2 r.Kruskal.components;
+        check Alcotest.int "edges" 2 (List.length r.Kruskal.edges));
+    case "concurrent DSU gives the same weight" (fun () ->
+        let rng = Rng.create 11 in
+        let g = Generators.erdos_renyi ~rng ~n:300 ~m:900 in
+        let w = Graph.with_random_weights ~rng g in
+        let seq = Kruskal.run w in
+        let conc = Kruskal.run_concurrent_dsu ~seed:13 w in
+        check (Alcotest.float 1e-9) "weights equal" seq.Kruskal.total_weight
+          conc.Kruskal.total_weight;
+        check Alcotest.int "components equal" seq.Kruskal.components
+          conc.Kruskal.components);
+    case "spanning tree of connected graph has n-1 edges" (fun () ->
+        let rng = Rng.create 12 in
+        let g = Generators.random_tree ~rng ~n:100 in
+        let w = Graph.with_random_weights ~rng g in
+        let r = Kruskal.run w in
+        check Alcotest.int "edges" 99 (List.length r.Kruskal.edges));
+    case "accepted edges come out sorted by weight" (fun () ->
+        let rng = Rng.create 14 in
+        let g = Generators.erdos_renyi ~rng ~n:50 ~m:200 in
+        let w = Graph.with_random_weights ~rng g in
+        let r = Kruskal.run w in
+        let weights = List.map (fun (_, _, x) -> x) r.Kruskal.edges in
+        let sorted = List.sort compare weights in
+        check Alcotest.(list (float 1e-9)) "sorted" sorted weights);
+  ]
+
+(* ------------------------------------------------------------------ scc *)
+
+(* Brute-force SCC oracle via reachability (for small n). *)
+let scc_oracle g =
+  let n = Digraph.n g in
+  let reach = Array.make_matrix n n false in
+  for u = 0 to n - 1 do
+    reach.(u).(u) <- true
+  done;
+  Array.iter (fun (u, v) -> reach.(u).(v) <- true) (Digraph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+      done
+    done
+  done;
+  let labels = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let rec first u = if reach.(v).(u) && reach.(u).(v) then u else first (u + 1) in
+    labels.(v) <- first 0
+  done;
+  labels
+
+let scc_tests =
+  [
+    case "single cycle is one SCC" (fun () ->
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (1, 2); (2, 3); (3, 0) |] in
+        check Alcotest.int "count" 1 (Scc.count (Scc.tarjan g)));
+    case "dag has n SCCs" (fun () ->
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (1, 2); (1, 3) |] in
+        check Alcotest.int "count" 4 (Scc.count (Scc.tarjan g)));
+    case "two cycles joined by one arc" (fun () ->
+        let g =
+          Digraph.create ~n:6
+            ~edges:[| (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (2, 3) |]
+        in
+        let labels = Scc.tarjan g in
+        check Alcotest.int "count" 2 (Scc.count labels);
+        check Alcotest.int "first scc" labels.(0) labels.(2);
+        check Alcotest.bool "different" true (labels.(0) <> labels.(3)));
+    case "self loops" (fun () ->
+        let g = Digraph.create ~n:3 ~edges:[| (0, 0); (1, 2) |] in
+        check Alcotest.int "count" 3 (Scc.count (Scc.tarjan g)));
+    case "matches brute-force oracle on random digraphs" (fun () ->
+        for trial = 1 to 15 do
+          let rng = Rng.create (trial * 7) in
+          let n = 8 + Rng.int rng 12 in
+          let m = Rng.int rng (3 * n) in
+          let g = Generators.random_digraph ~rng ~n ~m in
+          check Alcotest.(array int)
+            (Printf.sprintf "trial %d" trial)
+            (scc_oracle g) (Scc.tarjan g)
+        done);
+    case "deep path does not overflow (iterative)" (fun () ->
+        let n = 200_000 in
+        let edges = Array.init (n - 1) (fun i -> (i, i + 1)) in
+        let g = Digraph.create ~n ~edges in
+        check Alcotest.int "count" n (Scc.count (Scc.tarjan g)));
+    case "condensation quotient is acyclic" (fun () ->
+        let g =
+          Generators.clustered_digraph ~rng:(Rng.create 15) ~clusters:6
+            ~cluster_size:4 ~extra:20
+        in
+        let c = Scc.condense_with_dsu ~seed:3 g in
+        check Alcotest.int "sccs" 6 (Scc.count c.Scc.labels);
+        check Alcotest.int "quotient vertices" 6 (Digraph.n c.Scc.quotient);
+        (* Acyclic quotient: every SCC of the quotient is a singleton. *)
+        check Alcotest.int "quotient acyclic" 6 (Scc.count (Scc.tarjan c.Scc.quotient)));
+    case "condensation scc_of_vertex consistent with labels" (fun () ->
+        let g = Generators.random_digraph ~rng:(Rng.create 16) ~n:30 ~m:60 in
+        let c = Scc.condense_with_dsu ~seed:4 g in
+        for u = 0 to 29 do
+          for v = 0 to 29 do
+            check Alcotest.bool "consistent" true
+              (c.Scc.labels.(u) = c.Scc.labels.(v)
+               = (c.Scc.scc_of_vertex.(u) = c.Scc.scc_of_vertex.(v)))
+          done
+        done);
+  ]
+
+(* ----------------------------------------------------------- percolation *)
+
+let percolation_tests =
+  [
+    case "fresh grid does not percolate" (fun () ->
+        let p = Percolation.create ~seed:1 5 in
+        check Alcotest.bool "closed" false (Percolation.percolates p);
+        check Alcotest.int "open" 0 (Percolation.open_count p));
+    case "full column percolates" (fun () ->
+        let p = Percolation.create ~seed:2 5 in
+        for r = 0 to 4 do
+          Percolation.open_site p ~row:r ~col:2
+        done;
+        check Alcotest.bool "percolates" true (Percolation.percolates p);
+        check Alcotest.bool "full bottom" true (Percolation.full p ~row:4 ~col:2));
+    case "blocked row prevents percolation" (fun () ->
+        let p = Percolation.create ~seed:3 4 in
+        (* Open everything except row 2. *)
+        for r = 0 to 3 do
+          for c = 0 to 3 do
+            if r <> 2 then Percolation.open_site p ~row:r ~col:c
+          done
+        done;
+        check Alcotest.bool "blocked" false (Percolation.percolates p));
+    case "open_site is idempotent" (fun () ->
+        let p = Percolation.create ~seed:4 3 in
+        Percolation.open_site p ~row:1 ~col:1;
+        Percolation.open_site p ~row:1 ~col:1;
+        check Alcotest.int "count" 1 (Percolation.open_count p);
+        check Alcotest.bool "is_open" true (Percolation.is_open p ~row:1 ~col:1));
+    case "1x1 grid percolates after one site" (fun () ->
+        let p = Percolation.create ~seed:5 1 in
+        Percolation.open_site p ~row:0 ~col:0;
+        check Alcotest.bool "percolates" true (Percolation.percolates p));
+    case "full requires an open path from the top" (fun () ->
+        let p = Percolation.create ~seed:6 3 in
+        Percolation.open_site p ~row:2 ~col:0;
+        check Alcotest.bool "isolated bottom not full" false
+          (Percolation.full p ~row:2 ~col:0));
+    case "simulate returns a fraction in (0, 1]" (fun () ->
+        let f = Percolation.simulate ~rng:(Rng.create 7) 16 in
+        check Alcotest.bool "range" true (f > 0. && f <= 1.));
+    case "threshold estimate is near 0.59" (fun () ->
+        let s = Percolation.threshold_estimate ~rng:(Rng.create 8) ~size:24 ~trials:12 in
+        check Alcotest.bool "plausible" true
+          (s.Repro_util.Stats.mean > 0.45 && s.Repro_util.Stats.mean < 0.75));
+    case "site out of range rejected" (fun () ->
+        let p = Percolation.create ~seed:9 3 in
+        Alcotest.check_raises "oob" (Invalid_argument "Percolation: site out of range")
+          (fun () -> Percolation.open_site p ~row:3 ~col:0));
+  ]
+
+(* Independent minimum-spanning-forest verification via the cycle property:
+   a forest F of G is minimum iff for every non-forest edge (u, v, w), w is
+   >= the maximum weight on F's u-v path (ties by edge identity ignored:
+   weights here are floats from a continuous distribution). *)
+let verify_msf (w : Graph.weighted) (forest : (int * int * float) list) =
+  let n = Graph.n w.Graph.graph in
+  (* Build forest adjacency. *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, wt) ->
+      adj.(u) <- (v, wt) :: adj.(u);
+      adj.(v) <- (u, wt) :: adj.(v))
+    forest;
+  (* Max edge weight on the forest path u -> v, or None if disconnected. *)
+  let max_on_path u v =
+    let seen = Array.make n false in
+    let rec dfs x best =
+      if x = v then Some best
+      else begin
+        seen.(x) <- true;
+        List.fold_left
+          (fun acc (y, wt) ->
+            match acc with
+            | Some _ -> acc
+            | None -> if seen.(y) then None else dfs y (max best wt))
+          None adj.(x)
+      end
+    in
+    dfs u neg_infinity
+  in
+  Array.iteri
+    (fun i (u, v) ->
+      let wt = w.Graph.weights.(i) in
+      if u <> v then
+        match max_on_path u v with
+        | None -> Alcotest.failf "edge (%d,%d) spans two forest trees" u v
+        | Some best ->
+          if wt +. 1e-12 < best then
+            Alcotest.failf "cycle property violated at edge (%d,%d): %f < %f" u v wt
+              best)
+    (Graph.edges w.Graph.graph)
+
+(* ------------------------------------------------------------ connectit *)
+
+let connectit_tests =
+  [
+    case "direct strategy equals sequential labels" (fun () ->
+        let g = Generators.erdos_renyi ~rng:(Rng.create 41) ~n:500 ~m:1200 in
+        let labels, stats =
+          Graphs.Connectit.components ~domains:3 ~strategy:Graphs.Connectit.Direct g
+        in
+        check Alcotest.(array int) "labels" (Components.sequential g) labels;
+        check Alcotest.int "nothing skipped" 0 stats.Graphs.Connectit.edges_skipped);
+    case "sampled strategy equals sequential labels" (fun () ->
+        List.iter
+          (fun (n, m, k) ->
+            let g = Generators.erdos_renyi ~rng:(Rng.create (n + m + k)) ~n ~m in
+            let labels, _ =
+              Graphs.Connectit.components ~domains:3
+                ~strategy:(Graphs.Connectit.Sampled k) g
+            in
+            check Alcotest.(array int) (Printf.sprintf "n=%d m=%d k=%d" n m k)
+              (Components.sequential g) labels)
+          [ (200, 100, 1); (500, 2000, 2); (1000, 4000, 3); (300, 300, 2) ]);
+    case "sampling skips edges on dense graphs" (fun () ->
+        let g = Generators.erdos_renyi ~rng:(Rng.create 43) ~n:2000 ~m:16_000 in
+        let _, stats =
+          Graphs.Connectit.components ~strategy:(Graphs.Connectit.Sampled 2) g
+        in
+        check Alcotest.bool "most skipped" true
+          (stats.Graphs.Connectit.edges_skipped > stats.Graphs.Connectit.edges_total / 2);
+        check Alcotest.bool "sampling counted" true
+          (stats.Graphs.Connectit.sample_unites > 0));
+    case "k = 0 sampling degenerates to direct" (fun () ->
+        let g = Generators.erdos_renyi ~rng:(Rng.create 47) ~n:300 ~m:600 in
+        let labels, _ =
+          Graphs.Connectit.components ~strategy:(Graphs.Connectit.Sampled 0) g
+        in
+        check Alcotest.(array int) "labels" (Components.sequential g) labels);
+    case "disconnected graph keeps its components" (fun () ->
+        (* Two cliques, no giant dominance issues. *)
+        let edges = ref [] in
+        for i = 0 to 19 do
+          for j = i + 1 to 19 do
+            edges := (i, j) :: (20 + i, 20 + j) :: !edges
+          done
+        done;
+        let g = Graph.create ~n:40 ~edges:(Array.of_list !edges) in
+        let labels, _ =
+          Graphs.Connectit.components ~strategy:(Graphs.Connectit.Sampled 2) g
+        in
+        check Alcotest.int "two components" 2 (Components.count labels));
+    case "single domain works" (fun () ->
+        let g = Generators.random_tree ~rng:(Rng.create 53) ~n:400 in
+        let labels, _ = Graphs.Connectit.components ~domains:1 g in
+        check Alcotest.int "one component" 1 (Components.count labels));
+  ]
+
+(* -------------------------------------------------------------- boruvka *)
+
+let boruvka_tests =
+  [
+    case "cycle property certifies both MSF algorithms" (fun () ->
+        let rng = Rng.create 59 in
+        for trial = 1 to 5 do
+          let n = 40 + Rng.int rng 80 in
+          let m = n + Rng.int rng (2 * n) in
+          let g = Generators.erdos_renyi ~rng ~n ~m in
+          let w = Graph.with_random_weights ~rng g in
+          ignore trial;
+          verify_msf w (Kruskal.run w).Kruskal.edges;
+          verify_msf w (Graphs.Boruvka.run w).Graphs.Boruvka.edges
+        done);
+    case "matches kruskal's weight on random graphs" (fun () ->
+        let rng = Rng.create 19 in
+        for trial = 1 to 8 do
+          let n = 50 + Rng.int rng 200 in
+          let m = n + Rng.int rng (3 * n) in
+          let g = Generators.erdos_renyi ~rng ~n ~m in
+          let w = Graph.with_random_weights ~rng g in
+          let k = Kruskal.run w in
+          let b = Graphs.Boruvka.run w in
+          check (Alcotest.float 1e-9)
+            (Printf.sprintf "weight %d" trial)
+            k.Kruskal.total_weight b.Graphs.Boruvka.total_weight;
+          check Alcotest.int "components" k.Kruskal.components
+            b.Graphs.Boruvka.components
+        done);
+    case "parallel matches sequential" (fun () ->
+        let rng = Rng.create 23 in
+        let g = Generators.erdos_renyi ~rng ~n:2_000 ~m:8_000 in
+        let w = Graph.with_random_weights ~rng g in
+        let seq = Graphs.Boruvka.run w in
+        let par = Graphs.Boruvka.run_parallel ~domains:4 w in
+        check (Alcotest.float 1e-9) "weight" seq.Graphs.Boruvka.total_weight
+          par.Graphs.Boruvka.total_weight;
+        check Alcotest.int "components" seq.Graphs.Boruvka.components
+          par.Graphs.Boruvka.components);
+    case "logarithmically many rounds" (fun () ->
+        let rng = Rng.create 29 in
+        let g = Generators.random_tree ~rng ~n:1024 in
+        let w = Graph.with_random_weights ~rng g in
+        let b = Graphs.Boruvka.run w in
+        check Alcotest.bool "rounds <= lg n" true (b.Graphs.Boruvka.rounds <= 10);
+        check Alcotest.int "spanning" 1 b.Graphs.Boruvka.components;
+        check Alcotest.int "edges" 1023 (List.length b.Graphs.Boruvka.edges));
+    case "forest output is acyclic (edge count check)" (fun () ->
+        let rng = Rng.create 31 in
+        let g = Generators.erdos_renyi ~rng ~n:300 ~m:900 in
+        let w = Graph.with_random_weights ~rng g in
+        let b = Graphs.Boruvka.run_parallel ~domains:3 w in
+        check Alcotest.int "edges = n - components"
+          (300 - b.Graphs.Boruvka.components)
+          (List.length b.Graphs.Boruvka.edges));
+    case "empty graph" (fun () ->
+        let g = Graph.create ~n:5 ~edges:[||] in
+        let w = { Graph.graph = g; weights = [||] } in
+        let b = Graphs.Boruvka.run w in
+        check Alcotest.int "components" 5 b.Graphs.Boruvka.components;
+        check Alcotest.int "rounds" 0 b.Graphs.Boruvka.rounds);
+  ]
+
+(* ------------------------------------------------------------------ lca *)
+
+let lca_tests =
+  [
+    case "hand-built tree" (fun () ->
+        (*       0
+                / \
+               1   2
+              / \   \
+             3   4   5      *)
+        let t = Graphs.Lca.tree_of_parents ~root:0 [| 0; 0; 0; 1; 1; 2 |] in
+        check Alcotest.(list int) "queries"
+          [ 1; 0; 0; 1; 5; 3 ]
+          (Graphs.Lca.solve t [ (3, 4); (3, 5); (1, 2); (4, 1); (5, 5); (3, 3) ]));
+    case "depth and parent accessors" (fun () ->
+        let t = Graphs.Lca.tree_of_parents ~root:0 [| 0; 0; 1; 2 |] in
+        check Alcotest.int "depth leaf" 3 (Graphs.Lca.depth t 3);
+        check Alcotest.int "parent" 2 (Graphs.Lca.parent t 3);
+        check Alcotest.int "root" 0 (Graphs.Lca.root t);
+        check Alcotest.int "n" 4 (Graphs.Lca.n t));
+    case "root is the lca of distant leaves" (fun () ->
+        let t = Graphs.Lca.tree_of_parents ~root:0 [| 0; 0; 0 |] in
+        check Alcotest.(list int) "q" [ 0 ] (Graphs.Lca.solve t [ (1, 2) ]));
+    case "matches the naive walk on random trees" (fun () ->
+        let rng = Rng.create 8 in
+        for trial = 1 to 10 do
+          let n = 20 + Rng.int rng 200 in
+          let t = Graphs.Lca.random_tree ~rng ~n in
+          let queries =
+            List.init 50 (fun _ -> (Rng.int rng n, Rng.int rng n))
+          in
+          let expected = List.map (fun (u, v) -> Graphs.Lca.lca_naive t u v) queries in
+          check Alcotest.(list int)
+            (Printf.sprintf "trial %d" trial)
+            expected (Graphs.Lca.solve t queries)
+        done);
+    case "validates malformed parents" (fun () ->
+        Alcotest.check_raises "root" (Invalid_argument "Lca.tree_of_parents: root must be its own parent")
+          (fun () -> ignore (Graphs.Lca.tree_of_parents ~root:0 [| 1; 0 |]));
+        Alcotest.check_raises "cycle" (Invalid_argument "Lca.tree_of_parents: cycle detected")
+          (fun () -> ignore (Graphs.Lca.tree_of_parents ~root:0 [| 0; 2; 1 |])));
+    case "query out of range rejected" (fun () ->
+        let t = Graphs.Lca.tree_of_parents ~root:0 [| 0; 0 |] in
+        Alcotest.check_raises "oob" (Invalid_argument "Lca.solve: query vertex out of range")
+          (fun () -> ignore (Graphs.Lca.solve t [ (0, 5) ])));
+  ]
+
+(* ----------------------------------------------------------- dominators *)
+
+(* Exact reference by definition: a dominates b iff removing a makes b
+   unreachable from the root (and every vertex dominates itself). *)
+let brute_idom g ~root =
+  let n = Graphs.Digraph.n g in
+  let reachable_without blocked =
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    if root <> blocked then begin
+      seen.(root) <- true;
+      Queue.push root queue
+    end;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun w ->
+          if w <> blocked && not seen.(w) then begin
+            seen.(w) <- true;
+            Queue.push w queue
+          end)
+        (Graphs.Digraph.out g v)
+    done;
+    seen
+  in
+  let reach = reachable_without (-1) in
+  let dominators = Array.make n [] in
+  for a = 0 to n - 1 do
+    let without = reachable_without a in
+    for b = 0 to n - 1 do
+      if reach.(b) && (a = b || (reach.(a) && not without.(b))) then
+        dominators.(b) <- a :: dominators.(b)
+    done
+  done;
+  (* idom(b) = the dominator of b (other than b) dominated by all other
+     non-b dominators = the one with the largest dominator set. *)
+  Array.init n (fun b ->
+      if not reach.(b) then -1
+      else if b = root then root
+      else begin
+        let strict = List.filter (fun a -> a <> b) dominators.(b) in
+        let is_dominated_by_all a =
+          List.for_all (fun c -> List.mem c dominators.(a)) strict
+        in
+        match List.filter is_dominated_by_all strict with
+        | [ idom ] -> idom
+        | _ -> failwith "brute_idom: ambiguous"
+      end)
+
+let dominator_tests =
+  [
+    case "diamond flow graph" (fun () ->
+        (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: idom(3) = 0. *)
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (0, 2); (1, 3); (2, 3) |] in
+        let idom = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+        check Alcotest.(array int) "idoms" [| 0; 0; 0; 0 |] idom);
+    case "chain flow graph" (fun () ->
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (1, 2); (2, 3) |] in
+        let idom = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+        check Alcotest.(array int) "idoms" [| 0; 0; 1; 2 |] idom);
+    case "loop with exit" (fun () ->
+        (* 0 -> 1 -> 2 -> 1 (back edge), 2 -> 3. *)
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (1, 2); (2, 1); (2, 3) |] in
+        let idom = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+        check Alcotest.(array int) "idoms" [| 0; 0; 1; 2 |] idom);
+    case "unreachable vertices get -1" (fun () ->
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (2, 3) |] in
+        let idom = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+        check Alcotest.int "v2" (-1) idom.(2);
+        check Alcotest.int "v3" (-1) idom.(3));
+    case "lengauer-tarjan = iterative = brute force on random graphs" (fun () ->
+        let rng = Rng.create 91 in
+        for trial = 1 to 25 do
+          let n = 5 + Rng.int rng 20 in
+          let m = Rng.int rng (3 * n) in
+          let g = Generators.random_digraph ~rng ~n ~m in
+          let lt = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+          let it = Graphs.Dominators.iterative g ~root:0 in
+          let bf = brute_idom g ~root:0 in
+          check Alcotest.(array int) (Printf.sprintf "lt=it %d" trial) it lt;
+          check Alcotest.(array int) (Printf.sprintf "lt=bf %d" trial) bf lt
+        done);
+    case "agreement on larger structured graphs" (fun () ->
+        let rng = Rng.create 17 in
+        for trial = 1 to 5 do
+          let n = 300 + Rng.int rng 300 in
+          let m = 2 * n in
+          let g = Generators.random_digraph ~rng ~n ~m in
+          let lt = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+          let it = Graphs.Dominators.iterative g ~root:0 in
+          check Alcotest.(array int) (Printf.sprintf "trial %d" trial) it lt
+        done);
+    case "dominates walks the tree" (fun () ->
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (1, 2); (2, 3) |] in
+        let idom = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+        check Alcotest.bool "0 dom 3" true (Graphs.Dominators.dominates idom ~root:0 0 3);
+        check Alcotest.bool "1 dom 3" true (Graphs.Dominators.dominates idom ~root:0 1 3);
+        check Alcotest.bool "3 !dom 1" false (Graphs.Dominators.dominates idom ~root:0 3 1));
+    case "dominator tree children" (fun () ->
+        let g = Digraph.create ~n:4 ~edges:[| (0, 1); (0, 2); (1, 3); (2, 3) |] in
+        let idom = Graphs.Dominators.lengauer_tarjan g ~root:0 in
+        let children = Graphs.Dominators.dominator_tree_children idom in
+        check Alcotest.(list int) "root children" [ 1; 2; 3 ]
+          (List.sort compare (Array.to_list children.(0))));
+  ]
+
+let () =
+  Alcotest.run "graphs"
+    [
+      ("graph", graph_tests);
+      ("digraph", digraph_tests);
+      ("generators", generator_tests);
+      ("components", component_tests);
+      ("kruskal", kruskal_tests);
+      ("scc", scc_tests);
+      ("percolation", percolation_tests);
+      ("connectit", connectit_tests);
+      ("boruvka", boruvka_tests);
+      ("lca", lca_tests);
+      ("dominators", dominator_tests);
+    ]

@@ -1,0 +1,210 @@
+(* Tests for the MakeSet extension (Section 3 remark): on-the-fly element
+   creation with randomly drawn priorities. *)
+
+module Growable = Dsu.Growable
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let tests =
+  [
+    case "make_set returns consecutive slots" (fun () ->
+        let g = Growable.create ~capacity:10 () in
+        check Alcotest.int "first" 0 (Growable.make_set g);
+        check Alcotest.int "second" 1 (Growable.make_set g);
+        check Alcotest.int "third" 2 (Growable.make_set g);
+        check Alcotest.int "cardinal" 3 (Growable.cardinal g));
+    case "fresh elements are singletons" (fun () ->
+        let g = Growable.create ~capacity:8 () in
+        let a = Growable.make_set g and b = Growable.make_set g in
+        check Alcotest.bool "distinct" false (Growable.same_set g a b);
+        check Alcotest.bool "self" true (Growable.same_set g a a);
+        check Alcotest.int "count" 2 (Growable.count_sets g));
+    case "unite works on created elements" (fun () ->
+        let g = Growable.create ~capacity:8 () in
+        let a = Growable.make_set g in
+        let b = Growable.make_set g in
+        let c = Growable.make_set g in
+        Growable.unite g a b;
+        check Alcotest.bool "a~b" true (Growable.same_set g a b);
+        check Alcotest.bool "a!~c" false (Growable.same_set g a c);
+        Growable.unite g b c;
+        check Alcotest.bool "a~c" true (Growable.same_set g a c);
+        check Alcotest.int "count" 1 (Growable.count_sets g));
+    case "capacity exhaustion raises" (fun () ->
+        let g = Growable.create ~capacity:2 () in
+        ignore (Growable.make_set g);
+        ignore (Growable.make_set g);
+        Alcotest.check_raises "full" (Failure "Growable.make_set: capacity exhausted")
+          (fun () -> ignore (Growable.make_set g)));
+    case "operations on uncreated elements rejected" (fun () ->
+        let g = Growable.create ~capacity:4 () in
+        ignore (Growable.make_set g);
+        Alcotest.check_raises "uncreated"
+          (Invalid_argument "Growable: element was not created") (fun () ->
+            ignore (Growable.same_set g 0 1)));
+    case "priorities are distinct in practice" (fun () ->
+        let g = Growable.create ~capacity:256 ~seed:7 () in
+        let seen = Hashtbl.create 256 in
+        for _ = 1 to 256 do
+          let e = Growable.make_set g in
+          let p = Growable.priority g e in
+          check Alcotest.bool "fresh priority" false (Hashtbl.mem seen p);
+          Hashtbl.replace seen p ()
+        done);
+    case "matches oracle on random workload" (fun () ->
+        let g = Growable.create ~capacity:100 ~seed:3 () in
+        let q = Sequential.Quick_find.create 100 in
+        for _ = 1 to 100 do
+          ignore (Growable.make_set g)
+        done;
+        let rng = Repro_util.Rng.create 5 in
+        for _ = 1 to 500 do
+          let x = Repro_util.Rng.int rng 100 and y = Repro_util.Rng.int rng 100 in
+          if Repro_util.Rng.bool rng then begin
+            Growable.unite g x y;
+            Sequential.Quick_find.unite q x y
+          end
+          else
+            check Alcotest.bool "query"
+              (Sequential.Quick_find.same_set q x y)
+              (Growable.same_set g x y)
+        done;
+        check Alcotest.int "count" (Sequential.Quick_find.count_sets q)
+          (Growable.count_sets g));
+    case "find returns member of own set" (fun () ->
+        let g = Growable.create ~capacity:10 ~seed:11 () in
+        let a = Growable.make_set g and b = Growable.make_set g in
+        Growable.unite g a b;
+        let r = Growable.find g a in
+        check Alcotest.bool "same" true (Growable.same_set g r b));
+    case "stats enabled" (fun () ->
+        let g = Growable.create ~collect_stats:true ~capacity:4 () in
+        let a = Growable.make_set g and b = Growable.make_set g in
+        Growable.unite g a b;
+        check Alcotest.int "links" 1 (Growable.stats g).Dsu.Stats.links);
+    case "create validates capacity" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Growable.create: capacity must be >= 1") (fun () ->
+            ignore (Growable.create ~capacity:0 ())));
+    case "parallel make_set allocates distinct slots" (fun () ->
+        let g = Growable.create ~capacity:4000 ~seed:13 () in
+        let per_domain = 1000 in
+        let worker _ = Array.init per_domain (fun _ -> Growable.make_set g) in
+        let handles = List.init 4 (fun i -> Domain.spawn (fun () -> worker i)) in
+        let results = List.map Domain.join handles in
+        let all = List.concat_map Array.to_list results in
+        let sorted = List.sort compare all in
+        check Alcotest.int "total" 4000 (List.length all);
+        check Alcotest.(list int) "distinct slots" (List.init 4000 Fun.id) sorted;
+        check Alcotest.int "cardinal" 4000 (Growable.cardinal g));
+  ]
+
+(* ------------------------------------------------------------ unbounded *)
+
+module U = Dsu.Growable_unbounded
+
+let unbounded_tests =
+  [
+    case "grows past any initial size" (fun () ->
+        let g = U.create ~chunk_size:8 () in
+        let elems = Array.init 100 (fun _ -> U.make_set g) in
+        check Alcotest.int "cardinal" 100 (U.cardinal g);
+        check Alcotest.bool "many chunks" true (U.chunk_count g >= 12);
+        check Alcotest.int "slots are consecutive" 99 elems.(99));
+    case "operations across chunk boundaries" (fun () ->
+        let g = U.create ~chunk_size:4 () in
+        let elems = Array.init 40 (fun _ -> U.make_set g) in
+        (* Unite every element with element 0: spans ten chunks. *)
+        Array.iter (fun e -> if e <> elems.(0) then U.unite g elems.(0) e) elems;
+        check Alcotest.int "one set" 1 (U.count_sets g);
+        check Alcotest.bool "ends connected" true (U.same_set g 0 39));
+    case "matches oracle on random workload" (fun () ->
+        let g = U.create ~chunk_size:16 ~seed:3 () in
+        for _ = 1 to 100 do
+          ignore (U.make_set g)
+        done;
+        let q = Sequential.Quick_find.create 100 in
+        let rng = Repro_util.Rng.create 5 in
+        for _ = 1 to 600 do
+          let x = Repro_util.Rng.int rng 100 and y = Repro_util.Rng.int rng 100 in
+          if Repro_util.Rng.bool rng then begin
+            U.unite g x y;
+            Sequential.Quick_find.unite q x y
+          end
+          else
+            check Alcotest.bool "query"
+              (Sequential.Quick_find.same_set q x y)
+              (U.same_set g x y)
+        done;
+        check Alcotest.int "count" (Sequential.Quick_find.count_sets q) (U.count_sets g));
+    case "interleaved growth and unions" (fun () ->
+        (* Alternate make_set and unite so traversals cross chunks that were
+           added after earlier elements existed. *)
+        let g = U.create ~chunk_size:2 () in
+        let first = U.make_set g in
+        for _ = 1 to 50 do
+          let e = U.make_set g in
+          U.unite g first e
+        done;
+        check Alcotest.int "one set" 1 (U.count_sets g);
+        check Alcotest.bool "find works" true (U.same_set g first (U.find g first)));
+    case "uncreated elements rejected" (fun () ->
+        let g = U.create () in
+        ignore (U.make_set g);
+        Alcotest.check_raises "uncreated"
+          (Invalid_argument "Growable_unbounded: element was not created")
+          (fun () -> ignore (U.same_set g 0 1)));
+    case "priorities are distinct in practice" (fun () ->
+        let g = U.create ~seed:11 () in
+        let seen = Hashtbl.create 512 in
+        for _ = 1 to 512 do
+          let e = U.make_set g in
+          let p = U.priority g e in
+          check Alcotest.bool "fresh" false (Hashtbl.mem seen p);
+          Hashtbl.replace seen p ()
+        done);
+    case "stats count links" (fun () ->
+        let g = U.create ~collect_stats:true () in
+        let a = U.make_set g and b = U.make_set g in
+        U.unite g a b;
+        check Alcotest.int "links" 1 (U.stats g).Dsu.Stats.links);
+    case "parallel make_set and unite across domains" (fun () ->
+        let g = U.create ~chunk_size:32 ~seed:13 () in
+        let worker _ () =
+          let mine = Array.init 500 (fun _ -> U.make_set g) in
+          Array.iteri (fun i e -> if i > 0 then U.unite g mine.(0) e) mine;
+          mine.(0)
+        in
+        let handles = List.init 4 (fun k -> Domain.spawn (worker k)) in
+        let reps = List.map Domain.join handles in
+        check Alcotest.int "cardinal" 2000 (U.cardinal g);
+        check Alcotest.int "four groups" 4 (U.count_sets g);
+        (match reps with
+        | a :: rest -> List.iter (fun b -> U.unite g a b) rest
+        | [] -> ());
+        check Alcotest.int "one group" 1 (U.count_sets g));
+    case "parallel growth with cross-domain unions" (fun () ->
+        (* Domains unite their fresh elements with element 0, forcing
+           traversals into chunks created by other domains. *)
+        let g = U.create ~chunk_size:8 () in
+        let zero = U.make_set g in
+        let worker _ () =
+          for _ = 1 to 400 do
+            let e = U.make_set g in
+            U.unite g zero e
+          done
+        in
+        let handles = List.init 4 (fun k -> Domain.spawn (worker k)) in
+        List.iter Domain.join handles;
+        check Alcotest.int "cardinal" 1601 (U.cardinal g);
+        check Alcotest.int "one set" 1 (U.count_sets g));
+    case "chunk_size validated" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Growable_unbounded: chunk_size must be >= 1")
+          (fun () -> ignore (U.create ~chunk_size:0 ())));
+  ]
+
+let () =
+  Alcotest.run "growable"
+    [ ("growable", tests); ("unbounded", unbounded_tests) ]

@@ -1,0 +1,144 @@
+(* Tests for the harness: forest analysis, the measurement layer, and the
+   experiment registry. *)
+
+module Forest = Harness.Forest
+module Measure = Harness.Measure
+module Experiment = Harness.Experiment
+module Registry = Harness.Registry
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let forest_tests =
+  [
+    case "of_links builds the forest" (fun () ->
+        let f = Forest.of_links ~n:5 [ (0, 1); (1, 2); (3, 2) ] in
+        check Alcotest.int "parent 0" 1 (Forest.parent f 0);
+        check Alcotest.bool "2 is root" true (Forest.is_root f 2);
+        check Alcotest.bool "4 is root" true (Forest.is_root f 4);
+        check Alcotest.int "n" 5 (Forest.n f));
+    case "depths and height" (fun () ->
+        let f = Forest.of_links ~n:5 [ (0, 1); (1, 2); (3, 2) ] in
+        check Alcotest.(array int) "depths" [| 2; 1; 0; 1; 0 |] (Forest.depths f);
+        check Alcotest.int "height" 2 (Forest.height f);
+        check (Alcotest.float 1e-9) "avg" 0.8 (Forest.avg_depth f));
+    case "ancestors nearest first" (fun () ->
+        let f = Forest.of_links ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+        check Alcotest.(list int) "ancestors 0" [ 1; 2; 3 ] (Forest.ancestors f 0);
+        check Alcotest.(list int) "ancestors 3" [] (Forest.ancestors f 3));
+    case "linking a node twice rejected" (fun () ->
+        Alcotest.check_raises "twice"
+          (Invalid_argument "Forest.of_links: node linked twice") (fun () ->
+            ignore (Forest.of_links ~n:3 [ (0, 1); (0, 2) ])));
+    case "cycle detection in of_parents" (fun () ->
+        let f = Forest.of_parents [| 1; 0 |] in
+        Alcotest.check_raises "cycle" (Invalid_argument "Forest.depths: cycle detected")
+          (fun () -> ignore (Forest.depths f)));
+    case "of_parents copies its input" (fun () ->
+        let parents = [| 0; 0 |] in
+        let f = Forest.of_parents parents in
+        parents.(1) <- 1;
+        check Alcotest.int "unaffected" 0 (Forest.parent f 1));
+    case "depth_histogram totals n" (fun () ->
+        let f = Forest.of_links ~n:6 [ (0, 1); (2, 1); (3, 1) ] in
+        let h = Forest.depth_histogram f in
+        check Alcotest.int "total" 6 (Repro_util.Histogram.total h);
+        check Alcotest.int "depth 0 count" 3 (Repro_util.Histogram.count h 0);
+        check Alcotest.int "depth 1 count" 3 (Repro_util.Histogram.count h 1));
+    case "singleton forest" (fun () ->
+        let f = Forest.of_links ~n:1 [] in
+        check Alcotest.int "height" 0 (Forest.height f);
+        check (Alcotest.float 1e-9) "avg" 0. (Forest.avg_depth f));
+  ]
+
+let measure_tests =
+  [
+    case "run_sim basic accounting" (fun () ->
+        let ops =
+          [| [ Workload.Op.Unite (0, 1); Workload.Op.Same_set (0, 1) ];
+             [ Workload.Op.Unite (2, 3) ] |]
+        in
+        let r = Measure.run_sim ~n:8 ~seed:3 ~ops () in
+        check Alcotest.int "ops completed" 3 (Array.length r.Measure.op_costs);
+        check Alcotest.bool "steps positive" true (r.Measure.total_steps > 0);
+        check Alcotest.int "steps sum" r.Measure.total_steps
+          (Array.fold_left ( + ) 0 r.Measure.steps_per_process);
+        check Alcotest.int "links" 2 (List.length r.Measure.links);
+        check Alcotest.bool "work per op" true (Measure.work_per_op r > 0.));
+    case "run_sim respects init_parents" (fun () ->
+        (* Warm-start: all nodes already point at node 3 (give node 3 the
+           top id by fixing ids).  A find from 0 is then one step shorter
+           than in a cold chain. *)
+        let ops = [| [ Workload.Op.Find 0 ] |] in
+        let r_cold =
+          Measure.run_sim ~init_parents:[| 1; 2; 3; 3 |] ~n:4 ~seed:5 ~ops ()
+        in
+        let r_warm =
+          Measure.run_sim ~init_parents:[| 3; 3; 3; 3 |] ~n:4 ~seed:5 ~ops ()
+        in
+        check Alcotest.bool "warm cheaper" true
+          (r_warm.Measure.total_steps < r_cold.Measure.total_steps));
+    case "run_sim validates init_parents length" (fun () ->
+        Alcotest.check_raises "len"
+          (Invalid_argument "Measure.run_sim: init_parents length mismatch")
+          (fun () ->
+            ignore (Measure.run_sim ~init_parents:[| 0 |] ~n:2 ~seed:1 ~ops:[| [] |] ())));
+    case "stats snapshot consistent with oracle" (fun () ->
+        let n = 32 in
+        let rng = Rng.create 21 in
+        let ops_list = Workload.Random_mix.random_pairs ~rng ~n ~m:50 in
+        let ops = Workload.Op.round_robin ops_list ~p:2 in
+        let r = Measure.run_sim ~n ~seed:9 ~ops () in
+        let q = Sequential.Quick_find.create n in
+        Workload.Op.run_quick_find q ops_list;
+        check Alcotest.int "links" (n - Sequential.Quick_find.count_sets q)
+          r.Measure.stats.Dsu.Stats.links);
+    case "seq_work counters" (fun () ->
+        let ops = [ Workload.Op.Unite (0, 1); Workload.Op.Same_set (0, 1) ] in
+        let c =
+          Measure.seq_work ~linking:Sequential.Seq_dsu.By_rank
+            ~compaction:Sequential.Seq_dsu.Splitting ~n:4 ~ops ()
+        in
+        check Alcotest.int "links" 1 c.Sequential.Seq_dsu.links;
+        check Alcotest.int "unites" 1 c.Sequential.Seq_dsu.unites);
+    case "mean_int" (fun () ->
+        check (Alcotest.float 1e-9) "mean" 2. (Measure.mean_int [| 1; 2; 3 |]);
+        check (Alcotest.float 1e-9) "empty" 0. (Measure.mean_int [||]));
+  ]
+
+let registry_tests =
+  [
+    case "all ids are unique" (fun () ->
+        let ids = List.map (fun e -> e.Experiment.id) Registry.all in
+        check Alcotest.int "unique" (List.length ids)
+          (List.length (List.sort_uniq compare ids)));
+    case "eighteen experiments registered" (fun () ->
+        check Alcotest.int "count" 18 (List.length Registry.all));
+    case "find locates by id" (fun () ->
+        (match Registry.find "e4" with
+        | Some e -> check Alcotest.string "id" "e4" e.Experiment.id
+        | None -> Alcotest.fail "e4 missing");
+        check Alcotest.bool "unknown" true (Registry.find "nope" = None));
+    case "every experiment has a claim" (fun () ->
+        List.iter
+          (fun e ->
+            check Alcotest.bool e.Experiment.id true
+              (String.length e.Experiment.claim > 10))
+          Registry.all);
+    case "header renders" (fun () ->
+        match Registry.find "e1" with
+        | Some e ->
+          let buf = Buffer.create 128 in
+          Experiment.header (Format.formatter_of_buffer buf) e;
+          check Alcotest.bool "nonempty" true (Buffer.length buf > 0)
+        | None -> Alcotest.fail "e1 missing");
+  ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("forest", forest_tests);
+      ("measure", measure_tests);
+      ("registry", registry_tests);
+    ]

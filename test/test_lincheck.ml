@@ -1,0 +1,217 @@
+(* Tests for the linearizability checker itself: it must accept legal
+   histories, reject illegal ones, respect real-time order, and handle the
+   weak find specification. *)
+
+module History = Apram.History
+module Checker = Lincheck.Checker
+module Spec = Lincheck.Spec
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* History construction helpers.  Events get consecutive indices; steps are
+   irrelevant to the checker. *)
+let inv pid name args = History.Invoke { pid; call = { History.name; args }; step = 0 }
+let ret pid value = History.Return { pid; value; step = 0 }
+
+let expect_linearizable ~n history =
+  match Checker.check ~n history with
+  | Checker.Linearizable -> ()
+  | Checker.Not_linearizable msg -> Alcotest.fail msg
+
+let expect_violation ~n history =
+  match Checker.check ~n history with
+  | Checker.Linearizable -> Alcotest.fail "expected a violation"
+  | Checker.Not_linearizable _ -> ()
+
+let spec_tests =
+  [
+    case "op_of_call round trips" (fun () ->
+        List.iter
+          (fun op ->
+            check Alcotest.bool "round trip" true
+              (Spec.op_of_call (Spec.call_of_op op) = op))
+          [ Spec.Same_set (1, 2); Spec.Unite (0, 3); Spec.Find 4 ]);
+    case "op_of_call rejects unknown names" (fun () ->
+        Alcotest.check_raises "unknown"
+          (Invalid_argument "Spec.op_of_call: unknown operation pop") (fun () ->
+            ignore (Spec.op_of_call { History.name = "pop"; args = [] })));
+    case "apply unite changes partition without mutating input" (fun () ->
+        let s = Spec.initial 4 in
+        let s', r = Spec.apply s (Spec.Unite (0, 1)) in
+        check Alcotest.int "unite returns 0" 0 r;
+        check Alcotest.bool "new state united" true
+          (Sequential.Quick_find.same_set s' 0 1);
+        check Alcotest.bool "old state intact" false
+          (Sequential.Quick_find.same_set s 0 1));
+    case "matches same_set" (fun () ->
+        let s = Spec.initial 4 in
+        check Alcotest.bool "false obs 0" true (Spec.matches s (Spec.Same_set (0, 1)) 0);
+        check Alcotest.bool "false obs 1" false (Spec.matches s (Spec.Same_set (0, 1)) 1));
+    case "matches find is weak" (fun () ->
+        let s, _ = Spec.apply (Spec.initial 4) (Spec.Unite (0, 1)) in
+        check Alcotest.bool "member ok" true (Spec.matches s (Spec.Find 0) 1);
+        check Alcotest.bool "self ok" true (Spec.matches s (Spec.Find 0) 0);
+        check Alcotest.bool "non-member rejected" false (Spec.matches s (Spec.Find 0) 2);
+        check Alcotest.bool "out of range rejected" false
+          (Spec.matches s (Spec.Find 0) 9));
+    case "is_query" (fun () ->
+        check Alcotest.bool "same_set" true (Spec.is_query (Spec.Same_set (0, 1)));
+        check Alcotest.bool "find" true (Spec.is_query (Spec.Find 0));
+        check Alcotest.bool "unite" false (Spec.is_query (Spec.Unite (0, 1))));
+  ]
+
+let checker_tests =
+  [
+    case "empty history linearizes" (fun () -> expect_linearizable ~n:3 []);
+    case "sequential history linearizes" (fun () ->
+        expect_linearizable ~n:3
+          [
+            inv 0 "unite" [ 0; 1 ];
+            ret 0 0;
+            inv 0 "same_set" [ 0; 1 ];
+            ret 0 1;
+            inv 0 "same_set" [ 0; 2 ];
+            ret 0 0;
+          ]);
+    case "same_set true without any unite is a violation" (fun () ->
+        expect_violation ~n:3 [ inv 0 "same_set" [ 0; 1 ]; ret 0 1 ]);
+    case "same_set false after completed unite is a violation" (fun () ->
+        expect_violation ~n:3
+          [
+            inv 0 "unite" [ 0; 1 ];
+            ret 0 0;
+            inv 1 "same_set" [ 0; 1 ];
+            ret 1 0;
+          ]);
+    case "overlapping unite may or may not be seen" (fun () ->
+        (* The unite overlaps the query, so both answers linearize. *)
+        let base result =
+          [
+            inv 0 "unite" [ 0; 1 ];
+            inv 1 "same_set" [ 0; 1 ];
+            ret 1 result;
+            ret 0 0;
+          ]
+        in
+        expect_linearizable ~n:3 (base 1);
+        expect_linearizable ~n:3 (base 0));
+    case "real-time order is enforced across processes" (fun () ->
+        (* p0 sees 0~1 false AFTER p1's unite(0,1) completed: violation. *)
+        expect_violation ~n:3
+          [
+            inv 1 "unite" [ 0; 1 ];
+            ret 1 0;
+            inv 0 "same_set" [ 0; 1 ];
+            ret 0 0;
+          ]);
+    case "transitivity across processes" (fun () ->
+        expect_linearizable ~n:4
+          [
+            inv 0 "unite" [ 0; 1 ];
+            inv 1 "unite" [ 1; 2 ];
+            ret 0 0;
+            ret 1 0;
+            inv 0 "same_set" [ 0; 2 ];
+            ret 0 1;
+          ]);
+    case "inconsistent pair of queries is a violation" (fun () ->
+        (* After both unites complete, 0~2 must hold; answering 1 for 0~1
+           and 0 for 1~2 in sequence cannot linearize. *)
+        expect_violation ~n:4
+          [
+            inv 0 "unite" [ 0; 1 ];
+            ret 0 0;
+            inv 0 "unite" [ 1; 2 ];
+            ret 0 0;
+            inv 1 "same_set" [ 0; 1 ];
+            ret 1 1;
+            inv 1 "same_set" [ 1; 2 ];
+            ret 1 0;
+          ]);
+    case "find result must be in the caller's class" (fun () ->
+        expect_linearizable ~n:3
+          [ inv 0 "unite" [ 0; 1 ]; ret 0 0; inv 0 "find" [ 0 ]; ret 0 1 ];
+        expect_violation ~n:3
+          [ inv 0 "unite" [ 0; 1 ]; ret 0 0; inv 0 "find" [ 0 ]; ret 0 2 ]);
+    case "pending invocation rejected" (fun () ->
+        Alcotest.check_raises "pending"
+          (Invalid_argument "Checker: history has 1 pending operations") (fun () ->
+            ignore (Checker.check ~n:2 [ inv 0 "unite" [ 0; 1 ] ])));
+    case "witness returns a legal order" (fun () ->
+        let history =
+          [
+            inv 0 "unite" [ 0; 1 ];
+            inv 1 "same_set" [ 0; 1 ];
+            ret 1 1;
+            ret 0 0;
+          ]
+        in
+        match Checker.witness ~n:2 history with
+        | None -> Alcotest.fail "expected a witness"
+        | Some order ->
+          check Alcotest.int "both ops" 2 (List.length order);
+          (* The query answered 1, so the unite must come first. *)
+          (match order with
+          | first :: _ ->
+            check Alcotest.string "unite first" "unite"
+              first.History.call.History.name
+          | [] -> Alcotest.fail "empty order"));
+    case "check_exn raises on violation" (fun () ->
+        match
+          Checker.check ~n:2 [ inv 0 "same_set" [ 0; 1 ]; ret 0 1 ]
+        with
+        | Checker.Linearizable -> Alcotest.fail "should violate"
+        | Checker.Not_linearizable msg ->
+          Alcotest.check_raises "raises" (Failure msg) (fun () ->
+              Checker.check_exn ~n:2 [ inv 0 "same_set" [ 0; 1 ]; ret 0 1 ]));
+    case "interleaved operations across three processes" (fun () ->
+        expect_linearizable ~n:5
+          [
+            inv 0 "unite" [ 0; 1 ];
+            inv 1 "unite" [ 2; 3 ];
+            inv 2 "same_set" [ 0; 3 ];
+            ret 2 0;
+            ret 0 0;
+            ret 1 0;
+            inv 2 "unite" [ 1; 2 ];
+            ret 2 0;
+            inv 0 "same_set" [ 0; 3 ];
+            ret 0 1;
+          ]);
+  ]
+
+(* Randomized round-trip: run the spec sequentially to fabricate histories
+   that are legal by construction; the checker must accept them all. *)
+let roundtrip_tests =
+  [
+    case "sequentially generated histories always linearize" (fun () ->
+        let rng = Repro_util.Rng.create 41 in
+        for _trial = 1 to 50 do
+          let n = 4 + Repro_util.Rng.int rng 3 in
+          let state = ref (Spec.initial n) in
+          let events = ref [] in
+          for _ = 1 to 12 do
+            let x = Repro_util.Rng.int rng n and y = Repro_util.Rng.int rng n in
+            let op =
+              if Repro_util.Rng.bool rng then Spec.Unite (x, y) else Spec.Same_set (x, y)
+            in
+            let state', result = Spec.apply !state op in
+            state := state';
+            let call = Spec.call_of_op op in
+            events :=
+              ret 0 result
+              :: History.Invoke { pid = 0; call; step = 0 }
+              :: !events
+          done;
+          expect_linearizable ~n (List.rev !events)
+        done);
+  ]
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ("spec", spec_tests);
+      ("checker", checker_tests);
+      ("roundtrip", roundtrip_tests);
+    ]

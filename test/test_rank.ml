@@ -1,0 +1,167 @@
+(* Tests for the concurrent linking-by-rank variant (Dsu.Rank) — Section 7's
+   assumption-free algorithm. *)
+
+module Rank = Dsu.Rank
+module Quick_find = Sequential.Quick_find
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let native_tests =
+  [
+    case "singletons at creation" (fun () ->
+        let d = Rank.Native.create 8 in
+        check Alcotest.int "count" 8 (Rank.Native.count_sets d);
+        check Alcotest.bool "apart" false (Rank.Native.same_set d 0 1);
+        check Alcotest.int "rank 0" 0 (Rank.Native.rank_of d 0));
+    case "unite and transitivity" (fun () ->
+        let d = Rank.Native.create 8 in
+        Rank.Native.unite d 0 1;
+        Rank.Native.unite d 1 2;
+        check Alcotest.bool "0~2" true (Rank.Native.same_set d 0 2);
+        check Alcotest.int "count" 6 (Rank.Native.count_sets d));
+    case "rank tie promotes the winner" (fun () ->
+        let d = Rank.Native.create 4 in
+        Rank.Native.unite d 0 1;
+        (* Both roots had rank 0; after the tie-break one root has rank 1. *)
+        let root = Rank.Native.find d 0 in
+        check Alcotest.int "winner rank" 1 (Rank.Native.rank_of d root));
+    case "ranks are bounded by lg n" (fun () ->
+        let n = 256 in
+        let d = Rank.Native.create n in
+        let rng = Rng.create 3 in
+        for _ = 1 to 4 * n do
+          Rank.Native.unite d (Rng.int rng n) (Rng.int rng n)
+        done;
+        for i = 0 to n - 1 do
+          check Alcotest.bool (string_of_int i) true (Rank.Native.rank_of d i <= 8)
+        done);
+    case "matches quick-find oracle" (fun () ->
+        let n = 64 in
+        let d = Rank.Native.create n in
+        let q = Quick_find.create n in
+        let rng = Rng.create 7 in
+        for _ = 1 to 800 do
+          let x = Rng.int rng n and y = Rng.int rng n in
+          if Rng.bool rng then begin
+            Rank.Native.unite d x y;
+            Quick_find.unite q x y
+          end
+          else
+            check Alcotest.bool "query" (Quick_find.same_set q x y)
+              (Rank.Native.same_set d x y)
+        done;
+        check Alcotest.int "count" (Quick_find.count_sets q) (Rank.Native.count_sets d));
+    case "adversarial chain stays logarithmic" (fun () ->
+        (* The id-aware adversarial order that ruins randomized linking
+           (see E15): rank linking is immune by construction. *)
+        let n = 1 lsl 10 in
+        let d = Rank.Native.create n in
+        for i = 0 to n - 2 do
+          Rank.Native.unite d i (i + 1)
+        done;
+        let max_depth = ref 0 in
+        for i = 0 to n - 1 do
+          let u = ref i and depth = ref 0 in
+          while Rank.Native.parent_of d !u <> !u do
+            u := Rank.Native.parent_of d !u;
+            incr depth
+          done;
+          max_depth := max !max_depth !depth
+        done;
+        check Alcotest.bool "height <= lg n" true (!max_depth <= 10));
+    case "out-of-range rejected" (fun () ->
+        let d = Rank.Native.create 4 in
+        Alcotest.check_raises "oob" (Invalid_argument "Rank_dsu: node out of range")
+          (fun () -> ignore (Rank.Native.find d 4)));
+    case "stats count links" (fun () ->
+        let d = Rank.Native.create ~collect_stats:true 16 in
+        for i = 0 to 14 do
+          Rank.Native.unite d i (i + 1)
+        done;
+        check Alcotest.int "links" 15 (Rank.Native.stats d).Dsu.Stats.links);
+    case "parallel domains agree with oracle" (fun () ->
+        let n = 300 in
+        let d = Rank.Native.create n in
+        let per_domain = 1500 in
+        let worker k () =
+          let rng = Rng.create (400 + k) in
+          for _ = 1 to per_domain do
+            Rank.Native.unite d (Rng.int rng n) (Rng.int rng n)
+          done
+        in
+        let handles = List.init 4 (fun k -> Domain.spawn (worker k)) in
+        List.iter Domain.join handles;
+        let q = Quick_find.create n in
+        for k = 0 to 3 do
+          let rng = Rng.create (400 + k) in
+          for _ = 1 to per_domain do
+            Quick_find.unite q (Rng.int rng n) (Rng.int rng n)
+          done
+        done;
+        check Alcotest.int "count" (Quick_find.count_sets q) (Rank.Native.count_sets d));
+  ]
+
+let sim_tests =
+  [
+    case "sim partition matches oracle under adversarial schedules" (fun () ->
+        let n = 20 in
+        let rng = Rng.create 31 in
+        let ops_lists =
+          Array.init 3 (fun _ ->
+              List.init 10 (fun _ -> (Rng.int rng n, Rng.int rng n)))
+        in
+        let q = Quick_find.create n in
+        Array.iter (List.iter (fun (x, y) -> Quick_find.unite q x y)) ops_lists;
+        List.iter
+          (fun sched ->
+            let h = Rank.Sim.handle n in
+            let bodies =
+              Array.map
+                (List.map (fun (x, y) -> Rank.Sim.unite_op h x y))
+                ops_lists
+            in
+            let outcome =
+              Apram.Sim.run_ops ~mem_size:(Rank.Sim.mem_size n)
+                ~init:(Rank.Sim.init n) ~sched bodies
+            in
+            let parent i = Apram.Memory.peek outcome.Apram.Sim.memory i mod n in
+            let rec root i = if parent i = i then i else root (parent i) in
+            for x = 0 to n - 1 do
+              for y = x to n - 1 do
+                check Alcotest.bool
+                  (Printf.sprintf "%s %d %d" (Apram.Scheduler.name sched) x y)
+                  (Quick_find.same_set q x y)
+                  (root x = root y)
+              done
+            done)
+          [
+            Apram.Scheduler.round_robin ();
+            Apram.Scheduler.random ~seed:5;
+            Apram.Scheduler.cas_adversary ~seed:6;
+            Apram.Scheduler.laggard ~seed:7 ~victim:0 ~delay:9;
+          ]);
+    case "sim histories linearize" (fun () ->
+        let n = 6 in
+        let rng = Rng.create 41 in
+        for trial = 1 to 15 do
+          let h = Rank.Sim.handle n in
+          let ops =
+            Array.init 3 (fun _ ->
+                List.init 3 (fun _ ->
+                    let x = Rng.int rng n and y = Rng.int rng n in
+                    if Rng.bool rng then Rank.Sim.unite_op h x y
+                    else Rank.Sim.same_set_op h x y))
+          in
+          let outcome =
+            Apram.Sim.run_ops ~mem_size:(Rank.Sim.mem_size n) ~init:(Rank.Sim.init n)
+              ~sched:(Apram.Scheduler.random ~seed:trial) ops
+          in
+          match Lincheck.Checker.check ~n outcome.Apram.Sim.history with
+          | Lincheck.Checker.Linearizable -> ()
+          | Lincheck.Checker.Not_linearizable msg -> Alcotest.fail msg
+        done);
+  ]
+
+let () = Alcotest.run "rank_dsu" [ ("native", native_tests); ("sim", sim_tests) ]

@@ -1,0 +1,239 @@
+(* Tests for the sequential DSU suite (Section 2's twelve variants) and the
+   quick-find reference implementation. *)
+
+module Seq = Sequential.Seq_dsu
+module Quick_find = Sequential.Quick_find
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let all_variants =
+  List.concat_map
+    (fun linking -> List.map (fun compaction -> (linking, compaction)) Seq.all_compactions)
+    Seq.all_linkings
+  |> List.filter (fun (l, c) -> Seq.valid_combination l c)
+
+let variant_name (linking, compaction) =
+  Printf.sprintf "%s/%s" (Seq.linking_to_string linking)
+    (Seq.compaction_to_string compaction)
+
+(* ------------------------------------------------------------ quick_find *)
+
+let quick_find_tests =
+  [
+    case "initial singletons" (fun () ->
+        let q = Quick_find.create 5 in
+        check Alcotest.int "count" 5 (Quick_find.count_sets q);
+        check Alcotest.bool "0!~1" false (Quick_find.same_set q 0 1));
+    case "unite and transitivity" (fun () ->
+        let q = Quick_find.create 5 in
+        Quick_find.unite q 0 1;
+        Quick_find.unite q 1 2;
+        check Alcotest.bool "0~2" true (Quick_find.same_set q 0 2);
+        check Alcotest.int "count" 3 (Quick_find.count_sets q));
+    case "label is smallest member" (fun () ->
+        let q = Quick_find.create 5 in
+        Quick_find.unite q 4 2;
+        Quick_find.unite q 2 3;
+        check Alcotest.int "label 4" 2 (Quick_find.label q 4);
+        check Alcotest.int "label 3" 2 (Quick_find.label q 3));
+    case "classes are sorted" (fun () ->
+        let q = Quick_find.create 4 in
+        Quick_find.unite q 3 1;
+        check
+          Alcotest.(list (list int))
+          "classes"
+          [ [ 0 ]; [ 1; 3 ]; [ 2 ] ]
+          (Quick_find.classes q));
+    case "copy is independent" (fun () ->
+        let q = Quick_find.create 4 in
+        Quick_find.unite q 0 1;
+        let q' = Quick_find.copy q in
+        Quick_find.unite q' 2 3;
+        check Alcotest.bool "orig unaffected" false (Quick_find.same_set q 2 3);
+        check Alcotest.bool "copy sees both" true
+          (Quick_find.same_set q' 0 1 && Quick_find.same_set q' 2 3));
+    case "equal compares partitions" (fun () ->
+        let a = Quick_find.create 4 and b = Quick_find.create 4 in
+        Quick_find.unite a 0 1;
+        check Alcotest.bool "differ" false (Quick_find.equal a b);
+        Quick_find.unite b 1 0;
+        check Alcotest.bool "equal" true (Quick_find.equal a b));
+    case "canonical encoding" (fun () ->
+        let q = Quick_find.create 3 in
+        Quick_find.unite q 0 2;
+        check Alcotest.string "canonical" "0,2|1" (Quick_find.canonical q));
+    case "out-of-range rejected" (fun () ->
+        let q = Quick_find.create 3 in
+        Alcotest.check_raises "oob" (Invalid_argument "Quick_find: node out of range")
+          (fun () -> ignore (Quick_find.label q 3)));
+  ]
+
+(* --------------------------------------------------------------- seq_dsu *)
+
+let oracle_test (linking, compaction) =
+  case (Printf.sprintf "matches oracle (%s)" (variant_name (linking, compaction)))
+    (fun () ->
+      let n = 80 in
+      let d = Seq.create ~linking ~compaction ~seed:5 n in
+      let q = Quick_find.create n in
+      let rng = Rng.create 17 in
+      for _ = 1 to 800 do
+        let x = Rng.int rng n and y = Rng.int rng n in
+        if Rng.bool rng then begin
+          Seq.unite d x y;
+          Quick_find.unite q x y
+        end
+        else
+          check Alcotest.bool "query" (Quick_find.same_set q x y) (Seq.same_set d x y)
+      done;
+      check Alcotest.int "count" (Quick_find.count_sets q) (Seq.count_sets d))
+
+let seq_dsu_tests =
+  List.map oracle_test all_variants
+  @ [
+      case "find returns the root" (fun () ->
+          let d = Seq.create 10 in
+          Seq.unite d 0 1;
+          Seq.unite d 1 2;
+          let r = Seq.find d 0 in
+          check Alcotest.int "root is its own parent" r (Seq.parent_of d r);
+          check Alcotest.int "same root" r (Seq.find d 2));
+      case "counters track links" (fun () ->
+          let n = 50 in
+          let d = Seq.create n in
+          let rng = Rng.create 3 in
+          for _ = 1 to 100 do
+            Seq.unite d (Rng.int rng n) (Rng.int rng n)
+          done;
+          let c = Seq.counters d in
+          check Alcotest.int "links" (n - Seq.count_sets d) c.Seq.links;
+          check Alcotest.int "unites" 100 c.Seq.unites;
+          check Alcotest.bool "work positive" true (Seq.total_work c > 0));
+      case "reset_counters" (fun () ->
+          let d = Seq.create 10 in
+          Seq.unite d 0 1;
+          Seq.reset_counters d;
+          check Alcotest.int "zero" 0 (Seq.counters d).Seq.finds);
+      case "compaction shortens repeated finds" (fun () ->
+          (* Build a deliberately deep structure with no compaction, then a
+             second find with splitting must traverse fewer nodes. *)
+          List.iter
+            (fun compaction ->
+              let n = 512 in
+              let d = Seq.create ~linking:Seq.By_random ~compaction ~seed:5 n in
+              let rng = Rng.create 7 in
+              Workload.Op.run_seq d (Workload.Random_mix.spanning_unites ~rng ~n);
+              Seq.reset_counters d;
+              ignore (Seq.find d 0);
+              let first = (Seq.counters d).Seq.find_iters in
+              ignore (Seq.find d 0);
+              let second = (Seq.counters d).Seq.find_iters - first in
+              check Alcotest.bool
+                (Seq.compaction_to_string compaction)
+                true (second <= first))
+            [ Seq.Halving; Seq.Splitting; Seq.Compression ]);
+      case "compression makes paths length one" (fun () ->
+          let n = 64 in
+          let d = Seq.create ~compaction:Seq.Compression ~seed:9 n in
+          let rng = Rng.create 11 in
+          Workload.Op.run_seq d (Workload.Random_mix.spanning_unites ~rng ~n);
+          let root = Seq.find d 0 in
+          (* After find 0, node 0 points directly at the root. *)
+          check Alcotest.int "direct parent" root (Seq.parent_of d 0));
+      case "extra finds never change the partition" (fun () ->
+          List.iter
+            (fun (linking, compaction) ->
+              let n = 40 in
+              let d = Seq.create ~linking ~compaction ~seed:2 n in
+              let q = Quick_find.create n in
+              let rng = Rng.create 13 in
+              for _ = 1 to 60 do
+                let x = Rng.int rng n and y = Rng.int rng n in
+                Seq.unite d x y;
+                Quick_find.unite q x y
+              done;
+              for x = 0 to n - 1 do
+                ignore (Seq.find d x)
+              done;
+              for x = 0 to n - 1 do
+                for y = x to n - 1 do
+                  check Alcotest.bool "pair" (Quick_find.same_set q x y)
+                    (Seq.same_set d x y)
+                done
+              done)
+            all_variants);
+      case "by-size trees never link larger under smaller" (fun () ->
+          (* Star unions through node 0: the hub set keeps winning, so find 0
+             stays O(1) after compaction. *)
+          let n = 100 in
+          let d = Seq.create ~linking:Seq.By_size ~compaction:Seq.No_compaction n in
+          Workload.Op.run_seq d (Workload.Adversarial.star ~n);
+          (* Every element is at depth <= 1 from the root under size linking
+             of a star construction. *)
+          let root = Seq.find d 0 in
+          for i = 0 to n - 1 do
+            check Alcotest.bool (string_of_int i) true
+              (Seq.parent_of d i = root || Seq.parent_of d i = i)
+          done);
+      case "by-rank forest height is logarithmic" (fun () ->
+          let n = 1 lsl 10 in
+          let d = Seq.create ~linking:Seq.By_rank ~compaction:Seq.No_compaction n in
+          Workload.Op.run_seq d (Workload.Adversarial.double_binary ~n);
+          (* Rank linking bounds tree height by lg n even for adversarial
+             union orders. *)
+          let max_depth = ref 0 in
+          for i = 0 to n - 1 do
+            let d' = ref 0 and u = ref i in
+            while Seq.parent_of d !u <> !u do
+              u := Seq.parent_of d !u;
+              incr d'
+            done;
+            max_depth := max !max_depth !d'
+          done;
+          check Alcotest.bool "height" true (!max_depth <= 10));
+      case "splicing requires randomized linking" (fun () ->
+          Alcotest.check_raises "size"
+            (Invalid_argument "Seq_dsu.create: splicing requires randomized linking")
+            (fun () -> ignore (Seq.create ~linking:Seq.By_size ~compaction:Seq.Splicing 4));
+          check Alcotest.bool "valid_combination" false
+            (Seq.valid_combination Seq.By_rank Seq.Splicing);
+          check Alcotest.bool "random ok" true
+            (Seq.valid_combination Seq.By_random Seq.Splicing));
+      case "splicing priorities increase along parents" (fun () ->
+          let n = 128 in
+          let d = Seq.create ~linking:Seq.By_random ~compaction:Seq.Splicing ~seed:3 n in
+          let rng = Rng.create 19 in
+          for _ = 1 to 400 do
+            Seq.unite d (Rng.int rng n) (Rng.int rng n)
+          done;
+          (* Walking up from any node terminates within n hops (acyclic). *)
+          for i = 0 to n - 1 do
+            let u = ref i and hops = ref 0 in
+            while Seq.parent_of d !u <> !u && !hops <= n do
+              u := Seq.parent_of d !u;
+              incr hops
+            done;
+            check Alcotest.bool (string_of_int i) true (!hops <= n)
+          done);
+      case "splicing counts links exactly" (fun () ->
+          let n = 60 in
+          let d = Seq.create ~linking:Seq.By_random ~compaction:Seq.Splicing ~seed:4 n in
+          let rng = Rng.create 23 in
+          for _ = 1 to 200 do
+            Seq.unite d (Rng.int rng n) (Rng.int rng n)
+          done;
+          check Alcotest.int "links" (n - Seq.count_sets d) (Seq.counters d).Seq.links);
+      case "create validates n" (fun () ->
+          Alcotest.check_raises "zero" (Invalid_argument "Seq_dsu.create: n must be >= 1")
+            (fun () -> ignore (Seq.create 0)));
+      case "out-of-range rejected" (fun () ->
+          let d = Seq.create 5 in
+          Alcotest.check_raises "oob" (Invalid_argument "Seq_dsu: node out of range")
+            (fun () -> ignore (Seq.find d 5)));
+    ]
+
+let () =
+  Alcotest.run "sequential"
+    [ ("quick_find", quick_find_tests); ("seq_dsu", seq_dsu_tests) ]

@@ -1,0 +1,204 @@
+(* Tests for the workload generators and the op-distribution helpers. *)
+
+module Op = Workload.Op
+module Random_mix = Workload.Random_mix
+module Binomial = Workload.Binomial
+module Adversarial = Workload.Adversarial
+module Quick_find = Sequential.Quick_find
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let partition_after ops ~n =
+  let q = Quick_find.create n in
+  Op.run_quick_find q ops;
+  q
+
+let op_tests =
+  [
+    case "round_robin deals cyclically" (fun () ->
+        let buckets = Op.round_robin [ 1; 2; 3; 4; 5 ] ~p:2 in
+        check Alcotest.(list int) "p0" [ 1; 3; 5 ] buckets.(0);
+        check Alcotest.(list int) "p1" [ 2; 4 ] buckets.(1));
+    case "blocks splits contiguously" (fun () ->
+        let buckets = Op.blocks [ 1; 2; 3; 4; 5 ] ~p:2 in
+        check Alcotest.(list int) "p0" [ 1; 2; 3 ] buckets.(0);
+        check Alcotest.(list int) "p1" [ 4; 5 ] buckets.(1));
+    case "blocks with p > length" (fun () ->
+        let buckets = Op.blocks [ 1 ] ~p:3 in
+        check Alcotest.int "buckets" 3 (Array.length buckets);
+        check Alcotest.int "total" 1
+          (Array.fold_left (fun acc l -> acc + List.length l) 0 buckets));
+    case "duplicate replicates the whole list" (fun () ->
+        let buckets = Op.duplicate [ 1; 2 ] ~p:3 in
+        Array.iter (fun l -> check Alcotest.(list int) "copy" [ 1; 2 ] l) buckets);
+    case "distribution preserves all items" (fun () ->
+        let items = List.init 17 Fun.id in
+        List.iter
+          (fun f ->
+            let buckets = f items ~p:4 in
+            let collected = Array.to_list buckets |> List.concat |> List.sort compare in
+            check Alcotest.(list int) "all items" items collected)
+          [ Op.round_robin; Op.blocks ]);
+    case "p must be positive" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Op.round_robin: p must be >= 1")
+          (fun () -> ignore (Op.round_robin [ 1 ] ~p:0)));
+    case "max_node scans all op kinds" (fun () ->
+        check Alcotest.int "max" 9
+          (Op.max_node [ Op.Unite (1, 2); Op.Same_set (3, 9); Op.Find 4 ]);
+        check Alcotest.int "empty" (-1) (Op.max_node []));
+    case "count_unites" (fun () ->
+        check Alcotest.int "count" 2
+          (Op.count_unites [ Op.Unite (0, 1); Op.Find 0; Op.Unite (1, 2); Op.Same_set (0, 1) ]));
+  ]
+
+let random_mix_tests =
+  [
+    case "spanning_unites yields one set" (fun () ->
+        let n = 50 in
+        let ops = Random_mix.spanning_unites ~rng:(Rng.create 1) ~n in
+        check Alcotest.int "length" (n - 1) (List.length ops);
+        let q = partition_after ops ~n in
+        check Alcotest.int "single set" 1 (Quick_find.count_sets q));
+    case "spanning_unites has no self-loops" (fun () ->
+        let ops = Random_mix.spanning_unites ~rng:(Rng.create 2) ~n:100 in
+        List.iter
+          (fun op ->
+            match op with
+            | Op.Unite (x, y) -> check Alcotest.bool "distinct" true (x <> y)
+            | Op.Same_set _ | Op.Find _ -> Alcotest.fail "unexpected op kind")
+          ops);
+    case "random_pairs length and range" (fun () ->
+        let n = 30 in
+        let ops = Random_mix.random_pairs ~rng:(Rng.create 3) ~n ~m:200 in
+        check Alcotest.int "length" 200 (List.length ops);
+        check Alcotest.bool "range" true (Op.max_node ops < n));
+    case "mixed respects the unite fraction roughly" (fun () ->
+        let ops = Random_mix.mixed ~rng:(Rng.create 4) ~n:100 ~m:4000 ~unite_fraction:0.25 in
+        let unites = Op.count_unites ops in
+        check Alcotest.bool "fraction" true (unites > 800 && unites < 1200));
+    case "mixed validates the fraction" (fun () ->
+        Alcotest.check_raises "range"
+          (Invalid_argument "Random_mix.mixed: unite_fraction out of range") (fun () ->
+            ignore (Random_mix.mixed ~rng:(Rng.create 1) ~n:4 ~m:1 ~unite_fraction:1.5)));
+    case "queries_after_union shape" (fun () ->
+        let n = 20 in
+        let ops = Random_mix.queries_after_union ~rng:(Rng.create 5) ~n ~queries:30 in
+        check Alcotest.int "length" (n - 1 + 30) (List.length ops);
+        check Alcotest.int "unites" (n - 1) (Op.count_unites ops));
+  ]
+
+let binomial_tests =
+  [
+    case "rounds structure" (fun () ->
+        let rounds = Binomial.rounds ~base:0 ~k:8 in
+        check Alcotest.int "lg k rounds" 3 (List.length rounds);
+        check
+          Alcotest.(list int)
+          "round sizes" [ 4; 2; 1 ]
+          (List.map List.length rounds));
+    case "schedule builds one set of k - 1 unites" (fun () ->
+        let k = 32 in
+        let ops = Binomial.schedule ~base:0 ~k in
+        check Alcotest.int "k-1 unites" (k - 1) (List.length ops);
+        let q = partition_after ops ~n:k in
+        check Alcotest.int "single set" 1 (Quick_find.count_sets q));
+    case "base offsets the elements" (fun () ->
+        let ops = Binomial.schedule ~base:100 ~k:4 in
+        List.iter
+          (fun op ->
+            match op with
+            | Op.Unite (x, y) ->
+              check Alcotest.bool "range" true (x >= 100 && x < 104 && y >= 100 && y < 104)
+            | Op.Same_set _ | Op.Find _ -> Alcotest.fail "unexpected op")
+          ops);
+    case "non-power-of-two rejected" (fun () ->
+        Alcotest.check_raises "k=6"
+          (Invalid_argument "Binomial: tree size must be a positive power of two")
+          (fun () -> ignore (Binomial.schedule ~base:0 ~k:6)));
+    case "representative is the base" (fun () ->
+        check Alcotest.int "rep" 16 (Binomial.representative ~base:16 ~k:8));
+    case "forest_schedule builds n / tree_size sets" (fun () ->
+        let n = 64 and tree_size = 8 in
+        let ops = Binomial.forest_schedule ~n ~tree_size in
+        let q = partition_after ops ~n in
+        check Alcotest.int "sets" (n / tree_size) (Quick_find.count_sets q));
+    case "forest_schedule validates divisibility" (fun () ->
+        Alcotest.check_raises "bad"
+          (Invalid_argument "Binomial: tree_size must divide n") (fun () ->
+            ignore (Binomial.forest_schedule ~n:20 ~tree_size:8)));
+    case "probe_nodes picks one node per tree" (fun () ->
+        let n = 64 and tree_size = 16 in
+        let probes = Binomial.probe_nodes ~rng:(Rng.create 6) ~n ~tree_size in
+        check Alcotest.int "count" (n / tree_size) (List.length probes);
+        List.iteri
+          (fun b x ->
+            check Alcotest.bool "in own block" true
+              (x >= b * tree_size && x < (b + 1) * tree_size))
+          probes);
+    case "probes are reflexive same_sets" (fun () ->
+        List.iter
+          (fun op ->
+            match op with
+            | Op.Same_set (x, y) -> check Alcotest.int "reflexive" x y
+            | Op.Unite _ | Op.Find _ -> Alcotest.fail "unexpected op")
+          (Binomial.probes ~rng:(Rng.create 7) ~n:32 ~tree_size:8));
+  ]
+
+let adversarial_tests =
+  [
+    case "chain unions yield one set" (fun () ->
+        let n = 40 in
+        let q = partition_after (Adversarial.chain ~n) ~n in
+        check Alcotest.int "single" 1 (Quick_find.count_sets q));
+    case "star unions yield one set" (fun () ->
+        let n = 40 in
+        let q = partition_after (Adversarial.star ~n) ~n in
+        check Alcotest.int "single" 1 (Quick_find.count_sets q));
+    case "double_binary unions yield one set" (fun () ->
+        let n = 64 in
+        let q = partition_after (Adversarial.double_binary ~n) ~n in
+        check Alcotest.int "single" 1 (Quick_find.count_sets q));
+    case "contended_pair repeats one union" (fun () ->
+        let ops = Adversarial.contended_pair ~m:10 ~x:3 ~y:7 in
+        check Alcotest.int "length" 10 (List.length ops);
+        List.iter
+          (fun op ->
+            check Alcotest.bool "same pair" true (op = Op.Unite (3, 7)))
+          ops);
+    case "all_same_set is query-only" (fun () ->
+        let ops = Adversarial.all_same_set ~rng:(Rng.create 8) ~n:10 ~m:50 in
+        check Alcotest.int "length" 50 (List.length ops);
+        check Alcotest.int "no unites" 0 (Op.count_unites ops));
+  ]
+
+let execution_tests =
+  [
+    case "run_native, run_seq and run_quick_find agree" (fun () ->
+        let n = 60 in
+        let ops = Random_mix.mixed ~rng:(Rng.create 9) ~n ~m:400 ~unite_fraction:0.4 in
+        let native = Dsu.Native.create ~seed:1 n in
+        Op.run_native native ops;
+        let seq = Sequential.Seq_dsu.create n in
+        Op.run_seq seq ops;
+        let q = Quick_find.create n in
+        Op.run_quick_find q ops;
+        for x = 0 to n - 1 do
+          for y = x to n - 1 do
+            let expected = Quick_find.same_set q x y in
+            check Alcotest.bool "native" expected (Dsu.Native.same_set native x y);
+            check Alcotest.bool "seq" expected (Sequential.Seq_dsu.same_set seq x y)
+          done
+        done);
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ("op", op_tests);
+      ("random_mix", random_mix_tests);
+      ("binomial", binomial_tests);
+      ("adversarial", adversarial_tests);
+      ("execution", execution_tests);
+    ]
