@@ -3,7 +3,14 @@
    exercises — the experiments' own tables, which are step-count based and
    deterministic, are produced by bin/experiments.exe).
 
-   Output: nanoseconds per run for every benchmark, plus R² of the fit. *)
+   stdout gets the human-readable table only (nanoseconds per run for every
+   benchmark, plus R² of the fit).  Machine-readable output goes to files:
+
+     --out FILE           results as a JSON document
+     --metrics-out FILE   enable telemetry during the runs and dump the
+                          metrics registry as JSON lines
+
+   keeping stdout parse-free for the perf-trajectory tooling. *)
 
 open Bechamel
 open Toolkit
@@ -247,23 +254,78 @@ let tests =
       bench_single_same_set;
     ]
 
+let out_file = ref None
+let metrics_file = ref None
+
 let () =
+  Arg.parse
+    [
+      ( "--out",
+        Arg.String (fun f -> out_file := Some f),
+        "FILE  write benchmark results as JSON to FILE" );
+      ( "--metrics-out",
+        Arg.String (fun f -> metrics_file := Some f),
+        "FILE  enable telemetry and write the metrics registry (JSON lines) \
+         to FILE" );
+    ]
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "bench/main.exe [--out FILE] [--metrics-out FILE]";
+  if !metrics_file <> None then Repro_obs.Metrics.set_enabled true;
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  let estimates =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt results name with
+        | None -> None
+        | Some ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+          in
+          Some (name, estimate, r2))
+      (List.sort compare names)
+  in
   Printf.printf "%-40s %15s %10s\n" "benchmark" "ns/run" "R^2";
   Printf.printf "%s\n" (String.make 67 '-');
   List.iter
-    (fun name ->
-      match Hashtbl.find_opt results name with
-      | None -> ()
-      | Some ols ->
-        let estimate =
-          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
-        in
-        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-        Printf.printf "%-40s %15.1f %10.4f\n" name estimate r2)
-    (List.sort compare names)
+    (fun (name, estimate, r2) ->
+      Printf.printf "%-40s %15.1f %10.4f\n" name estimate r2)
+    estimates;
+  (match !out_file with
+  | None -> ()
+  | Some file ->
+    let module J = Repro_obs.Json in
+    let doc =
+      J.Obj
+        [
+          ( "results",
+            J.List
+              (List.map
+                 (fun (name, estimate, r2) ->
+                   J.Obj
+                     [
+                       ("name", J.String name);
+                       ("ns_per_run", J.Float estimate);
+                       ("r_square", J.Float r2);
+                     ])
+                 estimates) );
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (J.to_string doc);
+    output_char oc '\n';
+    close_out oc);
+  match !metrics_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc
+      (Repro_obs.Export.metrics_jsonl (Repro_obs.Metrics.snapshot ()));
+    close_out oc

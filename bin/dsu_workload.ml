@@ -89,6 +89,114 @@ let workload ~n ~ops ~unite_frac ~seed =
   Workload.Random_mix.mixed ~rng:(Rng.create seed) ~n ~m:ops
     ~unite_fraction:unite_frac
 
+(* ----------------------------------------------------------- telemetry *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write the metrics registry as JSON lines \
+           to $(docv) after the run (\"-\" = stdout).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable event tracing and write a Chrome trace_event JSON to \
+           $(docv) after the run (\"-\" = stdout); open it in \
+           about://tracing or https://ui.perfetto.dev.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a once-per-500ms one-line throughput + find-p99 report to \
+           stderr while the workload runs (enables telemetry).")
+
+let arm_telemetry ~metrics_out ~trace_out ~progress =
+  if metrics_out <> None || progress then Repro_obs.Metrics.set_enabled true;
+  if trace_out <> None then Repro_obs.Trace.set_enabled true
+
+let with_out file f =
+  match file with
+  | "-" -> f stdout
+  | path ->
+    let oc =
+      try open_out path
+      with Sys_error msg ->
+        Printf.eprintf "dsu_workload: cannot write telemetry output: %s\n%!" msg;
+        exit 1
+    in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* The metrics file is the registry dump plus one trailing object carrying
+   the flat [Dsu.Stats] counters (when the implementation collects them),
+   so the two counter systems can be cross-checked from one artifact. *)
+let write_metrics out stats =
+  with_out out (fun oc ->
+      output_string oc
+        (Repro_obs.Export.metrics_jsonl (Repro_obs.Metrics.snapshot ()));
+      match stats with
+      | None -> ()
+      | Some s ->
+        output_string oc
+          (Printf.sprintf "{\"name\":\"dsu_stats\",\"type\":\"object\",\"value\":%s}\n"
+             (Dsu.Stats.to_json s)))
+
+let write_trace out =
+  with_out out (fun oc ->
+      output_string oc
+        (Repro_obs.Export.chrome_trace_string (Repro_obs.Trace.dump ()));
+      output_char oc '\n')
+
+let progress_loop stop =
+  let module M = Repro_obs.Metrics in
+  let lookup snap name =
+    List.find_opt (fun (s : M.sample) -> s.name = name) snap
+  in
+  let last_ops = ref 0 in
+  let last_t = ref (Repro_obs.Clock.wall_s ()) in
+  while not (Atomic.get stop) do
+    Unix.sleepf 0.5;
+    let snap = M.snapshot () in
+    let ops =
+      match lookup snap "dsu_ops_total" with
+      | Some { value = M.Counter_v v; _ } -> v
+      | _ -> 0
+    in
+    let p99 =
+      match lookup snap "dsu_find_latency_ns" with
+      | Some { value = M.Histogram_v h; _ } -> M.quantile h 0.99
+      | _ -> 0
+    in
+    let now = Repro_obs.Clock.wall_s () in
+    let dt = now -. !last_t in
+    let rate =
+      if dt > 0. then float_of_int (ops - !last_ops) /. dt /. 1e6 else 0.
+    in
+    Printf.eprintf "progress: %d ops  %.2f Mops/s  find p99 %dns\n%!" ops rate
+      p99;
+    last_ops := ops;
+    last_t := now
+  done
+
+let with_progress progress f =
+  if not progress then f ()
+  else begin
+    let stop = Atomic.make false in
+    let ticker = Domain.spawn (fun () -> progress_loop stop) in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join ticker)
+      f
+  end
+
 (* ---------------------------------------------------------- native mode *)
 
 type impl = Jt | Jt_early | Rank | Aw | Lock | Seq
@@ -132,8 +240,10 @@ let domains_arg =
     & info [ "domains" ] ~docv:"D"
         ~doc:"OCaml domains to spread the operations over (native mode).")
 
-let run_native impl policy n ops unite_frac seed domains =
+let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
+    progress =
   if domains < 1 then failwith "domains must be >= 1";
+  arm_telemetry ~metrics_out ~trace_out ~progress;
   let ops_list = workload ~n ~ops ~unite_frac ~seed in
   let buckets = Workload.Op.round_robin ops_list ~p:domains in
   let apply_ops ~unite ~same_set ~find bucket =
@@ -146,14 +256,15 @@ let run_native impl policy n ops unite_frac seed domains =
       bucket
   in
   let in_domains work =
-    let t0 = Unix.gettimeofday () in
-    let handles =
-      List.init domains (fun k -> Domain.spawn (fun () -> work buckets.(k)))
-    in
-    List.iter Domain.join handles;
-    Unix.gettimeofday () -. t0
+    with_progress progress (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let handles =
+          List.init domains (fun k -> Domain.spawn (fun () -> work buckets.(k)))
+        in
+        List.iter Domain.join handles;
+        Unix.gettimeofday () -. t0)
   in
-  let elapsed, final_sets, extra =
+  let elapsed, final_sets, stats =
     match impl with
     | Jt | Jt_early ->
       let d =
@@ -165,7 +276,7 @@ let run_native impl policy n ops unite_frac seed domains =
           (apply_ops ~unite:(Dsu.Native.unite d) ~same_set:(Dsu.Native.same_set d)
              ~find:(Dsu.Native.find d))
       in
-      (dt, Dsu.Native.count_sets d, Format.asprintf "%a" Dsu.Stats.pp (Dsu.Native.stats d))
+      (dt, Dsu.Native.count_sets d, Some (Dsu.Native.stats d))
     | Rank ->
       let d = Dsu.Rank.Native.create ~collect_stats:true n in
       let dt =
@@ -173,8 +284,7 @@ let run_native impl policy n ops unite_frac seed domains =
           (apply_ops ~unite:(Dsu.Rank.Native.unite d)
              ~same_set:(Dsu.Rank.Native.same_set d) ~find:(Dsu.Rank.Native.find d))
       in
-      (dt, Dsu.Rank.Native.count_sets d,
-       Format.asprintf "%a" Dsu.Stats.pp (Dsu.Rank.Native.stats d))
+      (dt, Dsu.Rank.Native.count_sets d, Some (Dsu.Rank.Native.stats d))
     | Aw ->
       let d = Baselines.Anderson_woll.Native.create ~collect_stats:true n in
       let dt =
@@ -185,7 +295,7 @@ let run_native impl policy n ops unite_frac seed domains =
              ~find:(Baselines.Anderson_woll.Native.find d))
       in
       (dt, Baselines.Anderson_woll.Native.count_sets d,
-       Format.asprintf "%a" Dsu.Stats.pp (Baselines.Anderson_woll.Native.stats d))
+       Some (Baselines.Anderson_woll.Native.stats d))
     | Lock ->
       let d = Baselines.Locked_dsu.create ~seed n in
       let dt =
@@ -194,34 +304,40 @@ let run_native impl policy n ops unite_frac seed domains =
              ~same_set:(Baselines.Locked_dsu.same_set d)
              ~find:(Baselines.Locked_dsu.find d))
       in
-      (dt, Baselines.Locked_dsu.count_sets d, "")
+      (dt, Baselines.Locked_dsu.count_sets d, None)
     | Seq ->
       if domains > 1 then failwith "--impl seq is single-threaded; use --domains 1";
       let d = Sequential.Seq_dsu.create ~seed n in
       let t0 = Unix.gettimeofday () in
       Workload.Op.run_seq d ops_list;
-      (Unix.gettimeofday () -. t0, Sequential.Seq_dsu.count_sets d, "")
+      (Unix.gettimeofday () -. t0, Sequential.Seq_dsu.count_sets d, None)
   in
   Printf.printf "elements:      %d\noperations:    %d (%.0f%% unions)\ndomains:       %d\n"
     n ops (unite_frac *. 100.) domains;
   Printf.printf "elapsed:       %.4fs (%.2f Mops/s)\nfinal sets:    %d\n" elapsed
     (float_of_int ops /. elapsed /. 1e6)
     final_sets;
-  if extra <> "" then Printf.printf "counters:      %s\n" extra
+  (match stats with
+  | None -> ()
+  | Some s -> Printf.printf "counters:      %s\n" (Format.asprintf "%a" Dsu.Stats.pp s));
+  (match metrics_out with None -> () | Some out -> write_metrics out stats);
+  match trace_out with None -> () | Some out -> write_trace out
 
 let native_cmd =
   let doc = "Run a workload natively (wall clock; optional domains)." in
   Cmd.v (Cmd.info "native" ~doc)
     Term.(
       const run_native $ impl_arg $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg
-      $ seed_arg $ domains_arg)
+      $ seed_arg $ domains_arg $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
 (* ------------------------------------------------------------- sim mode *)
 
 let procs_arg =
   Arg.(value & opt int 4 & info [ "procs" ] ~docv:"P" ~doc:"Simulated processes.")
 
-let run_sim policy n ops unite_frac seed procs sched_kind =
+let run_sim policy n ops unite_frac seed procs sched_kind metrics_out trace_out
+    =
+  arm_telemetry ~metrics_out ~trace_out ~progress:false;
   let ops_list = workload ~n ~ops ~unite_frac ~seed in
   let split = Workload.Op.round_robin ops_list ~p:procs in
   let sched = make_sched sched_kind (seed + 1) in
@@ -237,14 +353,18 @@ let run_sim policy n ops unite_frac seed procs sched_kind =
   Printf.printf "steps/op:      mean %.2f  median %.0f  p99 %.0f  max %.0f\n"
     s.Repro_util.Stats.mean s.Repro_util.Stats.median s.Repro_util.Stats.p99
     s.Repro_util.Stats.max;
-  Format.printf "counters:      %a@." Dsu.Stats.pp r.Harness.Measure.stats
+  Format.printf "counters:      %a@." Dsu.Stats.pp r.Harness.Measure.stats;
+  (match metrics_out with
+  | None -> ()
+  | Some out -> write_metrics out (Some r.Harness.Measure.stats));
+  match trace_out with None -> () | Some out -> write_trace out
 
 let sim_cmd =
   let doc = "Run a workload in the APRAM simulator (exact work counts)." in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run_sim $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg $ seed_arg
-      $ procs_arg $ sched_arg)
+      $ procs_arg $ sched_arg $ metrics_out_arg $ trace_out_arg)
 
 (* -------------------------------------------------------- lincheck mode *)
 

@@ -9,7 +9,11 @@ type t = {
 
 let name t = t.name
 
-let choose t ~memory runnable = t.choose ~memory runnable
+let choose t ~memory runnable =
+  let pid = t.choose ~memory runnable in
+  if Atomic.get Sim_obs.armed then
+    Sim_obs.on_decision ~pid ~runnable:(List.length runnable);
+  pid
 
 let custom ~name choose = { name; choose }
 

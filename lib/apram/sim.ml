@@ -72,12 +72,14 @@ let run ?(max_steps = 200_000_000) ?on_step ~mem_size ~init ~sched bodies =
         steps.(pid) <- steps.(pid) + 1;
         incr total;
         incr decisions;
+        if Atomic.get Sim_obs.armed then Sim_obs.on_step ();
         if !total > max_steps then
           failwith "Sim.run: max_steps exceeded (livelock or runaway workload)";
         statuses.(pid) <- continue k result);
       loop ()
   in
   loop ();
+  if Atomic.get Sim_obs.armed then Sim_obs.on_run_complete steps;
   {
     steps;
     total_steps = !total;

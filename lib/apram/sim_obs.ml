@@ -1,0 +1,42 @@
+(** Telemetry instruments for the APRAM simulator ({!Repro_obs} glue).
+
+    Hooks are guarded at the call site by [Atomic.get Sim_obs.armed] — one
+    atomic load and branch per simulated step when telemetry is off. *)
+
+module M = Repro_obs.Metrics
+module T = Repro_obs.Trace
+
+let armed = Repro_obs.Switch.any
+
+let steps_total =
+  M.counter ~help:"shared-memory steps executed by the simulator"
+    "apram_steps_total"
+
+let decisions_total =
+  M.counter ~help:"scheduling decisions taken" "apram_sched_decisions_total"
+
+let runnable_procs =
+  M.gauge ~help:"runnable processes at the latest scheduling decision"
+    "apram_runnable_procs"
+
+let procs =
+  M.gauge ~help:"process count of the latest completed simulator run"
+    "apram_procs"
+
+let steps_per_process =
+  M.histogram
+    ~help:
+      "per-process shared-memory step totals, one sample per process per \
+       completed run"
+    "apram_steps_per_process"
+
+let on_decision ~pid ~runnable =
+  M.incr decisions_total;
+  M.set runnable_procs runnable;
+  T.emit (T.Sched_decision { pid })
+
+let on_step () = M.incr steps_total
+
+let on_run_complete (steps : int array) =
+  M.set procs (Array.length steps);
+  Array.iter (M.observe steps_per_process) steps

@@ -10,12 +10,16 @@
       simulator ({!Apram.Sim}) for exact work measurements.
     - {!Find_policy} — selects among the paper's three [Find] variants.
     - {!Stats} — operation counters shared by all instantiations.
+    - {!Obs} — telemetry instruments ({!Repro_obs} glue): latency/step
+      histograms, CAS counters and trace events, armed globally via
+      [Repro_obs.Metrics.set_enabled] / [Repro_obs.Trace.set_enabled].
     - {!Algorithm} — the functor over {!Memory_intf.S}, for embedding the
       algorithm over a custom shared memory. *)
 
 module Find_policy = Find_policy
 module Memory_intf = Memory_intf
 module Stats = Dsu_stats
+module Obs = Dsu_obs
 module Algorithm = Dsu_algorithm
 module Native_memory = Native_memory
 module Native = Dsu_native

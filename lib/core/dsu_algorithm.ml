@@ -58,10 +58,33 @@ module Make (M : Memory_intf.S) = struct
   let record_link t ~child ~parent =
     match t.on_link with None -> () | Some f -> f ~child ~parent
 
+  (* Telemetry (lib/obs).  A per-hop armed test would cost a load, a call
+     and a branch on every parent-pointer hop, which is measurable on the
+     native fast path, so each find loop exists twice: the plain body
+     below, byte-identical to the untraced algorithm, and an instrumented
+     twin ([..._obs]).  [find_root] picks a body with a single atomic
+     load of [Dsu_obs.armed] per traversal, and the outer loops test it
+     only at their (rare) retry/link/early-step sites — never via a
+     captured binding or functor-level helper, either of which would be
+     captured into every per-operation loop closure and grow each
+     operation's allocation by a word; spelling out
+     [Atomic.get Dsu_obs.armed] compiles to a global access instead.
+     The hooks themselves are individually gated too, so a stale pick is
+     safe either way. *)
+
   (* Algorithm 1: Find without compaction. *)
   let find_no_compaction t x =
     let rec loop u =
       bump t Dsu_stats.incr_find_iter;
+      let p = M.read t.mem u in
+      if p = u then u else loop p
+    in
+    loop x
+
+  let find_no_compaction_obs t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      Dsu_obs.on_find_iter ();
       let p = M.read t.mem u in
       if p = u then u else loop p
     in
@@ -77,6 +100,22 @@ module Make (M : Memory_intf.S) = struct
       else begin
         let ok = M.cas t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
+        loop v
+      end
+    in
+    loop x
+
+  let find_one_try_obs t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      Dsu_obs.on_find_iter ();
+      let v = M.read t.mem u in
+      let w = M.read t.mem v in
+      if v = w then v
+      else begin
+        let ok = M.cas t.mem u v w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        Dsu_obs.on_compaction_cas ~ok;
         loop v
       end
     in
@@ -100,6 +139,30 @@ module Make (M : Memory_intf.S) = struct
         else begin
           let ok2 = M.cas t.mem u v2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
+          loop v2
+        end
+      end
+    in
+    loop x
+
+  let find_two_try_obs t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      Dsu_obs.on_find_iter ();
+      let v = M.read t.mem u in
+      let w = M.read t.mem v in
+      if v = w then v
+      else begin
+        let ok = M.cas t.mem u v w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        Dsu_obs.on_compaction_cas ~ok;
+        let v2 = M.read t.mem u in
+        let w2 = M.read t.mem v2 in
+        if v2 = w2 then v2
+        else begin
+          let ok2 = M.cas t.mem u v2 w2 in
+          bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
+          Dsu_obs.on_compaction_cas ~ok:ok2;
           loop v2
         end
       end
@@ -130,13 +193,44 @@ module Make (M : Memory_intf.S) = struct
       path;
     root
 
+  let find_compression_obs t x =
+    let rec walk u acc =
+      bump t Dsu_stats.incr_find_iter;
+      Dsu_obs.on_find_iter ();
+      let p = M.read t.mem u in
+      if p = u then (u, acc) else walk p ((u, p) :: acc)
+    in
+    let root, path = walk x [] in
+    List.iter
+      (fun (u, observed_parent) ->
+        if observed_parent <> root then begin
+          let ok = M.cas t.mem u observed_parent root in
+          bump t (Dsu_stats.incr_compaction_cas ~ok);
+          Dsu_obs.on_compaction_cas ~ok
+        end)
+      path;
+    root
+
   let find_root t x =
     bump t Dsu_stats.incr_find;
-    match t.policy with
-    | Find_policy.No_compaction -> find_no_compaction t x
-    | Find_policy.One_try_splitting -> find_one_try t x
-    | Find_policy.Two_try_splitting -> find_two_try t x
-    | Find_policy.Compression -> find_compression t x
+    if Atomic.get Dsu_obs.armed then begin
+      Dsu_obs.find_begin x;
+      let root =
+        match t.policy with
+        | Find_policy.No_compaction -> find_no_compaction_obs t x
+        | Find_policy.One_try_splitting -> find_one_try_obs t x
+        | Find_policy.Two_try_splitting -> find_two_try_obs t x
+        | Find_policy.Compression -> find_compression_obs t x
+      in
+      Dsu_obs.find_end x root;
+      root
+    end
+    else
+      match t.policy with
+      | Find_policy.No_compaction -> find_no_compaction t x
+      | Find_policy.One_try_splitting -> find_one_try t x
+      | Find_policy.Two_try_splitting -> find_two_try t x
+      | Find_policy.Compression -> find_compression t x
 
   let check_node t x =
     if x < 0 || x >= t.n then invalid_arg "Dsu: node out of range"
@@ -180,10 +274,43 @@ module Make (M : Memory_intf.S) = struct
       end
       else z
 
+  let early_step_obs t u z =
+    bump t Dsu_stats.incr_find_iter;
+    Dsu_obs.on_find_iter ();
+    match t.policy with
+    | Find_policy.No_compaction | Find_policy.Compression -> z
+    | Find_policy.One_try_splitting ->
+      let w = M.read t.mem z in
+      if z <> w then begin
+        let ok = M.cas t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        Dsu_obs.on_compaction_cas ~ok
+      end;
+      z
+    | Find_policy.Two_try_splitting ->
+      let w = M.read t.mem z in
+      if z <> w then begin
+        let ok = M.cas t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        Dsu_obs.on_compaction_cas ~ok;
+        let z2 = M.read t.mem u in
+        let w2 = M.read t.mem z2 in
+        if z2 <> w2 then begin
+          let ok2 = M.cas t.mem u z2 w2 in
+          bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
+          Dsu_obs.on_compaction_cas ~ok:ok2
+        end;
+        z2
+      end
+      else z
+
   (* Algorithm 2: SameSet via two complete finds per round. *)
   let same_set_plain t x y =
     let rec loop u v ~first =
-      if not first then bump t Dsu_stats.incr_outer_retry;
+      if not first then begin
+        bump t Dsu_stats.incr_outer_retry;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
+      end;
       let u = find_root t u in
       let v = find_root t v in
       if u = v then true
@@ -197,14 +324,17 @@ module Make (M : Memory_intf.S) = struct
      a root. *)
   let same_set_early t x y =
     let rec loop u v ~first =
-      if not first then bump t Dsu_stats.incr_outer_retry;
+      if not first then begin
+        bump t Dsu_stats.incr_outer_retry;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
+      end;
       if u = v then true
       else begin
         let u, v = if less t v u then (v, u) else (u, v) in
         let z = M.read t.mem u in
         if z = u then false
         else begin
-          let u = early_step t u z in
+          let u = if Atomic.get Dsu_obs.armed then early_step_obs t u z else early_step t u z in
           loop u v ~first:false
         end
       end
@@ -215,18 +345,23 @@ module Make (M : Memory_intf.S) = struct
      the smaller id below the other with one Cas. *)
   let unite_plain t x y =
     let rec loop u v ~first =
-      if not first then bump t Dsu_stats.incr_outer_retry;
+      if not first then begin
+        bump t Dsu_stats.incr_outer_retry;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
+      end;
       let u = find_root t u in
       let v = find_root t v in
       if u = v then ()
       else if less t u v then begin
         let ok = M.cas t.mem u u v in
         bump t (Dsu_stats.incr_link_cas ~ok);
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
         if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
       end
       else begin
         let ok = M.cas t.mem v v u in
         bump t (Dsu_stats.incr_link_cas ~ok);
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
         if ok then record_link t ~child:v ~parent:u else loop u v ~first:false
       end
     in
@@ -239,7 +374,10 @@ module Make (M : Memory_intf.S) = struct
      rootness atomically, so correctness is unchanged). *)
   let unite_early t x y =
     let rec loop u v ~first =
-      if not first then bump t Dsu_stats.incr_outer_retry;
+      if not first then begin
+        bump t Dsu_stats.incr_outer_retry;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
+      end;
       if u = v then ()
       else begin
         let u, v = if less t v u then (v, u) else (u, v) in
@@ -247,10 +385,11 @@ module Make (M : Memory_intf.S) = struct
         if z = u then begin
           let ok = M.cas t.mem u u v in
           bump t (Dsu_stats.incr_link_cas ~ok);
+          if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
           if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
         end
         else begin
-          let u = early_step t u z in
+          let u = if Atomic.get Dsu_obs.armed then early_step_obs t u z else early_step t u z in
           loop u v ~first:false
         end
       end

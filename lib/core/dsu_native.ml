@@ -22,9 +22,31 @@ let create ?policy ?early ?(collect_stats = false) ?on_link ?seed n =
   A.create ?policy ?early ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()
 
 let n = A.n
-let same_set = A.same_set
-let unite = A.unite
-let find = A.find
+
+(* Top-level operations time themselves when telemetry is armed
+   (dsu_unite_latency_ns / dsu_same_set_latency_ns / dsu_ops_total);
+   per-find latency is captured inside the algorithm's find itself. *)
+
+let same_set t x y =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    let r = A.same_set t x y in
+    Dsu_obs.record_same_set_latency t0;
+    r
+  end
+  else A.same_set t x y
+
+let unite t x y =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    A.unite t x y;
+    Dsu_obs.record_unite_latency t0
+  end
+  else A.unite t x y
+
+let find t x =
+  if Atomic.get Dsu_obs.armed then Dsu_obs.record_find_op ();
+  A.find t x
 let id = A.id
 let parent_of = A.parent_of
 let is_root = A.is_root

@@ -1,0 +1,109 @@
+module M = Repro_obs.Metrics
+module T = Repro_obs.Trace
+module Clock = Repro_obs.Clock
+
+let armed = Repro_obs.Switch.any
+
+(* Instruments (registered in the default registry at module init; names
+   are catalogued in docs/OBSERVABILITY.md, with the paper quantity each
+   one measures). *)
+
+let find_latency =
+  M.histogram ~help:"wall-clock latency of each internal Find, nanoseconds"
+    "dsu_find_latency_ns"
+
+let unite_latency =
+  M.histogram ~help:"wall-clock latency of each Dsu.Native.unite, nanoseconds"
+    "dsu_unite_latency_ns"
+
+let same_set_latency =
+  M.histogram
+    ~help:"wall-clock latency of each Dsu.Native.same_set, nanoseconds"
+    "dsu_same_set_latency_ns"
+
+let find_iters =
+  M.histogram
+    ~help:
+      "parent-pointer steps per Find (the w.h.p. O(log n) quantity of \
+       Theorem 4.3)"
+    "dsu_find_iters"
+
+let finds_total = M.counter ~help:"internal Find invocations" "dsu_find_total"
+
+let ops_total =
+  M.counter ~help:"top-level operations applied through Dsu.Native"
+    "dsu_ops_total"
+
+let link_cas_ok =
+  M.counter ~help:"successful linking Cas attempts (= links)"
+    "dsu_link_cas_ok_total"
+
+let link_cas_fail =
+  M.counter ~help:"failed linking Cas attempts" "dsu_link_cas_fail_total"
+
+let compaction_cas_ok =
+  M.counter ~help:"successful splitting/compression Cas attempts"
+    "dsu_compaction_cas_ok_total"
+
+let compaction_cas_fail =
+  M.counter ~help:"failed splitting/compression Cas attempts"
+    "dsu_compaction_cas_fail_total"
+
+let outer_retries =
+  M.counter ~help:"extra iterations of the SameSet/Unite outer loops"
+    "dsu_outer_retries_total"
+
+(* Per-domain scratch for the open find window: iteration count and start
+   timestamp.  One window per domain suffices because a find never nests
+   inside another find on the same domain; under the APRAM simulator many
+   simulated processes interleave on one domain, so per-find attribution
+   there is approximate (the simulator's own op_costs are the exact
+   figures) — see docs/OBSERVABILITY.md. *)
+type scratch = { mutable active : bool; mutable iters : int; mutable t0 : int }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { active = false; iters = 0; t0 = 0 })
+
+let find_begin node =
+  let s = Domain.DLS.get scratch_key in
+  s.active <- true;
+  s.iters <- 0;
+  s.t0 <- Clock.now_ns ();
+  M.incr finds_total;
+  T.emit (T.Find_start { node })
+
+let find_end node root =
+  let s = Domain.DLS.get scratch_key in
+  if s.active then begin
+    s.active <- false;
+    M.observe find_iters s.iters;
+    M.observe find_latency (Clock.now_ns () - s.t0);
+    T.emit (T.Find_end { node; root; iters = s.iters })
+  end
+
+let on_find_iter () =
+  let s = Domain.DLS.get scratch_key in
+  if s.active then s.iters <- s.iters + 1
+
+let on_link_cas ~ok =
+  M.incr (if ok then link_cas_ok else link_cas_fail);
+  T.emit (T.Link_cas { ok })
+
+let on_compaction_cas ~ok =
+  M.incr (if ok then compaction_cas_ok else compaction_cas_fail);
+  T.emit (T.Compaction_cas { ok })
+
+let on_outer_retry () =
+  M.incr outer_retries;
+  T.emit T.Outer_retry
+
+let now_ns = Clock.now_ns
+
+let record_op_latency h t0 =
+  M.incr ops_total;
+  M.observe h (Clock.now_ns () - t0)
+
+let record_unite_latency t0 = record_op_latency unite_latency t0
+let record_same_set_latency t0 = record_op_latency same_set_latency t0
+
+let record_find_op () = M.incr ops_total

@@ -1,0 +1,44 @@
+(** Telemetry instruments for the DSU ({!Repro_obs} glue).
+
+    Every hook here is called unconditionally from the algorithm's hot
+    paths, guarded at the call site by [Atomic.get Dsu_obs.armed] — a
+    single atomic load and predictable branch when telemetry is off (the
+    default).  Arming is global: {!Repro_obs.Metrics.set_enabled} /
+    {!Repro_obs.Trace.set_enabled}.
+
+    The metric name catalog, the paper quantity each instrument measures,
+    and accuracy caveats (racy merges, per-find attribution under the
+    simulator) live in docs/OBSERVABILITY.md. *)
+
+val armed : bool Atomic.t
+(** True iff metrics or tracing (or both) are enabled. *)
+
+(** {2 Hooks used by {!Dsu_algorithm}} *)
+
+val find_begin : int -> unit
+(** Open the calling domain's find window: reset the step counter, stamp
+    the start time, emit [Find_start]. *)
+
+val find_end : int -> int -> unit
+(** [find_end node root] closes the window: observes the
+    [dsu_find_iters] and [dsu_find_latency_ns] histograms and emits
+    [Find_end]. *)
+
+val on_find_iter : unit -> unit
+val on_link_cas : ok:bool -> unit
+val on_compaction_cas : ok:bool -> unit
+val on_outer_retry : unit -> unit
+
+(** {2 Hooks used by {!Dsu_native}} *)
+
+val now_ns : unit -> int
+
+val record_unite_latency : int -> unit
+(** [record_unite_latency t0] observes [now_ns () - t0] into
+    [dsu_unite_latency_ns] and counts the operation in [dsu_ops_total]. *)
+
+val record_same_set_latency : int -> unit
+
+val record_find_op : unit -> unit
+(** Count a top-level [find] in [dsu_ops_total] (its latency is already
+    captured by the internal find window). *)

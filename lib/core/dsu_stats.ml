@@ -97,6 +97,13 @@ let sub = map2 ( - )
 
 let total_work (s : snapshot) = s.find_iters + s.compaction_cas + s.link_cas
 
+let to_json (s : snapshot) =
+  Printf.sprintf
+    {|{"same_set_calls":%d,"unite_calls":%d,"find_calls":%d,"find_iters":%d,"compaction_cas":%d,"compaction_cas_failures":%d,"link_cas":%d,"link_cas_failures":%d,"links":%d,"outer_retries":%d,"total_work":%d}|}
+    s.same_set_calls s.unite_calls s.find_calls s.find_iters s.compaction_cas
+    s.compaction_cas_failures s.link_cas s.link_cas_failures s.links
+    s.outer_retries (total_work s)
+
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "@[<v>same_set=%d unite=%d finds=%d@ find_iters=%d@ compaction_cas=%d \

@@ -22,7 +22,13 @@ type snapshot = {
 }
 
 val create : unit -> t
+
 val reset : t -> unit
+(** Zero every counter.  [reset] racing a concurrent {!snapshot} is safe
+    (each field is an [Atomic]) but not atomic as a whole: the snapshot can
+    observe a torn mix of pre- and post-reset fields.  Quiesce writers
+    first when exact figures matter. *)
+
 val snapshot : t -> snapshot
 val zero : snapshot
 val add : snapshot -> snapshot -> snapshot
@@ -34,6 +40,12 @@ val total_work : snapshot -> int
     quantity the paper's Theorems 4.3, 5.1, 5.2 bound. *)
 
 val pp : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** The snapshot as one JSON object (field names as in the record, plus
+    ["total_work"]); consumed by the telemetry exporters in
+    [bin/dsu_workload] and [bench/main] so the counters are
+    machine-readable, not printf-only. *)
 
 (**/**)
 

@@ -7,6 +7,7 @@ type sim_result = {
   memory : Apram.Memory.t;
   spec : Dsu.Sim.spec;
   history : Apram.History.t;
+  obs : Repro_obs.Metrics.snapshot;
 }
 
 let run_sim ?sched ?policy ?early ?init_parents ?max_steps ~n ~seed ~ops () =
@@ -37,6 +38,7 @@ let run_sim ?sched ?policy ?early ?init_parents ?max_steps ~n ~seed ~ops () =
     memory = outcome.Apram.Sim.memory;
     spec;
     history = outcome.Apram.Sim.history;
+    obs = Repro_obs.Metrics.snapshot ();
   }
 
 type aw_result = {

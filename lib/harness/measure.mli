@@ -11,6 +11,12 @@ type sim_result = {
   memory : Apram.Memory.t;
   spec : Dsu.Sim.spec;
   history : Apram.History.t;
+  obs : Repro_obs.Metrics.snapshot;
+      (** Telemetry registry snapshot taken as the run completed — all
+          zeros unless [Repro_obs.Metrics.set_enabled true] was called
+          before the run.  The registry is process-global and cumulative
+          across runs; [Repro_obs.Metrics.reset ()] between runs isolates
+          one run's figures. *)
 }
 
 val run_sim :

@@ -1,0 +1,7 @@
+let now_ns () =
+  let t = Int64.to_int (Monotonic_clock.now ()) in
+  if t > 0 then t else int_of_float (Unix.gettimeofday () *. 1e9)
+
+let now_us ns = float_of_int ns /. 1e3
+
+let wall_s () = Unix.gettimeofday ()

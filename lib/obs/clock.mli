@@ -1,0 +1,19 @@
+(** Timestamps for telemetry.
+
+    [now_ns] reads the POSIX monotonic clock (via the zero-allocation
+    [Monotonic_clock] stub that bechamel ships); if the stub ever reports a
+    non-positive time (unsupported platform), it falls back to
+    [Unix.gettimeofday].  Telemetry only needs differences and ordering, so
+    the two sources never need to agree on an epoch. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary origin; monotone non-decreasing within a
+    process when the monotonic source is available. *)
+
+val now_us : int -> float
+(** Convert a [now_ns] timestamp to microseconds (the unit Chrome's
+    [trace_event] format expects). *)
+
+val wall_s : unit -> float
+(** Wall-clock seconds since the Unix epoch ([Unix.gettimeofday]); for
+    human-facing progress reports, not for latency measurement. *)

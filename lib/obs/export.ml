@@ -1,0 +1,130 @@
+(* ------------------------------------------------------------- metrics *)
+
+let hist_json (h : Metrics.hist_snapshot) =
+  [
+    ("count", Json.Int h.count);
+    ("sum", Json.Int h.sum);
+    ("p50", Json.Int (Metrics.quantile h 0.50));
+    ("p90", Json.Int (Metrics.quantile h 0.90));
+    ("p99", Json.Int (Metrics.quantile h 0.99));
+    ("max", Json.Int h.max);
+    ( "buckets",
+      Json.List
+        (List.map
+           (fun (upper, c) -> Json.List [ Json.Int upper; Json.Int c ])
+           h.buckets) );
+  ]
+
+let metric_json (s : Metrics.sample) =
+  let tail =
+    match s.value with
+    | Metrics.Counter_v v -> [ ("value", Json.Int v) ]
+    | Metrics.Gauge_v v -> [ ("value", Json.Int v) ]
+    | Metrics.Histogram_v h -> hist_json h
+  in
+  let kind =
+    match s.value with
+    | Metrics.Counter_v _ -> "counter"
+    | Metrics.Gauge_v _ -> "gauge"
+    | Metrics.Histogram_v _ -> "histogram"
+  in
+  Json.Obj
+    (("name", Json.String s.name) :: ("type", Json.String kind) :: tail)
+
+let metrics_jsonl (snap : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun s ->
+      Json.to_buffer buf (metric_json s);
+      Buffer.add_char buf '\n')
+    snap;
+  Buffer.contents buf
+
+let prom_escape_help s =
+  String.concat "\\n" (String.split_on_char '\n' s)
+
+let metrics_prometheus (snap : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let header name kind help =
+    if help <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.value with
+      | Metrics.Counter_v v ->
+        header s.name "counter" s.help;
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" s.name v)
+      | Metrics.Gauge_v v ->
+        header s.name "gauge" s.help;
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" s.name v)
+      | Metrics.Histogram_v h ->
+        header s.name "histogram" s.help;
+        let cum = ref 0 in
+        List.iter
+          (fun (upper, c) ->
+            cum := !cum + c;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" s.name upper !cum))
+          h.buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" s.name h.count);
+        Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" s.name h.sum);
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" s.name h.count))
+    snap;
+  Buffer.contents buf
+
+(* --------------------------------------------------------- chrome trace *)
+
+let bool_arg name b = Json.Obj [ (name, Json.Bool b) ]
+
+let event_fields (e : Trace.event) =
+  match e with
+  | Trace.Find_start { node } ->
+    ("find", "B", Json.Obj [ ("node", Json.Int node) ])
+  | Trace.Find_end { node; root; iters } ->
+    ( "find",
+      "E",
+      Json.Obj
+        [
+          ("node", Json.Int node);
+          ("root", Json.Int root);
+          ("iters", Json.Int iters);
+        ] )
+  | Trace.Link_cas { ok } -> ("link_cas", "i", bool_arg "ok" ok)
+  | Trace.Compaction_cas { ok } -> ("compaction_cas", "i", bool_arg "ok" ok)
+  | Trace.Outer_retry -> ("outer_retry", "i", Json.Obj [])
+  | Trace.Sched_decision { pid } ->
+    ("sched_decision", "i", Json.Obj [ ("proc", Json.Int pid) ])
+  | Trace.Phase_start { name } -> (name, "B", Json.Obj [])
+  | Trace.Phase_end { name } -> (name, "E", Json.Obj [])
+  | Trace.Instant { name } -> (name, "i", Json.Obj [])
+
+let chrome_trace ?(pid = 0) chunks =
+  let events =
+    List.concat_map
+      (fun (c : Trace.chunk) ->
+        List.map
+          (fun (r : Trace.record) ->
+            let name, ph, args = event_fields r.event in
+            let base =
+              [
+                ("name", Json.String name);
+                ("ph", Json.String ph);
+                ("ts", Json.Float (Clock.now_us r.ts_ns));
+                ("pid", Json.Int pid);
+                ("tid", Json.Int c.dom);
+                ("args", args);
+              ]
+            in
+            (* Instants need a scope; "t" (thread) keeps them attached to
+               the emitting domain's track. *)
+            Json.Obj (if ph = "i" then base @ [ ("s", Json.String "t") ] else base))
+          c.records)
+      chunks
+  in
+  Json.List events
+
+let chrome_trace_string ?pid chunks = Json.to_string (chrome_trace ?pid chunks)

@@ -1,0 +1,30 @@
+(** Exporters: metrics as JSON-lines or Prometheus text exposition, traces
+    as Chrome [trace_event] JSON (loadable in [about://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}). *)
+
+val metric_json : Metrics.sample -> Json.t
+(** One metric as one JSON object:
+    [{"name":..., "type":"counter", "value":...}] for counters and gauges;
+    [{"name":..., "type":"histogram", "count":..., "sum":..., "p50":...,
+    "p90":..., "p99":..., "max":..., "buckets":[[upper, count], ...]}]
+    for histograms. *)
+
+val metrics_jsonl : Metrics.snapshot -> string
+(** One {!metric_json} object per line, sorted by name, each line valid
+    JSON on its own. *)
+
+val metrics_prometheus : Metrics.snapshot -> string
+(** Prometheus text exposition (version 0.0.4): [# HELP]/[# TYPE] headers,
+    histograms as cumulative [_bucket{le="..."}] series plus [_sum] and
+    [_count]. *)
+
+val chrome_trace : ?pid:int -> Trace.chunk list -> Json.t
+(** The Chrome [trace_event] array format: every event is an object with
+    [name], [ph], [ts] (microseconds), [pid], [tid] (the recording domain's
+    id) and an [args] object.  [Find_start]/[Find_end] and
+    [Phase_start]/[Phase_end] map to ["B"]/["E"] duration events, everything
+    else to ["i"] instants.  Events are emitted oldest-first per domain;
+    ring wraparound can orphan a ["B"] or ["E"] at a chunk edge, which the
+    viewers tolerate. *)
+
+val chrome_trace_string : ?pid:int -> Trace.chunk list -> string

@@ -1,0 +1,33 @@
+(** A minimal self-contained JSON tree, printer and parser.
+
+    The exporters build {!t} values and serialize them; the test suite
+    re-parses exporter output to prove it is well-formed.  This is
+    deliberately tiny (no streaming, no numbers beyond OCaml [int]/[float])
+    so the observability layer adds no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization.  Non-finite floats serialize as [null] (JSON has
+    no representation for them); everything else round-trips through
+    {!parse}. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parser for the output of {!to_string} (and ordinary JSON):
+    objects, arrays, strings with [\uXXXX] escapes, numbers, [true], [false],
+    [null].  Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on other constructors. *)

@@ -1,0 +1,280 @@
+let slots = 64
+let slot_mask = slots - 1
+
+(* One slot is [stride] words so distinct slots live on distinct cache
+   lines (8-byte words, 128-byte padding covers adjacent-line prefetch). *)
+let stride = 16
+
+let nbuckets = 63 (* bucket 0 = value 0; bucket i>=1 = [2^(i-1), 2^i) *)
+
+(* Histogram slot layout: one flat int array per slot — cells 0..62 are the
+   bucket counts, then count, sum, max.  Each slot is its own heap block,
+   which is what keeps writing domains off each other's cache lines. *)
+let h_count = nbuckets
+let h_sum = nbuckets + 1
+let h_max = nbuckets + 2
+let h_len = nbuckets + 3
+
+(* Slot storage is allocated lazily, on the enabling transition: an
+   unarmed program must not pay the ~0.5 MB the sharded arrays cost — not
+   for the memory itself but for the heap-layout shift, which is
+   measurable on cache-sensitive workloads allocated after it.  [ [||] ]
+   is the "not yet materialized" sentinel; every writer and reader treats
+   it as all-zeros. *)
+type counter = { mutable c_cells : int array (* slots * stride *) }
+type gauge = { g_cell : int Atomic.t }
+type histogram = { mutable h_slots : int array array }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  lock : Mutex.t;
+  mutable items : (string * (string * metric)) list; (* name -> help, metric *)
+}
+
+(* Every registry ever created, so the enabling transition can materialize
+   all of them.  Registries are few and permanent; no reclamation. *)
+let registries = Atomic.make ([] : t list)
+
+let create () =
+  let t = { lock = Mutex.create (); items = [] } in
+  let rec track () =
+    let cur = Atomic.get registries in
+    if not (Atomic.compare_and_set registries cur (t :: cur)) then track ()
+  in
+  track ();
+  t
+
+let default = create ()
+
+let enabled () = Atomic.get Switch.metrics
+
+let alloc_counter c =
+  if Array.length c.c_cells = 0 then c.c_cells <- Array.make (slots * stride) 0
+
+let alloc_histogram h =
+  if Array.length h.h_slots = 0 then
+    h.h_slots <- Array.init slots (fun _ -> Array.make h_len 0)
+
+let materialize registry =
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () ->
+      List.iter
+        (fun (_, (_, metric)) ->
+          match metric with
+          | Counter c -> alloc_counter c
+          | Gauge _ -> ()
+          | Histogram h -> alloc_histogram h)
+        registry.items)
+
+(* Storage is published before the switch flips (the atomic set releases
+   the array writes), so a writer that observes the switch on also sees
+   the arrays.  An instrument registered concurrently with the transition
+   may stay unmaterialized until the next [set_enabled true]; its writers
+   skip (see the sentinel checks below) rather than crash. *)
+let set_enabled on =
+  if on then List.iter materialize (Atomic.get registries);
+  Switch.set_metrics on
+
+let slot () = (Domain.self () :> int) land slot_mask
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register registry name help make match_existing =
+  Mutex.lock registry.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry.lock)
+    (fun () ->
+      match List.assoc_opt name registry.items with
+      | Some (_, existing) -> (
+        match match_existing existing with
+        | Some m -> m
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name existing)))
+      | None ->
+        let m = make () in
+        registry.items <- (name, (help, m)) :: registry.items;
+        m)
+
+let counter ?(registry = default) ?(help = "") name =
+  register registry name help
+    (fun () ->
+      let c = { c_cells = [||] } in
+      if enabled () then alloc_counter c;
+      Counter c)
+    (function Counter _ as m -> Some m | _ -> None)
+  |> function
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge ?(registry = default) ?(help = "") name =
+  register registry name help
+    (fun () -> Gauge { g_cell = Atomic.make 0 })
+    (function Gauge _ as m -> Some m | _ -> None)
+  |> function
+  | Gauge g -> g
+  | _ -> assert false
+
+let histogram ?(registry = default) ?(help = "") name =
+  register registry name help
+    (fun () ->
+      let h = { h_slots = [||] } in
+      if enabled () then alloc_histogram h;
+      Histogram h)
+    (function Histogram _ as m -> Some m | _ -> None)
+  |> function
+  | Histogram h -> h
+  | _ -> assert false
+
+(* ------------------------------------------------------------- updates *)
+
+let add c k =
+  if Atomic.get Switch.metrics && k > 0 then begin
+    let cells = c.c_cells in
+    if Array.length cells <> 0 then begin
+      let i = slot () * stride in
+      cells.(i) <- cells.(i) + k
+    end
+  end
+
+let incr c =
+  if Atomic.get Switch.metrics then begin
+    let cells = c.c_cells in
+    if Array.length cells <> 0 then begin
+      let i = slot () * stride in
+      cells.(i) <- cells.(i) + 1
+    end
+  end
+
+let set g v = if Atomic.get Switch.metrics then Atomic.set g.g_cell v
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    let b = bits 0 v in
+    if b > nbuckets - 1 then nbuckets - 1 else b
+  end
+
+let observe h v =
+  if Atomic.get Switch.metrics then begin
+    let hs = h.h_slots in
+    if Array.length hs <> 0 then begin
+      let v = if v < 0 then 0 else v in
+      let s = hs.(slot ()) in
+      let b = bucket_of v in
+      s.(b) <- s.(b) + 1;
+      s.(h_count) <- s.(h_count) + 1;
+      s.(h_sum) <- s.(h_sum) + v;
+      if v > s.(h_max) then s.(h_max) <- v
+    end
+  end
+
+(* ------------------------------------------------------------- reading *)
+
+let counter_value c =
+  let cells = c.c_cells in
+  if Array.length cells = 0 then 0
+  else begin
+    let total = ref 0 in
+    for s = 0 to slots - 1 do
+      total := !total + cells.(s * stride)
+    done;
+    !total
+  end
+
+let gauge_value g = Atomic.get g.g_cell
+
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let hist_value h =
+  let merged = Array.make h_len 0 in
+  Array.iter
+    (fun s ->
+      for i = 0 to h_len - 1 do
+        if i = h_max then merged.(i) <- Stdlib.max merged.(i) s.(i)
+        else merged.(i) <- merged.(i) + s.(i)
+      done)
+    h.h_slots;
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if merged.(i) > 0 then buckets := (bucket_upper i, merged.(i)) :: !buckets
+  done;
+  {
+    count = merged.(h_count);
+    sum = merged.(h_sum);
+    max = merged.(h_max);
+    buckets = !buckets;
+  }
+
+let quantile (h : hist_snapshot) q =
+  if h.count = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int h.count)) in
+      if t < 1 then 1 else t
+    in
+    let rec scan cum = function
+      | [] -> h.max
+      | (upper, c) :: rest ->
+        let cum = cum + c in
+        if cum >= target then Stdlib.min upper h.max else scan cum rest
+    in
+    scan 0 h.buckets
+  end
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of hist_snapshot
+
+type sample = { name : string; help : string; value : value }
+
+type snapshot = sample list
+
+let snapshot_of registry =
+  Mutex.lock registry.lock;
+  let items = registry.items in
+  Mutex.unlock registry.lock;
+  items
+  |> List.map (fun (name, (help, metric)) ->
+         let value =
+           match metric with
+           | Counter c -> Counter_v (counter_value c)
+           | Gauge g -> Gauge_v (gauge_value g)
+           | Histogram h -> Histogram_v (hist_value h)
+         in
+         { name; help; value })
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let snapshot () = snapshot_of default
+
+let reset ?(registry = default) () =
+  Mutex.lock registry.lock;
+  let items = registry.items in
+  Mutex.unlock registry.lock;
+  List.iter
+    (fun (_, (_, metric)) ->
+      match metric with
+      | Counter c -> Array.fill c.c_cells 0 (Array.length c.c_cells) 0
+      | Gauge g -> Atomic.set g.g_cell 0
+      | Histogram h -> Array.iter (fun s -> Array.fill s 0 h_len 0) h.h_slots)
+    items

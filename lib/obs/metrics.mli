@@ -1,0 +1,117 @@
+(** The metrics registry: named counters, gauges and log-bucketed histograms.
+
+    {2 Design}
+
+    Counters and histograms are sharded into [slots] cache-padded cells
+    indexed by [Domain.self () mod slots]; the hot-path update is a plain,
+    unsynchronized load/add/store into the writing domain's own cell, and
+    {!snapshot_of} merges the cells on read.  Two consequences, both
+    deliberate (this is telemetry, not accounting):
+
+    - concurrently-live domains whose ids collide modulo [slots] may lose
+      increments to the race (in practice ids of simultaneously live domains
+      are consecutive, so collisions require > [slots] live domains);
+    - a snapshot taken while writers are running is a racy read and may mix
+      updates from different instants.
+
+    After all writing domains have joined, merged values are exact.
+
+    Gauges record a last-written value, so they are a single [Atomic] cell
+    rather than sharded slots.
+
+    Every update first checks the global {!Switch.metrics} flag: with
+    telemetry disabled (the default) an instrumentation point costs one
+    atomic load and one predictable branch.  Slot storage is only
+    allocated on the first {!set_enabled}[ true] (or at creation while
+    enabled), so an unarmed program allocates nothing per instrument —
+    keeping not just memory but the heap layout of the measured program
+    identical to an uninstrumented build.
+
+    Metric creation is idempotent per registry: asking for an existing name
+    with the same kind returns the existing instrument; a kind mismatch
+    raises [Invalid_argument].  Creation takes a lock and must not be done
+    on a hot path. *)
+
+type t
+(** A registry: a named collection of instruments. *)
+
+type counter
+type gauge
+type histogram
+
+val slots : int
+(** Number of per-domain cells each sharded instrument carries. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-global registry all library instrumentation registers in. *)
+
+val set_enabled : bool -> unit
+(** Arm or disarm every metric update in the process (see {!Switch}).
+    [set_enabled true] first materializes the slot storage of every
+    registered instrument in every registry, so prefer it over flipping
+    {!Switch.set_metrics} directly: an instrument whose storage was never
+    materialized silently drops its updates. *)
+
+val enabled : unit -> bool
+
+(** {2 Instrument creation} *)
+
+val counter : ?registry:t -> ?help:string -> string -> counter
+val gauge : ?registry:t -> ?help:string -> string -> gauge
+val histogram : ?registry:t -> ?help:string -> string -> histogram
+
+(** {2 Hot-path updates} — no-ops while disabled. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c k] with [k < 0] is ignored (counters are monotone). *)
+
+val set : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+(** Record one sample.  Negative samples clamp to [0].  Buckets are powers
+    of two: bucket [0] holds the value [0] and bucket [i >= 1] holds values
+    in [\[2{^i-1}, 2{^i})]. *)
+
+(** {2 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  max : int;
+  buckets : (int * int) list;
+      (** [(inclusive upper bound, count)] for each non-empty bucket, in
+          increasing bound order. *)
+}
+
+val hist_value : histogram -> hist_snapshot
+
+val quantile : hist_snapshot -> float -> int
+(** [quantile h q] for [q] in [\[0, 1\]]: the upper bound of the first
+    bucket whose cumulative count reaches [q * count], clamped to the exact
+    maximum ever observed; [0] when the histogram is empty.  The estimate
+    can exceed the true quantile by at most the bucket width (a factor of
+    two). *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of hist_snapshot
+
+type sample = { name : string; help : string; value : value }
+
+type snapshot = sample list
+(** Sorted by metric name. *)
+
+val snapshot_of : t -> snapshot
+val snapshot : unit -> snapshot
+(** [snapshot () = snapshot_of default]. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every instrument in the registry (racy against concurrent
+    writers, like {!snapshot_of}; quiesce first for exact semantics). *)

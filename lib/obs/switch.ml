@@ -1,0 +1,13 @@
+let metrics = Atomic.make false
+let trace = Atomic.make false
+let any = Atomic.make false
+
+let update () = Atomic.set any (Atomic.get metrics || Atomic.get trace)
+
+let set_metrics b =
+  Atomic.set metrics b;
+  update ()
+
+let set_trace b =
+  Atomic.set trace b;
+  update ()

@@ -1,0 +1,82 @@
+type event =
+  | Find_start of { node : int }
+  | Find_end of { node : int; root : int; iters : int }
+  | Link_cas of { ok : bool }
+  | Compaction_cas of { ok : bool }
+  | Outer_retry
+  | Sched_decision of { pid : int }
+  | Phase_start of { name : string }
+  | Phase_end of { name : string }
+  | Instant of { name : string }
+
+type record = { ts_ns : int; event : event }
+
+type ring = {
+  dom : int;
+  cap : int;
+  ts : int array;
+  evs : event array;
+  mutable written : int;
+      (** Total events ever emitted; the ring holds the last [cap]. *)
+}
+
+type chunk = { dom : int; dropped : int; records : record list }
+
+let set_enabled = Switch.set_trace
+let enabled () = Atomic.get Switch.trace
+
+let capacity = Atomic.make 8192
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n
+
+(* All rings ever created, newest first; pushed with a CAS loop so ring
+   creation never blocks another domain. *)
+let rings : ring list Atomic.t = Atomic.make []
+
+let push_ring r =
+  let rec go () =
+    let old = Atomic.get rings in
+    if not (Atomic.compare_and_set rings old (r :: old)) then go ()
+  in
+  go ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let cap = Atomic.get capacity in
+      let r =
+        {
+          dom = (Domain.self () :> int);
+          cap;
+          ts = Array.make cap 0;
+          evs = Array.make cap Outer_retry;
+          written = 0;
+        }
+      in
+      push_ring r;
+      r)
+
+let emit event =
+  if Atomic.get Switch.trace then begin
+    let r = Domain.DLS.get ring_key in
+    let i = r.written mod r.cap in
+    r.ts.(i) <- Clock.now_ns ();
+    r.evs.(i) <- event;
+    r.written <- r.written + 1
+  end
+
+let chunk_of_ring r =
+  let written = r.written in
+  let kept = if written > r.cap then r.cap else written in
+  let first = written - kept in
+  let records =
+    List.init kept (fun k ->
+        let i = (first + k) mod r.cap in
+        { ts_ns = r.ts.(i); event = r.evs.(i) })
+  in
+  { dom = r.dom; dropped = written - kept; records }
+
+let dump () = List.map chunk_of_ring (Atomic.get rings)
+
+let clear () = List.iter (fun r -> r.written <- 0) (Atomic.get rings)

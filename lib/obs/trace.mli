@@ -1,0 +1,54 @@
+(** Lock-free per-domain event tracing with bounded memory.
+
+    Each domain that calls {!emit} while tracing is armed owns a private
+    ring buffer (created on first use through domain-local storage and
+    published to a global list with a CAS push — no locks anywhere).  A ring
+    holds the last [capacity] events; older events are overwritten and
+    counted as dropped, so memory use is bounded by
+    [rings * capacity * O(1)] regardless of run length.
+
+    Timestamps come from {!Clock.now_ns}.
+
+    {!dump} reads the rings without synchronizing with writers: call it
+    after the traced domains have quiesced (joined) for an exact result. *)
+
+type event =
+  | Find_start of { node : int }
+  | Find_end of { node : int; root : int; iters : int }
+      (** [iters] = parent-pointer steps taken by this find (see
+          {!Dsu.Native} instrumentation notes in docs/OBSERVABILITY.md). *)
+  | Link_cas of { ok : bool }
+  | Compaction_cas of { ok : bool }
+  | Outer_retry
+  | Sched_decision of { pid : int }
+      (** A simulator scheduling decision ({!Apram.Scheduler}). *)
+  | Phase_start of { name : string }
+  | Phase_end of { name : string }
+  | Instant of { name : string }  (** Free-form point event. *)
+
+type record = { ts_ns : int; event : event }
+
+type chunk = {
+  dom : int;  (** id of the domain that recorded these events *)
+  dropped : int;  (** events overwritten because the ring wrapped *)
+  records : record list;  (** surviving events, oldest first *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Ring capacity (events) for rings created {e after} this call; existing
+    rings keep their size.  Default 8192.  Raises [Invalid_argument] on
+    non-positive sizes. *)
+
+val emit : event -> unit
+(** Record an event in the calling domain's ring; a single atomic load and
+    branch while tracing is disarmed. *)
+
+val dump : unit -> chunk list
+(** Every ring ever created in this process (including rings of domains
+    that have terminated), newest ring first. *)
+
+val clear : unit -> unit
+(** Empty all rings and zero their drop counts (rings are kept). *)

@@ -1,0 +1,56 @@
+The native workload driver emits the metrics registry as JSON lines when
+asked (--metrics-out -; the trailing dsu_stats object carries the flat
+Dsu.Stats counters).  Numeric values are timing-dependent, so the test
+checks the schema: every expected metric name with its type, every line
+valid JSON, and no negative values anywhere.
+
+  $ ../../bin/dsu_workload.exe native -n 256 --ops 512 --seed 3 --metrics-out - | grep '^{' > metrics.jsonl
+  $ sed -E 's/^\{"name":"([a-z_0-9]+)","type":"([a-z]+)".*/\1 \2/' metrics.jsonl
+  apram_procs gauge
+  apram_runnable_procs gauge
+  apram_sched_decisions_total counter
+  apram_steps_per_process histogram
+  apram_steps_total counter
+  dsu_compaction_cas_fail_total counter
+  dsu_compaction_cas_ok_total counter
+  dsu_find_iters histogram
+  dsu_find_latency_ns histogram
+  dsu_find_total counter
+  dsu_link_cas_fail_total counter
+  dsu_link_cas_ok_total counter
+  dsu_ops_total counter
+  dsu_outer_retries_total counter
+  dsu_same_set_latency_ns histogram
+  dsu_unite_latency_ns histogram
+  dsu_stats object
+
+Every histogram line carries the quantile summary:
+
+  $ grep -c '"p50"' metrics.jsonl
+  5
+  $ [ "$(grep -c '"p50"' metrics.jsonl)" -eq "$(grep -c '"p99"' metrics.jsonl)" ] && echo balanced
+  balanced
+
+No negative values in any line (grep finds nothing and exits 1):
+
+  $ grep -- '-[0-9]' metrics.jsonl
+  [1]
+
+The single-domain run is deterministic, so the CAS counters in the
+registry agree exactly with the Dsu.Stats counters on the same line
+ordering every run — spot-check that the link counter is non-zero:
+
+  $ grep '"name":"dsu_link_cas_ok_total"' metrics.jsonl | grep -c '"value":0'
+  0
+  [1]
+
+The Chrome trace exporter produces a JSON array of objects with the
+trace_event fields:
+
+  $ ../../bin/dsu_workload.exe native -n 64 --ops 64 --seed 3 --trace-out trace.json > /dev/null
+  $ head -c 2 trace.json
+  [{
+  $ grep -c '"ph":' trace.json
+  1
+  $ grep -o '"name":"find","ph":"B"' trace.json | head -1
+  "name":"find","ph":"B"

@@ -1,0 +1,390 @@
+(* Unit tests for the telemetry subsystem (lib/obs): registry merging
+   across real domains, histogram buckets and quantiles, trace-ring
+   wraparound and drop counting, exporter output well-formedness, and the
+   Dsu_stats JSON bridge. *)
+
+module Metrics = Repro_obs.Metrics
+module Trace = Repro_obs.Trace
+module Export = Repro_obs.Export
+module Json = Repro_obs.Json
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* Every test arms telemetry for its own duration; the flags are global,
+   so restore them no matter how the test exits. *)
+let with_metrics f =
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let with_trace f =
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+(* ------------------------------------------------------------- metrics *)
+
+let counter_value_of snap name =
+  match
+    List.find_opt (fun (s : Metrics.sample) -> s.name = name) snap
+  with
+  | Some { value = Metrics.Counter_v v; _ } -> Some v
+  | _ -> None
+
+let metrics_tests =
+  [
+    case "counter merge across 4 domains equals sequential total" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let c = Metrics.counter ~registry:r "test_merge_total" in
+            let per_domain = 25_000 in
+            let workers =
+              List.init 4 (fun _ ->
+                  Domain.spawn (fun () ->
+                      for _ = 1 to per_domain do
+                        Metrics.incr c
+                      done))
+            in
+            List.iter Domain.join workers;
+            check Alcotest.int "merged total" (4 * per_domain)
+              (Metrics.counter_value c)));
+    case "histogram merge across 4 domains" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let h = Metrics.histogram ~registry:r "test_merge_hist" in
+            let per_domain = 10_000 in
+            let workers =
+              List.init 4 (fun k ->
+                  Domain.spawn (fun () ->
+                      for i = 1 to per_domain do
+                        Metrics.observe h ((i mod 7) + k)
+                      done))
+            in
+            List.iter Domain.join workers;
+            let snap = Metrics.hist_value h in
+            check Alcotest.int "count" (4 * per_domain) snap.Metrics.count;
+            let bucket_total =
+              List.fold_left (fun acc (_, c) -> acc + c) 0 snap.Metrics.buckets
+            in
+            check Alcotest.int "buckets cover every sample" (4 * per_domain)
+              bucket_total));
+    case "counter registration is idempotent, kind mismatch rejected"
+      (fun () ->
+        let r = Metrics.create () in
+        let a = Metrics.counter ~registry:r "test_idem" in
+        let b = Metrics.counter ~registry:r "test_idem" in
+        with_metrics (fun () ->
+            Metrics.incr a;
+            Metrics.incr b);
+        check Alcotest.int "same instrument" 2 (Metrics.counter_value a);
+        check Alcotest.bool "kind mismatch raises" true
+          (try
+             ignore (Metrics.gauge ~registry:r "test_idem");
+             false
+           with Invalid_argument _ -> true));
+    case "updates are no-ops while disabled" (fun () ->
+        let r = Metrics.create () in
+        let c = Metrics.counter ~registry:r "test_disabled" in
+        Metrics.incr c;
+        Metrics.add c 10;
+        check Alcotest.int "still zero" 0 (Metrics.counter_value c));
+    case "histogram bucket boundaries are powers of two" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let h = Metrics.histogram ~registry:r "test_buckets" in
+            List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 7; 8 ];
+            let snap = Metrics.hist_value h in
+            check
+              (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+              "buckets"
+              [ (0, 1); (1, 1); (3, 2); (7, 2); (15, 1) ]
+              snap.Metrics.buckets;
+            check Alcotest.int "sum" 25 snap.Metrics.sum;
+            check Alcotest.int "max" 8 snap.Metrics.max));
+    case "quantiles: empty histogram" (fun () ->
+        let r = Metrics.create () in
+        let h = Metrics.histogram ~registry:r "test_q_empty" in
+        let snap = Metrics.hist_value h in
+        check Alcotest.int "count" 0 snap.Metrics.count;
+        check Alcotest.int "p50" 0 (Metrics.quantile snap 0.5);
+        check Alcotest.int "p99" 0 (Metrics.quantile snap 0.99));
+    case "quantiles: single sample is exact" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let h = Metrics.histogram ~registry:r "test_q_single" in
+            Metrics.observe h 37;
+            let snap = Metrics.hist_value h in
+            check Alcotest.int "p50" 37 (Metrics.quantile snap 0.5);
+            check Alcotest.int "p99" 37 (Metrics.quantile snap 0.99);
+            check Alcotest.int "max" 37 snap.Metrics.max));
+    case "quantiles are monotone and bounded by max" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let h = Metrics.histogram ~registry:r "test_q_mono" in
+            for i = 1 to 1000 do
+              Metrics.observe h i
+            done;
+            let snap = Metrics.hist_value h in
+            let p50 = Metrics.quantile snap 0.5 in
+            let p90 = Metrics.quantile snap 0.9 in
+            let p99 = Metrics.quantile snap 0.99 in
+            check Alcotest.bool "p50 <= p90" true (p50 <= p90);
+            check Alcotest.bool "p90 <= p99" true (p90 <= p99);
+            check Alcotest.bool "p99 <= max" true (p99 <= snap.Metrics.max);
+            (* The estimate overshoots by at most the bucket width. *)
+            check Alcotest.bool "p50 within a bucket of truth" true
+              (p50 >= 500 && p50 <= 1023)));
+    case "negative samples clamp to zero" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let h = Metrics.histogram ~registry:r "test_q_neg" in
+            Metrics.observe h (-5);
+            let snap = Metrics.hist_value h in
+            check Alcotest.int "count" 1 snap.Metrics.count;
+            check Alcotest.int "sum" 0 snap.Metrics.sum));
+    case "reset zeroes every instrument" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let c = Metrics.counter ~registry:r "test_reset_c" in
+            let h = Metrics.histogram ~registry:r "test_reset_h" in
+            Metrics.incr c;
+            Metrics.observe h 9;
+            Metrics.reset ~registry:r ();
+            check Alcotest.int "counter" 0 (Metrics.counter_value c);
+            check Alcotest.int "hist count" 0 (Metrics.hist_value h).Metrics.count));
+  ]
+
+(* --------------------------------------------------------------- trace *)
+
+let trace_tests =
+  [
+    case "ring wraparound keeps the newest events and counts drops"
+      (fun () ->
+        with_trace (fun () ->
+            Trace.clear ();
+            Trace.set_capacity 8;
+            (* A fresh domain gets a fresh ring created with the capacity
+               in force now. *)
+            let d =
+              Domain.spawn (fun () ->
+                  for i = 1 to 20 do
+                    Trace.emit (Trace.Find_start { node = i })
+                  done)
+            in
+            Domain.join d;
+            let chunk =
+              match
+                List.find_opt
+                  (fun (c : Trace.chunk) -> c.records <> [])
+                  (Trace.dump ())
+              with
+              | Some c -> c
+              | None -> Alcotest.fail "no ring recorded events"
+            in
+            check Alcotest.int "dropped" 12 chunk.Trace.dropped;
+            check Alcotest.int "kept" 8 (List.length chunk.Trace.records);
+            let nodes =
+              List.map
+                (fun (r : Trace.record) ->
+                  match r.Trace.event with
+                  | Trace.Find_start { node } -> node
+                  | _ -> -1)
+                chunk.Trace.records
+            in
+            check
+              (Alcotest.list Alcotest.int)
+              "oldest-first, newest retained"
+              [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+              nodes;
+            let ts = List.map (fun (r : Trace.record) -> r.Trace.ts_ns) chunk.Trace.records in
+            check Alcotest.bool "timestamps non-decreasing" true
+              (List.sort compare ts = ts);
+            Trace.set_capacity 8192;
+            Trace.clear ()));
+    case "emit is a no-op while disabled" (fun () ->
+        Trace.clear ();
+        Trace.emit Trace.Outer_retry;
+        let total =
+          List.fold_left
+            (fun acc (c : Trace.chunk) -> acc + List.length c.Trace.records)
+            0 (Trace.dump ())
+        in
+        check Alcotest.int "no events" 0 total);
+  ]
+
+(* ----------------------------------------------------------- exporters *)
+
+let exporter_tests =
+  [
+    case "json round-trips through the parser" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("a", Json.Int 42);
+              ("b", Json.List [ Json.Float 1.5; Json.Null; Json.Bool true ]);
+              ("c", Json.String "quote \" backslash \\ newline \n end");
+              ("d", Json.Obj []);
+            ]
+        in
+        check Alcotest.bool "round trip" true
+          (Json.parse_exn (Json.to_string v) = v));
+    case "jsonl: every line parses, names and values survive" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let c = Metrics.counter ~registry:r "test_export_total" in
+            let h = Metrics.histogram ~registry:r "test_export_hist" in
+            Metrics.add c 7;
+            List.iter (Metrics.observe h) [ 1; 2; 3; 100 ];
+            let lines =
+              Export.metrics_jsonl (Metrics.snapshot_of r)
+              |> String.trim |> String.split_on_char '\n'
+            in
+            check Alcotest.int "two metrics" 2 (List.length lines);
+            let parsed = List.map Json.parse_exn lines in
+            let find name =
+              List.find
+                (fun j -> Json.member "name" j = Some (Json.String name))
+                parsed
+            in
+            let counter = find "test_export_total" in
+            check Alcotest.bool "counter value" true
+              (Json.member "value" counter = Some (Json.Int 7));
+            let hist = find "test_export_hist" in
+            check Alcotest.bool "hist count" true
+              (Json.member "count" hist = Some (Json.Int 4));
+            check Alcotest.bool "hist has p50" true
+              (Json.member "p50" hist <> None);
+            check Alcotest.bool "hist has p99" true
+              (Json.member "p99" hist <> None)));
+    case "prometheus exposition shape" (fun () ->
+        with_metrics (fun () ->
+            let r = Metrics.create () in
+            let c = Metrics.counter ~registry:r ~help:"help text" "test_prom_total" in
+            let h = Metrics.histogram ~registry:r "test_prom_hist" in
+            Metrics.add c 3;
+            Metrics.observe h 5;
+            let text = Export.metrics_prometheus (Metrics.snapshot_of r) in
+            let contains needle =
+              let nl = String.length needle and tl = String.length text in
+              let rec go i =
+                i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            check Alcotest.bool "TYPE counter" true
+              (contains "# TYPE test_prom_total counter");
+            check Alcotest.bool "HELP line" true
+              (contains "# HELP test_prom_total help text");
+            check Alcotest.bool "counter sample" true
+              (contains "test_prom_total 3");
+            check Alcotest.bool "+Inf bucket" true
+              (contains "test_prom_hist_bucket{le=\"+Inf\"} 1");
+            check Alcotest.bool "sum" true (contains "test_prom_hist_sum 5");
+            check Alcotest.bool "count" true
+              (contains "test_prom_hist_count 1")));
+    case "chrome trace validates against the trace_event schema" (fun () ->
+        with_trace (fun () ->
+            Trace.clear ();
+            Trace.emit (Trace.Find_start { node = 3 });
+            Trace.emit (Trace.Compaction_cas { ok = false });
+            Trace.emit (Trace.Find_end { node = 3; root = 7; iters = 2 });
+            Trace.emit (Trace.Link_cas { ok = true });
+            Trace.emit Trace.Outer_retry;
+            Trace.emit (Trace.Sched_decision { pid = 1 });
+            Trace.emit (Trace.Phase_start { name = "phase" });
+            Trace.emit (Trace.Phase_end { name = "phase" });
+            Trace.emit (Trace.Instant { name = "tick" });
+            let doc =
+              Json.parse_exn (Export.chrome_trace_string (Trace.dump ()))
+            in
+            (match doc with
+            | Json.List events ->
+              check Alcotest.int "all events exported" 9 (List.length events);
+              List.iter
+                (fun e ->
+                  List.iter
+                    (fun key ->
+                      check Alcotest.bool (key ^ " present") true
+                        (Json.member key e <> None))
+                    [ "name"; "ph"; "ts"; "pid"; "tid"; "args" ])
+                events
+            | _ -> Alcotest.fail "chrome trace is not a JSON array");
+            Trace.clear ()));
+  ]
+
+(* ------------------------------------------- integration with the DSU *)
+
+let integration_tests =
+  [
+    case "native ops populate metrics that match Dsu_stats" (fun () ->
+        with_metrics (fun () ->
+            Metrics.reset ();
+            let n = 512 in
+            let d = Dsu.Native.create ~collect_stats:true ~seed:11 n in
+            for i = 0 to n - 2 do
+              Dsu.Native.unite d i (i + 1)
+            done;
+            for i = 0 to n - 1 do
+              ignore (Dsu.Native.same_set d i 0 : bool)
+            done;
+            let stats = Dsu.Native.stats d in
+            let snap = Metrics.snapshot () in
+            let counter name =
+              match counter_value_of snap name with
+              | Some v -> v
+              | None -> Alcotest.fail (name ^ " not registered")
+            in
+            check Alcotest.int "link cas ok = links" stats.Dsu.Stats.links
+              (counter "dsu_link_cas_ok_total");
+            check Alcotest.int "link cas fail"
+              stats.Dsu.Stats.link_cas_failures
+              (counter "dsu_link_cas_fail_total");
+            check Alcotest.int "compaction cas"
+              stats.Dsu.Stats.compaction_cas
+              (counter "dsu_compaction_cas_ok_total"
+              + counter "dsu_compaction_cas_fail_total");
+            check Alcotest.int "finds" stats.Dsu.Stats.find_calls
+              (counter "dsu_find_total");
+            check Alcotest.int "ops" (2 * n - 1) (counter "dsu_ops_total");
+            Metrics.reset ()));
+    case "run_sim attaches a registry snapshot" (fun () ->
+        with_metrics (fun () ->
+            Metrics.reset ();
+            let ops =
+              [|
+                [ Workload.Op.Unite (0, 1); Workload.Op.Same_set (0, 1) ];
+                [ Workload.Op.Unite (2, 3); Workload.Op.Find 0 ];
+              |]
+            in
+            let r = Harness.Measure.run_sim ~n:4 ~seed:5 ~ops () in
+            let steps =
+              match counter_value_of r.Harness.Measure.obs "apram_steps_total" with
+              | Some v -> v
+              | None -> Alcotest.fail "apram_steps_total missing"
+            in
+            check Alcotest.int "snapshot steps = simulator steps"
+              r.Harness.Measure.total_steps steps;
+            Metrics.reset ()));
+    case "Dsu_stats.to_json parses and matches the snapshot" (fun () ->
+        let d = Dsu.Native.create ~collect_stats:true ~seed:3 64 in
+        for i = 0 to 62 do
+          Dsu.Native.unite d i (i + 1)
+        done;
+        let s = Dsu.Native.stats d in
+        let j = Json.parse_exn (Dsu.Stats.to_json s) in
+        check Alcotest.bool "links field" true
+          (Json.member "links" j = Some (Json.Int s.Dsu.Stats.links));
+        check Alcotest.bool "find_iters field" true
+          (Json.member "find_iters" j = Some (Json.Int s.Dsu.Stats.find_iters));
+        check Alcotest.bool "total_work field" true
+          (Json.member "total_work" j
+          = Some (Json.Int (Dsu.Stats.total_work s))));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("metrics", metrics_tests);
+      ("trace", trace_tests);
+      ("exporters", exporter_tests);
+      ("integration", integration_tests);
+    ]
