@@ -152,7 +152,7 @@ module Native = struct
 
   let create ?(collect_stats = false) ?indirection n =
     let stats = if collect_stats then Some (Dsu.Stats.create ()) else None in
-    let mem = Repro_util.Atomic_array.make n (A.init_word n) in
+    let mem = Repro_util.Flat_atomic_array.make n (A.init_word n) in
     A.create ?stats ?indirection ~mem ~n ()
 
   let find = A.find

@@ -1,0 +1,13 @@
+(** The original {!Memory_intf.S} instance over [int Atomic.t array]
+    ({!Repro_util.Atomic_array}): every cell is a separately boxed heap
+    block, so each access pays a double indirection.
+
+    Kept as the baseline side of the memory-layout A/B comparison — see
+    {!Dsu_boxed}, [bench/main.exe] ([native/boxed-*], [micro/*-boxed]) and
+    the [--parallel] sweep's [boxed] layout.  New code should use
+    {!Native_memory} (flat) instead. *)
+
+type t = Repro_util.Atomic_array.t
+
+let read = Repro_util.Atomic_array.get
+let cas = Repro_util.Atomic_array.cas

@@ -23,6 +23,14 @@ module Obs = Dsu_obs
 module Algorithm = Dsu_algorithm
 module Native_memory = Native_memory
 module Native = Dsu_native
+
+module Boxed_memory = Boxed_memory
+(** The pre-flat-layout memory ([int Atomic.t array]); baseline side of the
+    memory-layout A/B benchmarks. *)
+
+(** The algorithm over {!Boxed_memory} — benchmarking comparator only; use
+    {!Native} for real work. *)
+module Boxed = Dsu_boxed
 module Sim = Dsu_sim
 module Growable = Growable
 

@@ -1,0 +1,55 @@
+module Atomic_array = Repro_util.Atomic_array
+module Rng = Repro_util.Rng
+
+module A = Dsu_algorithm.Make (Boxed_memory)
+
+type t = A.t
+
+let self_seed = Atomic.make 0x2545f4914f6cdd1d
+
+let create ?policy ?early ?(collect_stats = false) ?seed n =
+  if n < 1 then invalid_arg "Dsu_boxed.create: n must be >= 1";
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> 1 + Atomic.fetch_and_add self_seed 1
+  in
+  let ids = Rng.permutation (Rng.create seed) n in
+  let mem = Atomic_array.make n (fun i -> i) in
+  let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+  A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+
+let n = A.n
+
+(* The same armed-telemetry wrappers as {!Dsu_native}, so layout A/B runs
+   compare memory layouts only, not instrumentation overhead. *)
+
+let same_set t x y =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    let r = A.same_set t x y in
+    Dsu_obs.record_same_set_latency t0;
+    r
+  end
+  else A.same_set t x y
+
+let unite t x y =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    A.unite t x y;
+    Dsu_obs.record_unite_latency t0
+  end
+  else A.unite t x y
+
+let find t x =
+  if Atomic.get Dsu_obs.armed then Dsu_obs.record_find_op ();
+  A.find t x
+
+let id = A.id
+let parent_of = A.parent_of
+let is_root = A.is_root
+let count_sets = A.count_sets
+let invariant_violations = A.invariant_violations
+let parents_snapshot t = Atomic_array.snapshot (A.mem t)
+
+let stats t = match A.stats t with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s

@@ -1,0 +1,33 @@
+(** The concurrent DSU over the {b boxed} memory layout ({!Boxed_memory},
+    i.e. [int Atomic.t array] — one heap block per parent word).
+
+    This is the pre-flat-layout implementation, kept only as the baseline
+    side of the memory-layout A/B comparison: [bench/main.exe] times it as
+    [native/boxed-*] / [micro/*-boxed], and {!Harness.Scalability} sweeps it
+    as the [boxed] layout.  It runs the identical {!Dsu_algorithm} code (same
+    policies, same telemetry wrappers) — only [Memory_intf.S] differs.
+
+    Use {!Dsu_native} for real work; this module exists so the claimed
+    speedup of the flat layout stays measurable forever. *)
+
+type t
+
+val create :
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  ?seed:int ->
+  int ->
+  t
+
+val n : t -> int
+val same_set : t -> int -> int -> bool
+val unite : t -> int -> int -> unit
+val find : t -> int -> int
+val id : t -> int -> int
+val parent_of : t -> int -> int
+val is_root : t -> int -> bool
+val count_sets : t -> int
+val stats : t -> Dsu_stats.snapshot
+val invariant_violations : t -> (int * int) list
+val parents_snapshot : t -> int array

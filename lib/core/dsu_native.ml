@@ -1,23 +1,25 @@
-module Atomic_array = Repro_util.Atomic_array
+module Flat_atomic_array = Repro_util.Flat_atomic_array
 module Rng = Repro_util.Rng
 
 module A = Dsu_algorithm.Make (Native_memory)
 
 type t = A.t
 
-let self_seed = ref 0x4d595df4d0f33173
+(* [fetch_and_add], not a plain [ref] + [incr]: [create] may be called from
+   several domains at once, and racing increments could hand two structures
+   the same default seed (identical priority permutations defeat the
+   randomized-linking analysis). *)
+let self_seed = Atomic.make 0x4d595df4d0f33173
 
-let create ?policy ?early ?(collect_stats = false) ?on_link ?seed n =
+let create ?policy ?early ?(collect_stats = false) ?on_link ?seed ?(padded = false) n =
   if n < 1 then invalid_arg "Dsu_native.create: n must be >= 1";
   let seed =
     match seed with
     | Some s -> s
-    | None ->
-      incr self_seed;
-      !self_seed
+    | None -> 1 + Atomic.fetch_and_add self_seed 1
   in
   let ids = Rng.permutation (Rng.create seed) n in
-  let mem = Atomic_array.make n (fun i -> i) in
+  let mem = Flat_atomic_array.make ~padded n (fun i -> i) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   A.create ?policy ?early ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()
 
@@ -58,7 +60,7 @@ let reset_stats t = match A.stats t with None -> () | Some s -> Dsu_stats.reset 
 
 let invariant_violations = A.invariant_violations
 
-let parents_snapshot t = Atomic_array.snapshot (A.mem t)
+let parents_snapshot t = Flat_atomic_array.snapshot (A.mem t)
 
 let sets t =
   let size = A.n t in
@@ -77,7 +79,7 @@ type snapshot = { parents : int array; ids : int array }
 let snapshot t =
   { parents = parents_snapshot t; ids = Array.init (A.n t) (fun i -> A.id t i) }
 
-let restore ?policy ?early ?(collect_stats = false) (s : snapshot) =
+let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : snapshot) =
   let n = Array.length s.parents in
   if n < 1 || Array.length s.ids <> n then
     invalid_arg "Dsu_native.restore: malformed snapshot";
@@ -95,7 +97,7 @@ let restore ?policy ?early ?(collect_stats = false) (s : snapshot) =
       if p <> i && ids.(p) <= ids.(i) then
         invalid_arg "Dsu_native.restore: parents violate the linking order")
     s.parents;
-  let mem = Atomic_array.make n (fun i -> s.parents.(i)) in
+  let mem = Flat_atomic_array.make ~padded n (fun i -> s.parents.(i)) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
 

@@ -21,6 +21,7 @@ val create :
   ?collect_stats:bool ->
   ?on_link:(child:int -> parent:int -> unit) ->
   ?seed:int ->
+  ?padded:bool ->
   int ->
   t
 (** [create n] makes [n] singleton sets, nodes numbered [0 .. n-1].
@@ -35,7 +36,10 @@ val create :
       edge; it runs concurrently with other operations, so it must be
       thread-safe.  Used by the forest-shape experiments.
     - [seed] fixes the random node order for reproducibility; omitting it
-      uses a self-initializing seed. *)
+      uses a self-initializing seed (drawn from an atomic counter, so
+      concurrent [create] calls never share one).
+    - [padded] gives each parent word its own cache line (8x memory) —
+      the false-sharing ablation knob; see docs/PERFORMANCE.md. *)
 
 val n : t -> int
 
@@ -83,9 +87,9 @@ type snapshot
 
 val snapshot : t -> snapshot
 val restore : ?policy:Find_policy.t -> ?early:bool -> ?collect_stats:bool ->
-  snapshot -> t
+  ?padded:bool -> snapshot -> t
 (** A fresh structure with the same partition, node order and tree shape;
-    policy/early may differ from the original's. *)
+    policy/early/padded may differ from the original's. *)
 
 val snapshot_to_string : snapshot -> string
 val snapshot_of_string : string -> snapshot

@@ -1,4 +1,4 @@
-module Atomic_array = Repro_util.Atomic_array
+module Flat_atomic_array = Repro_util.Flat_atomic_array
 module Rng = Repro_util.Rng
 
 module Algo = Dsu_algorithm.Make (Native_memory)
@@ -6,7 +6,7 @@ module Algo = Dsu_algorithm.Make (Native_memory)
 type t = {
   capacity : int;
   next : int Atomic.t;
-  prios : Atomic_array.t;
+  prios : Flat_atomic_array.t;
       (** atomic so priorities published by [make_set] are visible to every
           domain without further synchronization *)
   rng_state : int Atomic.t;  (** per-allocation counter, hashed to a priority *)
@@ -23,12 +23,12 @@ let mix64 z =
 
 let create ?policy ?early ?(collect_stats = false) ?(seed = 0x9e3779b9) ~capacity () =
   if capacity < 1 then invalid_arg "Growable.create: capacity must be >= 1";
-  let prios = Atomic_array.make capacity (fun _ -> 0) in
-  let mem = Atomic_array.make capacity (fun i -> i) in
+  let prios = Flat_atomic_array.make capacity (fun _ -> 0) in
+  let mem = Flat_atomic_array.make capacity (fun i -> i) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   let algo =
     Algo.create ?policy ?early ?stats ~mem ~n:capacity
-      ~prio:(fun i -> Atomic_array.get prios i)
+      ~prio:(fun i -> Flat_atomic_array.get prios i)
       ()
   in
   { capacity; next = Atomic.make 0; prios; rng_state = Atomic.make seed; algo }
@@ -40,7 +40,7 @@ let make_set t =
     failwith "Growable.make_set: capacity exhausted"
   end;
   let r = Atomic.fetch_and_add t.rng_state 0x632be59bd9b4e019 in
-  Atomic_array.set t.prios slot (mix64 r);
+  Flat_atomic_array.set t.prios slot (mix64 r);
   slot
 
 let cardinal t = min (Atomic.get t.next) t.capacity
@@ -65,7 +65,7 @@ let find t x =
 
 let priority t x =
   check t x;
-  Atomic_array.get t.prios x
+  Flat_atomic_array.get t.prios x
 
 let stats t =
   match Algo.stats t.algo with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s

@@ -1,7 +1,20 @@
-(** The {!Memory_intf.S} instance over [Atomic]-backed arrays: the shared
-    memory used by the native (OCaml 5 domains) instantiations. *)
+(** The {!Memory_intf.S} instance over {!Repro_util.Flat_atomic_array}: one
+    contiguous word per node, so every parent hop in [find] is a single
+    cache-friendly load and every link/splitting step a single-word CAS —
+    the paper's machine model, with no per-cell boxing.
 
-type t = Repro_util.Atomic_array.t
+    The unchecked accessors are safe here: the algorithm validates node
+    arguments at operation entry ([check_node]), and every parent value
+    stored in the array is in range by construction (links only ever store
+    existing node indices). *)
 
-let read = Repro_util.Atomic_array.get
-let cas = Repro_util.Atomic_array.cas
+type t = Repro_util.Flat_atomic_array.t
+
+(* Parent reads are plain loads (inline [mov], no C call): the algorithm
+   tolerates stale parents — a formerly valid parent is still an ancestor
+   with a larger id, so walks terminate and Lemma 3.1 is preserved — and
+   every write goes through [cas], which re-validates against the current
+   memory.  This is the "fenced unsafe load" model of the C/C++ concurrent
+   union-find implementations (relaxed loads + CAS). *)
+let read = Repro_util.Flat_atomic_array.unsafe_load
+let cas = Repro_util.Flat_atomic_array.unsafe_cas

@@ -153,7 +153,7 @@ module Native = struct
 
   let create ?(collect_stats = false) n =
     let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-    let mem = Repro_util.Atomic_array.make n (A.init_word n) in
+    let mem = Repro_util.Flat_atomic_array.make n (A.init_word n) in
     A.create ?stats ~mem ~n ()
 
   let n = A.n

@@ -21,9 +21,9 @@ let scan_range ~dsu ~edges ~weights ~cheapest_cas lo hi =
       let offer r =
         (* Atomic minimum by CAS loop. *)
         let rec loop () =
-          let cur = Repro_util.Atomic_array.get cheapest_cas r in
+          let cur = Repro_util.Flat_atomic_array.get cheapest_cas r in
           if cur = -1 || cheaper weights i cur then
-            if not (Repro_util.Atomic_array.cas cheapest_cas r cur i) then loop ()
+            if not (Repro_util.Flat_atomic_array.cas cheapest_cas r cur i) then loop ()
         in
         loop ()
       in
@@ -39,7 +39,7 @@ let run_rounds ~domains ~seed (w : Graph.weighted) =
   let edges = Graph.edges g in
   let m = Array.length edges in
   let dsu = Dsu.Native.create ~seed n in
-  let cheapest = Repro_util.Atomic_array.make n (fun _ -> -1) in
+  let cheapest = Repro_util.Flat_atomic_array.make n (fun _ -> -1) in
   let forest = ref [] in
   let total = ref 0. in
   let components = ref n in
@@ -65,9 +65,9 @@ let run_rounds ~domains ~seed (w : Graph.weighted) =
        deterministic, the re-check keeps the output a forest. *)
     incr rounds;
     for r = 0 to n - 1 do
-      let i = Repro_util.Atomic_array.get cheapest r in
+      let i = Repro_util.Flat_atomic_array.get cheapest r in
       if i >= 0 then begin
-        Repro_util.Atomic_array.set cheapest r (-1);
+        Repro_util.Flat_atomic_array.set cheapest r (-1);
         let u, v = edges.(i) in
         if not (Dsu.Native.same_set dsu u v) then begin
           Dsu.Native.unite dsu u v;

@@ -1,0 +1,160 @@
+module Policy = Dsu.Find_policy
+module Rng = Repro_util.Rng
+module Table = Repro_util.Table
+module J = Repro_obs.Json
+
+type layout = Flat | Padded | Boxed
+
+let all_layouts = [ Flat; Padded; Boxed ]
+
+let layout_to_string = function
+  | Flat -> "flat"
+  | Padded -> "flat-padded"
+  | Boxed -> "boxed"
+
+let layout_of_string = function
+  | "flat" -> Some Flat
+  | "flat-padded" | "padded" -> Some Padded
+  | "boxed" -> Some Boxed
+  | _ -> None
+
+type point = {
+  layout : layout;
+  policy : Policy.t;
+  domains : int;
+  n : int;
+  total_ops : int;
+  seconds : float;
+  mops_per_sec : float;
+}
+
+type config = {
+  n : int;
+  total_ops : int;
+  unite_percent : int;
+  seed : int;
+  domain_counts : int list;
+  policies : Policy.t list;
+  layouts : layout list;
+}
+
+let default_config =
+  {
+    n = 1 lsl 16;
+    total_ops = 400_000;
+    unite_percent = 30;
+    seed = 21;
+    domain_counts = [ 1; 2; 4; 8 ];
+    policies = [ Policy.Two_try_splitting; Policy.One_try_splitting ];
+    layouts = [ Flat; Boxed ];
+  }
+
+(* Per-domain op streams are generated outside the timed section (the
+   generator's RNG and list building must not pollute the measurement) and
+   handed to the workers as contiguous arrays — see Workload.Op's array
+   runners for why. *)
+let gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain =
+  Array.init domains (fun k ->
+      let rng = Rng.create (seed + (1000 * k)) in
+      Array.init ops_per_domain (fun _ ->
+          let x = Rng.int rng n and y = Rng.int rng n in
+          if Rng.int rng 100 < unite_percent then Workload.Op.Unite (x, y)
+          else Workload.Op.Same_set (x, y)))
+
+let time_run ~domains ~(run : int -> unit) =
+  let t0 = Unix.gettimeofday () in
+  let handles = List.init domains (fun k -> Domain.spawn (fun () -> run k)) in
+  List.iter Domain.join handles;
+  Unix.gettimeofday () -. t0
+
+let run_point ?(config = default_config) ~layout ~policy ~domains () =
+  if domains < 1 then invalid_arg "Scalability.run_point: domains must be >= 1";
+  let { n; total_ops; unite_percent; seed; _ } = config in
+  let ops_per_domain = max 1 (total_ops / domains) in
+  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain in
+  let seconds =
+    match layout with
+    | Flat ->
+      let d = Dsu.Native.create ~policy ~seed n in
+      time_run ~domains ~run:(fun k -> Workload.Op.run_native_array d ops.(k))
+    | Padded ->
+      let d = Dsu.Native.create ~padded:true ~policy ~seed n in
+      time_run ~domains ~run:(fun k -> Workload.Op.run_native_array d ops.(k))
+    | Boxed ->
+      let d = Dsu.Boxed.create ~policy ~seed n in
+      time_run ~domains ~run:(fun k -> Workload.Op.run_boxed_array d ops.(k))
+  in
+  let total = ops_per_domain * domains in
+  {
+    layout;
+    policy;
+    domains;
+    n;
+    total_ops = total;
+    seconds;
+    mops_per_sec = (float_of_int total /. seconds) /. 1e6;
+  }
+
+let sweep ?(config = default_config) ?progress () =
+  let emit p = match progress with None -> () | Some f -> f p in
+  List.concat_map
+    (fun layout ->
+      List.concat_map
+        (fun policy ->
+          List.map
+            (fun domains ->
+              let p = run_point ~config ~layout ~policy ~domains () in
+              emit p;
+              p)
+            config.domain_counts)
+        config.policies)
+    config.layouts
+
+let point_to_json (p : point) =
+  J.Obj
+    [
+      ("layout", J.String (layout_to_string p.layout));
+      ("policy", J.String (Policy.to_string p.policy));
+      ("domains", J.Int p.domains);
+      ("n", J.Int p.n);
+      ("total_ops", J.Int p.total_ops);
+      ("seconds", J.Float p.seconds);
+      ("mops_per_sec", J.Float p.mops_per_sec);
+    ]
+
+let to_json ?(config = default_config) points =
+  J.Obj
+    [
+      ("schema", J.String "dsu-scalability/v1");
+      ("n", J.Int config.n);
+      ("unite_percent", J.Int config.unite_percent);
+      ("seed", J.Int config.seed);
+      ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+      ("points", J.List (List.map point_to_json points));
+    ]
+
+let pp_table ppf points =
+  let table =
+    Table.create ~headers:[ "layout"; "policy"; "domains"; "Mops/s"; "vs 1-dom" ]
+  in
+  let base = Hashtbl.create 8 in
+  List.iter
+    (fun p -> if p.domains = 1 then Hashtbl.replace base (p.layout, p.policy) p.mops_per_sec)
+    points;
+  List.iter
+    (fun p ->
+      let speedup =
+        match Hashtbl.find_opt base (p.layout, p.policy) with
+        | Some b when b > 0. -> Table.cell_ratio (p.mops_per_sec /. b)
+        | _ -> "-"
+      in
+      Table.add_row table
+        [
+          layout_to_string p.layout;
+          Policy.to_string p.policy;
+          Table.cell_int p.domains;
+          Table.cell_float p.mops_per_sec;
+          speedup;
+        ])
+    points;
+  Table.pp ppf table

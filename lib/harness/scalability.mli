@@ -1,0 +1,65 @@
+(** Domain-parallel throughput engine: the repo's scalability benchmark.
+
+    Runs one shared DSU under [D] concurrent domains (each executing a
+    pre-generated stream of random [Unite]/[SameSet] operations, the worker
+    pattern of experiment E13) and reports operations per second, sweeping
+
+    - the domain count (default [1; 2; 4; 8]),
+    - the find policy, and
+    - the memory layout: [Flat] (the contiguous
+      {!Repro_util.Flat_atomic_array} parent array), [Padded] (one parent
+      word per cache line — false-sharing ablation) and [Boxed] (the
+      pre-flat [int Atomic.t array] layout, via {!Dsu.Boxed}).
+
+    The JSON emitted by {!to_json} (schema ["dsu-scalability/v1"]) is the
+    machine-readable product consumed by the perf-trajectory tooling;
+    [bench/main.exe --parallel] is the CLI entry point.  See
+    docs/PERFORMANCE.md for the schema and how to read the numbers on
+    machines with few cores. *)
+
+type layout = Flat | Padded | Boxed
+
+val all_layouts : layout list
+val layout_to_string : layout -> string
+val layout_of_string : string -> layout option
+
+type point = {
+  layout : layout;
+  policy : Dsu.Find_policy.t;
+  domains : int;
+  n : int;
+  total_ops : int;  (** ops actually executed, summed over domains *)
+  seconds : float;
+  mops_per_sec : float;
+}
+
+type config = {
+  n : int;  (** number of nodes *)
+  total_ops : int;  (** split evenly across domains *)
+  unite_percent : int;  (** percentage of [Unite] ops, rest [SameSet] *)
+  seed : int;
+  domain_counts : int list;
+  policies : Dsu.Find_policy.t list;
+  layouts : layout list;
+}
+
+val default_config : config
+(** n = 2^16, 400k ops, 30% unites, domains 1/2/4/8, two-try and one-try
+    policies, flat vs boxed layouts. *)
+
+val run_point :
+  ?config:config -> layout:layout -> policy:Dsu.Find_policy.t -> domains:int ->
+  unit -> point
+(** One timed run.  Operation streams are generated outside the timed
+    section; timing covers domain spawn to join. *)
+
+val sweep : ?config:config -> ?progress:(point -> unit) -> unit -> point list
+(** The full cross product; [progress] is called after each point. *)
+
+val point_to_json : point -> Repro_obs.Json.t
+val to_json : ?config:config -> point list -> Repro_obs.Json.t
+(** The ["dsu-scalability/v1"] document: config echo, the host's
+    recommended domain count, and one object per point. *)
+
+val pp_table : Format.formatter -> point list -> unit
+(** Human-readable table with per-(layout, policy) speedup vs 1 domain. *)

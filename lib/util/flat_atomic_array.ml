@@ -1,0 +1,70 @@
+(* C primitives over an [int array]; see flat_atomic_stubs.c for the safety
+   argument (immediates only, word-aligned, no GC barrier needed). *)
+external atomic_get : int array -> int -> int = "dsu_flat_atomic_get"
+  [@@noalloc]
+
+external atomic_set : int array -> int -> int -> unit = "dsu_flat_atomic_set"
+  [@@noalloc]
+
+external atomic_cas : int array -> int -> int -> int -> bool
+  = "dsu_flat_atomic_cas"
+  [@@noalloc]
+
+external atomic_fetch_add : int array -> int -> int -> int
+  = "dsu_flat_atomic_fetch_add"
+  [@@noalloc]
+
+(* 8 words = 64 bytes on 64-bit targets: one logical cell per cache line in
+   padded mode. *)
+let pad_shift = 3
+
+type t = { data : int array; shift : int; length : int }
+
+let make ?(padded = false) n f =
+  if n < 0 then invalid_arg "Flat_atomic_array.make: negative length";
+  let shift = if padded then pad_shift else 0 in
+  let data = Array.make (n lsl shift) 0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data (i lsl shift) (f i)
+  done;
+  { data; shift; length = n }
+
+let length t = t.length
+let padded t = t.shift <> 0
+
+let check t i op =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Flat_atomic_array.%s: index %d out of bounds [0, %d)" op i t.length)
+
+let unsafe_get t i = atomic_get t.data (i lsl t.shift)
+
+(* A plain (non-seq-cst) load compiled to a single inline [mov] — no C
+   call.  Memory-safe on immediates (word-sized aligned loads cannot
+   tear), but a racing read may observe a stale value; use only where the
+   algorithm tolerates staleness (the DSU's parent reads: any formerly
+   valid parent is still an ancestor, and every write is re-validated by
+   CAS). *)
+let unsafe_load t i = Array.unsafe_get t.data (i lsl t.shift)
+let unsafe_set t i v = atomic_set t.data (i lsl t.shift) v
+let unsafe_cas t i expected desired = atomic_cas t.data (i lsl t.shift) expected desired
+let unsafe_fetch_add t i delta = atomic_fetch_add t.data (i lsl t.shift) delta
+
+let get t i =
+  check t i "get";
+  unsafe_get t i
+
+let set t i v =
+  check t i "set";
+  unsafe_set t i v
+
+let cas t i expected desired =
+  check t i "cas";
+  unsafe_cas t i expected desired
+
+let fetch_add t i delta =
+  check t i "fetch_add";
+  unsafe_fetch_add t i delta
+
+let snapshot t =
+  let shift = t.shift and data = t.data in
+  Array.init t.length (fun i -> atomic_get data (i lsl shift))

@@ -1,0 +1,63 @@
+(** A flat array of atomically accessed integers.
+
+    Unlike {!Atomic_array}, which wraps [int Atomic.t array] (one separately
+    boxed heap block per cell, so every access pays a double indirection),
+    this stores all cells contiguously in a single [int array] and performs
+    sequentially consistent loads, stores and compare-and-swaps through C
+    stubs built on the [__atomic] builtins.  This matches the paper's machine
+    model — node [i]'s parent is word [i] of one shared array, and every
+    link/splitting step is a single-word [Cas] — and restores spatial
+    locality to the [find] hot path.
+
+    Safety: cells hold immediates only, so no GC write barrier is required
+    and word-sized aligned accesses cannot tear; see flat_atomic_stubs.c.
+
+    With [~padded:true] each logical cell occupies its own 64-byte cache
+    line (stride 8 words), for false-sharing ablation; indices are unchanged,
+    only the memory footprint grows 8x. *)
+
+type t
+
+val make : ?padded:bool -> int -> (int -> int) -> t
+(** [make n f] creates an array of length [n] with cell [i] holding [f i].
+    [padded] (default [false]) gives every cell its own cache line.
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+
+val padded : t -> bool
+(** Whether the array was created with [~padded:true]. *)
+
+val get : t -> int -> int
+(** Atomic (seq_cst) load.  @raise Invalid_argument on out-of-bounds. *)
+
+val set : t -> int -> int -> unit
+(** Atomic (seq_cst) store.  @raise Invalid_argument on out-of-bounds. *)
+
+val cas : t -> int -> int -> int -> bool
+(** [cas t i expected desired] is a single-word compare-and-swap on cell
+    [i].  @raise Invalid_argument on out-of-bounds. *)
+
+val fetch_add : t -> int -> int -> int
+(** [fetch_add t i delta] atomically adds [delta] to cell [i] and returns
+    the previous value.  @raise Invalid_argument on out-of-bounds. *)
+
+val unsafe_load : t -> int -> int
+(** Unchecked {e plain} load — a single inline memory read, no C call and
+    no fence.  Memory-safe (immediates cannot tear) but racing reads may
+    return stale values; callers must tolerate staleness the way the DSU
+    does (a stale parent is still an ancestor; CAS re-validates writes).
+    Prefer {!get}/{!unsafe_get} unless the load is on a measured hot
+    path. *)
+
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+val unsafe_cas : t -> int -> int -> int -> bool
+val unsafe_fetch_add : t -> int -> int -> int
+(** Unchecked variants for hot paths whose indices are already validated
+    (the DSU checks node arguments at operation entry, and every parent
+    value is in range by construction). *)
+
+val snapshot : t -> int array
+(** Per-cell atomic reads collected into a plain array.  Not a consistent
+    snapshot under concurrent writers; intended for quiescent inspection. *)

@@ -1,0 +1,51 @@
+/* Sequentially consistent word accesses into an OCaml [int array].
+ *
+ * An [int array] is a contiguous block of tagged immediates (no float
+ * unboxing applies: the array is created from ints only), so every element
+ * occupies exactly one machine word and holds no pointer.  That makes the
+ * three primitives below safe:
+ *
+ *   - the GC never needs a write barrier for immediates, so bypassing
+ *     caml_modify is correct;
+ *   - word-aligned word-sized accesses cannot tear, so a concurrent marker
+ *     always reads a valid tagged int;
+ *   - the arguments and results are immediates, so the stubs allocate
+ *     nothing and are declared [@@noalloc] on the OCaml side.
+ *
+ * Tagged representation is preserved end-to-end: the CAS compares and
+ * stores *tagged* words, which is exactly the comparison by value OCaml's
+ * [Atomic.compare_and_set] performs on ints.  All operations are
+ * __ATOMIC_SEQ_CST, matching the guarantees of [Atomic] that the rest of
+ * the code base (and the paper's Cas-based pseudocode) assumes. */
+
+#include <caml/mlvalues.h>
+
+CAMLprim value dsu_flat_atomic_get(value arr, value idx)
+{
+  return __atomic_load_n(&Field(arr, Long_val(idx)), __ATOMIC_SEQ_CST);
+}
+
+CAMLprim value dsu_flat_atomic_set(value arr, value idx, value v)
+{
+  __atomic_store_n(&Field(arr, Long_val(idx)), v, __ATOMIC_SEQ_CST);
+  return Val_unit;
+}
+
+CAMLprim value dsu_flat_atomic_cas(value arr, value idx, value expected,
+                                   value desired)
+{
+  value e = expected;
+  int ok = __atomic_compare_exchange_n(&Field(arr, Long_val(idx)), &e,
+                                       desired, 0, __ATOMIC_SEQ_CST,
+                                       __ATOMIC_SEQ_CST);
+  return Val_bool(ok);
+}
+
+CAMLprim value dsu_flat_atomic_fetch_add(value arr, value idx, value delta)
+{
+  /* On tagged ints, adding the *untagged* delta shifted left by one adds
+   * [delta] to the represented value while keeping the tag bit intact:
+   * (2a+1) + 2d = 2(a+d)+1. */
+  return __atomic_fetch_add(&Field(arr, Long_val(idx)),
+                            ((value)Long_val(delta)) << 1, __ATOMIC_SEQ_CST);
+}

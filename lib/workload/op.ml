@@ -42,32 +42,46 @@ let duplicate items ~p =
   if p < 1 then invalid_arg "Op.duplicate: p must be >= 1";
   Array.make p items
 
-let run_native d ops =
-  List.iter
-    (fun op ->
-      match op with
-      | Unite (x, y) -> Dsu.Native.unite d x y
-      | Same_set (x, y) -> ignore (Dsu.Native.same_set d x y)
-      | Find x -> ignore (Dsu.Native.find d x))
-    ops
+(* The hot loops iterate contiguous arrays, not lists: a benchmark inner
+   loop that chases list cells interleaves its cache misses with the DSU's
+   own, polluting exactly the locality the flat parent array buys.  The
+   list entry points convert once and delegate. *)
 
-let run_seq d ops =
-  List.iter
-    (fun op ->
-      match op with
-      | Unite (x, y) -> Sequential.Seq_dsu.unite d x y
-      | Same_set (x, y) -> ignore (Sequential.Seq_dsu.same_set d x y)
-      | Find x -> ignore (Sequential.Seq_dsu.find d x))
-    ops
+let run_native_array d ops =
+  for i = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops i with
+    | Unite (x, y) -> Dsu.Native.unite d x y
+    | Same_set (x, y) -> ignore (Dsu.Native.same_set d x y)
+    | Find x -> ignore (Dsu.Native.find d x)
+  done
 
-let run_quick_find d ops =
-  List.iter
-    (fun op ->
-      match op with
-      | Unite (x, y) -> Sequential.Quick_find.unite d x y
-      | Same_set (x, y) -> ignore (Sequential.Quick_find.same_set d x y)
-      | Find x -> ignore (Sequential.Quick_find.label d x))
-    ops
+let run_boxed_array d ops =
+  for i = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops i with
+    | Unite (x, y) -> Dsu.Boxed.unite d x y
+    | Same_set (x, y) -> ignore (Dsu.Boxed.same_set d x y)
+    | Find x -> ignore (Dsu.Boxed.find d x)
+  done
+
+let run_seq_array d ops =
+  for i = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops i with
+    | Unite (x, y) -> Sequential.Seq_dsu.unite d x y
+    | Same_set (x, y) -> ignore (Sequential.Seq_dsu.same_set d x y)
+    | Find x -> ignore (Sequential.Seq_dsu.find d x)
+  done
+
+let run_quick_find_array d ops =
+  for i = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops i with
+    | Unite (x, y) -> Sequential.Quick_find.unite d x y
+    | Same_set (x, y) -> ignore (Sequential.Quick_find.same_set d x y)
+    | Find x -> ignore (Sequential.Quick_find.label d x)
+  done
+
+let run_native d ops = run_native_array d (Array.of_list ops)
+let run_seq d ops = run_seq_array d (Array.of_list ops)
+let run_quick_find d ops = run_quick_find_array d (Array.of_list ops)
 
 let to_sim_ops h ops =
   List.map

@@ -27,6 +27,15 @@ val duplicate : 'a list -> p:int -> 'a list array
 val run_native : Dsu.Native.t -> t list -> unit
 val run_seq : Sequential.Seq_dsu.t -> t list -> unit
 val run_quick_find : Sequential.Quick_find.t -> t list -> unit
+(** Convert to an array once and delegate to the array runners below. *)
+
+val run_native_array : Dsu.Native.t -> t array -> unit
+val run_boxed_array : Dsu.Boxed.t -> t array -> unit
+val run_seq_array : Sequential.Seq_dsu.t -> t array -> unit
+val run_quick_find_array : Sequential.Quick_find.t -> t array -> unit
+(** Array-based hot loops: contiguous iteration, no list-cell chasing in
+    benchmark inner loops.  [run_boxed_array] drives the boxed-layout
+    comparator ({!Dsu.Boxed}) for memory-layout A/B runs. *)
 
 val to_sim_ops : Dsu.Sim.t -> t list -> (unit -> unit) list
 (** Closures for {!Apram.Sim.run_ops}, each recording itself in the

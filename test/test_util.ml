@@ -441,6 +441,88 @@ let atomic_array_tests =
         check Alcotest.int "snapshot stale" 0 s.(0));
   ]
 
+(* ---------------------------------------------------- Flat_atomic_array *)
+
+let flat_atomic_array_tests =
+  let module F = Repro_util.Flat_atomic_array in
+  let both_modes name f =
+    [
+      case name (fun () -> f ~padded:false);
+      case (name ^ " (padded)") (fun () -> f ~padded:true);
+    ]
+  in
+  List.concat
+    [
+      both_modes "make initializes via f" (fun ~padded ->
+          let a = F.make ~padded 5 (fun i -> i * i) in
+          check Alcotest.int "len" 5 (F.length a);
+          check Alcotest.bool "padded flag" padded (F.padded a);
+          for i = 0 to 4 do
+            check Alcotest.int (string_of_int i) (i * i) (F.get a i)
+          done);
+      both_modes "set then get leaves neighbours alone" (fun ~padded ->
+          let a = F.make ~padded 3 (fun _ -> 0) in
+          F.set a 1 42;
+          check Alcotest.int "get" 42 (F.get a 1);
+          check Alcotest.int "left untouched" 0 (F.get a 0);
+          check Alcotest.int "right untouched" 0 (F.get a 2));
+      both_modes "cas succeeds on expected value" (fun ~padded ->
+          let a = F.make ~padded 2 (fun _ -> 7) in
+          check Alcotest.bool "cas ok" true (F.cas a 0 7 9);
+          check Alcotest.int "value" 9 (F.get a 0);
+          check Alcotest.int "other cell" 7 (F.get a 1));
+      both_modes "cas fails on stale expected value" (fun ~padded ->
+          let a = F.make ~padded 1 (fun _ -> 7) in
+          check Alcotest.bool "cas fails" false (F.cas a 0 8 9);
+          check Alcotest.int "unchanged" 7 (F.get a 0));
+      both_modes "cas distinguishes negative values" (fun ~padded ->
+          let a = F.make ~padded 1 (fun _ -> -1) in
+          check Alcotest.bool "wrong expected" false (F.cas a 0 1 5);
+          check Alcotest.bool "right expected" true (F.cas a 0 (-1) min_int);
+          check Alcotest.int "min_int round-trips" min_int (F.get a 0));
+      both_modes "fetch_add returns previous and adds" (fun ~padded ->
+          let a = F.make ~padded 2 (fun _ -> 10) in
+          check Alcotest.int "prev" 10 (F.fetch_add a 0 5);
+          check Alcotest.int "new" 15 (F.get a 0);
+          check Alcotest.int "prev negative delta" 10 (F.fetch_add a 1 (-3));
+          check Alcotest.int "subtracted" 7 (F.get a 1));
+      both_modes "snapshot copies, later writes invisible" (fun ~padded ->
+          let a = F.make ~padded 3 (fun i -> i) in
+          let s = F.snapshot a in
+          F.set a 0 99;
+          check Alcotest.int "snapshot stale" 0 s.(0);
+          check (Alcotest.array Alcotest.int) "contents" [| 0; 1; 2 |] s);
+      both_modes "out-of-bounds rejected" (fun ~padded ->
+          let a = F.make ~padded 4 (fun i -> i) in
+          let expect_invalid f =
+            match f () with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "expected Invalid_argument"
+          in
+          expect_invalid (fun () -> F.get a (-1));
+          expect_invalid (fun () -> F.get a 4);
+          expect_invalid (fun () -> F.set a 4 0);
+          expect_invalid (fun () -> F.cas a (-1) 0 0);
+          expect_invalid (fun () -> F.fetch_add a 4 1));
+      [
+        case "zero-length array is fine" (fun () ->
+            let a = F.make 0 (fun _ -> assert false) in
+            check Alcotest.int "len" 0 (F.length a);
+            check Alcotest.int "snapshot" 0 (Array.length (F.snapshot a)));
+        case "negative length rejected" (fun () ->
+            match F.make (-1) (fun _ -> 0) with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "expected Invalid_argument");
+        case "large values survive the tagged representation" (fun () ->
+            let probes = [ max_int; min_int; max_int - 1; min_int + 1; 0; -1 ] in
+            let a = F.make (List.length probes) (fun _ -> 0) in
+            List.iteri (fun i v -> F.set a i v) probes;
+            List.iteri
+              (fun i v -> check Alcotest.int (string_of_int i) v (F.get a i))
+              probes);
+      ];
+    ]
+
 (* ----------------------------------------------------------- ascii_plot *)
 
 let ascii_plot_tests =
@@ -498,5 +580,6 @@ let () =
       ("histogram", histogram_tests);
       ("table", table_tests);
       ("atomic_array", atomic_array_tests);
+      ("flat_atomic_array", flat_atomic_array_tests);
       ("ascii_plot", ascii_plot_tests);
     ]
