@@ -7,7 +7,9 @@
      dsu_workload native --impl jt --policy two-try -n 65536 --ops 262144
      dsu_workload native --impl lock --domains 4
      dsu_workload sim --procs 8 --sched cas-adversary -n 4096
-     dsu_workload lincheck --trials 200 --procs 3 *)
+     dsu_workload sim --procs 8 --sched crash:0,1:400
+     dsu_workload lincheck --trials 200 --procs 3
+     dsu_workload chaos --domains 8 --crash-domains 2 --validate *)
 
 open Cmdliner
 
@@ -46,10 +48,19 @@ let policy_arg =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"Find policy: none, one-try, two-try or compression.")
 
+type sched_kind =
+  [ `Round_robin
+  | `Sequential
+  | `Random
+  | `Cas_adversary
+  | `Quantum of int
+  | `Crash of int list * int
+  | `Stall_storm of int * int ]
+
 let sched_conv =
   let parse s =
     match String.split_on_char ':' s with
-    | [ "round-robin" ] -> Ok (`Round_robin : [ `Round_robin | `Sequential | `Random | `Cas_adversary | `Quantum of int ])
+    | [ "round-robin" ] -> Ok (`Round_robin : sched_kind)
     | [ "sequential" ] -> Ok `Sequential
     | [ "random" ] -> Ok `Random
     | [ "cas-adversary" ] -> Ok `Cas_adversary
@@ -57,6 +68,21 @@ let sched_conv =
       match int_of_string_opt q with
       | Some q when q > 0 -> Ok (`Quantum q)
       | _ -> Error (`Msg "quantum:<positive int>"))
+    | [ "crash"; victims; after ] -> (
+      let victims =
+        String.split_on_char ',' victims
+        |> List.filter (fun v -> v <> "")
+        |> List.map int_of_string_opt
+      in
+      match (List.for_all Option.is_some victims, int_of_string_opt after) with
+      | true, Some a when a > 0 ->
+        Ok (`Crash (List.filter_map Fun.id victims, a))
+      | _ -> Error (`Msg "crash:<pid,pid,...>:<positive step budget>"))
+    | [ "stall-storm"; prob; stall ] -> (
+      match (int_of_string_opt prob, int_of_string_opt stall) with
+      | Some p, Some k when p >= 0 && p <= 100 && k > 0 ->
+        Ok (`Stall_storm (p, k))
+      | _ -> Error (`Msg "stall-storm:<percent 0-100>:<positive stall length>"))
     | _ -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
   in
   let print ppf = function
@@ -65,6 +91,11 @@ let sched_conv =
     | `Random -> Format.pp_print_string ppf "random"
     | `Cas_adversary -> Format.pp_print_string ppf "cas-adversary"
     | `Quantum q -> Format.fprintf ppf "quantum:%d" q
+    | `Crash (victims, after) ->
+      Format.fprintf ppf "crash:%s:%d"
+        (String.concat "," (List.map string_of_int victims))
+        after
+    | `Stall_storm (p, k) -> Format.fprintf ppf "stall-storm:%d:%d" p k
   in
   Arg.conv (parse, print)
 
@@ -74,16 +105,21 @@ let sched_arg =
     & opt sched_conv `Random
     & info [ "sched" ] ~docv:"SCHED"
         ~doc:
-          "Scheduler: round-robin, sequential, random, cas-adversary or \
-           quantum:K.")
+          "Scheduler: round-robin, sequential, random, cas-adversary, \
+           quantum:K, crash:PIDS:AFTER (crash-stop the comma-separated pids \
+           once each has run about AFTER steps) or stall-storm:PCT:K (park a \
+           random process for K decisions with probability PCT%).")
 
-let make_sched kind seed =
+let make_sched (kind : sched_kind) seed =
   match kind with
   | `Round_robin -> Apram.Scheduler.round_robin ()
   | `Sequential -> Apram.Scheduler.sequential ()
   | `Random -> Apram.Scheduler.random ~seed
   | `Cas_adversary -> Apram.Scheduler.cas_adversary ~seed
   | `Quantum q -> Apram.Scheduler.quantum ~seed ~quantum:q
+  | `Crash (victims, after) -> Apram.Scheduler.crash ~seed ~victims ~after
+  | `Stall_storm (prob_percent, stall) ->
+    Apram.Scheduler.stall_storm ~seed ~prob_percent ~stall
 
 let workload ~n ~ops ~unite_frac ~seed =
   Workload.Random_mix.mixed ~rng:(Rng.create seed) ~n ~m:ops
@@ -240,9 +276,27 @@ let domains_arg =
     & info [ "domains" ] ~docv:"D"
         ~doc:"OCaml domains to spread the operations over (native mode).")
 
+(* Argument validation reports through Cmdliner ([Term.term_result]), so a
+   bad flag combination prints a proper error on stderr and exits with the
+   CLI-error status instead of an uncaught [Failure] backtrace. *)
+let check_arg cond msg = if cond then Ok () else Error (`Msg msg)
+
+let ( let* ) = Result.bind
+
 let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
     progress =
-  if domains < 1 then failwith "domains must be >= 1";
+  let* () = check_arg (domains >= 1) "--domains must be >= 1" in
+  let* () = check_arg (n >= 1) "--elements must be >= 1" in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  let* () =
+    check_arg
+      (not (impl = Seq && domains > 1))
+      "--impl seq is single-threaded; use --domains 1"
+  in
   arm_telemetry ~metrics_out ~trace_out ~progress;
   let ops_list = workload ~n ~ops ~unite_frac ~seed in
   let buckets = Workload.Op.round_robin ops_list ~p:domains in
@@ -306,7 +360,6 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
       in
       (dt, Baselines.Locked_dsu.count_sets d, None)
     | Seq ->
-      if domains > 1 then failwith "--impl seq is single-threaded; use --domains 1";
       let d = Sequential.Seq_dsu.create ~seed n in
       let t0 = Unix.gettimeofday () in
       Workload.Op.run_seq d ops_list;
@@ -321,14 +374,17 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
   | None -> ()
   | Some s -> Printf.printf "counters:      %s\n" (Format.asprintf "%a" Dsu.Stats.pp s));
   (match metrics_out with None -> () | Some out -> write_metrics out stats);
-  match trace_out with None -> () | Some out -> write_trace out
+  (match trace_out with None -> () | Some out -> write_trace out);
+  Ok ()
 
 let native_cmd =
   let doc = "Run a workload natively (wall clock; optional domains)." in
   Cmd.v (Cmd.info "native" ~doc)
     Term.(
-      const run_native $ impl_arg $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg
-      $ seed_arg $ domains_arg $ metrics_out_arg $ trace_out_arg $ progress_arg)
+      term_result
+        (const run_native $ impl_arg $ policy_arg $ n_arg $ ops_arg
+        $ unite_frac_arg $ seed_arg $ domains_arg $ metrics_out_arg
+        $ trace_out_arg $ progress_arg))
 
 (* ------------------------------------------------------------- sim mode *)
 
@@ -337,6 +393,21 @@ let procs_arg =
 
 let run_sim policy n ops unite_frac seed procs sched_kind metrics_out trace_out
     =
+  let* () = check_arg (procs >= 1) "--procs must be >= 1" in
+  let* () = check_arg (n >= 1) "--elements must be >= 1" in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  let* () =
+    match sched_kind with
+    | `Crash (victims, _) ->
+      check_arg
+        (List.for_all (fun v -> v >= 0 && v < procs) victims)
+        "crash victims must be pids in [0, procs)"
+    | _ -> Ok ()
+  in
   arm_telemetry ~metrics_out ~trace_out ~progress:false;
   let ops_list = workload ~n ~ops ~unite_frac ~seed in
   let split = Workload.Op.round_robin ops_list ~p:procs in
@@ -354,17 +425,24 @@ let run_sim policy n ops unite_frac seed procs sched_kind metrics_out trace_out
     s.Repro_util.Stats.mean s.Repro_util.Stats.median s.Repro_util.Stats.p99
     s.Repro_util.Stats.max;
   Format.printf "counters:      %a@." Dsu.Stats.pp r.Harness.Measure.stats;
+  (match r.Harness.Measure.crashed with
+  | [] -> ()
+  | pids ->
+    Printf.printf "crashed:       %s (in-flight ops abandoned)\n"
+      (String.concat ", " (List.map string_of_int pids)));
   (match metrics_out with
   | None -> ()
   | Some out -> write_metrics out (Some r.Harness.Measure.stats));
-  match trace_out with None -> () | Some out -> write_trace out
+  (match trace_out with None -> () | Some out -> write_trace out);
+  Ok ()
 
 let sim_cmd =
   let doc = "Run a workload in the APRAM simulator (exact work counts)." in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
-      const run_sim $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg $ seed_arg
-      $ procs_arg $ sched_arg $ metrics_out_arg $ trace_out_arg)
+      term_result
+        (const run_sim $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg
+        $ seed_arg $ procs_arg $ sched_arg $ metrics_out_arg $ trace_out_arg))
 
 (* -------------------------------------------------------- lincheck mode *)
 
@@ -377,8 +455,13 @@ let ops_per_proc_arg =
     & info [ "ops-per-proc" ] ~docv:"K" ~doc:"Operations per process (keep small).")
 
 let run_lincheck n procs ops_per_proc trials seed sched_kind =
-  if procs * ops_per_proc > 20 then
-    failwith "history too large for the exact checker (procs * ops-per-proc <= 20)";
+  let* () =
+    check_arg
+      (procs * ops_per_proc <= 20)
+      "history too large for the exact checker (procs * ops-per-proc <= 20)"
+  in
+  let* () = check_arg (procs >= 1) "--procs must be >= 1" in
+  let* () = check_arg (trials >= 1) "--trials must be >= 1" in
   let rng = Rng.create seed in
   let failures = ref 0 in
   for trial = 1 to trials do
@@ -402,7 +485,8 @@ let run_lincheck n procs ops_per_proc trials seed sched_kind =
   done;
   let total = trials * List.length Policy.all in
   Printf.printf "%d histories checked, %d violations\n" total !failures;
-  if !failures > 0 then exit 1
+  if !failures > 0 then exit 1;
+  Ok ()
 
 let lincheck_cmd =
   let doc = "Fuzz linearizability: random workloads under a chosen scheduler." in
@@ -411,11 +495,170 @@ let lincheck_cmd =
   in
   Cmd.v (Cmd.info "lincheck" ~doc)
     Term.(
-      const run_lincheck $ n_small $ procs_arg $ ops_per_proc_arg $ trials_arg
-      $ seed_arg $ sched_arg)
+      term_result
+        (const run_lincheck $ n_small $ procs_arg $ ops_per_proc_arg
+        $ trials_arg $ seed_arg $ sched_arg))
+
+(* ----------------------------------------------------------- chaos mode *)
+
+module Chaos = Harness.Chaos
+
+let layout_conv =
+  let parse s =
+    match Harness.Scalability.layout_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown layout %S" s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (Harness.Scalability.layout_to_string l)
+  in
+  Arg.conv (parse, print)
+
+let chaos_ops_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "ops" ] ~docv:"M" ~doc:"Operations per domain.")
+
+let crash_domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "crash-domains" ] ~docv:"K"
+        ~doc:"Crash-stop the first $(docv) domains mid-operation.")
+
+let crash_after_arg =
+  Arg.(
+    value & opt int 5000
+    & info [ "crash-after" ] ~docv:"H"
+        ~doc:"Base fault-site-hit countdown before a victim crashes.")
+
+let stall_prob_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "stall-prob" ] ~docv:"P"
+        ~doc:"Per-site-hit stall probability for every domain.")
+
+let stall_len_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "stall-len" ] ~docv:"K" ~doc:"Stall length in spin iterations.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault-injection plan (independent of --seed).")
+
+let validate_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "validate" ]
+              ~doc:"Run the post-quiescence audit (the default)." );
+          ( false,
+            info [ "no-validate" ]
+              ~doc:"Skip the audit; only run the fault scenario." );
+        ])
+
+let layouts_arg =
+  Arg.(
+    value
+    & opt_all layout_conv []
+    & info [ "layout" ] ~docv:"LAYOUT"
+        ~doc:
+          "Memory layout to test: flat, flat-padded or boxed (repeatable; \
+           default flat).")
+
+let policies_arg =
+  Arg.(
+    value
+    & opt_all policy_conv []
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Find policy to test (repeatable; default two-try). One scenario \
+           runs per layout/policy pair.")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the dsu-chaos/v1 report to $(docv) (\"-\" = stdout).")
+
+let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
+    unite_frac seed fault_seed policies layouts validate json_out metrics_out =
+  let* () = check_arg (n >= 2) "--elements must be >= 2" in
+  let* () = check_arg (ops >= 1) "--ops must be >= 1" in
+  let* () = check_arg (domains >= 1) "--domains must be >= 1" in
+  let* () =
+    check_arg
+      (crash_domains >= 0 && crash_domains <= domains)
+      "--crash-domains must be between 0 and --domains"
+  in
+  let* () = check_arg (crash_after >= 1) "--crash-after must be >= 1" in
+  let* () =
+    check_arg
+      (stall_prob >= 0. && stall_prob <= 1.)
+      "--stall-prob must be in [0, 1]"
+  in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  if metrics_out <> None then Repro_obs.Metrics.set_enabled true;
+  let config =
+    {
+      Chaos.n;
+      ops_per_domain = ops;
+      domains;
+      crash_domains;
+      crash_after;
+      stall_prob;
+      stall_len;
+      unite_percent = int_of_float (unite_frac *. 100.);
+      seed;
+      fault_seed;
+      policies = (if policies = [] then [ Policy.Two_try_splitting ] else policies);
+      layouts = (if layouts = [] then [ Harness.Scalability.Flat ] else layouts);
+      validate;
+    }
+  in
+  let scenarios =
+    Chaos.run_all ~config
+      ~progress:(fun s -> Format.printf "%a@." Chaos.pp_scenario s)
+      ()
+  in
+  (match json_out with
+  | None -> ()
+  | Some out ->
+    with_out out (fun oc ->
+        output_string oc (Repro_obs.Json.to_string (Chaos.to_json ~config scenarios));
+        output_char oc '\n'));
+  (match metrics_out with None -> () | Some out -> write_metrics out None);
+  let ok = List.for_all Chaos.scenario_ok scenarios in
+  Printf.printf "chaos: %d scenario(s), %s\n" (List.length scenarios)
+    (if ok then "all checks passed" else "CHECKS FAILED");
+  if not ok then exit 1;
+  Ok ()
+
+let chaos_cmd =
+  let doc =
+    "Crash/stall chaos harness: inject faults into concurrent domains, then \
+     audit the survivors and the structure against a sequential oracle."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      term_result
+        (const run_chaos $ n_arg $ chaos_ops_arg $ domains_arg $ crash_domains_arg
+        $ crash_after_arg $ stall_prob_arg $ stall_len_arg $ unite_frac_arg
+        $ seed_arg $ fault_seed_arg $ policies_arg $ layouts_arg $ validate_arg
+        $ json_out_arg $ metrics_out_arg))
 
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in
-  Cmd.group (Cmd.info "dsu_workload" ~doc) [ native_cmd; sim_cmd; lincheck_cmd ]
+  Cmd.group (Cmd.info "dsu_workload" ~doc)
+    [ native_cmd; sim_cmd; lincheck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -5,7 +5,10 @@ type pending = { pid : int; op : Memory.op }
 type t = {
   name : string;
   choose : memory:Memory.t -> pending list -> int;
+  kills : memory:Memory.t -> pending list -> int list;
 }
+
+let no_kills ~memory:_ _ = []
 
 let name t = t.name
 
@@ -15,7 +18,9 @@ let choose t ~memory runnable =
     Sim_obs.on_decision ~pid ~runnable:(List.length runnable);
   pid
 
-let custom ~name choose = { name; choose }
+let kills t ~memory runnable = t.kills ~memory runnable
+
+let custom ~name choose = { name; choose; kills = no_kills }
 
 let round_robin () =
   let last = ref (-1) in
@@ -30,17 +35,17 @@ let round_robin () =
     last := next;
     next
   in
-  { name = "round-robin"; choose }
+  { name = "round-robin"; choose; kills = no_kills }
 
 let sequential () =
-  { name = "sequential"; choose = (fun ~memory:_ runnable -> (List.hd runnable).pid) }
+  { name = "sequential"; choose = (fun ~memory:_ runnable -> (List.hd runnable).pid); kills = no_kills }
 
 let random ~seed =
   let rng = Rng.create seed in
   let choose ~memory:_ runnable =
     (List.nth runnable (Rng.int rng (List.length runnable))).pid
   in
-  { name = "random"; choose }
+  { name = "random"; choose; kills = no_kills }
 
 let quantum ~seed ~quantum =
   if quantum < 1 then invalid_arg "Scheduler.quantum: quantum must be >= 1";
@@ -60,7 +65,7 @@ let quantum ~seed ~quantum =
       p.pid
     end
   in
-  { name = Printf.sprintf "quantum-%d" quantum; choose }
+  { name = Printf.sprintf "quantum-%d" quantum; choose; kills = no_kills }
 
 let cas_adversary ~seed =
   let rng = Rng.create seed in
@@ -90,7 +95,7 @@ let cas_adversary ~seed =
     let pool = if contended <> [] then contended else runnable in
     (List.nth pool (Rng.int rng (List.length pool))).pid
   in
-  { name = "cas-adversary"; choose }
+  { name = "cas-adversary"; choose; kills = no_kills }
 
 let laggard ~seed ~victim ~delay =
   if delay < 1 then invalid_arg "Scheduler.laggard: delay must be >= 1";
@@ -109,4 +114,76 @@ let laggard ~seed ~victim ~delay =
       (List.nth others (Rng.int rng (List.length others))).pid
     end
   in
-  { name = "laggard"; choose }
+  { name = "laggard"; choose; kills = no_kills }
+
+(* Crash-stop adversary: each victim runs normally until it has been
+   scheduled for its personal step budget, then is killed — removed from
+   the execution with its pending operation never applied, modeling a
+   process that halts mid-operation (the fault model of Theorem 3.4's
+   "any asynchrony" claim).  The budget is [after] plus a per-victim
+   seeded jitter so several victims do not all die on the same decision. *)
+let crash ~seed ~victims ~after =
+  if after < 1 then invalid_arg "Scheduler.crash: after must be >= 1";
+  List.iter
+    (fun v -> if v < 0 then invalid_arg "Scheduler.crash: negative victim pid")
+    victims;
+  let rng = Rng.create seed in
+  let budget = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem budget v) then
+        Hashtbl.replace budget v (after + Rng.int rng (max 1 after)))
+    victims;
+  let steps = Hashtbl.create 8 in
+  let taken pid = Option.value ~default:0 (Hashtbl.find_opt steps pid) in
+  let kills ~memory:_ runnable =
+    List.filter_map
+      (fun p ->
+        match Hashtbl.find_opt budget p.pid with
+        | Some b when taken p.pid >= b -> Some p.pid
+        | Some _ | None -> None)
+      runnable
+  in
+  let choose ~memory:_ runnable =
+    let pid = (List.nth runnable (Rng.int rng (List.length runnable))).pid in
+    Hashtbl.replace steps pid (taken pid + 1);
+    pid
+  in
+  { name = Printf.sprintf "crash-%d" (List.length victims); choose; kills }
+
+(* Stall storm: on each decision, with probability [prob_percent]/100, park
+   a random runnable process for the next [stall] decisions; schedule
+   uniformly among the unparked.  Unlike [laggard] (one fixed victim,
+   periodic service) this starves a changing random subset, modeling
+   machine-wide noise (GC pauses, interrupts) rather than one slow CPU. *)
+let stall_storm ~seed ~prob_percent ~stall =
+  if prob_percent < 0 || prob_percent > 100 then
+    invalid_arg "Scheduler.stall_storm: prob_percent must be in [0, 100]";
+  if stall < 1 then invalid_arg "Scheduler.stall_storm: stall must be >= 1";
+  let rng = Rng.create seed in
+  let parked_until = Hashtbl.create 8 in
+  let decision = ref 0 in
+  let choose ~memory:_ runnable =
+    incr decision;
+    let parked p =
+      match Hashtbl.find_opt parked_until p.pid with
+      | Some d when d > !decision -> true
+      | Some _ -> Hashtbl.remove parked_until p.pid; false
+      | None -> false
+    in
+    let awake = List.filter (fun p -> not (parked p)) runnable in
+    (* Never park the last awake process: the schedule must stay fair
+       enough to terminate, and wait-freedom is about the victim's own
+       steps, not about freezing the whole machine. *)
+    let awake =
+      if List.length awake > 1 && Rng.int rng 100 < prob_percent then begin
+        let victim = List.nth awake (Rng.int rng (List.length awake)) in
+        Hashtbl.replace parked_until victim.pid (!decision + stall);
+        List.filter (fun p -> p.pid <> victim.pid) awake
+      end
+      else awake
+    in
+    let pool = if awake = [] then runnable else awake in
+    (List.nth pool (Rng.int rng (List.length pool))).pid
+  in
+  { name = Printf.sprintf "stall-storm-%d" prob_percent; choose; kills = no_kills }

@@ -19,6 +19,12 @@ val choose : t -> memory:Memory.t -> pending list -> int
 (** [choose t ~memory runnable] returns the pid of the process to step next.
     [runnable] is non-empty and sorted by pid. *)
 
+val kills : t -> memory:Memory.t -> pending list -> int list
+(** [kills t ~memory runnable]: pids the policy crash-stops {e before} this
+    decision — the simulator discards each one's pending operation and never
+    runs it again (its partial shared-memory writes stay).  Every policy but
+    {!crash} returns [[]]. *)
+
 val custom : name:string -> (memory:Memory.t -> pending list -> int) -> t
 (** Arbitrary user policy — used by tests to enumerate interleavings
     exhaustively.  The function must return the pid of some runnable
@@ -50,3 +56,17 @@ val laggard : seed:int -> victim:int -> delay:int -> t
 (** Starve process [victim]: step it only once per [delay] steps of the
     others (or when it is the only runnable process).  Exercises wait-freedom:
     the victim must still complete. *)
+
+val crash : seed:int -> victims:int list -> after:int -> t
+(** Crash-stop adversary over an otherwise uniform random schedule: each
+    process in [victims] is killed once it has been scheduled [after] (plus
+    per-victim seeded jitter, at most [after] more) steps, abandoning its
+    in-flight operation; survivors must still finish and the final memory
+    must satisfy the forest invariants — the simulator side of the chaos
+    scenario matrix ({!Harness.Chaos} is the native side). *)
+
+val stall_storm : seed:int -> prob_percent:int -> stall:int -> t
+(** Random schedule with storms: each decision parks a random runnable
+    process for [stall] decisions with probability [prob_percent]%.
+    Models machine-wide noise hitting a changing subset of processes;
+    never parks the last awake process, so executions terminate. *)

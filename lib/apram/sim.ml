@@ -6,14 +6,18 @@ type outcome = {
   history : History.t;
   memory : Memory.t;
   schedule_len : int;
+  crashed : int list;
 }
 
-(* A process is either waiting to perform a memory op, or finished.  Running
+(* A process is waiting to perform a memory op, finished, or crash-stopped
+   by the scheduler (its pending operation discarded, its continuation
+   never resumed — partial writes it already made stay in memory).  Running
    a process always runs it up to its next memory access (local computation
    and history recording are handled inline and are free). *)
 type status =
   | Blocked of Memory.op * (int, status) continuation
   | Finished
+  | Crashed
 
 let run ?(max_steps = 200_000_000) ?on_step ~mem_size ~init ~sched bodies =
   let p = Array.length bodies in
@@ -50,33 +54,47 @@ let run ?(max_steps = 200_000_000) ?on_step ~mem_size ~init ~sched bodies =
   in
   let total = ref 0 in
   let decisions = ref 0 in
+  let crashed = ref [] in
   let runnable () =
     let acc = ref [] in
     for pid = p - 1 downto 0 do
       match statuses.(pid) with
       | Blocked (op, _) -> acc := { Scheduler.pid; op } :: !acc
-      | Finished -> ()
+      | Finished | Crashed -> ()
     done;
     !acc
   in
   let rec loop () =
     match runnable () with
     | [] -> ()
-    | pending ->
-      let pid = Scheduler.choose sched ~memory pending in
-      (match statuses.(pid) with
-      | Finished -> invalid_arg "Sim.run: scheduler chose a finished process"
-      | Blocked (op, k) ->
-        let result = Memory.apply memory op in
-        (match on_step with None -> () | Some f -> f ~pid ~op ~result);
-        steps.(pid) <- steps.(pid) + 1;
-        incr total;
-        incr decisions;
-        if Atomic.get Sim_obs.armed then Sim_obs.on_step ();
-        if !total > max_steps then
-          failwith "Sim.run: max_steps exceeded (livelock or runaway workload)";
-        statuses.(pid) <- continue k result);
-      loop ()
+    | pending -> (
+      match Scheduler.kills sched ~memory pending with
+      | _ :: _ as kills ->
+        List.iter
+          (fun pid ->
+            match statuses.(pid) with
+            | Blocked _ ->
+              statuses.(pid) <- Crashed;
+              crashed := pid :: !crashed
+            | Finished | Crashed -> ())
+          kills;
+        loop ()
+      | [] ->
+        let pid = Scheduler.choose sched ~memory pending in
+        (match statuses.(pid) with
+        | Finished | Crashed ->
+          invalid_arg "Sim.run: scheduler chose a finished or crashed process"
+        | Blocked (op, k) ->
+          let result = Memory.apply memory op in
+          (match on_step with None -> () | Some f -> f ~pid ~op ~result);
+          steps.(pid) <- steps.(pid) + 1;
+          incr total;
+          incr decisions;
+          if Atomic.get Sim_obs.armed then Sim_obs.on_step ();
+          if !total > max_steps then
+            failwith "Sim.run: max_steps exceeded (livelock or runaway workload)";
+          statuses.(pid) <- continue k result);
+        loop ())
   in
   loop ();
   if Atomic.get Sim_obs.armed then Sim_obs.on_run_complete steps;
@@ -86,6 +104,7 @@ let run ?(max_steps = 200_000_000) ?on_step ~mem_size ~init ~sched bodies =
     history = List.rev !events;
     memory;
     schedule_len = !decisions;
+    crashed = List.sort compare !crashed;
   }
 
 let run_ops ?max_steps ?on_step ~mem_size ~init ~sched ops =

@@ -19,6 +19,11 @@ type outcome = {
   history : History.t;  (** recorded operation events, in execution order *)
   memory : Memory.t;  (** final memory, for post-mortem inspection *)
   schedule_len : int;  (** number of scheduling decisions taken *)
+  crashed : int list;
+      (** pids crash-stopped by the scheduler ({!Scheduler.kills}), sorted.
+          A crashed process's in-flight operation appears in [history] as an
+          invoke with no matching return ({!History.pending_calls}); its
+          completed shared-memory writes remain in [memory]. *)
 }
 
 val run :

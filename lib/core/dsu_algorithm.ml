@@ -58,19 +58,45 @@ module Make (M : Memory_intf.S) = struct
   let record_link t ~child ~parent =
     match t.on_link with None -> () | Some f -> f ~child ~parent
 
-  (* Telemetry (lib/obs).  A per-hop armed test would cost a load, a call
-     and a branch on every parent-pointer hop, which is measurable on the
-     native fast path, so each find loop exists twice: the plain body
-     below, byte-identical to the untraced algorithm, and an instrumented
-     twin ([..._obs]).  [find_root] picks a body with a single atomic
-     load of [Dsu_obs.armed] per traversal, and the outer loops test it
-     only at their (rare) retry/link/early-step sites — never via a
-     captured binding or functor-level helper, either of which would be
-     captured into every per-operation loop closure and grow each
-     operation's allocation by a word; spelling out
-     [Atomic.get Dsu_obs.armed] compiles to a global access instead.
-     The hooks themselves are individually gated too, so a stale pick is
-     safe either way. *)
+  (* Telemetry (lib/obs) and fault injection (lib/fault).  A per-hop armed
+     test would cost a load, a call and a branch on every parent-pointer
+     hop, which is measurable on the native fast path, so each find loop
+     exists twice: the plain body below, byte-identical to the untraced
+     algorithm, and an instrumented twin ([..._obs]) carrying both the
+     telemetry hooks and the labeled fault-injection sites (see
+     {!Repro_fault.Site}).  [find_root] picks a body with one atomic load
+     each of [Dsu_obs.armed] and [Repro_fault.Inject.armed] per traversal,
+     and the outer loops test them only at their (rare) retry/link/
+     early-step sites — never via a captured binding or functor-level
+     helper, either of which would be captured into every per-operation
+     loop closure and grow each operation's allocation by a word; spelling
+     out [Atomic.get Dsu_obs.armed] compiles to a global access instead.
+     The hooks themselves are individually gated too (telemetry by the
+     registry switch, fault sites by per-domain enrollment), so a stale
+     pick is safe either way. *)
+
+  module Fi = Repro_fault.Inject
+
+  (* Shorthands for the compiled-in fault sites.  Each expands to an atomic
+     load + branch when fault injection is disarmed; [Fi.hit] may raise
+     [Repro_fault.Inject.Crashed] to model crash-stop mid-operation. *)
+  let[@inline] fault_hop () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Find_hop
+
+  let[@inline] fault_gap () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Split_read_gap
+
+  let[@inline] fault_split_pre () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Split_cas_pre
+
+  let[@inline] fault_split_post () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Split_cas_post
+
+  let[@inline] fault_link_pre () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Link_cas_pre
+
+  let[@inline] fault_link_post () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Link_cas_post
 
   (* Algorithm 1: Find without compaction. *)
   let find_no_compaction t x =
@@ -85,6 +111,7 @@ module Make (M : Memory_intf.S) = struct
     let rec loop u =
       bump t Dsu_stats.incr_find_iter;
       Dsu_obs.on_find_iter ();
+      fault_hop ();
       let p = M.read t.mem u in
       if p = u then u else loop p
     in
@@ -109,13 +136,17 @@ module Make (M : Memory_intf.S) = struct
     let rec loop u =
       bump t Dsu_stats.incr_find_iter;
       Dsu_obs.on_find_iter ();
+      fault_hop ();
       let v = M.read t.mem u in
+      fault_gap ();
       let w = M.read t.mem v in
       if v = w then v
       else begin
+        fault_split_pre ();
         let ok = M.cas t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
+        fault_split_post ();
         loop v
       end
     in
@@ -149,20 +180,27 @@ module Make (M : Memory_intf.S) = struct
     let rec loop u =
       bump t Dsu_stats.incr_find_iter;
       Dsu_obs.on_find_iter ();
+      fault_hop ();
       let v = M.read t.mem u in
+      fault_gap ();
       let w = M.read t.mem v in
       if v = w then v
       else begin
+        fault_split_pre ();
         let ok = M.cas t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
+        fault_split_post ();
         let v2 = M.read t.mem u in
+        fault_gap ();
         let w2 = M.read t.mem v2 in
         if v2 = w2 then v2
         else begin
+          fault_split_pre ();
           let ok2 = M.cas t.mem u v2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
           Dsu_obs.on_compaction_cas ~ok:ok2;
+          fault_split_post ();
           loop v2
         end
       end
@@ -197,6 +235,7 @@ module Make (M : Memory_intf.S) = struct
     let rec walk u acc =
       bump t Dsu_stats.incr_find_iter;
       Dsu_obs.on_find_iter ();
+      fault_hop ();
       let p = M.read t.mem u in
       if p = u then (u, acc) else walk p ((u, p) :: acc)
     in
@@ -204,16 +243,18 @@ module Make (M : Memory_intf.S) = struct
     List.iter
       (fun (u, observed_parent) ->
         if observed_parent <> root then begin
+          fault_split_pre ();
           let ok = M.cas t.mem u observed_parent root in
           bump t (Dsu_stats.incr_compaction_cas ~ok);
-          Dsu_obs.on_compaction_cas ~ok
+          Dsu_obs.on_compaction_cas ~ok;
+          fault_split_post ()
         end)
       path;
     root
 
   let find_root t x =
     bump t Dsu_stats.incr_find;
-    if Atomic.get Dsu_obs.armed then begin
+    if Atomic.get Dsu_obs.armed || Atomic.get Fi.armed then begin
       Dsu_obs.find_begin x;
       let root =
         match t.policy with
@@ -277,28 +318,38 @@ module Make (M : Memory_intf.S) = struct
   let early_step_obs t u z =
     bump t Dsu_stats.incr_find_iter;
     Dsu_obs.on_find_iter ();
+    fault_hop ();
     match t.policy with
     | Find_policy.No_compaction | Find_policy.Compression -> z
     | Find_policy.One_try_splitting ->
+      fault_gap ();
       let w = M.read t.mem z in
       if z <> w then begin
-        let ok = M.cas t.mem u z w in
-        bump t (Dsu_stats.incr_compaction_cas ~ok);
-        Dsu_obs.on_compaction_cas ~ok
-      end;
-      z
-    | Find_policy.Two_try_splitting ->
-      let w = M.read t.mem z in
-      if z <> w then begin
+        fault_split_pre ();
         let ok = M.cas t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
+        fault_split_post ()
+      end;
+      z
+    | Find_policy.Two_try_splitting ->
+      fault_gap ();
+      let w = M.read t.mem z in
+      if z <> w then begin
+        fault_split_pre ();
+        let ok = M.cas t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        Dsu_obs.on_compaction_cas ~ok;
+        fault_split_post ();
         let z2 = M.read t.mem u in
+        fault_gap ();
         let w2 = M.read t.mem z2 in
         if z2 <> w2 then begin
+          fault_split_pre ();
           let ok2 = M.cas t.mem u z2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
-          Dsu_obs.on_compaction_cas ~ok:ok2
+          Dsu_obs.on_compaction_cas ~ok:ok2;
+          fault_split_post ()
         end;
         z2
       end
@@ -334,7 +385,11 @@ module Make (M : Memory_intf.S) = struct
         let z = M.read t.mem u in
         if z = u then false
         else begin
-          let u = if Atomic.get Dsu_obs.armed then early_step_obs t u z else early_step t u z in
+          let u =
+            if Atomic.get Dsu_obs.armed || Atomic.get Fi.armed then
+              early_step_obs t u z
+            else early_step t u z
+          in
           loop u v ~first:false
         end
       end
@@ -353,15 +408,19 @@ module Make (M : Memory_intf.S) = struct
       let v = find_root t v in
       if u = v then ()
       else if less t u v then begin
+        fault_link_pre ();
         let ok = M.cas t.mem u u v in
         bump t (Dsu_stats.incr_link_cas ~ok);
         if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+        fault_link_post ();
         if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
       end
       else begin
+        fault_link_pre ();
         let ok = M.cas t.mem v v u in
         bump t (Dsu_stats.incr_link_cas ~ok);
         if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+        fault_link_post ();
         if ok then record_link t ~child:v ~parent:u else loop u v ~first:false
       end
     in
@@ -383,13 +442,19 @@ module Make (M : Memory_intf.S) = struct
         let u, v = if less t v u then (v, u) else (u, v) in
         let z = M.read t.mem u in
         if z = u then begin
+          fault_link_pre ();
           let ok = M.cas t.mem u u v in
           bump t (Dsu_stats.incr_link_cas ~ok);
           if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+          fault_link_post ();
           if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
         end
         else begin
-          let u = if Atomic.get Dsu_obs.armed then early_step_obs t u z else early_step t u z in
+          let u =
+            if Atomic.get Dsu_obs.armed || Atomic.get Fi.armed then
+              early_step_obs t u z
+            else early_step t u z
+          in
           loop u v ~first:false
         end
       end

@@ -16,22 +16,45 @@ module Chunked = struct
     if chunk_size < 1 then invalid_arg "Growable_unbounded: chunk_size must be >= 1";
     { chunk_size; directory = Atomic.make [||]; grow_lock = Mutex.create (); init }
 
+  let capacity t = Array.length (Atomic.get t.directory) * t.chunk_size
+
   (* Locate cell [i], re-fetching the directory if the snapshot is stale.
      A traversal can only reach indices of fully created elements (their
      chunk was published before their index became reachable through any
      parent pointer), so a fresh directory load always covers [i]: the
      sequentially consistent order puts the directory publication before
-     the parent write the reader just observed. *)
+     the parent write the reader just observed.
+
+     The retry is therefore expected to resolve after at most one
+     republication — but an index that was {e never} created (a caller
+     bug) would otherwise spin forever.  The slow path tells the two
+     apart: once it can take the growth lock, no growth is in progress,
+     so the directory it sees is definitive and a still-uncovered index
+     is an error, reported rather than spun on. *)
   let rec cell t i =
     let dir = Atomic.get t.directory in
-    if i >= Array.length dir * t.chunk_size then cell t i
-    else dir.(i / t.chunk_size).(i mod t.chunk_size)
+    if i < Array.length dir * t.chunk_size then
+      dir.(i / t.chunk_size).(i mod t.chunk_size)
+    else if Mutex.try_lock t.grow_lock then begin
+      let cap = capacity t in
+      Mutex.unlock t.grow_lock;
+      if i >= cap then
+        invalid_arg
+          (Printf.sprintf
+             "Growable_unbounded: cell %d out of capacity %d with no growth \
+              in progress"
+             i cap)
+      else cell t i
+    end
+    else begin
+      (* A grower holds the lock: wait for it to publish, then re-check. *)
+      Domain.cpu_relax ();
+      cell t i
+    end
 
   let get t i = Atomic.get (cell t i)
   let set t i v = Atomic.set (cell t i) v
   let cas t i expected desired = Atomic.compare_and_set (cell t i) expected desired
-
-  let capacity t = Array.length (Atomic.get t.directory) * t.chunk_size
 
   (* Make sure cell [i] exists; amortized O(1), takes the lock only when a
      new chunk is actually needed. *)

@@ -12,6 +12,33 @@
     lock-free} — they read a directory snapshot and never take the lock.
     Element indices are stable forever. *)
 
+(** The underlying growable array of atomic cells: an immutable chunk
+    directory republished through an [Atomic] on growth, so reads are
+    lock-free.  Exposed for tests and for building other unbounded
+    concurrent structures. *)
+module Chunked : sig
+  type t
+
+  val create : chunk_size:int -> init:(base:int -> int -> int) -> t
+  (** [init ~base j] is the initial value of absolute cell [base + j].
+      @raise Invalid_argument when [chunk_size < 1]. *)
+
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val cas : t -> int -> int -> int -> bool
+  (** Cell accessors.  If the index is beyond the current capacity they
+      briefly wait for an in-progress growth to publish; if no growth is
+      in progress they raise [Invalid_argument] naming the index and the
+      capacity — accessing a never-created cell is a caller bug, not a
+      reason to spin forever. *)
+
+  val ensure : t -> int -> unit
+  (** Grow until cell [i] exists; amortized O(1), locks only to append. *)
+
+  val capacity : t -> int
+  val chunk_count : t -> int
+end
+
 type t
 
 val create :

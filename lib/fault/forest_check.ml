@@ -1,0 +1,110 @@
+module J = Repro_obs.Json
+
+type violation =
+  | Out_of_range of { node : int; parent : int }
+  | Order of { node : int; parent : int }
+  | Cycle of int list
+
+type report = {
+  nodes : int;
+  roots : int;
+  max_depth : int;
+  violations : violation list;
+}
+
+let check ?(prio = fun i -> i) parents =
+  let n = Array.length parents in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let in_range p = p >= 0 && p < n in
+  let roots = ref 0 in
+  for i = 0 to n - 1 do
+    let p = parents.(i) in
+    if not (in_range p) then add (Out_of_range { node = i; parent = p })
+    else if p = i then incr roots
+    else begin
+      (* The algorithm's [less]: priority first, node index on ties. *)
+      let pi = prio i and pp = prio p in
+      if not (pi < pp || (pi = pp && i < p)) then add (Order { node = i; parent = p })
+    end
+  done;
+  (* Depth / cycle detection with memoization: [depth.(i)] is the hop count
+     to a root, [-1] = unvisited, [-2] = on the current path (gray), [-3] =
+     known to lead out of range or into a cycle. *)
+  let depth = Array.make n (-1) in
+  let cyclic = ref false in
+  let max_depth = ref 0 in
+  for start = 0 to n - 1 do
+    if depth.(start) = -1 then begin
+      let path = ref [] in
+      let rec walk u =
+        if not (in_range u) then -3
+        else
+          match depth.(u) with
+          | -1 ->
+            let p = parents.(u) in
+            if p = u then begin
+              depth.(u) <- 0;
+              0
+            end
+            else begin
+              depth.(u) <- -2;
+              path := u :: !path;
+              let d = walk p in
+              let d = if d < 0 then d else d + 1 in
+              depth.(u) <- (if d < 0 then -3 else d);
+              d
+            end
+          | -2 ->
+            (* Hit a gray node: the tail of [path] from [u] is a cycle. *)
+            cyclic := true;
+            let rec cycle_from acc = function
+              | [] -> acc
+              | v :: rest -> if v = u then v :: acc else cycle_from (v :: acc) rest
+            in
+            add (Cycle (cycle_from [] !path));
+            -3
+          | d -> d
+      in
+      let d = walk start in
+      if d > !max_depth then max_depth := d
+    end
+  done;
+  {
+    nodes = n;
+    roots = !roots;
+    max_depth = (if !cyclic then -1 else !max_depth);
+    violations = List.rev !violations;
+  }
+
+let ok r = r.violations = []
+
+let pp_violation ppf = function
+  | Out_of_range { node; parent } ->
+    Format.fprintf ppf "parent out of range: parent(%d) = %d" node parent
+  | Order { node; parent } ->
+    Format.fprintf ppf "order violation: parent(%d) = %d does not follow %d" node
+      parent node
+  | Cycle nodes ->
+    Format.fprintf ppf "cycle: %s"
+      (String.concat " -> " (List.map string_of_int nodes))
+
+let pp ppf r =
+  Format.fprintf ppf "forest: %d nodes, %d roots, max depth %d, %d violation(s)"
+    r.nodes r.roots r.max_depth (List.length r.violations);
+  List.iteri
+    (fun i v -> if i < 5 then Format.fprintf ppf "@.  %a" pp_violation v)
+    r.violations
+
+let violation_to_json v = J.String (Format.asprintf "%a" pp_violation v)
+
+let to_json r =
+  J.Obj
+    [
+      ("nodes", J.Int r.nodes);
+      ("roots", J.Int r.roots);
+      ("max_depth", J.Int r.max_depth);
+      ("violations", J.Int (List.length r.violations));
+      ( "first_violations",
+        J.List (List.filteri (fun i _ -> i < 5) r.violations |> List.map violation_to_json) );
+    ]

@@ -1,0 +1,46 @@
+(** Structural validation of a union forest snapshot.
+
+    Operates on a quiescent parent array ([parents.(i)] is node [i]'s
+    parent, roots are self-parented) plus the node priority order, and
+    checks the invariants that Lemma 3.1 maintains through {e every}
+    reachable state of the concurrent algorithm — including states left by
+    processes that crashed mid-operation:
+
+    - {b range}: every parent is a valid node index;
+    - {b priority order}: every non-root's parent is strictly later in the
+      random linking order (ties broken by node index, matching the
+      algorithm's [less]).  Links only ever install an order-increasing
+      edge and compaction only replaces a parent by a proper ancestor, so
+      no interleaving — crashed or not — may violate this;
+    - {b acyclicity}: parent chains reach a root (implied by the order
+      invariant, but checked independently so a corrupted snapshot with a
+      broken priority table still reports the cycle itself).
+
+    The checker never follows more than [n] hops from any node, so it
+    terminates on arbitrary (even cyclic) input. *)
+
+type violation =
+  | Out_of_range of { node : int; parent : int }
+  | Order of { node : int; parent : int }
+      (** [parent] does not follow [node] in the linking order. *)
+  | Cycle of int list
+      (** A parent-pointer cycle, listed in traversal order. *)
+
+type report = {
+  nodes : int;
+  roots : int;
+  max_depth : int;  (** longest root path found; [-1] when cyclic *)
+  violations : violation list;
+}
+
+val check : ?prio:(int -> int) -> int array -> report
+(** [check ~prio parents].  [prio] defaults to the identity (node index =
+    priority), which matches a forest built with sequential ids. *)
+
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> report -> unit
+
+val to_json : report -> Repro_obs.Json.t
+(** Counts plus the first few violations, for the chaos report. *)

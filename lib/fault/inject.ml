@@ -1,0 +1,143 @@
+module Rng = Repro_util.Rng
+module M = Repro_obs.Metrics
+
+exception Crashed of Site.t * int
+
+type action = Yield | Stall of int | Crash
+
+type rule = { sites : Site.t list; prob : float; after : int; action : action }
+
+let rule ?(sites = []) ?(prob = 1.0) ?(after = 0) action =
+  if not (prob >= 0.) then invalid_arg "Inject.rule: prob must be >= 0";
+  if after < 0 then invalid_arg "Inject.rule: after must be >= 0";
+  { sites; prob; after; action }
+
+type plan = { seed : int; rules_for : int -> rule list }
+
+let armed = Atomic.make false
+
+(* The plan and an epoch stamp.  [arm] bumps the epoch; enrollment records
+   the epoch it was made under, so domain-local state from a previous plan
+   (or a worker of a finished scenario whose domain id got reused) is
+   recognized as stale and ignored instead of firing a dead plan's rules. *)
+let epoch = Atomic.make 0
+let current_plan : plan option Atomic.t = Atomic.make None
+
+(* Internal counters: plain atomics, always live while armed, independent of
+   whether the telemetry registry is enabled.  Mirrored into [Repro_obs]
+   below so they also flow into --metrics-out artifacts when telemetry is
+   armed. *)
+let hits_total = Atomic.make 0
+let yields_total = Atomic.make 0
+let stalls_total = Atomic.make 0
+let crashes_total = Atomic.make 0
+
+let m_hits = M.counter ~help:"fault-injection site hits" "fault_site_hits_total"
+let m_yields = M.counter ~help:"injected yields" "fault_yields_total"
+let m_stalls = M.counter ~help:"injected bounded stalls" "fault_stalls_total"
+let m_crashes = M.counter ~help:"injected crash-stops" "fault_crashes_total"
+
+type totals = { hits : int; yields : int; stalls : int; crashes : int }
+
+let totals () =
+  {
+    hits = Atomic.get hits_total;
+    yields = Atomic.get yields_total;
+    stalls = Atomic.get stalls_total;
+    crashes = Atomic.get crashes_total;
+  }
+
+(* Per-domain enrollment.  Mutable fields are domain-local (DLS), so plain
+   reads/writes are race-free. *)
+type armed_rule = {
+  r_sites : Site.t list;
+  r_prob : float;
+  r_action : action;
+  mutable countdown : int;
+}
+
+type state = {
+  st_epoch : int;
+  slot : int;
+  rng : Rng.t;
+  rules : armed_rule list;
+  mutable hops : int;
+}
+
+let state_key : state option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let arm plan =
+  Atomic.set current_plan (Some plan);
+  Atomic.incr epoch;
+  Atomic.set hits_total 0;
+  Atomic.set yields_total 0;
+  Atomic.set stalls_total 0;
+  Atomic.set crashes_total 0;
+  Atomic.set armed true
+
+let disarm () =
+  Atomic.set armed false;
+  Atomic.set current_plan None;
+  Atomic.incr epoch
+
+let enroll ~slot =
+  if slot < 0 then invalid_arg "Inject.enroll: slot must be >= 0";
+  match Atomic.get current_plan with
+  | None -> ()
+  | Some plan ->
+    let rules =
+      List.map
+        (fun r ->
+          { r_sites = r.sites; r_prob = r.prob; r_action = r.action; countdown = r.after })
+        (plan.rules_for slot)
+    in
+    Domain.DLS.set state_key
+      (Some
+         {
+           st_epoch = Atomic.get epoch;
+           slot;
+           rng = Rng.create (plan.seed lxor (0x9e3779b9 * (slot + 1)));
+           rules;
+           hops = 0;
+         })
+
+let my_state () =
+  match Domain.DLS.get state_key with
+  | Some s when s.st_epoch = Atomic.get epoch -> Some s
+  | Some _ | None -> None
+
+let my_hops () = match my_state () with None -> 0 | Some s -> s.hops
+
+let perform s site = function
+  | Yield ->
+    Atomic.incr yields_total;
+    M.incr m_yields;
+    Domain.cpu_relax ()
+  | Stall k ->
+    Atomic.incr stalls_total;
+    M.incr m_stalls;
+    for _ = 1 to k do
+      Domain.cpu_relax ()
+    done
+  | Crash ->
+    Atomic.incr crashes_total;
+    M.incr m_crashes;
+    raise (Crashed (site, s.slot))
+
+let matches r site = match r.r_sites with [] -> true | sites -> List.mem site sites
+
+let hit site =
+  match my_state () with
+  | None -> ()
+  | Some s ->
+    if site = Site.Find_hop then s.hops <- s.hops + 1;
+    Atomic.incr hits_total;
+    M.incr m_hits;
+    List.iter
+      (fun r ->
+        if matches r site then begin
+          if r.countdown > 0 then r.countdown <- r.countdown - 1
+          else if r.r_prob >= 1.0 || Rng.float s.rng < r.r_prob then
+            perform s site r.r_action
+        end)
+      s.rules

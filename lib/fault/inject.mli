@@ -1,0 +1,90 @@
+(** The fault-injection engine: per-domain probabilistic yields, bounded
+    stalls, and crash-stop, fired from labeled {!Site}s compiled into the
+    DSU hot paths.
+
+    {2 Cost model}
+
+    Injection follows the zero-cost-when-off pattern of
+    {!Repro_obs.Switch}: every compiled-in site is guarded by a single
+    atomic load of {!armed} and a predictable branch, and the instrumented
+    loop bodies are only selected at all while some instrumentation is
+    armed, so a production run pays nothing.  While armed, an
+    {e unenrolled} domain (any domain that never called {!enroll}) pays one
+    domain-local-storage read per site and is otherwise unaffected —
+    faults only ever fire on domains that opted in.
+
+    {2 Fault model}
+
+    A {!plan} gives each enrolled domain (identified by a small [slot]
+    index chosen by the harness) a list of {!rule}s.  On each site hit,
+    each rule whose site filter matches first consumes its [after]
+    countdown, then fires with probability [prob] (drawn from a
+    deterministic per-slot stream seeded by [plan.seed], so a scenario
+    replays exactly given the same thread interleaving):
+
+    - [Yield] — surrender the processor ([Domain.cpu_relax]); models an
+      adversarial preemption at the site.
+    - [Stall k] — spin for [k] relax iterations; models a bounded delay
+      (page fault, interrupt) parked {e inside} the protocol.
+    - [Crash] — raise {!Crashed}: the domain abandons its current
+      operation mid-flight, leaving whatever shared-memory writes it
+      already performed.  This is crash-stop, the strongest adversary
+      Theorem 3.4's wait-freedom claim tolerates; the harness catches the
+      exception and halts the worker.
+
+    Counters for every fired fault are kept internally (readable via
+    {!totals} even with telemetry disarmed) and mirrored into the
+    {!Repro_obs.Metrics} default registry as [fault_site_hits_total],
+    [fault_yields_total], [fault_stalls_total] and [fault_crashes_total]. *)
+
+exception Crashed of Site.t * int
+(** [Crashed (site, slot)]: the crash-stop fault fired on the domain
+    enrolled as [slot] while at [site]. *)
+
+type action = Yield | Stall of int | Crash
+
+type rule = {
+  sites : Site.t list;  (** sites the rule applies to; [[]] means all *)
+  prob : float;  (** per-hit firing probability once [after] is consumed *)
+  after : int;  (** matching hits to skip before the rule becomes eligible *)
+  action : action;
+}
+
+val rule : ?sites:Site.t list -> ?prob:float -> ?after:int -> action -> rule
+(** Defaults: all sites, probability [1.0], no skip. *)
+
+type plan = {
+  seed : int;  (** base seed; slot [k] draws from stream [seed ⊕ k] *)
+  rules_for : int -> rule list;  (** rules for the domain enrolled as slot *)
+}
+
+val armed : bool Atomic.t
+(** The single switch every compiled-in site tests first.  Arm via
+    {!arm}/{!disarm}, never by writing it directly. *)
+
+val arm : plan -> unit
+(** Install [plan], zero the counters, and arm all sites.  Enrollments
+    from a previous plan are invalidated. *)
+
+val disarm : unit -> unit
+(** Disarm all sites and invalidate every enrollment.  Counters keep
+    their values until the next {!arm} so post-run reports can read them. *)
+
+val enroll : slot:int -> unit
+(** Opt the calling domain into the current plan as [slot].  No-op when
+    disarmed.  @raise Invalid_argument if [slot < 0]. *)
+
+val hit : Site.t -> unit
+(** The hook compiled into the hot paths.  Call only under an
+    [Atomic.get armed] guard.  May raise {!Crashed}. *)
+
+val my_hops : unit -> int
+(** [Find_hop] hits recorded for the calling domain under its current
+    enrollment — the domain's own traversal work, the quantity bounded by
+    wait-freedom (Lemma 3.3).  [0] if not enrolled. *)
+
+type totals = { hits : int; yields : int; stalls : int; crashes : int }
+
+val totals : unit -> totals
+(** Process-wide fault counts since the last {!arm} (exact once all
+    enrolled domains have joined). *)

@@ -1,0 +1,38 @@
+type t =
+  | Find_hop
+  | Split_read_gap
+  | Split_cas_pre
+  | Split_cas_post
+  | Link_cas_pre
+  | Link_cas_post
+
+let all =
+  [
+    Find_hop;
+    Split_read_gap;
+    Split_cas_pre;
+    Split_cas_post;
+    Link_cas_pre;
+    Link_cas_post;
+  ]
+
+let to_string = function
+  | Find_hop -> "find-hop"
+  | Split_read_gap -> "split-read-gap"
+  | Split_cas_pre -> "split-cas-pre"
+  | Split_cas_post -> "split-cas-post"
+  | Link_cas_pre -> "link-cas-pre"
+  | Link_cas_post -> "link-cas-post"
+
+let of_string = function
+  | "find-hop" -> Some Find_hop
+  | "split-read-gap" -> Some Split_read_gap
+  | "split-cas-pre" -> Some Split_cas_pre
+  | "split-cas-post" -> Some Split_cas_post
+  | "link-cas-pre" -> Some Link_cas_pre
+  | "link-cas-post" -> Some Link_cas_post
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let cas_sites = [ Split_cas_pre; Split_cas_post; Link_cas_pre; Link_cas_post ]

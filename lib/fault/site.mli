@@ -1,0 +1,38 @@
+(** Labeled fault-injection sites inside the concurrent DSU hot paths.
+
+    Each constructor names one program point of {!Dsu_algorithm} where the
+    adversary of the paper's asynchronous model (Section 2) may preempt,
+    delay, or crash a process.  The interesting points are exactly the
+    shared-memory access boundaries: between them a process owns only its
+    local state, so scheduling there cannot create new behaviors.
+
+    - [Find_hop] — top of each find-loop iteration (one parent-pointer
+      traversal step, the unit of the paper's work measure).
+    - [Split_read_gap] — between the two reads [v = parent(u)] and
+      [w = parent(v)] of splitting (Algorithms 4/5); a process stalled here
+      holds a stale [v], so its later [Cas] exercises the Lemma 3.1
+      argument that stale parents are still ancestors.
+    - [Split_cas_pre] / [Split_cas_post] — immediately before/after a
+      splitting or compression [Cas] on a parent pointer.
+    - [Link_cas_pre] / [Link_cas_post] — immediately before/after the
+      linking [Cas] of [Unite] (Algorithms 3/7); crashing between these two
+      is the "half-installed link" scenario: the link is in shared memory
+      but the process that installed it never returns. *)
+
+type t =
+  | Find_hop
+  | Split_read_gap
+  | Split_cas_pre
+  | Split_cas_post
+  | Link_cas_pre
+  | Link_cas_post
+
+val all : t list
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val cas_sites : t list
+(** The four sites adjacent to a [Cas] — where crash-stop leaves the most
+    interesting partial state. *)

@@ -1,0 +1,563 @@
+module Policy = Dsu.Find_policy
+module Rng = Repro_util.Rng
+module J = Repro_obs.Json
+module Op = Workload.Op
+module Site = Repro_fault.Site
+module Fi = Repro_fault.Inject
+module Fc = Repro_fault.Forest_check
+module Seq = Sequential.Seq_dsu
+
+type config = {
+  n : int;
+  ops_per_domain : int;
+  domains : int;
+  crash_domains : int;
+  crash_after : int;
+  stall_prob : float;
+  stall_len : int;
+  unite_percent : int;
+  seed : int;
+  fault_seed : int;
+  policies : Policy.t list;
+  layouts : Scalability.layout list;
+  validate : bool;
+}
+
+let default_config =
+  {
+    n = 4096;
+    ops_per_domain = 20_000;
+    domains = 8;
+    crash_domains = 2;
+    crash_after = 5_000;
+    stall_prob = 0.01;
+    stall_len = 64;
+    unite_percent = 40;
+    seed = 11;
+    fault_seed = 7;
+    policies = [ Policy.Two_try_splitting ];
+    layouts = [ Scalability.Flat ];
+    validate = true;
+  }
+
+type check = { check_name : string; passed : bool; detail : string }
+
+type scenario = {
+  layout : Scalability.layout;
+  policy : Policy.t;
+  crashed : (int * Site.t) list;
+  completed : int array;
+  failures : (int * string) list;
+  hops : int array;
+  fault_totals : Fi.totals;
+  forest : Fc.report option;
+  checks : check list;
+  seconds : float;
+}
+
+let scenario_ok s = s.failures = [] && List.for_all (fun c -> c.passed) s.checks
+
+let hop_budget n = 16. *. ((log (float_of_int n) /. log 2.) +. 2.)
+
+(* One closure set per memory layout, so the worker loop and the audit are
+   written once.  [prio] feeds Forest_check the linking order the structure
+   actually used. *)
+type handle = {
+  unite : int -> int -> unit;
+  same_set : int -> int -> bool;
+  find : int -> int;
+  parents : unit -> int array;
+  prio : int -> int;
+}
+
+let handle_of ~layout ~policy ~seed n =
+  match (layout : Scalability.layout) with
+  | Flat | Padded ->
+    let d = Dsu.Native.create ~padded:(layout = Scalability.Padded) ~policy ~seed n in
+    {
+      unite = Dsu.Native.unite d;
+      same_set = Dsu.Native.same_set d;
+      find = Dsu.Native.find d;
+      parents = (fun () -> Dsu.Native.parents_snapshot d);
+      prio = Dsu.Native.id d;
+    }
+  | Boxed ->
+    let d = Dsu.Boxed.create ~policy ~seed n in
+    {
+      unite = Dsu.Boxed.unite d;
+      same_set = Dsu.Boxed.same_set d;
+      find = Dsu.Boxed.find d;
+      parents = (fun () -> Dsu.Boxed.parents_snapshot d);
+      prio = Dsu.Boxed.id d;
+    }
+
+let gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain =
+  Array.init domains (fun k ->
+      let rng = Rng.create (seed + (1000 * k)) in
+      Array.init ops_per_domain (fun _ ->
+          let x = Rng.int rng n and y = Rng.int rng n in
+          if Rng.int rng 100 < unite_percent then Op.Unite (x, y)
+          else Op.Same_set (x, y)))
+
+(* Crash countdowns are staggered per slot so victims fall at different
+   depths of the run; every slot shares the stall/yield noise. *)
+let plan_of config =
+  let noise =
+    if config.stall_prob > 0. then
+      [
+        Fi.rule ~prob:config.stall_prob (Fi.Stall config.stall_len);
+        Fi.rule ~prob:(config.stall_prob /. 2.) Fi.Yield;
+      ]
+    else []
+  in
+  let rules_for slot =
+    if slot < config.crash_domains then
+      Fi.rule ~after:(config.crash_after * (slot + 1)) Fi.Crash :: noise
+    else noise
+  in
+  { Fi.seed = config.fault_seed; rules_for }
+
+(* ---------- the audit ---------- *)
+
+let mk check_name passed detail = { check_name; passed; detail }
+
+(* Root of every node by memoized parent chasing.  Only called after the
+   forest check passed, so the chains are acyclic. *)
+let roots_of parents =
+  let n = Array.length parents in
+  let memo = Array.make n (-1) in
+  let rec go i =
+    if memo.(i) >= 0 then memo.(i)
+    else if parents.(i) = i then (
+      memo.(i) <- i;
+      i)
+    else begin
+      let r = go parents.(i) in
+      memo.(i) <- r;
+      r
+    end
+  in
+  Array.init n go
+
+(* First pair of nodes equivalent under [a] but split by [b], if any —
+   i.e. whether the [a]-partition refines the [b]-partition. *)
+let refines a b =
+  let tbl = Hashtbl.create 97 in
+  let bad = ref None in
+  Array.iteri
+    (fun i ra ->
+      if !bad = None then
+        match Hashtbl.find_opt tbl ra with
+        | None -> Hashtbl.add tbl ra (i, b.(i))
+        | Some (j, rb) -> if rb <> b.(i) then bad := Some (j, i))
+    a;
+  !bad
+
+(* Completed ops of one slot, in issue order, as (start, stop, op). *)
+let completed_ops ~starts ~stops ~ops k =
+  let acc = ref [] in
+  let m = Array.length ops.(k) in
+  for j = m - 1 downto 0 do
+    if stops.(k).(j) >= 0 then acc := (starts.(k).(j), stops.(k).(j), ops.(k).(j)) :: !acc
+  done;
+  !acc
+
+let audit ~config ~(h : handle) ~ops ~starts ~stops ~results ~cur ~interrupted =
+  let n = config.n in
+  let parents = h.parents () in
+  let forest = Fc.check ~prio:h.prio parents in
+  let forest_check =
+    mk "forest" (Fc.ok forest)
+      (if Fc.ok forest then "" else Format.asprintf "%a" Fc.pp forest)
+  in
+  if not (Fc.ok forest) then
+    (* Everything below chases parent chains or trusts the partition; a
+       structurally broken forest would send those checks spinning. *)
+    ( Some forest,
+      [
+        forest_check;
+        mk "find-idempotent" false "skipped: forest invalid";
+        mk "completed-unites" false "skipped: forest invalid";
+        mk "sameset-true" false "skipped: forest invalid";
+        mk "sameset-false" false "skipped: forest invalid";
+        mk "partition-sandwich" false "skipped: forest invalid";
+        mk "survivors-complete" false "skipped: forest invalid";
+        mk "survivor-hops" false "skipped: forest invalid";
+      ] )
+  else begin
+    let snap_roots = roots_of parents in
+    let all_completed = List.concat (List.init config.domains (completed_ops ~starts ~stops ~ops)) in
+    (* find agrees with the snapshot (same classes both ways) and is stable
+       when repeated — note find may compact, so this runs on the live
+       structure after the snapshot was taken. *)
+    let find_check =
+      let find_roots = Array.init n h.find in
+      let unstable = ref None in
+      for i = 0 to n - 1 do
+        if !unstable = None && h.find i <> find_roots.(i) then unstable := Some i
+      done;
+      match (refines snap_roots find_roots, refines find_roots snap_roots, !unstable) with
+      | None, None, None -> mk "find-idempotent" true ""
+      | Some (i, j), _, _ | _, Some (i, j), _ ->
+        mk "find-idempotent" false
+          (Printf.sprintf "find and snapshot disagree on nodes %d and %d" i j)
+      | _, _, Some i ->
+        mk "find-idempotent" false
+          (Printf.sprintf "find %d changed its answer at quiescence" i)
+    in
+    let unites_check =
+      let bad =
+        List.find_opt
+          (function
+            | _, _, Op.Unite (x, y) -> snap_roots.(x) <> snap_roots.(y)
+            | _ -> false)
+          all_completed
+      in
+      match bad with
+      | None -> mk "completed-unites" true ""
+      | Some (_, _, Op.Unite (x, y)) ->
+        mk "completed-unites" false
+          (Printf.sprintf "completed unite (%d, %d) not connected in final forest" x y)
+      | Some _ -> assert false
+    in
+    let true_check =
+      let bad = ref None in
+      Array.iteri
+        (fun k row ->
+          Array.iteri
+            (fun j r ->
+              if !bad = None && r = 1 then
+                match ops.(k).(j) with
+                | Op.Same_set (x, y) when snap_roots.(x) <> snap_roots.(y) ->
+                  bad := Some (x, y)
+                | _ -> ())
+            row)
+        results;
+      match !bad with
+      | None -> mk "sameset-true" true ""
+      | Some (x, y) ->
+        mk "sameset-true" false
+          (Printf.sprintf "same_set (%d, %d) answered true but they end up apart" x y)
+    in
+    (* A false answer is wrong if unites that fully completed before the
+       query was even issued had already connected its arguments: replay
+       completed unites in stop-stamp order into a sequential oracle and
+       test each false query at its start stamp. *)
+    let false_check =
+      let unites =
+        List.filter_map
+          (function
+            | _, stop, Op.Unite (x, y) -> Some (stop, x, y)
+            | _ -> None)
+          all_completed
+        |> List.sort compare
+      in
+      let queries = ref [] in
+      Array.iteri
+        (fun k row ->
+          Array.iteri
+            (fun j r ->
+              if r = 0 then
+                match ops.(k).(j) with
+                | Op.Same_set (x, y) -> queries := (starts.(k).(j), x, y) :: !queries
+                | _ -> ())
+            row)
+        results;
+      let queries = List.sort compare !queries in
+      let oracle = Seq.create n in
+      let pending = ref unites in
+      let bad = ref None in
+      List.iter
+        (fun (s, x, y) ->
+          let continue = ref true in
+          while !continue do
+            match !pending with
+            | (t, ux, uy) :: rest when t < s ->
+              Seq.unite oracle ux uy;
+              pending := rest
+            | _ -> continue := false
+          done;
+          if !bad = None && Seq.same_set oracle x y then bad := Some (x, y))
+        queries;
+      match !bad with
+      | None -> mk "sameset-false" true ""
+      | Some (x, y) ->
+        mk "sameset-false" false
+          (Printf.sprintf
+             "same_set (%d, %d) answered false after unites completed before it started had joined them"
+             x y)
+    in
+    (* Upper bound: every edge of the final forest must be justified by a
+       completed unite or by the single in-flight unite of an interrupted
+       worker.  (Compaction only rewires within a class, so an interrupted
+       find can never add connectivity.)  The lower bound — completed
+       unites are connected — is the completed-unites check above. *)
+    let sandwich_check =
+      let p1 = Seq.create n in
+      List.iter
+        (function _, _, Op.Unite (x, y) -> Seq.unite p1 x y | _ -> ())
+        all_completed;
+      List.iter
+        (fun k ->
+          let j = cur.(k) in
+          if j < config.ops_per_domain then
+            match ops.(k).(j) with Op.Unite (x, y) -> Seq.unite p1 x y | _ -> ())
+        interrupted;
+      let bad = ref None in
+      for i = 0 to n - 1 do
+        if !bad = None && parents.(i) <> i && not (Seq.same_set p1 i parents.(i))
+        then bad := Some i
+      done;
+      match !bad with
+      | None -> mk "partition-sandwich" true ""
+      | Some i ->
+        mk "partition-sandwich" false
+          (Printf.sprintf
+             "edge %d -> %d is not justified by any completed or in-flight unite" i
+             parents.(i))
+    in
+    (Some forest, [ forest_check; find_check; unites_check; true_check; false_check; sandwich_check ])
+  end
+
+(* ---------- the run ---------- *)
+
+let validate_config c =
+  if c.n < 2 then invalid_arg "Chaos: n must be >= 2";
+  if c.domains < 1 then invalid_arg "Chaos: domains must be >= 1";
+  if c.crash_domains < 0 || c.crash_domains > c.domains then
+    invalid_arg "Chaos: crash_domains must be between 0 and domains";
+  if c.ops_per_domain < 1 then invalid_arg "Chaos: ops_per_domain must be >= 1";
+  if c.stall_prob < 0. || c.stall_prob > 1. then
+    invalid_arg "Chaos: stall_prob must be in [0, 1]"
+
+let run_scenario ?(config = default_config) ~layout ~policy () =
+  validate_config config;
+  let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
+  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
+  let h = handle_of ~layout ~policy ~seed n in
+  let clock = Atomic.make 0 in
+  let starts = Array.init domains (fun _ -> Array.make m (-1)) in
+  let stops = Array.init domains (fun _ -> Array.make m (-1)) in
+  let results = Array.init domains (fun _ -> Array.make m (-1)) in
+  let cur = Array.make domains 0 in
+  let crash_site = Array.make domains None in
+  let failed = Array.make domains None in
+  let hops = Array.make domains 0 in
+  let worker k () =
+    Fi.enroll ~slot:k;
+    (try
+       for j = 0 to m - 1 do
+         cur.(k) <- j;
+         starts.(k).(j) <- Atomic.fetch_and_add clock 1;
+         (match ops.(k).(j) with
+          | Op.Unite (x, y) ->
+            h.unite x y;
+            results.(k).(j) <- 2
+          | Op.Same_set (x, y) -> results.(k).(j) <- (if h.same_set x y then 1 else 0)
+          | Op.Find x ->
+            ignore (h.find x);
+            results.(k).(j) <- 3);
+         stops.(k).(j) <- Atomic.fetch_and_add clock 1
+       done;
+       cur.(k) <- m
+     with
+    | Fi.Crashed (site, _) -> crash_site.(k) <- Some site
+    | e -> failed.(k) <- Some (Printexc.to_string e));
+    hops.(k) <- Fi.my_hops ()
+  in
+  Fi.arm (plan_of config);
+  let t0 = Unix.gettimeofday () in
+  let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join handles;
+  let seconds = Unix.gettimeofday () -. t0 in
+  Fi.disarm ();
+  let fault_totals = Fi.totals () in
+  let crashed =
+    List.filter_map
+      (fun k -> Option.map (fun site -> (k, site)) crash_site.(k))
+      (List.init domains Fun.id)
+  in
+  let failures =
+    List.filter_map
+      (fun k -> Option.map (fun msg -> (k, msg)) failed.(k))
+      (List.init domains Fun.id)
+  in
+  let completed =
+    Array.init domains (fun k ->
+        let c = ref 0 in
+        Array.iter (fun s -> if s >= 0 then incr c) stops.(k);
+        !c)
+  in
+  let interrupted =
+    List.filter
+      (fun k -> crash_site.(k) <> None || failed.(k) <> None)
+      (List.init domains Fun.id)
+  in
+  let forest, checks =
+    if not config.validate then (None, [])
+    else begin
+      let forest, checks =
+        audit ~config ~h ~ops ~starts ~stops ~results ~cur ~interrupted
+      in
+      let plan_check =
+        (* Only planned victims may crash; whether every planned victim's
+           countdown was reached depends on the workload length, so unfired
+           victims are not a failure. *)
+        match List.find_opt (fun (k, _) -> k >= config.crash_domains) crashed with
+        | None -> mk "crash-plan" true ""
+        | Some (k, site) ->
+          mk "crash-plan" false
+            (Printf.sprintf "slot %d crashed at %s without a crash rule" k
+               (Site.to_string site))
+      in
+      let survivors =
+        List.filter (fun k -> crash_site.(k) = None && failed.(k) = None)
+          (List.init domains Fun.id)
+      in
+      let complete_check =
+        match List.find_opt (fun k -> completed.(k) < m) survivors with
+        | None -> mk "survivors-complete" true ""
+        | Some k ->
+          mk "survivors-complete" false
+            (Printf.sprintf "survivor %d completed only %d of %d ops" k completed.(k) m)
+      in
+      let hop_check =
+        let budget = hop_budget config.n in
+        let over =
+          List.find_opt
+            (fun k ->
+              completed.(k) > 0
+              && float_of_int hops.(k) /. float_of_int completed.(k) > budget)
+            survivors
+        in
+        match over with
+        | None -> mk "survivor-hops" true ""
+        | Some k ->
+          mk "survivor-hops" false
+            (Printf.sprintf "survivor %d averaged %.1f own hops/op (budget %.1f)" k
+               (float_of_int hops.(k) /. float_of_int completed.(k))
+               budget)
+      in
+      (forest, checks @ [ plan_check; complete_check; hop_check ])
+    end
+  in
+  {
+    layout;
+    policy;
+    crashed;
+    completed;
+    failures;
+    hops;
+    fault_totals;
+    forest;
+    checks;
+    seconds;
+  }
+
+let run_all ?(config = default_config) ?progress () =
+  let emit s = match progress with None -> () | Some f -> f s in
+  List.concat_map
+    (fun layout ->
+      List.map
+        (fun policy ->
+          let s = run_scenario ~config ~layout ~policy () in
+          emit s;
+          s)
+        config.policies)
+    config.layouts
+
+(* ---------- reporting ---------- *)
+
+let scenario_to_json (s : scenario) =
+  let t = s.fault_totals in
+  J.Obj
+    [
+      ("layout", J.String (Scalability.layout_to_string s.layout));
+      ("policy", J.String (Policy.to_string s.policy));
+      ("seconds", J.Float s.seconds);
+      ( "crashed",
+        J.List
+          (List.map
+             (fun (k, site) ->
+               J.Obj [ ("slot", J.Int k); ("site", J.String (Site.to_string site)) ])
+             s.crashed) );
+      ( "failures",
+        J.List
+          (List.map
+             (fun (k, msg) -> J.Obj [ ("slot", J.Int k); ("error", J.String msg) ])
+             s.failures) );
+      ("completed", J.List (Array.to_list (Array.map (fun c -> J.Int c) s.completed)));
+      ("hops", J.List (Array.to_list (Array.map (fun h -> J.Int h) s.hops)));
+      ( "faults",
+        J.Obj
+          [
+            ("site_hits", J.Int t.Fi.hits);
+            ("yields", J.Int t.Fi.yields);
+            ("stalls", J.Int t.Fi.stalls);
+            ("crashes", J.Int t.Fi.crashes);
+          ] );
+      ("forest", (match s.forest with None -> J.Null | Some r -> Fc.to_json r));
+      ( "checks",
+        J.List
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("name", J.String c.check_name);
+                   ("ok", J.Bool c.passed);
+                   ("detail", J.String c.detail);
+                 ])
+             s.checks) );
+      ("ok", J.Bool (scenario_ok s));
+    ]
+
+let to_json ?(config = default_config) scenarios =
+  J.Obj
+    [
+      ("schema", J.String "dsu-chaos/v1");
+      ("n", J.Int config.n);
+      ("ops_per_domain", J.Int config.ops_per_domain);
+      ("domains", J.Int config.domains);
+      ("crash_domains", J.Int config.crash_domains);
+      ("crash_after", J.Int config.crash_after);
+      ("stall_prob", J.Float config.stall_prob);
+      ("stall_len", J.Int config.stall_len);
+      ("unite_percent", J.Int config.unite_percent);
+      ("seed", J.Int config.seed);
+      ("fault_seed", J.Int config.fault_seed);
+      ("validate", J.Bool config.validate);
+      ("scenarios", J.List (List.map scenario_to_json scenarios));
+      ("ok", J.Bool (List.for_all scenario_ok scenarios));
+    ]
+
+let pp_scenario ppf (s : scenario) =
+  let t = s.fault_totals in
+  Format.fprintf ppf "@[<v>%s/%s: %s in %.2fs@,"
+    (Scalability.layout_to_string s.layout)
+    (Policy.to_string s.policy)
+    (if scenario_ok s then "OK" else "FAILED")
+    s.seconds;
+  Format.fprintf ppf "  faults: %d site hits, %d yields, %d stalls, %d crashes@,"
+    t.Fi.hits t.Fi.yields t.Fi.stalls t.Fi.crashes;
+  List.iter
+    (fun (k, site) ->
+      Format.fprintf ppf "  crashed: slot %d at %s after %d ops@," k
+        (Site.to_string site) s.completed.(k))
+    s.crashed;
+  List.iter
+    (fun (k, msg) -> Format.fprintf ppf "  worker %d failed: %s@," k msg)
+    s.failures;
+  List.iter
+    (fun c ->
+      if not c.passed then
+        Format.fprintf ppf "  check %s FAILED: %s@," c.check_name c.detail)
+    s.checks;
+  (match s.forest with
+  | Some r when Fc.ok r ->
+    Format.fprintf ppf "  forest: %d nodes, %d roots, max depth %d@," r.Fc.nodes
+      r.Fc.roots r.Fc.max_depth
+  | _ -> ());
+  Format.fprintf ppf "@]"
+
+let pp ppf scenarios =
+  List.iter (fun s -> Format.fprintf ppf "%a@." pp_scenario s) scenarios

@@ -1,0 +1,111 @@
+(** The chaos harness: drive the native concurrent DSU under injected
+    faults — crash-stopped domains, stall storms, adversarial yields — and
+    then prove the structure and the surviving domains' answers are still
+    correct.
+
+    Each {b scenario} runs one (layout, policy) pair: [domains] OCaml
+    domains execute pre-generated random [Unite]/[SameSet] streams against
+    one shared structure while a {!Repro_fault.Inject} plan is armed.  The
+    first [crash_domains] slots carry a crash-stop rule (they abandon an
+    operation mid-flight, wherever the countdown lands them — possibly
+    between the two reads of splitting or on either side of a CAS); every
+    slot carries probabilistic stall and yield rules.  Survivors must
+    finish their full streams unassisted — that is Theorem 3.4's
+    wait-freedom claim under the strongest adversary it tolerates.
+
+    At quiescence the harness disarms injection and audits the run:
+
+    - {b forest}: {!Repro_fault.Forest_check} on the parent snapshot
+      (range, priority order, acyclicity);
+    - {b find-idempotence}: [find] agrees with the snapshot's root chains
+      and is stable when repeated;
+    - {b completed-unites} / {b sameset-true}: every completed [Unite] and
+      every [SameSet] that answered [true] is connected in the final
+      partition;
+    - {b sameset-false}: a timestamp sweep against a sequential oracle —
+      no [SameSet] answered [false] after unites that fully completed
+      before it started had already connected its arguments;
+    - {b partition-sandwich}: the final partition is refined below by the
+      completed unites and above by completed plus crashed-in-flight
+      unites (compaction never changes the partition, so an interrupted
+      [find] cannot widen it);
+    - {b survivors}: every non-crashed domain completed every operation,
+      within a mean own-hops-per-op budget of [16 * (log2 n + 2)]
+      (own traversal work, counted at the [Find_hop] site).
+
+    Results are reported per scenario as named pass/fail {!check}s, a
+    human summary ({!pp}) and the machine-readable ["dsu-chaos/v1"] JSON
+    ({!to_json}); fault counters also land in the {!Repro_obs.Metrics}
+    default registry.  CLI entry point: [dsu_workload --chaos]; see
+    docs/ROBUSTNESS.md. *)
+
+type config = {
+  n : int;  (** number of nodes *)
+  ops_per_domain : int;
+  domains : int;
+  crash_domains : int;  (** slots [0 .. crash_domains-1] get a crash rule *)
+  crash_after : int;  (** base site-hit countdown before a crash fires *)
+  stall_prob : float;  (** per-site-hit stall probability, every slot *)
+  stall_len : int;  (** stall length in [cpu_relax] iterations *)
+  unite_percent : int;  (** percentage of [Unite] ops, rest [SameSet] *)
+  seed : int;  (** workload + structure seed *)
+  fault_seed : int;  (** injection-plan seed ({!Repro_fault.Inject.plan}) *)
+  policies : Dsu.Find_policy.t list;
+  layouts : Scalability.layout list;
+  validate : bool;  (** run the post-quiescence audit (default) *)
+}
+
+val default_config : config
+(** n = 4096, 20k ops per domain, 8 domains with 2 crashing, 1% stalls of
+    64 relax-iterations, 40% unites, two-try splitting on the flat
+    layout, validation on. *)
+
+type check = {
+  check_name : string;
+  passed : bool;
+  detail : string;  (** empty when passed; first counterexample when not *)
+}
+
+type scenario = {
+  layout : Scalability.layout;
+  policy : Dsu.Find_policy.t;
+  crashed : (int * Repro_fault.Site.t) list;
+      (** slots whose crash rule fired, with the site it fired at *)
+  completed : int array;  (** operations completed, per slot *)
+  failures : (int * string) list;
+      (** unexpected worker exceptions (never {!Repro_fault.Inject.Crashed}) *)
+  hops : int array;  (** own [Find_hop] count, per slot *)
+  fault_totals : Repro_fault.Inject.totals;
+  forest : Repro_fault.Forest_check.report option;  (** when validating *)
+  checks : check list;  (** empty when [validate = false] *)
+  seconds : float;
+}
+
+val scenario_ok : scenario -> bool
+(** No unexpected worker exceptions and every check passed. *)
+
+val run_scenario :
+  ?config:config ->
+  layout:Scalability.layout ->
+  policy:Dsu.Find_policy.t ->
+  unit ->
+  scenario
+(** One armed run plus its audit.  Arms the global injection switch for
+    the duration — do not run concurrently with other DSU work.
+    @raise Invalid_argument on nonsensical config ([domains < 1],
+    [crash_domains] outside [0..domains], [n < 2]). *)
+
+val run_all : ?config:config -> ?progress:(scenario -> unit) -> unit -> scenario list
+(** The [layouts × policies] cross product; [progress] after each. *)
+
+val hop_budget : int -> float
+(** [16 * (log2 n + 2)] — the mean own-hops-per-op ceiling asserted for
+    survivors. *)
+
+val scenario_to_json : scenario -> Repro_obs.Json.t
+val to_json : ?config:config -> scenario list -> Repro_obs.Json.t
+(** The ["dsu-chaos/v1"] document: config echo plus one object per
+    scenario. *)
+
+val pp_scenario : Format.formatter -> scenario -> unit
+val pp : Format.formatter -> scenario list -> unit

@@ -8,6 +8,7 @@ type sim_result = {
   spec : Dsu.Sim.spec;
   history : Apram.History.t;
   obs : Repro_obs.Metrics.snapshot;
+  crashed : int list;
 }
 
 let run_sim ?sched ?policy ?early ?init_parents ?max_steps ~n ~seed ~ops () =
@@ -39,6 +40,7 @@ let run_sim ?sched ?policy ?early ?init_parents ?max_steps ~n ~seed ~ops () =
     spec;
     history = outcome.Apram.Sim.history;
     obs = Repro_obs.Metrics.snapshot ();
+    crashed = outcome.Apram.Sim.crashed;
   }
 
 type aw_result = {

@@ -17,6 +17,10 @@ type sim_result = {
           before the run.  The registry is process-global and cumulative
           across runs; [Repro_obs.Metrics.reset ()] between runs isolates
           one run's figures. *)
+  crashed : int list;
+      (** pids crash-stopped by the scheduler (non-empty only under
+          {!Apram.Scheduler.crash}); their in-flight ops are absent from
+          [op_costs]. *)
 }
 
 val run_sim :

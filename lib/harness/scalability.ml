@@ -26,6 +26,7 @@ type point = {
   total_ops : int;
   seconds : float;
   mops_per_sec : float;
+  failures : (int * string) list;
 }
 
 type config = {
@@ -61,18 +62,35 @@ let gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain =
           if Rng.int rng 100 < unite_percent then Workload.Op.Unite (x, y)
           else Workload.Op.Same_set (x, y)))
 
+(* Every worker body is wrapped so an exception in one domain is captured
+   into its slot instead of escaping through [Domain.join]: re-raising
+   mid-join would abandon the remaining joins, leaving live domains racing
+   on a structure the caller believes quiesced.  All joins always complete;
+   failures are reported per-domain afterwards. *)
 let time_run ~domains ~(run : int -> unit) =
+  let errors = Array.make domains None in
   let t0 = Unix.gettimeofday () in
-  let handles = List.init domains (fun k -> Domain.spawn (fun () -> run k)) in
+  let handles =
+    List.init domains (fun k ->
+        Domain.spawn (fun () ->
+            try run k
+            with e -> errors.(k) <- Some (Printexc.to_string e)))
+  in
   List.iter Domain.join handles;
-  Unix.gettimeofday () -. t0
+  let seconds = Unix.gettimeofday () -. t0 in
+  let failures =
+    Array.to_list errors
+    |> List.mapi (fun k e -> (k, e))
+    |> List.filter_map (fun (k, e) -> Option.map (fun msg -> (k, msg)) e)
+  in
+  (seconds, failures)
 
 let run_point ?(config = default_config) ~layout ~policy ~domains () =
   if domains < 1 then invalid_arg "Scalability.run_point: domains must be >= 1";
   let { n; total_ops; unite_percent; seed; _ } = config in
   let ops_per_domain = max 1 (total_ops / domains) in
   let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain in
-  let seconds =
+  let seconds, failures =
     match layout with
     | Flat ->
       let d = Dsu.Native.create ~policy ~seed n in
@@ -93,6 +111,7 @@ let run_point ?(config = default_config) ~layout ~policy ~domains () =
     total_ops = total;
     seconds;
     mops_per_sec = (float_of_int total /. seconds) /. 1e6;
+    failures;
   }
 
 let sweep ?(config = default_config) ?progress () =
@@ -120,6 +139,12 @@ let point_to_json (p : point) =
       ("total_ops", J.Int p.total_ops);
       ("seconds", J.Float p.seconds);
       ("mops_per_sec", J.Float p.mops_per_sec);
+      ( "failures",
+        J.List
+          (List.map
+             (fun (k, msg) ->
+               J.Obj [ ("domain", J.Int k); ("error", J.String msg) ])
+             p.failures) );
     ]
 
 let to_json ?(config = default_config) points =
@@ -135,7 +160,8 @@ let to_json ?(config = default_config) points =
 
 let pp_table ppf points =
   let table =
-    Table.create ~headers:[ "layout"; "policy"; "domains"; "Mops/s"; "vs 1-dom" ]
+    Table.create
+      ~headers:[ "layout"; "policy"; "domains"; "Mops/s"; "vs 1-dom"; "errs" ]
   in
   let base = Hashtbl.create 8 in
   List.iter
@@ -155,6 +181,15 @@ let pp_table ppf points =
           Table.cell_int p.domains;
           Table.cell_float p.mops_per_sec;
           speedup;
+          (if p.failures = [] then "-" else Table.cell_int (List.length p.failures));
         ])
     points;
-  Table.pp ppf table
+  Table.pp ppf table;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (k, msg) ->
+          Format.fprintf ppf "@.worker failure: %s/%s domain %d: %s"
+            (layout_to_string p.layout) (Policy.to_string p.policy) k msg)
+        p.failures)
+    points

@@ -31,6 +31,11 @@ type point = {
   total_ops : int;  (** ops actually executed, summed over domains *)
   seconds : float;
   mops_per_sec : float;
+  failures : (int * string) list;
+      (** worker exceptions captured per domain as [(domain_index, message)];
+          empty on a clean run.  Workers never abort the measurement: every
+          domain is always joined, and failures surface here, in the JSON
+          ([failures] array per point) and below {!pp_table}'s output. *)
 }
 
 type config = {

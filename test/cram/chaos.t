@@ -1,0 +1,58 @@
+The chaos harness runs a crash scenario, audits it, and reports success:
+
+  $ ../../bin/dsu_workload.exe chaos -n 512 --ops 3000 --domains 4 \
+  >   --crash-domains 1 --crash-after 400 --seed 11 --fault-seed 7 \
+  >   --validate | tail -1
+  chaos: 1 scenario(s), all checks passed
+
+The victim is one of the planned slots and the crash is counted:
+
+  $ ../../bin/dsu_workload.exe chaos -n 512 --ops 3000 --domains 4 \
+  >   --crash-domains 1 --crash-after 400 --seed 11 --fault-seed 7 \
+  >   --validate | grep -c 'crashed: slot 0'
+  1
+
+The dsu-chaos/v1 JSON report is written and well-formed enough to grep:
+
+  $ ../../bin/dsu_workload.exe chaos -n 256 --ops 1500 --domains 4 \
+  >   --crash-domains 1 --crash-after 300 --json chaos.json > /dev/null
+  $ grep -c '"schema":"dsu-chaos/v1"' chaos.json
+  1
+  $ grep -c '"ok":true' chaos.json
+  1
+
+A crash-free run with the audit disabled still reports the scenario:
+
+  $ ../../bin/dsu_workload.exe chaos -n 256 --ops 1000 --domains 2 \
+  >   --crash-domains 0 --no-validate | tail -1
+  chaos: 1 scenario(s), all checks passed
+
+Bad flag combinations are reported as CLI errors, not backtraces:
+
+  $ ../../bin/dsu_workload.exe chaos --crash-domains 99
+  dsu_workload: --crash-domains must be between 0 and --domains
+  [124]
+
+  $ ../../bin/dsu_workload.exe native --domains 0
+  dsu_workload: --domains must be >= 1
+  [124]
+
+  $ ../../bin/dsu_workload.exe native --impl seq --domains 2
+  dsu_workload: --impl seq is single-threaded; use --domains 1
+  [124]
+
+The simulator's crash-stop scheduler reports the killed pids:
+
+  $ ../../bin/dsu_workload.exe sim -n 128 --ops 600 --procs 4 --seed 3 \
+  >   --sched crash:0,1:200 | grep crashed
+  crashed:       0, 1 (in-flight ops abandoned)
+
+  $ ../../bin/dsu_workload.exe sim --sched crash:9:100 --procs 2
+  dsu_workload: crash victims must be pids in [0, procs)
+  [124]
+
+The stall-storm scheduler still lets every operation finish:
+
+  $ ../../bin/dsu_workload.exe sim -n 64 --ops 200 --procs 3 --seed 5 \
+  >   --sched stall-storm:30:6 | grep operations
+  operations:    200 on 3 processes (stall-storm-30 schedule)

@@ -22,6 +22,10 @@ valid JSON, and no negative values anywhere.
   dsu_outer_retries_total counter
   dsu_same_set_latency_ns histogram
   dsu_unite_latency_ns histogram
+  fault_crashes_total counter
+  fault_site_hits_total counter
+  fault_stalls_total counter
+  fault_yields_total counter
   dsu_stats object
 
 Every histogram line carries the quantile summary:

@@ -422,6 +422,77 @@ let run_ops_tests =
           (List.rev !log));
   ]
 
+(* ----------------------------------------------------- fault schedulers *)
+
+let spin_reads n () =
+  for _ = 1 to n do
+    ignore (Process.read 0)
+  done
+
+let fault_sched_tests =
+  [
+    case "crash scheduler kills its victims, survivors finish" (fun () ->
+        let ops = Array.make 3 [ spin_reads 50 ] in
+        let outcome =
+          Sim.run_ops ~mem_size:1 ~init:(fun _ -> 0)
+            ~sched:(Scheduler.crash ~seed:3 ~victims:[ 1 ] ~after:5)
+            ops
+        in
+        check Alcotest.(list int) "crashed" [ 1 ] outcome.Sim.crashed;
+        check Alcotest.bool "victim stopped early" true (outcome.Sim.steps.(1) < 50);
+        check Alcotest.int "survivor 0 finished" 50 outcome.Sim.steps.(0);
+        check Alcotest.int "survivor 2 finished" 50 outcome.Sim.steps.(2));
+    case "crash leaves the victim's op pending in the history" (fun () ->
+        let op pid () =
+          Process.record_invoke ~name:"op" ~args:[ pid ];
+          spin_reads 40 ();
+          Process.record_return 0
+        in
+        let ops = Array.init 2 (fun pid -> [ op pid ]) in
+        let outcome =
+          Sim.run_ops ~mem_size:1 ~init:(fun _ -> 0)
+            ~sched:(Scheduler.crash ~seed:7 ~victims:[ 0 ] ~after:4)
+            ops
+        in
+        check Alcotest.(list int) "crashed" [ 0 ] outcome.Sim.crashed;
+        let pending = History.pending_calls outcome.Sim.history in
+        check Alcotest.int "one pending call" 1 (List.length pending);
+        let pid, call = List.hd pending in
+        check Alcotest.int "pending pid" 0 pid;
+        check Alcotest.string "pending op" "op" call.History.name);
+    case "crash with no victims is a plain random schedule" (fun () ->
+        let ops = Array.make 2 [ spin_reads 20 ] in
+        let outcome =
+          Sim.run_ops ~mem_size:1 ~init:(fun _ -> 0)
+            ~sched:(Scheduler.crash ~seed:5 ~victims:[] ~after:1)
+            ops
+        in
+        check Alcotest.(list int) "crashed" [] outcome.Sim.crashed;
+        check Alcotest.int "all steps" 40 outcome.Sim.total_steps);
+    case "stall storm terminates with everyone finished" (fun () ->
+        let ops = Array.make 4 [ spin_reads 30 ] in
+        let outcome =
+          Sim.run_ops ~mem_size:1 ~init:(fun _ -> 0)
+            ~sched:(Scheduler.stall_storm ~seed:9 ~prob_percent:30 ~stall:8)
+            ops
+        in
+        check Alcotest.(list int) "no crashes" [] outcome.Sim.crashed;
+        Array.iter (fun s -> check Alcotest.int "finished" 30 s) outcome.Sim.steps);
+    case "stall storm is deterministic given the seed" (fun () ->
+        let run () =
+          let trace = ref [] in
+          let outcome =
+            Sim.run_ops ~mem_size:1 ~init:(fun _ -> 0)
+              ~on_step:(fun ~pid ~op:_ ~result:_ -> trace := pid :: !trace)
+              ~sched:(Scheduler.stall_storm ~seed:13 ~prob_percent:25 ~stall:4)
+              (Array.make 3 [ spin_reads 15 ])
+          in
+          (outcome.Sim.total_steps, List.rev !trace)
+        in
+        let a = run () and b = run () in
+        check Alcotest.(pair int (list int)) "same schedule" a b);
+  ]
+
 let () =
   Alcotest.run "apram"
     [
@@ -431,4 +502,5 @@ let () =
       ("trace", trace_tests);
       ("explore", explore_tests);
       ("run_ops", run_ops_tests);
+      ("fault_sched", fault_sched_tests);
     ]

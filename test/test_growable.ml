@@ -205,6 +205,126 @@ let unbounded_tests =
           (fun () -> ignore (U.create ~chunk_size:0 ())));
   ]
 
+(* ------------------------------------------------------ chunk directory *)
+
+module Chunked = U.Chunked
+
+let chunked_tests =
+  [
+    case "ensure grows to cover the index" (fun () ->
+        let c = Chunked.create ~chunk_size:4 ~init:(fun ~base j -> base + j) in
+        check Alcotest.int "empty" 0 (Chunked.capacity c);
+        Chunked.ensure c 7;
+        check Alcotest.int "capacity" 8 (Chunked.capacity c);
+        check Alcotest.int "chunks" 2 (Chunked.chunk_count c);
+        check Alcotest.int "init value" 7 (Chunked.get c 7));
+    case "set and cas on created cells" (fun () ->
+        let c = Chunked.create ~chunk_size:2 ~init:(fun ~base:_ _ -> 0) in
+        Chunked.ensure c 3;
+        Chunked.set c 3 42;
+        check Alcotest.int "set" 42 (Chunked.get c 3);
+        check Alcotest.bool "cas ok" true (Chunked.cas c 3 42 43);
+        check Alcotest.bool "cas stale" false (Chunked.cas c 3 42 44);
+        check Alcotest.int "final" 43 (Chunked.get c 3));
+    case "out-of-capacity access raises instead of spinning" (fun () ->
+        let c = Chunked.create ~chunk_size:4 ~init:(fun ~base j -> base + j) in
+        Chunked.ensure c 3;
+        Alcotest.check_raises "beyond capacity"
+          (Invalid_argument
+             "Growable_unbounded: cell 100 out of capacity 4 with no growth \
+              in progress")
+          (fun () -> ignore (Chunked.get c 100)));
+    case "error names the live capacity, not the stale snapshot" (fun () ->
+        let c = Chunked.create ~chunk_size:4 ~init:(fun ~base j -> base + j) in
+        Chunked.ensure c 11;
+        Alcotest.check_raises "beyond capacity"
+          (Invalid_argument
+             "Growable_unbounded: cell 50 out of capacity 12 with no growth \
+              in progress")
+          (fun () -> ignore (Chunked.set c 50 1)));
+  ]
+
+(* ------------------------------------------------- multi-domain vs oracle *)
+
+(* The chaos-adjacent stress test: 4 domains interleave [make_set], [unite]
+   and [find]/[same_set] on one unbounded structure, publishing created
+   slots through a shared board so cross-domain unions only ever touch
+   fully created elements.  Every completed unite is recorded; at
+   quiescence the final partition must coincide exactly with a sequential
+   oracle replaying those unites. *)
+
+let stress_tests =
+  let refines a b =
+    (* every [a]-class sits inside one [b]-class *)
+    let tbl = Hashtbl.create 97 in
+    Array.for_all2
+      (fun ra rb ->
+        match Hashtbl.find_opt tbl ra with
+        | None ->
+          Hashtbl.add tbl ra rb;
+          true
+        | Some rb' -> rb = rb')
+      a b
+  in
+  [
+    case "4-domain make_set/unite/find agrees with sequential oracle" (fun () ->
+        let domains = 4 and per_domain = 600 in
+        let g = U.create ~chunk_size:16 ~seed:29 () in
+        let board = Array.init (domains * per_domain) (fun _ -> Atomic.make (-1)) in
+        let reserved = Atomic.make 0 in
+        let unites = Array.make domains [] in
+        let worker k () =
+          let rng = Repro_util.Rng.create (100 + k) in
+          let pick_published last =
+            let c = Atomic.get reserved in
+            if c = 0 then last
+            else
+              let v = Atomic.get board.(Repro_util.Rng.int rng c) in
+              if v < 0 then last else Some v
+          in
+          let last = ref None in
+          for _ = 1 to per_domain do
+            let e = U.make_set g in
+            Atomic.set board.(Atomic.fetch_and_add reserved 1) e;
+            last := Some e;
+            (* a couple of random ops against published elements *)
+            for _ = 1 to 2 do
+              match (pick_published !last, pick_published !last) with
+              | Some x, Some y ->
+                if Repro_util.Rng.bool rng then begin
+                  U.unite g x y;
+                  unites.(k) <- (x, y) :: unites.(k)
+                end
+                else begin
+                  ignore (U.same_set g x y);
+                  ignore (U.find g x)
+                end
+              | _ -> ()
+            done
+          done
+        in
+        let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
+        List.iter Domain.join handles;
+        let n = U.cardinal g in
+        check Alcotest.int "all created" (domains * per_domain) n;
+        let oracle = Sequential.Seq_dsu.create n in
+        Array.iter
+          (List.iter (fun (x, y) -> Sequential.Seq_dsu.unite oracle x y))
+          unites;
+        let g_roots = Array.init n (U.find g) in
+        let o_roots = Array.init n (Sequential.Seq_dsu.find oracle) in
+        check Alcotest.bool "no extra connectivity" true (refines g_roots o_roots);
+        check Alcotest.bool "no lost unions" true (refines o_roots g_roots);
+        check Alcotest.int "set counts agree"
+          (Sequential.Seq_dsu.count_sets oracle)
+          (U.count_sets g));
+  ]
+
 let () =
   Alcotest.run "growable"
-    [ ("growable", tests); ("unbounded", unbounded_tests) ]
+    [
+      ("growable", tests);
+      ("unbounded", unbounded_tests);
+      ("chunked", chunked_tests);
+      ("stress", stress_tests);
+    ]
