@@ -9,7 +9,10 @@
      dsu_workload sim --procs 8 --sched cas-adversary -n 4096
      dsu_workload sim --procs 8 --sched crash:0,1:400
      dsu_workload lincheck --trials 200 --procs 3
-     dsu_workload chaos --domains 8 --crash-domains 2 --validate *)
+     dsu_workload chaos --domains 8 --crash-domains 2 --validate
+     dsu_workload chaos --crash-domains 2 --recover --snapshot-out crash
+     dsu_workload snapshot -n 4096 --ops 20000 --snapshot-out dsu.snap
+     dsu_workload restore --resume-from dsu.snap --repair --validate *)
 
 open Cmdliner
 
@@ -464,6 +467,9 @@ let run_lincheck n procs ops_per_proc trials seed sched_kind =
   let* () = check_arg (trials >= 1) "--trials must be >= 1" in
   let rng = Rng.create seed in
   let failures = ref 0 in
+  let crash_histories = ref 0 in
+  let linearized = ref 0 in
+  let vanished = ref 0 in
   for trial = 1 to trials do
     let ops =
       Array.init procs (fun _ ->
@@ -476,14 +482,37 @@ let run_lincheck n procs ops_per_proc trials seed sched_kind =
     List.iter
       (fun policy ->
         let r = Harness.Measure.run_sim ~sched ~policy ~n ~seed:trial ~ops () in
-        match Lincheck.Checker.check ~n r.Harness.Measure.history with
-        | Lincheck.Checker.Linearizable -> ()
-        | Lincheck.Checker.Not_linearizable msg ->
-          incr failures;
-          Printf.printf "VIOLATION (policy %s): %s\n" (Policy.to_string policy) msg)
+        let history = r.Harness.Measure.history in
+        if Apram.History.pending_calls history = [] then (
+          match Lincheck.Checker.check ~n history with
+          | Lincheck.Checker.Linearizable -> ()
+          | Lincheck.Checker.Not_linearizable msg ->
+            incr failures;
+            Printf.printf "VIOLATION (policy %s): %s\n" (Policy.to_string policy) msg)
+        else begin
+          (* Crashed processes left pending invocations: check strict
+             linearizability against the quiescent memory — every pending
+             op must fully linearize or fully vanish. *)
+          incr crash_histories;
+          let final_roots =
+            Dsu.Sim.roots_of_memory r.Harness.Measure.spec r.Harness.Measure.memory
+          in
+          let v = Lincheck.Checker.check_crash ~n ~final_roots history in
+          linearized := !linearized + List.length v.Lincheck.Checker.linearized;
+          vanished := !vanished + List.length v.Lincheck.Checker.vanished;
+          if not v.Lincheck.Checker.crash_ok then begin
+            incr failures;
+            Printf.printf "VIOLATION (policy %s): %s\n" (Policy.to_string policy)
+              v.Lincheck.Checker.crash_detail
+          end
+        end)
       Policy.all
   done;
   let total = trials * List.length Policy.all in
+  if !crash_histories > 0 then
+    Printf.printf
+      "%d histories had crashed processes: %d pending ops linearized, %d vanished\n"
+      !crash_histories !linearized !vanished;
   Printf.printf "%d histories checked, %d violations\n" total !failures;
   if !failures > 0 then exit 1;
   Ok ()
@@ -498,6 +527,197 @@ let lincheck_cmd =
       term_result
         (const run_lincheck $ n_small $ procs_arg $ ops_per_proc_arg
         $ trials_arg $ seed_arg $ sched_arg))
+
+(* ---------------------------------------------------- snapshot / restore *)
+
+module Rsnap = Repro_recover.Snapshot
+module Rrepair = Repro_recover.Repair
+module Rrestore = Repro_recover.Restore
+
+let snapshot_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("binary", Rsnap.Binary); ("json", Rsnap.Json) ]) Rsnap.Binary
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Snapshot encoding: binary or json.")
+
+let write_snapshot_or_die ~format path snap =
+  try
+    Rsnap.write_file ~format path snap;
+    Ok ()
+  with Sys_error msg -> Error (`Msg (Printf.sprintf "cannot write snapshot: %s" msg))
+
+let in_domains_apply ~domains ~unite ~same_set ~find buckets =
+  let apply bucket =
+    List.iter
+      (fun op ->
+        match op with
+        | Workload.Op.Unite (x, y) -> unite x y
+        | Workload.Op.Same_set (x, y) -> ignore (same_set x y : bool)
+        | Workload.Op.Find x -> ignore (find x : int))
+      bucket
+  in
+  let handles =
+    List.init domains (fun k -> Domain.spawn (fun () -> apply buckets.(k)))
+  in
+  List.iter Domain.join handles
+
+let run_snapshot policy n ops unite_frac seed domains snapshot_out format corrupt =
+  let* () = check_arg (n >= 2) "--elements must be >= 2" in
+  let* () = check_arg (ops >= 0) "--ops must be >= 0" in
+  let* () = check_arg (domains >= 1) "--domains must be >= 1" in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  let d = Dsu.Native.create ~policy ~seed n in
+  let buckets =
+    Workload.Op.round_robin (workload ~n ~ops ~unite_frac ~seed) ~p:domains
+  in
+  in_domains_apply ~domains ~unite:(Dsu.Native.unite d)
+    ~same_set:(Dsu.Native.same_set d) ~find:(Dsu.Native.find d) buckets;
+  let sets = Dsu.Native.count_sets d in
+  let snap = Rsnap.of_native d in
+  let snap =
+    if not corrupt then snap
+    else begin
+      (* Testing hook: introduce a 2-cycle so the file decodes (the
+         checksum is honest) but fails forest validation until --repair. *)
+      let parents = Array.copy snap.Rsnap.parents in
+      parents.(0) <- 1;
+      parents.(1) <- 0;
+      { snap with Rsnap.parents }
+    end
+  in
+  let* () = write_snapshot_or_die ~format snapshot_out snap in
+  Printf.printf "snapshot: %d elements, %d sets, crc %08x -> %s%s\n" n sets
+    (Rsnap.checksum snap) snapshot_out
+    (if corrupt then " (forest deliberately corrupted)" else "");
+  Ok ()
+
+let snapshot_cmd =
+  let doc = "Run a native workload and write a checkpoint snapshot." in
+  let snapshot_out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "snapshot-out" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  let corrupt =
+    Arg.(
+      value & flag
+      & info [ "corrupt" ]
+          ~doc:
+            "(testing) Corrupt the written forest with a parent cycle — the \
+             checksum stays valid, so loading exercises $(b,restore --repair).")
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(
+      term_result
+        (const run_snapshot $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg
+        $ seed_arg $ domains_arg $ snapshot_out $ snapshot_format_arg $ corrupt))
+
+let resume_ops_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "ops" ] ~docv:"M"
+        ~doc:"Operations to run against the restored structure (0 = none).")
+
+let run_restore policy resume_from repair validate ops unite_frac seed domains
+    snapshot_out format =
+  let* () = check_arg (ops >= 0) "--ops must be >= 0" in
+  let* () = check_arg (domains >= 1) "--domains must be >= 1" in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  let* snap =
+    match Rsnap.read_file resume_from with
+    | Ok s -> Ok s
+    | Error e -> Error (`Msg (Printf.sprintf "cannot load %s: %s" resume_from e))
+  in
+  let snap, fixes = if repair then Rrepair.repair snap else (snap, []) in
+  List.iter
+    (fun fix -> Format.printf "repair: %a@." Rrepair.pp_fix fix)
+    fixes;
+  let* restored =
+    match Rrestore.restore_result ~policy snap with
+    | Ok r -> Ok r
+    | Error msg ->
+      Error
+        (`Msg (if repair then msg else msg ^ " (a corrupted snapshot may need --repair)"))
+  in
+  let count = Rrestore.n restored in
+  Printf.printf "restored: %s snapshot, %d elements, %d sets\n"
+    (Rsnap.kind_to_string (Rrestore.kind restored))
+    count
+    (Rrestore.count_sets restored);
+  if ops > 0 then begin
+    let buckets =
+      Workload.Op.round_robin (workload ~n:count ~ops ~unite_frac ~seed) ~p:domains
+    in
+    in_domains_apply ~domains ~unite:(Rrestore.unite restored)
+      ~same_set:(Rrestore.same_set restored) ~find:(Rrestore.find restored) buckets;
+    Printf.printf "resumed:  %d ops on %d domain(s), %d sets\n" ops domains
+      (Rrestore.count_sets restored)
+  end;
+  let* () =
+    if not validate then Ok ()
+    else begin
+      let report = Rsnap.check (Rrestore.snapshot restored) in
+      if Repro_fault.Forest_check.ok report then begin
+        Printf.printf "validate: ok (%d roots, max depth %d)\n"
+          report.Repro_fault.Forest_check.roots
+          report.Repro_fault.Forest_check.max_depth;
+        Ok ()
+      end
+      else
+        Error
+          (`Msg
+            (Format.asprintf "forest validation failed: %a"
+               Repro_fault.Forest_check.pp report))
+    end
+  in
+  match snapshot_out with
+  | None -> Ok ()
+  | Some out ->
+    let* () = write_snapshot_or_die ~format out (Rrestore.snapshot restored) in
+    Printf.printf "snapshot: -> %s\n" out;
+    Ok ()
+
+let restore_cmd =
+  let doc = "Restore a structure from a snapshot, optionally repairing and resuming." in
+  let resume_from =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "resume-from" ] ~docv:"FILE" ~doc:"Snapshot to load (binary or JSON).")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:"Run repair-on-restart over the snapshot before restoring.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ] ~doc:"Check the restored forest's invariants after the run.")
+  in
+  let snapshot_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-out" ] ~docv:"FILE"
+          ~doc:"Write a fresh snapshot after resuming.")
+  in
+  Cmd.v (Cmd.info "restore" ~doc)
+    Term.(
+      term_result
+        (const run_restore $ policy_arg $ resume_from $ repair $ validate
+        $ resume_ops_arg $ unite_frac_arg $ seed_arg $ domains_arg
+        $ snapshot_out $ snapshot_format_arg))
 
 (* ----------------------------------------------------------- chaos mode *)
 
@@ -586,8 +806,27 @@ let json_out_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write the dsu-chaos/v1 report to $(docv) (\"-\" = stdout).")
 
+let recover_arg =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "After each crash scenario, snapshot the structure, run \
+           repair-on-restart, restore, resume the crashed domains' streams \
+           and re-audit (the full recovery drill).")
+
+let chaos_snapshot_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-out" ] ~docv:"PREFIX"
+        ~doc:
+          "With $(b,--recover): archive each scenario's crash-time snapshot \
+           as $(docv)-<layout>-<policy>.snap.")
+
 let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
-    unite_frac seed fault_seed policies layouts validate json_out metrics_out =
+    unite_frac seed fault_seed policies layouts validate recover snapshot_out
+    json_out metrics_out =
   let* () = check_arg (n >= 2) "--elements must be >= 2" in
   let* () = check_arg (ops >= 1) "--ops must be >= 1" in
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
@@ -625,23 +864,64 @@ let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
       validate;
     }
   in
-  let scenarios =
-    Chaos.run_all ~config
-      ~progress:(fun s -> Format.printf "%a@." Chaos.pp_scenario s)
-      ()
-  in
-  (match json_out with
-  | None -> ()
-  | Some out ->
-    with_out out (fun oc ->
-        output_string oc (Repro_obs.Json.to_string (Chaos.to_json ~config scenarios));
-        output_char oc '\n'));
-  (match metrics_out with None -> () | Some out -> write_metrics out None);
-  let ok = List.for_all Chaos.scenario_ok scenarios in
-  Printf.printf "chaos: %d scenario(s), %s\n" (List.length scenarios)
-    (if ok then "all checks passed" else "CHECKS FAILED");
-  if not ok then exit 1;
-  Ok ()
+  if not recover then begin
+    let scenarios =
+      Chaos.run_all ~config
+        ~progress:(fun s -> Format.printf "%a@." Chaos.pp_scenario s)
+        ()
+    in
+    (match json_out with
+    | None -> ()
+    | Some out ->
+      with_out out (fun oc ->
+          output_string oc (Repro_obs.Json.to_string (Chaos.to_json ~config scenarios));
+          output_char oc '\n'));
+    (match metrics_out with None -> () | Some out -> write_metrics out None);
+    let ok = List.for_all Chaos.scenario_ok scenarios in
+    Printf.printf "chaos: %d scenario(s), %s\n" (List.length scenarios)
+      (if ok then "all checks passed" else "CHECKS FAILED");
+    if not ok then exit 1;
+    Ok ()
+  end
+  else begin
+    let results =
+      Chaos.run_recovery_all ~config
+        ~progress:(fun (s, r) ->
+          Format.printf "%a@.%a@." Chaos.pp_scenario s Chaos.pp_recovery r)
+        ()
+    in
+    (match snapshot_out with
+    | None -> ()
+    | Some prefix ->
+      List.iter
+        (fun ((s : Chaos.scenario), (r : Chaos.recovery)) ->
+          let path =
+            Printf.sprintf "%s-%s-%s.snap" prefix
+              (Harness.Scalability.layout_to_string s.Chaos.layout)
+              (Policy.to_string s.Chaos.policy)
+          in
+          Rsnap.write_file path r.Chaos.crash_snapshot;
+          Printf.printf "snapshot: -> %s\n" path)
+        results);
+    (match json_out with
+    | None -> ()
+    | Some out ->
+      with_out out (fun oc ->
+          output_string oc
+            (Repro_obs.Json.to_string (Chaos.recovery_report_to_json ~config results));
+          output_char oc '\n'));
+    (match metrics_out with None -> () | Some out -> write_metrics out None);
+    let ok =
+      List.for_all
+        (fun (s, r) -> Chaos.scenario_ok s && Chaos.recovery_ok r)
+        results
+    in
+    Printf.printf "chaos: %d scenario(s) with recovery, %s\n"
+      (List.length results)
+      (if ok then "all checks passed" else "CHECKS FAILED");
+    if not ok then exit 1;
+    Ok ()
+  end
 
 let chaos_cmd =
   let doc =
@@ -654,11 +934,11 @@ let chaos_cmd =
         (const run_chaos $ n_arg $ chaos_ops_arg $ domains_arg $ crash_domains_arg
         $ crash_after_arg $ stall_prob_arg $ stall_len_arg $ unite_frac_arg
         $ seed_arg $ fault_seed_arg $ policies_arg $ layouts_arg $ validate_arg
-        $ json_out_arg $ metrics_out_arg))
+        $ recover_arg $ chaos_snapshot_out_arg $ json_out_arg $ metrics_out_arg))
 
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in
   Cmd.group (Cmd.info "dsu_workload" ~doc)
-    [ native_cmd; sim_cmd; lincheck_cmd; chaos_cmd ]
+    [ native_cmd; sim_cmd; lincheck_cmd; chaos_cmd; snapshot_cmd; restore_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -51,5 +51,30 @@ let is_root = A.is_root
 let count_sets = A.count_sets
 let invariant_violations = A.invariant_violations
 let parents_snapshot t = Atomic_array.snapshot (A.mem t)
+let ids_snapshot t = Array.init (A.n t) (fun i -> A.id t i)
 
 let stats t = match A.stats t with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
+
+(* The same validated restore as {!Dsu_native.of_snapshot}, over the boxed
+   layout — so a snapshot taken from either layout restores into either. *)
+let of_snapshot ?policy ?early ?(collect_stats = false) ~parents ~ids () =
+  let n = Array.length parents in
+  if n < 1 || Array.length ids <> n then
+    invalid_arg "Dsu_boxed.of_snapshot: malformed snapshot";
+  let ids = Array.copy ids in
+  let seen = Array.make n false in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= n || seen.(id) then
+        invalid_arg "Dsu_boxed.of_snapshot: ids are not a permutation";
+      seen.(id) <- true)
+    ids;
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p >= n then invalid_arg "Dsu_boxed.of_snapshot: parent out of range";
+      if p <> i && ids.(p) <= ids.(i) then
+        invalid_arg "Dsu_boxed.of_snapshot: parents violate the linking order")
+    parents;
+  let mem = Atomic_array.make n (fun i -> parents.(i)) in
+  let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+  A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()

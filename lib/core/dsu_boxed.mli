@@ -31,3 +31,18 @@ val count_sets : t -> int
 val stats : t -> Dsu_stats.snapshot
 val invariant_violations : t -> (int * int) list
 val parents_snapshot : t -> int array
+
+val ids_snapshot : t -> int array
+(** The random node order as an array. *)
+
+val of_snapshot :
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  parents:int array ->
+  ids:int array ->
+  unit ->
+  t
+(** A fresh boxed structure with the given forest and node order; same
+    validation as {!Dsu_native.of_snapshot}.  Raises [Invalid_argument] on
+    malformed input. *)

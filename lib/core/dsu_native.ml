@@ -79,6 +79,8 @@ type snapshot = { parents : int array; ids : int array }
 let snapshot t =
   { parents = parents_snapshot t; ids = Array.init (A.n t) (fun i -> A.id t i) }
 
+let ids_snapshot t = Array.init (A.n t) (fun i -> A.id t i)
+
 let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : snapshot) =
   let n = Array.length s.parents in
   if n < 1 || Array.length s.ids <> n then
@@ -100,6 +102,9 @@ let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : snaps
   let mem = Flat_atomic_array.make ~padded n (fun i -> s.parents.(i)) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+
+let of_snapshot ?policy ?early ?collect_stats ?padded ~parents ~ids () =
+  restore ?policy ?early ?collect_stats ?padded { parents; ids }
 
 let snapshot_to_string (s : snapshot) =
   let buf = Buffer.create (Array.length s.parents * 8) in

@@ -77,6 +77,9 @@ val invariant_violations : t -> (int * int) list
 val parents_snapshot : t -> int array
 (** Per-cell reads of the parent array; consistent only at quiescence. *)
 
+val ids_snapshot : t -> int array
+(** The random node order as an array ([ids_snapshot t].(i) = [id t i]). *)
+
 val sets : t -> int list list
 (** The partition as sorted classes (sorted by smallest member).  Quiescent
     only. *)
@@ -90,6 +93,19 @@ val restore : ?policy:Find_policy.t -> ?early:bool -> ?collect_stats:bool ->
   ?padded:bool -> snapshot -> t
 (** A fresh structure with the same partition, node order and tree shape;
     policy/early/padded may differ from the original's. *)
+
+val of_snapshot :
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  ?padded:bool ->
+  parents:int array ->
+  ids:int array ->
+  unit ->
+  t
+(** [restore] over raw arrays — the constructor {!Repro_recover.Restore}
+    uses.  Same validation (ids a permutation, parents in range and
+    order-increasing); raises [Invalid_argument] otherwise. *)
 
 val snapshot_to_string : snapshot -> string
 val snapshot_of_string : string -> snapshot

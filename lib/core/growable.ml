@@ -1,5 +1,6 @@
 module Flat_atomic_array = Repro_util.Flat_atomic_array
 module Rng = Repro_util.Rng
+module Fi = Repro_fault.Inject
 
 module Algo = Dsu_algorithm.Make (Native_memory)
 
@@ -40,6 +41,10 @@ let make_set t =
     failwith "Growable.make_set: capacity exhausted"
   end;
   let r = Atomic.fetch_and_add t.rng_state 0x632be59bd9b4e019 in
+  (* Crash-stop here leaves the claimed slot with the default priority 0,
+     which the tie-breaking order tolerates (Lemma 3.1 never needs
+     distinct priorities). *)
+  if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Make_set_publish;
   Flat_atomic_array.set t.prios slot (mix64 r);
   slot
 
@@ -76,3 +81,41 @@ let count_sets t =
     if Algo.parent_of t.algo i = i then incr c
   done;
   !c
+
+(* ---- snapshot / restore (quiescent persistence; see Repro_recover) ---- *)
+
+let parents_snapshot t =
+  let k = cardinal t in
+  Array.init k (fun i -> Algo.parent_of t.algo i)
+
+let priorities_snapshot t =
+  let k = cardinal t in
+  Array.init k (fun i -> Flat_atomic_array.get t.prios i)
+
+let of_snapshot ?policy ?early ?(collect_stats = false) ?(seed = 0x9e3779b9)
+    ?capacity ~parents ~prios () =
+  let k = Array.length parents in
+  if Array.length prios <> k then
+    invalid_arg "Growable.of_snapshot: parents/prios length mismatch";
+  let capacity = match capacity with None -> max 1 k | Some c -> c in
+  if capacity < max 1 k then
+    invalid_arg "Growable.of_snapshot: capacity below element count";
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p >= k then invalid_arg "Growable.of_snapshot: parent out of range";
+      if p <> i && not (prios.(i) < prios.(p) || (prios.(i) = prios.(p) && i < p))
+      then invalid_arg "Growable.of_snapshot: parents violate the linking order")
+    parents;
+  let prios_arr =
+    Flat_atomic_array.make capacity (fun i -> if i < k then prios.(i) else 0)
+  in
+  let mem =
+    Flat_atomic_array.make capacity (fun i -> if i < k then parents.(i) else i)
+  in
+  let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+  let algo =
+    Algo.create ?policy ?early ?stats ~mem ~n:capacity
+      ~prio:(fun i -> Flat_atomic_array.get prios_arr i)
+      ()
+  in
+  { capacity; next = Atomic.make k; prios = prios_arr; rng_state = Atomic.make seed; algo }

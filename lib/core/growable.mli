@@ -40,3 +40,25 @@ val priority : t -> int -> int
 val stats : t -> Dsu_stats.snapshot
 val count_sets : t -> int
 (** Quiescent only. *)
+
+val parents_snapshot : t -> int array
+(** Parents of the created elements ([0 .. cardinal - 1]).  Quiescent only. *)
+
+val priorities_snapshot : t -> int array
+(** Priorities of the created elements.  Quiescent only. *)
+
+val of_snapshot :
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  ?seed:int ->
+  ?capacity:int ->
+  parents:int array ->
+  prios:int array ->
+  unit ->
+  t
+(** A fresh structure whose first [Array.length parents] elements are
+    already created with the given parents and priorities; further
+    [make_set]s continue from there.  [capacity] defaults to the element
+    count.  @raise Invalid_argument on length mismatch, out-of-range
+    parents, or parents violating the [(priority, index)] linking order. *)

@@ -1,4 +1,5 @@
 module Rng = Repro_util.Rng
+module Fi = Repro_fault.Inject
 
 (* A growable array of atomic cells: an immutable directory of fixed-size
    chunks, republished through an [Atomic] on growth.  Readers snapshot the
@@ -70,7 +71,14 @@ module Chunked = struct
             let chunk =
               Array.init t.chunk_size (fun j -> Atomic.make (t.init ~base j))
             in
-            Atomic.set t.directory (Array.append dir [| chunk |])
+            (* A crash at either site dies inside the [Fun.protect], so the
+               growth lock is released and readers spin-bounded on it see a
+               definitive directory; pre kills before the new chunk is
+               visible (allocation lost, never reachable), post kills after
+               publication (chunk live, grower dead). *)
+            if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Chunk_publish_pre;
+            Atomic.set t.directory (Array.append dir [| chunk |]);
+            if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Chunk_publish_post
           done)
     end
 
@@ -123,6 +131,10 @@ let make_set t =
   Chunked.ensure t.parents slot;
   Chunked.ensure t.prios slot;
   let r = Atomic.fetch_and_add t.rng_state 0x632be59bd9b4e019 in
+  (* After both [ensure]s: storage for the slot exists, so a crash here
+     leaves a live element with the default priority 0 (tolerated by the
+     tie-break), never a claimed slot without storage. *)
+  if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Make_set_publish;
   Chunked.set t.prios slot (mix64 r);
   slot
 

@@ -33,10 +33,33 @@ module Make (M : Memory_intf.S) = struct
   let rank_of_word t w = w / t.n
   let word t ~rank ~parent = (rank * t.n) + parent
 
+  (* Fault-injection sites (see {!Repro_fault.Site}), following the
+     instrumented-twin pattern of {!Dsu_algorithm}: the find loop exists
+     twice and [find_root] picks a body with one atomic load of
+     [Fi.armed]; the rarely-hit unite sites are guarded inline. *)
+  module Fi = Repro_fault.Inject
+
+  let[@inline] fault_hop () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Find_hop
+
+  let[@inline] fault_rank_read () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Rank_read
+
+  let[@inline] fault_split_pre () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Split_cas_pre
+
+  let[@inline] fault_split_post () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Split_cas_post
+
+  let[@inline] fault_link_pre () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Link_cas_pre
+
+  let[@inline] fault_link_post () =
+    if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Link_cas_post
+
   (* Two-try splitting on packed words: each update swings a node's parent
      to its grandparent while preserving the node's rank bits. *)
-  let find_root t x =
-    bump t Dsu_stats.incr_find;
+  let find_root_plain t x =
     let try_split u =
       (* One splitting attempt from [u].  Returns [`Root r] when the root is
          found, otherwise the grandparent to advance to. *)
@@ -63,6 +86,39 @@ module Make (M : Memory_intf.S) = struct
         match try_split u with `Root r -> r | `Advance v -> loop v)
     in
     loop x
+
+  let find_root_obs t x =
+    let try_split u =
+      fault_rank_read ();
+      let wu = M.read t.mem u in
+      let pu = parent_of_word t wu in
+      if pu = u then `Root u
+      else begin
+        let wp = M.read t.mem pu in
+        let pp = parent_of_word t wp in
+        if pp = pu then `Root pu
+        else begin
+          fault_split_pre ();
+          let ok = M.cas t.mem u wu (word t ~rank:(rank_of_word t wu) ~parent:pp) in
+          bump t (Dsu_stats.incr_compaction_cas ~ok);
+          fault_split_post ();
+          `Advance pu
+        end
+      end
+    in
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      fault_hop ();
+      match try_split u with
+      | `Root r -> r
+      | `Advance _ -> (
+        match try_split u with `Root r -> r | `Advance v -> loop v)
+    in
+    loop x
+
+  let find_root t x =
+    bump t Dsu_stats.incr_find;
+    if Atomic.get Fi.armed then find_root_obs t x else find_root_plain t x
 
   let check t x = if x < 0 || x >= t.n then invalid_arg "Rank_dsu: node out of range"
 
@@ -96,13 +152,19 @@ module Make (M : Memory_intf.S) = struct
       else begin
         let wu = M.read t.mem u in
         let wv = M.read t.mem v in
+        (* Stalling or dying here holds stale ranks; the linking Cas below
+           re-validates the whole packed word, so staleness only costs a
+           retry. *)
+        fault_rank_read ();
         let pu = parent_of_word t wu and ru = rank_of_word t wu in
         let pv = parent_of_word t wv and rv = rank_of_word t wv in
         if pu <> u || pv <> v then loop u v ~first:false
         else begin
           let link a wa ra b =
+            fault_link_pre ();
             let ok = M.cas t.mem a wa (word t ~rank:ra ~parent:b) in
             bump t (Dsu_stats.incr_link_cas ~ok);
+            fault_link_post ();
             ok
           in
           if ru < rv then begin
@@ -143,6 +205,11 @@ module Make (M : Memory_intf.S) = struct
 
   let stats t =
     match t.stats with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
+
+  (* Quiescent persistence: the packed words split into two plain arrays so
+     a snapshot is layout-independent (Repro_recover re-packs on restore). *)
+  let parents_snapshot t = Array.init t.n (fun i -> parent_of_word t (M.read t.mem i))
+  let ranks_snapshot t = Array.init t.n (fun i -> rank_of_word t (M.read t.mem i))
 end
 
 (** Native instantiation over [Atomic] arrays. *)
@@ -164,6 +231,32 @@ module Native = struct
   let rank_of = A.rank_of
   let parent_of = A.parent_of
   let stats = A.stats
+  let parents_snapshot = A.parents_snapshot
+  let ranks_snapshot = A.ranks_snapshot
+
+  let of_snapshot ?(collect_stats = false) ~parents ~ranks () =
+    let n = Array.length parents in
+    if n < 1 || Array.length ranks <> n then
+      invalid_arg "Rank_dsu.of_snapshot: malformed snapshot";
+    let max_rank = Array.fold_left max 0 ranks in
+    if max_rank > max_int / n - 1 then
+      invalid_arg "Rank_dsu.of_snapshot: ranks overflow the packing";
+    Array.iteri
+      (fun i p ->
+        if p < 0 || p >= n then
+          invalid_arg "Rank_dsu.of_snapshot: parent out of range";
+        if ranks.(i) < 0 then invalid_arg "Rank_dsu.of_snapshot: negative rank";
+        (* The by-rank analogue of the linking order: every non-root points
+           to a strictly larger rank, ties broken by node index (ties can
+           only arise from the tie-break link whose promotion Cas lost). *)
+        if p <> i && not (ranks.(i) < ranks.(p) || (ranks.(i) = ranks.(p) && i < p))
+        then invalid_arg "Rank_dsu.of_snapshot: parents violate the rank order")
+      parents;
+    let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
+    let mem =
+      Repro_util.Flat_atomic_array.make n (fun i -> (ranks.(i) * n) + parents.(i))
+    in
+    A.create ?stats ~mem ~n ()
 end
 
 (** Simulator instantiation; see {!Dsu_sim} for the usage pattern. *)

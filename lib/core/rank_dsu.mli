@@ -29,6 +29,12 @@ module Make (M : Memory_intf.S) : sig
   val rank_of : t -> int -> int
   val parent_of : t -> int -> int
   val stats : t -> Dsu_stats.snapshot
+
+  val parents_snapshot : t -> int array
+  (** Parent of every node, unpacked from the words.  Quiescent only. *)
+
+  val ranks_snapshot : t -> int array
+  (** Rank of every node, unpacked from the words.  Quiescent only. *)
 end
 
 (** Native instantiation over [Atomic] arrays; safe from any number of
@@ -47,6 +53,15 @@ module Native : sig
   val rank_of : t -> int -> int
   val parent_of : t -> int -> int
   val stats : t -> Dsu_stats.snapshot
+  val parents_snapshot : t -> int array
+  val ranks_snapshot : t -> int array
+
+  val of_snapshot :
+    ?collect_stats:bool -> parents:int array -> ranks:int array -> unit -> t
+  (** A fresh structure with the given forest and ranks re-packed into
+      words.  @raise Invalid_argument on length mismatch, out-of-range
+      parents, negative or packing-overflow ranks, or parents violating
+      the [(rank, index)] order. *)
 end
 
 (** Simulator instantiation; see {!Dsu_sim} for the usage pattern. *)

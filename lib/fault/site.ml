@@ -5,6 +5,10 @@ type t =
   | Split_cas_post
   | Link_cas_pre
   | Link_cas_post
+  | Make_set_publish
+  | Chunk_publish_pre
+  | Chunk_publish_post
+  | Rank_read
 
 let all =
   [
@@ -14,6 +18,10 @@ let all =
     Split_cas_post;
     Link_cas_pre;
     Link_cas_post;
+    Make_set_publish;
+    Chunk_publish_pre;
+    Chunk_publish_post;
+    Rank_read;
   ]
 
 let to_string = function
@@ -23,6 +31,10 @@ let to_string = function
   | Split_cas_post -> "split-cas-post"
   | Link_cas_pre -> "link-cas-pre"
   | Link_cas_post -> "link-cas-post"
+  | Make_set_publish -> "make-set-publish"
+  | Chunk_publish_pre -> "chunk-publish-pre"
+  | Chunk_publish_post -> "chunk-publish-post"
+  | Rank_read -> "rank-read"
 
 let of_string = function
   | "find-hop" -> Some Find_hop
@@ -31,6 +43,10 @@ let of_string = function
   | "split-cas-post" -> Some Split_cas_post
   | "link-cas-pre" -> Some Link_cas_pre
   | "link-cas-post" -> Some Link_cas_post
+  | "make-set-publish" -> Some Make_set_publish
+  | "chunk-publish-pre" -> Some Chunk_publish_pre
+  | "chunk-publish-post" -> Some Chunk_publish_post
+  | "rank-read" -> Some Rank_read
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

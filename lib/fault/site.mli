@@ -17,7 +17,23 @@
     - [Link_cas_pre] / [Link_cas_post] — immediately before/after the
       linking [Cas] of [Unite] (Algorithms 3/7); crashing between these two
       is the "half-installed link" scenario: the link is in shared memory
-      but the process that installed it never returns. *)
+      but the process that installed it never returns.
+
+    Sites outside {!Dsu_algorithm}, arming the [MakeSet] extensions and the
+    linking-by-rank variant:
+
+    - [Make_set_publish] — inside {!Dsu.Growable.make_set} /
+      {!Dsu.Growable_unbounded.make_set}, after the slot is claimed and its
+      storage exists but before the random priority is published; a crash
+      here leaves a live element with the default priority [0], which the
+      tie-breaking order tolerates.
+    - [Chunk_publish_pre] / [Chunk_publish_post] — either side of the
+      directory republication in {!Dsu.Growable_unbounded.Chunked.ensure};
+      a process crashed between them dies holding the growth lock released
+      only by its [Fun.protect], exercising the spin-bound slow path.
+    - [Rank_read] — after a packed [(rank, parent)] word read that feeds a
+      linking decision in {!Dsu.Rank}; a process stalled here holds a stale
+      rank, exercising the re-validation [Cas]. *)
 
 type t =
   | Find_hop
@@ -26,6 +42,10 @@ type t =
   | Split_cas_post
   | Link_cas_pre
   | Link_cas_post
+  | Make_set_publish
+  | Chunk_publish_pre
+  | Chunk_publish_post
+  | Rank_read
 
 val all : t list
 

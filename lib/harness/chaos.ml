@@ -6,6 +6,9 @@ module Site = Repro_fault.Site
 module Fi = Repro_fault.Inject
 module Fc = Repro_fault.Forest_check
 module Seq = Sequential.Seq_dsu
+module Rsnap = Repro_recover.Snapshot
+module Rrepair = Repro_recover.Repair
+module Rrestore = Repro_recover.Restore
 
 type config = {
   n : int;
@@ -68,6 +71,7 @@ type handle = {
   find : int -> int;
   parents : unit -> int array;
   prio : int -> int;
+  snapshot : unit -> Rsnap.t;
 }
 
 let handle_of ~layout ~policy ~seed n =
@@ -80,6 +84,7 @@ let handle_of ~layout ~policy ~seed n =
       find = Dsu.Native.find d;
       parents = (fun () -> Dsu.Native.parents_snapshot d);
       prio = Dsu.Native.id d;
+      snapshot = (fun () -> Rsnap.of_native d);
     }
   | Boxed ->
     let d = Dsu.Boxed.create ~policy ~seed n in
@@ -89,7 +94,22 @@ let handle_of ~layout ~policy ~seed n =
       find = Dsu.Boxed.find d;
       parents = (fun () -> Dsu.Boxed.parents_snapshot d);
       prio = Dsu.Boxed.id d;
+      snapshot = (fun () -> Rsnap.of_boxed d);
     }
+
+(* A handle over a restored structure, whatever kind came back.  The node
+   order is immutable, so it is captured once rather than re-snapshotted on
+   every [prio] call. *)
+let handle_of_restored (r : Rrestore.restored) =
+  let prios = (Rrestore.snapshot r).Rsnap.prios in
+  {
+    unite = Rrestore.unite r;
+    same_set = Rrestore.same_set r;
+    find = Rrestore.find r;
+    parents = (fun () -> (Rrestore.snapshot r).Rsnap.parents);
+    prio = (fun i -> prios.(i));
+    snapshot = (fun () -> Rrestore.snapshot r);
+  }
 
 let gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain =
   Array.init domains (fun k ->
@@ -101,15 +121,16 @@ let gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain =
 
 (* Crash countdowns are staggered per slot so victims fall at different
    depths of the run; every slot shares the stall/yield noise. *)
+let noise_of config =
+  if config.stall_prob > 0. then
+    [
+      Fi.rule ~prob:config.stall_prob (Fi.Stall config.stall_len);
+      Fi.rule ~prob:(config.stall_prob /. 2.) Fi.Yield;
+    ]
+  else []
+
 let plan_of config =
-  let noise =
-    if config.stall_prob > 0. then
-      [
-        Fi.rule ~prob:config.stall_prob (Fi.Stall config.stall_len);
-        Fi.rule ~prob:(config.stall_prob /. 2.) Fi.Yield;
-      ]
-    else []
-  in
+  let noise = noise_of config in
   let rules_for slot =
     if slot < config.crash_domains then
       Fi.rule ~after:(config.crash_after * (slot + 1)) Fi.Crash :: noise
@@ -330,23 +351,16 @@ let validate_config c =
   if c.stall_prob < 0. || c.stall_prob > 1. then
     invalid_arg "Chaos: stall_prob must be in [0, 1]"
 
-let run_scenario ?(config = default_config) ~layout ~policy () =
-  validate_config config;
-  let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
-  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
-  let h = handle_of ~layout ~policy ~seed n in
-  let clock = Atomic.make 0 in
-  let starts = Array.init domains (fun _ -> Array.make m (-1)) in
-  let stops = Array.init domains (fun _ -> Array.make m (-1)) in
-  let results = Array.init domains (fun _ -> Array.make m (-1)) in
-  let cur = Array.make domains 0 in
-  let crash_site = Array.make domains None in
-  let failed = Array.make domains None in
-  let hops = Array.make domains 0 in
+(* Run the given slots' op streams from their current [cur] position to the
+   end.  Used for the initial run (every slot from 0) and for the
+   post-restore resume (crashed slots from the op they died inside —
+   re-running it is safe: [unite] is idempotent, queries are read-only). *)
+let run_workers ~m ~(h : handle) ~ops ~clock ~starts ~stops ~results ~cur ~crash_site
+    ~failed ~hops slots =
   let worker k () =
     Fi.enroll ~slot:k;
     (try
-       for j = 0 to m - 1 do
+       for j = cur.(k) to m - 1 do
          cur.(k) <- j;
          starts.(k).(j) <- Atomic.fetch_and_add clock 1;
          (match ops.(k).(j) with
@@ -363,12 +377,86 @@ let run_scenario ?(config = default_config) ~layout ~policy () =
      with
     | Fi.Crashed (site, _) -> crash_site.(k) <- Some site
     | e -> failed.(k) <- Some (Printexc.to_string e));
-    hops.(k) <- Fi.my_hops ()
+    hops.(k) <- hops.(k) + Fi.my_hops ()
   in
+  let handles = List.map (fun k -> Domain.spawn (worker k)) slots in
+  List.iter Domain.join handles
+
+let completed_counts ~domains ~stops =
+  Array.init domains (fun k ->
+      let c = ref 0 in
+      Array.iter (fun s -> if s >= 0 then incr c) stops.(k);
+      !c)
+
+(* The per-op audit plus the run-level checks (crash plan respected,
+   survivors finished, survivor hop budget). *)
+let full_audit ~config ~h ~ops ~starts ~stops ~results ~cur ~crash_site ~failed
+    ~completed ~hops ~crashed =
+  let m = config.ops_per_domain in
+  let interrupted =
+    List.filter
+      (fun k -> crash_site.(k) <> None || failed.(k) <> None)
+      (List.init config.domains Fun.id)
+  in
+  let forest, checks = audit ~config ~h ~ops ~starts ~stops ~results ~cur ~interrupted in
+  let plan_check =
+    (* Only planned victims may crash; whether every planned victim's
+       countdown was reached depends on the workload length, so unfired
+       victims are not a failure. *)
+    match List.find_opt (fun (k, _) -> k >= config.crash_domains) crashed with
+    | None -> mk "crash-plan" true ""
+    | Some (k, site) ->
+      mk "crash-plan" false
+        (Printf.sprintf "slot %d crashed at %s without a crash rule" k
+           (Site.to_string site))
+  in
+  let survivors =
+    List.filter
+      (fun k -> crash_site.(k) = None && failed.(k) = None)
+      (List.init config.domains Fun.id)
+  in
+  let complete_check =
+    match List.find_opt (fun k -> completed.(k) < m) survivors with
+    | None -> mk "survivors-complete" true ""
+    | Some k ->
+      mk "survivors-complete" false
+        (Printf.sprintf "survivor %d completed only %d of %d ops" k completed.(k) m)
+  in
+  let hop_check =
+    let budget = hop_budget config.n in
+    let over =
+      List.find_opt
+        (fun k ->
+          completed.(k) > 0 && float_of_int hops.(k) /. float_of_int completed.(k) > budget)
+        survivors
+    in
+    match over with
+    | None -> mk "survivor-hops" true ""
+    | Some k ->
+      mk "survivor-hops" false
+        (Printf.sprintf "survivor %d averaged %.1f own hops/op (budget %.1f)" k
+           (float_of_int hops.(k) /. float_of_int completed.(k))
+           budget)
+  in
+  (forest, checks @ [ plan_check; complete_check; hop_check ])
+
+let run_scenario ?(config = default_config) ~layout ~policy () =
+  validate_config config;
+  let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
+  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
+  let h = handle_of ~layout ~policy ~seed n in
+  let clock = Atomic.make 0 in
+  let starts = Array.init domains (fun _ -> Array.make m (-1)) in
+  let stops = Array.init domains (fun _ -> Array.make m (-1)) in
+  let results = Array.init domains (fun _ -> Array.make m (-1)) in
+  let cur = Array.make domains 0 in
+  let crash_site = Array.make domains None in
+  let failed = Array.make domains None in
+  let hops = Array.make domains 0 in
   Fi.arm (plan_of config);
   let t0 = Unix.gettimeofday () in
-  let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
-  List.iter Domain.join handles;
+  run_workers ~m ~h ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed ~hops
+    (List.init domains Fun.id);
   let seconds = Unix.gettimeofday () -. t0 in
   Fi.disarm ();
   let fault_totals = Fi.totals () in
@@ -382,64 +470,12 @@ let run_scenario ?(config = default_config) ~layout ~policy () =
       (fun k -> Option.map (fun msg -> (k, msg)) failed.(k))
       (List.init domains Fun.id)
   in
-  let completed =
-    Array.init domains (fun k ->
-        let c = ref 0 in
-        Array.iter (fun s -> if s >= 0 then incr c) stops.(k);
-        !c)
-  in
-  let interrupted =
-    List.filter
-      (fun k -> crash_site.(k) <> None || failed.(k) <> None)
-      (List.init domains Fun.id)
-  in
+  let completed = completed_counts ~domains ~stops in
   let forest, checks =
     if not config.validate then (None, [])
-    else begin
-      let forest, checks =
-        audit ~config ~h ~ops ~starts ~stops ~results ~cur ~interrupted
-      in
-      let plan_check =
-        (* Only planned victims may crash; whether every planned victim's
-           countdown was reached depends on the workload length, so unfired
-           victims are not a failure. *)
-        match List.find_opt (fun (k, _) -> k >= config.crash_domains) crashed with
-        | None -> mk "crash-plan" true ""
-        | Some (k, site) ->
-          mk "crash-plan" false
-            (Printf.sprintf "slot %d crashed at %s without a crash rule" k
-               (Site.to_string site))
-      in
-      let survivors =
-        List.filter (fun k -> crash_site.(k) = None && failed.(k) = None)
-          (List.init domains Fun.id)
-      in
-      let complete_check =
-        match List.find_opt (fun k -> completed.(k) < m) survivors with
-        | None -> mk "survivors-complete" true ""
-        | Some k ->
-          mk "survivors-complete" false
-            (Printf.sprintf "survivor %d completed only %d of %d ops" k completed.(k) m)
-      in
-      let hop_check =
-        let budget = hop_budget config.n in
-        let over =
-          List.find_opt
-            (fun k ->
-              completed.(k) > 0
-              && float_of_int hops.(k) /. float_of_int completed.(k) > budget)
-            survivors
-        in
-        match over with
-        | None -> mk "survivor-hops" true ""
-        | Some k ->
-          mk "survivor-hops" false
-            (Printf.sprintf "survivor %d averaged %.1f own hops/op (budget %.1f)" k
-               (float_of_int hops.(k) /. float_of_int completed.(k))
-               budget)
-      in
-      (forest, checks @ [ plan_check; complete_check; hop_check ])
-    end
+    else
+      full_audit ~config ~h ~ops ~starts ~stops ~results ~cur ~crash_site ~failed
+        ~completed ~hops ~crashed
   in
   {
     layout;
@@ -454,6 +490,180 @@ let run_scenario ?(config = default_config) ~layout ~policy () =
     seconds;
   }
 
+(* ---------- crash -> snapshot -> repair -> resume ---------- *)
+
+type recovery = {
+  crash_snapshot : Rsnap.t;
+  snapshot_crc : int;
+  fixes : Rrepair.fix list;
+  resumed_slots : int list;
+  resumed_ops : int;
+  resumed_forest : Fc.report option;
+  recovery_checks : check list;
+  resume_seconds : float;
+  phase1_counters : (string * int) list;
+  resume_counters : (string * int) list;
+}
+
+let recovery_ok r = List.for_all (fun c -> c.passed) r.recovery_checks
+
+let counter_samples snap =
+  List.filter_map
+    (fun { Repro_obs.Metrics.name; value; _ } ->
+      match value with Repro_obs.Metrics.Counter_v v -> Some (name, v) | _ -> None)
+    snap
+
+(* Counters that moved since [before] — the resumed run's own contribution,
+   so a report over the resumed phase does not re-count pre-crash ops. *)
+let delta_counters ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = Option.value ~default:0 (List.assoc_opt name before) in
+      if v - b <> 0 then Some (name, v - b) else None)
+    after
+
+let run_recovery_scenario ?(config = default_config) ~layout ~policy () =
+  validate_config config;
+  let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
+  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
+  let h = handle_of ~layout ~policy ~seed n in
+  let clock = Atomic.make 0 in
+  let starts = Array.init domains (fun _ -> Array.make m (-1)) in
+  let stops = Array.init domains (fun _ -> Array.make m (-1)) in
+  let results = Array.init domains (fun _ -> Array.make m (-1)) in
+  let cur = Array.make domains 0 in
+  let crash_site = Array.make domains None in
+  let failed = Array.make domains None in
+  let hops = Array.make domains 0 in
+  (* Phase 1: the ordinary chaos run, crashes armed. *)
+  Fi.arm (plan_of config);
+  let t0 = Unix.gettimeofday () in
+  run_workers ~m ~h ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed ~hops
+    (List.init domains Fun.id);
+  let seconds = Unix.gettimeofday () -. t0 in
+  Fi.disarm ();
+  let fault_totals = Fi.totals () in
+  let crashed =
+    List.filter_map
+      (fun k -> Option.map (fun site -> (k, site)) crash_site.(k))
+      (List.init domains Fun.id)
+  in
+  let failures =
+    List.filter_map
+      (fun k -> Option.map (fun msg -> (k, msg)) failed.(k))
+      (List.init domains Fun.id)
+  in
+  let completed = completed_counts ~domains ~stops in
+  let forest, checks =
+    if not config.validate then (None, [])
+    else
+      full_audit ~config ~h ~ops ~starts ~stops ~results ~cur ~crash_site ~failed
+        ~completed ~hops ~crashed
+  in
+  let phase1 =
+    {
+      layout;
+      policy;
+      crashed;
+      completed;
+      failures;
+      hops;
+      fault_totals;
+      forest;
+      checks;
+      seconds;
+    }
+  in
+  (* Crash-time bookkeeping: metrics accumulated so far belong to phase 1;
+     the resumed run reports only its delta. *)
+  let phase1_counters = counter_samples (Repro_obs.Metrics.snapshot ()) in
+  (* Snapshot the crashed structure and prove the codec round-trips it. *)
+  let snap = h.snapshot () in
+  let codec_check =
+    match
+      ( Rsnap.of_binary_string (Rsnap.to_binary_string snap),
+        Rsnap.of_json_string (Rsnap.to_json_string snap) )
+    with
+    | Ok b, Ok j when Rsnap.equal b snap && Rsnap.equal j snap ->
+      mk "codec-roundtrip" true ""
+    | Error e, _ | _, Error e -> mk "codec-roundtrip" false e
+    | _ -> mk "codec-roundtrip" false "decoded snapshot differs from the original"
+  in
+  (* Repair must be a no-op — Theorem 3.4 means a crash never corrupts the
+     forest — and must provably refine the crash-time partition. *)
+  let repaired, fixes = Rrepair.repair snap in
+  let repair_check =
+    mk "repair-clean" (fixes = [])
+      (if fixes = [] then ""
+       else
+         Printf.sprintf "crash-time snapshot needed %d fixes, e.g. %s" (List.length fixes)
+           (Format.asprintf "%a" Rrepair.pp_fix (List.hd fixes)))
+  in
+  let refines_check =
+    mk "repair-refines"
+      (Rrepair.refines ~fine:repaired ~coarse:snap)
+      "repaired partition does not refine the crash-time partition"
+  in
+  (* Restore into a fresh structure and resume the crashed slots' streams
+     from the op they died inside; stall/yield noise stays armed, crashes
+     do not re-fire. *)
+  let h2 =
+    handle_of_restored
+      (Rrestore.restore ~policy ~padded:(layout = Scalability.Padded) repaired)
+  in
+  let resumed_slots =
+    List.filter
+      (fun k -> crash_site.(k) <> None || failed.(k) <> None)
+      (List.init domains Fun.id)
+  in
+  List.iter
+    (fun k ->
+      crash_site.(k) <- None;
+      failed.(k) <- None)
+    resumed_slots;
+  let resumed_ops = List.fold_left (fun acc k -> acc + (m - cur.(k))) 0 resumed_slots in
+  Fi.arm { Fi.seed = config.fault_seed + 1; rules_for = (fun _ -> noise_of config) };
+  let t1 = Unix.gettimeofday () in
+  run_workers ~m ~h:h2 ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed
+    ~hops resumed_slots;
+  let resume_seconds = Unix.gettimeofday () -. t1 in
+  Fi.disarm ();
+  let resume_counters =
+    delta_counters ~before:phase1_counters
+      ~after:(counter_samples (Repro_obs.Metrics.snapshot ()))
+  in
+  let completed = completed_counts ~domains ~stops in
+  let resumed_forest, resume_checks =
+    if not config.validate then (None, [])
+    else
+      full_audit ~config ~h:h2 ~ops ~starts ~stops ~results ~cur ~crash_site ~failed
+        ~completed ~hops ~crashed:[]
+  in
+  let resumed_complete =
+    match List.find_opt (fun k -> completed.(k) < m) (List.init domains Fun.id) with
+    | None -> mk "resumed-complete" true ""
+    | Some k ->
+      mk "resumed-complete" false
+        (Printf.sprintf "slot %d finished only %d of %d ops after resume" k completed.(k)
+           m)
+  in
+  let recovery =
+    {
+      crash_snapshot = snap;
+      snapshot_crc = Rsnap.checksum snap;
+      fixes;
+      resumed_slots;
+      resumed_ops;
+      resumed_forest;
+      recovery_checks =
+        codec_check :: repair_check :: refines_check :: resumed_complete :: resume_checks;
+      resume_seconds;
+      phase1_counters;
+      resume_counters;
+    }
+  in
+  (phase1, recovery)
+
 let run_all ?(config = default_config) ?progress () =
   let emit s = match progress with None -> () | Some f -> f s in
   List.concat_map
@@ -463,6 +673,18 @@ let run_all ?(config = default_config) ?progress () =
           let s = run_scenario ~config ~layout ~policy () in
           emit s;
           s)
+        config.policies)
+    config.layouts
+
+let run_recovery_all ?(config = default_config) ?progress () =
+  let emit p = match progress with None -> () | Some f -> f p in
+  List.concat_map
+    (fun layout ->
+      List.map
+        (fun policy ->
+          let p = run_recovery_scenario ~config ~layout ~policy () in
+          emit p;
+          p)
         config.policies)
     config.layouts
 
@@ -511,24 +733,72 @@ let scenario_to_json (s : scenario) =
       ("ok", J.Bool (scenario_ok s));
     ]
 
+let config_fields (config : config) =
+  [
+    ("schema", J.String "dsu-chaos/v1");
+    ("n", J.Int config.n);
+    ("ops_per_domain", J.Int config.ops_per_domain);
+    ("domains", J.Int config.domains);
+    ("crash_domains", J.Int config.crash_domains);
+    ("crash_after", J.Int config.crash_after);
+    ("stall_prob", J.Float config.stall_prob);
+    ("stall_len", J.Int config.stall_len);
+    ("unite_percent", J.Int config.unite_percent);
+    ("seed", J.Int config.seed);
+    ("fault_seed", J.Int config.fault_seed);
+    ("validate", J.Bool config.validate);
+  ]
+
 let to_json ?(config = default_config) scenarios =
   J.Obj
+    (config_fields config
+    @ [
+        ("scenarios", J.List (List.map scenario_to_json scenarios));
+        ("ok", J.Bool (List.for_all scenario_ok scenarios));
+      ])
+
+let counters_to_json counters =
+  J.Obj (List.map (fun (name, v) -> (name, J.Int v)) counters)
+
+let recovery_to_json (r : recovery) =
+  J.Obj
     [
-      ("schema", J.String "dsu-chaos/v1");
-      ("n", J.Int config.n);
-      ("ops_per_domain", J.Int config.ops_per_domain);
-      ("domains", J.Int config.domains);
-      ("crash_domains", J.Int config.crash_domains);
-      ("crash_after", J.Int config.crash_after);
-      ("stall_prob", J.Float config.stall_prob);
-      ("stall_len", J.Int config.stall_len);
-      ("unite_percent", J.Int config.unite_percent);
-      ("seed", J.Int config.seed);
-      ("fault_seed", J.Int config.fault_seed);
-      ("validate", J.Bool config.validate);
-      ("scenarios", J.List (List.map scenario_to_json scenarios));
-      ("ok", J.Bool (List.for_all scenario_ok scenarios));
+      ("snapshot_crc", J.String (Printf.sprintf "%08x" r.snapshot_crc));
+      ("fixes", Rrepair.fixes_to_json r.fixes);
+      ("resumed_slots", J.List (List.map (fun k -> J.Int k) r.resumed_slots));
+      ("resumed_ops", J.Int r.resumed_ops);
+      ("resume_seconds", J.Float r.resume_seconds);
+      ( "resumed_forest",
+        match r.resumed_forest with None -> J.Null | Some rep -> Fc.to_json rep );
+      ( "checks",
+        J.List
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("name", J.String c.check_name);
+                   ("ok", J.Bool c.passed);
+                   ("detail", J.String c.detail);
+                 ])
+             r.recovery_checks) );
+      ("phase1_counters", counters_to_json r.phase1_counters);
+      ("resume_counters", counters_to_json r.resume_counters);
+      ("ok", J.Bool (recovery_ok r));
     ]
+
+let recovery_report_to_json ?(config = default_config) pairs =
+  let scenario_with_recovery (s, r) =
+    match scenario_to_json s with
+    | J.Obj fields -> J.Obj (fields @ [ ("recovery", recovery_to_json r) ])
+    | other -> other
+  in
+  J.Obj
+    (config_fields config
+    @ [
+        ("scenarios", J.List (List.map scenario_with_recovery pairs));
+        ( "ok",
+          J.Bool (List.for_all (fun (s, r) -> scenario_ok s && recovery_ok r) pairs) );
+      ])
 
 let pp_scenario ppf (s : scenario) =
   let t = s.fault_totals in
@@ -561,3 +831,23 @@ let pp_scenario ppf (s : scenario) =
 
 let pp ppf scenarios =
   List.iter (fun s -> Format.fprintf ppf "%a@." pp_scenario s) scenarios
+
+let pp_recovery ppf (r : recovery) =
+  Format.fprintf ppf "@[<v>recovery: %s (snapshot crc %08x)@,"
+    (if recovery_ok r then "OK" else "FAILED")
+    r.snapshot_crc;
+  Format.fprintf ppf "  resumed %d op(s) across %d slot(s) in %.2fs@," r.resumed_ops
+    (List.length r.resumed_slots) r.resume_seconds;
+  if r.fixes <> [] then
+    Format.fprintf ppf "  repair applied %d fix(es)@," (List.length r.fixes);
+  List.iter
+    (fun c ->
+      if not c.passed then
+        Format.fprintf ppf "  check %s FAILED: %s@," c.check_name c.detail)
+    r.recovery_checks;
+  Format.fprintf ppf "@]"
+
+let pp_recovery_report ppf pairs =
+  List.iter
+    (fun (s, r) -> Format.fprintf ppf "%a@.%a@." pp_scenario s pp_recovery r)
+    pairs

@@ -98,6 +98,60 @@ val run_scenario :
 val run_all : ?config:config -> ?progress:(scenario -> unit) -> unit -> scenario list
 (** The [layouts × policies] cross product; [progress] after each. *)
 
+(** {2 Crash → snapshot → repair → resume}
+
+    {!run_recovery_scenario} is the full recovery drill: run phase 1 exactly
+    like {!run_scenario} (crashes armed), then at quiescence
+
+    + snapshot the crashed structure ({!Repro_recover.Snapshot}) and prove
+      both codecs round-trip it ([codec-roundtrip]);
+    + run {!Repro_recover.Repair} over it — Theorem 3.4 means a crash never
+      corrupts the forest, so the repair must apply {e zero} fixes
+      ([repair-clean]) and the repaired partition must refine the
+      crash-time one ([repair-refines]);
+    + restore into a fresh structure and resume each crashed slot's stream
+      from the operation it died inside (re-running it is safe — [unite] is
+      idempotent, queries read-only), stall/yield noise still armed;
+    + re-run the full audit on the resumed structure and require every slot
+      to have completed every operation ([resumed-complete]).
+
+    Metrics are snapshotted between the phases: [phase1_counters] is the
+    crash-time registry state and [resume_counters] only the delta the
+    resumed run added, so a report over the resumed phase never
+    double-counts pre-crash operations. *)
+
+type recovery = {
+  crash_snapshot : Repro_recover.Snapshot.t;
+      (** the crash-time snapshot itself, for archiving *)
+  snapshot_crc : int;  (** CRC-32 of the crash-time snapshot *)
+  fixes : Repro_recover.Repair.fix list;  (** must be empty *)
+  resumed_slots : int list;
+  resumed_ops : int;  (** operations re-run or newly run in phase 2 *)
+  resumed_forest : Repro_fault.Forest_check.report option;
+  recovery_checks : check list;
+  resume_seconds : float;
+  phase1_counters : (string * int) list;  (** metrics registry at crash time *)
+  resume_counters : (string * int) list;  (** what the resume alone added *)
+}
+
+val recovery_ok : recovery -> bool
+
+val run_recovery_scenario :
+  ?config:config ->
+  layout:Scalability.layout ->
+  policy:Dsu.Find_policy.t ->
+  unit ->
+  scenario * recovery
+(** The phase-1 scenario (with its ordinary audit) plus the recovery
+    record.  Arms the global injection switch for the duration, like
+    {!run_scenario}. *)
+
+val run_recovery_all :
+  ?config:config ->
+  ?progress:(scenario * recovery -> unit) ->
+  unit ->
+  (scenario * recovery) list
+
 val hop_budget : int -> float
 (** [16 * (log2 n + 2)] — the mean own-hops-per-op ceiling asserted for
     survivors. *)
@@ -107,5 +161,14 @@ val to_json : ?config:config -> scenario list -> Repro_obs.Json.t
 (** The ["dsu-chaos/v1"] document: config echo plus one object per
     scenario. *)
 
+val recovery_to_json : recovery -> Repro_obs.Json.t
+
+val recovery_report_to_json :
+  ?config:config -> (scenario * recovery) list -> Repro_obs.Json.t
+(** The ["dsu-chaos/v1"] document with a ["recovery"] object inside each
+    scenario. *)
+
 val pp_scenario : Format.formatter -> scenario -> unit
 val pp : Format.formatter -> scenario list -> unit
+val pp_recovery : Format.formatter -> recovery -> unit
+val pp_recovery_report : Format.formatter -> (scenario * recovery) list -> unit

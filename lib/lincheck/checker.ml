@@ -71,3 +71,132 @@ let check_exn ~n history =
   match check ~n history with
   | Linearizable -> ()
   | Not_linearizable msg -> failwith msg
+
+(* ---------- crash-aware checking ---------- *)
+
+type crash_verdict = {
+  crash_ok : bool;
+  linearized : History.call list;
+  vanished : History.call list;
+  crash_detail : string;
+}
+
+(* Pending invocations with the index of their [Invoke] event —
+   {!History.pending_calls} drops the index, which the search needs as the
+   operation's lower time bound. *)
+let pending_with_index (events : History.t) =
+  let pending : (int, History.call * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun idx event ->
+      match event with
+      | History.Invoke { pid; call; _ } -> Hashtbl.replace pending pid (call, idx)
+      | History.Return { pid; _ } -> Hashtbl.remove pending pid)
+    events;
+  Hashtbl.fold (fun pid (call, idx) acc -> (pid, call, idx) :: acc) pending []
+  |> List.sort compare
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+(* All subsets of [0..k-1] as bitmasks, smallest subsets first — a pending
+   operation vanishes unless the history forces it to have taken effect. *)
+let subsets k =
+  List.init (1 lsl k) Fun.id
+  |> List.sort (fun a b -> compare (popcount a, a) (popcount b, b))
+
+let check_crash ~n ?final_roots history =
+  let completed = Array.of_list (History.complete_ops history) in
+  let pending = pending_with_index history in
+  (* A pending query constrains but never changes the state, so dropping it
+     is sound and complete: any witness with it remains one without it. *)
+  let pending_unites, pending_queries =
+    List.partition (fun (_, call, _) -> call.History.name = "unite") pending
+  in
+  let base = List.length history in
+  (* Post-quiescence observations of the final memory, synthesized as
+     completed [same_set] ops after every event: a crashed unite whose link
+     CAS landed shows up as a [true] its subset must explain (must
+     linearize); one whose CAS never landed shows up as a [false] that
+     forbids including it (must vanish). *)
+  let observations =
+    match final_roots with
+    | None -> []
+    | Some roots ->
+      List.mapi
+        (fun k (_, (call : History.call), _) ->
+          match call.args with
+          | [ x; y ] ->
+            {
+              History.pid = -1;
+              call = { History.name = "same_set"; args = [ x; y ] };
+              result = (if roots.(x) = roots.(y) then 1 else 0);
+              invoked_at = base + 64 + (2 * k);
+              returned_at = base + 64 + (2 * k) + 1;
+              steps = 0;
+            }
+          | _ -> invalid_arg "Checker.check_crash: malformed pending unite")
+        pending_unites
+  in
+  let k = List.length pending_unites in
+  if Array.length completed + k + List.length observations > 62 then
+    invalid_arg "Checker.check_crash: more than 62 operations";
+  let unites = Array.of_list pending_unites in
+  let calls_of = List.map (fun (_, call, _) -> call) in
+  let rec try_subsets = function
+    | [] -> None
+    | mask :: rest ->
+      let included = ref [] in
+      Array.iteri
+        (fun i entry -> if mask land (1 lsl i) <> 0 then included := entry :: !included)
+        unites;
+      let included = List.rev !included in
+      (* An included unite took effect before quiescence, so its synthetic
+         return lands after every real event but before the observations. *)
+      let synth =
+        List.mapi
+          (fun j (pid, call, invoked_at) ->
+            {
+              History.pid;
+              call;
+              result = 0;
+              invoked_at;
+              returned_at = base + j;
+              steps = 0;
+            })
+          included
+      in
+      let ops =
+        Array.concat [ completed; Array.of_list synth; Array.of_list observations ]
+      in
+      (match search ~n ops with
+      | Some _ -> Some (mask, included)
+      | None -> try_subsets rest)
+  in
+  match try_subsets (subsets k) with
+  | Some (mask, included) ->
+    let excluded =
+      Array.to_list unites
+      |> List.filteri (fun i _ -> mask land (1 lsl i) = 0)
+    in
+    let vanished = calls_of excluded @ calls_of pending_queries in
+    {
+      crash_ok = true;
+      linearized = calls_of included;
+      vanished;
+      crash_detail =
+        Printf.sprintf "%d pending: %d linearized, %d vanished" (List.length pending)
+          (List.length included) (List.length vanished);
+    }
+  | None ->
+    {
+      crash_ok = false;
+      linearized = [];
+      vanished = [];
+      crash_detail =
+        Printf.sprintf
+          "no include/vanish choice for the %d pending operation(s) yields a legal \
+           linearization of: %s"
+          (List.length pending)
+          (completed |> Array.to_list |> List.map explain_op |> String.concat "; ");
+    }

@@ -28,3 +28,37 @@ val check_exn : n:int -> Apram.History.t -> unit
 
 val witness : n:int -> Apram.History.t -> Apram.History.complete_op list option
 (** A linearization order if one exists. *)
+
+(** {2 Crash-aware checking}
+
+    A history cut off by crash-stopped processes carries pending
+    invocations.  The correctness condition (strict linearizability for
+    crash-stop histories) is: each pending operation either {e linearized}
+    — took effect at some point after its invocation — or {e vanished} —
+    never took effect; it must not half-apply.
+
+    {!check_crash} decides it by search: pending queries always vanish
+    (sound and complete — a query constrains but never changes the state),
+    and every include/exclude choice over the pending unites is tried in
+    increasing-inclusion order, so an operation only counts as linearized
+    when the history forces it.  With [final_roots] (the quiescent memory's
+    root per node, e.g. {!Dsu.Sim.roots_of_memory}), a [same_set]
+    observation per pending unite is appended after all events: a crashed
+    unite whose link CAS landed must then linearize, one whose CAS never
+    landed must vanish — without [final_roots] the two are
+    indistinguishable and the checker prefers vanish. *)
+
+type crash_verdict = {
+  crash_ok : bool;
+  linearized : Apram.History.call list;  (** pending unites forced to take effect *)
+  vanished : Apram.History.call list;  (** pending calls that never took effect *)
+  crash_detail : string;
+}
+
+val check_crash :
+  n:int -> ?final_roots:int array -> Apram.History.t -> crash_verdict
+(** [check_crash ~n history] — the completed ops plus synthetic entries for
+    included pending unites and final-state observations all feed one
+    {!check}-style search, so the 62-operation bound counts completed +
+    pending unites + one observation per pending unite.  A complete history
+    degenerates to {!check}. *)

@@ -1,0 +1,89 @@
+module Fc = Repro_fault.Forest_check
+module J = Repro_obs.Json
+
+type reason = Out_of_range | Order | Cycle
+
+type fix = { node : int; old_parent : int; reason : reason }
+
+let repair (snap : Snapshot.t) =
+  let parents = Array.copy snap.parents in
+  let fixes = ref [] in
+  let make_root node reason =
+    (* An earlier fix this round may already have rooted the node. *)
+    if parents.(node) <> node then begin
+      fixes := { node; old_parent = parents.(node); reason } :: !fixes;
+      parents.(node) <- node
+    end
+  in
+  let less i j =
+    let pi = snap.prios.(i) and pj = snap.prios.(j) in
+    pi < pj || (pi = pj && i < j)
+  in
+  (* Every fix removes an edge and adds none, so n rounds always suffice. *)
+  let rec rounds budget =
+    let report = Snapshot.check { snap with parents } in
+    if (not (Fc.ok report)) && budget > 0 then begin
+      List.iter
+        (function
+          | Fc.Out_of_range { node; _ } -> make_root node Out_of_range
+          | Fc.Order { node; _ } -> make_root node Order
+          | Fc.Cycle [] -> ()
+          | Fc.Cycle (first :: rest) ->
+            make_root (List.fold_left (fun best v -> if less v best then v else best) first rest)
+              Cycle)
+        report.violations;
+      rounds (budget - 1)
+    end
+  in
+  rounds (snap.n + 1);
+  ({ snap with parents }, List.rev !fixes)
+
+(* Component representative per node: union-find over the in-range edges,
+   direction ignored — well-defined even on cyclic input. *)
+let components (snap : Snapshot.t) =
+  let n = snap.n in
+  let uf = Array.init n (fun i -> i) in
+  let rec find i = if uf.(i) = i then i else (let r = find uf.(i) in uf.(i) <- r; r) in
+  Array.iteri
+    (fun i p ->
+      if p >= 0 && p < n && p <> i then begin
+        let ri = find i and rp = find p in
+        if ri <> rp then uf.(ri) <- rp
+      end)
+    snap.parents;
+  Array.init n (fun i -> find i)
+
+let refines ~(fine : Snapshot.t) ~(coarse : Snapshot.t) =
+  fine.n = coarse.n
+  &&
+  let cf = components fine and cc = components coarse in
+  let coarse_of_fine = Hashtbl.create 64 in
+  let ok = ref true in
+  Array.iteri
+    (fun i rf ->
+      match Hashtbl.find_opt coarse_of_fine rf with
+      | None -> Hashtbl.add coarse_of_fine rf cc.(i)
+      | Some c -> if c <> cc.(i) then ok := false)
+    cf;
+  !ok
+
+let reason_to_string = function
+  | Out_of_range -> "out-of-range"
+  | Order -> "order"
+  | Cycle -> "cycle"
+
+let pp_fix ppf { node; old_parent; reason } =
+  Format.fprintf ppf "%s: parent(%d) %d -> %d" (reason_to_string reason) node old_parent
+    node
+
+let fixes_to_json fixes =
+  J.List
+    (List.map
+       (fun { node; old_parent; reason } ->
+         J.Obj
+           [
+             ("node", J.Int node);
+             ("old_parent", J.Int old_parent);
+             ("reason", J.String (reason_to_string reason));
+           ])
+       fixes)

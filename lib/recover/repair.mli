@@ -1,0 +1,41 @@
+(** Repair-on-restart: turn {!Repro_fault.Forest_check} diagnostics into
+    fixes.
+
+    Theorem 3.4 (wait-freedom) means a crash can leave at most one installed
+    link CAS per killed process and never a malformed edge, so a snapshot of
+    a crashed run is already clean — {!repair} returns it unchanged with no
+    fixes.  What repair exists for is snapshots corrupted {e in storage}
+    (bit-rot past the checksum, a foreign producer, a hand-edited JSON
+    file): every fix makes some node a root, which only ever {e splits}
+    sets, so the repaired partition provably refines the snapshot's
+    ({!refines}) — no union is invented, some may be lost.
+
+    The fix per violation class:
+
+    - out-of-range parent: re-point the node to itself;
+    - priority-order violation: re-point the node to itself (the edge cannot
+      have been installed by the algorithm, Lemma 3.1);
+    - parent cycle: break it at its minimum-priority node (the node the
+      linking order says must be deepest, so the other edges may stand).
+
+    Rounds of check → fix → check run until the report is clean; each round
+    only removes edges, so at most [n] rounds terminate. *)
+
+type reason = Out_of_range | Order | Cycle
+
+type fix = { node : int; old_parent : int; reason : reason }
+(** The applied fix: [parents.(node)] was [old_parent], is now [node]. *)
+
+val repair : Snapshot.t -> Snapshot.t * fix list
+(** Fixes in application order; [[]] iff the snapshot was already clean. *)
+
+val refines : fine:Snapshot.t -> coarse:Snapshot.t -> bool
+(** [refines ~fine ~coarse]: every set of [fine]'s partition lies inside one
+    set of [coarse]'s.  Partitions are the connected components of the
+    parent graph (in-range edges, direction ignored), which is well-defined
+    even for cyclic or order-violating snapshots.  After [repair s] returns
+    [(s', _)], [refines ~fine:s' ~coarse:s] always holds — the sandwich a
+    restart must prove before resuming. *)
+
+val pp_fix : Format.formatter -> fix -> unit
+val fixes_to_json : fix list -> Repro_obs.Json.t

