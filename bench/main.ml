@@ -17,9 +17,15 @@
 
    A second mode, --parallel, skips bechamel entirely and runs the
    domain-parallel scalability sweep (Harness.Scalability): one shared DSU
-   under 1..N domains, across find policies and memory layouts (flat /
-   cache-line-padded / boxed).  --out then writes the dsu-scalability/v1
-   JSON document; see docs/PERFORMANCE.md. *)
+   under 1..N domains, across find policies, memory layouts (flat /
+   cache-line-padded / boxed), parent-load memory orders, link-CAS backoff
+   on/off, and key distributions (uniform / skewed).  --out then writes
+   the dsu-scalability/v2 JSON document; see docs/PERFORMANCE.md.
+
+   --guard-tuned PCT (with --parallel) additionally times the
+   single-domain smoke pair (flat / two-try, seq-cst vs the default
+   relaxed-reads order) and exits 1 if the tuned path is more than PCT%
+   slower than the fenced baseline — the CI perf-smoke regression gate. *)
 
 open Bechamel
 open Toolkit
@@ -67,6 +73,29 @@ let bench_native_padded =
   Test.make ~name:"native/padded-two-try"
     (Staged.stage (fun () ->
          let d = Dsu.Native.create ~padded:true ~seed:7 n_medium in
+         Workload.Op.run_native_array d ops))
+
+(* Memory-order A/B twin: the same end-to-end workload with every parent
+   load fully fenced (seq-cst) — the fenced baseline the tuned default
+   (relaxed-reads) is measured against.  Compare against native/two-try. *)
+let bench_native_seqcst =
+  let ops = mixed_ops_arr n_medium n_medium 3 in
+  Test.make ~name:"native/two-try-seqcst"
+    (Staged.stage (fun () ->
+         let d =
+           Dsu.Native.create ~memory_order:Dsu.Memory_order.Seq_cst ~seed:7
+             n_medium
+         in
+         Workload.Op.run_native_array d ops))
+
+(* Backoff A/B twin: link-CAS backoff disabled.  Single-threaded the two
+   should be indistinguishable (backoff only runs after a failed link CAS);
+   the multi-domain difference is the --parallel sweep's job. *)
+let bench_native_nobackoff =
+  let ops = mixed_ops_arr n_medium n_medium 3 in
+  Test.make ~name:"native/two-try-nobackoff"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~backoff:false ~seed:7 n_medium in
          Workload.Op.run_native_array d ops))
 
 (* E10 family: early termination. *)
@@ -332,6 +361,99 @@ let bench_single_same_set_boxed =
              (Dsu.Boxed.same_set d (Array.unsafe_get xs k) (Array.unsafe_get ys k))
          done))
 
+(* Memory-order micro twin of micro/find: identical flattened structure and
+   index stream, seq-cst parent loads. *)
+let bench_single_find_seqcst =
+  let d =
+    Dsu.Native.create ~memory_order:Dsu.Memory_order.Seq_cst ~seed:41 n_medium
+  in
+  Workload.Op.run_native_array d (Array.of_list (spanning_ops n_medium 43));
+  flatten_native d;
+  let idx = micro_indices 47 in
+  Test.make ~name:"micro/find-seqcst"
+    (Staged.stage (fun () ->
+         for k = 0 to micro_batch - 1 do
+           ignore (Dsu.Native.find d (Array.unsafe_get idx k))
+         done))
+
+(* Bulk suite: the batched kernels (unite_batch / same_set_batch, with
+   their per-call root cache and endpoint prefetching) against the
+   per-operation loop over the same endpoint streams.  The A/B twins share
+   streams (same seeds), so each pair is a paired comparison.
+
+   The bulk benches run on a structure of [n_bulk] = 2^20 nodes: an 8 MB
+   parent array, well past LLC on most hosts, so random endpoint accesses
+   genuinely miss cache — the regime bulk kernels are for (prefetching
+   only helps when there is a miss to hide; on a cache-resident structure
+   the kernels' per-call setup is pure overhead and the per-op loop is the
+   right tool).  The unite twins process [n_bulk / 2] pairs per run so the
+   kernel, not structure creation, dominates. *)
+let n_bulk = 1 lsl 20
+let bulk_unites = n_bulk / 2
+let bulk_queries = 1 lsl 15
+
+let bulk_pairs count seed =
+  let rng = Rng.create seed in
+  let xs = Array.init count (fun _ -> Rng.int rng n_bulk) in
+  let ys = Array.init count (fun _ -> Rng.int rng n_bulk) in
+  (xs, ys)
+
+let bench_bulk_unite_batch =
+  let xs, ys = bulk_pairs bulk_unites 83 in
+  Test.make ~name:"bulk/unite-batch"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~seed:7 n_bulk in
+         Dsu.Native.unite_batch d xs ys))
+
+let bench_bulk_unite_per_op =
+  let xs, ys = bulk_pairs bulk_unites 83 in
+  Test.make ~name:"bulk/unite-per-op"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~seed:7 n_bulk in
+         for k = 0 to bulk_unites - 1 do
+           Dsu.Native.unite d (Array.unsafe_get xs k) (Array.unsafe_get ys k)
+         done))
+
+(* The same_set twins query a prepared, flattened structure (like the
+   micro benches), so the measured work is the query walk itself —
+   two root checks at random far-apart addresses per query. *)
+let bench_bulk_same_set_batch =
+  let d = Dsu.Native.create ~seed:53 n_bulk in
+  Workload.Op.run_native_array d (Array.of_list (spanning_ops n_bulk 59));
+  flatten_native d;
+  let xs, ys = bulk_pairs bulk_queries 91 in
+  Test.make ~name:"bulk/same_set-batch"
+    (Staged.stage (fun () -> ignore (Dsu.Native.same_set_batch d xs ys)))
+
+let bench_bulk_same_set_per_op =
+  let d = Dsu.Native.create ~seed:53 n_bulk in
+  Workload.Op.run_native_array d (Array.of_list (spanning_ops n_bulk 59));
+  flatten_native d;
+  let xs, ys = bulk_pairs bulk_queries 91 in
+  Test.make ~name:"bulk/same_set-per-op"
+    (Staged.stage (fun () ->
+         for k = 0 to bulk_queries - 1 do
+           ignore
+             (Dsu.Native.same_set d (Array.unsafe_get xs k) (Array.unsafe_get ys k))
+         done))
+
+(* End-to-end mixed stream through the batching op runner (maximal
+   same-kind runs flushed through the bulk kernels) vs the plain array
+   runner — what an application-level caller gains by batching. *)
+let bench_bulk_mixed_batched =
+  let ops = mixed_ops_arr n_medium n_medium 3 in
+  Test.make ~name:"bulk/mixed-batched"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~seed:7 n_medium in
+         Workload.Op.run_native_array_batched d ops))
+
+let bench_bulk_mixed_per_op =
+  let ops = mixed_ops_arr n_medium n_medium 3 in
+  Test.make ~name:"bulk/mixed-per-op"
+    (Staged.stage (fun () ->
+         let d = Dsu.Native.create ~seed:7 n_medium in
+         Workload.Op.run_native_array d ops))
+
 let all_tests () =
   [
     bench_native_policy Policy.No_compaction;
@@ -340,6 +462,8 @@ let all_tests () =
     bench_boxed_policy Policy.Two_try_splitting;
     bench_boxed_policy Policy.One_try_splitting;
     bench_native_padded;
+    bench_native_seqcst;
+    bench_native_nobackoff;
     bench_native_early;
     bench_aw;
     bench_locked;
@@ -363,8 +487,15 @@ let all_tests () =
     bench_single_find;
     bench_single_find_boxed;
     bench_single_find_padded;
+    bench_single_find_seqcst;
     bench_single_same_set;
     bench_single_same_set_boxed;
+    bench_bulk_unite_batch;
+    bench_bulk_unite_per_op;
+    bench_bulk_same_set_batch;
+    bench_bulk_same_set_per_op;
+    bench_bulk_mixed_batched;
+    bench_bulk_mixed_per_op;
   ]
 
 (* ------------------------------------------------------------ CLI state *)
@@ -380,6 +511,10 @@ let max_domains = ref 8
 let unite_percent = ref 30
 let parallel_policies = ref [ Policy.Two_try_splitting; Policy.One_try_splitting ]
 let parallel_layouts = ref [ Harness.Scalability.Flat; Harness.Scalability.Boxed ]
+let parallel_orders = ref [ Dsu.Memory_order.default ]
+let parallel_backoffs = ref [ true ]
+let parallel_dists = ref [ Harness.Scalability.Uniform ]
+let guard_tuned = ref None
 
 let contains_substring ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -412,6 +547,40 @@ let set_layouts s =
   in
   if layouts = [] then raise (Arg.Bad "--layouts: empty list");
   parallel_layouts := layouts
+
+let set_memory_orders s =
+  let orders =
+    String.split_on_char ',' s
+    |> List.map (fun o ->
+           match Dsu.Memory_order.of_string (String.trim o) with
+           | Some o -> o
+           | None -> raise (Arg.Bad (Printf.sprintf "unknown memory order %S" o)))
+  in
+  if orders = [] then raise (Arg.Bad "--memory-orders: empty list");
+  parallel_orders := orders
+
+let set_backoffs s =
+  let backoffs =
+    String.split_on_char ',' s
+    |> List.map (fun b ->
+           match String.trim b with
+           | "on" | "true" | "1" -> true
+           | "off" | "false" | "0" -> false
+           | b -> raise (Arg.Bad (Printf.sprintf "unknown backoff switch %S" b)))
+  in
+  if backoffs = [] then raise (Arg.Bad "--backoffs: empty list");
+  parallel_backoffs := backoffs
+
+let set_dists s =
+  let dists =
+    String.split_on_char ',' s
+    |> List.map (fun d ->
+           match Harness.Scalability.dist_of_string (String.trim d) with
+           | Some d -> d
+           | None -> raise (Arg.Bad (Printf.sprintf "unknown distribution %S" d)))
+  in
+  if dists = [] then raise (Arg.Bad "--dists: empty list");
+  parallel_dists := dists
 
 let speclist =
   [
@@ -450,6 +619,22 @@ let speclist =
       Arg.String set_layouts,
       "L1,L2  memory layouts for --parallel: flat, flat-padded, boxed \
        (default flat,boxed)" );
+    ( "--memory-orders",
+      Arg.String set_memory_orders,
+      "O1,O2  parent-load memory orders for --parallel: seq-cst, acquire, \
+       relaxed-reads (default relaxed-reads)" );
+    ( "--backoffs",
+      Arg.String set_backoffs,
+      "B1,B2  link-CAS backoff switches for --parallel: on, off (default on)" );
+    ( "--dists",
+      Arg.String set_dists,
+      "D1,D2  endpoint distributions for --parallel: uniform, skewed \
+       (default uniform)" );
+    ( "--guard-tuned",
+      Arg.Float (fun p -> guard_tuned := Some p),
+      "PCT  after --parallel, time the single-domain smoke pair (flat / \
+       two-try, seq-cst vs relaxed-reads) and exit 1 if the tuned path is \
+       more than PCT percent slower" );
   ]
 
 let usage =
@@ -461,6 +646,44 @@ let write_json file doc =
   output_string oc (Repro_obs.Json.to_string doc);
   output_char oc '\n';
   close_out oc
+
+(* The perf-smoke regression gate: time the single-domain smoke pair —
+   flat layout, two-try splitting, seq-cst vs the tuned default order —
+   and fail if the tuned path lost more than [pct] percent of the fenced
+   baseline's throughput.  Best-of-3 per side: single-domain runs on
+   shared CI hosts are noisy, and the guard exists to catch a systematic
+   regression (a misplaced fence, an accidental strong CAS in the hot
+   loop), not scheduling jitter. *)
+let run_guard_tuned config pct =
+  let best order =
+    let rec go best k =
+      if k = 0 then best
+      else
+        let p =
+          Harness.Scalability.run_point ~config ~memory_order:order
+            ~layout:Harness.Scalability.Flat ~policy:Policy.Two_try_splitting
+            ~domains:1 ()
+        in
+        go (max best p.Harness.Scalability.mops_per_sec) (k - 1)
+    in
+    go 0. 3
+  in
+  let seqcst = best Dsu.Memory_order.Seq_cst in
+  let tuned = best Dsu.Memory_order.default in
+  let loss = (seqcst -. tuned) /. seqcst *. 100. in
+  Printf.printf
+    "\nguard-tuned: seq-cst %.3f Mops/s, %s %.3f Mops/s (loss %.1f%%, \
+     budget %.1f%%)\n%!"
+    seqcst
+    (Dsu.Memory_order.to_string Dsu.Memory_order.default)
+    tuned loss pct;
+  if loss > pct then begin
+    Printf.eprintf
+      "guard-tuned: FAIL — tuned path is %.1f%% slower than seq-cst \
+       (budget %.1f%%)\n%!"
+      loss pct;
+    exit 1
+  end
 
 let run_parallel_sweep () =
   let rec counts d = if d > !max_domains then [] else d :: counts (2 * d) in
@@ -474,23 +697,32 @@ let run_parallel_sweep () =
       domain_counts;
       policies = !parallel_policies;
       layouts = !parallel_layouts;
+      memory_orders = !parallel_orders;
+      backoffs = !parallel_backoffs;
+      dists = !parallel_dists;
     }
   in
   let points =
     Harness.Scalability.sweep ~config
       ~progress:(fun p ->
-        Printf.printf "%-12s %-10s d=%d  %8.3f Mops/s\n%!"
+        Printf.printf "%-12s %-10s %-13s %-3s %-7s d=%d  %8.3f Mops/s\n%!"
           (Harness.Scalability.layout_to_string p.Harness.Scalability.layout)
           (Policy.to_string p.Harness.Scalability.policy)
+          (Dsu.Memory_order.to_string p.Harness.Scalability.memory_order)
+          (if p.Harness.Scalability.backoff then "on" else "off")
+          (Harness.Scalability.dist_to_string p.Harness.Scalability.dist)
           p.Harness.Scalability.domains p.Harness.Scalability.mops_per_sec)
       ()
   in
   print_newline ();
   Harness.Scalability.pp_table Format.std_formatter points;
   Format.pp_print_flush Format.std_formatter ();
-  match !out_file with
+  (match !out_file with
   | None -> ()
-  | Some file -> write_json file (Harness.Scalability.to_json ~config points)
+  | Some file -> write_json file (Harness.Scalability.to_json ~config points));
+  match !guard_tuned with
+  | None -> ()
+  | Some pct -> run_guard_tuned config pct
 
 let run_bechamel () =
   let tests =

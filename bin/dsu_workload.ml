@@ -734,6 +734,24 @@ let layout_conv =
   in
   Arg.conv (parse, print)
 
+let memory_order_conv =
+  let parse s =
+    match Dsu.Memory_order.of_string s with
+    | Some o -> Ok o
+    | None -> Error (`Msg (Printf.sprintf "unknown memory order %S" s))
+  in
+  Arg.conv (parse, Dsu.Memory_order.pp)
+
+let memory_order_arg =
+  Arg.(
+    value
+    & opt memory_order_conv Dsu.Memory_order.default
+    & info [ "memory-order" ] ~docv:"ORDER"
+        ~doc:
+          "Parent-load ordering mode for the structures under test: \
+           relaxed-reads (default), acquire or seq-cst.  Lets the chaos \
+           audit A/B the tuned path against the fully fenced baseline.")
+
 let chaos_ops_arg =
   Arg.(
     value & opt int 20_000
@@ -825,8 +843,8 @@ let chaos_snapshot_out_arg =
            as $(docv)-<layout>-<policy>.snap.")
 
 let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
-    unite_frac seed fault_seed policies layouts validate recover snapshot_out
-    json_out metrics_out =
+    unite_frac seed fault_seed policies layouts memory_order validate recover
+    snapshot_out json_out metrics_out =
   let* () = check_arg (n >= 2) "--elements must be >= 2" in
   let* () = check_arg (ops >= 1) "--ops must be >= 1" in
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
@@ -861,6 +879,7 @@ let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
       fault_seed;
       policies = (if policies = [] then [ Policy.Two_try_splitting ] else policies);
       layouts = (if layouts = [] then [ Harness.Scalability.Flat ] else layouts);
+      memory_order;
       validate;
     }
   in
@@ -933,8 +952,9 @@ let chaos_cmd =
       term_result
         (const run_chaos $ n_arg $ chaos_ops_arg $ domains_arg $ crash_domains_arg
         $ crash_after_arg $ stall_prob_arg $ stall_len_arg $ unite_frac_arg
-        $ seed_arg $ fault_seed_arg $ policies_arg $ layouts_arg $ validate_arg
-        $ recover_arg $ chaos_snapshot_out_arg $ json_out_arg $ metrics_out_arg))
+        $ seed_arg $ fault_seed_arg $ policies_arg $ layouts_arg
+        $ memory_order_arg $ validate_arg $ recover_arg $ chaos_snapshot_out_arg
+        $ json_out_arg $ metrics_out_arg))
 
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in

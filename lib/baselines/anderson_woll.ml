@@ -150,9 +150,9 @@ module Native = struct
 
   type t = A.t
 
-  let create ?(collect_stats = false) ?indirection n =
+  let create ?memory_order ?(collect_stats = false) ?indirection n =
     let stats = if collect_stats then Some (Dsu.Stats.create ()) else None in
-    let mem = Repro_util.Flat_atomic_array.make n (A.init_word n) in
+    let mem = Dsu.Native_memory.make ?order:memory_order n (A.init_word n) in
     A.create ?stats ?indirection ~mem ~n ()
 
   let find = A.find
@@ -169,6 +169,11 @@ module Sim = struct
 
     let read () a = Apram.Process.read a
     let cas () a expected desired = Apram.Process.cas a expected desired
+
+    (* Step-counted memory: weak CAS costs a strong CAS's step; prefetch
+       is not a memory step. *)
+    let cas_weak = cas
+    let prefetch () _ = ()
   end
 
   module A = Make (Sim_memory)

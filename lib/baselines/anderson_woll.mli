@@ -32,7 +32,12 @@ end
 module Native : sig
   type t
 
-  val create : ?collect_stats:bool -> ?indirection:bool -> int -> t
+  val create :
+    ?memory_order:Dsu.Memory_order.t ->
+    ?collect_stats:bool ->
+    ?indirection:bool ->
+    int ->
+    t
   val find : t -> int -> int
   val same_set : t -> int -> int -> bool
   val unite : t -> int -> int -> unit

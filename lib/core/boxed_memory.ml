@@ -11,3 +11,9 @@ type t = Repro_util.Atomic_array.t
 
 let read = Repro_util.Atomic_array.get
 let cas = Repro_util.Atomic_array.cas
+
+(* No cheaper weak CAS over [Atomic.t]; the strong one is a valid weak
+   CAS (it just never fails spuriously).  Prefetching a boxed cell would
+   only pull in the box pointer, so it is a no-op. *)
+let cas_weak = cas
+let prefetch _ _ = ()

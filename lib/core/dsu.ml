@@ -17,6 +17,7 @@
       algorithm over a custom shared memory. *)
 
 module Find_policy = Find_policy
+module Memory_order = Memory_order
 module Memory_intf = Memory_intf
 module Stats = Dsu_stats
 module Obs = Dsu_obs

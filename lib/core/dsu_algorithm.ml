@@ -22,6 +22,8 @@
     it.  This only lowers constant factors and is noted in EXPERIMENTS.md. *)
 
 module Make (M : Memory_intf.S) = struct
+  module Backoff = Repro_util.Backoff
+
   type t = {
     mem : M.t;
     n : int;
@@ -32,19 +34,26 @@ module Make (M : Memory_intf.S) = struct
             on the fly from a large universe). *)
     policy : Find_policy.t;
     early : bool;
+    backoff : bool;
+        (** Bounded exponential backoff after a failed {e link} CAS in
+            [unite].  A failed link means another domain just linked the
+            same root, so an immediate retry mostly re-collides; splitting
+            CAS failures never back off (they are not retried at all beyond
+            the policy's second try). *)
     stats : Dsu_stats.t option;
     on_link : (child:int -> parent:int -> unit) option;
   }
 
-  let create ?(policy = Find_policy.Two_try_splitting) ?(early = false) ?stats
-      ?on_link ~mem ~n ~prio () =
+  let create ?(policy = Find_policy.Two_try_splitting) ?(early = false)
+      ?(backoff = true) ?stats ?on_link ~mem ~n ~prio () =
     if n < 1 then invalid_arg "Dsu_algorithm.create: n must be >= 1";
-    { mem; n; prio; policy; early; stats; on_link }
+    { mem; n; prio; policy; early; backoff; stats; on_link }
 
   let n t = t.n
   let mem t = t.mem
   let policy t = t.policy
   let early t = t.early
+  let backoff t = t.backoff
   let stats t = t.stats
 
   let id t i = t.prio i
@@ -117,7 +126,11 @@ module Make (M : Memory_intf.S) = struct
     in
     loop x
 
-  (* Algorithm 4: Find with one-try splitting. *)
+  (* Algorithm 4: Find with one-try splitting.  The splitting update is a
+     {e weak} CAS: Algorithm 4 already tolerates a failed try (it advances
+     regardless), so a spurious failure is indistinguishable from losing a
+     race and the semantics are unchanged.  Same in every splitting CAS
+     below. *)
   let find_one_try t x =
     let rec loop u =
       bump t Dsu_stats.incr_find_iter;
@@ -125,7 +138,7 @@ module Make (M : Memory_intf.S) = struct
       let w = M.read t.mem v in
       if v = w then v
       else begin
-        let ok = M.cas t.mem u v w in
+        let ok = M.cas_weak t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         loop v
       end
@@ -143,7 +156,7 @@ module Make (M : Memory_intf.S) = struct
       if v = w then v
       else begin
         fault_split_pre ();
-        let ok = M.cas t.mem u v w in
+        let ok = M.cas_weak t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
         fault_split_post ();
@@ -162,13 +175,13 @@ module Make (M : Memory_intf.S) = struct
       let w = M.read t.mem v in
       if v = w then v
       else begin
-        let ok = M.cas t.mem u v w in
+        let ok = M.cas_weak t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         let v2 = M.read t.mem u in
         let w2 = M.read t.mem v2 in
         if v2 = w2 then v2
         else begin
-          let ok2 = M.cas t.mem u v2 w2 in
+          let ok2 = M.cas_weak t.mem u v2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
           loop v2
         end
@@ -187,7 +200,7 @@ module Make (M : Memory_intf.S) = struct
       if v = w then v
       else begin
         fault_split_pre ();
-        let ok = M.cas t.mem u v w in
+        let ok = M.cas_weak t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
         fault_split_post ();
@@ -197,7 +210,7 @@ module Make (M : Memory_intf.S) = struct
         if v2 = w2 then v2
         else begin
           fault_split_pre ();
-          let ok2 = M.cas t.mem u v2 w2 in
+          let ok2 = M.cas_weak t.mem u v2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
           Dsu_obs.on_compaction_cas ~ok:ok2;
           fault_split_post ();
@@ -225,7 +238,7 @@ module Make (M : Memory_intf.S) = struct
     List.iter
       (fun (u, observed_parent) ->
         if observed_parent <> root then begin
-          let ok = M.cas t.mem u observed_parent root in
+          let ok = M.cas_weak t.mem u observed_parent root in
           bump t (Dsu_stats.incr_compaction_cas ~ok)
         end)
       path;
@@ -244,7 +257,7 @@ module Make (M : Memory_intf.S) = struct
       (fun (u, observed_parent) ->
         if observed_parent <> root then begin
           fault_split_pre ();
-          let ok = M.cas t.mem u observed_parent root in
+          let ok = M.cas_weak t.mem u observed_parent root in
           bump t (Dsu_stats.incr_compaction_cas ~ok);
           Dsu_obs.on_compaction_cas ~ok;
           fault_split_post ()
@@ -296,19 +309,19 @@ module Make (M : Memory_intf.S) = struct
     | Find_policy.One_try_splitting ->
       let w = M.read t.mem z in
       if z <> w then begin
-        let ok = M.cas t.mem u z w in
+        let ok = M.cas_weak t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok)
       end;
       z
     | Find_policy.Two_try_splitting ->
       let w = M.read t.mem z in
       if z <> w then begin
-        let ok = M.cas t.mem u z w in
+        let ok = M.cas_weak t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         let z2 = M.read t.mem u in
         let w2 = M.read t.mem z2 in
         if z2 <> w2 then begin
-          let ok2 = M.cas t.mem u z2 w2 in
+          let ok2 = M.cas_weak t.mem u z2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2)
         end;
         z2
@@ -326,7 +339,7 @@ module Make (M : Memory_intf.S) = struct
       let w = M.read t.mem z in
       if z <> w then begin
         fault_split_pre ();
-        let ok = M.cas t.mem u z w in
+        let ok = M.cas_weak t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
         fault_split_post ()
@@ -337,7 +350,7 @@ module Make (M : Memory_intf.S) = struct
       let w = M.read t.mem z in
       if z <> w then begin
         fault_split_pre ();
-        let ok = M.cas t.mem u z w in
+        let ok = M.cas_weak t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
         Dsu_obs.on_compaction_cas ~ok;
         fault_split_post ();
@@ -346,7 +359,7 @@ module Make (M : Memory_intf.S) = struct
         let w2 = M.read t.mem z2 in
         if z2 <> w2 then begin
           fault_split_pre ();
-          let ok2 = M.cas t.mem u z2 w2 in
+          let ok2 = M.cas_weak t.mem u z2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
           Dsu_obs.on_compaction_cas ~ok:ok2;
           fault_split_post ()
@@ -397,9 +410,13 @@ module Make (M : Memory_intf.S) = struct
     loop x y ~first:true
 
   (* Algorithm 3: Unite via two complete finds per round; link the root with
-     the smaller id below the other with one Cas. *)
+     the smaller id below the other with one Cas.  The link CAS stays
+     {e strong} (a reported failure must mean a real conflict) because a
+     failure triggers the bounded exponential backoff: another domain just
+     linked the same root, so an immediate retry mostly re-collides.  The
+     spin count [spins] is threaded as an unboxed loop argument. *)
   let unite_plain t x y =
-    let rec loop u v ~first =
+    let rec loop u v spins ~first =
       if not first then begin
         bump t Dsu_stats.incr_outer_retry;
         if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
@@ -413,7 +430,9 @@ module Make (M : Memory_intf.S) = struct
         bump t (Dsu_stats.incr_link_cas ~ok);
         if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
         fault_link_post ();
-        if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
+        if ok then record_link t ~child:u ~parent:v
+        else
+          loop u v (if t.backoff then Backoff.once spins else spins) ~first:false
       end
       else begin
         fault_link_pre ();
@@ -421,10 +440,12 @@ module Make (M : Memory_intf.S) = struct
         bump t (Dsu_stats.incr_link_cas ~ok);
         if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
         fault_link_post ();
-        if ok then record_link t ~child:v ~parent:u else loop u v ~first:false
+        if ok then record_link t ~child:v ~parent:u
+        else
+          loop u v (if t.backoff then Backoff.once spins else spins) ~first:false
       end
     in
-    loop x y ~first:true
+    loop x y Backoff.initial ~first:true
 
   (* Algorithm 7: Unite with early termination.  The printed pseudocode uses
      an unconditional linking Cas as the root test; attempting the Cas only
@@ -432,7 +453,7 @@ module Make (M : Memory_intf.S) = struct
      a root and saves a wasted Cas when it is not (the Cas still re-verifies
      rootness atomically, so correctness is unchanged). *)
   let unite_early t x y =
-    let rec loop u v ~first =
+    let rec loop u v spins ~first =
       if not first then begin
         bump t Dsu_stats.incr_outer_retry;
         if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
@@ -447,7 +468,12 @@ module Make (M : Memory_intf.S) = struct
           bump t (Dsu_stats.incr_link_cas ~ok);
           if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
           fault_link_post ();
-          if ok then record_link t ~child:u ~parent:v else loop u v ~first:false
+          if ok then record_link t ~child:u ~parent:v
+          else
+            (* Only a failed link CAS backs off; early steps are progress. *)
+            loop u v
+              (if t.backoff then Backoff.once spins else spins)
+              ~first:false
         end
         else begin
           let u =
@@ -455,11 +481,11 @@ module Make (M : Memory_intf.S) = struct
               early_step_obs t u z
             else early_step t u z
           in
-          loop u v ~first:false
+          loop u v spins ~first:false
         end
       end
     in
-    loop x y ~first:true
+    loop x y Backoff.initial ~first:true
 
   let same_set t x y =
     check_node t x;
@@ -472,6 +498,134 @@ module Make (M : Memory_intf.S) = struct
     check_node t y;
     bump t Dsu_stats.incr_unite;
     if t.early then unite_early t x y else unite_plain t x y
+
+  (* ------------------------------------------------------ bulk kernels *)
+
+  (* ConnectIt-style batched processing: one call unites (or queries) a
+     whole array of endpoint pairs.  Two per-call optimizations:
+
+     - {b root cache}: a direct-mapped table mapping a recently seen node
+       to a recently observed {e ancestor} of it.  Soundness: parents only
+       ever move to proper ancestors (Lemma 3.1), so once [a] is an
+       ancestor of [x] it stays one forever — [find_root] from the cached
+       ancestor lands on exactly the current root of [x]'s tree, and a
+       unite from the cached ancestors unites [x]'s and [y]'s sets.  The
+       cache lives on the calling domain's stack (allocated per call), so
+       it is per-domain by construction and never contended.
+     - {b prefetching}: the parent cells of the pair [prefetch_dist]
+       slots ahead are prefetched before the current pair is processed.
+       Prefetch is a pure hint, so issuing it before the ahead-pair is
+       bounds-checked is safe ({!Memory_intf.S.prefetch} never faults).
+
+     The kernels use the plain (non-early) rounds regardless of [t.early]:
+     batched callers want the roots settled for the cache.  Fault sites
+     and telemetry fire exactly as in [unite] — the link CAS is wrapped in
+     [fault_link_pre/post] — so chaos coverage extends to the bulk path. *)
+
+  let cache_bits = 8
+  let cache_size = 1 lsl cache_bits
+  let cache_mask = cache_size - 1
+  let prefetch_dist = 8
+
+  (* Returns a common ancestor of [u] and [v] once they are in one set
+     (the link target on success, the shared root when already joined). *)
+  let settle_unite t u v =
+    let rec loop u v spins ~first =
+      if not first then begin
+        bump t Dsu_stats.incr_outer_retry;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
+      end;
+      let u = find_root t u in
+      let v = find_root t v in
+      if u = v then u
+      else begin
+        let child, parent = if less t u v then (u, v) else (v, u) in
+        fault_link_pre ();
+        let ok = M.cas t.mem child child parent in
+        bump t (Dsu_stats.incr_link_cas ~ok);
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+        fault_link_post ();
+        if ok then begin
+          record_link t ~child ~parent;
+          parent
+        end
+        else
+          loop u v (if t.backoff then Backoff.once spins else spins) ~first:false
+      end
+    in
+    loop u v Backoff.initial ~first:true
+
+  let check_batch t op xs ys =
+    let len = Array.length xs in
+    if Array.length ys <> len then
+      invalid_arg (Printf.sprintf "Dsu.%s: endpoint arrays differ in length" op);
+    for k = 0 to len - 1 do
+      check_node t (Array.unsafe_get xs k);
+      check_node t (Array.unsafe_get ys k)
+    done;
+    len
+
+  let[@inline] cache_hint keys anc x =
+    let slot = x land cache_mask in
+    if Array.unsafe_get keys slot = x then Array.unsafe_get anc slot else x
+
+  let[@inline] cache_store keys anc x a =
+    let slot = x land cache_mask in
+    Array.unsafe_set keys slot x;
+    Array.unsafe_set anc slot a
+
+  let unite_batch t xs ys =
+    let len = check_batch t "unite_batch" xs ys in
+    let keys = Array.make cache_size (-1) and anc = Array.make cache_size 0 in
+    for k = 0 to len - 1 do
+      if k + prefetch_dist < len then begin
+        M.prefetch t.mem (Array.unsafe_get xs (k + prefetch_dist));
+        M.prefetch t.mem (Array.unsafe_get ys (k + prefetch_dist))
+      end;
+      let x = Array.unsafe_get xs k and y = Array.unsafe_get ys k in
+      bump t Dsu_stats.incr_unite;
+      let a = settle_unite t (cache_hint keys anc x) (cache_hint keys anc y) in
+      cache_store keys anc x a;
+      cache_store keys anc y a
+    done
+
+  let same_set_batch t xs ys =
+    let len = check_batch t "same_set_batch" xs ys in
+    let keys = Array.make cache_size (-1) and anc = Array.make cache_size 0 in
+    let out = Array.make len false in
+    for k = 0 to len - 1 do
+      if k + prefetch_dist < len then begin
+        M.prefetch t.mem (Array.unsafe_get xs (k + prefetch_dist));
+        M.prefetch t.mem (Array.unsafe_get ys (k + prefetch_dist))
+      end;
+      let x = Array.unsafe_get xs k and y = Array.unsafe_get ys k in
+      bump t Dsu_stats.incr_same_set;
+      (* Algorithm 2's rounds, started from the cached ancestors. *)
+      let rec loop u v ~first =
+        if not first then begin
+          bump t Dsu_stats.incr_outer_retry;
+          if Atomic.get Dsu_obs.armed then Dsu_obs.on_outer_retry ()
+        end;
+        let u = find_root t u in
+        let v = find_root t v in
+        if u = v then begin
+          cache_store keys anc x u;
+          cache_store keys anc y u;
+          true
+        end
+        else if M.read t.mem u = u then begin
+          (* [u]/[v] are (ancestors of) the two distinct roots observed;
+             both remain ancestors of their endpoints forever. *)
+          cache_store keys anc x u;
+          cache_store keys anc y v;
+          false
+        end
+        else loop u v ~first:false
+      in
+      Array.unsafe_set out k
+        (loop (cache_hint keys anc x) (cache_hint keys anc y) ~first:true)
+    done;
+    out
 
   (* Quiescent inspection helpers.  These read through [M], so under the
      simulator they consume steps; call them only outside measured phases. *)

@@ -7,7 +7,7 @@ type t = A.t
 
 let self_seed = Atomic.make 0x2545f4914f6cdd1d
 
-let create ?policy ?early ?(collect_stats = false) ?seed n =
+let create ?policy ?early ?backoff ?(collect_stats = false) ?seed n =
   if n < 1 then invalid_arg "Dsu_boxed.create: n must be >= 1";
   let seed =
     match seed with
@@ -17,7 +17,7 @@ let create ?policy ?early ?(collect_stats = false) ?seed n =
   let ids = Rng.permutation (Rng.create seed) n in
   let mem = Atomic_array.make n (fun i -> i) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
 
 let n = A.n
 
@@ -57,7 +57,7 @@ let stats t = match A.stats t with None -> Dsu_stats.zero | Some s -> Dsu_stats.
 
 (* The same validated restore as {!Dsu_native.of_snapshot}, over the boxed
    layout — so a snapshot taken from either layout restores into either. *)
-let of_snapshot ?policy ?early ?(collect_stats = false) ~parents ~ids () =
+let of_snapshot ?policy ?early ?backoff ?(collect_stats = false) ~parents ~ids () =
   let n = Array.length parents in
   if n < 1 || Array.length ids <> n then
     invalid_arg "Dsu_boxed.of_snapshot: malformed snapshot";
@@ -77,4 +77,4 @@ let of_snapshot ?policy ?early ?(collect_stats = false) ~parents ~ids () =
     parents;
   let mem = Atomic_array.make n (fun i -> parents.(i)) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()

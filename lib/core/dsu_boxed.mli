@@ -15,10 +15,13 @@ type t
 val create :
   ?policy:Find_policy.t ->
   ?early:bool ->
+  ?backoff:bool ->
   ?collect_stats:bool ->
   ?seed:int ->
   int ->
   t
+(** [backoff] as in {!Dsu_native.create} — kept identical so layout A/B
+    runs compare memory layouts only. *)
 
 val n : t -> int
 val same_set : t -> int -> int -> bool
@@ -38,6 +41,7 @@ val ids_snapshot : t -> int array
 val of_snapshot :
   ?policy:Find_policy.t ->
   ?early:bool ->
+  ?backoff:bool ->
   ?collect_stats:bool ->
   parents:int array ->
   ids:int array ->

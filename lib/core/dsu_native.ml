@@ -11,7 +11,8 @@ type t = A.t
    randomized-linking analysis). *)
 let self_seed = Atomic.make 0x4d595df4d0f33173
 
-let create ?policy ?early ?(collect_stats = false) ?on_link ?seed ?(padded = false) n =
+let create ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
+    ?on_link ?seed ?(padded = false) n =
   if n < 1 then invalid_arg "Dsu_native.create: n must be >= 1";
   let seed =
     match seed with
@@ -19,9 +20,11 @@ let create ?policy ?early ?(collect_stats = false) ?on_link ?seed ?(padded = fal
     | None -> 1 + Atomic.fetch_and_add self_seed 1
   in
   let ids = Rng.permutation (Rng.create seed) n in
-  let mem = Flat_atomic_array.make ~padded n (fun i -> i) in
+  let mem = Native_memory.make ~padded ?order:memory_order n (fun i -> i) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ?on_link ~mem ~n
+    ~prio:(fun i -> ids.(i))
+    ()
 
 let n = A.n
 
@@ -49,6 +52,24 @@ let unite t x y =
 let find t x =
   if Atomic.get Dsu_obs.armed then Dsu_obs.record_find_op ();
   A.find t x
+
+let unite_batch t xs ys =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    A.unite_batch t xs ys;
+    Dsu_obs.record_unite_latency t0
+  end
+  else A.unite_batch t xs ys
+
+let same_set_batch t xs ys =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    let r = A.same_set_batch t xs ys in
+    Dsu_obs.record_same_set_latency t0;
+    r
+  end
+  else A.same_set_batch t xs ys
+
 let id = A.id
 let parent_of = A.parent_of
 let is_root = A.is_root
@@ -59,8 +80,10 @@ let stats t = match A.stats t with None -> Dsu_stats.zero | Some s -> Dsu_stats.
 let reset_stats t = match A.stats t with None -> () | Some s -> Dsu_stats.reset s
 
 let invariant_violations = A.invariant_violations
+let memory_order t = Native_memory.order (A.mem t)
 
-let parents_snapshot t = Flat_atomic_array.snapshot (A.mem t)
+let parents_snapshot t =
+  Flat_atomic_array.snapshot (A.mem t).Native_memory.arr
 
 let sets t =
   let size = A.n t in
@@ -81,7 +104,8 @@ let snapshot t =
 
 let ids_snapshot t = Array.init (A.n t) (fun i -> A.id t i)
 
-let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : snapshot) =
+let restore ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
+    ?(padded = false) (s : snapshot) =
   let n = Array.length s.parents in
   if n < 1 || Array.length s.ids <> n then
     invalid_arg "Dsu_native.restore: malformed snapshot";
@@ -99,12 +123,16 @@ let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : snaps
       if p <> i && ids.(p) <= ids.(i) then
         invalid_arg "Dsu_native.restore: parents violate the linking order")
     s.parents;
-  let mem = Flat_atomic_array.make ~padded n (fun i -> s.parents.(i)) in
+  let mem =
+    Native_memory.make ~padded ?order:memory_order n (fun i -> s.parents.(i))
+  in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
 
-let of_snapshot ?policy ?early ?collect_stats ?padded ~parents ~ids () =
-  restore ?policy ?early ?collect_stats ?padded { parents; ids }
+let of_snapshot ?policy ?early ?backoff ?memory_order ?collect_stats ?padded
+    ~parents ~ids () =
+  restore ?policy ?early ?backoff ?memory_order ?collect_stats ?padded
+    { parents; ids }
 
 let snapshot_to_string (s : snapshot) =
   let buf = Buffer.create (Array.length s.parents * 8) in

@@ -18,6 +18,8 @@ type t
 val create :
   ?policy:Find_policy.t ->
   ?early:bool ->
+  ?backoff:bool ->
+  ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
   ?on_link:(child:int -> parent:int -> unit) ->
   ?seed:int ->
@@ -30,6 +32,12 @@ val create :
       the paper's best).
     - [early] enables the early-termination [SameSet]/[Unite] of Section 6
       (default [false]).
+    - [backoff] (default [true]) enables bounded exponential backoff after
+      a failed link CAS in [unite]; see {!Repro_util.Backoff}.
+    - [memory_order] picks the parent-load ordering mode (default
+      {!Memory_order.Relaxed_reads}); [Seq_cst] is the fully fenced
+      baseline kept for A/B runs.  See {!Memory_order} and
+      docs/PERFORMANCE.md ("Memory model & ordering").
     - [collect_stats] enables the atomic operation counters (default
       [false]; they cost a fetch-and-add per event).
     - [on_link] is called after each successful link with the union-forest
@@ -55,6 +63,22 @@ val find : t -> int -> int
 (** Current root of [x]'s tree.  The returned node was the root of [x]'s set
     at the operation's linearization point; roots change as unions occur, so
     treat it as a same-set witness, not a stable canonical name. *)
+
+val unite_batch : t -> int array -> int array -> unit
+(** [unite_batch t xs ys] unites [xs.(k), ys.(k)] for every [k] through the
+    bulk kernel: per-call direct-mapped root cache plus parent-cell
+    prefetching a fixed distance ahead.  Equivalent to a per-element
+    [unite] loop (linearizable per element, not atomic as a whole) but
+    measurably faster on large batches; see docs/PERFORMANCE.md.
+    @raise Invalid_argument on length mismatch or out-of-range nodes. *)
+
+val same_set_batch : t -> int array -> int array -> bool array
+(** [same_set_batch t xs ys].(k) = [same_set t xs.(k) ys.(k)], through the
+    same bulk kernel machinery as {!unite_batch}.
+    @raise Invalid_argument on length mismatch or out-of-range nodes. *)
+
+val memory_order : t -> Memory_order.t
+(** The parent-load ordering mode this structure was created with. *)
 
 val id : t -> int -> int
 (** The node's position in the random total order (the linking priority). *)
@@ -89,14 +113,25 @@ type snapshot
     restored at quiescence — persistence for checkpoint/restart uses. *)
 
 val snapshot : t -> snapshot
-val restore : ?policy:Find_policy.t -> ?early:bool -> ?collect_stats:bool ->
-  ?padded:bool -> snapshot -> t
+
+val restore :
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?backoff:bool ->
+  ?memory_order:Memory_order.t ->
+  ?collect_stats:bool ->
+  ?padded:bool ->
+  snapshot ->
+  t
 (** A fresh structure with the same partition, node order and tree shape;
-    policy/early/padded may differ from the original's. *)
+    policy/early/backoff/memory_order/padded may differ from the
+    original's. *)
 
 val of_snapshot :
   ?policy:Find_policy.t ->
   ?early:bool ->
+  ?backoff:bool ->
+  ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
   ?padded:bool ->
   parents:int array ->

@@ -5,6 +5,12 @@ module Sim_memory = struct
 
   let read () a = Apram.Process.read a
   let cas () a expected desired = Apram.Process.cas a expected desired
+
+  (* The simulator counts steps, not fences: a weak CAS costs the same
+     simulated step as a strong one, and prefetch is not a memory step at
+     all. *)
+  let cas_weak = cas
+  let prefetch () _ = ()
 end
 
 module A = Dsu_algorithm.Make (Sim_memory)

@@ -22,14 +22,21 @@ let mix64 z =
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_int (Int64.shift_right_logical z 2)
 
-let create ?policy ?early ?(collect_stats = false) ?(seed = 0x9e3779b9) ~capacity () =
+let create ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
+    ?(seed = 0x9e3779b9) ~capacity () =
   if capacity < 1 then invalid_arg "Growable.create: capacity must be >= 1";
   let prios = Flat_atomic_array.make capacity (fun _ -> 0) in
-  let mem = Flat_atomic_array.make capacity (fun i -> i) in
+  let mem = Native_memory.make ?order:memory_order capacity (fun i -> i) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   let algo =
-    Algo.create ?policy ?early ?stats ~mem ~n:capacity
-      ~prio:(fun i -> Flat_atomic_array.get prios i)
+    (* Acquire is enough for priority reads: a slot's priority is published
+       (release) by [make_set] before the slot index escapes to any other
+       domain, so an acquire load of the cell synchronises with that
+       publication; priority 0 is only observable for a slot whose
+       [make_set] crashed mid-publish, which the tie-breaking order
+       tolerates. *)
+    Algo.create ?policy ?early ?backoff ?stats ~mem ~n:capacity
+      ~prio:(fun i -> Flat_atomic_array.get_acquire prios i)
       ()
   in
   { capacity; next = Atomic.make 0; prios; rng_state = Atomic.make seed; algo }
@@ -45,7 +52,9 @@ let make_set t =
      which the tie-breaking order tolerates (Lemma 3.1 never needs
      distinct priorities). *)
   if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Make_set_publish;
-  Flat_atomic_array.set t.prios slot (mix64 r);
+  (* Release publication: pairs with the acquire priority loads in the
+     linking order (see [create]); no full fence needed. *)
+  Flat_atomic_array.set_release t.prios slot (mix64 r);
   slot
 
 let cardinal t = min (Atomic.get t.next) t.capacity
@@ -70,7 +79,7 @@ let find t x =
 
 let priority t x =
   check t x;
-  Flat_atomic_array.get t.prios x
+  Flat_atomic_array.get_acquire t.prios x
 
 let stats t =
   match Algo.stats t.algo with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
@@ -92,8 +101,8 @@ let priorities_snapshot t =
   let k = cardinal t in
   Array.init k (fun i -> Flat_atomic_array.get t.prios i)
 
-let of_snapshot ?policy ?early ?(collect_stats = false) ?(seed = 0x9e3779b9)
-    ?capacity ~parents ~prios () =
+let of_snapshot ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
+    ?(seed = 0x9e3779b9) ?capacity ~parents ~prios () =
   let k = Array.length parents in
   if Array.length prios <> k then
     invalid_arg "Growable.of_snapshot: parents/prios length mismatch";
@@ -110,12 +119,13 @@ let of_snapshot ?policy ?early ?(collect_stats = false) ?(seed = 0x9e3779b9)
     Flat_atomic_array.make capacity (fun i -> if i < k then prios.(i) else 0)
   in
   let mem =
-    Flat_atomic_array.make capacity (fun i -> if i < k then parents.(i) else i)
+    Native_memory.make ?order:memory_order capacity (fun i ->
+        if i < k then parents.(i) else i)
   in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   let algo =
-    Algo.create ?policy ?early ?stats ~mem ~n:capacity
-      ~prio:(fun i -> Flat_atomic_array.get prios_arr i)
+    Algo.create ?policy ?early ?backoff ?stats ~mem ~n:capacity
+      ~prio:(fun i -> Flat_atomic_array.get_acquire prios_arr i)
       ()
   in
   { capacity; next = Atomic.make k; prios = prios_arr; rng_state = Atomic.make seed; algo }

@@ -21,8 +21,18 @@
 type t
 
 val create :
-  ?policy:Find_policy.t -> ?early:bool -> ?collect_stats:bool -> ?seed:int ->
-  capacity:int -> unit -> t
+  ?policy:Find_policy.t ->
+  ?early:bool ->
+  ?backoff:bool ->
+  ?memory_order:Memory_order.t ->
+  ?collect_stats:bool ->
+  ?seed:int ->
+  capacity:int ->
+  unit ->
+  t
+(** [backoff]/[memory_order] as in {!Dsu_native.create}.  Priorities are
+    release-published by [make_set] and acquire-loaded by the linking
+    order, independent of [memory_order]. *)
 
 val make_set : t -> int
 (** Allocate and return a fresh singleton element.  Lock-free; raises
@@ -50,6 +60,8 @@ val priorities_snapshot : t -> int array
 val of_snapshot :
   ?policy:Find_policy.t ->
   ?early:bool ->
+  ?backoff:bool ->
+  ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
   ?seed:int ->
   ?capacity:int ->

@@ -90,6 +90,12 @@ module Memory = struct
 
   let read = Chunked.get
   let cas = Chunked.cas
+
+  (* Cells are boxed [Atomic.t]s inside chunks: no cheaper weak CAS exists
+     (the strong one is a valid weak CAS), and prefetching would only pull
+     the box pointer, so it is a no-op. *)
+  let cas_weak = Chunked.cas
+  let prefetch _ _ = ()
 end
 
 module Algo = Dsu_algorithm.Make (Memory)

@@ -16,5 +16,19 @@ module type S = sig
   (** Atomic load of node [i]'s parent. *)
 
   val cas : t -> int -> int -> int -> bool
-  (** [cas t i expected desired] atomically replaces node [i]'s parent. *)
+  (** [cas t i expected desired] atomically replaces node [i]'s parent.
+      Strong: fails only if the cell did not hold [expected]. *)
+
+  val cas_weak : t -> int -> int -> int -> bool
+  (** Like {!cas} but {e may fail spuriously} (return [false] with the cell
+      unchanged even though it held [expected]).  Use only where a failed
+      attempt needs no distinct handling from a lost race — the splitting
+      updates of Algorithms 4/5, where a spurious failure is exactly a
+      failed try.  Implementations without a cheaper weak CAS may equate it
+      with {!cas}. *)
+
+  val prefetch : t -> int -> unit
+  (** Hint that node [i]'s cell is about to be read.  Purely advisory —
+      never faults, never counts as a memory step; simulator instances
+      make it a no-op. *)
 end

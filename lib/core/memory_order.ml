@@ -1,0 +1,42 @@
+(** Memory-order modes for the native parent-array hot path.
+
+    The paper's machine model needs only a plain load to read a parent and
+    a single-word [Cas] to link or split; sequentially consistent fences on
+    every pointer chase are stronger than the correctness argument uses.
+    The mode picks how {!Native_memory.read} loads a parent word:
+
+    - {!Seq_cst}: every load is [__ATOMIC_SEQ_CST] — the strongest,
+      fence-per-hop baseline the original port shipped with.  Kept
+      selectable so lincheck and the chaos harness can A/B the tuned path
+      against it, and as the conservative fallback on exotic hardware.
+    - {!Acquire}: loads are [__ATOMIC_ACQUIRE] — each observed parent
+      synchronises with the CAS that installed it.  The portable tuned
+      mode: all the ordering [find] actually needs (Lemma 3.1 only
+      requires that an observed parent was once the cell's value).
+    - {!Relaxed_reads}: parent loads are plain inline reads (no C call, no
+      fence) — the fastest mode and the default.  Sound because a stale
+      parent is still an ancestor and every write is re-validated by a
+      CAS that fails on mismatch.
+
+    Writes are unaffected: links and splitting updates are CAS-published
+    in every mode (acq_rel or seq_cst), so snapshot/recovery invariants
+    hold regardless of mode. *)
+
+type t = Seq_cst | Acquire | Relaxed_reads
+
+let all = [ Seq_cst; Acquire; Relaxed_reads ]
+let default = Relaxed_reads
+
+let to_string = function
+  | Seq_cst -> "seq-cst"
+  | Acquire -> "acquire"
+  | Relaxed_reads -> "relaxed-reads"
+
+let of_string = function
+  | "seq-cst" -> Some Seq_cst
+  | "acquire" -> Some Acquire
+  | "relaxed-reads" -> Some Relaxed_reads
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = a = b

@@ -71,7 +71,11 @@ module Make (M : Memory_intf.S) = struct
         let pp = parent_of_word t wp in
         if pp = pu then `Root pu
         else begin
-          let ok = M.cas t.mem u wu (word t ~rank:(rank_of_word t wu) ~parent:pp) in
+          (* Weak CAS: a spurious failure is exactly a failed splitting
+             try, which the two-try structure already tolerates. *)
+          let ok =
+            M.cas_weak t.mem u wu (word t ~rank:(rank_of_word t wu) ~parent:pp)
+          in
           bump t (Dsu_stats.incr_compaction_cas ~ok);
           `Advance pu
         end
@@ -99,7 +103,9 @@ module Make (M : Memory_intf.S) = struct
         if pp = pu then `Root pu
         else begin
           fault_split_pre ();
-          let ok = M.cas t.mem u wu (word t ~rank:(rank_of_word t wu) ~parent:pp) in
+          let ok =
+            M.cas_weak t.mem u wu (word t ~rank:(rank_of_word t wu) ~parent:pp)
+          in
           bump t (Dsu_stats.incr_compaction_cas ~ok);
           fault_split_post ();
           `Advance pu
@@ -218,9 +224,9 @@ module Native = struct
 
   type t = A.t
 
-  let create ?(collect_stats = false) n =
+  let create ?memory_order ?(collect_stats = false) n =
     let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-    let mem = Repro_util.Flat_atomic_array.make n (A.init_word n) in
+    let mem = Native_memory.make ?order:memory_order n (A.init_word n) in
     A.create ?stats ~mem ~n ()
 
   let n = A.n
@@ -234,7 +240,7 @@ module Native = struct
   let parents_snapshot = A.parents_snapshot
   let ranks_snapshot = A.ranks_snapshot
 
-  let of_snapshot ?(collect_stats = false) ~parents ~ranks () =
+  let of_snapshot ?memory_order ?(collect_stats = false) ~parents ~ranks () =
     let n = Array.length parents in
     if n < 1 || Array.length ranks <> n then
       invalid_arg "Rank_dsu.of_snapshot: malformed snapshot";
@@ -254,7 +260,8 @@ module Native = struct
       parents;
     let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
     let mem =
-      Repro_util.Flat_atomic_array.make n (fun i -> (ranks.(i) * n) + parents.(i))
+      Native_memory.make ?order:memory_order n (fun i ->
+          (ranks.(i) * n) + parents.(i))
     in
     A.create ?stats ~mem ~n ()
 end
@@ -266,6 +273,11 @@ module Sim = struct
 
     let read () a = Apram.Process.read a
     let cas () a expected desired = Apram.Process.cas a expected desired
+
+    (* Step-counted memory: a weak CAS costs the same simulated step as a
+       strong one; prefetch is not a memory step. *)
+    let cas_weak = cas
+    let prefetch () _ = ()
   end
 
   module A = Make (Sim_memory)

@@ -42,7 +42,10 @@ end
 module Native : sig
   type t
 
-  val create : ?collect_stats:bool -> int -> t
+  val create : ?memory_order:Memory_order.t -> ?collect_stats:bool -> int -> t
+  (** [memory_order] as in {!Dsu_native.create}: parent-word load ordering
+      (default {!Memory_order.Relaxed_reads}). *)
+
   val n : t -> int
   val find : t -> int -> int
   val same_set : t -> int -> int -> bool
@@ -57,7 +60,12 @@ module Native : sig
   val ranks_snapshot : t -> int array
 
   val of_snapshot :
-    ?collect_stats:bool -> parents:int array -> ranks:int array -> unit -> t
+    ?memory_order:Memory_order.t ->
+    ?collect_stats:bool ->
+    parents:int array ->
+    ranks:int array ->
+    unit ->
+    t
   (** A fresh structure with the given forest and ranks re-packed into
       words.  @raise Invalid_argument on length mismatch, out-of-range
       parents, negative or packing-overflow ranks, or parents violating

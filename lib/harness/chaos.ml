@@ -23,6 +23,10 @@ type config = {
   fault_seed : int;
   policies : Policy.t list;
   layouts : Scalability.layout list;
+  memory_order : Dsu.Memory_order.t;
+      (* the parent-load ordering mode every scenario's structure uses;
+         kept in the config (not the scenario cross product) so one chaos
+         run A/Bs a single mode and the report says which *)
   validate : bool;
 }
 
@@ -40,6 +44,7 @@ let default_config =
     fault_seed = 7;
     policies = [ Policy.Two_try_splitting ];
     layouts = [ Scalability.Flat ];
+    memory_order = Dsu.Memory_order.default;
     validate = true;
   }
 
@@ -74,10 +79,14 @@ type handle = {
   snapshot : unit -> Rsnap.t;
 }
 
-let handle_of ~layout ~policy ~seed n =
+let handle_of ~layout ~policy ~memory_order ~seed n =
   match (layout : Scalability.layout) with
   | Flat | Padded ->
-    let d = Dsu.Native.create ~padded:(layout = Scalability.Padded) ~policy ~seed n in
+    let d =
+      Dsu.Native.create
+        ~padded:(layout = Scalability.Padded)
+        ~policy ~memory_order ~seed n
+    in
     {
       unite = Dsu.Native.unite d;
       same_set = Dsu.Native.same_set d;
@@ -444,7 +453,7 @@ let run_scenario ?(config = default_config) ~layout ~policy () =
   validate_config config;
   let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
   let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
-  let h = handle_of ~layout ~policy ~seed n in
+  let h = handle_of ~layout ~policy ~memory_order:config.memory_order ~seed n in
   let clock = Atomic.make 0 in
   let starts = Array.init domains (fun _ -> Array.make m (-1)) in
   let stops = Array.init domains (fun _ -> Array.make m (-1)) in
@@ -526,7 +535,7 @@ let run_recovery_scenario ?(config = default_config) ~layout ~policy () =
   validate_config config;
   let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
   let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
-  let h = handle_of ~layout ~policy ~seed n in
+  let h = handle_of ~layout ~policy ~memory_order:config.memory_order ~seed n in
   let clock = Atomic.make 0 in
   let starts = Array.init domains (fun _ -> Array.make m (-1)) in
   let stops = Array.init domains (fun _ -> Array.make m (-1)) in
@@ -746,6 +755,7 @@ let config_fields (config : config) =
     ("unite_percent", J.Int config.unite_percent);
     ("seed", J.Int config.seed);
     ("fault_seed", J.Int config.fault_seed);
+    ("memory_order", J.String (Dsu.Memory_order.to_string config.memory_order));
     ("validate", J.Bool config.validate);
   ]
 

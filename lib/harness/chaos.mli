@@ -52,13 +52,18 @@ type config = {
   fault_seed : int;  (** injection-plan seed ({!Repro_fault.Inject.plan}) *)
   policies : Dsu.Find_policy.t list;
   layouts : Scalability.layout list;
+  memory_order : Dsu.Memory_order.t;
+      (** parent-load ordering mode for every scenario's structure
+          ([Flat]/[Padded] layouts; [Boxed] is always seq-cst), so the
+          chaos audit can be pointed at the tuned or the fenced path *)
   validate : bool;  (** run the post-quiescence audit (default) *)
 }
 
 val default_config : config
 (** n = 4096, 20k ops per domain, 8 domains with 2 crashing, 1% stalls of
     64 relax-iterations, 40% unites, two-try splitting on the flat
-    layout, validation on. *)
+    layout under the default (relaxed-reads) memory order, validation
+    on. *)
 
 type check = {
   check_name : string;

@@ -1,4 +1,5 @@
 module Policy = Dsu.Find_policy
+module Order = Dsu.Memory_order
 module Rng = Repro_util.Rng
 module Table = Repro_util.Table
 module J = Repro_obs.Json
@@ -18,9 +19,22 @@ let layout_of_string = function
   | "boxed" -> Some Boxed
   | _ -> None
 
+type dist = Uniform | Skewed
+
+let all_dists = [ Uniform; Skewed ]
+let dist_to_string = function Uniform -> "uniform" | Skewed -> "skewed"
+
+let dist_of_string = function
+  | "uniform" -> Some Uniform
+  | "skewed" -> Some Skewed
+  | _ -> None
+
 type point = {
   layout : layout;
   policy : Policy.t;
+  memory_order : Order.t;
+  backoff : bool;
+  dist : dist;
   domains : int;
   n : int;
   total_ops : int;
@@ -37,6 +51,9 @@ type config = {
   domain_counts : int list;
   policies : Policy.t list;
   layouts : layout list;
+  memory_orders : Order.t list;
+  backoffs : bool list;
+  dists : dist list;
 }
 
 let default_config =
@@ -48,17 +65,34 @@ let default_config =
     domain_counts = [ 1; 2; 4; 8 ];
     policies = [ Policy.Two_try_splitting; Policy.One_try_splitting ];
     layouts = [ Flat; Boxed ];
+    memory_orders = [ Order.default ];
+    backoffs = [ true ];
+    dists = [ Uniform ];
   }
+
+(* The skewed distribution concentrates 80% of all endpoint draws on a hot
+   range of [max 16 (n/256)] nodes, so with several domains nearly every
+   operation contends on the same few trees — the regime where link-CAS
+   backoff and the memory orders matter most.  (A Zipf sampler would need
+   per-draw float work inside the generator; a two-level hot/cold mix gets
+   the same contention with integer arithmetic only.) *)
+let hot_range n = max 16 (n / 256)
+
+let gen_endpoint rng ~n ~dist =
+  match dist with
+  | Uniform -> Rng.int rng n
+  | Skewed -> if Rng.int rng 100 < 80 then Rng.int rng (hot_range n) else Rng.int rng n
 
 (* Per-domain op streams are generated outside the timed section (the
    generator's RNG and list building must not pollute the measurement) and
    handed to the workers as contiguous arrays — see Workload.Op's array
    runners for why. *)
-let gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain =
+let gen_ops ?(dist = Uniform) ~n ~unite_percent ~seed ~domains ~ops_per_domain
+    () =
   Array.init domains (fun k ->
       let rng = Rng.create (seed + (1000 * k)) in
       Array.init ops_per_domain (fun _ ->
-          let x = Rng.int rng n and y = Rng.int rng n in
+          let x = gen_endpoint rng ~n ~dist and y = gen_endpoint rng ~n ~dist in
           if Rng.int rng 100 < unite_percent then Workload.Op.Unite (x, y)
           else Workload.Op.Same_set (x, y)))
 
@@ -85,27 +119,36 @@ let time_run ~domains ~(run : int -> unit) =
   in
   (seconds, failures)
 
-let run_point ?(config = default_config) ~layout ~policy ~domains () =
+let run_point ?(config = default_config) ?(memory_order = Order.default)
+    ?(backoff = true) ?(dist = Uniform) ~layout ~policy ~domains () =
   if domains < 1 then invalid_arg "Scalability.run_point: domains must be >= 1";
   let { n; total_ops; unite_percent; seed; _ } = config in
   let ops_per_domain = max 1 (total_ops / domains) in
-  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain in
+  let ops = gen_ops ~dist ~n ~unite_percent ~seed ~domains ~ops_per_domain () in
   let seconds, failures =
     match layout with
     | Flat ->
-      let d = Dsu.Native.create ~policy ~seed n in
+      let d = Dsu.Native.create ~policy ~backoff ~memory_order ~seed n in
       time_run ~domains ~run:(fun k -> Workload.Op.run_native_array d ops.(k))
     | Padded ->
-      let d = Dsu.Native.create ~padded:true ~policy ~seed n in
+      let d =
+        Dsu.Native.create ~padded:true ~policy ~backoff ~memory_order ~seed n
+      in
       time_run ~domains ~run:(fun k -> Workload.Op.run_native_array d ops.(k))
     | Boxed ->
-      let d = Dsu.Boxed.create ~policy ~seed n in
+      (* The boxed layout has no memory-order knob ([Atomic.t] is always
+         seq-cst); the point still records the requested mode so ablation
+         grids stay rectangular. *)
+      let d = Dsu.Boxed.create ~policy ~backoff ~seed n in
       time_run ~domains ~run:(fun k -> Workload.Op.run_boxed_array d ops.(k))
   in
   let total = ops_per_domain * domains in
   {
     layout;
     policy;
+    memory_order;
+    backoff;
+    dist;
     domains;
     n;
     total_ops = total;
@@ -120,12 +163,24 @@ let sweep ?(config = default_config) ?progress () =
     (fun layout ->
       List.concat_map
         (fun policy ->
-          List.map
-            (fun domains ->
-              let p = run_point ~config ~layout ~policy ~domains () in
-              emit p;
-              p)
-            config.domain_counts)
+          List.concat_map
+            (fun memory_order ->
+              List.concat_map
+                (fun backoff ->
+                  List.concat_map
+                    (fun dist ->
+                      List.map
+                        (fun domains ->
+                          let p =
+                            run_point ~config ~memory_order ~backoff ~dist
+                              ~layout ~policy ~domains ()
+                          in
+                          emit p;
+                          p)
+                        config.domain_counts)
+                    config.dists)
+                config.backoffs)
+            config.memory_orders)
         config.policies)
     config.layouts
 
@@ -134,6 +189,9 @@ let point_to_json (p : point) =
     [
       ("layout", J.String (layout_to_string p.layout));
       ("policy", J.String (Policy.to_string p.policy));
+      ("memory_order", J.String (Order.to_string p.memory_order));
+      ("backoff", J.Bool p.backoff);
+      ("dist", J.String (dist_to_string p.dist));
       ("domains", J.Int p.domains);
       ("n", J.Int p.n);
       ("total_ops", J.Int p.total_ops);
@@ -150,7 +208,7 @@ let point_to_json (p : point) =
 let to_json ?(config = default_config) points =
   J.Obj
     [
-      ("schema", J.String "dsu-scalability/v1");
+      ("schema", J.String "dsu-scalability/v2");
       ("n", J.Int config.n);
       ("unite_percent", J.Int config.unite_percent);
       ("seed", J.Int config.seed);
@@ -161,16 +219,21 @@ let to_json ?(config = default_config) points =
 let pp_table ppf points =
   let table =
     Table.create
-      ~headers:[ "layout"; "policy"; "domains"; "Mops/s"; "vs 1-dom"; "errs" ]
+      ~headers:
+        [
+          "layout"; "policy"; "order"; "backoff"; "dist"; "domains"; "Mops/s";
+          "vs 1-dom"; "errs";
+        ]
   in
+  let key p = (p.layout, p.policy, p.memory_order, p.backoff, p.dist) in
   let base = Hashtbl.create 8 in
   List.iter
-    (fun p -> if p.domains = 1 then Hashtbl.replace base (p.layout, p.policy) p.mops_per_sec)
+    (fun p -> if p.domains = 1 then Hashtbl.replace base (key p) p.mops_per_sec)
     points;
   List.iter
     (fun p ->
       let speedup =
-        match Hashtbl.find_opt base (p.layout, p.policy) with
+        match Hashtbl.find_opt base (key p) with
         | Some b when b > 0. -> Table.cell_ratio (p.mops_per_sec /. b)
         | _ -> "-"
       in
@@ -178,6 +241,9 @@ let pp_table ppf points =
         [
           layout_to_string p.layout;
           Policy.to_string p.policy;
+          Order.to_string p.memory_order;
+          (if p.backoff then "on" else "off");
+          dist_to_string p.dist;
           Table.cell_int p.domains;
           Table.cell_float p.mops_per_sec;
           speedup;
@@ -189,7 +255,8 @@ let pp_table ppf points =
     (fun p ->
       List.iter
         (fun (k, msg) ->
-          Format.fprintf ppf "@.worker failure: %s/%s domain %d: %s"
-            (layout_to_string p.layout) (Policy.to_string p.policy) k msg)
+          Format.fprintf ppf "@.worker failure: %s/%s/%s domain %d: %s"
+            (layout_to_string p.layout) (Policy.to_string p.policy)
+            (Order.to_string p.memory_order) k msg)
         p.failures)
     points

@@ -5,13 +5,19 @@
     pattern of experiment E13) and reports operations per second, sweeping
 
     - the domain count (default [1; 2; 4; 8]),
-    - the find policy, and
+    - the find policy,
     - the memory layout: [Flat] (the contiguous
       {!Repro_util.Flat_atomic_array} parent array), [Padded] (one parent
       word per cache line — false-sharing ablation) and [Boxed] (the
-      pre-flat [int Atomic.t array] layout, via {!Dsu.Boxed}).
+      pre-flat [int Atomic.t array] layout, via {!Dsu.Boxed}),
+    - the parent-load {!Dsu.Memory_order} mode and the link-CAS backoff
+      switch (the memory-order × backoff ablation axis), and
+    - the key distribution: [Uniform], or [Skewed] (80% of endpoints drawn
+      from a hot range of [max 16 (n/256)] nodes — the high-contention
+      sweep where backoff and ordering matter most).
 
-    The JSON emitted by {!to_json} (schema ["dsu-scalability/v1"]) is the
+    The JSON emitted by {!to_json} (schema ["dsu-scalability/v2"]; v1
+    lacked the [memory_order]/[backoff]/[dist] point fields) is the
     machine-readable product consumed by the perf-trajectory tooling;
     [bench/main.exe --parallel] is the CLI entry point.  See
     docs/PERFORMANCE.md for the schema and how to read the numbers on
@@ -23,9 +29,24 @@ val all_layouts : layout list
 val layout_to_string : layout -> string
 val layout_of_string : string -> layout option
 
+type dist = Uniform | Skewed
+
+val all_dists : dist list
+val dist_to_string : dist -> string
+val dist_of_string : string -> dist option
+
+val hot_range : int -> int
+(** Size of the [Skewed] hot range for an [n]-node structure
+    ([max 16 (n/256)]). *)
+
 type point = {
   layout : layout;
   policy : Dsu.Find_policy.t;
+  memory_order : Dsu.Memory_order.t;
+      (** recorded even for [Boxed], which has no order knob (always
+          seq-cst) — keeps ablation grids rectangular *)
+  backoff : bool;
+  dist : dist;
   domains : int;
   n : int;
   total_ops : int;  (** ops actually executed, summed over domains *)
@@ -46,25 +67,42 @@ type config = {
   domain_counts : int list;
   policies : Dsu.Find_policy.t list;
   layouts : layout list;
+  memory_orders : Dsu.Memory_order.t list;
+  backoffs : bool list;
+  dists : dist list;
 }
 
 val default_config : config
 (** n = 2^16, 400k ops, 30% unites, domains 1/2/4/8, two-try and one-try
-    policies, flat vs boxed layouts. *)
+    policies, flat vs boxed layouts, the default (relaxed-reads) order
+    with backoff on, uniform keys. *)
 
 val run_point :
-  ?config:config -> layout:layout -> policy:Dsu.Find_policy.t -> domains:int ->
-  unit -> point
+  ?config:config ->
+  ?memory_order:Dsu.Memory_order.t ->
+  ?backoff:bool ->
+  ?dist:dist ->
+  layout:layout ->
+  policy:Dsu.Find_policy.t ->
+  domains:int ->
+  unit ->
+  point
 (** One timed run.  Operation streams are generated outside the timed
-    section; timing covers domain spawn to join. *)
+    section; timing covers domain spawn to join.  [memory_order] defaults
+    to {!Dsu.Memory_order.default}, [backoff] to [true], [dist] to
+    [Uniform]. *)
 
 val sweep : ?config:config -> ?progress:(point -> unit) -> unit -> point list
-(** The full cross product; [progress] is called after each point. *)
+(** The full cross product (layouts × policies × memory_orders × backoffs
+    × dists × domain_counts); [progress] is called after each point. *)
 
 val point_to_json : point -> Repro_obs.Json.t
+
 val to_json : ?config:config -> point list -> Repro_obs.Json.t
-(** The ["dsu-scalability/v1"] document: config echo, the host's
-    recommended domain count, and one object per point. *)
+(** The ["dsu-scalability/v2"] document: config echo, the host's
+    recommended domain count, and one object per point (now carrying
+    [memory_order], [backoff] and [dist]). *)
 
 val pp_table : Format.formatter -> point list -> unit
-(** Human-readable table with per-(layout, policy) speedup vs 1 domain. *)
+(** Human-readable table with per-(layout, policy, order, backoff, dist)
+    speedup vs 1 domain. *)

@@ -1,0 +1,16 @@
+(* Bounded exponential backoff for CAS contention, int-only so retry loops
+   can thread the state as an unboxed loop argument. *)
+
+let initial = 8
+let cap = 512
+
+let spin k =
+  for _ = 1 to k do
+    Domain.cpu_relax ()
+  done
+
+let next k = if k >= cap then cap else k * 2
+
+let once k =
+  spin k;
+  next k

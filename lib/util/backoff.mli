@@ -1,0 +1,34 @@
+(** Bounded exponential backoff for CAS-contention retry loops.
+
+    A failed {e link} CAS means another domain just made real progress on
+    the same root, so immediately retrying mostly re-collides; spinning a
+    short, exponentially growing, bounded number of [Domain.cpu_relax]
+    iterations drains the burst without risking unbounded delay (the bound
+    keeps the paper's wait-freedom analysis intact — backoff adds at most a
+    constant factor per retry).
+
+    The state is a plain [int] (the current spin count) so hot loops can
+    thread it as an unboxed loop argument with zero allocation:
+
+    {[
+      let rec link spins =
+        if cas ... then ()
+        else link (Backoff.once spins)
+      in
+      link Backoff.initial
+    ]} *)
+
+val initial : int
+(** Starting spin count ([8]). *)
+
+val cap : int
+(** Upper bound on the spin count ([512]); {!next} never exceeds it. *)
+
+val spin : int -> unit
+(** [spin k] executes [k] [Domain.cpu_relax] iterations. *)
+
+val next : int -> int
+(** [next k] is the doubled spin count, saturating at {!cap}. *)
+
+val once : int -> int
+(** [once k] = [spin k; next k] — back off, then return the next state. *)

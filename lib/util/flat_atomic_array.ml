@@ -14,6 +14,25 @@ external atomic_fetch_add : int array -> int -> int -> int
   = "dsu_flat_atomic_fetch_add"
   [@@noalloc]
 
+external atomic_get_acquire : int array -> int -> int
+  = "dsu_flat_atomic_get_acquire"
+  [@@noalloc]
+
+external atomic_get_relaxed : int array -> int -> int
+  = "dsu_flat_atomic_get_relaxed"
+  [@@noalloc]
+
+external atomic_set_release : int array -> int -> int -> unit
+  = "dsu_flat_atomic_set_release"
+  [@@noalloc]
+
+external atomic_cas_weak : int array -> int -> int -> int -> bool
+  = "dsu_flat_atomic_cas_weak"
+  [@@noalloc]
+
+external atomic_prefetch : int array -> int -> unit = "dsu_flat_prefetch"
+  [@@noalloc]
+
 (* 8 words = 64 bytes on 64-bit targets: one logical cell per cache line in
    padded mode. *)
 let pad_shift = 3
@@ -49,6 +68,17 @@ let unsafe_set t i v = atomic_set t.data (i lsl t.shift) v
 let unsafe_cas t i expected desired = atomic_cas t.data (i lsl t.shift) expected desired
 let unsafe_fetch_add t i delta = atomic_fetch_add t.data (i lsl t.shift) delta
 
+(* Explicit weaker orders.  Same width/alignment safety argument as above;
+   see flat_atomic_stubs.c for the per-order visibility contracts. *)
+let unsafe_get_acquire t i = atomic_get_acquire t.data (i lsl t.shift)
+let unsafe_get_relaxed t i = atomic_get_relaxed t.data (i lsl t.shift)
+let unsafe_set_release t i v = atomic_set_release t.data (i lsl t.shift) v
+
+let unsafe_cas_weak t i expected desired =
+  atomic_cas_weak t.data (i lsl t.shift) expected desired
+
+let unsafe_prefetch t i = atomic_prefetch t.data (i lsl t.shift)
+
 let get t i =
   check t i "get";
   unsafe_get t i
@@ -65,6 +95,31 @@ let fetch_add t i delta =
   check t i "fetch_add";
   unsafe_fetch_add t i delta
 
+let get_acquire t i =
+  check t i "get_acquire";
+  unsafe_get_acquire t i
+
+let get_relaxed t i =
+  check t i "get_relaxed";
+  unsafe_get_relaxed t i
+
+let set_release t i v =
+  check t i "set_release";
+  unsafe_set_release t i v
+
+let cas_weak t i expected desired =
+  check t i "cas_weak";
+  unsafe_cas_weak t i expected desired
+
+(* Prefetch is a pure hint, so the checked variant silently ignores
+   out-of-range indices instead of raising: batch kernels prefetch a fixed
+   distance ahead of the element they are about to validate. *)
+let prefetch t i = if i >= 0 && i < t.length then unsafe_prefetch t i
+
+(* Acquire loads: each cell read synchronises with the CAS/store that
+   published it, so the snapshot sees fully published links (never a value
+   "from before" the write that made it reachable).  Still not a consistent
+   cut under concurrent writers. *)
 let snapshot t =
   let shift = t.shift and data = t.data in
-  Array.init t.length (fun i -> atomic_get data (i lsl shift))
+  Array.init t.length (fun i -> atomic_get_acquire data (i lsl shift))

@@ -42,6 +42,50 @@ val fetch_add : t -> int -> int -> int
 (** [fetch_add t i delta] atomically adds [delta] to cell [i] and returns
     the previous value.  @raise Invalid_argument on out-of-bounds. *)
 
+(** {2 Explicit memory orders}
+
+    Weaker-than-seq-cst accesses for the tuned DSU hot path.  All of them
+    share the seq-cst primitives' memory-safety argument (immediates only,
+    word-aligned word-sized accesses: no tearing, no GC barrier); what
+    changes is only the visibility contract, documented per function.  See
+    flat_atomic_stubs.c and docs/PERFORMANCE.md ("Memory model &
+    ordering"). *)
+
+val get_acquire : t -> int -> int
+(** Acquire load: synchronises with the store/CAS that published the read
+    value, so everything that happened-before that write is visible after
+    the load.  Sufficient for parent reads — the DSU only needs to see a
+    value that {e was} the cell's content, plus the writes the linker
+    published before installing it.
+    @raise Invalid_argument on out-of-bounds. *)
+
+val get_relaxed : t -> int -> int
+(** Relaxed atomic load: no ordering at all, the C-level twin of
+    {!unsafe_load}'s plain read.  May observe stale values; callers must
+    tolerate staleness (a stale parent is still an ancestor and every
+    write is re-validated by CAS).
+    @raise Invalid_argument on out-of-bounds. *)
+
+val set_release : t -> int -> int -> unit
+(** Release store: publishes all program-order-prior writes to any thread
+    that acquire-loads the stored value.
+    @raise Invalid_argument on out-of-bounds. *)
+
+val cas_weak : t -> int -> int -> int -> bool
+(** [cas_weak t i expected desired]: compare-and-swap that {e may fail
+    spuriously} — return [false] with the cell unchanged even though it
+    held [expected].  Acq_rel on success, acquire on failure.  Use only
+    where a failed try needs no distinct handling from a lost race, e.g.
+    the DSU's one-try/two-try splitting (a spurious failure is exactly a
+    failed try, Algorithms 4/5 allow it).
+    @raise Invalid_argument on out-of-bounds. *)
+
+val prefetch : t -> int -> unit
+(** Hint the hardware to pull cell [i] into cache (read intent).  Purely
+    advisory — never faults and performs no architectural memory access.
+    Out-of-range indices are silently ignored (no exception): batch
+    kernels prefetch ahead of validation. *)
+
 val unsafe_load : t -> int -> int
 (** Unchecked {e plain} load — a single inline memory read, no C call and
     no fence.  Memory-safe (immediates cannot tear) but racing reads may
@@ -54,10 +98,19 @@ val unsafe_get : t -> int -> int
 val unsafe_set : t -> int -> int -> unit
 val unsafe_cas : t -> int -> int -> int -> bool
 val unsafe_fetch_add : t -> int -> int -> int
+val unsafe_get_acquire : t -> int -> int
+val unsafe_get_relaxed : t -> int -> int
+val unsafe_set_release : t -> int -> int -> unit
+val unsafe_cas_weak : t -> int -> int -> int -> bool
+val unsafe_prefetch : t -> int -> unit
 (** Unchecked variants for hot paths whose indices are already validated
     (the DSU checks node arguments at operation entry, and every parent
     value is in range by construction). *)
 
 val snapshot : t -> int array
-(** Per-cell atomic reads collected into a plain array.  Not a consistent
-    snapshot under concurrent writers; intended for quiescent inspection. *)
+(** Per-cell {e acquire} loads collected into a plain array: each cell
+    value read synchronises with the store/CAS that published it, so a
+    snapshotted link is fully published (its priority/metadata writes are
+    visible too) regardless of which memory-order mode produced it.  Still
+    not a consistent cut under concurrent writers; intended for quiescent
+    inspection. *)

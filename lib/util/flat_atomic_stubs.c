@@ -14,9 +14,11 @@
  *
  * Tagged representation is preserved end-to-end: the CAS compares and
  * stores *tagged* words, which is exactly the comparison by value OCaml's
- * [Atomic.compare_and_set] performs on ints.  All operations are
+ * [Atomic.compare_and_set] performs on ints.  The default primitives are
  * __ATOMIC_SEQ_CST, matching the guarantees of [Atomic] that the rest of
- * the code base (and the paper's Cas-based pseudocode) assumes. */
+ * the code base (and the paper's Cas-based pseudocode) assumes; the
+ * explicitly weaker variants further down carry their own ordering
+ * arguments. */
 
 #include <caml/mlvalues.h>
 
@@ -48,4 +50,65 @@ CAMLprim value dsu_flat_atomic_fetch_add(value arr, value idx, value delta)
    * (2a+1) + 2d = 2(a+d)+1. */
   return __atomic_fetch_add(&Field(arr, Long_val(idx)),
                             ((value)Long_val(delta)) << 1, __ATOMIC_SEQ_CST);
+}
+
+/* Relaxed / acquire / release variants for the memory-order-tuned hot
+ * path.  The same safety argument applies verbatim — immediates only,
+ * word-aligned word-sized accesses, no GC barrier, no allocation — because
+ * the argument depends on the *width and alignment* of the access, not on
+ * its ordering.  What the weaker orders change is only visibility:
+ *
+ *   - an ACQUIRE parent load synchronises with the RELEASE/SEQ_CST store
+ *     or CAS that published the parent, so everything that
+ *     happened-before the link is visible after the load;
+ *   - a RELAXED load may observe any previously stored value, i.e. it is
+ *     the C-level twin of the plain OCaml load in [unsafe_load] — the DSU
+ *     tolerates this because any formerly valid parent is still an
+ *     ancestor (paper Lemma 3.1) and every write is re-validated by CAS;
+ *   - a RELEASE store publishes all prior writes to whoever
+ *     acquire-loads the stored value. */
+
+CAMLprim value dsu_flat_atomic_get_acquire(value arr, value idx)
+{
+  return __atomic_load_n(&Field(arr, Long_val(idx)), __ATOMIC_ACQUIRE);
+}
+
+CAMLprim value dsu_flat_atomic_get_relaxed(value arr, value idx)
+{
+  return __atomic_load_n(&Field(arr, Long_val(idx)), __ATOMIC_RELAXED);
+}
+
+CAMLprim value dsu_flat_atomic_set_release(value arr, value idx, value v)
+{
+  __atomic_store_n(&Field(arr, Long_val(idx)), v, __ATOMIC_RELEASE);
+  return Val_unit;
+}
+
+/* Weak CAS: may fail spuriously (return false with the cell unchanged even
+ * though it held [expected]).  ACQ_REL on success — the successful exchange
+ * both publishes the linker's prior writes and acquires the previous
+ * linker's — and ACQUIRE on failure, so the observed current value is at
+ * least as fresh as an acquire load.  Callers must treat a false return
+ * exactly as a failed strong CAS whose retry policy tolerates "no progress
+ * this try" (the DSU's one-try/two-try splitting does: a spurious failure
+ * is simply a failed try). */
+CAMLprim value dsu_flat_atomic_cas_weak(value arr, value idx, value expected,
+                                        value desired)
+{
+  value e = expected;
+  int ok = __atomic_compare_exchange_n(&Field(arr, Long_val(idx)), &e,
+                                       desired, 1, __ATOMIC_ACQ_REL,
+                                       __ATOMIC_ACQUIRE);
+  return Val_bool(ok);
+}
+
+/* Read-prefetch of cell [idx] into all cache levels.  Purely a hint: no
+ * memory access is architecturally performed, so it cannot fault, tear or
+ * race — safe on any address inside the array block. */
+CAMLprim value dsu_flat_prefetch(value arr, value idx)
+{
+#ifdef __GNUC__
+  __builtin_prefetch((const void *)&Field(arr, Long_val(idx)), 0, 3);
+#endif
+  return Val_unit;
 }

@@ -55,6 +55,62 @@ let run_native_array d ops =
     | Find x -> ignore (Dsu.Native.find d x)
   done
 
+(* Batched runner: walk the stream as maximal runs of consecutive
+   same-kind [Unite]/[Same_set] ops (capped at [batch]).  Long runs are
+   copied into endpoint arrays and handed to the bulk kernels
+   ([Dsu.Native.unite_batch] / [same_set_batch]); runs shorter than
+   [min_kernel_run] execute per-op straight from the ops array — the
+   kernels pay a per-call root-cache allocation that only amortizes over
+   long runs, so a kind-alternating stream must degrade to exactly the
+   per-op loop, with no buffering on the way.  [Find]s break runs and
+   execute directly. *)
+let min_kernel_run = 32
+
+let run_native_array_batched d ?(batch = 2048) ops =
+  if batch < 1 then invalid_arg "Op.run_native_array_batched: batch must be >= 1";
+  let len = Array.length ops in
+  let same_kind a b =
+    match (a, b) with
+    | Unite _, Unite _ | Same_set _, Same_set _ -> true
+    | _ -> false
+  in
+  let i = ref 0 in
+  while !i < len do
+    match Array.unsafe_get ops !i with
+    | Find x ->
+      ignore (Dsu.Native.find d x);
+      incr i
+    | op ->
+      let j = ref (!i + 1) in
+      while
+        !j < len && !j - !i < batch && same_kind op (Array.unsafe_get ops !j)
+      do
+        incr j
+      done;
+      let run = !j - !i in
+      (if run < min_kernel_run then
+         for k = !i to !j - 1 do
+           match Array.unsafe_get ops k with
+           | Unite (x, y) -> Dsu.Native.unite d x y
+           | Same_set (x, y) -> ignore (Dsu.Native.same_set d x y)
+           | Find _ -> assert false
+         done
+       else
+         let xs = Array.make run 0 and ys = Array.make run 0 in
+         for k = 0 to run - 1 do
+           match Array.unsafe_get ops (!i + k) with
+           | Unite (x, y) | Same_set (x, y) ->
+             Array.unsafe_set xs k x;
+             Array.unsafe_set ys k y
+           | Find _ -> assert false
+         done;
+         match op with
+         | Unite _ -> Dsu.Native.unite_batch d xs ys
+         | Same_set _ -> ignore (Dsu.Native.same_set_batch d xs ys)
+         | Find _ -> assert false);
+      i := !j
+  done
+
 let run_boxed_array d ops =
   for i = 0 to Array.length ops - 1 do
     match Array.unsafe_get ops i with

@@ -30,6 +30,18 @@ val run_quick_find : Sequential.Quick_find.t -> t list -> unit
 (** Convert to an array once and delegate to the array runners below. *)
 
 val run_native_array : Dsu.Native.t -> t array -> unit
+
+val run_native_array_batched : Dsu.Native.t -> ?batch:int -> t array -> unit
+(** Like {!run_native_array}, but maximal runs of consecutive same-kind
+    [Unite]/[Same_set] ops are flushed through the bulk kernels
+    ({!Dsu.Native.unite_batch} / {!Dsu.Native.same_set_batch}) in groups of
+    at most [batch] (default 2048) pairs; [Find]s flush and run directly,
+    and runs shorter than an internal threshold (32) fall back to the
+    per-op entry points, so kind-alternating streams never pay kernel
+    setup per tiny flush.  Same per-element semantics as the per-op loop —
+    used by the bench bulk suite to measure the batching win.
+    @raise Invalid_argument if [batch < 1]. *)
+
 val run_boxed_array : Dsu.Boxed.t -> t array -> unit
 val run_seq_array : Sequential.Seq_dsu.t -> t array -> unit
 val run_quick_find_array : Sequential.Quick_find.t -> t array -> unit

@@ -22,8 +22,8 @@ let variant_name (policy, early) =
 
 (* Run the same random operation sequence through the native DSU and the
    quick-find oracle, checking every query answer on the way. *)
-let oracle_run ~policy ~early ~n ~ops ~seed =
-  let d = Native.create ~policy ~early ~seed n in
+let oracle_run ?memory_order ?backoff ~policy ~early ~n ~ops ~seed () =
+  let d = Native.create ?memory_order ?backoff ~policy ~early ~seed n in
   let q = Quick_find.create n in
   List.iter
     (fun op ->
@@ -134,7 +134,7 @@ let oracle_tests =
           let rng = Rng.create 123 in
           let n = 64 in
           let ops = random_ops rng ~n ~m:600 in
-          let d, q = oracle_run ~policy ~early ~n ~ops ~seed:55 in
+          let d, q = oracle_run ~policy ~early ~n ~ops ~seed:55 () in
           check Alcotest.int "count_sets" (Quick_find.count_sets q)
             (Native.count_sets d);
           check Alcotest.(list int) "no invariant violations" []
@@ -520,6 +520,263 @@ let exhaustive_tests =
         done);
   ]
 
+(* ------------------------------------------------- memory-order modes *)
+
+(* Every (memory_order, policy) combination must agree with the oracle and
+   keep the forest invariants — the tuned read paths change no answers. *)
+let memory_order_tests =
+  List.concat_map
+    (fun memory_order ->
+      List.map
+        (fun ((policy, early) as v) ->
+          case
+            (Printf.sprintf "oracle agreement under %s (%s)"
+               (Dsu.Memory_order.to_string memory_order)
+               (variant_name v))
+            (fun () ->
+              let rng = Rng.create 321 in
+              let n = 64 in
+              let ops = random_ops rng ~n ~m:600 in
+              let d, q =
+                oracle_run ~memory_order ~policy ~early ~n ~ops ~seed:77 ()
+              in
+              check Alcotest.int "count_sets" (Quick_find.count_sets q)
+                (Native.count_sets d);
+              check
+                Alcotest.(list int)
+                "no invariant violations" []
+                (List.map fst (Native.invariant_violations d))))
+        all_variants)
+    Dsu.Memory_order.all
+  @ [
+      case "memory_order accessor reports the requested mode" (fun () ->
+          List.iter
+            (fun o ->
+              let d = Native.create ~memory_order:o ~seed:1 8 in
+              check Alcotest.bool
+                (Dsu.Memory_order.to_string o)
+                true
+                (Dsu.Memory_order.equal o (Native.memory_order d)))
+            Dsu.Memory_order.all;
+          let d = Native.create ~seed:1 8 in
+          check Alcotest.bool "default" true
+            (Dsu.Memory_order.equal Dsu.Memory_order.default
+               (Native.memory_order d)));
+      case "backoff off matches oracle too" (fun () ->
+          let rng = Rng.create 322 in
+          let n = 48 in
+          let ops = random_ops rng ~n ~m:400 in
+          let d, q =
+            oracle_run ~backoff:false ~policy:Policy.Two_try_splitting
+              ~early:false ~n ~ops ~seed:78 ()
+          in
+          check Alcotest.int "count_sets" (Quick_find.count_sets q)
+            (Native.count_sets d));
+    ]
+
+(* ------------------------------------- spurious weak-CAS failure model *)
+
+(* A memory whose weak CAS fails spuriously (seeded, 25% of attempts) on
+   top of the real flat array.  Two-try splitting's semantics must be
+   unaffected: a spurious splitting failure is exactly a failed try, which
+   Algorithms 4/5 already tolerate. *)
+module Flaky_memory = struct
+  type t = {
+    inner : Dsu.Native_memory.t;
+    rng : Rng.t;
+    mutable spurious : int;
+    mutable attempts : int;
+  }
+
+  let read t i = Dsu.Native_memory.read t.inner i
+  let cas t i e d = Dsu.Native_memory.cas t.inner i e d
+
+  let cas_weak t i e d =
+    t.attempts <- t.attempts + 1;
+    if Rng.int t.rng 4 = 0 then begin
+      t.spurious <- t.spurious + 1;
+      false
+    end
+    else Dsu.Native_memory.cas_weak t.inner i e d
+
+  let prefetch t i = Dsu.Native_memory.prefetch t.inner i
+end
+
+module Flaky = Dsu.Algorithm.Make (Flaky_memory)
+
+let flaky_tests =
+  let make_flaky ~policy ~early ~n ~seed =
+    let rng = Rng.create seed in
+    let prios = Array.init n (fun _ -> Rng.int rng (n * n)) in
+    let mem =
+      {
+        Flaky_memory.inner = Dsu.Native_memory.make n (fun i -> i);
+        rng = Rng.create (seed + 1);
+        spurious = 0;
+        attempts = 0;
+      }
+    in
+    (Flaky.create ~policy ~early ~mem ~n ~prio:(fun i -> prios.(i)) (), mem)
+  in
+  List.map
+    (fun ((policy, early) as v) ->
+      case
+        (Printf.sprintf "spurious cas_weak failures preserve semantics (%s)"
+           (variant_name v))
+        (fun () ->
+          let n = 64 in
+          let d, mem = make_flaky ~policy ~early ~n ~seed:91 in
+          let q = Quick_find.create n in
+          let rng = Rng.create 92 in
+          List.iter
+            (fun op ->
+              match op with
+              | Workload.Op.Unite (x, y) ->
+                Flaky.unite d x y;
+                Quick_find.unite q x y
+              | Workload.Op.Same_set (x, y) ->
+                check Alcotest.bool
+                  (Printf.sprintf "same_set %d %d" x y)
+                  (Quick_find.same_set q x y) (Flaky.same_set d x y)
+              | Workload.Op.Find x ->
+                let r = Flaky.find d x in
+                check Alcotest.bool "find lands in own class" true
+                  (Quick_find.same_set q x r))
+            (random_ops rng ~n ~m:800);
+          check Alcotest.int "count_sets" (Quick_find.count_sets q)
+            (Flaky.count_sets d);
+          check
+            Alcotest.(list int)
+            "no invariant violations" []
+            (List.map fst (Flaky.invariant_violations d));
+          (* The test only means something if splitting actually went
+             through the weak CAS and failures actually fired. *)
+          if policy <> Policy.No_compaction then begin
+            check Alcotest.bool "weak CAS attempted" true
+              (mem.Flaky_memory.attempts > 0);
+            check Alcotest.bool "spurious failures injected" true
+              (mem.Flaky_memory.spurious > 0)
+          end))
+    all_variants
+
+(* ---------------------------------------------------------- bulk kernels *)
+
+let batch_tests =
+  [
+    case "unite_batch equals the per-op loop" (fun () ->
+        let n = 256 and m = 500 in
+        let rng = Rng.create 131 in
+        let xs = Array.init m (fun _ -> Rng.int rng n) in
+        let ys = Array.init m (fun _ -> Rng.int rng n) in
+        let db = Native.create ~seed:17 n in
+        let dp = Native.create ~seed:17 n in
+        Native.unite_batch db xs ys;
+        for k = 0 to m - 1 do
+          Native.unite dp xs.(k) ys.(k)
+        done;
+        check Alcotest.int "count_sets" (Native.count_sets dp)
+          (Native.count_sets db);
+        for x = 0 to n - 1 do
+          check Alcotest.bool (string_of_int x) true
+            (Native.same_set dp x 0 = Native.same_set db x 0)
+        done;
+        check
+          Alcotest.(list int)
+          "no invariant violations" []
+          (List.map fst (Native.invariant_violations db)));
+    case "same_set_batch answers match the oracle" (fun () ->
+        let n = 256 in
+        let rng = Rng.create 137 in
+        let d = Native.create ~seed:19 n in
+        let q = Quick_find.create n in
+        for _ = 1 to 300 do
+          let x = Rng.int rng n and y = Rng.int rng n in
+          Native.unite d x y;
+          Quick_find.unite q x y
+        done;
+        let m = 400 in
+        let xs = Array.init m (fun _ -> Rng.int rng n) in
+        let ys = Array.init m (fun _ -> Rng.int rng n) in
+        let got = Native.same_set_batch d xs ys in
+        check Alcotest.int "answer count" m (Array.length got);
+        Array.iteri
+          (fun k ans ->
+            check Alcotest.bool
+              (Printf.sprintf "pair %d" k)
+              (Quick_find.same_set q xs.(k) ys.(k))
+              ans)
+          got);
+    case "batch kernels respect early-termination structures" (fun () ->
+        (* Kernels use the plain rounds regardless of ~early; answers must
+           still agree with the oracle on an early-termination handle. *)
+        let n = 128 in
+        let rng = Rng.create 139 in
+        let d = Native.create ~early:true ~seed:23 n in
+        let q = Quick_find.create n in
+        let m = 200 in
+        let xs = Array.init m (fun _ -> Rng.int rng n) in
+        let ys = Array.init m (fun _ -> Rng.int rng n) in
+        Native.unite_batch d xs ys;
+        Array.iteri (fun k x -> Quick_find.unite q x ys.(k)) xs;
+        let got = Native.same_set_batch d xs ys in
+        Array.iteri
+          (fun k ans ->
+            check Alcotest.bool
+              (Printf.sprintf "pair %d" k)
+              (Quick_find.same_set q xs.(k) ys.(k))
+              ans)
+          got);
+    case "empty batches are no-ops" (fun () ->
+        let d = Native.create ~seed:29 8 in
+        Native.unite_batch d [||] [||];
+        check Alcotest.int "answers" 0
+          (Array.length (Native.same_set_batch d [||] [||]));
+        check Alcotest.int "count" 8 (Native.count_sets d));
+    case "length mismatch and range errors rejected" (fun () ->
+        let d = Native.create ~seed:31 8 in
+        Alcotest.check_raises "unite_batch mismatch"
+          (Invalid_argument "Dsu.unite_batch: endpoint arrays differ in length")
+          (fun () -> Native.unite_batch d [| 0 |] [| 1; 2 |]);
+        Alcotest.check_raises "same_set_batch mismatch"
+          (Invalid_argument
+             "Dsu.same_set_batch: endpoint arrays differ in length") (fun () ->
+            ignore (Native.same_set_batch d [| 0; 1 |] [| 1 |]));
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Dsu: node out of range") (fun () ->
+            Native.unite_batch d [| 0 |] [| 8 |]);
+        (* Validation happens before any mutation. *)
+        check Alcotest.int "untouched" 8 (Native.count_sets d));
+    case "batched op runner equals the plain runner" (fun () ->
+        let n = 128 in
+        let rng = Rng.create 149 in
+        (* Long same-kind runs (so the kernels actually engage) mixed with
+           alternating stretches and finds (so the fallback engages too). *)
+        let ops =
+          Array.concat
+            [
+              Array.init 100 (fun _ ->
+                  Workload.Op.Unite (Rng.int rng n, Rng.int rng n));
+              Array.init 100 (fun _ ->
+                  Workload.Op.Same_set (Rng.int rng n, Rng.int rng n));
+              Array.init 100 (fun _ ->
+                  match Rng.int rng 3 with
+                  | 0 -> Workload.Op.Unite (Rng.int rng n, Rng.int rng n)
+                  | 1 -> Workload.Op.Same_set (Rng.int rng n, Rng.int rng n)
+                  | _ -> Workload.Op.Find (Rng.int rng n));
+            ]
+        in
+        let da = Native.create ~seed:37 n in
+        let db = Native.create ~seed:37 n in
+        Workload.Op.run_native_array da ops;
+        Workload.Op.run_native_array_batched db ops;
+        check Alcotest.int "count_sets" (Native.count_sets da)
+          (Native.count_sets db);
+        for x = 0 to n - 1 do
+          check Alcotest.bool (string_of_int x) true
+            (Native.same_set da x 0 = Native.same_set db x 0)
+        done);
+  ]
+
 let () =
   Alcotest.run "dsu"
     [
@@ -528,6 +785,9 @@ let () =
       ("invariants", invariant_tests);
       ("snapshot", snapshot_tests);
       ("stats", stats_tests);
+      ("memory_order", memory_order_tests);
+      ("flaky_cas", flaky_tests);
+      ("batch", batch_tests);
       ("simulator", sim_tests);
       ("exhaustive", exhaustive_tests);
     ]

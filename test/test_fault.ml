@@ -222,6 +222,110 @@ let armed_site_tests =
         check Alcotest.bool "forest ok" true (Forest_check.ok r));
   ]
 
+(* ---------------------------------------------------------- tuned path *)
+
+(* The memory-order-tuned hot path (relaxed/acquire loads, weak split
+   CAS, link backoff) reuses the instrumented twins, so every fault site
+   must keep firing when the structure is created with
+   [~memory_order:Relaxed_reads] — including inside the bulk kernels.
+   These are regression tests against the tuning silently bypassing
+   injection. *)
+
+let tuned_create ?(n = 256) ~seed () =
+  Dsu.Native.create ~memory_order:Dsu.Memory_order.Relaxed_reads ~seed n
+
+let tuned_site_tests =
+  [
+    case "tuned path still counts Find_hop hits" (fun () ->
+        let d = tuned_create ~seed:31 () in
+        with_plan
+          { Inject.seed = 30; rules_for = (fun _ -> []) }
+          (fun () ->
+            Inject.enroll ~slot:0;
+            let rng = Repro_util.Rng.create 7 in
+            for _ = 1 to 300 do
+              Dsu.Native.unite d (Repro_util.Rng.int rng 256)
+                (Repro_util.Rng.int rng 256)
+            done;
+            for i = 0 to 255 do
+              ignore (Dsu.Native.find d i : int)
+            done;
+            check Alcotest.bool "hits recorded" true
+              ((Inject.totals ()).Inject.hits > 0);
+            check Alcotest.bool "hops recorded" true (Inject.my_hops () > 0)));
+    case "split CAS sites still crash the tuned find" (fun () ->
+        let d = tuned_create ~seed:33 () in
+        (* Build depth while disarmed so the crash plan only sees finds. *)
+        let rng = Repro_util.Rng.create 9 in
+        for _ = 1 to 400 do
+          Dsu.Native.unite d (Repro_util.Rng.int rng 256)
+            (Repro_util.Rng.int rng 256)
+        done;
+        with_plan
+          (crash_at [ Site.Split_cas_pre; Site.Split_cas_post ])
+          (fun () ->
+            Inject.enroll ~slot:0;
+            let crashed = ref false in
+            (try
+               for i = 0 to 255 do
+                 ignore (Dsu.Native.find d i : int)
+               done
+             with Inject.Crashed (site, _) ->
+               crashed := true;
+               check Alcotest.bool "split site" true
+                 (site = Site.Split_cas_pre || site = Site.Split_cas_post));
+            check Alcotest.bool "a split fired" true !crashed);
+        (* The abandoned split is harmless: queries and the forest audit
+           still pass. *)
+        for i = 0 to 255 do
+          ignore (Dsu.Native.find d i : int)
+        done;
+        let r =
+          Forest_check.check ~prio:(Dsu.Native.id d)
+            (Dsu.Native.parents_snapshot d)
+        in
+        check Alcotest.bool "forest ok" true (Forest_check.ok r));
+    case "Link_cas_pre still crashes inside unite_batch" (fun () ->
+        let d = tuned_create ~seed:35 () in
+        let xs = Array.init 128 (fun i -> i) in
+        let ys = Array.init 128 (fun i -> i + 128) in
+        with_plan
+          (crash_at [ Site.Link_cas_pre ])
+          (fun () ->
+            Inject.enroll ~slot:0;
+            try
+              Dsu.Native.unite_batch d xs ys;
+              Alcotest.fail "expected Crashed"
+            with Inject.Crashed (site, _) ->
+              check Alcotest.bool "link site" true (site = Site.Link_cas_pre));
+        (* Re-running the abandoned batch disarmed completes it. *)
+        Dsu.Native.unite_batch d xs ys;
+        for i = 0 to 127 do
+          check Alcotest.bool "pair united" true
+            (Dsu.Native.same_set d xs.(i) ys.(i))
+        done;
+        let r =
+          Forest_check.check ~prio:(Dsu.Native.id d)
+            (Dsu.Native.parents_snapshot d)
+        in
+        check Alcotest.bool "forest ok" true (Forest_check.ok r));
+    case "same_set_batch traversals still count Find_hop" (fun () ->
+        let d = tuned_create ~seed:37 () in
+        let rng = Repro_util.Rng.create 11 in
+        for _ = 1 to 300 do
+          Dsu.Native.unite d (Repro_util.Rng.int rng 256)
+            (Repro_util.Rng.int rng 256)
+        done;
+        let xs = Array.init 128 (fun i -> i) in
+        let ys = Array.init 128 (fun i -> 255 - i) in
+        with_plan
+          { Inject.seed = 36; rules_for = (fun _ -> []) }
+          (fun () ->
+            Inject.enroll ~slot:0;
+            ignore (Dsu.Native.same_set_batch d xs ys : bool array);
+            check Alcotest.bool "hops recorded" true (Inject.my_hops () > 0)));
+  ]
+
 (* --------------------------------------------------------- Forest_check *)
 
 let violations r = List.length r.Forest_check.violations
@@ -395,6 +499,7 @@ let () =
       ("site", site_tests);
       ("inject", inject_tests);
       ("armed_sites", armed_site_tests);
+      ("tuned_sites", tuned_site_tests);
       ("forest_check", forest_tests);
       ("chaos", chaos_tests);
     ]

@@ -327,11 +327,60 @@ let roundtrip_tests =
         done);
   ]
 
+(* Native fuzz under the tuned memory-order path: real multi-domain
+   executions with relaxed parent loads, weak splitting CAS and link
+   backoff — the default production configuration — recorded and checked
+   against the sequential spec, >= 100 histories per policy. *)
+let native_tuned_tests =
+  [
+    case "native tuned-path histories linearize (100 per policy)" (fun () ->
+        List.iter
+          (fun policy ->
+            for trial = 1 to 100 do
+              let n = 5 in
+              let d =
+                Dsu.Native.create ~policy
+                  ~memory_order:Dsu.Memory_order.Relaxed_reads ~seed:trial n
+              in
+              let recorder = Lincheck.Native_recorder.create () in
+              let worker pid () =
+                let rng = Repro_util.Rng.create ((trial * 100) + pid) in
+                for _ = 1 to 3 do
+                  let x = Repro_util.Rng.int rng n
+                  and y = Repro_util.Rng.int rng n in
+                  if Repro_util.Rng.bool rng then
+                    ignore
+                      (Lincheck.Native_recorder.run recorder ~pid ~name:"unite"
+                         ~args:[ x; y ]
+                         (fun () ->
+                           Dsu.Native.unite d x y;
+                           0))
+                  else
+                    ignore
+                      (Lincheck.Native_recorder.run recorder ~pid
+                         ~name:"same_set" ~args:[ x; y ]
+                         (fun () -> if Dsu.Native.same_set d x y then 1 else 0))
+                done
+              in
+              let handles = List.init 3 (fun pid -> Domain.spawn (worker pid)) in
+              List.iter Domain.join handles;
+              let history = Lincheck.Native_recorder.history recorder in
+              match Checker.check ~n history with
+              | Checker.Linearizable -> ()
+              | Checker.Not_linearizable msg ->
+                Alcotest.failf "%s trial %d: %s"
+                  (Dsu.Find_policy.to_string policy)
+                  trial msg
+            done)
+          Dsu.Find_policy.all);
+  ]
+
 let () =
   Alcotest.run "lincheck"
     [
       ("spec", spec_tests);
       ("checker", checker_tests);
       ("crash", crash_tests);
+      ("native-tuned", native_tuned_tests);
       ("roundtrip", roundtrip_tests);
     ]

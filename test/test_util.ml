@@ -504,6 +504,137 @@ let flat_atomic_array_tests =
           expect_invalid (fun () -> F.set a 4 0);
           expect_invalid (fun () -> F.cas a (-1) 0 0);
           expect_invalid (fun () -> F.fetch_add a 4 1));
+      both_modes "explicit-order primitives round-trip values" (fun ~padded ->
+          let a = F.make ~padded 3 (fun i -> i * 10) in
+          check Alcotest.int "get_acquire" 10 (F.get_acquire a 1);
+          check Alcotest.int "get_relaxed" 20 (F.get_relaxed a 2);
+          F.set_release a 0 min_int;
+          check Alcotest.int "set_release visible" min_int (F.get a 0);
+          check Alcotest.int "unsafe_get_acquire" min_int (F.unsafe_get_acquire a 0);
+          check Alcotest.int "unsafe_get_relaxed" min_int (F.unsafe_get_relaxed a 0);
+          F.unsafe_set_release a 0 max_int;
+          check Alcotest.int "unsafe_set_release visible" max_int (F.get a 0));
+      both_modes "cas_weak succeeds eventually, fails on real mismatch"
+        (fun ~padded ->
+          let a = F.make ~padded 2 (fun _ -> 7) in
+          (* Weak CAS may fail spuriously, so success is only guaranteed
+             across a retry loop; a genuine value mismatch must fail and
+             leave the cell alone every time. *)
+          let rec spin tries =
+            if tries = 0 then Alcotest.fail "cas_weak never succeeded"
+            else if not (F.cas_weak a 0 7 9) then spin (tries - 1)
+          in
+          spin 1000;
+          check Alcotest.int "installed" 9 (F.get a 0);
+          check Alcotest.int "neighbour untouched" 7 (F.get a 1);
+          for _ = 1 to 100 do
+            check Alcotest.bool "mismatch fails" false (F.cas_weak a 0 8 11)
+          done;
+          check Alcotest.int "unchanged" 9 (F.get a 0));
+      both_modes "prefetch is a no-op hint, silent out of bounds"
+        (fun ~padded ->
+          let a = F.make ~padded 4 (fun i -> i) in
+          F.prefetch a 0;
+          F.prefetch a 3;
+          F.unsafe_prefetch a 2;
+          (* Checked prefetch must neither raise nor touch memory when the
+             index is out of range — batch kernels prefetch ahead of
+             bounds validation. *)
+          F.prefetch a (-1);
+          F.prefetch a 4;
+          F.prefetch a max_int;
+          for i = 0 to 3 do
+            check Alcotest.int (string_of_int i) i (F.get a i)
+          done);
+      both_modes "explicit-order out-of-bounds rejected" (fun ~padded ->
+          let a = F.make ~padded 4 (fun i -> i) in
+          let expect_invalid f =
+            match f () with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "expected Invalid_argument"
+          in
+          expect_invalid (fun () -> F.get_acquire a (-1));
+          expect_invalid (fun () -> F.get_acquire a 4);
+          expect_invalid (fun () -> F.get_relaxed a 4);
+          expect_invalid (fun () -> F.set_release a 4 0);
+          expect_invalid (fun () -> F.cas_weak a (-1) 0 0));
+      both_modes "multi-domain cas_weak increments never lose updates"
+        (fun ~padded ->
+          let a = F.make ~padded 1 (fun _ -> 0) in
+          let domains = 4 and per_domain = 5_000 in
+          let worker () =
+            for _ = 1 to per_domain do
+              let rec retry () =
+                let cur = F.get_relaxed a 0 in
+                if not (F.cas_weak a 0 cur (cur + 1)) then retry ()
+              in
+              retry ()
+            done
+          in
+          let hs = List.init domains (fun _ -> Domain.spawn worker) in
+          List.iter Domain.join hs;
+          check Alcotest.int "total" (domains * per_domain) (F.get a 0));
+      both_modes "multi-domain release/acquire publication" (fun ~padded ->
+          (* Writer fills a payload cell then publishes a generation number
+             with set_release; the reader acquires the generation and must
+             see the matching payload — the release/acquire pair the
+             Growable priority array relies on. *)
+          let a = F.make ~padded 2 (fun _ -> 0) in
+          let rounds = 2_000 in
+          let writer () =
+            for g = 1 to rounds do
+              F.set a 1 (g * 3);
+              F.set_release a 0 g
+            done
+          in
+          let fails = ref 0 in
+          let reader () =
+            for g = 1 to rounds do
+              while F.get_acquire a 0 < g do
+                Domain.cpu_relax ()
+              done;
+              (* payload is monotone, so whatever generation we acquired
+                 the payload must be at least the published one *)
+              if F.get_relaxed a 1 < g * 3 then incr fails
+            done
+          in
+          let w = Domain.spawn writer and r = Domain.spawn reader in
+          Domain.join w;
+          Domain.join r;
+          check Alcotest.int "stale payloads" 0 !fails);
+      both_modes "multi-domain set_release/get_acquire/get_relaxed stress"
+        (fun ~padded ->
+          (* Two writers hammer disjoint cells with the weak-order
+             primitives while two readers walk the array; every observed
+             value must be one some writer actually wrote. *)
+          let n = 64 in
+          let a = F.make ~padded n (fun _ -> 0) in
+          let iters = 20_000 in
+          let writer base () =
+            for k = 1 to iters do
+              let i = base + (k mod (n / 2)) in
+              F.set_release a i (((base + k) * 2) + 1)
+            done
+          in
+          let bad = ref 0 in
+          let reader () =
+            for k = 1 to iters do
+              let v = F.get_acquire a (k mod n) in
+              let v' = F.get_relaxed a ((k * 7) mod n) in
+              if v <> 0 && v land 1 = 0 then incr bad;
+              if v' <> 0 && v' land 1 = 0 then incr bad
+            done
+          in
+          let ds =
+            [
+              Domain.spawn (writer 0);
+              Domain.spawn (writer (n / 2));
+              Domain.spawn reader;
+              Domain.spawn reader;
+            ]
+          in
+          List.iter Domain.join ds;
+          check Alcotest.int "torn or invented values" 0 !bad);
       [
         case "zero-length array is fine" (fun () ->
             let a = F.make 0 (fun _ -> assert false) in
