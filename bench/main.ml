@@ -12,6 +12,10 @@
      --filter SUBSTR      run only benchmarks whose name contains SUBSTR
                           (repeatable; used by the CI bench-smoke job)
      --fast               reduced measurement quota, for smoke runs
+     --baseline FILE      diff this run against a previous --out document
+                          (Harness.Perfdiff; --diff-threshold sets the noise
+                          floor, --diff-out writes the dsu-perfdiff/v1
+                          artifact, --diff-fail turns regressions into exit 3)
 
    keeping stdout parse-free for the perf-trajectory tooling.
 
@@ -515,6 +519,10 @@ let parallel_orders = ref [ Dsu.Memory_order.default ]
 let parallel_backoffs = ref [ true ]
 let parallel_dists = ref [ Harness.Scalability.Uniform ]
 let guard_tuned = ref None
+let baseline_file = ref None
+let diff_threshold = ref 10.0
+let diff_fail = ref false
+let diff_out = ref None
 
 let contains_substring ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -635,17 +643,69 @@ let speclist =
       "PCT  after --parallel, time the single-domain smoke pair (flat / \
        two-try, seq-cst vs relaxed-reads) and exit 1 if the tuned path is \
        more than PCT percent slower" );
+    ( "--baseline",
+      Arg.String (fun f -> baseline_file := Some f),
+      "FILE  diff this run's JSON document against a previous one (same \
+       kind: bechamel, or dsu-scalability with --parallel) and print \
+       per-benchmark deltas beyond the noise threshold" );
+    ( "--diff-threshold",
+      Arg.Set_float diff_threshold,
+      "PCT  noise threshold for --baseline deltas (default 10)" );
+    ( "--diff-out",
+      Arg.String (fun f -> diff_out := Some f),
+      "FILE  write the --baseline comparison as a dsu-perfdiff/v1 JSON \
+       document (the CI perf-history artifact)" );
+    ( "--diff-fail",
+      Arg.Set diff_fail,
+      " exit 3 if --baseline finds any regression beyond the threshold" );
   ]
 
 let usage =
   "bench/main.exe [--out FILE] [--metrics-out FILE] [--filter SUBSTR] \
-   [--fast] [--parallel ...]"
+   [--fast] [--baseline FILE] [--parallel ...]"
 
 let write_json file doc =
   let oc = open_out file in
   output_string oc (Repro_obs.Json.to_string doc);
   output_char oc '\n';
   close_out oc
+
+(* The perf-regression differ: compare this run's document against
+   --baseline.  Structural problems (unreadable file, malformed JSON,
+   kind mismatch) exit 2 — CI must treat a broken baseline as broken
+   plumbing, not a pass; actual regressions exit 3 only under
+   --diff-fail, so the default is a soft gate that reports. *)
+let run_baseline_diff current =
+  match !baseline_file with
+  | None -> ()
+  | Some file ->
+    let text =
+      try In_channel.with_open_bin file In_channel.input_all
+      with Sys_error e ->
+        Printf.eprintf "bench: cannot read baseline: %s\n%!" e;
+        exit 2
+    in
+    let base =
+      match Repro_obs.Json.parse text with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "bench: baseline: malformed JSON: %s\n%!" e;
+        exit 2
+    in
+    (match
+       Harness.Perfdiff.diff ~threshold_pct:!diff_threshold ~base ~current ()
+     with
+    | Error e ->
+      Printf.eprintf "bench: %s\n%!" e;
+      exit 2
+    | Ok report ->
+      print_newline ();
+      Harness.Perfdiff.pp Format.std_formatter report;
+      Format.pp_print_flush Format.std_formatter ();
+      (match !diff_out with
+      | Some f -> write_json f (Harness.Perfdiff.to_json report)
+      | None -> ());
+      if !diff_fail && report.Harness.Perfdiff.regressions <> [] then exit 3)
 
 (* The perf-smoke regression gate: time the single-domain smoke pair —
    flat layout, two-try splitting, seq-cst vs the tuned default order —
@@ -717,9 +777,11 @@ let run_parallel_sweep () =
   print_newline ();
   Harness.Scalability.pp_table Format.std_formatter points;
   Format.pp_print_flush Format.std_formatter ();
+  let doc = Harness.Scalability.to_json ~config points in
   (match !out_file with
   | None -> ()
-  | Some file -> write_json file (Harness.Scalability.to_json ~config points));
+  | Some file -> write_json file doc);
+  run_baseline_diff doc;
   match !guard_tuned with
   | None -> ()
   | Some pct -> run_guard_tuned config pct
@@ -763,25 +825,27 @@ let run_bechamel () =
     (fun (name, estimate, r2) ->
       Printf.printf "%-40s %15.1f %10.4f\n" name estimate r2)
     estimates;
-  match !out_file with
+  let module J = Repro_obs.Json in
+  let doc =
+    J.Obj
+      [
+        ( "results",
+          J.List
+            (List.map
+               (fun (name, estimate, r2) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("ns_per_run", J.Float estimate);
+                     ("r_square", J.Float r2);
+                   ])
+               estimates) );
+      ]
+  in
+  (match !out_file with
   | None -> ()
-  | Some file ->
-    let module J = Repro_obs.Json in
-    write_json file
-      (J.Obj
-         [
-           ( "results",
-             J.List
-               (List.map
-                  (fun (name, estimate, r2) ->
-                    J.Obj
-                      [
-                        ("name", J.String name);
-                        ("ns_per_run", J.Float estimate);
-                        ("r_square", J.Float r2);
-                      ])
-                  estimates) );
-         ])
+  | Some file -> write_json file doc);
+  run_baseline_diff doc
 
 let () =
   Arg.parse speclist

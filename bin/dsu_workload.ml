@@ -161,6 +161,12 @@ let arm_telemetry ~metrics_out ~trace_out ~progress =
   if metrics_out <> None || progress then Repro_obs.Metrics.set_enabled true;
   if trace_out <> None then Repro_obs.Trace.set_enabled true
 
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error msg ->
+    Error (`Msg (Printf.sprintf "cannot read %s" msg))
+
 let with_out file f =
   match file with
   | "-" -> f stdout
@@ -210,6 +216,7 @@ let progress_loop stop =
     in
     let p99 =
       match lookup snap "dsu_find_latency_ns" with
+      | Some { value = M.Hdr_v h; _ } -> Repro_obs.Hdr.quantile h 0.99
       | Some { value = M.Histogram_v h; _ } -> M.quantile h 0.99
       | _ -> 0
     in
@@ -286,8 +293,20 @@ let check_arg cond msg = if cond then Ok () else Error (`Msg msg)
 
 let ( let* ) = Result.bind
 
+let contention_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "contention-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable per-site contention attribution and write the \
+           dsu-contention/v1 report (CAS failures per Site label and per \
+           node, hot-node heatmap) to $(docv) after the run (\"-\" = \
+           stdout).  Only the jt/jt-early implementations carry the \
+           instrumented CAS sites.")
+
 let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
-    progress =
+    contention_out progress =
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
   let* () = check_arg (n >= 1) "--elements must be >= 1" in
   let* () =
@@ -301,6 +320,11 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
       "--impl seq is single-threaded; use --domains 1"
   in
   arm_telemetry ~metrics_out ~trace_out ~progress;
+  if contention_out <> None then begin
+    Dsu.Contention.set_enabled true;
+    Dsu.Contention.reset ()
+  end;
+  let root_fn = ref None in
   let ops_list = workload ~n ~ops ~unite_frac ~seed in
   let buckets = Workload.Op.round_robin ops_list ~p:domains in
   let apply_ops ~unite ~same_set ~find bucket =
@@ -333,6 +357,7 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
           (apply_ops ~unite:(Dsu.Native.unite d) ~same_set:(Dsu.Native.same_set d)
              ~find:(Dsu.Native.find d))
       in
+      root_fn := Some (Dsu.Native.is_root d);
       (dt, Dsu.Native.count_sets d, Some (Dsu.Native.stats d))
     | Rank ->
       let d = Dsu.Rank.Native.create ~collect_stats:true n in
@@ -378,6 +403,17 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
   | Some s -> Printf.printf "counters:      %s\n" (Format.asprintf "%a" Dsu.Stats.pp s));
   (match metrics_out with None -> () | Some out -> write_metrics out stats);
   (match trace_out with None -> () | Some out -> write_trace out);
+  (match contention_out with
+  | None -> ()
+  | Some out ->
+    let r = Dsu.Contention.report () in
+    with_out out (fun oc ->
+        output_string oc
+          (Repro_obs.Json.to_string
+             (Dsu.Contention.to_json ?is_root:!root_fn
+                ~heatmap_buckets:(Stdlib.min 32 n) ~n r));
+        output_char oc '\n');
+    Dsu.Contention.set_enabled false);
   Ok ()
 
 let native_cmd =
@@ -387,7 +423,7 @@ let native_cmd =
       term_result
         (const run_native $ impl_arg $ policy_arg $ n_arg $ ops_arg
         $ unite_frac_arg $ seed_arg $ domains_arg $ metrics_out_arg
-        $ trace_out_arg $ progress_arg))
+        $ trace_out_arg $ contention_out_arg $ progress_arg))
 
 (* ------------------------------------------------------------- sim mode *)
 
@@ -956,9 +992,197 @@ let chaos_cmd =
         $ memory_order_arg $ validate_arg $ recover_arg $ chaos_snapshot_out_arg
         $ json_out_arg $ metrics_out_arg))
 
+(* --------------------------------------------------------- latency mode *)
+
+module Latency = Harness.Latency
+module Perfdiff = Harness.Perfdiff
+
+let arrival_rates_arg =
+  Arg.(
+    value
+    & opt_all float [ 20_000.0 ]
+    & info [ "arrival-rate" ] ~docv:"RATE"
+        ~doc:
+          "Offered arrival rate per load-generator domain, operations per \
+           second.  Repeatable; each occurrence adds one point to the \
+           sweep.")
+
+let shape_conv =
+  let parse s =
+    match Latency.shape_of_string s with
+    | Some sh -> Ok sh
+    | None -> Error (`Msg (Printf.sprintf "unknown arrival shape %S" s))
+  in
+  let print ppf sh = Format.pp_print_string ppf (Latency.shape_to_string sh) in
+  Arg.conv (parse, print)
+
+let shape_arg =
+  Arg.(
+    value
+    & opt shape_conv Latency.Poisson
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:"Arrival schedule: fixed, poisson, bursty or bursty:K.")
+
+let reservoir_arg =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "reservoir" ] ~docv:"K"
+        ~doc:"Exact open-loop latency samples kept per sweep point.")
+
+let latency_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "latency-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the dsu-latency/v1 JSON document to $(docv) (\"-\" = \
+           stdout).")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Diff this run against a previous dsu-latency/v1 document and \
+           print regressions/improvements beyond the noise threshold.")
+
+let diff_threshold_arg =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "diff-threshold" ] ~docv:"PCT"
+        ~doc:"Relative delta (percent) below which a change is noise.")
+
+let run_latency n ops unite_frac seed domains rates shape reservoir
+    latency_out baseline threshold =
+  let* () = check_arg (n >= 2) "--elements must be >= 2" in
+  let* () = check_arg (ops >= 1) "--ops must be >= 1" in
+  let* () = check_arg (domains >= 1) "--domains must be >= 1" in
+  let* () = check_arg (reservoir >= 1) "--reservoir must be >= 1" in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  let* () =
+    check_arg
+      (List.for_all (fun r -> r > 0.) rates)
+      "--arrival-rate must be positive"
+  in
+  let config =
+    {
+      Latency.n;
+      unite_percent = int_of_float (unite_frac *. 100.);
+      seed;
+      domains;
+      ops;
+      shape;
+      reservoir;
+    }
+  in
+  let points = Latency.sweep ~config ~rates () in
+  Format.printf "%a" Latency.pp_table points;
+  let doc = Latency.to_json config points in
+  (match latency_out with
+  | None -> ()
+  | Some out ->
+    with_out out (fun oc ->
+        output_string oc (Repro_obs.Json.to_string doc);
+        output_char oc '\n'));
+  match baseline with
+  | None -> Ok ()
+  | Some file ->
+    let* base = read_file file in
+    (match
+       Perfdiff.diff_strings ~threshold_pct:threshold ~base
+         ~current:(Repro_obs.Json.to_string doc) ()
+     with
+    | Error e -> Error (`Msg e)
+    | Ok rep ->
+      Format.printf "%a" Perfdiff.pp rep;
+      Ok ())
+
+let latency_cmd =
+  let doc =
+    "Coordinated-omission-free open-loop latency sweep: deterministic \
+     arrival schedules, intended-start-time accounting, p50/p99/p999 per \
+     offered rate, saturation knee."
+  in
+  Cmd.v (Cmd.info "latency" ~doc)
+    Term.(
+      term_result
+        (const run_latency $ n_arg $ ops_arg $ unite_frac_arg $ seed_arg
+        $ domains_arg $ arrival_rates_arg $ shape_arg $ reservoir_arg
+        $ latency_out_arg $ baseline_arg $ diff_threshold_arg))
+
+(* -------------------------------------------------------- perfdiff mode *)
+
+let pd_baseline_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline perf JSON document.")
+
+let pd_current_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "current" ] ~docv:"FILE" ~doc:"Current perf JSON document.")
+
+let pd_json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the dsu-perfdiff/v1 report to $(docv) (\"-\" = stdout).")
+
+let pd_fail_arg =
+  Arg.(
+    value & flag
+    & info [ "fail-on-regression" ]
+        ~doc:"Exit with status 3 if any metric regressed beyond the threshold.")
+
+let run_perfdiff baseline current threshold json_out fail_on_regression =
+  let* base = read_file baseline in
+  let* cur = read_file current in
+  match Perfdiff.diff_strings ~threshold_pct:threshold ~base ~current:cur () with
+  | Error e -> Error (`Msg e)
+  | Ok rep ->
+    Format.printf "%a" Perfdiff.pp rep;
+    (match json_out with
+    | None -> ()
+    | Some out ->
+      with_out out (fun oc ->
+          output_string oc (Repro_obs.Json.to_string (Perfdiff.to_json rep));
+          output_char oc '\n'));
+    if fail_on_regression && rep.Perfdiff.regressions <> [] then exit 3;
+    Ok ()
+
+let perfdiff_cmd =
+  let doc =
+    "Diff two bench/scalability/latency JSON documents and flag metric \
+     deltas beyond a noise threshold (kind auto-detected)."
+  in
+  Cmd.v (Cmd.info "perfdiff" ~doc)
+    Term.(
+      term_result
+        (const run_perfdiff $ pd_baseline_arg $ pd_current_arg
+        $ diff_threshold_arg $ pd_json_out_arg $ pd_fail_arg))
+
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in
   Cmd.group (Cmd.info "dsu_workload" ~doc)
-    [ native_cmd; sim_cmd; lincheck_cmd; chaos_cmd; snapshot_cmd; restore_cmd ]
+    [
+      native_cmd;
+      sim_cmd;
+      lincheck_cmd;
+      chaos_cmd;
+      snapshot_cmd;
+      restore_cmd;
+      latency_cmd;
+      perfdiff_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

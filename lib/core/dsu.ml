@@ -21,6 +21,12 @@ module Memory_order = Memory_order
 module Memory_intf = Memory_intf
 module Stats = Dsu_stats
 module Obs = Dsu_obs
+
+module Contention = Dsu_contention
+(** Per-site/per-node CAS contention attribution (armed independently of
+    metrics and tracing); exports the [dsu-contention/v1] hot-node
+    report. *)
+
 module Algorithm = Dsu_algorithm
 module Native_memory = Native_memory
 module Native = Dsu_native

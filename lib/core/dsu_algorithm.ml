@@ -158,7 +158,7 @@ module Make (M : Memory_intf.S) = struct
         fault_split_pre ();
         let ok = M.cas_weak t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
-        Dsu_obs.on_compaction_cas ~ok;
+        Dsu_obs.on_compaction_cas ~node:u ~ok;
         fault_split_post ();
         loop v
       end
@@ -202,7 +202,7 @@ module Make (M : Memory_intf.S) = struct
         fault_split_pre ();
         let ok = M.cas_weak t.mem u v w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
-        Dsu_obs.on_compaction_cas ~ok;
+        Dsu_obs.on_compaction_cas ~node:u ~ok;
         fault_split_post ();
         let v2 = M.read t.mem u in
         fault_gap ();
@@ -212,7 +212,7 @@ module Make (M : Memory_intf.S) = struct
           fault_split_pre ();
           let ok2 = M.cas_weak t.mem u v2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
-          Dsu_obs.on_compaction_cas ~ok:ok2;
+          Dsu_obs.on_compaction_cas ~node:u ~ok:ok2;
           fault_split_post ();
           loop v2
         end
@@ -259,7 +259,7 @@ module Make (M : Memory_intf.S) = struct
           fault_split_pre ();
           let ok = M.cas_weak t.mem u observed_parent root in
           bump t (Dsu_stats.incr_compaction_cas ~ok);
-          Dsu_obs.on_compaction_cas ~ok;
+          Dsu_obs.on_compaction_cas ~node:u ~ok;
           fault_split_post ()
         end)
       path;
@@ -341,7 +341,7 @@ module Make (M : Memory_intf.S) = struct
         fault_split_pre ();
         let ok = M.cas_weak t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
-        Dsu_obs.on_compaction_cas ~ok;
+        Dsu_obs.on_compaction_cas ~node:u ~ok;
         fault_split_post ()
       end;
       z
@@ -352,7 +352,7 @@ module Make (M : Memory_intf.S) = struct
         fault_split_pre ();
         let ok = M.cas_weak t.mem u z w in
         bump t (Dsu_stats.incr_compaction_cas ~ok);
-        Dsu_obs.on_compaction_cas ~ok;
+        Dsu_obs.on_compaction_cas ~node:u ~ok;
         fault_split_post ();
         let z2 = M.read t.mem u in
         fault_gap ();
@@ -361,7 +361,7 @@ module Make (M : Memory_intf.S) = struct
           fault_split_pre ();
           let ok2 = M.cas_weak t.mem u z2 w2 in
           bump t (Dsu_stats.incr_compaction_cas ~ok:ok2);
-          Dsu_obs.on_compaction_cas ~ok:ok2;
+          Dsu_obs.on_compaction_cas ~node:u ~ok:ok2;
           fault_split_post ()
         end;
         z2
@@ -428,7 +428,7 @@ module Make (M : Memory_intf.S) = struct
         fault_link_pre ();
         let ok = M.cas t.mem u u v in
         bump t (Dsu_stats.incr_link_cas ~ok);
-        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~node:u ~ok;
         fault_link_post ();
         if ok then record_link t ~child:u ~parent:v
         else
@@ -438,7 +438,7 @@ module Make (M : Memory_intf.S) = struct
         fault_link_pre ();
         let ok = M.cas t.mem v v u in
         bump t (Dsu_stats.incr_link_cas ~ok);
-        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~node:v ~ok;
         fault_link_post ();
         if ok then record_link t ~child:v ~parent:u
         else
@@ -466,7 +466,7 @@ module Make (M : Memory_intf.S) = struct
           fault_link_pre ();
           let ok = M.cas t.mem u u v in
           bump t (Dsu_stats.incr_link_cas ~ok);
-          if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+          if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~node:u ~ok;
           fault_link_post ();
           if ok then record_link t ~child:u ~parent:v
           else
@@ -543,7 +543,7 @@ module Make (M : Memory_intf.S) = struct
         fault_link_pre ();
         let ok = M.cas t.mem child child parent in
         bump t (Dsu_stats.incr_link_cas ~ok);
-        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~ok;
+        if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~node:child ~ok;
         fault_link_post ();
         if ok then begin
           record_link t ~child ~parent;

@@ -1,0 +1,223 @@
+(* Per-site contention attribution.
+
+   Each domain accumulates into its own DLS-held state (registered on a
+   global list the way Trace registers its rings), so recording is
+   lock-free and allocation-free after the first hit on a domain; [report]
+   merges the states.  The per-node failure table is a Hashtbl keyed by
+   node id — a hash insert per *failed* CAS, which is fine because this
+   path only runs while the profiler is armed, and CAS failures are the
+   rare outcome being counted. *)
+
+module Site = Repro_fault.Site
+module J = Repro_obs.Json
+
+let enabled () = Atomic.get Repro_obs.Switch.contention
+let set_enabled b = Repro_obs.Switch.set_contention b
+
+type local = {
+  mutable link_ok : int;
+  mutable link_fail : int;
+  mutable split_ok : int;
+  mutable split_fail : int;
+  mutable retries : int;
+  node_fail : (int, int ref) Hashtbl.t; (* node -> failed-CAS count *)
+}
+
+let locals = Atomic.make ([] : local list)
+
+let fresh_local () =
+  let l =
+    {
+      link_ok = 0;
+      link_fail = 0;
+      split_ok = 0;
+      split_fail = 0;
+      retries = 0;
+      node_fail = Hashtbl.create 64;
+    }
+  in
+  let rec push () =
+    let cur = Atomic.get locals in
+    if not (Atomic.compare_and_set locals cur (l :: cur)) then push ()
+  in
+  push ();
+  l
+
+let key = Domain.DLS.new_key fresh_local
+
+let bump_node l node =
+  match Hashtbl.find_opt l.node_fail node with
+  | Some r -> incr r
+  | None -> Hashtbl.add l.node_fail node (ref 1)
+
+let record_link ~node ~ok =
+  let l = Domain.DLS.get key in
+  if ok then l.link_ok <- l.link_ok + 1
+  else begin
+    l.link_fail <- l.link_fail + 1;
+    bump_node l node
+  end
+
+let record_split ~node ~ok =
+  let l = Domain.DLS.get key in
+  if ok then l.split_ok <- l.split_ok + 1
+  else begin
+    l.split_fail <- l.split_fail + 1;
+    bump_node l node
+  end
+
+let record_retry () =
+  let l = Domain.DLS.get key in
+  l.retries <- l.retries + 1
+
+let reset () =
+  List.iter
+    (fun l ->
+      l.link_ok <- 0;
+      l.link_fail <- 0;
+      l.split_ok <- 0;
+      l.split_fail <- 0;
+      l.retries <- 0;
+      Hashtbl.reset l.node_fail)
+    (Atomic.get locals)
+
+(* --------------------------------------------------------------- report *)
+
+type site_stat = { site : Site.t; ok : int; fail : int }
+
+type report = {
+  sites : site_stat list;
+  outer_retries : int;
+  node_failures : (int * int) list;
+      (* (node, failed CASes), descending by count then ascending by node *)
+}
+
+let report () =
+  let link_ok = ref 0
+  and link_fail = ref 0
+  and split_ok = ref 0
+  and split_fail = ref 0
+  and retries = ref 0 in
+  let per_node : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      link_ok := !link_ok + l.link_ok;
+      link_fail := !link_fail + l.link_fail;
+      split_ok := !split_ok + l.split_ok;
+      split_fail := !split_fail + l.split_fail;
+      retries := !retries + l.retries;
+      Hashtbl.iter
+        (fun node r ->
+          match Hashtbl.find_opt per_node node with
+          | Some acc -> acc := !acc + !r
+          | None -> Hashtbl.add per_node node (ref !r))
+        l.node_fail)
+    (Atomic.get locals);
+  let node_failures =
+    Hashtbl.fold (fun node r acc -> (node, !r) :: acc) per_node []
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+           if c1 <> c2 then compare c2 c1 else compare n1 n2)
+  in
+  {
+    sites =
+      [
+        { site = Site.Link_cas; ok = !link_ok; fail = !link_fail };
+        { site = Site.Split_cas; ok = !split_ok; fail = !split_fail };
+      ];
+    outer_retries = !retries;
+    node_failures;
+  }
+
+let total_failures r =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 r.node_failures
+
+let hot_nodes ?(top = 16) r =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take top r.node_failures
+
+(* Node-bucket heatmap: fold the per-node failure counts into [buckets]
+   equal id ranges over the universe [0, n).  Nodes outside [0, n) (from
+   a differently-sized earlier run) land in the last bucket. *)
+let heatmap ~buckets ~n r =
+  if buckets <= 0 || n <= 0 then invalid_arg "Contention.heatmap";
+  let h = Array.make buckets 0 in
+  List.iter
+    (fun (node, c) ->
+      let b =
+        if node < 0 then 0
+        else if node >= n then buckets - 1
+        else node * buckets / n
+      in
+      h.(b) <- h.(b) + c)
+    r.node_failures;
+  h
+
+let root_failure_share ~is_root r =
+  let total = total_failures r in
+  if total = 0 then 0.0
+  else begin
+    let at_roots =
+      List.fold_left
+        (fun acc (node, c) -> if is_root node then acc + c else acc)
+        0 r.node_failures
+    in
+    float_of_int at_roots /. float_of_int total
+  end
+
+let to_json ?(top = 16) ?is_root ?heatmap_buckets ?n r =
+  let site_json s =
+    J.Obj
+      [
+        ("site", J.String (Site.to_string s.site));
+        ("ok", J.Int s.ok);
+        ("fail", J.Int s.fail);
+      ]
+  in
+  let hot =
+    List.map
+      (fun (node, c) ->
+        let base = [ ("node", J.Int node); ("failures", J.Int c) ] in
+        let base =
+          match is_root with
+          | Some f -> base @ [ ("is_root", J.Bool (f node)) ]
+          | None -> base
+        in
+        J.Obj base)
+      (hot_nodes ~top r)
+  in
+  let heat =
+    match (heatmap_buckets, n) with
+    | Some b, Some n when b > 0 && n > 0 ->
+      [
+        ( "heatmap",
+          J.Obj
+            [
+              ("node_buckets", J.Int b);
+              ("universe", J.Int n);
+              ( "failures",
+                J.List
+                  (Array.to_list
+                     (Array.map (fun c -> J.Int c) (heatmap ~buckets:b ~n r)))
+              );
+            ] );
+      ]
+    | _ -> []
+  in
+  let share =
+    match is_root with
+    | Some f -> [ ("root_failure_share", J.Float (root_failure_share ~is_root:f r)) ]
+    | None -> []
+  in
+  J.Obj
+    ([
+       ("schema", J.String "dsu-contention/v1");
+       ("sites", J.List (List.map site_json r.sites));
+       ("outer_retries", J.Int r.outer_retries);
+       ("total_cas_failures", J.Int (total_failures r));
+       ("hot_nodes", J.List hot);
+     ]
+    @ share @ heat)

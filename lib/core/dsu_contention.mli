@@ -1,0 +1,76 @@
+(** Per-site, per-node contention attribution for the DSU hot paths.
+
+    When armed ({!set_enabled}; folds into [Repro_obs.Switch.any], so the
+    disarmed cost at an instrumentation point stays the existing one
+    atomic load and branch), every linking and splitting/compression CAS
+    outcome is recorded against its {!Repro_fault.Site} label
+    ([Link_cas] / [Split_cas]), and every {e failed} CAS additionally
+    against the node whose parent pointer was contended.  The paper's
+    work argument (Lemma 3.1: every CAS happens on a current or former
+    root's pointer as the tree is climbed) predicts failures concentrate
+    at roots; {!root_failure_share} and {!heatmap} check that claim
+    empirically, the signal the Alistarh–Fedorov–Koval study uses to
+    separate compaction/linking plans.
+
+    Recording is per-domain (DLS state on a global registration list, the
+    {!Repro_obs.Trace} pattern): lock-free, no cross-domain sharing on
+    the hot path.  {!report} merges; merging while writers run is racy
+    like every other telemetry read — quiesce first for exact counts. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {2 Recording} — called by {!Dsu_obs} when armed. *)
+
+val record_link : node:int -> ok:bool -> unit
+(** Outcome of a linking CAS on [node]'s parent pointer ([node] was a
+    root when the CAS was attempted). *)
+
+val record_split : node:int -> ok:bool -> unit
+(** Outcome of a splitting/compression CAS on [node]'s parent pointer. *)
+
+val record_retry : unit -> unit
+(** An extra iteration of a SameSet/Unite outer loop. *)
+
+val reset : unit -> unit
+(** Zero all domains' state (racy against concurrent writers). *)
+
+(** {2 Reporting} *)
+
+type site_stat = { site : Repro_fault.Site.t; ok : int; fail : int }
+
+type report = {
+  sites : site_stat list;
+      (** [Link_cas] and [Split_cas], in that order. *)
+  outer_retries : int;
+  node_failures : (int * int) list;
+      (** [(node, failed-CAS count)], descending by count, node id
+          breaking ties. *)
+}
+
+val report : unit -> report
+
+val total_failures : report -> int
+val hot_nodes : ?top:int -> report -> (int * int) list
+(** The [top] (default 16) most-contended nodes. *)
+
+val heatmap : buckets:int -> n:int -> report -> int array
+(** Failure counts folded into [buckets] equal node-id ranges over the
+    universe [\[0, n)]. *)
+
+val root_failure_share : is_root:(int -> bool) -> report -> float
+(** Fraction of CAS failures that landed on nodes that are roots {e at
+    report time} (a current root was necessarily a root when contended;
+    a since-linked node shifts mass away from this share, so it is a
+    lower bound on "failures at then-roots").  [0.] when no failures. *)
+
+val to_json :
+  ?top:int ->
+  ?is_root:(int -> bool) ->
+  ?heatmap_buckets:int ->
+  ?n:int ->
+  report ->
+  Repro_obs.Json.t
+(** The [dsu-contention/v1] document: site stats, outer retries, hot
+    nodes (annotated with [is_root] when given), plus the heatmap when
+    both [heatmap_buckets] and [n] are given and positive. *)

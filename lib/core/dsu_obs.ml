@@ -8,21 +8,26 @@ let armed = Repro_obs.Switch.any
    are catalogued in docs/OBSERVABILITY.md, with the paper quantity each
    one measures). *)
 
+(* Latency and step distributions are HDR instruments (log-linear
+   buckets, ≤1% quantile error) so the exported p99/p999 are usable;
+   the remaining instruments are plain counters. *)
 let find_latency =
-  M.histogram ~help:"wall-clock latency of each internal Find, nanoseconds"
+  M.hdr_histogram
+    ~help:"wall-clock latency of each internal Find, nanoseconds"
     "dsu_find_latency_ns"
 
 let unite_latency =
-  M.histogram ~help:"wall-clock latency of each Dsu.Native.unite, nanoseconds"
+  M.hdr_histogram
+    ~help:"wall-clock latency of each Dsu.Native.unite, nanoseconds"
     "dsu_unite_latency_ns"
 
 let same_set_latency =
-  M.histogram
+  M.hdr_histogram
     ~help:"wall-clock latency of each Dsu.Native.same_set, nanoseconds"
     "dsu_same_set_latency_ns"
 
 let find_iters =
-  M.histogram
+  M.hdr_histogram
     ~help:
       "parent-pointer steps per Find (the w.h.p. O(log n) quantity of \
        Theorem 4.3)"
@@ -76,8 +81,8 @@ let find_end node root =
   let s = Domain.DLS.get scratch_key in
   if s.active then begin
     s.active <- false;
-    M.observe find_iters s.iters;
-    M.observe find_latency (Clock.now_ns () - s.t0);
+    M.observe_hdr find_iters s.iters;
+    M.observe_hdr find_latency (Clock.now_ns () - s.t0);
     T.emit (T.Find_end { node; root; iters = s.iters })
   end
 
@@ -85,23 +90,28 @@ let on_find_iter () =
   let s = Domain.DLS.get scratch_key in
   if s.active then s.iters <- s.iters + 1
 
-let on_link_cas ~ok =
+let contention_on () = Atomic.get Repro_obs.Switch.contention
+
+let on_link_cas ~node ~ok =
   M.incr (if ok then link_cas_ok else link_cas_fail);
+  if contention_on () then Dsu_contention.record_link ~node ~ok;
   T.emit (T.Link_cas { ok })
 
-let on_compaction_cas ~ok =
+let on_compaction_cas ~node ~ok =
   M.incr (if ok then compaction_cas_ok else compaction_cas_fail);
+  if contention_on () then Dsu_contention.record_split ~node ~ok;
   T.emit (T.Compaction_cas { ok })
 
 let on_outer_retry () =
   M.incr outer_retries;
+  if contention_on () then Dsu_contention.record_retry ();
   T.emit T.Outer_retry
 
 let now_ns = Clock.now_ns
 
 let record_op_latency h t0 =
   M.incr ops_total;
-  M.observe h (Clock.now_ns () - t0)
+  M.observe_hdr h (Clock.now_ns () - t0)
 
 let record_unite_latency t0 = record_op_latency unite_latency t0
 let record_same_set_latency t0 = record_op_latency same_set_latency t0

@@ -25,8 +25,16 @@ val find_end : int -> int -> unit
     [Find_end]. *)
 
 val on_find_iter : unit -> unit
-val on_link_cas : ok:bool -> unit
-val on_compaction_cas : ok:bool -> unit
+
+val on_link_cas : node:int -> ok:bool -> unit
+(** [node] is the root whose parent pointer the linking CAS targeted;
+    when contention attribution is armed ({!Dsu_contention.set_enabled})
+    a failure is charged to it. *)
+
+val on_compaction_cas : node:int -> ok:bool -> unit
+(** [node] is the node whose parent pointer the splitting/compression
+    CAS targeted. *)
+
 val on_outer_retry : unit -> unit
 
 (** {2 Hooks used by {!Dsu_native}} *)

@@ -9,6 +9,8 @@ type t =
   | Chunk_publish_pre
   | Chunk_publish_post
   | Rank_read
+  | Link_cas
+  | Split_cas
 
 let all =
   [
@@ -22,6 +24,8 @@ let all =
     Chunk_publish_pre;
     Chunk_publish_post;
     Rank_read;
+    Link_cas;
+    Split_cas;
   ]
 
 let to_string = function
@@ -35,6 +39,8 @@ let to_string = function
   | Chunk_publish_pre -> "chunk-publish-pre"
   | Chunk_publish_post -> "chunk-publish-post"
   | Rank_read -> "rank-read"
+  | Link_cas -> "link-cas"
+  | Split_cas -> "split-cas"
 
 let of_string = function
   | "find-hop" -> Some Find_hop
@@ -47,6 +53,8 @@ let of_string = function
   | "chunk-publish-pre" -> Some Chunk_publish_pre
   | "chunk-publish-post" -> Some Chunk_publish_post
   | "rank-read" -> Some Rank_read
+  | "link-cas" -> Some Link_cas
+  | "split-cas" -> Some Split_cas
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -33,7 +33,14 @@
       only by its [Fun.protect], exercising the spin-bound slow path.
     - [Rank_read] — after a packed [(rank, parent)] word read that feeds a
       linking decision in {!Dsu.Rank}; a process stalled here holds a stale
-      rank, exercising the re-validation [Cas]. *)
+      rank, exercising the re-validation [Cas].
+
+    Attribution-only labels, used by the contention profiler to key
+    CAS-outcome counts ([Dsu.Contention]) and never offered to the
+    injection engine — no injection rule ever fires at them:
+
+    - [Link_cas] — the linking [Cas] itself (outcome, not a crash point).
+    - [Split_cas] — a splitting/compression [Cas] itself. *)
 
 type t =
   | Find_hop
@@ -46,6 +53,8 @@ type t =
   | Chunk_publish_pre
   | Chunk_publish_post
   | Rank_read
+  | Link_cas
+  | Split_cas
 
 val all : t list
 

@@ -463,10 +463,10 @@ let run_scenario ?(config = default_config) ~layout ~policy () =
   let failed = Array.make domains None in
   let hops = Array.make domains 0 in
   Fi.arm (plan_of config);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Repro_obs.Clock.now_ns () in
   run_workers ~m ~h ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed ~hops
     (List.init domains Fun.id);
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = float_of_int (Repro_obs.Clock.now_ns () - t0) /. 1e9 in
   Fi.disarm ();
   let fault_totals = Fi.totals () in
   let crashed =
@@ -546,10 +546,10 @@ let run_recovery_scenario ?(config = default_config) ~layout ~policy () =
   let hops = Array.make domains 0 in
   (* Phase 1: the ordinary chaos run, crashes armed. *)
   Fi.arm (plan_of config);
-  let t0 = Unix.gettimeofday () in
+  let t0 = Repro_obs.Clock.now_ns () in
   run_workers ~m ~h ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed ~hops
     (List.init domains Fun.id);
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = float_of_int (Repro_obs.Clock.now_ns () - t0) /. 1e9 in
   Fi.disarm ();
   let fault_totals = Fi.totals () in
   let crashed =
@@ -632,10 +632,10 @@ let run_recovery_scenario ?(config = default_config) ~layout ~policy () =
     resumed_slots;
   let resumed_ops = List.fold_left (fun acc k -> acc + (m - cur.(k))) 0 resumed_slots in
   Fi.arm { Fi.seed = config.fault_seed + 1; rules_for = (fun _ -> noise_of config) };
-  let t1 = Unix.gettimeofday () in
+  let t1 = Repro_obs.Clock.now_ns () in
   run_workers ~m ~h:h2 ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed
     ~hops resumed_slots;
-  let resume_seconds = Unix.gettimeofday () -. t1 in
+  let resume_seconds = float_of_int (Repro_obs.Clock.now_ns () - t1) /. 1e9 in
   Fi.disarm ();
   let resume_counters =
     delta_counters ~before:phase1_counters

@@ -9,7 +9,8 @@
 
 module Table = Repro_util.Table
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: a wall-clock step mid-run must not distort throughput. *)
+let now () = float_of_int (Repro_obs.Clock.now_ns ()) /. 1e9
 
 let throughput_concurrent ~policy ~n ~ops_per_domain ~domains ~seed =
   let d = Dsu.Native.create ~policy ~seed n in

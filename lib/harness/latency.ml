@@ -1,0 +1,278 @@
+(* Coordinated-omission-free open-loop load harness.
+
+   A closed-loop harness issues the next operation only when the previous
+   one returns, so a server stall pauses the load generator too: the
+   stall's queueing delay never appears in the numbers (coordinated
+   omission).  Here each generator domain walks a precomputed arrival
+   schedule and charges every operation from its *intended* start time —
+   an operation delayed behind a stall is billed for the wait.  The
+   service-time distribution (completion − actual start: what a
+   closed-loop harness would report) is recorded alongside, so the gap
+   between the two IS the coordinated-omission error. *)
+
+module Clock = Repro_obs.Clock
+module Hdr = Repro_obs.Hdr
+module Reservoir = Repro_obs.Reservoir
+module J = Repro_obs.Json
+module Rng = Repro_util.Rng
+
+type shape = Fixed | Poisson | Bursty of int
+
+let shape_to_string = function
+  | Fixed -> "fixed"
+  | Poisson -> "poisson"
+  | Bursty k -> Printf.sprintf "bursty:%d" k
+
+let shape_of_string s =
+  match String.split_on_char ':' s with
+  | [ "fixed" ] -> Some Fixed
+  | [ "poisson" ] -> Some Poisson
+  | [ "bursty" ] -> Some (Bursty 16)
+  | [ "bursty"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k > 0 -> Some (Bursty k)
+    | _ -> None)
+  | _ -> None
+
+type config = {
+  n : int;  (* universe size *)
+  unite_percent : int;  (* remaining ops are same_set *)
+  seed : int;
+  domains : int;  (* load-generator domains *)
+  ops : int;  (* operations per generator *)
+  shape : shape;
+  reservoir : int;  (* exact open-loop samples kept per point *)
+}
+
+let default_config =
+  {
+    n = 1 lsl 16;
+    unite_percent = 30;
+    seed = 42;
+    domains = 2;
+    ops = 20_000;
+    shape = Poisson;
+    reservoir = 512;
+  }
+
+(* Deterministic arrival offsets (ns from the generator's epoch) for one
+   generator.  Mean inter-arrival is [1e9 /. rate] for every shape. *)
+let arrival_offsets ~shape ~rate ~ops ~seed =
+  let period = 1e9 /. rate in
+  let off = Array.make ops 0 in
+  (match shape with
+  | Fixed ->
+    for i = 0 to ops - 1 do
+      off.(i) <- int_of_float (float_of_int i *. period)
+    done
+  | Poisson ->
+    let rng = Rng.create seed in
+    let t = ref 0.0 in
+    for i = 0 to ops - 1 do
+      off.(i) <- int_of_float !t;
+      (* exponential inter-arrival; 1 - u > 0 since u < 1 *)
+      t := !t -. (log (1.0 -. Rng.float rng) *. period)
+    done
+  | Bursty k ->
+    (* k back-to-back arrivals per burst, bursts spaced k * period. *)
+    for i = 0 to ops - 1 do
+      off.(i) <- int_of_float (float_of_int (i / k * k) *. period)
+    done);
+  off
+
+type op = Unite of int * int | Same_set of int * int
+
+let make_ops ~n ~unite_percent ~ops ~seed =
+  let rng = Rng.create seed in
+  Array.init ops (fun _ ->
+      let x = Rng.int rng n and y = Rng.int rng n in
+      if Rng.int rng 100 < unite_percent then Unite (x, y) else Same_set (x, y))
+
+type point = {
+  rate : float;  (* offered arrivals/sec per generator *)
+  offered_rate : float;  (* rate * domains *)
+  target_ops : int;
+  completed_ops : int;
+  duration_s : float;
+  achieved_rate : float;
+  latency : Hdr.snapshot;  (* completion − intended start *)
+  service : Hdr.snapshot;  (* completion − actual start *)
+  samples : int array;  (* sorted reservoir of open-loop latencies *)
+  max_lag_ns : int;  (* worst scheduling lag: actual − intended start *)
+  saturated : bool;
+}
+
+let spin_until target =
+  while Clock.now_ns () < target do
+    Domain.cpu_relax ()
+  done
+
+(* [stall ~domain ~index] returns extra busy-work nanoseconds injected
+   into the service of that operation — the "deliberately stalled server"
+   of the coordinated-omission demonstration. *)
+let run_point ?(stall = fun ~domain:_ ~index:_ -> 0) ~config ~rate () =
+  if rate <= 0.0 then invalid_arg "Latency.run_point: rate must be positive";
+  if config.domains < 1 || config.ops < 1 then
+    invalid_arg "Latency.run_point: domains and ops must be positive";
+  let d = Dsu.Native.create ~seed:config.seed config.n in
+  let worker k =
+    let offsets =
+      arrival_offsets ~shape:config.shape ~rate ~ops:config.ops
+        ~seed:(config.seed + (1000 * k) + 1)
+    in
+    let ops =
+      make_ops ~n:config.n ~unite_percent:config.unite_percent ~ops:config.ops
+        ~seed:(config.seed + (1000 * k) + 2)
+    in
+    let lat = Hdr.create ~sharded:false () in
+    let srv = Hdr.create ~sharded:false () in
+    Hdr.materialize lat;
+    Hdr.materialize srv;
+    let res =
+      Reservoir.create ~seed:(config.seed + (1000 * k) + 3)
+        ~capacity:config.reservoir ()
+    in
+    let max_lag = ref 0 in
+    fun () ->
+      let epoch = Clock.now_ns () in
+      for i = 0 to config.ops - 1 do
+        let intended = epoch + offsets.(i) in
+        spin_until intended;
+        let actual = Clock.now_ns () in
+        if actual - intended > !max_lag then max_lag := actual - intended;
+        let extra = stall ~domain:k ~index:i in
+        if extra > 0 then spin_until (actual + extra);
+        (match ops.(i) with
+        | Unite (x, y) -> Dsu.Native.unite d x y
+        | Same_set (x, y) -> ignore (Dsu.Native.same_set d x y));
+        let fin = Clock.now_ns () in
+        Hdr.observe lat (fin - intended);
+        Hdr.observe srv (fin - actual);
+        Reservoir.add res (fin - intended)
+      done;
+      let dur = Clock.now_ns () - epoch in
+      (Hdr.snap lat, Hdr.snap srv, Reservoir.samples res, !max_lag, dur)
+  in
+  (* Build workers (schedules, op streams, recorders) before spawning so
+     domain start-up cost is not on any schedule; each generator times
+     its own epoch-to-last-completion span, so spawn/join overhead never
+     counts against the achieved rate. *)
+  let bodies = List.init config.domains worker in
+  let handles = List.map (fun body -> Domain.spawn body) bodies in
+  let results = List.map Domain.join handles in
+  let duration_s =
+    float_of_int
+      (List.fold_left (fun acc (_, _, _, _, d) -> Stdlib.max acc d) 1 results)
+    /. 1e9
+  in
+  let latency =
+    List.fold_left (fun acc (l, _, _, _, _) -> Hdr.merge acc l) Hdr.empty results
+  in
+  let service =
+    List.fold_left (fun acc (_, s, _, _, _) -> Hdr.merge acc s) Hdr.empty results
+  in
+  let samples =
+    let all = Array.concat (List.map (fun (_, _, s, _, _) -> s) results) in
+    Array.sort compare all;
+    if Array.length all <= config.reservoir then all
+    else
+      (* deterministic even-stride thin to the configured capacity *)
+      Array.init config.reservoir (fun i ->
+          all.(i * Array.length all / config.reservoir))
+  in
+  let max_lag_ns =
+    List.fold_left (fun acc (_, _, _, m, _) -> Stdlib.max acc m) 0 results
+  in
+  let target_ops = config.domains * config.ops in
+  let offered_rate = rate *. float_of_int config.domains in
+  let achieved_rate = float_of_int latency.Hdr.count /. duration_s in
+  {
+    rate;
+    offered_rate;
+    target_ops;
+    completed_ops = latency.Hdr.count;
+    duration_s;
+    achieved_rate;
+    latency;
+    service;
+    samples;
+    max_lag_ns;
+    saturated = achieved_rate < 0.95 *. offered_rate;
+  }
+
+let sweep ?stall ~config ~rates () =
+  List.map (fun rate -> run_point ?stall ~config ~rate ()) rates
+
+(* The saturation knee: the highest offered rate the system still kept up
+   with.  [None] when every point saturated. *)
+let knee points =
+  List.fold_left
+    (fun acc p ->
+      if p.saturated then acc
+      else
+        match acc with
+        | Some r when r >= p.offered_rate -> acc
+        | _ -> Some p.offered_rate)
+    None points
+
+let hdr_fields (h : Hdr.snapshot) =
+  [
+    ("count", J.Int h.Hdr.count);
+    ("mean_ns", J.Float (Hdr.mean h));
+    ("min_ns", J.Int h.Hdr.min);
+    ("p50_ns", J.Int (Hdr.quantile h 0.50));
+    ("p90_ns", J.Int (Hdr.quantile h 0.90));
+    ("p99_ns", J.Int (Hdr.quantile h 0.99));
+    ("p999_ns", J.Int (Hdr.quantile h 0.999));
+    ("max_ns", J.Int h.Hdr.max);
+  ]
+
+let point_json p =
+  J.Obj
+    [
+      ("arrival_rate_per_gen", J.Float p.rate);
+      ("offered_rate", J.Float p.offered_rate);
+      ("target_ops", J.Int p.target_ops);
+      ("completed_ops", J.Int p.completed_ops);
+      ("duration_s", J.Float p.duration_s);
+      ("achieved_rate", J.Float p.achieved_rate);
+      ("saturated", J.Bool p.saturated);
+      ("max_lag_ns", J.Int p.max_lag_ns);
+      ("latency", J.Obj (hdr_fields p.latency));
+      ("service", J.Obj (hdr_fields p.service));
+      ( "samples_ns",
+        J.List (Array.to_list (Array.map (fun v -> J.Int v) p.samples)) );
+    ]
+
+let to_json config points =
+  J.Obj
+    [
+      ("schema", J.String "dsu-latency/v1");
+      ("n", J.Int config.n);
+      ("unite_percent", J.Int config.unite_percent);
+      ("seed", J.Int config.seed);
+      ("domains", J.Int config.domains);
+      ("ops_per_domain", J.Int config.ops);
+      ("shape", J.String (shape_to_string config.shape));
+      ("points", J.List (List.map point_json points));
+      ( "knee_rate",
+        match knee points with Some r -> J.Float r | None -> J.Null );
+    ]
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "rate %8.0f/s  achieved %8.0f/s  p50 %7d  p99 %8d  p999 %9d  max %9d  \
+     %s"
+    p.offered_rate p.achieved_rate
+    (Hdr.quantile p.latency 0.50)
+    (Hdr.quantile p.latency 0.99)
+    (Hdr.quantile p.latency 0.999)
+    p.latency.Hdr.max
+    (if p.saturated then "SATURATED" else "ok")
+
+let pp_table ppf points =
+  Format.fprintf ppf "open-loop latency (ns, intended-start accounting)@.";
+  List.iter (fun p -> Format.fprintf ppf "  %a@." pp_point p) points;
+  match knee points with
+  | Some r -> Format.fprintf ppf "  saturation knee: %.0f ops/s@." r
+  | None -> Format.fprintf ppf "  saturation knee: below the swept range@."

@@ -1,0 +1,77 @@
+(** Coordinated-omission-free open-loop load harness.
+
+    Each load-generator domain walks a {e precomputed} arrival schedule
+    (fixed-rate, Poisson, or bursty — deterministic from the seed) and
+    charges every operation from its {e intended} start time, so an
+    operation queued behind a server stall is billed for the wait.  A
+    closed-loop harness (issue-on-return, like
+    {!Scalability}/{!E13_native_throughput}) measures only service time
+    and silently omits exactly those samples — coordinated omission,
+    which flattens the reported tail.  Both distributions are recorded
+    ({!Repro_obs.Hdr}, ≤1% quantile error) so the gap is visible, plus a
+    {!Repro_obs.Reservoir} of exact open-loop samples for export.
+
+    Rate sweeps locate the saturation knee; results serialize as the
+    versioned [dsu-latency/v1] JSON (see docs/OBSERVABILITY.md). *)
+
+type shape = Fixed | Poisson | Bursty of int  (** arrivals per burst *)
+
+val shape_to_string : shape -> string
+val shape_of_string : string -> shape option
+(** ["fixed"], ["poisson"], ["bursty"] (= [Bursty 16]) or ["bursty:K"]. *)
+
+type config = {
+  n : int;  (** universe size *)
+  unite_percent : int;  (** remaining operations are [same_set] *)
+  seed : int;
+  domains : int;  (** load-generator domains *)
+  ops : int;  (** operations per generator *)
+  shape : shape;
+  reservoir : int;  (** exact samples kept per point *)
+}
+
+val default_config : config
+
+type point = {
+  rate : float;  (** offered arrivals/sec per generator *)
+  offered_rate : float;  (** [rate *. domains] *)
+  target_ops : int;
+  completed_ops : int;
+  duration_s : float;
+  achieved_rate : float;
+  latency : Repro_obs.Hdr.snapshot;
+      (** open-loop: completion − intended start *)
+  service : Repro_obs.Hdr.snapshot;
+      (** closed-loop equivalent: completion − actual start *)
+  samples : int array;  (** sorted reservoir of open-loop latencies, ns *)
+  max_lag_ns : int;  (** worst (actual − intended) start lag *)
+  saturated : bool;  (** achieved < 95% of offered *)
+}
+
+val run_point :
+  ?stall:(domain:int -> index:int -> int) ->
+  config:config ->
+  rate:float ->
+  unit ->
+  point
+(** One arrival rate.  [stall ~domain ~index] (default: none) injects
+    that many nanoseconds of busy-work into the service of generator
+    [domain]'s [index]-th operation — the "deliberately stalled server"
+    whose queueing delay open-loop accounting exposes and closed-loop
+    accounting hides. *)
+
+val sweep :
+  ?stall:(domain:int -> index:int -> int) ->
+  config:config ->
+  rates:float list ->
+  unit ->
+  point list
+
+val knee : point list -> float option
+(** Highest offered rate that did not saturate; [None] if all did. *)
+
+val to_json : config -> point list -> Repro_obs.Json.t
+(** The [dsu-latency/v1] document. *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp_table : Format.formatter -> point list -> unit

@@ -1,0 +1,53 @@
+(** Perf-regression differ over the repo's benchmark JSON documents.
+
+    Compares two documents of the same kind — bechamel [bench --out]
+    results, [dsu-scalability/*] sweeps, or [dsu-latency/*] sweeps
+    (auto-detected) — and flags per-configuration metric deltas beyond a
+    noise threshold, respecting each metric's better-direction
+    ([ns_per_run] and latency quantiles lower-better, [mops_per_sec] and
+    [achieved_rate] higher-better).  Consumed by [bench --baseline] and
+    the [dsu_workload perfdiff] / [latency --baseline] CLIs; the CI
+    perf-history artifact is {!to_json}'s [dsu-perfdiff/v1] document. *)
+
+type direction = Lower_better | Higher_better
+
+type row = {
+  key : string;  (** which measured configuration *)
+  metric : string;
+  dir : direction;
+  base : float;
+  current : float;
+  delta_pct : float;  (** signed; positive means current is larger *)
+}
+
+type report = {
+  kind : string;  (** detected document kind *)
+  threshold_pct : float;
+  rows : row list;  (** every key+metric present in both documents *)
+  regressions : row list;
+  improvements : row list;
+  only_base : string list;
+  only_current : string list;
+}
+
+val diff :
+  ?threshold_pct:float ->
+  base:Repro_obs.Json.t ->
+  current:Repro_obs.Json.t ->
+  unit ->
+  (report, string) result
+(** [threshold_pct] defaults to 10.  [Error] on unparseable structure,
+    unrecognized schema, or kind mismatch. *)
+
+val diff_strings :
+  ?threshold_pct:float ->
+  base:string ->
+  current:string ->
+  unit ->
+  (report, string) result
+(** {!diff} after parsing both documents; malformed JSON is an [Error]. *)
+
+val to_json : report -> Repro_obs.Json.t
+(** The [dsu-perfdiff/v1] document. *)
+
+val pp : Format.formatter -> report -> unit

@@ -103,7 +103,7 @@ let gen_ops ?(dist = Uniform) ~n ~unite_percent ~seed ~domains ~ops_per_domain
    failures are reported per-domain afterwards. *)
 let time_run ~domains ~(run : int -> unit) =
   let errors = Array.make domains None in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Repro_obs.Clock.now_ns () in
   let handles =
     List.init domains (fun k ->
         Domain.spawn (fun () ->
@@ -111,7 +111,7 @@ let time_run ~domains ~(run : int -> unit) =
             with e -> errors.(k) <- Some (Printexc.to_string e)))
   in
   List.iter Domain.join handles;
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = float_of_int (Repro_obs.Clock.now_ns () - t0) /. 1e9 in
   let failures =
     Array.to_list errors
     |> List.mapi (fun k e -> (k, e))

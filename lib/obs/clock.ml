@@ -1,6 +1,21 @@
+(* The wall-clock fallback (NTP steps, manual clock changes) can go
+   backwards between calls; a global high-water mark keeps the reported
+   value non-decreasing so latency differences never come out negative.
+   Only the fallback branch pays for the CAS — on platforms where the
+   monotonic source works (everywhere we run) now_ns stays a single
+   clock read. *)
+let fallback_floor = Atomic.make 0
+
+let rec clamp_fallback t =
+  let seen = Atomic.get fallback_floor in
+  if t <= seen then seen
+  else if Atomic.compare_and_set fallback_floor seen t then t
+  else clamp_fallback t
+
 let now_ns () =
   let t = Int64.to_int (Monotonic_clock.now ()) in
-  if t > 0 then t else int_of_float (Unix.gettimeofday () *. 1e9)
+  if t > 0 then t
+  else clamp_fallback (int_of_float (Unix.gettimeofday () *. 1e9))
 
 let now_us ns = float_of_int ns /. 1e3
 

@@ -3,12 +3,15 @@
     [now_ns] reads the POSIX monotonic clock (via the zero-allocation
     [Monotonic_clock] stub that bechamel ships); if the stub ever reports a
     non-positive time (unsupported platform), it falls back to
-    [Unix.gettimeofday].  Telemetry only needs differences and ordering, so
-    the two sources never need to agree on an epoch. *)
+    [Unix.gettimeofday], clamped through a process-global high-water mark
+    so a wall-clock step backwards cannot yield a decreasing timestamp.
+    Telemetry only needs differences and ordering, so the two sources
+    never need to agree on an epoch. *)
 
 val now_ns : unit -> int
-(** Nanoseconds from an arbitrary origin; monotone non-decreasing within a
-    process when the monotonic source is available. *)
+(** Nanoseconds from an arbitrary origin; monotone non-decreasing within
+    a process on either source (the fallback trades a CAS per read for
+    that guarantee; the monotonic source needs none). *)
 
 val now_us : int -> float
 (** Convert a [now_ns] timestamp to microseconds (the unit Chrome's

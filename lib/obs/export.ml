@@ -15,18 +15,38 @@ let hist_json (h : Metrics.hist_snapshot) =
            h.buckets) );
   ]
 
+let hdr_json (h : Hdr.snapshot) =
+  [
+    ("count", Json.Int h.count);
+    ("sum", Json.Int h.sum);
+    ("p50", Json.Int (Hdr.quantile h 0.50));
+    ("p90", Json.Int (Hdr.quantile h 0.90));
+    ("p99", Json.Int (Hdr.quantile h 0.99));
+    ("p999", Json.Int (Hdr.quantile h 0.999));
+    ("min", Json.Int h.min);
+    ("max", Json.Int h.max);
+    ( "buckets",
+      Json.List
+        (List.map
+           (fun (upper, c) -> Json.List [ Json.Int upper; Json.Int c ])
+           h.buckets) );
+  ]
+
 let metric_json (s : Metrics.sample) =
   let tail =
     match s.value with
     | Metrics.Counter_v v -> [ ("value", Json.Int v) ]
     | Metrics.Gauge_v v -> [ ("value", Json.Int v) ]
     | Metrics.Histogram_v h -> hist_json h
+    | Metrics.Hdr_v h -> hdr_json h
   in
+  (* Hdr instruments export as "histogram" too: consumers care about the
+     quantile keys, not the bucketing scheme. *)
   let kind =
     match s.value with
     | Metrics.Counter_v _ -> "counter"
     | Metrics.Gauge_v _ -> "gauge"
-    | Metrics.Histogram_v _ -> "histogram"
+    | Metrics.Histogram_v _ | Metrics.Hdr_v _ -> "histogram"
   in
   Json.Obj
     (("name", Json.String s.name) :: ("type", Json.String kind) :: tail)
@@ -40,8 +60,17 @@ let metrics_jsonl (snap : Metrics.snapshot) =
     snap;
   Buffer.contents buf
 
+(* Prometheus exposition: backslash must be escaped before newline, or a
+   literal "\n" in a help string round-trips as a line break. *)
 let prom_escape_help s =
-  String.concat "\\n" (String.split_on_char '\n' s)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let metrics_prometheus (snap : Metrics.snapshot) =
   let buf = Buffer.create 1024 in
@@ -71,6 +100,19 @@ let metrics_prometheus (snap : Metrics.snapshot) =
           h.buckets;
         Buffer.add_string buf
           (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" s.name h.count);
+        Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" s.name h.sum);
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" s.name h.count)
+      | Metrics.Hdr_v h ->
+        (* 4352 fine-grained buckets would bloat the exposition; a summary
+           with precomputed quantiles is the idiomatic Prometheus shape
+           for client-side-aggregated percentiles. *)
+        header s.name "summary" s.help;
+        List.iter
+          (fun (label, q) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%s\"} %d\n" s.name label
+                 (Hdr.quantile h q)))
+          [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99); ("0.999", 0.999) ];
         Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" s.name h.sum);
         Buffer.add_string buf (Printf.sprintf "%s_count %d\n" s.name h.count))
     snap;

@@ -7,7 +7,9 @@ val metric_json : Metrics.sample -> Json.t
     [{"name":..., "type":"counter", "value":...}] for counters and gauges;
     [{"name":..., "type":"histogram", "count":..., "sum":..., "p50":...,
     "p90":..., "p99":..., "max":..., "buckets":[[upper, count], ...]}]
-    for histograms. *)
+    for histograms.  {!Hdr} instruments also export as
+    ["type":"histogram"] and add ["p999"] and ["min"] keys (their
+    quantiles are ≤1% error rather than factor-of-two). *)
 
 val metrics_jsonl : Metrics.snapshot -> string
 (** One {!metric_json} object per line, sorted by name, each line valid
@@ -16,7 +18,9 @@ val metrics_jsonl : Metrics.snapshot -> string
 val metrics_prometheus : Metrics.snapshot -> string
 (** Prometheus text exposition (version 0.0.4): [# HELP]/[# TYPE] headers,
     histograms as cumulative [_bucket{le="..."}] series plus [_sum] and
-    [_count]. *)
+    [_count]; {!Hdr} instruments as [summary] series with
+    [quantile="0.5" … "0.999"] labels (their thousands of fine-grained
+    buckets would bloat a [_bucket] exposition). *)
 
 val chrome_trace : ?pid:int -> Trace.chunk list -> Json.t
 (** The Chrome [trace_event] array format: every event is an object with

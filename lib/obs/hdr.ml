@@ -1,0 +1,171 @@
+(* Log-linear ("HDR-style") histogram: values below [sub_count] are
+   recorded exactly; each octave above is split into [half] equal-width
+   sub-buckets, so reporting a bucket's inclusive upper bound overstates a
+   member value by at most [1/half] (0.78% with the shipped parameters) —
+   tight enough for p999 tails, unlike the factor-of-two buckets of
+   {!Metrics.histogram}.  Everything is plain int arithmetic; one
+   [observe] is a handful of shifts and stores. *)
+
+let sub_bits = 8
+let sub_count = 1 lsl sub_bits (* 256: the exact linear range *)
+let half = sub_count / 2 (* sub-buckets per octave above it *)
+let max_exp = 40
+let max_trackable = (1 lsl max_exp) - 1 (* ~18 minutes in nanoseconds *)
+let n_buckets = sub_count + ((max_exp - sub_bits) * half)
+let rel_error = 1.0 /. float_of_int half
+
+(* Trailer cells after the bucket counts. *)
+let c_count = n_buckets
+let c_sum = n_buckets + 1
+let c_max = n_buckets + 2
+let c_min = n_buckets + 3
+let cell_len = n_buckets + 4
+
+(* Sharding mirrors Metrics: per-domain slots, each its own heap block so
+   writing domains stay off each other's cache lines.  16 slots (not
+   Metrics' 64) because one slot here is ~34 KB; single-writer recorders
+   (the latency harness allocates one per load generator) use one slot. *)
+let slots = 16
+let slot_mask = slots - 1
+
+type t = { sharded : bool; mutable cells : int array array }
+
+let create ?(sharded = true) () = { sharded; cells = [||] }
+
+let fresh_slot () =
+  let a = Array.make cell_len 0 in
+  a.(c_min) <- max_int;
+  a
+
+let materialize t =
+  if Array.length t.cells = 0 then
+    t.cells <-
+      Array.init (if t.sharded then slots else 1) (fun _ -> fresh_slot ())
+
+let materialized t = Array.length t.cells <> 0
+
+let msb v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let bucket_of v =
+  if v < sub_count then v
+  else begin
+    let m = msb v in
+    sub_count
+    + ((m - sub_bits) * half)
+    + ((v - (1 lsl m)) lsr (m - (sub_bits - 1)))
+  end
+
+let bucket_upper i =
+  if i < sub_count then i
+  else begin
+    let o = (i - sub_count) / half and r = (i - sub_count) mod half in
+    let m = sub_bits + o in
+    let width = 1 lsl (m - (sub_bits - 1)) in
+    (1 lsl m) + ((r + 1) * width) - 1
+  end
+
+let observe t v =
+  let cells = t.cells in
+  let n = Array.length cells in
+  if n <> 0 then begin
+    let v =
+      if v < 0 then 0 else if v > max_trackable then max_trackable else v
+    in
+    let s =
+      cells.(if n = 1 then 0 else (Domain.self () :> int) land slot_mask)
+    in
+    let b = bucket_of v in
+    s.(b) <- s.(b) + 1;
+    s.(c_count) <- s.(c_count) + 1;
+    s.(c_sum) <- s.(c_sum) + v;
+    if v > s.(c_max) then s.(c_max) <- v;
+    if v < s.(c_min) then s.(c_min) <- v
+  end
+
+type snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let empty = { count = 0; sum = 0; min = 0; max = 0; buckets = [] }
+
+let snap t =
+  if not (materialized t) then empty
+  else begin
+    let merged = Array.make n_buckets 0 in
+    let count = ref 0 and sum = ref 0 and mx = ref 0 and mn = ref max_int in
+    Array.iter
+      (fun s ->
+        for i = 0 to n_buckets - 1 do
+          merged.(i) <- merged.(i) + s.(i)
+        done;
+        count := !count + s.(c_count);
+        sum := !sum + s.(c_sum);
+        if s.(c_max) > !mx then mx := s.(c_max);
+        if s.(c_min) < !mn then mn := s.(c_min))
+      t.cells;
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if merged.(i) > 0 then buckets := (bucket_upper i, merged.(i)) :: !buckets
+    done;
+    {
+      count = !count;
+      sum = !sum;
+      min = (if !count = 0 then 0 else !mn);
+      max = !mx;
+      buckets = !buckets;
+    }
+  end
+
+let reset t =
+  Array.iter
+    (fun s ->
+      Array.fill s 0 cell_len 0;
+      s.(c_min) <- max_int)
+    t.cells
+
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else begin
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], r | r, [] -> r
+      | (ux, cx) :: tx, (uy, cy) :: ty ->
+        if ux < uy then (ux, cx) :: go tx ys
+        else if uy < ux then (uy, cy) :: go xs ty
+        else (ux, cx + cy) :: go tx ty
+    in
+    {
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      min = Stdlib.min a.min b.min;
+      max = Stdlib.max a.max b.max;
+      buckets = go a.buckets b.buckets;
+    }
+  end
+
+let quantile s q =
+  if s.count = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int s.count)) in
+      if t < 1 then 1 else t
+    in
+    let rec scan cum = function
+      | [] -> s.max
+      | (upper, c) :: rest ->
+        let cum = cum + c in
+        if cum >= target then Stdlib.min upper s.max else scan cum rest
+    in
+    scan 0 s.buckets
+  end
+
+let mean s =
+  if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count

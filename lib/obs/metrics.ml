@@ -29,6 +29,7 @@ type metric =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Hdr of Hdr.t
 
 type t = {
   lock : Mutex.t;
@@ -69,7 +70,8 @@ let materialize registry =
           match metric with
           | Counter c -> alloc_counter c
           | Gauge _ -> ()
-          | Histogram h -> alloc_histogram h)
+          | Histogram h -> alloc_histogram h
+          | Hdr h -> Hdr.materialize h)
         registry.items)
 
 (* Storage is published before the switch flips (the atomic set releases
@@ -87,6 +89,7 @@ let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
+  | Hdr _ -> "hdr histogram"
 
 let register registry name help make match_existing =
   Mutex.lock registry.lock;
@@ -136,6 +139,17 @@ let histogram ?(registry = default) ?(help = "") name =
   | Histogram h -> h
   | _ -> assert false
 
+let hdr_histogram ?(registry = default) ?(help = "") name =
+  register registry name help
+    (fun () ->
+      let h = Hdr.create () in
+      if enabled () then Hdr.materialize h;
+      Hdr h)
+    (function Hdr _ as m -> Some m | _ -> None)
+  |> function
+  | Hdr h -> h
+  | _ -> assert false
+
 (* ------------------------------------------------------------- updates *)
 
 let add c k =
@@ -179,6 +193,8 @@ let observe h v =
       if v > s.(h_max) then s.(h_max) <- v
     end
   end
+
+let observe_hdr h v = if Atomic.get Switch.metrics then Hdr.observe h v
 
 (* ------------------------------------------------------------- reading *)
 
@@ -245,6 +261,7 @@ type value =
   | Counter_v of int
   | Gauge_v of int
   | Histogram_v of hist_snapshot
+  | Hdr_v of Hdr.snapshot
 
 type sample = { name : string; help : string; value : value }
 
@@ -261,6 +278,7 @@ let snapshot_of registry =
            | Counter c -> Counter_v (counter_value c)
            | Gauge g -> Gauge_v (gauge_value g)
            | Histogram h -> Histogram_v (hist_value h)
+           | Hdr h -> Hdr_v (Hdr.snap h)
          in
          { name; help; value })
   |> List.sort (fun a b -> compare a.name b.name)
@@ -276,5 +294,6 @@ let reset ?(registry = default) () =
       match metric with
       | Counter c -> Array.fill c.c_cells 0 (Array.length c.c_cells) 0
       | Gauge g -> Atomic.set g.g_cell 0
-      | Histogram h -> Array.iter (fun s -> Array.fill s 0 h_len 0) h.h_slots)
+      | Histogram h -> Array.iter (fun s -> Array.fill s 0 h_len 0) h.h_slots
+      | Hdr h -> Hdr.reset h)
     items

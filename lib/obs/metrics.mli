@@ -62,6 +62,12 @@ val counter : ?registry:t -> ?help:string -> string -> counter
 val gauge : ?registry:t -> ?help:string -> string -> gauge
 val histogram : ?registry:t -> ?help:string -> string -> histogram
 
+val hdr_histogram : ?registry:t -> ?help:string -> string -> Hdr.t
+(** A registry-owned {!Hdr} histogram: log-linear buckets with ≤1%
+    relative quantile error (p999-grade), against the factor-of-two
+    error of {!histogram}.  Update through {!observe_hdr} so the sample
+    is gated on the metrics switch like every other instrument. *)
+
 (** {2 Hot-path updates} — no-ops while disabled. *)
 
 val incr : counter -> unit
@@ -74,6 +80,10 @@ val observe : histogram -> int -> unit
 (** Record one sample.  Negative samples clamp to [0].  Buckets are powers
     of two: bucket [0] holds the value [0] and bucket [i >= 1] holds values
     in [\[2{^i-1}, 2{^i})]. *)
+
+val observe_hdr : Hdr.t -> int -> unit
+(** {!Hdr.observe}, gated on {!Switch.metrics} — the hot-path update for
+    instruments created with {!hdr_histogram}. *)
 
 (** {2 Reading} *)
 
@@ -102,6 +112,7 @@ type value =
   | Counter_v of int
   | Gauge_v of int
   | Histogram_v of hist_snapshot
+  | Hdr_v of Hdr.snapshot
 
 type sample = { name : string; help : string; value : value }
 

@@ -1,0 +1,64 @@
+(* Vitter's Algorithm R with a self-contained splitmix64 stream (repro_obs
+   sits below repro_util in the dependency order, so no Rng here).  The
+   k-th call sequence on a given seed is deterministic, which keeps
+   harness exports reproducible. *)
+
+type t = {
+  cap : int;
+  buf : int array;
+  mutable seen : int;
+  mutable state : int64;
+}
+
+let create ?(seed = 0x5EED) ~capacity () =
+  if capacity <= 0 then
+    invalid_arg "Reservoir.create: capacity must be positive";
+  {
+    cap = capacity;
+    buf = Array.make capacity 0;
+    seen = 0;
+    state = Int64.of_int (seed lxor 0x9E3779B9);
+  }
+
+let mix z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_below t n =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  Int64.to_int (mix t.state) land max_int mod n
+
+let add t v =
+  t.seen <- t.seen + 1;
+  if t.seen <= t.cap then t.buf.(t.seen - 1) <- v
+  else begin
+    let j = rand_below t t.seen in
+    if j < t.cap then t.buf.(j) <- v
+  end
+
+let seen t = t.seen
+let length t = Stdlib.min t.seen t.cap
+let samples t = Array.sub t.buf 0 (length t)
+
+let sorted t =
+  let a = samples t in
+  Array.sort compare a;
+  a
+
+let exact_quantile a q =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let k = int_of_float (ceil (q *. float_of_int n)) in
+    a.((if k < 1 then 1 else k) - 1)
+  end

@@ -1,0 +1,32 @@
+(** Fixed-size uniform reservoir sampler (Vitter's Algorithm R).
+
+    Keeps a uniform random subset of at most [capacity] of the values fed
+    to it, in O(capacity) memory however many are seen — the exact-sample
+    companion to {!Hdr}: the histogram answers quantiles with ≤1%
+    error over millions of samples, the reservoir exports a few hundred
+    raw values for offline analysis.  Deterministic for a given [seed]
+    and call sequence.  Single-writer; not thread-safe. *)
+
+type t
+
+val create : ?seed:int -> capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val add : t -> int -> unit
+
+val seen : t -> int
+(** Total values ever offered. *)
+
+val length : t -> int
+(** Values currently held: [min (seen t) capacity]. *)
+
+val samples : t -> int array
+(** Copy of the held values, arbitrary order. *)
+
+val sorted : t -> int array
+(** Copy of the held values, ascending. *)
+
+val exact_quantile : int array -> float -> int
+(** [exact_quantile sorted q]: the [ceil (q * n)]-th smallest element of a
+    sorted array ([0] when empty) — the same rank convention as
+    {!Hdr.quantile}, for error-bound comparisons. *)

@@ -1,8 +1,11 @@
 let metrics = Atomic.make false
 let trace = Atomic.make false
+let contention = Atomic.make false
 let any = Atomic.make false
 
-let update () = Atomic.set any (Atomic.get metrics || Atomic.get trace)
+let update () =
+  Atomic.set any
+    (Atomic.get metrics || Atomic.get trace || Atomic.get contention)
 
 let set_metrics b =
   Atomic.set metrics b;
@@ -10,4 +13,8 @@ let set_metrics b =
 
 let set_trace b =
   Atomic.set trace b;
+  update ()
+
+let set_contention b =
+  Atomic.set contention b;
   update ()

@@ -1,15 +1,19 @@
 (** The global telemetry switches.
 
-    Metrics and tracing are armed independently ({!Metrics.set_enabled},
-    {!Trace.set_enabled}); [any] is maintained as their disjunction so that
+    Metrics, tracing and contention attribution are armed independently
+    ({!Metrics.set_enabled}, {!Trace.set_enabled}, the contention module
+    in [lib/core]); [any] is maintained as their disjunction so that
     instrumented hot paths pay exactly one atomic load and one predictable
     branch when everything is off — [if Atomic.get Switch.any then ...]. *)
 
 val metrics : bool Atomic.t
 val trace : bool Atomic.t
+val contention : bool Atomic.t
 
 val any : bool Atomic.t
-(** [metrics || trace], kept up to date by the setters below. *)
+(** [metrics || trace || contention], kept up to date by the setters
+    below. *)
 
 val set_metrics : bool -> unit
 val set_trace : bool -> unit
+val set_contention : bool -> unit

@@ -1,0 +1,83 @@
+Open-loop latency sweep: the latency subcommand drives deterministic
+arrival schedules against the native DSU and writes the versioned
+dsu-latency/v1 document (docs/OBSERVABILITY.md).  Timing numbers are
+host-dependent, so the checks pin schema and structure only.
+
+  $ ../../bin/dsu_workload.exe latency -n 256 --ops 200 --domains 1 \
+  >   --arrival-rate 200000 --shape fixed --reservoir 32 \
+  >   --latency-out latency.json | head -1
+  open-loop latency (ns, intended-start accounting)
+
+  $ grep -o '"schema":"dsu-latency/v1"' latency.json
+  "schema":"dsu-latency/v1"
+  $ grep -o '"shape":"fixed"' latency.json
+  "shape":"fixed"
+
+One sweep point records both distributions — open-loop latency
+(completion minus intended start) and closed-loop service time — each
+with the p999-grade quantile summary, plus the saturation knee:
+
+  $ grep -o '"p999_ns"' latency.json | wc -l
+  2
+  $ grep -o '"knee_rate"' latency.json
+  "knee_rate"
+
+No negative values anywhere in the document:
+
+  $ grep ':-' latency.json
+  [1]
+
+--arrival-rate repeats to sweep several offered rates (one point each):
+
+  $ ../../bin/dsu_workload.exe latency -n 128 --ops 100 --domains 1 \
+  >   --arrival-rate 100000 --arrival-rate 400000 \
+  >   --latency-out sweep.json > /dev/null
+  $ grep -o '"arrival_rate_per_gen"' sweep.json | wc -l
+  2
+
+The perfdiff subcommand diffs two documents of the same kind; a
+self-diff is exactly clean (2 points x 3 metrics = 6 comparisons):
+
+  $ ../../bin/dsu_workload.exe perfdiff --baseline sweep.json --current sweep.json
+  perfdiff (dsu-latency/v1, threshold 10.0%): 6 compared, 0 regressions, 0 improvements
+
+  $ ../../bin/dsu_workload.exe perfdiff --baseline sweep.json \
+  >   --current sweep.json --json diff.json > /dev/null
+  $ grep -o '"schema":"dsu-perfdiff/v1"' diff.json
+  "schema":"dsu-perfdiff/v1"
+
+--fail-on-regression keeps exit 0 when nothing regressed:
+
+  $ ../../bin/dsu_workload.exe perfdiff --baseline sweep.json \
+  >   --current sweep.json --fail-on-regression > /dev/null
+
+latency --baseline runs the same differ against a stored document
+(deltas vary with host timing, so only the report header is checked):
+
+  $ ../../bin/dsu_workload.exe latency -n 128 --ops 100 --domains 1 \
+  >   --arrival-rate 300000 --baseline sweep.json | grep -c '^perfdiff'
+  1
+
+Structural problems are CLI errors, not backtraces:
+
+  $ echo '{ oops' > bad.json
+  $ ../../bin/dsu_workload.exe latency -n 64 --ops 50 --domains 1 \
+  >   --arrival-rate 500000 --baseline bad.json > /dev/null
+  dsu_workload: baseline: malformed JSON: expected '"' at offset 2
+  [124]
+
+  $ echo '{"results":[]}' > bech.json
+  $ ../../bin/dsu_workload.exe perfdiff --baseline bech.json --current sweep.json
+  dsu_workload: kind mismatch: baseline is bechamel, current is dsu-latency/v1
+  [124]
+
+Bad arguments are rejected up front:
+
+  $ ../../bin/dsu_workload.exe latency --arrival-rate 0
+  dsu_workload: --arrival-rate must be positive
+  [124]
+  $ ../../bin/dsu_workload.exe latency --shape sometimes
+  dsu_workload: option '--shape': unknown arrival shape "sometimes"
+  Usage: dsu_workload latency [OPTION]…
+  Try 'dsu_workload latency --help' or 'dsu_workload --help' for more information.
+  [124]

@@ -135,10 +135,325 @@ let registry_tests =
         | None -> Alcotest.fail "e1 missing");
   ]
 
+(* ------------------------------------------------------------- latency *)
+
+module Latency = Harness.Latency
+module Perfdiff = Harness.Perfdiff
+module Json = Repro_obs.Json
+
+(* Integral floats serialize as "100" and parse back as [Json.Int]. *)
+let json_num = function
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let latency_tests =
+  [
+    case "shape strings round-trip" (fun () ->
+        List.iter
+          (fun (s, shape) ->
+            check Alcotest.bool s true (Latency.shape_of_string s = Some shape);
+            check Alcotest.string "to_string" s
+              (Latency.shape_to_string shape))
+          [
+            ("fixed", Latency.Fixed);
+            ("poisson", Latency.Poisson);
+            ("bursty:4", Latency.Bursty 4);
+          ];
+        check Alcotest.bool "bare bursty defaults" true
+          (Latency.shape_of_string "bursty" = Some (Latency.Bursty 16));
+        check Alcotest.bool "zero burst rejected" true
+          (Latency.shape_of_string "bursty:0" = None);
+        check Alcotest.bool "junk rejected" true
+          (Latency.shape_of_string "open-loop" = None));
+    case "run_point validates its arguments" (fun () ->
+        let config = Latency.default_config in
+        check Alcotest.bool "rate 0 rejected" true
+          (try
+             ignore (Latency.run_point ~config ~rate:0.0 ());
+             false
+           with Invalid_argument _ -> true);
+        check Alcotest.bool "0 domains rejected" true
+          (try
+             ignore
+               (Latency.run_point ~config:{ config with domains = 0 }
+                  ~rate:1000.0 ());
+             false
+           with Invalid_argument _ -> true));
+    case "a modest fixed-rate point completes and keeps its books" (fun () ->
+        let config =
+          {
+            Latency.default_config with
+            n = 256;
+            domains = 1;
+            ops = 400;
+            shape = Latency.Fixed;
+            reservoir = 64;
+          }
+        in
+        let p = Latency.run_point ~config ~rate:20_000.0 () in
+        check Alcotest.int "every op completed" p.Latency.target_ops
+          p.Latency.completed_ops;
+        check Alcotest.int "latency count" 400 p.Latency.latency.Repro_obs.Hdr.count;
+        check Alcotest.int "service count" 400 p.Latency.service.Repro_obs.Hdr.count;
+        check Alcotest.bool "duration positive" true (p.Latency.duration_s > 0.);
+        check Alcotest.int "reservoir capped" 64
+          (Array.length p.Latency.samples);
+        let sorted = Array.copy p.Latency.samples in
+        Array.sort compare sorted;
+        check Alcotest.(array int) "samples sorted" sorted p.Latency.samples;
+        (* Open-loop latency includes the wait for the slot, so it
+           dominates pure service time everywhere. *)
+        check Alcotest.bool "latency p99 >= service p99" true
+          (Repro_obs.Hdr.quantile p.Latency.latency 0.99
+          >= Repro_obs.Hdr.quantile p.Latency.service 0.99));
+    case "bursty arrivals run to completion" (fun () ->
+        let config =
+          {
+            Latency.default_config with
+            n = 128;
+            domains = 1;
+            ops = 200;
+            shape = Latency.Bursty 8;
+            reservoir = 32;
+          }
+        in
+        let p = Latency.run_point ~config ~rate:50_000.0 () in
+        check Alcotest.int "completed" 200 p.Latency.completed_ops);
+    case "open-loop accounting exposes the stall closed-loop hides"
+      (fun () ->
+        (* One generator at 50k ops/s; the server freezes for 20ms mid-run.
+           Intended-start accounting bills the ~1000 queued arrivals for
+           their wait, so the open-loop tail explodes; service time
+           (completion - actual start: what a closed-loop harness reports)
+           stays flat except for the one stalled call.  This asymmetry IS
+           coordinated omission. *)
+        let stall_ns = 20_000_000 in
+        let config =
+          {
+            Latency.default_config with
+            n = 1024;
+            domains = 1;
+            ops = 3_000;
+            shape = Latency.Fixed;
+            reservoir = 128;
+          }
+        in
+        let stall ~domain:_ ~index = if index = 1_500 then stall_ns else 0 in
+        let p = Latency.run_point ~stall ~config ~rate:50_000.0 () in
+        let lat_p999 = Repro_obs.Hdr.quantile p.Latency.latency 0.999 in
+        let srv_p999 = Repro_obs.Hdr.quantile p.Latency.service 0.999 in
+        check Alcotest.bool
+          (Printf.sprintf "open-loop p999 (%d ns) sees the stall" lat_p999)
+          true
+          (lat_p999 >= stall_ns / 4);
+        check Alcotest.bool
+          (Printf.sprintf "closed-loop p999 (%d ns) hides it (open %d ns)"
+             srv_p999 lat_p999)
+          true
+          (lat_p999 > 5 * srv_p999);
+        check Alcotest.bool "the stalled call itself is the service max" true
+          (p.Latency.service.Repro_obs.Hdr.max >= stall_ns);
+        check Alcotest.bool "scheduling lag recorded" true
+          (p.Latency.max_lag_ns >= stall_ns / 4));
+    case "sweep locates the saturation knee" (fun () ->
+        let config =
+          {
+            Latency.default_config with
+            n = 256;
+            domains = 1;
+            ops = 400;
+            shape = Latency.Fixed;
+            reservoir = 32;
+          }
+        in
+        (* 20k/s is trivially sustainable; 50M/s is beyond any single
+           domain (the op itself costs more than 20ns). *)
+        let points =
+          Latency.sweep ~config ~rates:[ 20_000.0; 50_000_000.0 ] ()
+        in
+        (match points with
+        | [ easy; impossible ] ->
+          check Alcotest.bool "low rate keeps up" false easy.Latency.saturated;
+          check Alcotest.bool "high rate saturates" true
+            impossible.Latency.saturated
+        | _ -> Alcotest.fail "expected two points");
+        check Alcotest.bool "knee is the sustainable rate" true
+          (Latency.knee points = Some 20_000.0);
+        check Alcotest.bool "all saturated means no knee" true
+          (Latency.knee
+             (List.filter (fun p -> p.Latency.saturated) points)
+          = None);
+        (* The dsu-latency/v1 document round-trips through the parser. *)
+        let j =
+          Json.parse_exn (Json.to_string (Latency.to_json config points))
+        in
+        check Alcotest.bool "schema" true
+          (Json.member "schema" j = Some (Json.String "dsu-latency/v1"));
+        (match Json.member "points" j with
+        | Some (Json.List [ p1; _ ]) ->
+          (match Json.member "latency" p1 with
+          | Some lat ->
+            List.iter
+              (fun key ->
+                check Alcotest.bool (key ^ " present") true
+                  (Json.member key lat <> None))
+              [ "count"; "mean_ns"; "min_ns"; "p50_ns"; "p99_ns"; "p999_ns";
+                "max_ns" ]
+          | None -> Alcotest.fail "latency object missing");
+          check Alcotest.bool "exact samples exported" true
+            (match Json.member "samples_ns" p1 with
+            | Some (Json.List l) -> List.length l > 0
+            | _ -> false)
+        | _ -> Alcotest.fail "expected two JSON points");
+        check (Alcotest.option (Alcotest.float 1e-9)) "knee exported"
+          (Some 20_000.0)
+          (json_num (Json.member "knee_rate" j)));
+  ]
+
+(* ------------------------------------------------------------ perfdiff *)
+
+let bechamel_doc entries =
+  Printf.sprintf {|{"results":[%s]}|}
+    (String.concat ","
+       (List.map
+          (fun (name, ns) ->
+            Printf.sprintf {|{"name":"%s","ns_per_run":%f}|} name ns)
+          entries))
+
+let latency_doc points =
+  Printf.sprintf {|{"schema":"dsu-latency/v1","points":[%s]}|}
+    (String.concat ","
+       (List.map
+          (fun (rate, achieved, p99, p999) ->
+            Printf.sprintf
+              {|{"offered_rate":%f,"achieved_rate":%f,"latency":{"p99_ns":%d,"p999_ns":%d}}|}
+              rate achieved p99 p999)
+          points))
+
+let diff_ok ?threshold_pct ~base ~current () =
+  match Perfdiff.diff_strings ?threshold_pct ~base ~current () with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("unexpected perfdiff error: " ^ e)
+
+let perfdiff_tests =
+  [
+    case "self-diff is clean" (fun () ->
+        let doc = bechamel_doc [ ("a", 100.0); ("b", 250.0) ] in
+        let r = diff_ok ~base:doc ~current:doc () in
+        check Alcotest.string "kind" "bechamel" r.Perfdiff.kind;
+        check Alcotest.int "compared" 2 (List.length r.Perfdiff.rows);
+        check Alcotest.int "regressions" 0 (List.length r.Perfdiff.regressions);
+        check Alcotest.int "improvements" 0
+          (List.length r.Perfdiff.improvements));
+    case "lower-better: slower is a regression, faster an improvement"
+      (fun () ->
+        let base = bechamel_doc [ ("slow", 100.0); ("fast", 100.0) ] in
+        let current = bechamel_doc [ ("slow", 150.0); ("fast", 50.0) ] in
+        let r = diff_ok ~base ~current () in
+        (match r.Perfdiff.regressions with
+        | [ row ] ->
+          check Alcotest.string "key" "slow" row.Perfdiff.key;
+          check (Alcotest.float 1e-6) "delta" 50.0 row.Perfdiff.delta_pct
+        | _ -> Alcotest.fail "expected one regression");
+        match r.Perfdiff.improvements with
+        | [ row ] -> check Alcotest.string "key" "fast" row.Perfdiff.key
+        | _ -> Alcotest.fail "expected one improvement");
+    case "deltas inside the noise threshold are ignored" (fun () ->
+        let base = bechamel_doc [ ("a", 100.0) ] in
+        let current = bechamel_doc [ ("a", 105.0) ] in
+        let r = diff_ok ~base ~current () in
+        check Alcotest.int "no regressions at 10%" 0
+          (List.length r.Perfdiff.regressions);
+        let tight = diff_ok ~threshold_pct:2.0 ~base ~current () in
+        check Alcotest.int "regression at 2%" 1
+          (List.length tight.Perfdiff.regressions));
+    case "higher-better: a throughput drop is the regression" (fun () ->
+        let doc mops =
+          Printf.sprintf
+            {|{"schema":"dsu-scalability/v1","points":[{"layout":"native","domains":4,"mops_per_sec":%f}]}|}
+            mops
+        in
+        let r = diff_ok ~base:(doc 10.0) ~current:(doc 5.0) () in
+        check Alcotest.bool "kind" true
+          (String.length r.Perfdiff.kind >= 15
+          && String.sub r.Perfdiff.kind 0 15 = "dsu-scalability");
+        (match r.Perfdiff.regressions with
+        | [ row ] ->
+          check Alcotest.string "metric" "mops_per_sec" row.Perfdiff.metric;
+          check Alcotest.bool "keyed by configuration" true
+            (row.Perfdiff.key = "layout=native domains=4")
+        | _ -> Alcotest.fail "expected one regression");
+        let up = diff_ok ~base:(doc 5.0) ~current:(doc 10.0) () in
+        check Alcotest.int "improvement the other way" 1
+          (List.length up.Perfdiff.improvements));
+    case "latency documents diff quantiles and achieved rate" (fun () ->
+        let base = latency_doc [ (1000.0, 990.0, 100, 200) ] in
+        let current = latency_doc [ (1000.0, 500.0, 300, 600) ] in
+        let r = diff_ok ~base ~current () in
+        let metrics =
+          List.map (fun row -> row.Perfdiff.metric) r.Perfdiff.regressions
+          |> List.sort compare
+        in
+        (* '9' sorts before '_', so p999 precedes p99 lexicographically *)
+        check
+          (Alcotest.list Alcotest.string)
+          "all three latency metrics regressed"
+          [ "achieved_rate"; "latency_p999_ns"; "latency_p99_ns" ]
+          metrics;
+        List.iter
+          (fun row ->
+            check Alcotest.string "key is the offered rate" "rate=1000"
+              row.Perfdiff.key)
+          r.Perfdiff.regressions);
+    case "disjoint keys land in only_base / only_current" (fun () ->
+        let base = bechamel_doc [ ("old", 1.0); ("shared", 2.0) ] in
+        let current = bechamel_doc [ ("shared", 2.0); ("new", 3.0) ] in
+        let r = diff_ok ~base ~current () in
+        check
+          (Alcotest.list Alcotest.string)
+          "only base" [ "old/ns_per_run" ] r.Perfdiff.only_base;
+        check
+          (Alcotest.list Alcotest.string)
+          "only current" [ "new/ns_per_run" ] r.Perfdiff.only_current;
+        check Alcotest.int "one shared row" 1 (List.length r.Perfdiff.rows));
+    case "structural problems are errors, not crashes" (fun () ->
+        let ok = bechamel_doc [ ("a", 1.0) ] in
+        let scal =
+          {|{"schema":"dsu-scalability/v1","points":[]}|}
+        in
+        let fails base current =
+          match Perfdiff.diff_strings ~base ~current () with
+          | Error _ -> true
+          | Ok _ -> false
+        in
+        check Alcotest.bool "malformed JSON" true (fails "{ oops" ok);
+        check Alcotest.bool "unrecognized document" true (fails "{}" ok);
+        check Alcotest.bool "kind mismatch" true (fails ok scal);
+        check Alcotest.bool "matching kinds fine" false (fails scal scal));
+    case "report serializes as dsu-perfdiff/v1" (fun () ->
+        let base = bechamel_doc [ ("a", 100.0) ] in
+        let current = bechamel_doc [ ("a", 200.0) ] in
+        let r = diff_ok ~base ~current () in
+        let j = Json.parse_exn (Json.to_string (Perfdiff.to_json r)) in
+        check Alcotest.bool "schema" true
+          (Json.member "schema" j = Some (Json.String "dsu-perfdiff/v1"));
+        check Alcotest.bool "compared" true
+          (Json.member "compared" j = Some (Json.Int 1));
+        match Json.member "regressions" j with
+        | Some (Json.List [ row ]) ->
+          check (Alcotest.option (Alcotest.float 1e-9)) "delta serialized"
+            (Some 100.0)
+            (json_num (Json.member "delta_pct" row))
+        | _ -> Alcotest.fail "expected one serialized regression");
+  ]
+
 let () =
   Alcotest.run "harness"
     [
       ("forest", forest_tests);
       ("measure", measure_tests);
       ("registry", registry_tests);
+      ("latency", latency_tests);
+      ("perfdiff", perfdiff_tests);
     ]
