@@ -26,10 +26,18 @@
    on/off, and key distributions (uniform / skewed).  --out then writes
    the dsu-scalability/v2 JSON document; see docs/PERFORMANCE.md.
 
-   --guard-tuned PCT (with --parallel) additionally times the
+   --plan SPEC|auto (implies --parallel) pins the sweep to one plan point
+   (linking:compaction:order:backoff:layout), or — with "auto" — asks
+   Harness.Autotune for the fastest plan on the swept profile (cached by
+   profile fingerprint in --autotune-cache; --autotune-out writes the
+   dsu-autotune/v1 report).
+
+   --guard-tuned PCT (with --parallel) is the CI perf regression gate,
+   exit 1 on failure.  With --plan it compares the tuned plan against the
+   default plan through the perfdiff differ; without it times the
    single-domain smoke pair (flat / two-try, seq-cst vs the default
-   relaxed-reads order) and exits 1 if the tuned path is more than PCT%
-   slower than the fenced baseline — the CI perf-smoke regression gate. *)
+   relaxed-reads order) and fails if the tuned path is more than PCT%
+   slower than the fenced baseline. *)
 
 open Bechamel
 open Toolkit
@@ -458,6 +466,74 @@ let bench_bulk_mixed_per_op =
          let d = Dsu.Native.create ~seed:7 n_medium in
          Workload.Op.run_native_array d ops))
 
+(* Packed-vs-rank headline pairs: the bit-packed single-word layout
+   (Dsu.Packed) against the two-array rank comparator (Dsu.Rank) on the
+   same n=2^20 endpoint streams — unite over a fresh structure, then find
+   over a prepared flattened one.  Both link by rank with splitting, so
+   the pair isolates the memory layout: one word per node with mask/shift
+   unpacking versus two arrays with a div/mod decode and twice the
+   traffic.  Streams are shared (same seeds), so each pair is a paired
+   comparison; docs/PERFORMANCE.md quotes these numbers. *)
+let bench_packed_unite_pairs =
+  let xs, ys = bulk_pairs bulk_unites 83 in
+  Test.make ~name:"packedrank/unite-packed"
+    (Staged.stage (fun () ->
+         let d = Dsu.Packed.Native.create n_bulk in
+         for k = 0 to bulk_unites - 1 do
+           Dsu.Packed.Native.unite d (Array.unsafe_get xs k)
+             (Array.unsafe_get ys k)
+         done))
+
+let bench_rank_unite_pairs =
+  let xs, ys = bulk_pairs bulk_unites 83 in
+  Test.make ~name:"packedrank/unite-rank"
+    (Staged.stage (fun () ->
+         let d = Dsu.Rank.Native.create n_bulk in
+         for k = 0 to bulk_unites - 1 do
+           Dsu.Rank.Native.unite d (Array.unsafe_get xs k)
+             (Array.unsafe_get ys k)
+         done))
+
+let bulk_find_indices seed =
+  let rng = Rng.create seed in
+  Array.init bulk_queries (fun _ -> Rng.int rng n_bulk)
+
+let bench_packed_find =
+  let d = Dsu.Packed.Native.create n_bulk in
+  let xs, ys = bulk_pairs bulk_unites 83 in
+  for k = 0 to bulk_unites - 1 do
+    Dsu.Packed.Native.unite d xs.(k) ys.(k)
+  done;
+  for _ = 1 to 3 do
+    for i = 0 to n_bulk - 1 do
+      ignore (Dsu.Packed.Native.find d i)
+    done
+  done;
+  let idx = bulk_find_indices 97 in
+  Test.make ~name:"packedrank/find-packed"
+    (Staged.stage (fun () ->
+         for k = 0 to bulk_queries - 1 do
+           ignore (Dsu.Packed.Native.find d (Array.unsafe_get idx k))
+         done))
+
+let bench_rank_find =
+  let d = Dsu.Rank.Native.create n_bulk in
+  let xs, ys = bulk_pairs bulk_unites 83 in
+  for k = 0 to bulk_unites - 1 do
+    Dsu.Rank.Native.unite d xs.(k) ys.(k)
+  done;
+  for _ = 1 to 3 do
+    for i = 0 to n_bulk - 1 do
+      ignore (Dsu.Rank.Native.find d i)
+    done
+  done;
+  let idx = bulk_find_indices 97 in
+  Test.make ~name:"packedrank/find-rank"
+    (Staged.stage (fun () ->
+         for k = 0 to bulk_queries - 1 do
+           ignore (Dsu.Rank.Native.find d (Array.unsafe_get idx k))
+         done))
+
 let all_tests () =
   [
     bench_native_policy Policy.No_compaction;
@@ -500,6 +576,10 @@ let all_tests () =
     bench_bulk_same_set_per_op;
     bench_bulk_mixed_batched;
     bench_bulk_mixed_per_op;
+    bench_packed_unite_pairs;
+    bench_rank_unite_pairs;
+    bench_packed_find;
+    bench_rank_find;
   ]
 
 (* ------------------------------------------------------------ CLI state *)
@@ -519,6 +599,9 @@ let parallel_orders = ref [ Dsu.Memory_order.default ]
 let parallel_backoffs = ref [ true ]
 let parallel_dists = ref [ Harness.Scalability.Uniform ]
 let guard_tuned = ref None
+let plan_request : [ `Auto | `Plan of Dsu.Plan.t ] option ref = ref None
+let autotune_cache = ref Harness.Autotune.default_cache_dir
+let autotune_out = ref None
 let baseline_file = ref None
 let diff_threshold = ref 10.0
 let diff_fail = ref false
@@ -579,6 +662,13 @@ let set_backoffs s =
   if backoffs = [] then raise (Arg.Bad "--backoffs: empty list");
   parallel_backoffs := backoffs
 
+let set_plan s =
+  if s = "auto" then plan_request := Some `Auto
+  else
+    match Dsu.Plan.of_string s with
+    | Ok p -> plan_request := Some (`Plan p)
+    | Error e -> raise (Arg.Bad e)
+
 let set_dists s =
   let dists =
     String.split_on_char ',' s
@@ -638,11 +728,26 @@ let speclist =
       Arg.String set_dists,
       "D1,D2  endpoint distributions for --parallel: uniform, skewed \
        (default uniform)" );
+    ( "--plan",
+      Arg.String set_plan,
+      "SPEC|auto  run the --parallel sweep at one plan point \
+       (linking:compaction:order:backoff:layout, e.g. \
+       rank:halving:relaxed-reads:on:packed), or \"auto\" = pick the \
+       fastest plan for the profile via Harness.Autotune (cached by \
+       profile fingerprint).  Implies --parallel." );
+    ( "--autotune-cache",
+      Arg.Set_string autotune_cache,
+      "DIR  cache directory for --plan auto results (default .dsu-autotune)" );
+    ( "--autotune-out",
+      Arg.String (fun f -> autotune_out := Some f),
+      "FILE  with --plan auto, write the dsu-autotune/v1 report to FILE \
+       (the CI artifact)" );
     ( "--guard-tuned",
       Arg.Float (fun p -> guard_tuned := Some p),
-      "PCT  after --parallel, time the single-domain smoke pair (flat / \
-       two-try, seq-cst vs relaxed-reads) and exit 1 if the tuned path is \
-       more than PCT percent slower" );
+      "PCT  after --parallel, exit 1 if the tuned path regresses more than \
+       PCT percent: with --plan, the plan vs the default plan through the \
+       perfdiff differ; without, the single-domain smoke pair (flat / \
+       two-try, seq-cst vs relaxed-reads)" );
     ( "--baseline",
       Arg.String (fun f -> baseline_file := Some f),
       "FILE  diff this run's JSON document against a previous one (same \
@@ -745,9 +850,94 @@ let run_guard_tuned config pct =
     exit 1
   end
 
+(* Plan-mode guard: the tuned plan against Dsu.Plan.default, routed
+   through the perfdiff differ so the 10% noise threshold, the
+   better-direction logic and the plan-changed warning all come from one
+   place.  Both throughputs are wrapped as single-row dsu-autotune/v1
+   documents sharing a key, so the differ compares exactly the pair. *)
+let guard_pair_doc ~winner ~mops =
+  let module J = Repro_obs.Json in
+  J.Obj
+    [
+      ("schema", J.String Harness.Autotune.schema);
+      ("winner", J.String (Dsu.Plan.to_string winner));
+      ( "measurements",
+        J.List
+          [
+            J.Obj
+              [
+                ("plan", J.String "tuned-vs-default");
+                ("mops_per_sec", J.Float mops);
+                ("failures", J.Int 0);
+              ];
+          ] );
+    ]
+
+let run_guard_tuned_plan ~pct ~tuned_plan ~tuned_mops ~default_mops =
+  let base = guard_pair_doc ~winner:Dsu.Plan.default ~mops:default_mops in
+  let current = guard_pair_doc ~winner:tuned_plan ~mops:tuned_mops in
+  match Harness.Perfdiff.diff ~threshold_pct:pct ~base ~current () with
+  | Error e ->
+    Printf.eprintf "bench: guard-tuned: %s\n%!" e;
+    exit 2
+  | Ok report ->
+    Printf.printf
+      "\nguard-tuned: default %.3f Mops/s, tuned %s %.3f Mops/s (budget \
+       %.1f%%)\n%!"
+      default_mops
+      (Dsu.Plan.to_string tuned_plan)
+      tuned_mops pct;
+    Harness.Perfdiff.pp Format.std_formatter report;
+    Format.pp_print_flush Format.std_formatter ();
+    if report.Harness.Perfdiff.regressions <> [] then begin
+      Printf.eprintf
+        "guard-tuned: FAIL — tuned plan %s is more than %.1f%% slower than \
+         the default plan\n%!"
+        (Dsu.Plan.to_string tuned_plan)
+        pct;
+      exit 1
+    end
+
 let run_parallel_sweep () =
   let rec counts d = if d > !max_domains then [] else d :: counts (2 * d) in
   let domain_counts = match counts 1 with [] -> [ 1 ] | l -> l in
+  (* The autotuner profile mirrors the sweep's knobs at the largest swept
+     domain count; seed fixed so the cache fingerprint is stable across
+     runs with the same shape. *)
+  let profile =
+    {
+      Harness.Autotune.n = !parallel_n;
+      domains = List.fold_left max 1 domain_counts;
+      unite_percent = !unite_percent;
+      dist =
+        (match !parallel_dists with
+        | d :: _ -> d
+        | [] -> Harness.Scalability.Uniform);
+      total_ops = !parallel_ops;
+      seed = 21;
+    }
+  in
+  let tuned =
+    match !plan_request with
+    | None -> None
+    | Some (`Plan p) -> Some (p, None)
+    | Some `Auto ->
+      let result, source =
+        Harness.Autotune.auto ~cache_dir:!autotune_cache
+          ~progress:(fun m ->
+            Printf.printf "autotune: %-45s %8.3f Mops/s\n%!"
+              (Dsu.Plan.to_string m.Harness.Autotune.plan)
+              m.Harness.Autotune.mops_per_sec)
+          ~profile ()
+      in
+      Printf.printf "plan: %s (auto, %s)\n%!"
+        (Dsu.Plan.to_string result.Harness.Autotune.winner)
+        (match source with `Cached -> "cached" | `Measured -> "measured");
+      (match !autotune_out with
+      | None -> ()
+      | Some f -> write_json f (Harness.Autotune.to_json result));
+      Some (result.Harness.Autotune.winner, Some result)
+  in
   let config =
     {
       Harness.Scalability.default_config with
@@ -761,6 +951,20 @@ let run_parallel_sweep () =
       backoffs = !parallel_backoffs;
       dists = !parallel_dists;
     }
+  in
+  (* A plan pins the sweep to its point: one layout, one compaction rule,
+     one order, one backoff switch — only domains and dists still sweep. *)
+  let config =
+    match tuned with
+    | None -> config
+    | Some (p, _) ->
+      {
+        config with
+        layouts = [ p.Dsu.Plan.layout ];
+        policies = [ p.Dsu.Plan.compaction ];
+        memory_orders = [ p.Dsu.Plan.memory_order ];
+        backoffs = [ p.Dsu.Plan.backoff ];
+      }
   in
   let points =
     Harness.Scalability.sweep ~config
@@ -784,7 +988,43 @@ let run_parallel_sweep () =
   run_baseline_diff doc;
   match !guard_tuned with
   | None -> ()
-  | Some pct -> run_guard_tuned config pct
+  | Some pct -> (
+    match tuned with
+    | None -> run_guard_tuned config pct
+    | Some (plan, auto_result) ->
+      let tuned_mops, default_mops =
+        match auto_result with
+        | Some r ->
+          (* --plan auto: the calibration sweep already measured both
+             sides; reuse its numbers rather than re-timing. *)
+          let mops_of p =
+            List.find_opt
+              (fun m -> Dsu.Plan.equal m.Harness.Autotune.plan p)
+              r.Harness.Autotune.measurements
+            |> Option.map (fun m -> m.Harness.Autotune.mops_per_sec)
+          in
+          ( r.Harness.Autotune.winner_mops,
+            Option.value
+              (mops_of Dsu.Plan.default)
+              ~default:r.Harness.Autotune.winner_mops )
+        | None ->
+          (* explicit --plan SPEC: time both plans, best of 3 single-domain
+             runs each (same rationale as the no-plan guard). *)
+          let best plan =
+            let rec go best k =
+              if k = 0 then best
+              else
+                let p =
+                  Harness.Scalability.run_plan_point ~config ~plan ~domains:1
+                    ()
+                in
+                go (max best p.Harness.Scalability.mops_per_sec) (k - 1)
+            in
+            go 0. 3
+          in
+          (best plan, best Dsu.Plan.default)
+      in
+      run_guard_tuned_plan ~pct ~tuned_plan:plan ~tuned_mops ~default_mops)
 
 let run_bechamel () =
   let tests =
@@ -852,6 +1092,7 @@ let () =
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     usage;
   if !metrics_file <> None then Repro_obs.Metrics.set_enabled true;
+  if !plan_request <> None then parallel := true;
   if !parallel then run_parallel_sweep () else run_bechamel ();
   match !metrics_file with
   | None -> ()

@@ -245,13 +245,14 @@ let with_progress progress f =
 
 (* ---------------------------------------------------------- native mode *)
 
-type impl = Jt | Jt_early | Rank | Aw | Lock | Seq
+type impl = Jt | Jt_early | Rank | Packed | Aw | Lock | Seq
 
 let impl_conv =
   let parse = function
     | "jt" -> Ok Jt
     | "jt-early" -> Ok Jt_early
     | "rank" -> Ok Rank
+    | "packed" -> Ok Packed
     | "aw" -> Ok Aw
     | "lock" -> Ok Lock
     | "seq" -> Ok Seq
@@ -263,6 +264,7 @@ let impl_conv =
       | Jt -> "jt"
       | Jt_early -> "jt-early"
       | Rank -> "rank"
+      | Packed -> "packed"
       | Aw -> "aw"
       | Lock -> "lock"
       | Seq -> "seq")
@@ -276,8 +278,46 @@ let impl_arg =
     & info [ "impl" ] ~docv:"IMPL"
         ~doc:
           "Implementation: jt (the paper's algorithm), jt-early (Section 6 \
-           variant), rank (Section 7 variant), aw (Anderson-Woll), lock \
-           (global mutex), seq (sequential).")
+           variant), rank (Section 7 variant), packed (single-word \
+           rank+parent layout), aw (Anderson-Woll), lock (global mutex), \
+           seq (sequential).")
+
+(* --plan: run under one point of the Dsu.Plan space, or let the autotuner
+   choose.  A malformed spec is a Cmdliner conv error — proper usage
+   message and the CLI-error exit status, never a backtrace. *)
+let plan_conv =
+  let parse s =
+    if s = "auto" then Ok `Auto
+    else
+      match Dsu.Plan.of_string s with
+      | Ok p -> Ok (`Plan p)
+      | Error e -> Error (`Msg e)
+  in
+  let print ppf = function
+    | `Auto -> Format.pp_print_string ppf "auto"
+    | `Plan p -> Dsu.Plan.pp ppf p
+  in
+  Arg.conv (parse, print)
+
+let plan_arg =
+  Arg.(
+    value
+    & opt (some plan_conv) None
+    & info [ "plan" ] ~docv:"SPEC"
+        ~doc:
+          "Run under one implementation plan \
+           (linking:compaction:order:backoff:layout, e.g. \
+           rank:halving:relaxed-reads:on:packed), or $(b,auto) = pick the \
+           fastest plan for this workload profile via the autotuner (cached \
+           by profile fingerprint; see $(b,--autotune-cache)).  Overrides \
+           $(b,--impl) and $(b,--policy).")
+
+let autotune_cache_arg =
+  Arg.(
+    value
+    & opt string Harness.Autotune.default_cache_dir
+    & info [ "autotune-cache" ] ~docv:"DIR"
+        ~doc:"Cache directory for $(b,--plan auto) results.")
 
 let domains_arg =
   Arg.(
@@ -305,8 +345,8 @@ let contention_out_arg =
            stdout).  Only the jt/jt-early implementations carry the \
            instrumented CAS sites.")
 
-let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
-    contention_out progress =
+let run_native impl policy plan autotune_cache n ops unite_frac seed domains
+    metrics_out trace_out contention_out progress =
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
   let* () = check_arg (n >= 1) "--elements must be >= 1" in
   let* () =
@@ -318,6 +358,32 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
     check_arg
       (not (impl = Seq && domains > 1))
       "--impl seq is single-threaded; use --domains 1"
+  in
+  (* Resolve --plan before arming telemetry: the auto calibration sweep
+     runs its own timed workloads and must not pollute this run's
+     metrics. *)
+  let* plan =
+    match plan with
+    | None -> Ok None
+    | Some (`Plan p) -> Ok (Some p)
+    | Some `Auto ->
+      let profile =
+        {
+          Harness.Autotune.n;
+          domains;
+          unite_percent = int_of_float (unite_frac *. 100.);
+          dist = Harness.Scalability.Uniform;
+          total_ops = ops;
+          seed;
+        }
+      in
+      let r, source =
+        Harness.Autotune.auto ~cache_dir:autotune_cache ~profile ()
+      in
+      Printf.printf "plan:          %s (auto, %s)\n"
+        (Dsu.Plan.to_string r.Harness.Autotune.winner)
+        (match source with `Cached -> "cached" | `Measured -> "measured");
+      Ok (Some r.Harness.Autotune.winner)
   in
   arm_telemetry ~metrics_out ~trace_out ~progress;
   if contention_out <> None then begin
@@ -346,8 +412,50 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
         Unix.gettimeofday () -. t0)
   in
   let elapsed, final_sets, stats =
-    match impl with
-    | Jt | Jt_early ->
+    match plan with
+    | Some p -> (
+      let policy = p.Dsu.Plan.compaction in
+      let memory_order = p.Dsu.Plan.memory_order in
+      let backoff = p.Dsu.Plan.backoff in
+      match p.Dsu.Plan.layout with
+      | Dsu.Plan.Flat | Dsu.Plan.Padded ->
+        let d =
+          Dsu.Native.create ~policy ~memory_order ~backoff
+            ~padded:(p.Dsu.Plan.layout = Dsu.Plan.Padded) ~collect_stats:true
+            ~seed n
+        in
+        let dt =
+          in_domains
+            (apply_ops ~unite:(Dsu.Native.unite d)
+               ~same_set:(Dsu.Native.same_set d) ~find:(Dsu.Native.find d))
+        in
+        root_fn := Some (Dsu.Native.is_root d);
+        (dt, Dsu.Native.count_sets d, Some (Dsu.Native.stats d))
+      | Dsu.Plan.Boxed ->
+        let d = Dsu.Boxed.create ~policy ~backoff ~collect_stats:true ~seed n in
+        let dt =
+          in_domains
+            (apply_ops ~unite:(Dsu.Boxed.unite d)
+               ~same_set:(Dsu.Boxed.same_set d) ~find:(Dsu.Boxed.find d))
+        in
+        root_fn := Some (Dsu.Boxed.is_root d);
+        (dt, Dsu.Boxed.count_sets d, Some (Dsu.Boxed.stats d))
+      | Dsu.Plan.Packed ->
+        let d =
+          Dsu.Packed.Native.create ~policy ~backoff ~memory_order
+            ~collect_stats:true n
+        in
+        let dt =
+          in_domains
+            (apply_ops ~unite:(Dsu.Packed.Native.unite d)
+               ~same_set:(Dsu.Packed.Native.same_set d)
+               ~find:(Dsu.Packed.Native.find d))
+        in
+        root_fn := Some (Dsu.Packed.Native.is_root d);
+        (dt, Dsu.Packed.Native.count_sets d, Some (Dsu.Packed.Native.stats d)))
+    | None -> (
+      match impl with
+      | Jt | Jt_early ->
       let d =
         Dsu.Native.create ~policy ~early:(impl = Jt_early) ~collect_stats:true
           ~seed n
@@ -367,6 +475,16 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
              ~same_set:(Dsu.Rank.Native.same_set d) ~find:(Dsu.Rank.Native.find d))
       in
       (dt, Dsu.Rank.Native.count_sets d, Some (Dsu.Rank.Native.stats d))
+    | Packed ->
+      let d = Dsu.Packed.Native.create ~policy ~collect_stats:true n in
+      let dt =
+        in_domains
+          (apply_ops ~unite:(Dsu.Packed.Native.unite d)
+             ~same_set:(Dsu.Packed.Native.same_set d)
+             ~find:(Dsu.Packed.Native.find d))
+      in
+      root_fn := Some (Dsu.Packed.Native.is_root d);
+      (dt, Dsu.Packed.Native.count_sets d, Some (Dsu.Packed.Native.stats d))
     | Aw ->
       let d = Baselines.Anderson_woll.Native.create ~collect_stats:true n in
       let dt =
@@ -391,7 +509,7 @@ let run_native impl policy n ops unite_frac seed domains metrics_out trace_out
       let d = Sequential.Seq_dsu.create ~seed n in
       let t0 = Unix.gettimeofday () in
       Workload.Op.run_seq d ops_list;
-      (Unix.gettimeofday () -. t0, Sequential.Seq_dsu.count_sets d, None)
+      (Unix.gettimeofday () -. t0, Sequential.Seq_dsu.count_sets d, None))
   in
   Printf.printf "elements:      %d\noperations:    %d (%.0f%% unions)\ndomains:       %d\n"
     n ops (unite_frac *. 100.) domains;
@@ -421,9 +539,10 @@ let native_cmd =
   Cmd.v (Cmd.info "native" ~doc)
     Term.(
       term_result
-        (const run_native $ impl_arg $ policy_arg $ n_arg $ ops_arg
-        $ unite_frac_arg $ seed_arg $ domains_arg $ metrics_out_arg
-        $ trace_out_arg $ contention_out_arg $ progress_arg))
+        (const run_native $ impl_arg $ policy_arg $ plan_arg
+        $ autotune_cache_arg $ n_arg $ ops_arg $ unite_frac_arg $ seed_arg
+        $ domains_arg $ metrics_out_arg $ trace_out_arg $ contention_out_arg
+        $ progress_arg))
 
 (* ------------------------------------------------------------- sim mode *)
 
@@ -1083,14 +1202,17 @@ let run_latency n ops unite_frac seed domains rates shape reservoir
     }
   in
   let points = Latency.sweep ~config ~rates () in
-  Format.printf "%a" Latency.pp_table points;
   let doc = Latency.to_json config points in
+  (* Write the artifact before printing: a consumer that truncates stdout
+     (e.g. [| head -1]) closes the pipe and SIGPIPEs the process mid-table,
+     which must not cost the JSON document. *)
   (match latency_out with
   | None -> ()
   | Some out ->
     with_out out (fun oc ->
         output_string oc (Repro_obs.Json.to_string doc);
         output_char oc '\n'));
+  Format.printf "%a" Latency.pp_table points;
   match baseline with
   | None -> Ok ()
   | Some file ->

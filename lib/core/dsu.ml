@@ -48,3 +48,13 @@ module Growable_unbounded = Growable_unbounded
 module Rank = Rank_dsu
 (** The concurrent linking-by-rank variant of Section 7, which needs no
     independence assumption; see experiment E15. *)
+
+module Packed = Packed_dsu
+(** Linking by rank over a bit-packed [(root flag, rank, parent)] word —
+    the shift/mask layout that replaces {!Rank}'s division-based packing;
+    supports every {!Find_policy} compaction rule. *)
+
+module Plan = Dsu_plan
+(** First-class configuration points of the plan space (linking rule x
+    compaction x memory order x backoff x layout), with the registry swept
+    by [Harness.Autotune] and the [--plan] CLI spec syntax. *)

@@ -220,6 +220,53 @@ module Make (M : Memory_intf.S) = struct
     in
     loop x
 
+  (* Concurrent path halving (van der Weide's rule): the same
+     grandparent-swing CAS as one-try splitting, but the traversal advances
+     two hops — to the grandparent — instead of one, so each pass visits
+     half the path.  Every successful CAS replaces a parent by its current
+     grandparent, an ancestor move, so Lemma 3.1's correctness argument is
+     unchanged; like the splitting CASes it is weak (a spurious failure is
+     just a skipped compaction). *)
+  let find_halving t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      let v = M.read t.mem u in
+      if v = u then u
+      else begin
+        let w = M.read t.mem v in
+        if v = w then v
+        else begin
+          let ok = M.cas_weak t.mem u v w in
+          bump t (Dsu_stats.incr_compaction_cas ~ok);
+          loop w
+        end
+      end
+    in
+    loop x
+
+  let find_halving_obs t x =
+    let rec loop u =
+      bump t Dsu_stats.incr_find_iter;
+      Dsu_obs.on_find_iter ();
+      fault_hop ();
+      let v = M.read t.mem u in
+      if v = u then u
+      else begin
+        fault_gap ();
+        let w = M.read t.mem v in
+        if v = w then v
+        else begin
+          fault_split_pre ();
+          let ok = M.cas_weak t.mem u v w in
+          bump t (Dsu_stats.incr_compaction_cas ~ok);
+          Dsu_obs.on_compaction_cas ~node:u ~ok;
+          fault_split_post ();
+          loop w
+        end
+      end
+    in
+    loop x
+
   (* Concurrent two-pass compression (Section 6 conjecture).  Pass one walks
      to the current root recording each (node, observed parent) pair; pass
      two Cas-es each node's parent from the recorded value to the found
@@ -274,6 +321,7 @@ module Make (M : Memory_intf.S) = struct
         | Find_policy.No_compaction -> find_no_compaction_obs t x
         | Find_policy.One_try_splitting -> find_one_try_obs t x
         | Find_policy.Two_try_splitting -> find_two_try_obs t x
+        | Find_policy.Halving -> find_halving_obs t x
         | Find_policy.Compression -> find_compression_obs t x
       in
       Dsu_obs.find_end x root;
@@ -284,6 +332,7 @@ module Make (M : Memory_intf.S) = struct
       | Find_policy.No_compaction -> find_no_compaction t x
       | Find_policy.One_try_splitting -> find_one_try t x
       | Find_policy.Two_try_splitting -> find_two_try t x
+      | Find_policy.Halving -> find_halving t x
       | Find_policy.Compression -> find_compression t x
 
   let check_node t x =
@@ -313,6 +362,16 @@ module Make (M : Memory_intf.S) = struct
         bump t (Dsu_stats.incr_compaction_cas ~ok)
       end;
       z
+    | Find_policy.Halving ->
+      (* Same CAS as one-try, but advance to the grandparent — still an
+         ancestor of [u], so the early-termination invariant holds. *)
+      let w = M.read t.mem z in
+      if z <> w then begin
+        let ok = M.cas_weak t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        w
+      end
+      else z
     | Find_policy.Two_try_splitting ->
       let w = M.read t.mem z in
       if z <> w then begin
@@ -345,6 +404,18 @@ module Make (M : Memory_intf.S) = struct
         fault_split_post ()
       end;
       z
+    | Find_policy.Halving ->
+      fault_gap ();
+      let w = M.read t.mem z in
+      if z <> w then begin
+        fault_split_pre ();
+        let ok = M.cas_weak t.mem u z w in
+        bump t (Dsu_stats.incr_compaction_cas ~ok);
+        Dsu_obs.on_compaction_cas ~node:u ~ok;
+        fault_split_post ();
+        w
+      end
+      else z
     | Find_policy.Two_try_splitting ->
       fault_gap ();
       let w = M.read t.mem z in

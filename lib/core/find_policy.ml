@@ -17,22 +17,38 @@
     parent to it with a [Cas] from the parent observed in the first pass —
     which keeps every update an ancestor move in the union forest, so the
     Lemma 3.1 correctness argument goes through unchanged.  Experiment E14
-    measures the conjecture. *)
+    measures the conjecture.
 
-type t = No_compaction | One_try_splitting | Two_try_splitting | Compression
+    {!Halving} is concurrent path halving (van der Weide's rule, the
+    remaining cell of the Alistarh–Fedorov–Koval compaction grid): each
+    visited node tries once to swing its parent to its grandparent — the
+    same [Cas] as one-try splitting — but the traversal then advances
+    {e two} hops, to the grandparent, so each pass touches half the path.
+    Every update is still an ancestor move, so Lemma 3.1 applies
+    unchanged. *)
 
-let all = [ No_compaction; One_try_splitting; Two_try_splitting; Compression ]
+type t =
+  | No_compaction
+  | One_try_splitting
+  | Two_try_splitting
+  | Halving
+  | Compression
+
+let all =
+  [ No_compaction; One_try_splitting; Two_try_splitting; Halving; Compression ]
 
 let to_string = function
   | No_compaction -> "none"
   | One_try_splitting -> "one-try"
   | Two_try_splitting -> "two-try"
+  | Halving -> "halving"
   | Compression -> "compression"
 
 let of_string = function
   | "none" -> Some No_compaction
   | "one-try" -> Some One_try_splitting
   | "two-try" -> Some Two_try_splitting
+  | "halving" -> Some Halving
   | "compression" -> Some Compression
   | _ -> None
 

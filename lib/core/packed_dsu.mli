@@ -1,0 +1,141 @@
+(** Concurrent linking-by-rank DSU over a bit-packed single word per node
+    (the GBBS [jayanti.h] layout): parent index, rank and a root flag in
+    fixed bit fields of one 63-bit OCaml int, so link and split each stay
+    a single CAS and every unpack is a mask/shift instead of
+    {!Rank_dsu}'s division by the non-constant [n].
+
+    {v
+      bit 61        root flag (set iff the node is a tree root)
+      bits 40..60   rank (21 bits)
+      bits  0..39   parent index (40 bits)
+    v}
+
+    The layout bounds the universe to [n <= 2^40] (checked at [create]);
+    ranks are bounded by [ceil(lg n) <= 40], far below the field's
+    [2^21 - 1].  Linking is by rank (ties by node index), so the bounds
+    need no independence assumption.  See docs/PERFORMANCE.md for the
+    measured packed-vs-rank numbers. *)
+
+(** {2 Word layout}
+
+    Exposed for tests, the snapshot codec and documentation; all pure. *)
+
+val parent_bits : int
+val rank_bits : int
+val max_nodes : int
+(** [2^parent_bits], the largest supported universe. *)
+
+val max_rank : int
+(** [2^rank_bits - 1], the largest encodable rank. *)
+
+val is_root_word : int -> bool
+val parent_of_word : int -> int
+val rank_of_word : int -> int
+val root_word : rank:int -> node:int -> int
+val child_word : rank:int -> parent:int -> int
+
+val init_word : int -> int
+(** [init_word i] is node [i]'s initial word: rank 0, root flag set. *)
+
+module Make (M : Memory_intf.S) : sig
+  type t
+
+  val create :
+    ?policy:Find_policy.t ->
+    ?backoff:bool ->
+    ?stats:Dsu_stats.t ->
+    mem:M.t ->
+    n:int ->
+    unit ->
+    t
+  (** [policy] (default two-try splitting) selects the find compaction
+      rule — all five {!Find_policy} variants are supported, with
+      rank-preserving updates; [backoff] (default [true]) spins after a
+      failed link CAS as in {!Dsu_algorithm}.
+      @raise Invalid_argument unless [1 <= n <= max_nodes]. *)
+
+  val n : t -> int
+  val mem : t -> M.t
+  val policy : t -> Find_policy.t
+  val backoff : t -> bool
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+
+  val unite_batch : t -> int array -> int array -> unit
+  (** The {!Dsu_algorithm.Make.unite_batch} bulk kernel (per-call root
+      cache + prefetch) over packed words. *)
+
+  val same_set_batch : t -> int array -> int array -> bool array
+  val parent_of : t -> int -> int
+  val rank_of : t -> int -> int
+  val is_root : t -> int -> bool
+
+  val count_sets : t -> int
+  (** Quiescent only. *)
+
+  val stats : t -> Dsu_stats.snapshot
+
+  val invariant_violations : t -> (int * int) list
+  (** Pairs [(node, parent)] breaking the rank order (every non-root must
+      point to a larger rank, ties broken upward by index) or whose root
+      flag disagrees with the parent field; empty on a correct
+      structure.  Quiescent only. *)
+
+  val parents_snapshot : t -> int array
+  val ranks_snapshot : t -> int array
+end
+
+(** Native instantiation over {!Native_memory} ([Flat_atomic_array] with
+    explicit-order loads); safe from any number of domains. *)
+module Native : sig
+  type t
+
+  val create :
+    ?policy:Find_policy.t ->
+    ?backoff:bool ->
+    ?memory_order:Memory_order.t ->
+    ?collect_stats:bool ->
+    ?padded:bool ->
+    int ->
+    t
+  (** [memory_order] as in {!Dsu_native.create} (default
+      {!Memory_order.Relaxed_reads}); [padded] spreads one word per cache
+      line. *)
+
+  val n : t -> int
+  val policy : t -> Find_policy.t
+  val backoff : t -> bool
+  val find : t -> int -> int
+  val same_set : t -> int -> int -> bool
+  val unite : t -> int -> int -> unit
+  val unite_batch : t -> int array -> int array -> unit
+  val same_set_batch : t -> int array -> int array -> bool array
+  val parent_of : t -> int -> int
+  val rank_of : t -> int -> int
+  val is_root : t -> int -> bool
+
+  val count_sets : t -> int
+  (** Quiescent only. *)
+
+  val stats : t -> Dsu_stats.snapshot
+  val invariant_violations : t -> (int * int) list
+  val memory_order : t -> Memory_order.t
+  val parents_snapshot : t -> int array
+  val ranks_snapshot : t -> int array
+
+  val of_snapshot :
+    ?policy:Find_policy.t ->
+    ?backoff:bool ->
+    ?memory_order:Memory_order.t ->
+    ?collect_stats:bool ->
+    ?padded:bool ->
+    parents:int array ->
+    ranks:int array ->
+    unit ->
+    t
+  (** A fresh structure with the given forest and ranks re-packed into
+      words.  @raise Invalid_argument on length mismatch, out-of-range
+      parents, ranks outside the bit field, or parents violating the
+      [(rank, index)] order. *)
+end

@@ -105,6 +105,18 @@ let handle_of ~layout ~policy ~memory_order ~seed n =
       prio = Dsu.Boxed.id d;
       snapshot = (fun () -> Rsnap.of_boxed d);
     }
+  | Packed ->
+    (* Linking by rank: [seed] draws no priorities; the forest audit's
+       order is the rank unpacked from the live words. *)
+    let d = Dsu.Packed.Native.create ~policy ~memory_order n in
+    {
+      unite = Dsu.Packed.Native.unite d;
+      same_set = Dsu.Packed.Native.same_set d;
+      find = Dsu.Packed.Native.find d;
+      parents = (fun () -> Dsu.Packed.Native.parents_snapshot d);
+      prio = Dsu.Packed.Native.rank_of d;
+      snapshot = (fun () -> Rsnap.of_packed d);
+    }
 
 (* A handle over a restored structure, whatever kind came back.  The node
    order is immutable, so it is captured once rather than re-snapshotted on

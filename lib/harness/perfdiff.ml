@@ -1,10 +1,12 @@
 (* Perf-regression differ over the repo's benchmark JSON documents.
 
    Auto-detects the document kind (bechamel [bench --out], dsu-scalability,
-   dsu-latency), extracts keyed scalar metrics with a better-direction,
-   and flags relative deltas beyond a noise threshold.  Structural
-   problems (unparseable JSON, unrecognized schema, mismatched kinds) are
-   [Error]s so CLI callers can map them onto their usage-error exit. *)
+   dsu-latency, dsu-autotune), extracts keyed scalar metrics with a
+   better-direction, and flags relative deltas beyond a noise threshold.
+   Structural problems (unparseable JSON, unrecognized schema, mismatched
+   kinds) are [Error]s so CLI callers can map them onto their usage-error
+   exit; a changed autotune winner is only a [warnings] line — two valid
+   tuning runs may legitimately disagree. *)
 
 module J = Repro_obs.Json
 
@@ -27,6 +29,8 @@ type report = {
   improvements : row list;
   only_base : string list;  (* keys present only in the baseline *)
   only_current : string list;
+  warnings : string list;
+      (* non-fatal observations, e.g. an autotune winner change *)
 }
 
 (* ------------------------------------------------------------ extract *)
@@ -123,6 +127,21 @@ let latency_entries doc =
          ps)
   | _ -> None
 
+let autotune_entries doc =
+  let* ms = mem "measurements" doc in
+  match ms with
+  | J.List ms ->
+    Some
+      (List.filter_map
+         (fun m ->
+           let* plan = str_field "plan" m in
+           let* v = num_field "mops_per_sec" m in
+           Some
+             { e_key = "plan=" ^ plan; e_metric = "mops_per_sec";
+               e_dir = Higher_better; e_value = v })
+         ms)
+  | _ -> None
+
 let classify doc =
   match mem "schema" doc with
   | Some (J.String s) when String.length s >= 15
@@ -131,6 +150,9 @@ let classify doc =
   | Some (J.String s) when String.length s >= 11
                            && String.sub s 0 11 = "dsu-latency" ->
     Some (s, latency_entries)
+  | Some (J.String s) when String.length s >= 12
+                           && String.sub s 0 12 = "dsu-autotune" ->
+    Some (s, autotune_entries)
   | _ -> (
     match mem "results" doc with
     | Some _ -> Some ("bechamel", bechamel_entries)
@@ -185,6 +207,18 @@ let diff ?(threshold_pct = 10.0) ~base ~current () =
         | Higher_better -> r.delta_pct > threshold_pct
       in
       let matched b = List.exists (fun c -> id c = id b) in
+      (* An autotune run picking a different winner than the baseline is
+         worth surfacing but is not a regression in itself — the per-plan
+         rows above already capture any throughput movement. *)
+      let warnings =
+        if String.length kb >= 12 && String.sub kb 0 12 = "dsu-autotune"
+        then
+          match (str_field "winner" base, str_field "winner" current) with
+          | Some wb, Some wc when wb <> wc ->
+            [ Printf.sprintf "tuned plan changed: %s -> %s" wb wc ]
+          | _ -> []
+        else []
+      in
       Ok
         {
           kind = kb;
@@ -200,6 +234,7 @@ let diff ?(threshold_pct = 10.0) ~base ~current () =
             List.filter_map
               (fun c -> if matched c eb then None else Some (id c))
               ec;
+          warnings;
         }
     end
 
@@ -237,6 +272,7 @@ let to_json rep =
       ("improvements", J.List (List.map row_json rep.improvements));
       ("only_baseline", J.List (List.map (fun s -> J.String s) rep.only_base));
       ("only_current", J.List (List.map (fun s -> J.String s) rep.only_current));
+      ("warnings", J.List (List.map (fun s -> J.String s) rep.warnings));
     ]
 
 let pp ppf rep =
@@ -252,6 +288,7 @@ let pp ppf rep =
   in
   List.iter (pp_row "REGRESSION") rep.regressions;
   List.iter (pp_row "improvement") rep.improvements;
+  List.iter (fun w -> Format.fprintf ppf "  warning: %s@." w) rep.warnings;
   List.iter (fun k -> Format.fprintf ppf "  only in baseline: %s@." k)
     rep.only_base;
   List.iter (fun k -> Format.fprintf ppf "  only in current: %s@." k)

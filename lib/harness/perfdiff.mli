@@ -1,11 +1,14 @@
 (** Perf-regression differ over the repo's benchmark JSON documents.
 
     Compares two documents of the same kind — bechamel [bench --out]
-    results, [dsu-scalability/*] sweeps, or [dsu-latency/*] sweeps
-    (auto-detected) — and flags per-configuration metric deltas beyond a
-    noise threshold, respecting each metric's better-direction
-    ([ns_per_run] and latency quantiles lower-better, [mops_per_sec] and
-    [achieved_rate] higher-better).  Consumed by [bench --baseline] and
+    results, [dsu-scalability/*] sweeps, [dsu-latency/*] sweeps, or
+    [dsu-autotune/*] reports (auto-detected) — and flags per-configuration
+    metric deltas beyond a noise threshold, respecting each metric's
+    better-direction ([ns_per_run] and latency quantiles lower-better,
+    [mops_per_sec] and [achieved_rate] higher-better).  For autotune
+    documents the per-plan throughputs diff as ordinary rows and a changed
+    winning plan is reported in {!report.warnings} — a warning, not a
+    structural error.  Consumed by [bench --baseline]/[--guard-tuned] and
     the [dsu_workload perfdiff] / [latency --baseline] CLIs; the CI
     perf-history artifact is {!to_json}'s [dsu-perfdiff/v1] document. *)
 
@@ -28,6 +31,9 @@ type report = {
   improvements : row list;
   only_base : string list;
   only_current : string list;
+  warnings : string list;
+      (** non-fatal observations — currently the autotune winner changing
+          between baseline and current *)
 }
 
 val diff :

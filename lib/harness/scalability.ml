@@ -4,20 +4,13 @@ module Rng = Repro_util.Rng
 module Table = Repro_util.Table
 module J = Repro_obs.Json
 
-type layout = Flat | Padded | Boxed
+(* The layout constructors are re-exported from {!Dsu.Plan} so a plan's
+   layout field and a sweep point's layout are the same value. *)
+type layout = Dsu.Plan.layout = Flat | Padded | Boxed | Packed
 
-let all_layouts = [ Flat; Padded; Boxed ]
-
-let layout_to_string = function
-  | Flat -> "flat"
-  | Padded -> "flat-padded"
-  | Boxed -> "boxed"
-
-let layout_of_string = function
-  | "flat" -> Some Flat
-  | "flat-padded" | "padded" -> Some Padded
-  | "boxed" -> Some Boxed
-  | _ -> None
+let all_layouts = Dsu.Plan.all_layouts
+let layout_to_string = Dsu.Plan.layout_to_string
+let layout_of_string = Dsu.Plan.layout_of_string
 
 type dist = Uniform | Skewed
 
@@ -141,6 +134,11 @@ let run_point ?(config = default_config) ?(memory_order = Order.default)
          grids stay rectangular. *)
       let d = Dsu.Boxed.create ~policy ~backoff ~seed n in
       time_run ~domains ~run:(fun k -> Workload.Op.run_boxed_array d ops.(k))
+    | Packed ->
+      (* Linking by rank over the bit-packed single-word layout; [seed]
+         is irrelevant (no random priorities). *)
+      let d = Dsu.Packed.Native.create ~policy ~backoff ~memory_order n in
+      time_run ~domains ~run:(fun k -> Workload.Op.run_packed_array d ops.(k))
   in
   let total = ops_per_domain * domains in
   {
@@ -156,6 +154,16 @@ let run_point ?(config = default_config) ?(memory_order = Order.default)
     mops_per_sec = (float_of_int total /. seconds) /. 1e6;
     failures;
   }
+
+(* One timed run of a {!Dsu.Plan} point: the plan's axes map straight onto
+   [run_point]'s knobs (the linking rule is implied by the layout). *)
+let run_plan_point ?config ?dist ~(plan : Dsu.Plan.t) ~domains () =
+  (match Dsu.Plan.validate plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Scalability.run_plan_point: " ^ e));
+  run_point ?config ~memory_order:plan.Dsu.Plan.memory_order
+    ~backoff:plan.Dsu.Plan.backoff ?dist ~layout:plan.Dsu.Plan.layout
+    ~policy:plan.Dsu.Plan.compaction ~domains ()
 
 let sweep ?(config = default_config) ?progress () =
   let emit p = match progress with None -> () | Some f -> f p in

@@ -23,7 +23,10 @@
     docs/PERFORMANCE.md for the schema and how to read the numbers on
     machines with few cores. *)
 
-type layout = Flat | Padded | Boxed
+type layout = Dsu.Plan.layout = Flat | Padded | Boxed | Packed
+(** [Packed] is the bit-packed linking-by-rank layout
+    ({!Dsu.Packed.Native}); the constructors are shared with
+    {!Dsu.Plan.layout} so plan points and sweep points interoperate. *)
 
 val all_layouts : layout list
 val layout_to_string : layout -> string
@@ -91,6 +94,12 @@ val run_point :
     section; timing covers domain spawn to join.  [memory_order] defaults
     to {!Dsu.Memory_order.default}, [backoff] to [true], [dist] to
     [Uniform]. *)
+
+val run_plan_point :
+  ?config:config -> ?dist:dist -> plan:Dsu.Plan.t -> domains:int -> unit -> point
+(** {!run_point} driven by a {!Dsu.Plan} point: compaction, memory order,
+    backoff and layout come from the plan (the linking rule is implied by
+    the layout).  @raise Invalid_argument on an invalid plan. *)
 
 val sweep : ?config:config -> ?progress:(point -> unit) -> unit -> point list
 (** The full cross product (layouts × policies × memory_orders × backoffs

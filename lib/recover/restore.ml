@@ -3,6 +3,7 @@ type restored =
   | Boxed of Dsu.Boxed.t
   | Growable of Dsu.Growable.t
   | Rank of Dsu.Rank.Native.t
+  | Packed of Dsu.Packed.Native.t
 
 let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : Snapshot.t) =
   match s.kind with
@@ -20,6 +21,10 @@ let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : Snaps
          ~parents:s.parents ~prios:s.prios ())
   | Snapshot.Rank ->
     Rank (Dsu.Rank.Native.of_snapshot ~collect_stats ~parents:s.parents ~ranks:s.prios ())
+  | Snapshot.Packed ->
+    Packed
+      (Dsu.Packed.Native.of_snapshot ?policy ~collect_stats ~padded ~parents:s.parents
+         ~ranks:s.prios ())
 
 let restore_result ?policy ?early ?collect_stats ?padded s =
   match restore ?policy ?early ?collect_stats ?padded s with
@@ -31,12 +36,14 @@ let snapshot = function
   | Boxed d -> Snapshot.of_boxed d
   | Growable d -> Snapshot.of_growable d
   | Rank d -> Snapshot.of_rank d
+  | Packed d -> Snapshot.of_packed d
 
 let n = function
   | Flat d -> Dsu.Native.n d
   | Boxed d -> Dsu.Boxed.n d
   | Growable d -> Dsu.Growable.cardinal d
   | Rank d -> Dsu.Rank.Native.n d
+  | Packed d -> Dsu.Packed.Native.n d
 
 let unite t x y =
   match t with
@@ -44,6 +51,7 @@ let unite t x y =
   | Boxed d -> Dsu.Boxed.unite d x y
   | Growable d -> Dsu.Growable.unite d x y
   | Rank d -> Dsu.Rank.Native.unite d x y
+  | Packed d -> Dsu.Packed.Native.unite d x y
 
 let same_set t x y =
   match t with
@@ -51,6 +59,7 @@ let same_set t x y =
   | Boxed d -> Dsu.Boxed.same_set d x y
   | Growable d -> Dsu.Growable.same_set d x y
   | Rank d -> Dsu.Rank.Native.same_set d x y
+  | Packed d -> Dsu.Packed.Native.same_set d x y
 
 let find t x =
   match t with
@@ -58,15 +67,18 @@ let find t x =
   | Boxed d -> Dsu.Boxed.find d x
   | Growable d -> Dsu.Growable.find d x
   | Rank d -> Dsu.Rank.Native.find d x
+  | Packed d -> Dsu.Packed.Native.find d x
 
 let count_sets = function
   | Flat d -> Dsu.Native.count_sets d
   | Boxed d -> Dsu.Boxed.count_sets d
   | Growable d -> Dsu.Growable.count_sets d
   | Rank d -> Dsu.Rank.Native.count_sets d
+  | Packed d -> Dsu.Packed.Native.count_sets d
 
 let kind = function
   | Flat _ -> Snapshot.Flat
   | Boxed _ -> Snapshot.Boxed
   | Growable _ -> Snapshot.Growable
   | Rank _ -> Snapshot.Rank
+  | Packed _ -> Snapshot.Packed

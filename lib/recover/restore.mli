@@ -10,6 +10,7 @@ type restored =
   | Boxed of Dsu.Boxed.t
   | Growable of Dsu.Growable.t
   | Rank of Dsu.Rank.Native.t
+  | Packed of Dsu.Packed.Native.t
 
 val restore :
   ?policy:Dsu.Find_policy.t ->
@@ -18,9 +19,10 @@ val restore :
   ?padded:bool ->
   Snapshot.t ->
   restored
-(** [policy]/[early] apply to the Flat, Boxed and Growable kinds;
-    [padded] to Flat only.  @raise Invalid_argument when the snapshot fails
-    the layout's invariant validation (run {!Repair.repair} first). *)
+(** [policy] applies to the Flat, Boxed, Growable and Packed kinds;
+    [early] to Flat, Boxed and Growable; [padded] to Flat and Packed.
+    @raise Invalid_argument when the snapshot fails the layout's invariant
+    validation (run {!Repair.repair} first). *)
 
 val restore_result :
   ?policy:Dsu.Find_policy.t ->

@@ -1,6 +1,6 @@
 module J = Repro_obs.Json
 
-type kind = Flat | Boxed | Growable | Rank
+type kind = Flat | Boxed | Growable | Rank | Packed
 
 type t = {
   kind : kind;
@@ -15,12 +15,14 @@ let kind_to_string = function
   | Boxed -> "boxed"
   | Growable -> "growable"
   | Rank -> "rank"
+  | Packed -> "packed"
 
 let kind_of_string = function
   | "flat" -> Some Flat
   | "boxed" -> Some Boxed
   | "growable" -> Some Growable
   | "rank" -> Some Rank
+  | "packed" -> Some Packed
   | _ -> None
 
 let of_native d =
@@ -62,6 +64,16 @@ let of_rank d =
     prios = Dsu.Rank.Native.ranks_snapshot d;
   }
 
+let of_packed d =
+  let n = Dsu.Packed.Native.n d in
+  {
+    kind = Packed;
+    n;
+    capacity = n;
+    parents = Dsu.Packed.Native.parents_snapshot d;
+    prios = Dsu.Packed.Native.ranks_snapshot d;
+  }
+
 let check t = Repro_fault.Forest_check.check ~prio:(fun i -> t.prios.(i)) t.parents
 let ok t = Repro_fault.Forest_check.ok (check t)
 
@@ -84,13 +96,19 @@ let crc32 s =
     s;
   !c lxor 0xffffffff
 
-let kind_byte = function Flat -> 0 | Boxed -> 1 | Growable -> 2 | Rank -> 3
+let kind_byte = function
+  | Flat -> 0
+  | Boxed -> 1
+  | Growable -> 2
+  | Rank -> 3
+  | Packed -> 4
 
 let kind_of_byte = function
   | 0 -> Some Flat
   | 1 -> Some Boxed
   | 2 -> Some Growable
   | 3 -> Some Rank
+  | 4 -> Some Packed
   | _ -> None
 
 (* The canonical body both codecs checksum: kind byte, then n, capacity and

@@ -1,9 +1,10 @@
 (** Versioned, checksummed snapshots of a quiescent DSU memory.
 
-    A snapshot is the raw state any of the four layouts can be rebuilt from:
+    A snapshot is the raw state any of the layouts can be rebuilt from:
     the parent array plus the per-node linking order ([prios] — the id
     permutation for {!Dsu.Native}/{!Dsu.Boxed}, the 62-bit random priorities
-    for {!Dsu.Growable}, the ranks for {!Dsu.Rank.Native}).  All four orders
+    for {!Dsu.Growable}, the ranks for {!Dsu.Rank.Native} and
+    {!Dsu.Packed.Native}, extracted from the packed words).  All the orders
     share the algorithm's [less]: priority first, node index on ties — so
     one {!check} validates any kind against Lemma 3.1.
 
@@ -26,7 +27,7 @@
     Decoders return [result]s — a malformed or checksum-failing file is an
     ordinary error, never an exception. *)
 
-type kind = Flat | Boxed | Growable | Rank
+type kind = Flat | Boxed | Growable | Rank | Packed
 
 type t = {
   kind : kind;
@@ -45,6 +46,10 @@ val of_native : Dsu.Native.t -> t
 val of_boxed : Dsu.Boxed.t -> t
 val of_growable : Dsu.Growable.t -> t
 val of_rank : Dsu.Rank.Native.t -> t
+
+val of_packed : Dsu.Packed.Native.t -> t
+(** [prios] holds the ranks unpacked from the bit fields; restore re-packs
+    them ({!Dsu.Packed.Native.of_snapshot}). *)
 
 (** {1 Validation} *)
 

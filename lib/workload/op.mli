@@ -42,6 +42,10 @@ val run_native_array_batched : Dsu.Native.t -> ?batch:int -> t array -> unit
     used by the bench bulk suite to measure the batching win.
     @raise Invalid_argument if [batch < 1]. *)
 
+val run_packed_array : Dsu.Packed.Native.t -> t array -> unit
+(** Drives the bit-packed linking-by-rank layout ({!Dsu.Packed.Native})
+    for the plan-space sweeps. *)
+
 val run_boxed_array : Dsu.Boxed.t -> t array -> unit
 val run_seq_array : Sequential.Seq_dsu.t -> t array -> unit
 val run_quick_find_array : Sequential.Quick_find.t -> t array -> unit

@@ -19,7 +19,7 @@ The workload driver's simulator mode is deterministic:
 The linearizability fuzzer passes:
 
   $ ../../bin/dsu_workload.exe lincheck --trials 5 --procs 2 --ops-per-proc 2
-  20 histories checked, 0 violations
+  25 histories checked, 0 violations
 
 All native implementations agree on the final partition of the same
 single-domain workload:

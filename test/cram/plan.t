@@ -1,0 +1,48 @@
+A full plan spec pins the workload driver to one point of the plan space;
+the packed by-rank plan agrees with every other implementation on the
+final partition of the same single-domain workload:
+
+  $ ../../bin/dsu_workload.exe native --plan rank:halving:relaxed-reads:on:packed -n 128 --ops 256 --seed 4 | grep 'final sets'
+  final sets:    19
+
+  $ ../../bin/dsu_workload.exe native --impl packed -n 128 --ops 256 --seed 4 | grep 'final sets'
+  final sets:    19
+
+Every layout the plan grammar names is runnable through --plan:
+
+  $ for plan in rand:two-try:relaxed-reads:on:flat rand:one-try:seq-cst:off:flat-padded rand:compression:seq-cst:on:boxed rank:none:acquire:on:packed; do
+  >   ../../bin/dsu_workload.exe native --plan $plan -n 64 --ops 128 --seed 7 | grep 'final sets'
+  > done
+  final sets:    17
+  final sets:    17
+  final sets:    17
+  final sets:    17
+
+A malformed plan spec is a CLI parse error (Cmdliner exit 124), naming the
+grammar:
+
+  $ ../../bin/dsu_workload.exe native --plan bogus -n 16 --ops 8
+  dsu_workload: option '--plan': bad plan spec "bogus" (want
+                linking:compaction:order:backoff:layout, e.g.
+                "rand:two-try:relaxed-reads:on:flat")
+  Usage: dsu_workload native [OPTION]…
+  Try 'dsu_workload native --help' or 'dsu_workload --help' for more information.
+  [124]
+
+So is a structurally valid spec naming an invalid combination (the packed
+word has no per-node random id, so it links by rank):
+
+  $ ../../bin/dsu_workload.exe native --plan rand:two-try:relaxed-reads:on:packed -n 16 --ops 8
+  dsu_workload: option '--plan': invalid plan
+                "rand:two-try:relaxed-reads:on:packed": the packed layout links
+                by rank; use rank:...:packed
+  Usage: dsu_workload native [OPTION]…
+  Try 'dsu_workload native --help' or 'dsu_workload --help' for more information.
+  [124]
+
+The bench CLI rejects a malformed spec too (stdlib Arg, exit 2):
+
+  $ ../../bench/main.exe --plan nope 2>&1 | grep -c 'bad plan spec'
+  1
+  $ ../../bench/main.exe --plan nope >/dev/null 2>&1
+  [2]

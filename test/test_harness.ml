@@ -431,6 +431,74 @@ let perfdiff_tests =
         check Alcotest.bool "unrecognized document" true (fails "{}" ok);
         check Alcotest.bool "kind mismatch" true (fails ok scal);
         check Alcotest.bool "matching kinds fine" false (fails scal scal));
+    case "autotune documents diff per-plan throughput both directions"
+      (fun () ->
+        let doc winner plans =
+          Printf.sprintf
+            {|{"schema":"dsu-autotune/v1","winner":"%s","measurements":[%s]}|}
+            winner
+            (String.concat ","
+               (List.map
+                  (fun (plan, mops) ->
+                    Printf.sprintf
+                      {|{"plan":"%s","mops_per_sec":%f,"failures":0}|} plan
+                      mops)
+                  plans))
+        in
+        let fast = doc "rand:two-try:relaxed-reads:on:flat"
+            [ ("rand:two-try:relaxed-reads:on:flat", 10.0) ]
+        and slow = doc "rand:two-try:relaxed-reads:on:flat"
+            [ ("rand:two-try:relaxed-reads:on:flat", 5.0) ]
+        in
+        (* throughput drop = regression *)
+        let down = diff_ok ~base:fast ~current:slow () in
+        check Alcotest.string "kind" "dsu-autotune/v1" down.Perfdiff.kind;
+        (match down.Perfdiff.regressions with
+        | [ row ] ->
+          check Alcotest.string "key"
+            "plan=rand:two-try:relaxed-reads:on:flat" row.Perfdiff.key;
+          check Alcotest.string "metric" "mops_per_sec" row.Perfdiff.metric
+        | _ -> Alcotest.fail "expected one regression");
+        check Alcotest.int "no warning when the winner is unchanged" 0
+          (List.length down.Perfdiff.warnings);
+        (* throughput gain = improvement, never a regression *)
+        let up = diff_ok ~base:slow ~current:fast () in
+        check Alcotest.int "no regressions" 0
+          (List.length up.Perfdiff.regressions);
+        check Alcotest.int "one improvement" 1
+          (List.length up.Perfdiff.improvements));
+    case "autotune winner change is a warning, not a structural error"
+      (fun () ->
+        let doc winner =
+          Printf.sprintf
+            {|{"schema":"dsu-autotune/v1","winner":"%s","measurements":[{"plan":"%s","mops_per_sec":7.0,"failures":0}]}|}
+            winner winner
+        in
+        let base = doc "rand:two-try:relaxed-reads:on:flat" in
+        let current = doc "rank:halving:relaxed-reads:on:packed" in
+        let r = diff_ok ~base ~current () in
+        (match r.Perfdiff.warnings with
+        | [ w ] ->
+          check Alcotest.bool "warning names both plans" true
+            (let has needle =
+               let nl = String.length needle and hl = String.length w in
+               let rec at i =
+                 i + nl <= hl && (String.sub w i nl = needle || at (i + 1))
+               in
+               nl = 0 || at 0
+             in
+             has "rand:two-try:relaxed-reads:on:flat"
+             && has "rank:halving:relaxed-reads:on:packed")
+        | ws ->
+          Alcotest.fail
+            (Printf.sprintf "expected exactly one warning, got %d"
+               (List.length ws)));
+        (* the changed winner keys don't match, so no rows compare — but
+           that is only_base/only_current traffic, not an Error *)
+        let j = Json.parse_exn (Json.to_string (Perfdiff.to_json r)) in
+        match Json.member "warnings" j with
+        | Some (Json.List [ Json.String _ ]) -> ()
+        | _ -> Alcotest.fail "warnings missing from dsu-perfdiff/v1 JSON");
     case "report serializes as dsu-perfdiff/v1" (fun () ->
         let base = bechamel_doc [ ("a", 100.0) ] in
         let current = bechamel_doc [ ("a", 200.0) ] in
@@ -448,6 +516,132 @@ let perfdiff_tests =
         | _ -> Alcotest.fail "expected one serialized regression");
   ]
 
+(* ------------------------------------------------------------ autotune *)
+
+module Autotune = Harness.Autotune
+
+(* A tiny but real profile: every autotune test below actually times
+   plans, so keep the sweep to two plans over a few thousand ops. *)
+let tiny_profile =
+  {
+    Autotune.n = 256;
+    domains = 1;
+    unite_percent = 50;
+    dist = Harness.Scalability.Uniform;
+    total_ops = 2_000;
+    seed = 3;
+  }
+
+let packed_plan =
+  {
+    Dsu.Plan.default with
+    Dsu.Plan.linking = Dsu.Plan.By_rank;
+    layout = Dsu.Plan.Packed;
+  }
+
+let in_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsu-autotune-test-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let autotune_tests =
+  [
+    case "fingerprint is deterministic and field-sensitive" (fun () ->
+        check Alcotest.string "stable" "n256-d1-u50-uniform-ops2000-s3"
+          (Autotune.fingerprint tiny_profile);
+        check Alcotest.bool "n changes it" true
+          (Autotune.fingerprint { tiny_profile with Autotune.n = 512 }
+          <> Autotune.fingerprint tiny_profile));
+    case "run measures every plan and picks the fastest" (fun () ->
+        let r =
+          Autotune.run ~plans:[ Dsu.Plan.default; packed_plan ]
+            ~profile:tiny_profile ()
+        in
+        check Alcotest.int "both plans measured" 2
+          (List.length r.Autotune.measurements);
+        check Alcotest.bool "winner was measured" true
+          (List.exists
+             (fun m -> Dsu.Plan.equal m.Autotune.plan r.Autotune.winner)
+             r.Autotune.measurements);
+        check Alcotest.bool "winner is the max" true
+          (List.for_all
+             (fun m -> m.Autotune.mops_per_sec <= r.Autotune.winner_mops)
+             r.Autotune.measurements);
+        check Alcotest.bool "margins non-negative" true
+          (r.Autotune.margin_over_runner_up_pct >= 0.
+          && r.Autotune.margin_over_default_pct >= 0.));
+    case "the default plan is force-included" (fun () ->
+        let r = Autotune.run ~plans:[ packed_plan ] ~profile:tiny_profile () in
+        check Alcotest.bool "default measured" true
+          (List.exists
+             (fun m -> Dsu.Plan.equal m.Autotune.plan Dsu.Plan.default)
+             r.Autotune.measurements));
+    case "dsu-autotune/v1 JSON round-trips" (fun () ->
+        let r =
+          Autotune.run ~plans:[ Dsu.Plan.default; packed_plan ]
+            ~profile:tiny_profile ()
+        in
+        let j = Json.to_string (Autotune.to_json r) in
+        match Autotune.of_json_string j with
+        | Error e -> Alcotest.fail e
+        | Ok r' ->
+          check Alcotest.bool "winner survives" true
+            (Dsu.Plan.equal r.Autotune.winner r'.Autotune.winner);
+          check Alcotest.string "fingerprint survives"
+            (Autotune.fingerprint r.Autotune.profile)
+            (Autotune.fingerprint r'.Autotune.profile);
+          check Alcotest.int "measurements survive"
+            (List.length r.Autotune.measurements)
+            (List.length r'.Autotune.measurements));
+    case "decoder rejects wrong schema and junk" (fun () ->
+        (match Autotune.of_json_string {|{"schema":"dsu-latency/v1"}|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a wrong schema");
+        match Autotune.of_json_string "{ nope" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted malformed JSON");
+    case "auto caches by fingerprint; corrupt cache is a miss" (fun () ->
+        in_temp_dir (fun dir ->
+            let r1, src1 =
+              Autotune.auto ~plans:[ Dsu.Plan.default ] ~cache_dir:dir
+                ~profile:tiny_profile ()
+            in
+            check Alcotest.bool "first run measures" true (src1 = `Measured);
+            let _, src2 =
+              Autotune.auto ~plans:[ Dsu.Plan.default ] ~cache_dir:dir
+                ~profile:tiny_profile ()
+            in
+            check Alcotest.bool "second run hits" true (src2 = `Cached);
+            (match Autotune.load_cached ~dir tiny_profile with
+            | Some r ->
+              check Alcotest.bool "cache round-trips winner" true
+                (Dsu.Plan.equal r.Autotune.winner r1.Autotune.winner)
+            | None -> Alcotest.fail "cache entry unreadable");
+            (* a different profile misses *)
+            check Alcotest.bool "other profile misses" true
+              (Autotune.load_cached ~dir
+                 { tiny_profile with Autotune.seed = 99 }
+              = None);
+            (* truncate the entry: decode fails, treated as a miss *)
+            let path = Autotune.cache_path ~dir tiny_profile in
+            let oc = open_out path in
+            output_string oc "{ definitely not json";
+            close_out oc;
+            check Alcotest.bool "corrupt entry is a miss" true
+              (Autotune.load_cached ~dir tiny_profile = None)));
+  ]
+
 let () =
   Alcotest.run "harness"
     [
@@ -456,4 +650,5 @@ let () =
       ("registry", registry_tests);
       ("latency", latency_tests);
       ("perfdiff", perfdiff_tests);
+      ("autotune", autotune_tests);
     ]

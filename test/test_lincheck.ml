@@ -375,6 +375,100 @@ let native_tuned_tests =
           Dsu.Find_policy.all);
   ]
 
+(* Packed-layout fuzz: the single-word (rank,parent) representation under
+   by-rank linking, exercised by real domains.  Complete histories go
+   through the standard checker; crash histories are produced natively by
+   arming the fault-injection engine with crash-stop rules — a killed
+   worker leaves its pending invocation in the recorder, and the
+   crash-aware checker resolves it against the final packed memory. *)
+let packed_tests =
+  let module Fi = Repro_fault.Inject in
+  let n = 5 in
+  let worker_ops d recorder ~trial pid =
+    let rng = Repro_util.Rng.create ((trial * 100) + pid) in
+    for _ = 1 to 3 do
+      let x = Repro_util.Rng.int rng n and y = Repro_util.Rng.int rng n in
+      if Repro_util.Rng.bool rng then
+        ignore
+          (Lincheck.Native_recorder.run recorder ~pid ~name:"unite"
+             ~args:[ x; y ]
+             (fun () ->
+               Dsu.Packed.Native.unite d x y;
+               0))
+      else
+        ignore
+          (Lincheck.Native_recorder.run recorder ~pid ~name:"same_set"
+             ~args:[ x; y ]
+             (fun () -> if Dsu.Packed.Native.same_set d x y then 1 else 0))
+    done
+  in
+  [
+    case "packed histories linearize (100 per policy)" (fun () ->
+        List.iter
+          (fun policy ->
+            for trial = 1 to 100 do
+              let d =
+                Dsu.Packed.Native.create ~policy
+                  ~memory_order:Dsu.Memory_order.Relaxed_reads n
+              in
+              let recorder = Lincheck.Native_recorder.create () in
+              let handles =
+                List.init 3 (fun pid ->
+                    Domain.spawn (fun () -> worker_ops d recorder ~trial pid))
+              in
+              List.iter Domain.join handles;
+              match Checker.check ~n (Lincheck.Native_recorder.history recorder) with
+              | Checker.Linearizable -> ()
+              | Checker.Not_linearizable msg ->
+                Alcotest.failf "packed %s trial %d: %s"
+                  (Dsu.Find_policy.to_string policy)
+                  trial msg
+            done)
+          Dsu.Find_policy.all);
+    case "packed crash histories are strictly linearizable (>= 100)" (fun () ->
+        (* Loop until 100 histories with a genuinely pending (crashed)
+           operation have been checked; trials where the countdown outlives
+           the workload still get a complete-history check for free. *)
+        let histories = ref 0 in
+        let trial = ref 0 in
+        while !histories < 100 do
+          incr trial;
+          List.iter
+            (fun policy ->
+              let d =
+                Dsu.Packed.Native.create ~policy
+                  ~memory_order:Dsu.Memory_order.Relaxed_reads n
+              in
+              let recorder = Lincheck.Native_recorder.create () in
+              Fi.arm
+                {
+                  Fi.seed = !trial;
+                  rules_for =
+                    (fun slot ->
+                      if slot <= 1 then
+                        [ Fi.rule ~prob:1.0 ~after:(slot + (!trial mod 6)) Fi.Crash ]
+                      else []);
+                };
+              let worker pid () =
+                Fi.enroll ~slot:pid;
+                try worker_ops d recorder ~trial:!trial pid
+                with Fi.Crashed (_, _) -> ()
+              in
+              let handles = List.init 3 (fun pid -> Domain.spawn (worker pid)) in
+              List.iter Domain.join handles;
+              Fi.disarm ();
+              let history = Lincheck.Native_recorder.history recorder in
+              let final_roots = Array.init n (Dsu.Packed.Native.find d) in
+              let v = Checker.check_crash ~n ~final_roots history in
+              if Apram.History.pending_calls history <> [] then incr histories;
+              if not v.Checker.crash_ok then
+                Alcotest.failf "packed crash %s trial %d: %s"
+                  (Dsu.Find_policy.to_string policy)
+                  !trial v.Checker.crash_detail)
+            Dsu.Find_policy.all
+        done);
+  ]
+
 let () =
   Alcotest.run "lincheck"
     [
@@ -382,5 +476,6 @@ let () =
       ("checker", checker_tests);
       ("crash", crash_tests);
       ("native-tuned", native_tuned_tests);
+      ("packed", packed_tests);
       ("roundtrip", roundtrip_tests);
     ]

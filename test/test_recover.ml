@@ -43,10 +43,15 @@ let rank_snap () =
   rng_ops ~seed:11 ~n:128 ~ops:200 (Dsu.Rank.Native.unite d);
   Snap.of_rank d
 
+let packed_snap () =
+  let d = Dsu.Packed.Native.create 128 in
+  rng_ops ~seed:11 ~n:128 ~ops:200 (Dsu.Packed.Native.unite d);
+  Snap.of_packed d
+
 let all_layouts =
   [
     ("flat", native_snap); ("boxed", boxed_snap); ("growable", growable_snap);
-    ("rank", rank_snap);
+    ("rank", rank_snap); ("packed", packed_snap);
   ]
 
 (* ---------------------------------------------------------------- codec *)
@@ -97,7 +102,7 @@ let codec_tests =
             (fun k ->
               check Alcotest.bool "round-trip" true
                 (Snap.kind_of_string (Snap.kind_to_string k) = Some k))
-            [ Snap.Flat; Snap.Boxed; Snap.Growable; Snap.Rank ]);
+            [ Snap.Flat; Snap.Boxed; Snap.Growable; Snap.Rank; Snap.Packed ]);
       case "corrupted byte fails the checksum" (fun () ->
           let s = Snap.to_binary_string (native_snap ()) in
           let b = Bytes.of_string s in
@@ -149,6 +154,82 @@ let codec_tests =
               | Ok _ -> Alcotest.failf "junk accepted: %s" junk
               | Error _ -> ())
             [ "{}"; "[]"; "not json at all"; "{\"schema\":\"wrong/v9\"}" ]);
+      case "packed: corrupt file on disk is rejected by read_file" (fun () ->
+          let snap = packed_snap () in
+          let path = Filename.temp_file "dsu_snap" ".snap" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Snap.write_file ~format:Snap.Binary path snap;
+              let data =
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              let b = Bytes.of_string data in
+              let mid = Bytes.length b / 2 in
+              Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x55));
+              let oc = open_out_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_bytes oc b);
+              match Snap.read_file path with
+              | Ok _ -> Alcotest.fail "corrupt packed snapshot accepted"
+              | Error _ -> ()));
+      case "packed: restore rejects fields the word cannot hold" (fun () ->
+          (* A decoded snapshot can still be unrepresentable in the packed
+             word: ranks above the 21-bit field and out-of-range parents
+             must surface as restore errors, not silent truncation. *)
+          let base = packed_snap () in
+          let with_prio i v =
+            let prios = Array.copy base.Snap.prios in
+            prios.(i) <- v;
+            { base with Snap.prios }
+          in
+          let with_parent i v =
+            let parents = Array.copy base.Snap.parents in
+            parents.(i) <- v;
+            { base with Snap.parents }
+          in
+          List.iter
+            (fun (label, snap) ->
+              match Restore.restore_result snap with
+              | Ok _ -> Alcotest.failf "%s accepted" label
+              | Error _ -> ())
+            [
+              ("oversized rank", with_prio 0 (Dsu.Packed.max_rank + 1));
+              ("negative rank", with_prio 0 (-1));
+              ("out-of-range parent", with_parent 3 base.Snap.n);
+            ]);
+      case "packed: restore-unite-resnapshot agrees with the rank oracle"
+        (fun () ->
+          (* Resume semantics: operations applied to a restored packed
+             instance must partition identically to the same operations on
+             an independently restored instance of another kind. *)
+          let snap = packed_snap () in
+          let restored = Restore.restore snap in
+          (match restored with
+          | Restore.Packed _ -> ()
+          | _ -> Alcotest.fail "packed snapshot restored to another kind");
+          let oracle =
+            Restore.restore { snap with Snap.kind = Snap.Rank }
+          in
+          rng_ops ~seed:23 ~n:snap.Snap.n ~ops:150 (fun x y ->
+              Restore.unite restored x y;
+              Restore.unite oracle x y);
+          for x = 0 to snap.Snap.n - 1 do
+            for y = x + 1 to min (snap.Snap.n - 1) (x + 7) do
+              check Alcotest.bool
+                (Printf.sprintf "same_set %d %d" x y)
+                (Restore.same_set oracle x y)
+                (Restore.same_set restored x y)
+            done
+          done;
+          check Alcotest.int "set counts agree" (Restore.count_sets oracle)
+            (Restore.count_sets restored);
+          check Alcotest.bool "re-snapshot still a valid forest" true
+            (Snap.ok (Restore.snapshot restored)));
     ]
 
 (* --------------------------------------------------------------- repair *)
