@@ -37,7 +37,14 @@
    default plan through the perfdiff differ; without it times the
    single-domain smoke pair (flat / two-try, seq-cst vs the default
    relaxed-reads order) and fails if the tuned path is more than PCT%
-   slower than the fenced baseline. *)
+   slower than the fenced baseline.
+
+   A third mode, --durability, runs the durability cost measurement
+   (Harness.Durability): the same workload wal=off vs wal=on plus the
+   quiescent vs fuzzy snapshot pause.  --out then writes the
+   dsu-durability/v1 document and --max-wal-overhead PCT is the CI
+   durability guard (exit 1 when the WAL costs more throughput than the
+   budget). *)
 
 open Bechamel
 open Toolkit
@@ -599,6 +606,8 @@ let parallel_orders = ref [ Dsu.Memory_order.default ]
 let parallel_backoffs = ref [ true ]
 let parallel_dists = ref [ Harness.Scalability.Uniform ]
 let guard_tuned = ref None
+let durability = ref false
+let max_wal_overhead = ref None
 let plan_request : [ `Auto | `Plan of Dsu.Plan.t ] option ref = ref None
 let autotune_cache = ref Harness.Autotune.default_cache_dir
 let autotune_out = ref None
@@ -748,6 +757,15 @@ let speclist =
        PCT percent: with --plan, the plan vs the default plan through the \
        perfdiff differ; without, the single-domain smoke pair (flat / \
        two-try, seq-cst vs relaxed-reads)" );
+    ( "--durability",
+      Arg.Set durability,
+      " run the durability cost measurement (WAL throughput overhead, \
+       quiescent vs fuzzy snapshot pause) instead of the bechamel \
+       micro-benchmarks; --out writes dsu-durability/v1" );
+    ( "--max-wal-overhead",
+      Arg.Float (fun p -> max_wal_overhead := Some p),
+      "PCT  with --durability, exit 1 if the WAL costs more than PCT \
+       percent of unite throughput (the CI durability guard)" );
     ( "--baseline",
       Arg.String (fun f -> baseline_file := Some f),
       "FILE  diff this run's JSON document against a previous one (same \
@@ -1026,6 +1044,38 @@ let run_parallel_sweep () =
       in
       run_guard_tuned_plan ~pct ~tuned_plan:plan ~tuned_mops ~default_mops)
 
+(* Durability mode: the WAL-overhead / snapshot-pause measurement, routed
+   through the same --out / --baseline plumbing as the other modes.  The
+   guard compares the same workload with the WAL attached and detached, so
+   it bounds the logging tax, not machine speed. *)
+let run_durability_mode () =
+  let defaults = Harness.Durability.default_config in
+  let config =
+    {
+      defaults with
+      Harness.Durability.n = !parallel_n;
+      unite_percent = !unite_percent;
+      repeats = (if !fast then 1 else defaults.Harness.Durability.repeats);
+      ops_per_domain =
+        (if !fast then 50_000 else defaults.Harness.Durability.ops_per_domain);
+    }
+  in
+  let r = Harness.Durability.run ~config () in
+  Harness.Durability.pp Format.std_formatter r;
+  Format.pp_print_newline Format.std_formatter ();
+  let doc = Harness.Durability.to_json r in
+  (match !out_file with None -> () | Some file -> write_json file doc);
+  run_baseline_diff doc;
+  match !max_wal_overhead with
+  | None -> ()
+  | Some pct ->
+    if r.Harness.Durability.overhead_pct > pct then begin
+      Printf.eprintf
+        "durability: FAIL — wal overhead %.1f%% exceeds the %.1f%% budget\n%!"
+        r.Harness.Durability.overhead_pct pct;
+      exit 1
+    end
+
 let run_bechamel () =
   let tests =
     List.filter (fun t -> matches_filters (Test.name t)) (all_tests ())
@@ -1093,7 +1143,9 @@ let () =
     usage;
   if !metrics_file <> None then Repro_obs.Metrics.set_enabled true;
   if !plan_request <> None then parallel := true;
-  if !parallel then run_parallel_sweep () else run_bechamel ();
+  if !durability then run_durability_mode ()
+  else if !parallel then run_parallel_sweep ()
+  else run_bechamel ();
   match !metrics_file with
   | None -> ()
   | Some file ->

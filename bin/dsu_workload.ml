@@ -12,12 +12,21 @@
      dsu_workload chaos --domains 8 --crash-domains 2 --validate
      dsu_workload chaos --crash-domains 2 --recover --snapshot-out crash
      dsu_workload snapshot -n 4096 --ops 20000 --snapshot-out dsu.snap
-     dsu_workload restore --resume-from dsu.snap --repair --validate *)
+     dsu_workload restore --resume-from dsu.snap --repair --validate
+     dsu_workload native --impl jt --wal ops.wal
+     dsu_workload snapshot --fuzzy --snapshot-out fuzzy.snap
+     dsu_workload restore --resume-from fuzzy.snap --wal ops.wal --validate
+     dsu_workload chaos --durable --kind packed
+     dsu_workload wal --file ops.wal --dump --check
+     dsu_workload durability --max-overhead 15 *)
 
 open Cmdliner
 
 module Rng = Repro_util.Rng
 module Policy = Dsu.Find_policy
+module Dwal = Repro_durable.Wal
+module Dfuzzy = Repro_durable.Fuzzy
+module Drecovery = Repro_durable.Recovery
 
 (* ------------------------------------------------------- shared options *)
 
@@ -345,8 +354,33 @@ let contention_out_arg =
            stdout).  Only the jt/jt-early implementations carry the \
            instrumented CAS sites.")
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"FILE"
+        ~doc:
+          "Append every link to a group-committed write-ahead log at \
+           $(docv) (jt, jt-early, rank, packed or $(b,--plan) only — the \
+           baselines carry no link notification).")
+
+let wal_flush_records_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "wal-flush-records" ] ~docv:"K"
+        ~doc:"Group-commit batch bound: commit once $(docv) records are staged.")
+
+let wal_flush_interval_arg =
+  Arg.(
+    value
+    & opt float 0.002
+    & info [ "wal-flush-interval" ] ~docv:"SECONDS"
+        ~doc:"Group-commit window: commit staged records at least this often.")
+
 let run_native impl policy plan autotune_cache n ops unite_frac seed domains
-    metrics_out trace_out contention_out progress =
+    wal wal_flush_records wal_flush_interval metrics_out trace_out
+    contention_out progress =
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
   let* () = check_arg (n >= 1) "--elements must be >= 1" in
   let* () =
@@ -358,6 +392,19 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
     check_arg
       (not (impl = Seq && domains > 1))
       "--impl seq is single-threaded; use --domains 1"
+  in
+  let* () =
+    check_arg
+      (wal = None || plan <> None
+      || match impl with Jt | Jt_early | Rank | Packed -> true | Aw | Lock | Seq -> false)
+      "--wal needs an implementation with link notifications (jt, jt-early, \
+       rank, packed or --plan)"
+  in
+  let* () =
+    check_arg (wal_flush_records >= 1) "--wal-flush-records must be >= 1"
+  in
+  let* () =
+    check_arg (wal_flush_interval > 0.) "--wal-flush-interval must be positive"
   in
   (* Resolve --plan before arming telemetry: the auto calibration sweep
      runs its own timed workloads and must not pollute this run's
@@ -390,6 +437,14 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
     Dsu.Contention.set_enabled true;
     Dsu.Contention.reset ()
   end;
+  let wal_writer =
+    Option.map
+      (fun path ->
+        Dwal.create_writer ~flush_records:wal_flush_records
+          ~flush_interval:wal_flush_interval path)
+      wal
+  in
+  let on_link = Option.map Dwal.append wal_writer in
   let root_fn = ref None in
   let ops_list = workload ~n ~ops ~unite_frac ~seed in
   let buckets = Workload.Op.round_robin ops_list ~p:domains in
@@ -422,7 +477,7 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
         let d =
           Dsu.Native.create ~policy ~memory_order ~backoff
             ~padded:(p.Dsu.Plan.layout = Dsu.Plan.Padded) ~collect_stats:true
-            ~seed n
+            ?on_link ~seed n
         in
         let dt =
           in_domains
@@ -432,7 +487,9 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
         root_fn := Some (Dsu.Native.is_root d);
         (dt, Dsu.Native.count_sets d, Some (Dsu.Native.stats d))
       | Dsu.Plan.Boxed ->
-        let d = Dsu.Boxed.create ~policy ~backoff ~collect_stats:true ~seed n in
+        let d =
+          Dsu.Boxed.create ~policy ~backoff ~collect_stats:true ?on_link ~seed n
+        in
         let dt =
           in_domains
             (apply_ops ~unite:(Dsu.Boxed.unite d)
@@ -443,7 +500,7 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
       | Dsu.Plan.Packed ->
         let d =
           Dsu.Packed.Native.create ~policy ~backoff ~memory_order
-            ~collect_stats:true n
+            ~collect_stats:true ?on_link n
         in
         let dt =
           in_domains
@@ -458,7 +515,7 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
       | Jt | Jt_early ->
       let d =
         Dsu.Native.create ~policy ~early:(impl = Jt_early) ~collect_stats:true
-          ~seed n
+          ?on_link ~seed n
       in
       let dt =
         in_domains
@@ -468,7 +525,7 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
       root_fn := Some (Dsu.Native.is_root d);
       (dt, Dsu.Native.count_sets d, Some (Dsu.Native.stats d))
     | Rank ->
-      let d = Dsu.Rank.Native.create ~collect_stats:true n in
+      let d = Dsu.Rank.Native.create ~collect_stats:true ?on_link n in
       let dt =
         in_domains
           (apply_ops ~unite:(Dsu.Rank.Native.unite d)
@@ -476,7 +533,7 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
       in
       (dt, Dsu.Rank.Native.count_sets d, Some (Dsu.Rank.Native.stats d))
     | Packed ->
-      let d = Dsu.Packed.Native.create ~policy ~collect_stats:true n in
+      let d = Dsu.Packed.Native.create ~policy ~collect_stats:true ?on_link n in
       let dt =
         in_domains
           (apply_ops ~unite:(Dsu.Packed.Native.unite d)
@@ -516,6 +573,13 @@ let run_native impl policy plan autotune_cache n ops unite_frac seed domains
   Printf.printf "elapsed:       %.4fs (%.2f Mops/s)\nfinal sets:    %d\n" elapsed
     (float_of_int ops /. elapsed /. 1e6)
     final_sets;
+  (match wal_writer with
+  | None -> ()
+  | Some w ->
+    Dwal.close w;
+    let s = Dwal.writer_stats w in
+    Printf.printf "wal:           %d appended, %d committed in %d group commit(s) -> %s\n"
+      s.Dwal.ws_appended s.Dwal.ws_committed s.Dwal.ws_commits (Dwal.path w));
   (match stats with
   | None -> ()
   | Some s -> Printf.printf "counters:      %s\n" (Format.asprintf "%a" Dsu.Stats.pp s));
@@ -541,8 +605,9 @@ let native_cmd =
       term_result
         (const run_native $ impl_arg $ policy_arg $ plan_arg
         $ autotune_cache_arg $ n_arg $ ops_arg $ unite_frac_arg $ seed_arg
-        $ domains_arg $ metrics_out_arg $ trace_out_arg $ contention_out_arg
-        $ progress_arg))
+        $ domains_arg $ wal_arg $ wal_flush_records_arg
+        $ wal_flush_interval_arg $ metrics_out_arg $ trace_out_arg
+        $ contention_out_arg $ progress_arg))
 
 (* ------------------------------------------------------------- sim mode *)
 
@@ -716,7 +781,8 @@ let in_domains_apply ~domains ~unite ~same_set ~find buckets =
   in
   List.iter Domain.join handles
 
-let run_snapshot policy n ops unite_frac seed domains snapshot_out format corrupt =
+let run_snapshot policy n ops unite_frac seed domains snapshot_out format
+    corrupt fuzzy =
   let* () = check_arg (n >= 2) "--elements must be >= 2" in
   let* () = check_arg (ops >= 0) "--ops must be >= 0" in
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
@@ -729,10 +795,45 @@ let run_snapshot policy n ops unite_frac seed domains snapshot_out format corrup
   let buckets =
     Workload.Op.round_robin (workload ~n ~ops ~unite_frac ~seed) ~p:domains
   in
-  in_domains_apply ~domains ~unite:(Dsu.Native.unite d)
-    ~same_set:(Dsu.Native.same_set d) ~find:(Dsu.Native.find d) buckets;
+  let fuzzy_cap =
+    if not fuzzy then begin
+      in_domains_apply ~domains ~unite:(Dsu.Native.unite d)
+        ~same_set:(Dsu.Native.same_set d) ~find:(Dsu.Native.find d) buckets;
+      None
+    end
+    else begin
+      (* The capture races the mutators: spawn them, scan mid-flight,
+         join.  The written snapshot is the reconciled cut, not the final
+         structure — its partition refines the final one. *)
+      let handles =
+        List.init domains (fun k ->
+            Domain.spawn (fun () ->
+                List.iter
+                  (fun op ->
+                    match op with
+                    | Workload.Op.Unite (x, y) -> Dsu.Native.unite d x y
+                    | Workload.Op.Same_set (x, y) ->
+                      ignore (Dsu.Native.same_set d x y : bool)
+                    | Workload.Op.Find x -> ignore (Dsu.Native.find d x : int))
+                  buckets.(k)))
+      in
+      let cap = Dfuzzy.of_native d in
+      List.iter Domain.join handles;
+      Some cap
+    end
+  in
   let sets = Dsu.Native.count_sets d in
-  let snap = Rsnap.of_native d in
+  let snap =
+    match fuzzy_cap with
+    | None -> Rsnap.of_native d
+    | Some cap -> cap.Dfuzzy.snapshot
+  in
+  (match fuzzy_cap with
+  | None -> ()
+  | Some cap ->
+    Printf.printf "fuzzy:    scanned mid-run in %d ns, %d reconciliation fix(es)\n"
+      cap.Dfuzzy.scan_ns
+      (List.length cap.Dfuzzy.fixes));
   let snap =
     if not corrupt then snap
     else begin
@@ -766,11 +867,21 @@ let snapshot_cmd =
             "(testing) Corrupt the written forest with a parent cycle — the \
              checksum stays valid, so loading exercises $(b,restore --repair).")
   in
+  let fuzzy =
+    Arg.(
+      value & flag
+      & info [ "fuzzy" ]
+          ~doc:
+            "Take the snapshot $(i,while) the mutators run (fuzzy epoch \
+             capture, no stop-the-world) instead of at quiescence; the \
+             written cut refines the final partition.")
+  in
   Cmd.v (Cmd.info "snapshot" ~doc)
     Term.(
       term_result
         (const run_snapshot $ policy_arg $ n_arg $ ops_arg $ unite_frac_arg
-        $ seed_arg $ domains_arg $ snapshot_out $ snapshot_format_arg $ corrupt))
+        $ seed_arg $ domains_arg $ snapshot_out $ snapshot_format_arg $ corrupt
+        $ fuzzy))
 
 let resume_ops_arg =
   Arg.(
@@ -778,8 +889,8 @@ let resume_ops_arg =
     & info [ "ops" ] ~docv:"M"
         ~doc:"Operations to run against the restored structure (0 = none).")
 
-let run_restore policy resume_from repair validate ops unite_frac seed domains
-    snapshot_out format =
+let run_restore policy resume_from wal repair validate ops unite_frac seed
+    domains snapshot_out format =
   let* () = check_arg (ops >= 0) "--ops must be >= 0" in
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
   let* () =
@@ -808,6 +919,32 @@ let run_restore policy resume_from repair validate ops unite_frac seed domains
     (Rsnap.kind_to_string (Rrestore.kind restored))
     count
     (Rrestore.count_sets restored);
+  let* () =
+    match wal with
+    | None -> Ok ()
+    | Some path ->
+      let* tail =
+        match Dwal.read_file path with
+        | Ok t -> Ok t
+        | Error e -> Error (`Msg (Printf.sprintf "cannot read WAL %s: %s" path e))
+      in
+      (* Any repair fix voids the epoch-cut containment guarantee, so the
+         whole log replays (epoch 0); over-replay is harmless. *)
+      let from_epoch = if fixes = [] then snap.Rsnap.epoch else 0 in
+      let replayed, skipped, out_of_range =
+        Drecovery.replay restored ~from_epoch tail.Dwal.records
+      in
+      Printf.printf
+        "wal:      %d valid record(s), %d replayed from epoch %d, %d below \
+         the cut, %d out of range%s; %d sets\n"
+        (Array.length tail.Dwal.records)
+        replayed from_epoch skipped out_of_range
+        (match tail.Dwal.truncated_at with
+        | None -> ""
+        | Some off -> Printf.sprintf " (torn tail at byte %d dropped)" off)
+        (Rrestore.count_sets restored);
+      Ok ()
+  in
   if ops > 0 then begin
     let buckets =
       Workload.Op.round_robin (workload ~n:count ~ops ~unite_frac ~seed) ~p:domains
@@ -849,6 +986,16 @@ let restore_cmd =
       & opt (some string) None
       & info [ "resume-from" ] ~docv:"FILE" ~doc:"Snapshot to load (binary or JSON).")
   in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Replay this write-ahead log's valid prefix onto the restored \
+             structure, from the snapshot's epoch on (the durable recovery \
+             path); a torn tail is dropped.")
+  in
   let repair =
     Arg.(
       value & flag
@@ -870,7 +1017,7 @@ let restore_cmd =
   Cmd.v (Cmd.info "restore" ~doc)
     Term.(
       term_result
-        (const run_restore $ policy_arg $ resume_from $ repair $ validate
+        (const run_restore $ policy_arg $ resume_from $ wal $ repair $ validate
         $ resume_ops_arg $ unite_frac_arg $ seed_arg $ domains_arg
         $ snapshot_out $ snapshot_format_arg))
 
@@ -988,6 +1135,37 @@ let recover_arg =
            repair-on-restart, restore, resume the crashed domains' streams \
            and re-audit (the full recovery drill).")
 
+let durable_arg =
+  Arg.(
+    value & flag
+    & info [ "durable" ]
+        ~doc:
+          "Run the durable drill instead: mutators log every link to a \
+           group-committed WAL while a snapshotter takes fuzzy epoch \
+           snapshots; crashes are injected into the snapshot scan and \
+           mid-group-commit, then recovery (newest snapshot + WAL tail \
+           replay) must restore a structure that absorbs a full re-run and \
+           passes the audit.  Runs over snapshot kinds ($(b,--kind)), not \
+           $(b,--layout).")
+
+let kind_conv =
+  let parse s =
+    match Rsnap.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown snapshot kind %S" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Rsnap.kind_to_string k) in
+  Arg.conv (parse, print)
+
+let kinds_arg =
+  Arg.(
+    value
+    & opt_all kind_conv []
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:
+          "With $(b,--durable): snapshot kind to drill — flat, boxed, \
+           growable, rank or packed (repeatable; default all five).")
+
 let chaos_snapshot_out_arg =
   Arg.(
     value
@@ -999,7 +1177,12 @@ let chaos_snapshot_out_arg =
 
 let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
     unite_frac seed fault_seed policies layouts memory_order validate recover
-    snapshot_out json_out metrics_out =
+    durable kinds snapshot_out json_out metrics_out =
+  let* () =
+    check_arg
+      (not (durable && recover))
+      "--durable and --recover are separate drills; pick one"
+  in
   let* () = check_arg (n >= 2) "--elements must be >= 2" in
   let* () = check_arg (ops >= 1) "--ops must be >= 1" in
   let* () = check_arg (domains >= 1) "--domains must be >= 1" in
@@ -1038,7 +1221,28 @@ let run_chaos n ops domains crash_domains crash_after stall_prob stall_len
       validate;
     }
   in
-  if not recover then begin
+  if durable then begin
+    let kinds = if kinds = [] then Chaos.all_kinds else kinds in
+    let ds =
+      Chaos.run_durable_all ~config ~kinds
+        ~progress:(fun d -> Format.printf "%a@." Chaos.pp_durable d)
+        ()
+    in
+    (match json_out with
+    | None -> ()
+    | Some out ->
+      with_out out (fun oc ->
+          output_string oc
+            (Repro_obs.Json.to_string (Chaos.durable_report_to_json ~config ds));
+          output_char oc '\n'));
+    (match metrics_out with None -> () | Some out -> write_metrics out None);
+    let ok = List.for_all Chaos.durable_ok ds in
+    Printf.printf "chaos: %d durable drill(s), %s\n" (List.length ds)
+      (if ok then "all checks passed" else "CHECKS FAILED");
+    if not ok then exit 1;
+    Ok ()
+  end
+  else if not recover then begin
     let scenarios =
       Chaos.run_all ~config
         ~progress:(fun s -> Format.printf "%a@." Chaos.pp_scenario s)
@@ -1108,8 +1312,8 @@ let chaos_cmd =
         (const run_chaos $ n_arg $ chaos_ops_arg $ domains_arg $ crash_domains_arg
         $ crash_after_arg $ stall_prob_arg $ stall_len_arg $ unite_frac_arg
         $ seed_arg $ fault_seed_arg $ policies_arg $ layouts_arg
-        $ memory_order_arg $ validate_arg $ recover_arg $ chaos_snapshot_out_arg
-        $ json_out_arg $ metrics_out_arg))
+        $ memory_order_arg $ validate_arg $ recover_arg $ durable_arg
+        $ kinds_arg $ chaos_snapshot_out_arg $ json_out_arg $ metrics_out_arg))
 
 (* --------------------------------------------------------- latency mode *)
 
@@ -1293,6 +1497,257 @@ let perfdiff_cmd =
         (const run_perfdiff $ pd_baseline_arg $ pd_current_arg
         $ diff_threshold_arg $ pd_json_out_arg $ pd_fail_arg))
 
+(* ------------------------------------------------------------- wal mode *)
+
+module J = Repro_obs.Json
+
+let run_wal file dump do_truncate check json_out =
+  let* tail =
+    match Dwal.read_file file with
+    | Ok t -> Ok t
+    | Error e -> Error (`Msg (Printf.sprintf "cannot read %s: %s" file e))
+  in
+  let torn_before = tail.Dwal.truncated_at in
+  let* tail, dropped_bytes =
+    if not do_truncate then Ok (tail, None)
+    else
+      match tail.Dwal.truncated_at with
+      | None -> Ok (tail, Some 0)
+      | Some off -> (
+        match Dwal.truncate_file file with
+        | Ok t -> Ok (t, Some (tail.Dwal.total_bytes - off))
+        | Error e ->
+          Error (`Msg (Printf.sprintf "cannot truncate %s: %s" file e)))
+  in
+  let records = tail.Dwal.records in
+  if dump then
+    Array.iter
+      (fun (r : Dwal.record) ->
+        Printf.printf "%8d  epoch %-6d unite %d %d\n" r.Dwal.seq r.Dwal.epoch
+          r.Dwal.x r.Dwal.y)
+      records;
+  let epoch_min, epoch_max =
+    Array.fold_left
+      (fun (lo, hi) (r : Dwal.record) ->
+        (Stdlib.min lo r.Dwal.epoch, Stdlib.max hi r.Dwal.epoch))
+      (max_int, 0) records
+  in
+  Printf.printf "wal: %s — %d valid record(s)%s, %d bytes, %s\n" file
+    (Array.length records)
+    (if Array.length records = 0 then ""
+     else Printf.sprintf " (epochs %d-%d)" epoch_min epoch_max)
+    tail.Dwal.total_bytes
+    (match tail.Dwal.truncated_at with
+    | None -> "tail intact"
+    | Some off ->
+      Printf.sprintf "TORN tail at byte %d (%d trailing bytes unreadable)" off
+        (tail.Dwal.total_bytes - off));
+  (match dropped_bytes with
+  | None | Some 0 -> ()
+  | Some b -> Printf.printf "truncated: dropped %d torn byte(s)\n" b);
+  (match json_out with
+  | None -> ()
+  | Some out ->
+    let fields =
+      [
+        ("schema", J.String "dsu-wal/v1");
+        ("file", J.String file);
+        ("records", J.Int (Array.length records));
+        ("total_bytes", J.Int tail.Dwal.total_bytes);
+        ( "truncated_at",
+          match tail.Dwal.truncated_at with
+          | None -> J.Null
+          | Some off -> J.Int off );
+      ]
+      @ (if Array.length records = 0 then []
+         else [ ("epoch_min", J.Int epoch_min); ("epoch_max", J.Int epoch_max) ])
+      @
+      match dropped_bytes with
+      | None -> []
+      | Some b -> [ ("dropped_bytes", J.Int b) ]
+    in
+    with_out out (fun oc ->
+        output_string oc (J.to_string (J.Obj fields));
+        output_char oc '\n'));
+  if check && torn_before <> None && dropped_bytes = None then exit 1;
+  Ok ()
+
+let wal_cmd =
+  let doc =
+    "Inspect a write-ahead log: decode and CRC-verify every record, report \
+     the torn-tail point, optionally dump or physically truncate."
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"The WAL to inspect.")
+  in
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "dump" ] ~doc:"Print every valid record (seq, epoch, unite x y).")
+  in
+  let truncate =
+    Arg.(
+      value & flag
+      & info [ "truncate" ]
+          ~doc:
+            "Physically truncate the file at the torn-tail point, making \
+             the valid prefix the whole file.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit with status 1 if the tail is torn (and $(b,--truncate) \
+             was not given).")
+  in
+  Cmd.v (Cmd.info "wal" ~doc)
+    Term.(
+      term_result
+        (const run_wal $ file $ dump $ truncate $ check $ json_out_arg))
+
+(* ------------------------------------------------------ durability mode *)
+
+module Durability = Harness.Durability
+
+let dur_n_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "n"; "elements" ] ~docv:"N" ~doc:"Number of elements.")
+
+let dur_ops_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "ops" ] ~docv:"M" ~doc:"Operations per domain.")
+
+let dur_domains_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "domains" ] ~docv:"D" ~doc:"Mutator domains.")
+
+let dur_unite_frac_arg =
+  Arg.(
+    value & opt float 0.6
+    & info [ "unite-frac" ] ~docv:"F"
+        ~doc:"Fraction of operations that are unions.")
+
+let dur_seed_arg =
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let dur_repeats_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "repeats" ] ~docv:"R" ~doc:"Best-of repeats per phase.")
+
+let dur_snapshots_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "snapshots" ] ~docv:"K"
+        ~doc:"Fuzzy captures taken during the fuzzy phase.")
+
+let dur_flush_records_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "flush-records" ] ~docv:"K"
+        ~doc:"Group-commit batch bound for the wal=on phase.")
+
+let dur_flush_interval_arg =
+  Arg.(
+    value & opt float 0.002
+    & info [ "flush-interval" ] ~docv:"SECONDS"
+        ~doc:"Group-commit window for the wal=on phase.")
+
+let max_overhead_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-overhead" ] ~docv:"PCT"
+        ~doc:
+          "Exit with status 3 if the WAL throughput overhead exceeds \
+           $(docv) percent (the CI durability guard).")
+
+let run_durability n ops domains unite_frac seed repeats snapshots
+    flush_records flush_interval policy json_out baseline threshold
+    max_overhead =
+  let* () = check_arg (n >= 2) "--elements must be >= 2" in
+  let* () = check_arg (ops >= 1) "--ops must be >= 1" in
+  let* () = check_arg (domains >= 1) "--domains must be >= 1" in
+  let* () = check_arg (repeats >= 1) "--repeats must be >= 1" in
+  let* () = check_arg (snapshots >= 1) "--snapshots must be >= 1" in
+  let* () = check_arg (flush_records >= 1) "--flush-records must be >= 1" in
+  let* () =
+    check_arg (flush_interval > 0.) "--flush-interval must be positive"
+  in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && unite_frac <= 1.)
+      "--unite-frac must be in [0, 1]"
+  in
+  let config =
+    {
+      Durability.n;
+      ops_per_domain = ops;
+      domains;
+      unite_percent = int_of_float (unite_frac *. 100.);
+      seed;
+      repeats;
+      snapshots;
+      flush_records;
+      flush_interval;
+      policy;
+    }
+  in
+  let r = Durability.run ~config () in
+  let doc = Durability.to_json r in
+  (* Artifact before table, same SIGPIPE discipline as [latency]. *)
+  (match json_out with
+  | None -> ()
+  | Some out ->
+    with_out out (fun oc ->
+        output_string oc (Repro_obs.Json.to_string doc);
+        output_char oc '\n'));
+  Format.printf "%a@." Durability.pp r;
+  let* () =
+    match baseline with
+    | None -> Ok ()
+    | Some file ->
+      let* base = read_file file in
+      (match
+         Perfdiff.diff_strings ~threshold_pct:threshold ~base
+           ~current:(Repro_obs.Json.to_string doc) ()
+       with
+      | Error e -> Error (`Msg e)
+      | Ok rep ->
+        Format.printf "%a" Perfdiff.pp rep;
+        Ok ())
+  in
+  (match max_overhead with
+  | None -> ()
+  | Some pct ->
+    if r.Durability.overhead_pct > pct then begin
+      Printf.printf "GUARD FAILED: wal overhead %.1f%% exceeds the %.1f%% bound\n"
+        r.Durability.overhead_pct pct;
+      exit 3
+    end);
+  Ok ()
+
+let durability_cmd =
+  let doc =
+    "Measure what durability charges the hot path: WAL throughput overhead \
+     and fuzzy vs quiescent snapshot pause (emits dsu-durability/v1)."
+  in
+  Cmd.v (Cmd.info "durability" ~doc)
+    Term.(
+      term_result
+        (const run_durability $ dur_n_arg $ dur_ops_arg $ dur_domains_arg
+        $ dur_unite_frac_arg $ dur_seed_arg $ dur_repeats_arg
+        $ dur_snapshots_arg $ dur_flush_records_arg $ dur_flush_interval_arg
+        $ policy_arg $ json_out_arg $ baseline_arg $ diff_threshold_arg
+        $ max_overhead_arg))
+
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in
   Cmd.group (Cmd.info "dsu_workload" ~doc)
@@ -1303,6 +1758,8 @@ let main =
       chaos_cmd;
       snapshot_cmd;
       restore_cmd;
+      wal_cmd;
+      durability_cmd;
       latency_cmd;
       perfdiff_cmd;
     ]

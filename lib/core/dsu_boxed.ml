@@ -7,7 +7,7 @@ type t = A.t
 
 let self_seed = Atomic.make 0x2545f4914f6cdd1d
 
-let create ?policy ?early ?backoff ?(collect_stats = false) ?seed n =
+let create ?policy ?early ?backoff ?(collect_stats = false) ?on_link ?seed n =
   if n < 1 then invalid_arg "Dsu_boxed.create: n must be >= 1";
   let seed =
     match seed with
@@ -17,7 +17,7 @@ let create ?policy ?early ?backoff ?(collect_stats = false) ?seed n =
   let ids = Rng.permutation (Rng.create seed) n in
   let mem = Atomic_array.make n (fun i -> i) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?backoff ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()
 
 let n = A.n
 
@@ -53,11 +53,26 @@ let invariant_violations = A.invariant_violations
 let parents_snapshot t = Atomic_array.snapshot (A.mem t)
 let ids_snapshot t = Array.init (A.n t) (fun i -> A.id t i)
 
+(* Fuzzy (non-quiescent) scan; see {!Dsu_native.snapshot_fuzzy} for the
+   Lemma 3.1 soundness argument.  Boxed cells are seq-cst [Atomic.t]s, so
+   each per-cell read is at least as strong as the acquire load the flat
+   layout uses. *)
+module Fi = Repro_fault.Inject
+
+let snapshot_fuzzy t =
+  let mem = A.mem t in
+  let parents =
+    Array.init (A.n t) (fun i ->
+        if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Snapshot_read;
+        Atomic_array.get mem i)
+  in
+  (parents, ids_snapshot t)
+
 let stats t = match A.stats t with None -> Dsu_stats.zero | Some s -> Dsu_stats.snapshot s
 
 (* The same validated restore as {!Dsu_native.of_snapshot}, over the boxed
    layout — so a snapshot taken from either layout restores into either. *)
-let of_snapshot ?policy ?early ?backoff ?(collect_stats = false) ~parents ~ids () =
+let of_snapshot ?policy ?early ?backoff ?(collect_stats = false) ?on_link ~parents ~ids () =
   let n = Array.length parents in
   if n < 1 || Array.length ids <> n then
     invalid_arg "Dsu_boxed.of_snapshot: malformed snapshot";
@@ -77,4 +92,4 @@ let of_snapshot ?policy ?early ?backoff ?(collect_stats = false) ~parents ~ids (
     parents;
   let mem = Atomic_array.make n (fun i -> parents.(i)) in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?backoff ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()

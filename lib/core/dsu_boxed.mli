@@ -17,6 +17,7 @@ val create :
   ?early:bool ->
   ?backoff:bool ->
   ?collect_stats:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   ?seed:int ->
   int ->
   t
@@ -38,11 +39,17 @@ val parents_snapshot : t -> int array
 val ids_snapshot : t -> int array
 (** The random node order as an array. *)
 
+val snapshot_fuzzy : t -> int array * int array
+(** Fuzzy (non-quiescent) [(parents, ids)] scan with
+    {!Repro_fault.Site.Snapshot_read} hits per cell; see
+    {!Dsu_native.snapshot_fuzzy}. *)
+
 val of_snapshot :
   ?policy:Find_policy.t ->
   ?early:bool ->
   ?backoff:bool ->
   ?collect_stats:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   parents:int array ->
   ids:int array ->
   unit ->

@@ -104,8 +104,24 @@ let snapshot t =
 
 let ids_snapshot t = Array.init (A.n t) (fun i -> A.id t i)
 
+(* Fuzzy (non-quiescent) scan: per-cell acquire loads racing the mutators,
+   each preceded by a [Snapshot_read] fault site so chaos can crash a
+   snapshotter mid-scan.  Sound by Lemma 3.1: parents only ever move to
+   proper ancestors, so every scanned edge was a real ancestor edge at the
+   instant its cell was read.  The ids are immutable and need no care. *)
+module Fi = Repro_fault.Inject
+
+let snapshot_fuzzy t =
+  let arr = (A.mem t).Native_memory.arr in
+  let parents =
+    Array.init (A.n t) (fun i ->
+        if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Snapshot_read;
+        Flat_atomic_array.get_acquire arr i)
+  in
+  (parents, ids_snapshot t)
+
 let restore ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
-    ?(padded = false) (s : snapshot) =
+    ?on_link ?(padded = false) (s : snapshot) =
   let n = Array.length s.parents in
   if n < 1 || Array.length s.ids <> n then
     invalid_arg "Dsu_native.restore: malformed snapshot";
@@ -127,11 +143,11 @@ let restore ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
     Native_memory.make ~padded ?order:memory_order n (fun i -> s.parents.(i))
   in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
-  A.create ?policy ?early ?backoff ?stats ~mem ~n ~prio:(fun i -> ids.(i)) ()
+  A.create ?policy ?early ?backoff ?stats ?on_link ~mem ~n ~prio:(fun i -> ids.(i)) ()
 
-let of_snapshot ?policy ?early ?backoff ?memory_order ?collect_stats ?padded
-    ~parents ~ids () =
-  restore ?policy ?early ?backoff ?memory_order ?collect_stats ?padded
+let of_snapshot ?policy ?early ?backoff ?memory_order ?collect_stats ?on_link
+    ?padded ~parents ~ids () =
+  restore ?policy ?early ?backoff ?memory_order ?collect_stats ?on_link ?padded
     { parents; ids }
 
 let snapshot_to_string (s : snapshot) =

@@ -104,6 +104,15 @@ val parents_snapshot : t -> int array
 val ids_snapshot : t -> int array
 (** The random node order as an array ([ids_snapshot t].(i) = [id t i]). *)
 
+val snapshot_fuzzy : t -> int array * int array
+(** [(parents, ids)] from a {e fuzzy} (non-quiescent) scan: per-cell
+    acquire loads racing the mutators.  Lemma 3.1's ancestor monotonicity
+    makes any such cut a valid forest — every scanned edge existed at the
+    instant its cell was read, so the cut refines the final partition and
+    still satisfies the linking order.  Each cell read is preceded by a
+    {!Repro_fault.Site.Snapshot_read} hit so a chaos plan can crash the
+    snapshotter mid-scan.  See {!Repro_durable.Fuzzy}. *)
+
 val sets : t -> int list list
 (** The partition as sorted classes (sorted by smallest member).  Quiescent
     only. *)
@@ -120,6 +129,7 @@ val restore :
   ?backoff:bool ->
   ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   ?padded:bool ->
   snapshot ->
   t
@@ -133,6 +143,7 @@ val of_snapshot :
   ?backoff:bool ->
   ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   ?padded:bool ->
   parents:int array ->
   ids:int array ->

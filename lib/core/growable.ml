@@ -23,7 +23,7 @@ let mix64 z =
   Int64.to_int (Int64.shift_right_logical z 2)
 
 let create ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
-    ?(seed = 0x9e3779b9) ~capacity () =
+    ?on_link ?(seed = 0x9e3779b9) ~capacity () =
   if capacity < 1 then invalid_arg "Growable.create: capacity must be >= 1";
   let prios = Flat_atomic_array.make capacity (fun _ -> 0) in
   let mem = Native_memory.make ?order:memory_order capacity (fun i -> i) in
@@ -35,7 +35,7 @@ let create ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
        publication; priority 0 is only observable for a slot whose
        [make_set] crashed mid-publish, which the tie-breaking order
        tolerates. *)
-    Algo.create ?policy ?early ?backoff ?stats ~mem ~n:capacity
+    Algo.create ?policy ?early ?backoff ?stats ?on_link ~mem ~n:capacity
       ~prio:(fun i -> Flat_atomic_array.get_acquire prios i)
       ()
   in
@@ -101,8 +101,26 @@ let priorities_snapshot t =
   let k = cardinal t in
   Array.init k (fun i -> Flat_atomic_array.get t.prios i)
 
+(* Fuzzy (non-quiescent) scan; see {!Dsu_native.snapshot_fuzzy}.  The
+   cardinal is latched first, so concurrent [make_set]s past it are simply
+   not part of the cut; a slot below the latched cardinal has its priority
+   release-published before the slot escaped, so the acquire loads see it. *)
+let snapshot_fuzzy t =
+  let k = cardinal t in
+  let parents =
+    Array.init k (fun i ->
+        if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Snapshot_read;
+        Algo.parent_of t.algo i)
+  in
+  let prios = Array.init k (fun i -> Flat_atomic_array.get_acquire t.prios i) in
+  (* A parent installed by a racing link may point above the latched
+     cardinal; clamp such nodes to roots — dropping the edge only makes the
+     cut finer, which still refines the final partition. *)
+  Array.iteri (fun i p -> if p >= k then parents.(i) <- i) parents;
+  (parents, prios)
+
 let of_snapshot ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
-    ?(seed = 0x9e3779b9) ?capacity ~parents ~prios () =
+    ?on_link ?(seed = 0x9e3779b9) ?capacity ~parents ~prios () =
   let k = Array.length parents in
   if Array.length prios <> k then
     invalid_arg "Growable.of_snapshot: parents/prios length mismatch";
@@ -124,7 +142,7 @@ let of_snapshot ?policy ?early ?backoff ?memory_order ?(collect_stats = false)
   in
   let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
   let algo =
-    Algo.create ?policy ?early ?backoff ?stats ~mem ~n:capacity
+    Algo.create ?policy ?early ?backoff ?stats ?on_link ~mem ~n:capacity
       ~prio:(fun i -> Flat_atomic_array.get_acquire prios_arr i)
       ()
   in

@@ -26,6 +26,7 @@ val create :
   ?backoff:bool ->
   ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   ?seed:int ->
   capacity:int ->
   unit ->
@@ -57,12 +58,20 @@ val parents_snapshot : t -> int array
 val priorities_snapshot : t -> int array
 (** Priorities of the created elements.  Quiescent only. *)
 
+val snapshot_fuzzy : t -> int array * int array
+(** Fuzzy (non-quiescent) [(parents, priorities)] scan over the cardinal
+    latched at entry, with {!Repro_fault.Site.Snapshot_read} hits per
+    parent cell; parents pointing past the latched cardinal (a racing
+    [make_set] + link) are clamped to roots.  See
+    {!Dsu_native.snapshot_fuzzy}. *)
+
 val of_snapshot :
   ?policy:Find_policy.t ->
   ?early:bool ->
   ?backoff:bool ->
   ?memory_order:Memory_order.t ->
   ?collect_stats:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   ?seed:int ->
   ?capacity:int ->
   parents:int array ->

@@ -57,17 +57,21 @@ module Make (M : Memory_intf.S) = struct
     policy : Find_policy.t;
     backoff : bool;
     stats : Dsu_stats.t option;
+    on_link : (child:int -> parent:int -> unit) option;
   }
 
   let create ?(policy = Find_policy.Two_try_splitting) ?(backoff = true) ?stats
-      ~mem ~n () =
+      ?on_link ~mem ~n () =
     if n < 1 || n > max_nodes then
       invalid_arg
         (Printf.sprintf
            "Packed_dsu.create: n must be in [1, 2^%d] (parent field is %d \
             bits)"
            parent_bits parent_bits);
-    { mem; n; policy; backoff; stats }
+    { mem; n; policy; backoff; stats; on_link }
+
+  let record_link t ~child ~parent =
+    match t.on_link with None -> () | Some f -> f ~child ~parent
 
   let n t = t.n
   let mem t = t.mem
@@ -385,6 +389,7 @@ module Make (M : Memory_intf.S) = struct
                 (child_word ~rank:(rank_of_word wc) ~parent)
             in
             bump t (Dsu_stats.incr_link_cas ~ok);
+            if ok then record_link t ~child ~parent;
             if Atomic.get Dsu_obs.armed then Dsu_obs.on_link_cas ~node:child ~ok;
             fault_link_post ();
             ok
@@ -535,6 +540,21 @@ module Make (M : Memory_intf.S) = struct
 
   let ranks_snapshot t = Array.init t.n (fun i -> rank_of_word (M.read t.mem i))
 
+  (* Fuzzy (non-quiescent) scan; see {!Rank_dsu.Make.snapshot_fuzzy} — one
+     word read per node keeps each (rank, parent) pair internally
+     consistent, and cross-node order violations from racing rank
+     promotions are left to the {!Repro_durable.Fuzzy} reconciliation
+     pass. *)
+  let snapshot_fuzzy t =
+    let parents = Array.make t.n 0 and ranks = Array.make t.n 0 in
+    for i = 0 to t.n - 1 do
+      if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Snapshot_read;
+      let w = M.read t.mem i in
+      parents.(i) <- parent_of_word w;
+      ranks.(i) <- rank_of_word w
+    done;
+    (parents, ranks)
+
   (* The by-rank order invariant (the {!Rank_dsu} analogue of Lemma 3.1):
      every non-root points to a strictly larger rank, ties broken by node
      index.  The root flag must also agree with the parent field. *)
@@ -564,7 +584,7 @@ module Native = struct
   type t = A.t
 
   let create ?policy ?backoff ?memory_order ?(collect_stats = false)
-      ?(padded = false) n =
+      ?(padded = false) ?on_link n =
     (* Bounds-check before allocating: n > max_nodes must raise
        Invalid_argument, not attempt a 2^40-word allocation. *)
     if n < 1 || n > max_nodes then
@@ -577,7 +597,7 @@ module Native = struct
     let mem =
       Native_memory.make ~padded ?order:memory_order n (fun i -> init_word i)
     in
-    A.create ?policy ?backoff ?stats ~mem ~n ()
+    A.create ?policy ?backoff ?stats ?on_link ~mem ~n ()
 
   let n = A.n
   let policy = A.policy
@@ -633,9 +653,10 @@ module Native = struct
   let memory_order t = Native_memory.order (A.mem t)
   let parents_snapshot = A.parents_snapshot
   let ranks_snapshot = A.ranks_snapshot
+  let snapshot_fuzzy = A.snapshot_fuzzy
 
   let of_snapshot ?policy ?backoff ?memory_order ?(collect_stats = false)
-      ?(padded = false) ~parents ~ranks () =
+      ?(padded = false) ?on_link ~parents ~ranks () =
     let n = Array.length parents in
     if n < 1 || Array.length ranks <> n then
       invalid_arg "Packed_dsu.of_snapshot: malformed snapshot";
@@ -658,5 +679,5 @@ module Native = struct
           if parents.(i) = i then root_word ~rank:ranks.(i) ~node:i
           else child_word ~rank:ranks.(i) ~parent:parents.(i))
     in
-    A.create ?policy ?backoff ?stats ~mem ~n ()
+    A.create ?policy ?backoff ?stats ?on_link ~mem ~n ()
 end

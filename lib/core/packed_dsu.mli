@@ -44,6 +44,7 @@ module Make (M : Memory_intf.S) : sig
     ?policy:Find_policy.t ->
     ?backoff:bool ->
     ?stats:Dsu_stats.t ->
+    ?on_link:(child:int -> parent:int -> unit) ->
     mem:M.t ->
     n:int ->
     unit ->
@@ -51,7 +52,8 @@ module Make (M : Memory_intf.S) : sig
   (** [policy] (default two-try splitting) selects the find compaction
       rule — all five {!Find_policy} variants are supported, with
       rank-preserving updates; [backoff] (default [true]) spins after a
-      failed link CAS as in {!Dsu_algorithm}.
+      failed link CAS as in {!Dsu_algorithm}; [on_link] fires after every
+      successful link CAS (the WAL hook point, {!Repro_durable.Wal}).
       @raise Invalid_argument unless [1 <= n <= max_nodes]. *)
 
   val n : t -> int
@@ -84,6 +86,13 @@ module Make (M : Memory_intf.S) : sig
 
   val parents_snapshot : t -> int array
   val ranks_snapshot : t -> int array
+
+  val snapshot_fuzzy : t -> int array * int array
+  (** Fuzzy (non-quiescent) [(parents, ranks)] scan — one word read per
+      node with {!Repro_fault.Site.Snapshot_read} hits; racing rank
+      promotions can leave cross-node [(rank, index)] order violations
+      for the {!Repro_durable.Fuzzy} reconciliation pass to repair.  See
+      {!Rank_dsu.Make.snapshot_fuzzy}. *)
 end
 
 (** Native instantiation over {!Native_memory} ([Flat_atomic_array] with
@@ -97,11 +106,12 @@ module Native : sig
     ?memory_order:Memory_order.t ->
     ?collect_stats:bool ->
     ?padded:bool ->
+    ?on_link:(child:int -> parent:int -> unit) ->
     int ->
     t
   (** [memory_order] as in {!Dsu_native.create} (default
       {!Memory_order.Relaxed_reads}); [padded] spreads one word per cache
-      line. *)
+      line; [on_link] as in {!Make.create}. *)
 
   val n : t -> int
   val policy : t -> Find_policy.t
@@ -124,12 +134,16 @@ module Native : sig
   val parents_snapshot : t -> int array
   val ranks_snapshot : t -> int array
 
+  val snapshot_fuzzy : t -> int array * int array
+  (** See {!Make.snapshot_fuzzy}. *)
+
   val of_snapshot :
     ?policy:Find_policy.t ->
     ?backoff:bool ->
     ?memory_order:Memory_order.t ->
     ?collect_stats:bool ->
     ?padded:bool ->
+    ?on_link:(child:int -> parent:int -> unit) ->
     parents:int array ->
     ranks:int array ->
     unit ->

@@ -18,11 +18,19 @@
     height, and this variant is the paper's own answer to that gap. *)
 
 module Make (M : Memory_intf.S) = struct
-  type t = { mem : M.t; n : int; stats : Dsu_stats.t option }
+  type t = {
+    mem : M.t;
+    n : int;
+    stats : Dsu_stats.t option;
+    on_link : (child:int -> parent:int -> unit) option;
+  }
 
-  let create ?stats ~mem ~n () =
+  let create ?stats ?on_link ~mem ~n () =
     if n < 1 then invalid_arg "Rank_dsu.create: n must be >= 1";
-    { mem; n; stats }
+    { mem; n; stats; on_link }
+
+  let record_link t ~child ~parent =
+    match t.on_link with None -> () | Some f -> f ~child ~parent
 
   let init_word _n i = i
   let n t = t.n
@@ -170,6 +178,7 @@ module Make (M : Memory_intf.S) = struct
             fault_link_pre ();
             let ok = M.cas t.mem a wa (word t ~rank:ra ~parent:b) in
             bump t (Dsu_stats.incr_link_cas ~ok);
+            if ok then record_link t ~child:a ~parent:b;
             fault_link_post ();
             ok
           in
@@ -216,6 +225,22 @@ module Make (M : Memory_intf.S) = struct
      a snapshot is layout-independent (Repro_recover re-packs on restore). *)
   let parents_snapshot t = Array.init t.n (fun i -> parent_of_word t (M.read t.mem i))
   let ranks_snapshot t = Array.init t.n (fun i -> rank_of_word t (M.read t.mem i))
+
+  (* Fuzzy (non-quiescent) scan: one word read per node, so each node's
+     (rank, parent) pair is internally consistent.  Across nodes a racing
+     rank promotion can still leave the cut with a (rank, index) order
+     violation — a child scanned after a tie-break link whose parent's word
+     was scanned before the promotion — which is exactly what the
+     {!Repro_durable.Fuzzy} reconciliation pass repairs. *)
+  let snapshot_fuzzy t =
+    let parents = Array.make t.n 0 and ranks = Array.make t.n 0 in
+    for i = 0 to t.n - 1 do
+      if Atomic.get Fi.armed then Fi.hit Repro_fault.Site.Snapshot_read;
+      let w = M.read t.mem i in
+      parents.(i) <- parent_of_word t w;
+      ranks.(i) <- rank_of_word t w
+    done;
+    (parents, ranks)
 end
 
 (** Native instantiation over [Atomic] arrays. *)
@@ -224,10 +249,10 @@ module Native = struct
 
   type t = A.t
 
-  let create ?memory_order ?(collect_stats = false) n =
+  let create ?memory_order ?(collect_stats = false) ?on_link n =
     let stats = if collect_stats then Some (Dsu_stats.create ()) else None in
     let mem = Native_memory.make ?order:memory_order n (A.init_word n) in
-    A.create ?stats ~mem ~n ()
+    A.create ?stats ?on_link ~mem ~n ()
 
   let n = A.n
   let find = A.find
@@ -239,8 +264,9 @@ module Native = struct
   let stats = A.stats
   let parents_snapshot = A.parents_snapshot
   let ranks_snapshot = A.ranks_snapshot
+  let snapshot_fuzzy = A.snapshot_fuzzy
 
-  let of_snapshot ?memory_order ?(collect_stats = false) ~parents ~ranks () =
+  let of_snapshot ?memory_order ?(collect_stats = false) ?on_link ~parents ~ranks () =
     let n = Array.length parents in
     if n < 1 || Array.length ranks <> n then
       invalid_arg "Rank_dsu.of_snapshot: malformed snapshot";
@@ -263,7 +289,7 @@ module Native = struct
       Native_memory.make ?order:memory_order n (fun i ->
           (ranks.(i) * n) + parents.(i))
     in
-    A.create ?stats ~mem ~n ()
+    A.create ?stats ?on_link ~mem ~n ()
 end
 
 (** Simulator instantiation; see {!Dsu_sim} for the usage pattern. *)

@@ -16,7 +16,17 @@
 module Make (M : Memory_intf.S) : sig
   type t
 
-  val create : ?stats:Dsu_stats.t -> mem:M.t -> n:int -> unit -> t
+  val create :
+    ?stats:Dsu_stats.t ->
+    ?on_link:(child:int -> parent:int -> unit) ->
+    mem:M.t ->
+    n:int ->
+    unit ->
+    t
+  (** [on_link] fires after every successful link CAS (effective merge),
+      from the linking domain — the WAL hook point
+      ({!Repro_durable.Wal}). *)
+
   val init_word : int -> int -> int
   (** [init_word n i] is the initial memory word for node [i] (rank 0,
       parent [i]). *)
@@ -35,6 +45,14 @@ module Make (M : Memory_intf.S) : sig
 
   val ranks_snapshot : t -> int array
   (** Rank of every node, unpacked from the words.  Quiescent only. *)
+
+  val snapshot_fuzzy : t -> int array * int array
+  (** Fuzzy (non-quiescent) [(parents, ranks)] scan — one word read per
+      node with {!Repro_fault.Site.Snapshot_read} hits, so each node's
+      pair is internally consistent.  A racing rank promotion can leave
+      the cut with a [(rank, index)] order violation across nodes; the
+      {!Repro_durable.Fuzzy} reconciliation pass repairs it.  See
+      {!Dsu_native.snapshot_fuzzy}. *)
 end
 
 (** Native instantiation over [Atomic] arrays; safe from any number of
@@ -42,9 +60,15 @@ end
 module Native : sig
   type t
 
-  val create : ?memory_order:Memory_order.t -> ?collect_stats:bool -> int -> t
+  val create :
+    ?memory_order:Memory_order.t ->
+    ?collect_stats:bool ->
+    ?on_link:(child:int -> parent:int -> unit) ->
+    int ->
+    t
   (** [memory_order] as in {!Dsu_native.create}: parent-word load ordering
-      (default {!Memory_order.Relaxed_reads}). *)
+      (default {!Memory_order.Relaxed_reads}).  [on_link] as in
+      {!Make.create}. *)
 
   val n : t -> int
   val find : t -> int -> int
@@ -59,9 +83,13 @@ module Native : sig
   val parents_snapshot : t -> int array
   val ranks_snapshot : t -> int array
 
+  val snapshot_fuzzy : t -> int array * int array
+  (** See {!Make.snapshot_fuzzy}. *)
+
   val of_snapshot :
     ?memory_order:Memory_order.t ->
     ?collect_stats:bool ->
+    ?on_link:(child:int -> parent:int -> unit) ->
     parents:int array ->
     ranks:int array ->
     unit ->

@@ -1,0 +1,5 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 1
+let current = Atomic.get
+let bump t = 1 + Atomic.fetch_and_add t 1

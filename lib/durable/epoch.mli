@@ -1,0 +1,29 @@
+(** The epoch counter coupling fuzzy snapshots to the WAL.
+
+    One shared counter orders snapshot cuts against log records with plain
+    sequentially-consistent atomics:
+
+    - every WAL append stamps its record with {!current}, read {e after}
+      the link CAS has taken effect;
+    - a fuzzy snapshot calls {!bump} first and scans afterwards.
+
+    If a record carries an epoch strictly below a snapshot's, its stamp
+    read preceded the snapshot's bump in the SC total order, so the link
+    CAS did too — and by Lemma 3.1 (parents only ever move to proper
+    ancestors) the snapshot's scan can only have observed that link or a
+    later, coarser state of it.  Hence recovery may skip all records below
+    the snapshot's epoch and replay only the tail; records at or above it
+    may or may not be in the cut, and replaying them is harmless (unite is
+    idempotent for connectivity). *)
+
+type t
+
+val create : unit -> t
+(** Starts at 1, so epoch 0 is free to mean "no cut guarantee — replay
+    everything" ({!Snapshot.t.epoch}). *)
+
+val current : t -> int
+
+val bump : t -> int
+(** Atomically increment and return the {e new} value — the epoch a fuzzy
+    snapshot started at. *)

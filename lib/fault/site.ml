@@ -9,6 +9,10 @@ type t =
   | Chunk_publish_pre
   | Chunk_publish_post
   | Rank_read
+  | Snapshot_read
+  | Wal_commit_pre
+  | Wal_commit_mid
+  | Wal_commit_post
   | Link_cas
   | Split_cas
 
@@ -24,6 +28,10 @@ let all =
     Chunk_publish_pre;
     Chunk_publish_post;
     Rank_read;
+    Snapshot_read;
+    Wal_commit_pre;
+    Wal_commit_mid;
+    Wal_commit_post;
     Link_cas;
     Split_cas;
   ]
@@ -39,6 +47,10 @@ let to_string = function
   | Chunk_publish_pre -> "chunk-publish-pre"
   | Chunk_publish_post -> "chunk-publish-post"
   | Rank_read -> "rank-read"
+  | Snapshot_read -> "snapshot-read"
+  | Wal_commit_pre -> "wal-commit-pre"
+  | Wal_commit_mid -> "wal-commit-mid"
+  | Wal_commit_post -> "wal-commit-post"
   | Link_cas -> "link-cas"
   | Split_cas -> "split-cas"
 
@@ -53,6 +65,10 @@ let of_string = function
   | "chunk-publish-pre" -> Some Chunk_publish_pre
   | "chunk-publish-post" -> Some Chunk_publish_post
   | "rank-read" -> Some Rank_read
+  | "snapshot-read" -> Some Snapshot_read
+  | "wal-commit-pre" -> Some Wal_commit_pre
+  | "wal-commit-mid" -> Some Wal_commit_mid
+  | "wal-commit-post" -> Some Wal_commit_post
   | "link-cas" -> Some Link_cas
   | "split-cas" -> Some Split_cas
   | _ -> None

@@ -35,6 +35,21 @@
       linking decision in {!Dsu.Rank}; a process stalled here holds a stale
       rank, exercising the re-validation [Cas].
 
+    Durability sites, arming the fuzzy-snapshot scan and the write-ahead
+    log's group commit ({!Repro_durable}):
+
+    - [Snapshot_read] — before each per-cell acquire load of a fuzzy
+      (non-quiescent) snapshot scan; crashing here abandons a snapshot
+      mid-scan, recovery must fall back to the previous checkpoint.
+    - [Wal_commit_pre] — at the top of a WAL group commit, before any byte
+      of the batch reaches the file; crashing here loses the whole staged
+      batch but leaves the log tail clean.
+    - [Wal_commit_mid] — between the two partial writes of a group commit;
+      crashing here leaves a torn record at the tail, which recovery must
+      truncate at the first bad CRC.
+    - [Wal_commit_post] — after the batch is written and fsynced; crashing
+      here loses nothing (the batch is durable).
+
     Attribution-only labels, used by the contention profiler to key
     CAS-outcome counts ([Dsu.Contention]) and never offered to the
     injection engine — no injection rule ever fires at them:
@@ -53,6 +68,10 @@ type t =
   | Chunk_publish_pre
   | Chunk_publish_post
   | Rank_read
+  | Snapshot_read
+  | Wal_commit_pre
+  | Wal_commit_mid
+  | Wal_commit_post
   | Link_cas
   | Split_cas
 

@@ -9,6 +9,10 @@ module Seq = Sequential.Seq_dsu
 module Rsnap = Repro_recover.Snapshot
 module Rrepair = Repro_recover.Repair
 module Rrestore = Repro_recover.Restore
+module Depoch = Repro_durable.Epoch
+module Dwal = Repro_durable.Wal
+module Dfuzzy = Repro_durable.Fuzzy
+module Drecovery = Repro_durable.Recovery
 
 type config = {
   n : int;
@@ -873,3 +877,542 @@ let pp_recovery_report ppf pairs =
   List.iter
     (fun (s, r) -> Format.fprintf ppf "%a@.%a@." pp_scenario s pp_recovery r)
     pairs
+
+(* ---------- durable drill: crash mid-snapshot and mid-group-commit ---------- *)
+
+type durable = {
+  d_kind : Rsnap.kind;
+  d_policy : Policy.t;
+  d_snapshots : (string * Dfuzzy.capture) list;  (* oldest first *)
+  d_snap_crash : Site.t option;
+  d_commit_crash : (Site.t * int) option;
+  d_wal_stats : Dwal.writer_stats;
+  d_tail_records : int;
+  d_truncated_at : int option;
+  d_recovery : Drecovery.stats option;
+  d_fault_totals : Fi.totals;
+  d_checks : check list;
+  d_seconds : float;
+  d_resume_seconds : float;
+}
+
+let durable_ok d = List.for_all (fun c -> c.passed) d.d_checks
+
+(* The durable drill runs over snapshot kinds, not harness layouts: the
+   drill's point is that every layout a snapshot can restore survives a
+   crash during its own fuzzy scan. *)
+let durable_handle_of ~kind ~policy ~memory_order ~seed ~on_link n =
+  match (kind : Rsnap.kind) with
+  | Rsnap.Flat ->
+    let d = Dsu.Native.create ~policy ~memory_order ~on_link ~seed n in
+    ( {
+        unite = Dsu.Native.unite d;
+        same_set = Dsu.Native.same_set d;
+        find = Dsu.Native.find d;
+        parents = (fun () -> Dsu.Native.parents_snapshot d);
+        prio = Dsu.Native.id d;
+        snapshot = (fun () -> Rsnap.of_native d);
+      },
+      fun epoch -> Dfuzzy.of_native ~epoch d )
+  | Rsnap.Boxed ->
+    let d = Dsu.Boxed.create ~policy ~on_link ~seed n in
+    ( {
+        unite = Dsu.Boxed.unite d;
+        same_set = Dsu.Boxed.same_set d;
+        find = Dsu.Boxed.find d;
+        parents = (fun () -> Dsu.Boxed.parents_snapshot d);
+        prio = Dsu.Boxed.id d;
+        snapshot = (fun () -> Rsnap.of_boxed d);
+      },
+      fun epoch -> Dfuzzy.of_boxed ~epoch d )
+  | Rsnap.Growable ->
+    let d = Dsu.Growable.create ~policy ~memory_order ~on_link ~seed ~capacity:n () in
+    (* Pre-create the universe before the run so the workload's element ids
+       are live; make_set is not WAL-logged, so recovery's universe is the
+       snapshot's. *)
+    for _ = 1 to n do
+      ignore (Dsu.Growable.make_set d)
+    done;
+    ( {
+        unite = Dsu.Growable.unite d;
+        same_set = Dsu.Growable.same_set d;
+        find = Dsu.Growable.find d;
+        parents = (fun () -> Dsu.Growable.parents_snapshot d);
+        prio = Dsu.Growable.priority d;
+        snapshot = (fun () -> Rsnap.of_growable d);
+      },
+      fun epoch -> Dfuzzy.of_growable ~epoch d )
+  | Rsnap.Rank ->
+    let d = Dsu.Rank.Native.create ~memory_order ~on_link n in
+    ( {
+        unite = Dsu.Rank.Native.unite d;
+        same_set = Dsu.Rank.Native.same_set d;
+        find = Dsu.Rank.Native.find d;
+        parents = (fun () -> Dsu.Rank.Native.parents_snapshot d);
+        prio = Dsu.Rank.Native.rank_of d;
+        snapshot = (fun () -> Rsnap.of_rank d);
+      },
+      fun epoch -> Dfuzzy.of_rank ~epoch d )
+  | Rsnap.Packed ->
+    let d = Dsu.Packed.Native.create ~policy ~memory_order ~on_link n in
+    ( {
+        unite = Dsu.Packed.Native.unite d;
+        same_set = Dsu.Packed.Native.same_set d;
+        find = Dsu.Packed.Native.find d;
+        parents = (fun () -> Dsu.Packed.Native.parents_snapshot d);
+        prio = Dsu.Packed.Native.rank_of d;
+        snapshot = (fun () -> Rsnap.of_packed d);
+      },
+      fun epoch -> Dfuzzy.of_packed ~epoch d )
+
+(* Mutator slots get the usual stall/yield noise; the snapshotter (slot
+   [domains]) crashes mid-way through its second fuzzy scan (the first
+   scan spends [n] Snapshot_read hits, so hit [n + n/2 + 1] is halfway
+   into the second), and the committer (slot [domains + 1]) crashes on
+   its fourth group commit, mid-record, leaving a torn tail.  Both are
+   hit-count rules, so the drill is deterministic regardless of timing. *)
+let durable_plan config =
+  let noise = noise_of config in
+  let snap_slot = config.domains and commit_slot = config.domains + 1 in
+  let rules_for slot =
+    if slot = snap_slot then
+      Fi.rule ~sites:[ Site.Snapshot_read ]
+        ~after:(config.n + (config.n / 2))
+        Fi.Crash
+      :: noise
+    else if slot = commit_slot then
+      [ Fi.rule ~sites:[ Site.Wal_commit_mid ] ~after:3 Fi.Crash ]
+    else noise
+  in
+  { Fi.seed = config.fault_seed; rules_for }
+
+let temp_dir () =
+  let base = Filename.temp_file "dsu-durable" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let run_durable_scenario ?(config = default_config) ?dir ~kind ~policy () =
+  validate_config config;
+  let { n; ops_per_domain = m; domains; unite_percent; seed; _ } = config in
+  let dir = match dir with Some d -> d | None -> temp_dir () in
+  let wal_path = Filename.concat dir "wal.log" in
+  let ops = gen_ops ~n ~unite_percent ~seed ~domains ~ops_per_domain:m in
+  (* Arm before creating the writer: arming opens a fresh inject epoch and
+     drops stale enrollments, so the committer domain enrolls itself via
+     [on_committer_start], which runs after this arm. *)
+  Fi.arm (durable_plan config);
+  let wal =
+    Dwal.create_writer ~shards:(max 2 domains) ~flush_records:32
+      ~flush_interval:0.0005
+      ~on_committer_start:(fun () -> Fi.enroll ~slot:(domains + 1))
+      wal_path
+  in
+  let h, fuzzy =
+    durable_handle_of ~kind ~policy ~memory_order:config.memory_order ~seed
+      ~on_link:(Dwal.append wal) n
+  in
+  let epoch = Dwal.epoch wal in
+  let clock = Atomic.make 0 in
+  let starts = Array.init domains (fun _ -> Array.make m (-1)) in
+  let stops = Array.init domains (fun _ -> Array.make m (-1)) in
+  let results = Array.init domains (fun _ -> Array.make m (-1)) in
+  let cur = Array.make domains 0 in
+  let crash_site = Array.make domains None in
+  let failed = Array.make domains None in
+  let hops = Array.make domains 0 in
+  let mutators_done = Atomic.make false in
+  let snaps = ref [] and snap_crash = ref None and snap_count = ref 0 in
+  let snapshotter =
+    Domain.spawn (fun () ->
+        Fi.enroll ~slot:domains;
+        try
+          (* Keep scanning until the second scan's crash fires; the
+             [< 2] clause keeps the drill deterministic even when the
+             mutators drain before the snapshotter gets going. *)
+          while !snap_count < 2 || not (Atomic.get mutators_done) do
+            let cap = fuzzy epoch in
+            incr snap_count;
+            let path =
+              Filename.concat dir (Printf.sprintf "snap-%03d.bin" !snap_count)
+            in
+            Rsnap.write_file path cap.Dfuzzy.snapshot;
+            snaps := (path, cap) :: !snaps
+          done
+        with Fi.Crashed (site, _) -> snap_crash := Some site)
+  in
+  let t0 = Repro_obs.Clock.now_ns () in
+  run_workers ~m ~h ~ops ~clock ~starts ~stops ~results ~cur ~crash_site ~failed
+    ~hops
+    (List.init domains Fun.id);
+  Atomic.set mutators_done true;
+  Domain.join snapshotter;
+  Dwal.close wal;
+  let seconds = float_of_int (Repro_obs.Clock.now_ns () - t0) /. 1e9 in
+  Fi.disarm ();
+  let fault_totals = Fi.totals () in
+  let wal_stats = Dwal.writer_stats wal in
+  let caps = List.rev !snaps in
+  let completed = completed_counts ~domains ~stops in
+  let final = h.snapshot () in
+  let final_roots = roots_of final.Rsnap.parents in
+  (* Phase-1 audit: the mutators never crash in this drill, so the whole
+     workload must have survived the WAL hook and the concurrent scans. *)
+  let _, phase1_checks =
+    full_audit ~config ~h ~ops ~starts ~stops ~results ~cur ~crash_site ~failed
+      ~completed ~hops ~crashed:[]
+  in
+  let crash_checks =
+    [
+      mk "fuzzy-crash"
+        (!snap_crash = Some Site.Snapshot_read)
+        (match !snap_crash with
+        | Some Site.Snapshot_read -> ""
+        | Some s -> "snapshotter crashed at " ^ Site.to_string s
+        | None -> "snapshotter never crashed");
+      mk "commit-crash"
+        (match wal_stats.Dwal.ws_crashed with
+        | Some (Site.Wal_commit_mid, _) -> true
+        | _ -> false)
+        (match wal_stats.Dwal.ws_crashed with
+        | Some (Site.Wal_commit_mid, _) -> ""
+        | Some (s, _) -> "committer crashed at " ^ Site.to_string s
+        | None -> "committer never crashed");
+      mk "snapshots-taken"
+        (caps <> [])
+        (if caps = [] then "no fuzzy snapshot completed before the crash" else "");
+    ]
+  in
+  (* Per-capture checks.  Reconciliation must be a no-op for the layouts
+     whose fuzzy scan is provably a forest cut (flat/boxed/growable: one
+     acquire load per node, ancestors are monotone).  Rank and packed
+     scans can legitimately catch a racing promotion as a cross-node
+     order violation, so there the bar is only that the repaired cut
+     refines both the raw scan and the final partition. *)
+  let repair_exempt =
+    match kind with
+    | Rsnap.Rank | Rsnap.Packed -> true
+    | Rsnap.Flat | Rsnap.Boxed | Rsnap.Growable -> false
+  in
+  let cap_checks =
+    let dirty =
+      List.find_opt (fun (_, c) -> c.Dfuzzy.fixes <> []) caps
+    in
+    let repair_clean =
+      if repair_exempt then
+        mk "fuzzy-repair-clean" true "rank scans may race a promotion; exempt"
+      else
+        match dirty with
+        | None -> mk "fuzzy-repair-clean" true ""
+        | Some (p, c) ->
+          mk "fuzzy-repair-clean" false
+            (Printf.sprintf "%s needed %d reconciliation fixes" p
+               (List.length c.Dfuzzy.fixes))
+    in
+    let refines_raw =
+      match
+        List.find_opt
+          (fun (_, c) ->
+            not (Rrepair.refines ~fine:c.Dfuzzy.snapshot ~coarse:c.Dfuzzy.raw))
+          caps
+      with
+      | None -> mk "fuzzy-refines-raw" true ""
+      | Some (p, _) ->
+        mk "fuzzy-refines-raw" false
+          (p ^ ": reconciled cut does not refine the raw scan")
+    in
+    let refines_final =
+      match
+        List.find_opt
+          (fun (_, c) ->
+            not (Rrepair.refines ~fine:c.Dfuzzy.snapshot ~coarse:final))
+          caps
+      with
+      | None -> mk "fuzzy-refines-final" true ""
+      | Some (p, _) ->
+        mk "fuzzy-refines-final" false
+          (p ^ ": fuzzy cut does not refine the final partition")
+    in
+    [ repair_clean; refines_raw; refines_final ]
+  in
+  let tail =
+    match Dwal.read_file wal_path with Ok t -> Some t | Error _ -> None
+  in
+  let wal_checks =
+    match tail with
+    | None -> [ mk "wal-truncated" false "WAL unreadable" ]
+    | Some t ->
+      let torn =
+        mk "wal-truncated"
+          (t.Dwal.truncated_at <> None)
+          (if t.Dwal.truncated_at = None then
+             "commit crash left no torn tail"
+           else "")
+      in
+      (* The epoch cut: every valid record with a strictly smaller epoch
+         than a capture's stamp was linked before that capture's scan
+         started, so the cut must already connect it. *)
+      let bad = ref None in
+      List.iter
+        (fun (p, c) ->
+          let sn = c.Dfuzzy.snapshot in
+          if sn.Rsnap.epoch > 0 && !bad = None then begin
+            let roots = roots_of sn.Rsnap.parents in
+            Array.iter
+              (fun (r : Dwal.record) ->
+                if
+                  !bad = None
+                  && r.Dwal.epoch < sn.Rsnap.epoch
+                  && r.Dwal.x >= 0
+                  && r.Dwal.x < Array.length roots
+                  && r.Dwal.y >= 0
+                  && r.Dwal.y < Array.length roots
+                  && roots.(r.Dwal.x) <> roots.(r.Dwal.y)
+                then bad := Some (p, r))
+              t.Dwal.records
+          end)
+        caps;
+      let cut =
+        match !bad with
+        | None -> mk "epoch-cut" true ""
+        | Some (p, r) ->
+          mk "epoch-cut" false
+            (Printf.sprintf
+               "%s: record (%d, %d) of epoch %d not connected in the cut" p
+               r.Dwal.x r.Dwal.y r.Dwal.epoch)
+      in
+      [ torn; cut ]
+  in
+  (* Recovery: newest valid snapshot + WAL tail replay, then resume the
+     whole workload on the restored structure and re-audit it against the
+     sequential oracle. *)
+  let recovery =
+    Drecovery.recover_files ~policy ~snapshots:(List.map fst caps)
+      ~wal:wal_path ()
+  in
+  let recovery_stats, recovery_checks, resume_seconds =
+    match recovery with
+    | Error e -> (None, [ mk "recovery" false e ], 0.)
+    | Ok (r, rstats) ->
+      let contains_log =
+        match tail with
+        | None -> mk "recovered-contains-log" false "WAL unreadable"
+        | Some t -> (
+          let nr = Rrestore.n r in
+          let bad = ref None in
+          Array.iter
+            (fun (rc : Dwal.record) ->
+              if
+                !bad = None
+                && rc.Dwal.x >= 0
+                && rc.Dwal.x < nr
+                && rc.Dwal.y >= 0
+                && rc.Dwal.y < nr
+                && not (Rrestore.same_set r rc.Dwal.x rc.Dwal.y)
+              then bad := Some rc)
+            t.Dwal.records;
+          match !bad with
+          | None -> mk "recovered-contains-log" true ""
+          | Some rc ->
+            mk "recovered-contains-log" false
+              (Printf.sprintf
+                 "acknowledged record (%d, %d) not connected after recovery"
+                 rc.Dwal.x rc.Dwal.y))
+      in
+      let recovered_refines =
+        match refines (roots_of (Rrestore.snapshot r).Rsnap.parents) final_roots with
+        | None -> mk "recovered-refines-final" true ""
+        | Some (i, j) ->
+          mk "recovered-refines-final" false
+            (Printf.sprintf
+               "recovered state joins %d and %d, the final partition does not"
+               i j)
+      in
+      (* Resume: replay every mutator stream from scratch on the restored
+         structure.  Re-running completed unites is idempotent, and the
+         full audit's partition sandwich stays sound because the re-run's
+         completed unites connect everything recovery restored. *)
+      let h2 =
+        let base = handle_of_restored r in
+        match r with
+        (* Ranks move during the resumed run (promotions), so the audit
+           must read them live, not from the recovery-time capture. *)
+        | Rrestore.Rank d -> { base with prio = Dsu.Rank.Native.rank_of d }
+        | Rrestore.Packed d -> { base with prio = Dsu.Packed.Native.rank_of d }
+        | _ -> base
+      in
+      let starts = Array.init domains (fun _ -> Array.make m (-1)) in
+      let stops = Array.init domains (fun _ -> Array.make m (-1)) in
+      let results = Array.init domains (fun _ -> Array.make m (-1)) in
+      let cur = Array.make domains 0 in
+      let crash_site = Array.make domains None in
+      let failed = Array.make domains None in
+      let hops = Array.make domains 0 in
+      let clock = Atomic.make 0 in
+      Fi.arm { Fi.seed = config.fault_seed + 1; rules_for = (fun _ -> noise_of config) };
+      let t1 = Repro_obs.Clock.now_ns () in
+      run_workers ~m ~h:h2 ~ops ~clock ~starts ~stops ~results ~cur ~crash_site
+        ~failed ~hops
+        (List.init domains Fun.id);
+      let resume_seconds = float_of_int (Repro_obs.Clock.now_ns () - t1) /. 1e9 in
+      Fi.disarm ();
+      let completed = completed_counts ~domains ~stops in
+      let _, resume_checks =
+        full_audit ~config ~h:h2 ~ops ~starts ~stops ~results ~cur ~crash_site
+          ~failed ~completed ~hops ~crashed:[]
+      in
+      let resumed_complete =
+        match
+          List.find_opt (fun k -> completed.(k) < m) (List.init domains Fun.id)
+        with
+        | None -> mk "resumed-complete" true ""
+        | Some k ->
+          mk "resumed-complete" false
+            (Printf.sprintf "slot %d finished only %d of %d ops after recovery"
+               k completed.(k) m)
+      in
+      ( Some rstats,
+        mk "recovery" true "" :: contains_log :: recovered_refines
+        :: resumed_complete :: resume_checks,
+        resume_seconds )
+  in
+  {
+    d_kind = kind;
+    d_policy = policy;
+    d_snapshots = caps;
+    d_snap_crash = !snap_crash;
+    d_commit_crash = wal_stats.Dwal.ws_crashed;
+    d_wal_stats = wal_stats;
+    d_tail_records =
+      (match tail with None -> 0 | Some t -> Array.length t.Dwal.records);
+    d_truncated_at =
+      (match tail with None -> None | Some t -> t.Dwal.truncated_at);
+    d_recovery = recovery_stats;
+    d_fault_totals = fault_totals;
+    d_checks = phase1_checks @ crash_checks @ cap_checks @ wal_checks @ recovery_checks;
+    d_seconds = seconds;
+    d_resume_seconds = resume_seconds;
+  }
+
+let all_kinds = [ Rsnap.Flat; Rsnap.Boxed; Rsnap.Growable; Rsnap.Rank; Rsnap.Packed ]
+
+let run_durable_all ?(config = default_config) ?(kinds = all_kinds) ?progress () =
+  let emit d = match progress with None -> () | Some f -> f d in
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun policy ->
+          let d = run_durable_scenario ~config ~kind ~policy () in
+          emit d;
+          d)
+        config.policies)
+    kinds
+
+let durable_to_json (d : durable) =
+  let t = d.d_fault_totals in
+  J.Obj
+    [
+      ("kind", J.String (Rsnap.kind_to_string d.d_kind));
+      ("policy", J.String (Policy.to_string d.d_policy));
+      ("seconds", J.Float d.d_seconds);
+      ("resume_seconds", J.Float d.d_resume_seconds);
+      ( "snapshots",
+        J.List
+          (List.map
+             (fun (p, c) ->
+               J.Obj
+                 [
+                   ("path", J.String p);
+                   ("epoch", J.Int c.Dfuzzy.snapshot.Rsnap.epoch);
+                   ("n", J.Int c.Dfuzzy.snapshot.Rsnap.n);
+                   ("fixes", J.Int (List.length c.Dfuzzy.fixes));
+                   ("scan_ns", J.Int c.Dfuzzy.scan_ns);
+                   ("repair_ns", J.Int c.Dfuzzy.repair_ns);
+                 ])
+             d.d_snapshots) );
+      ( "snap_crash",
+        match d.d_snap_crash with
+        | None -> J.Null
+        | Some s -> J.String (Site.to_string s) );
+      ( "commit_crash",
+        match d.d_commit_crash with
+        | None -> J.Null
+        | Some (s, _) -> J.String (Site.to_string s) );
+      ( "wal",
+        J.Obj
+          [
+            ("appended", J.Int d.d_wal_stats.Dwal.ws_appended);
+            ("committed", J.Int d.d_wal_stats.Dwal.ws_committed);
+            ("commits", J.Int d.d_wal_stats.Dwal.ws_commits);
+            ("tail_records", J.Int d.d_tail_records);
+            ( "truncated_at",
+              match d.d_truncated_at with None -> J.Null | Some o -> J.Int o );
+          ] );
+      ( "recovery",
+        match d.d_recovery with
+        | None -> J.Null
+        | Some s -> Drecovery.stats_to_json s );
+      ( "faults",
+        J.Obj
+          [
+            ("site_hits", J.Int t.Fi.hits);
+            ("yields", J.Int t.Fi.yields);
+            ("stalls", J.Int t.Fi.stalls);
+            ("crashes", J.Int t.Fi.crashes);
+          ] );
+      ( "checks",
+        J.List
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("name", J.String c.check_name);
+                   ("ok", J.Bool c.passed);
+                   ("detail", J.String c.detail);
+                 ])
+             d.d_checks) );
+      ("ok", J.Bool (durable_ok d));
+    ]
+
+let durable_report_to_json ?(config = default_config) ds =
+  J.Obj
+    (("schema", J.String "dsu-chaos-durable/v1")
+     :: List.tl (config_fields config)
+    @ [
+        ("scenarios", J.List (List.map durable_to_json ds));
+        ("ok", J.Bool (List.for_all durable_ok ds));
+      ])
+
+let pp_durable ppf (d : durable) =
+  Format.fprintf ppf "@[<v>%s/%s durable: %s in %.2fs (+%.2fs resume)@,"
+    (Rsnap.kind_to_string d.d_kind)
+    (Policy.to_string d.d_policy)
+    (if durable_ok d then "OK" else "FAILED")
+    d.d_seconds d.d_resume_seconds;
+  Format.fprintf ppf
+    "  wal: %d appended, %d committed in %d commits%s@,"
+    d.d_wal_stats.Dwal.ws_appended d.d_wal_stats.Dwal.ws_committed
+    d.d_wal_stats.Dwal.ws_commits
+    (match d.d_truncated_at with
+    | None -> ""
+    | Some o -> Printf.sprintf ", torn tail at byte %d" o);
+  Format.fprintf ppf "  snapshots: %d written%s%s@,"
+    (List.length d.d_snapshots)
+    (match d.d_snap_crash with
+    | None -> ""
+    | Some s -> ", snapshotter crashed at " ^ Site.to_string s)
+    (match d.d_commit_crash with
+    | None -> ""
+    | Some (s, _) -> ", committer crashed at " ^ Site.to_string s);
+  (match d.d_recovery with
+  | None -> ()
+  | Some s -> Format.fprintf ppf "  %a@," Drecovery.pp_stats s);
+  List.iter
+    (fun c ->
+      if not c.passed then
+        Format.fprintf ppf "  check %s FAILED: %s@," c.check_name c.detail)
+    d.d_checks;
+  Format.fprintf ppf "@]"
+
+let pp_durable_report ppf ds =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp_durable d) ds

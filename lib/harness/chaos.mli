@@ -177,3 +177,85 @@ val pp_scenario : Format.formatter -> scenario -> unit
 val pp : Format.formatter -> scenario list -> unit
 val pp_recovery : Format.formatter -> recovery -> unit
 val pp_recovery_report : Format.formatter -> (scenario * recovery) list -> unit
+
+(** {2 Durable drill: crash mid-fuzzy-snapshot and mid-group-commit}
+
+    {!run_durable_scenario} is the hardest drill: mutators drive the
+    structure (noise armed, no mutator crashes) while a write-ahead log
+    ({!Repro_durable.Wal}) records every link and a snapshotter domain
+    takes fuzzy epoch snapshots ({!Repro_durable.Fuzzy}) concurrently.
+    Two extra fault slots crash the durability machinery itself:
+
+    - the {b snapshotter} (slot [domains]) crashes halfway through its
+      second fuzzy scan ([Snapshot_read] hit-count rule — the first scan
+      completes and is written, the second dies mid-scan);
+    - the {b committer} (slot [domains + 1]) crashes on its fourth group
+      commit, between the two halves of a record write
+      ([Wal_commit_mid]), leaving a physically torn WAL tail.
+
+    At quiescence the drill audits phase 1 like {!run_scenario}, then
+    checks the durability story end to end: the crashes fired where
+    planned; at least one fuzzy snapshot survived; reconciliation was a
+    no-op for the single-pointer layouts (rank/packed scans may race a
+    promotion, so there only refinement is asserted); each reconciled cut
+    refines both its raw scan and the final partition; the WAL tail is
+    torn and truncates cleanly; every valid record below a capture's
+    epoch is already connected in that cut (the epoch-cut guarantee);
+    recovery (newest snapshot + tail replay, {!Repro_durable.Recovery})
+    succeeds, contains every acknowledged record, and refines the final
+    partition; and the restored structure absorbs a full re-run of the
+    workload, re-audited against the sequential oracle. *)
+
+type durable = {
+  d_kind : Repro_recover.Snapshot.kind;
+  d_policy : Dsu.Find_policy.t;
+  d_snapshots : (string * Repro_durable.Fuzzy.capture) list;
+      (** snapshots written before the crash, oldest first *)
+  d_snap_crash : Repro_fault.Site.t option;
+  d_commit_crash : (Repro_fault.Site.t * int) option;
+  d_wal_stats : Repro_durable.Wal.writer_stats;
+  d_tail_records : int;  (** valid records decoded from the WAL file *)
+  d_truncated_at : int option;  (** torn-tail byte offset, if torn *)
+  d_recovery : Repro_durable.Recovery.stats option;
+  d_fault_totals : Repro_fault.Inject.totals;
+  d_checks : check list;
+  d_seconds : float;
+  d_resume_seconds : float;
+}
+
+val durable_ok : durable -> bool
+
+val run_durable_scenario :
+  ?config:config ->
+  ?dir:string ->
+  kind:Repro_recover.Snapshot.kind ->
+  policy:Dsu.Find_policy.t ->
+  unit ->
+  durable
+(** One durable drill over the given snapshot kind.  [dir] (default: a
+    fresh temp directory) receives the WAL and the snapshot files and is
+    left in place for inspection.  Arms the global injection switch for
+    the duration, like {!run_scenario}.  [config]'s [crash_domains] and
+    [layouts] are ignored — the drill crashes the durability machinery,
+    not the mutators, and runs over snapshot kinds. *)
+
+val all_kinds : Repro_recover.Snapshot.kind list
+(** All five snapshot kinds, the default drill coverage. *)
+
+val run_durable_all :
+  ?config:config ->
+  ?kinds:Repro_recover.Snapshot.kind list ->
+  ?progress:(durable -> unit) ->
+  unit ->
+  durable list
+(** The [kinds × policies] cross product; [progress] after each. *)
+
+val durable_to_json : durable -> Repro_obs.Json.t
+
+val durable_report_to_json :
+  ?config:config -> durable list -> Repro_obs.Json.t
+(** The ["dsu-chaos-durable/v1"] document: config echo plus one object
+    per drill. *)
+
+val pp_durable : Format.formatter -> durable -> unit
+val pp_durable_report : Format.formatter -> durable list -> unit

@@ -127,6 +127,28 @@ let latency_entries doc =
          ps)
   | _ -> None
 
+let durability_entries doc =
+  let* points = mem "points" doc in
+  match points with
+  | J.List ps ->
+    Some
+      (List.concat_map
+         (fun p ->
+           let key = Option.value ~default:"?" (str_field "name" p) in
+           List.filter_map Fun.id
+             [
+               (let* v = num_field "mops_per_sec" p in
+                Some
+                  { e_key = key; e_metric = "mops_per_sec";
+                    e_dir = Higher_better; e_value = v });
+               (let* v = num_field "pause_ns" p in
+                Some
+                  { e_key = key; e_metric = "pause_ns"; e_dir = Lower_better;
+                    e_value = v });
+             ])
+         ps)
+  | _ -> None
+
 let autotune_entries doc =
   let* ms = mem "measurements" doc in
   match ms with
@@ -150,6 +172,9 @@ let classify doc =
   | Some (J.String s) when String.length s >= 11
                            && String.sub s 0 11 = "dsu-latency" ->
     Some (s, latency_entries)
+  | Some (J.String s) when String.length s >= 14
+                           && String.sub s 0 14 = "dsu-durability" ->
+    Some (s, durability_entries)
   | Some (J.String s) when String.length s >= 12
                            && String.sub s 0 12 = "dsu-autotune" ->
     Some (s, autotune_entries)
@@ -163,7 +188,8 @@ let extract doc =
   | None ->
     Error
       "unrecognized perf document (expected bechamel results, \
-       dsu-scalability/* or dsu-latency/*)"
+       dsu-scalability/*, dsu-latency/*, dsu-durability/* or \
+       dsu-autotune/*)"
   | Some (kind, f) -> (
     match f doc with
     | Some entries -> Ok (kind, entries)

@@ -1,10 +1,11 @@
 (** Perf-regression differ over the repo's benchmark JSON documents.
 
     Compares two documents of the same kind — bechamel [bench --out]
-    results, [dsu-scalability/*] sweeps, [dsu-latency/*] sweeps, or
-    [dsu-autotune/*] reports (auto-detected) — and flags per-configuration
-    metric deltas beyond a noise threshold, respecting each metric's
-    better-direction ([ns_per_run] and latency quantiles lower-better,
+    results, [dsu-scalability/*] sweeps, [dsu-latency/*] sweeps,
+    [dsu-durability/*] reports, or [dsu-autotune/*] reports
+    (auto-detected) — and flags per-configuration metric deltas beyond a
+    noise threshold, respecting each metric's better-direction
+    ([ns_per_run], latency quantiles and [pause_ns] lower-better,
     [mops_per_sec] and [achieved_rate] higher-better).  For autotune
     documents the per-plan throughputs diff as ordinary rows and a changed
     winning plan is reported in {!report.warnings} — a warning, not a

@@ -5,29 +5,32 @@ type restored =
   | Rank of Dsu.Rank.Native.t
   | Packed of Dsu.Packed.Native.t
 
-let restore ?policy ?early ?(collect_stats = false) ?(padded = false) (s : Snapshot.t) =
+let restore ?policy ?early ?(collect_stats = false) ?(padded = false) ?on_link
+    (s : Snapshot.t) =
   match s.kind with
   | Snapshot.Flat ->
     Flat
-      (Dsu.Native.of_snapshot ?policy ?early ~collect_stats ~padded ~parents:s.parents
-         ~ids:s.prios ())
+      (Dsu.Native.of_snapshot ?policy ?early ~collect_stats ~padded ?on_link
+         ~parents:s.parents ~ids:s.prios ())
   | Snapshot.Boxed ->
     Boxed
-      (Dsu.Boxed.of_snapshot ?policy ?early ~collect_stats ~parents:s.parents ~ids:s.prios
-         ())
+      (Dsu.Boxed.of_snapshot ?policy ?early ~collect_stats ?on_link ~parents:s.parents
+         ~ids:s.prios ())
   | Snapshot.Growable ->
     Growable
-      (Dsu.Growable.of_snapshot ?policy ?early ~collect_stats ~capacity:s.capacity
-         ~parents:s.parents ~prios:s.prios ())
+      (Dsu.Growable.of_snapshot ?policy ?early ~collect_stats ?on_link
+         ~capacity:s.capacity ~parents:s.parents ~prios:s.prios ())
   | Snapshot.Rank ->
-    Rank (Dsu.Rank.Native.of_snapshot ~collect_stats ~parents:s.parents ~ranks:s.prios ())
+    Rank
+      (Dsu.Rank.Native.of_snapshot ~collect_stats ?on_link ~parents:s.parents
+         ~ranks:s.prios ())
   | Snapshot.Packed ->
     Packed
-      (Dsu.Packed.Native.of_snapshot ?policy ~collect_stats ~padded ~parents:s.parents
-         ~ranks:s.prios ())
+      (Dsu.Packed.Native.of_snapshot ?policy ~collect_stats ~padded ?on_link
+         ~parents:s.parents ~ranks:s.prios ())
 
-let restore_result ?policy ?early ?collect_stats ?padded s =
-  match restore ?policy ?early ?collect_stats ?padded s with
+let restore_result ?policy ?early ?collect_stats ?padded ?on_link s =
+  match restore ?policy ?early ?collect_stats ?padded ?on_link s with
   | r -> Ok r
   | exception Invalid_argument msg -> Error msg
 
@@ -37,6 +40,13 @@ let snapshot = function
   | Growable d -> Snapshot.of_growable d
   | Rank d -> Snapshot.of_rank d
   | Packed d -> Snapshot.of_packed d
+
+let snapshot_fuzzy = function
+  | Flat d -> Dsu.Native.snapshot_fuzzy d
+  | Boxed d -> Dsu.Boxed.snapshot_fuzzy d
+  | Growable d -> Dsu.Growable.snapshot_fuzzy d
+  | Rank d -> Dsu.Rank.Native.snapshot_fuzzy d
+  | Packed d -> Dsu.Packed.Native.snapshot_fuzzy d
 
 let n = function
   | Flat d -> Dsu.Native.n d

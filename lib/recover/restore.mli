@@ -17,10 +17,13 @@ val restore :
   ?early:bool ->
   ?collect_stats:bool ->
   ?padded:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   Snapshot.t ->
   restored
 (** [policy] applies to the Flat, Boxed, Growable and Packed kinds;
-    [early] to Flat, Boxed and Growable; [padded] to Flat and Packed.
+    [early] to Flat, Boxed and Growable; [padded] to Flat and Packed;
+    [on_link] (all kinds) hooks every successful link CAS — pass
+    {!Repro_durable.Wal.append} to resume logging after recovery.
     @raise Invalid_argument when the snapshot fails the layout's invariant
     validation (run {!Repair.repair} first). *)
 
@@ -29,12 +32,17 @@ val restore_result :
   ?early:bool ->
   ?collect_stats:bool ->
   ?padded:bool ->
+  ?on_link:(child:int -> parent:int -> unit) ->
   Snapshot.t ->
   (restored, string) result
 (** {!restore} with the validation failure as an [Error]. *)
 
 val snapshot : restored -> Snapshot.t
 (** Re-capture (quiescent only) — the round-trip proof obligation. *)
+
+val snapshot_fuzzy : restored -> int array * int array
+(** The layout's fuzzy [(parents, prios)] scan (see
+    {!Dsu.Native.snapshot_fuzzy}); safe concurrent with mutators. *)
 
 val n : restored -> int
 (** Elements present ([cardinal] for Growable). *)

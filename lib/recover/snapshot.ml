@@ -6,9 +6,14 @@ type t = {
   kind : kind;
   n : int;
   capacity : int;
+  epoch : int;
   parents : int array;
   prios : int array;
 }
+
+let with_epoch t epoch =
+  if epoch < 0 then invalid_arg "Snapshot.with_epoch: negative epoch";
+  { t with epoch }
 
 let kind_to_string = function
   | Flat -> "flat"
@@ -31,6 +36,7 @@ let of_native d =
     kind = Flat;
     n;
     capacity = n;
+    epoch = 0;
     parents = Dsu.Native.parents_snapshot d;
     prios = Dsu.Native.ids_snapshot d;
   }
@@ -41,6 +47,7 @@ let of_boxed d =
     kind = Boxed;
     n;
     capacity = n;
+    epoch = 0;
     parents = Dsu.Boxed.parents_snapshot d;
     prios = Dsu.Boxed.ids_snapshot d;
   }
@@ -50,6 +57,7 @@ let of_growable d =
     kind = Growable;
     n = Dsu.Growable.cardinal d;
     capacity = Dsu.Growable.capacity d;
+    epoch = 0;
     parents = Dsu.Growable.parents_snapshot d;
     prios = Dsu.Growable.priorities_snapshot d;
   }
@@ -60,6 +68,7 @@ let of_rank d =
     kind = Rank;
     n;
     capacity = n;
+    epoch = 0;
     parents = Dsu.Rank.Native.parents_snapshot d;
     prios = Dsu.Rank.Native.ranks_snapshot d;
   }
@@ -70,6 +79,7 @@ let of_packed d =
     kind = Packed;
     n;
     capacity = n;
+    epoch = 0;
     parents = Dsu.Packed.Native.parents_snapshot d;
     prios = Dsu.Packed.Native.ranks_snapshot d;
   }
@@ -77,24 +87,7 @@ let of_packed d =
 let check t = Repro_fault.Forest_check.check ~prio:(fun i -> t.prios.(i)) t.parents
 let ok t = Repro_fault.Forest_check.ok (check t)
 
-(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.  Values stay in
-   the low 32 bits of an OCaml int. *)
-let crc_table =
-  lazy
-    (Array.init 256 (fun i ->
-         let c = ref i in
-         for _ = 0 to 7 do
-           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xffffffff in
-  String.iter
-    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
-    s;
-  !c lxor 0xffffffff
+let crc32 = Repro_util.Crc32.string
 
 let kind_byte = function
   | Flat -> 0
@@ -111,9 +104,26 @@ let kind_of_byte = function
   | 4 -> Some Packed
   | _ -> None
 
-(* The canonical body both codecs checksum: kind byte, then n, capacity and
-   the two arrays as 8-byte little-endian words. *)
+(* The canonical v2 body both codecs checksum: kind byte, then epoch, n,
+   capacity and the two arrays as 8-byte little-endian words. *)
 let body t =
+  let buf = Buffer.create (25 + (16 * t.n)) in
+  Buffer.add_char buf (Char.chr (kind_byte t.kind));
+  let scratch = Bytes.create 8 in
+  let add_word v =
+    Bytes.set_int64_le scratch 0 (Int64.of_int v);
+    Buffer.add_bytes buf scratch
+  in
+  add_word t.epoch;
+  add_word t.n;
+  add_word t.capacity;
+  Array.iter add_word t.parents;
+  Array.iter add_word t.prios;
+  Buffer.contents buf
+
+(* The v1 body — no epoch — kept so checksums in v1 files (binary and
+   JSON) still validate on read. *)
+let body_v1 t =
   let buf = Buffer.create (17 + (16 * t.n)) in
   Buffer.add_char buf (Char.chr (kind_byte t.kind));
   let scratch = Bytes.create 8 in
@@ -129,7 +139,8 @@ let body t =
 
 let checksum t = crc32 (body t)
 
-let magic = "DSUSNAP1"
+let magic = "DSUSNAP2"
+let magic_v1 = "DSUSNAP1"
 
 let to_binary_string t =
   let body = body t in
@@ -149,35 +160,32 @@ let int_of_word v =
   if Int64.of_int (Int64.to_int v) = v then Ok (Int64.to_int v)
   else Error "snapshot word overflows the OCaml int range"
 
-let parse_body s =
+(* [parse_body ~header s] parses a body whose fixed prefix is the kind
+   byte plus [header] 8-byte words ending with n and capacity, followed by
+   the two arrays.  v2 bodies carry (epoch, n, capacity); v1 bodies carry
+   (n, capacity) and an implicit epoch 0. *)
+let parse_body ~v2 s =
+  let header = if v2 then 25 else 17 in
   let len = String.length s in
-  let* () = if len >= 17 then Ok () else Error "snapshot body truncated" in
+  let* () = if len >= header then Ok () else Error "snapshot body truncated" in
   let* kind =
     match kind_of_byte (Char.code s.[0]) with
     | Some k -> Ok k
     | None -> Error (Printf.sprintf "unknown snapshot kind byte %d" (Char.code s.[0]))
   in
-  let* n = int_of_word (String.get_int64_le s 1) in
-  let* capacity = int_of_word (String.get_int64_le s 9) in
+  let* epoch = if v2 then int_of_word (String.get_int64_le s 1) else Ok 0 in
+  let base = if v2 then 9 else 1 in
+  let* n = int_of_word (String.get_int64_le s base) in
+  let* capacity = int_of_word (String.get_int64_le s (base + 8)) in
+  let* () = if epoch >= 0 then Ok () else Error "negative epoch" in
   let* () = if n >= 0 then Ok () else Error "negative element count" in
   let* () = if capacity >= n then Ok () else Error "capacity below element count" in
   let* () =
-    if len = 17 + (16 * n) then Ok ()
-    else Error (Printf.sprintf "snapshot body length %d, expected %d" len (17 + (16 * n)))
+    if len = header + (16 * n) then Ok ()
+    else
+      Error (Printf.sprintf "snapshot body length %d, expected %d" len (header + (16 * n)))
   in
-  let* parents =
-    let arr = Array.make n 0 in
-    let rec fill i =
-      if i = n then Ok arr
-      else
-        let* v = int_of_word (String.get_int64_le s (17 + (8 * i))) in
-        arr.(i) <- v;
-        fill (i + 1)
-    in
-    fill 0
-  in
-  let* prios =
-    let base = 17 + (8 * n) in
+  let read_array base =
     let arr = Array.make n 0 in
     let rec fill i =
       if i = n then Ok arr
@@ -188,16 +196,20 @@ let parse_body s =
     in
     fill 0
   in
-  Ok { kind; n; capacity; parents; prios }
+  let* parents = read_array header in
+  let* prios = read_array (header + (8 * n)) in
+  Ok { kind; n; capacity; epoch; parents; prios }
 
 let of_binary_string s =
   let len = String.length s in
   let* () =
     if len >= String.length magic + 17 + 4 then Ok () else Error "snapshot file truncated"
   in
-  let* () =
-    if String.sub s 0 (String.length magic) = magic then Ok ()
-    else Error "bad magic: not a DSU snapshot"
+  let* v2 =
+    match String.sub s 0 (String.length magic) with
+    | m when m = magic -> Ok true
+    | m when m = magic_v1 -> Ok false
+    | _ -> Error "bad magic: not a DSU snapshot"
   in
   let body = String.sub s (String.length magic) (len - String.length magic - 4) in
   let stored = Int32.to_int (String.get_int32_le s (len - 4)) land 0xffffffff in
@@ -206,9 +218,10 @@ let of_binary_string s =
     if stored = computed then Ok ()
     else Error (Printf.sprintf "checksum mismatch: stored %08x, computed %08x" stored computed)
   in
-  parse_body body
+  parse_body ~v2 body
 
-let schema = "dsu-snapshot/v1"
+let schema = "dsu-snapshot/v2"
+let schema_v1 = "dsu-snapshot/v1"
 
 let to_json t =
   let ints arr = J.List (Array.to_list arr |> List.map (fun v -> J.Int v)) in
@@ -218,6 +231,7 @@ let to_json t =
       ("kind", J.String (kind_to_string t.kind));
       ("n", J.Int t.n);
       ("capacity", J.Int t.capacity);
+      ("epoch", J.Int t.epoch);
       ("parents", ints t.parents);
       ("prios", ints t.prios);
       ("checksum", J.Int (checksum t));
@@ -245,9 +259,10 @@ let of_json json =
     | _ -> Error (Printf.sprintf "field %S is not an array" name)
   in
   let* s = field "schema" (J.member "schema" json) in
-  let* () =
+  let* v2 =
     match s with
-    | J.String v when v = schema -> Ok ()
+    | J.String v when v = schema -> Ok true
+    | J.String v when v = schema_v1 -> Ok false
     | J.String v -> Error (Printf.sprintf "unsupported schema %S (want %S)" v schema)
     | _ -> Error "field \"schema\" is not a string"
   in
@@ -262,17 +277,20 @@ let of_json json =
   in
   let* n = int_field "n" in
   let* capacity = int_field "capacity" in
+  let* epoch = if v2 then int_field "epoch" else Ok 0 in
   let* parents = int_array "parents" in
   let* prios = int_array "prios" in
+  let* () = if epoch >= 0 then Ok () else Error "negative epoch" in
   let* () = if n >= 0 then Ok () else Error "negative element count" in
   let* () = if capacity >= n then Ok () else Error "capacity below element count" in
   let* () =
     if Array.length parents = n && Array.length prios = n then Ok ()
     else Error "array lengths disagree with n"
   in
-  let t = { kind; n; capacity; parents; prios } in
+  let t = { kind; n; capacity; epoch; parents; prios } in
   let* stored = int_field "checksum" in
-  let computed = checksum t in
+  (* v1 files checksummed the v1 body (no epoch). *)
+  let computed = if v2 then checksum t else crc32 (body_v1 t) in
   if stored = computed then Ok t
   else Error (Printf.sprintf "checksum mismatch: stored %08x, computed %08x" stored computed)
 
@@ -283,10 +301,37 @@ let of_json_string s =
 
 type format = Binary | Json
 
+(* Crash-atomic write: stage the bytes in a temporary file in the same
+   directory (rename is only atomic within a filesystem), fsync the data,
+   then rename over the destination and fsync the directory so the rename
+   itself is durable.  A crash at any point leaves either the old file or
+   the new one — never a torn snapshot. *)
 let write_file ?(format = Binary) path t =
   let data = match format with Binary -> to_binary_string t | Json -> to_json_string t in
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (match
+     output_string oc data;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  (match Unix.rename tmp path with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let read_file path =
   match
@@ -298,14 +343,16 @@ let read_file path =
   | exception Sys_error e -> Error e
   | exception End_of_file -> Error "snapshot file truncated"
   | data ->
-    if String.length data >= String.length magic && String.sub data 0 (String.length magic) = magic
-    then of_binary_string data
+    let has_magic m =
+      String.length data >= String.length m && String.sub data 0 (String.length m) = m
+    in
+    if has_magic magic || has_magic magic_v1 then of_binary_string data
     else of_json_string data
 
 let equal a b =
-  a.kind = b.kind && a.n = b.n && a.capacity = b.capacity && a.parents = b.parents
-  && a.prios = b.prios
+  a.kind = b.kind && a.n = b.n && a.capacity = b.capacity && a.epoch = b.epoch
+  && a.parents = b.parents && a.prios = b.prios
 
 let pp ppf t =
-  Format.fprintf ppf "snapshot{%s, n=%d, capacity=%d, crc=%08x}" (kind_to_string t.kind)
-    t.n t.capacity (checksum t)
+  Format.fprintf ppf "snapshot{%s, n=%d, capacity=%d, epoch=%d, crc=%08x}"
+    (kind_to_string t.kind) t.n t.capacity t.epoch (checksum t)

@@ -16,13 +16,22 @@
     so a crash-time snapshot still passes {!check}; {!Repair} exists for
     snapshots corrupted {e in storage}, not by the algorithm.
 
+    Fuzzy snapshots ({!Repro_durable.Fuzzy}) carry a WAL [epoch]: the cut
+    is guaranteed to contain every link whose WAL record has a strictly
+    smaller epoch, so recovery replays the log tail from [epoch] on.
+    Quiescent captures set [epoch = 0] (replay nothing, or everything —
+    at quiescence the snapshot already holds all links).
+
     Two codecs, both carrying a CRC-32 of the same canonical body so either
     detects bit-rot:
 
-    - binary: magic ["DSUSNAP1"], kind byte, [n] and [capacity] as 8-byte
-      little-endian, both arrays as 8-byte little-endian words, CRC-32
-      little-endian trailer;
-    - JSON: schema ["dsu-snapshot/v1"] with the checksum as a field.
+    - binary: magic ["DSUSNAP2"], kind byte, [epoch], [n] and [capacity]
+      as 8-byte little-endian, both arrays as 8-byte little-endian words,
+      CRC-32 little-endian trailer;
+    - JSON: schema ["dsu-snapshot/v2"] with the checksum as a field.
+
+    Both decoders also read the previous version (["DSUSNAP1"] /
+    ["dsu-snapshot/v1"], no epoch field) as [epoch = 0].
 
     Decoders return [result]s — a malformed or checksum-failing file is an
     ordinary error, never an exception. *)
@@ -33,9 +42,14 @@ type t = {
   kind : kind;
   n : int;  (** elements present ([cardinal] for Growable) *)
   capacity : int;  (** slots to preallocate on restore; [n] except for Growable *)
+  epoch : int;  (** WAL epoch the cut is consistent with; 0 = quiescent *)
   parents : int array;  (** length [n]; roots are self-parented *)
   prios : int array;  (** length [n]; ids / priorities / ranks, per [kind] *)
 }
+
+val with_epoch : t -> int -> t
+(** The same snapshot stamped with a WAL epoch.
+    @raise Invalid_argument on a negative epoch. *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
@@ -74,10 +88,15 @@ val of_json_string : string -> (t, string) result
 type format = Binary | Json
 
 val write_file : ?format:format -> string -> t -> unit
-(** Default {!Binary}.  Raises [Sys_error] on I/O failure. *)
+(** Default {!Binary}.  Crash-atomic: the bytes are staged in a temporary
+    file in the destination directory, fsynced, renamed over [path], and
+    the directory is fsynced — a crash leaves the old file or the new one,
+    never a torn snapshot.  Raises [Sys_error] or [Unix.Unix_error] on I/O
+    failure. *)
 
 val read_file : string -> (t, string) result
-(** Auto-detects the format: the binary magic wins, otherwise JSON. *)
+(** Auto-detects the format: a binary magic (v2 or v1) wins, otherwise
+    JSON. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+    Shared by the snapshot codec ({!Repro_recover.Snapshot}) and the
+    write-ahead log ({!Repro_durable.Wal}) so both subsystems agree on one
+    checksum and the WAL inspector can validate either artifact.  Values
+    stay in the low 32 bits of an OCaml [int]. *)
+
+val string : string -> int
+(** CRC-32 of a whole string. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes of [s] starting at [pos].  @raise
+    Invalid_argument when the range falls outside the string. *)

@@ -2,7 +2,7 @@ A workload can be checkpointed and restored, round-tripping the forest:
 
   $ ../../bin/dsu_workload.exe snapshot -n 64 --ops 200 --seed 3 \
   >   --snapshot-out a.snap
-  snapshot: 64 elements, 5 sets, crc 66735363 -> a.snap
+  snapshot: 64 elements, 5 sets, crc e16f063e -> a.snap
 
   $ ../../bin/dsu_workload.exe restore --resume-from a.snap --validate
   restored: flat snapshot, 64 elements, 5 sets
@@ -17,7 +17,7 @@ in either encoding; a JSON snapshot loads back the same way:
   resumed:  100 ops on 2 domain(s), 2 sets
   snapshot: -> b.snap
 
-  $ grep -c '"schema":"dsu-snapshot/v1"' b.snap
+  $ grep -c '"schema":"dsu-snapshot/v2"' b.snap
   1
 
   $ ../../bin/dsu_workload.exe restore --resume-from b.snap --validate | head -1
@@ -28,7 +28,7 @@ error status, as does a truncated file:
 
   $ printf 'X' | dd of=a.snap bs=1 seek=20 conv=notrunc 2> /dev/null
   $ ../../bin/dsu_workload.exe restore --resume-from a.snap
-  dsu_workload: cannot load a.snap: checksum mismatch: stored 66735363, computed 86ab9d82
+  dsu_workload: cannot load a.snap: checksum mismatch: stored e16f063e, computed e48e9e8a
   [124]
 
   $ ../../bin/dsu_workload.exe snapshot -n 64 --ops 200 --seed 3 \

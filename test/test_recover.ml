@@ -239,6 +239,7 @@ let mk_snap parents prios =
     Snap.kind = Snap.Flat;
     n = Array.length parents;
     capacity = Array.length parents;
+    epoch = 0;
     parents;
     prios;
   }
