@@ -18,7 +18,9 @@
      dsu_workload restore --resume-from fuzzy.snap --wal ops.wal --validate
      dsu_workload chaos --durable --kind packed
      dsu_workload wal --file ops.wal --dump --check
-     dsu_workload durability --max-overhead 15 *)
+     dsu_workload durability --max-overhead 15
+     dsu_workload serve --arrival-rate 20000 --workers 2 --admission reject
+     dsu_workload serve --wal --chaos --json drills.json *)
 
 open Cmdliner
 
@@ -1748,6 +1750,231 @@ let durability_cmd =
         $ policy_arg $ json_out_arg $ baseline_arg $ diff_threshold_arg
         $ max_overhead_arg))
 
+(* ----------------------------------------------------------- serve mode *)
+
+module Hservice = Harness.Service
+module Service = Repro_service.Service
+
+let serve_gens_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "gens" ] ~docv:"G"
+        ~doc:
+          "Load-generator domains (client sessions); each walks its own \
+           open-loop arrival schedule and polls its own completion lane.")
+
+let serve_workers_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "workers" ] ~docv:"W"
+        ~doc:"Server worker domains (= bounded ingestion queues).")
+
+let serve_qcap_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "queue-capacity" ] ~docv:"C"
+        ~doc:"Per-worker ingestion queue bound — the backpressure point.")
+
+let serve_batch_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "batch" ] ~docv:"B"
+        ~doc:"Max operations a worker drains per queue lock acquisition.")
+
+let admission_conv =
+  let parse s =
+    match Service.admission_of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown admission policy %S (want reject, shed-oldest, block \
+              or block:MS)"
+             s))
+  in
+  let print ppf a = Format.pp_print_string ppf (Service.admission_to_string a) in
+  Arg.conv (parse, print)
+
+let serve_admission_arg =
+  Arg.(
+    value
+    & opt admission_conv Service.Reject
+    & info [ "admission" ] ~docv:"POLICY"
+        ~doc:
+          "Admission policy at a full queue: $(b,reject) fails fast, \
+           $(b,shed-oldest) displaces the oldest queued op (the victim is \
+           answered Shed, never dropped silently), $(b,block) or \
+           $(b,block:MS) retries under backoff until a deadline.")
+
+let serve_kind_arg =
+  Arg.(
+    value
+    & opt kind_conv Rsnap.Flat
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:"Backend kind: flat, boxed, growable, rank or packed.")
+
+let serve_find_frac_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "find-frac" ] ~docv:"F"
+        ~doc:
+          "Fraction of operations that are finds (unions take \
+           $(b,--unite-frac), the remainder are same-set queries).")
+
+let serve_wal_arg =
+  Arg.(
+    value & flag
+    & info [ "wal" ]
+        ~doc:
+          "Attach a write-ahead log: workers force the group commit before \
+           acknowledging any op, so every Done ack is durable.")
+
+let serve_deadline_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-op deadline: an op still queued this long past its intended \
+           arrival is answered Timed_out without touching the structure \
+           (0 = none).")
+
+let serve_chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Run the crash-recovery drill over all five backend kinds instead \
+           of the sweep: crash a worker mid-drain and the WAL committer \
+           mid-commit, recover from the newest fuzzy snapshot + WAL tail, \
+           resume serving, and measure RPO (acked-but-lost unites; must be \
+           0) and RTO (time to the first post-recovery ack).  Exits 3 if \
+           any drill check fails.")
+
+let run_serve n ops unite_frac find_frac seed gens rates shape workers qcap
+    batch admission plan autotune_cache kind durable deadline_ms chaos
+    json_out baseline threshold =
+  let* () = check_arg (n >= 2) "--elements must be >= 2" in
+  let* () = check_arg (ops >= 1) "--ops must be >= 1" in
+  let* () = check_arg (gens >= 1) "--gens must be >= 1" in
+  let* () = check_arg (workers >= 1) "--workers must be >= 1" in
+  let* () = check_arg (qcap >= 1) "--queue-capacity must be >= 1" in
+  let* () = check_arg (batch >= 1) "--batch must be >= 1" in
+  let* () = check_arg (deadline_ms >= 0.) "--deadline-ms must be >= 0" in
+  let* () =
+    check_arg
+      (unite_frac >= 0. && find_frac >= 0. && unite_frac +. find_frac <= 1.)
+      "--unite-frac and --find-frac must be nonnegative and sum to <= 1"
+  in
+  let* () =
+    check_arg
+      (List.for_all (fun r -> r > 0.) rates)
+      "--arrival-rate must be positive"
+  in
+  let* plan =
+    match plan with
+    | None -> Ok Dsu.Plan.default
+    | Some (`Plan p) -> Ok p
+    | Some `Auto ->
+      let profile =
+        {
+          Harness.Autotune.n;
+          domains = workers;
+          unite_percent = int_of_float (unite_frac *. 100.);
+          dist = Harness.Scalability.Uniform;
+          total_ops = gens * ops;
+          seed;
+        }
+      in
+      let r, source =
+        Harness.Autotune.auto ~cache_dir:autotune_cache ~profile ()
+      in
+      Printf.printf "plan:          %s (auto, %s)\n"
+        (Dsu.Plan.to_string r.Harness.Autotune.winner)
+        (match source with `Cached -> "cached" | `Measured -> "measured");
+      Ok r.Harness.Autotune.winner
+  in
+  let config =
+    {
+      Hservice.n;
+      unite_percent = int_of_float (unite_frac *. 100.);
+      find_percent = int_of_float (find_frac *. 100.);
+      seed;
+      generators = gens;
+      ops;
+      shape;
+      workers;
+      queue_capacity = qcap;
+      batch;
+      admission;
+      plan;
+      kind;
+      op_deadline_ms = deadline_ms;
+      durable;
+    }
+  in
+  let points, drills =
+    if chaos then ([], Hservice.drill_all ~config ())
+    else (Hservice.sweep ~config ~rates (), [])
+  in
+  let doc = Hservice.to_json config ~points ~drills in
+  (* Artifact before table, same SIGPIPE discipline as [latency]. *)
+  (match json_out with
+  | None -> ()
+  | Some out ->
+    with_out out (fun oc ->
+        output_string oc (Repro_obs.Json.to_string doc);
+        output_char oc '\n'));
+  if chaos then List.iter (Format.printf "%a" Hservice.pp_drill) drills
+  else Format.printf "%a" Hservice.pp_table points;
+  let* () =
+    match baseline with
+    | None -> Ok ()
+    | Some file ->
+      let* base = read_file file in
+      (match
+         Perfdiff.diff_strings ~threshold_pct:threshold ~base
+           ~current:(Repro_obs.Json.to_string doc) ()
+       with
+      | Error e -> Error (`Msg e)
+      | Ok rep ->
+        Format.printf "%a" Perfdiff.pp rep;
+        Ok ())
+  in
+  let failed = List.filter (fun d -> not d.Hservice.d_passed) drills in
+  if failed <> [] then begin
+    Printf.printf "DRILL FAILED: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun d -> Rsnap.kind_to_string d.Hservice.d_kind)
+            failed));
+    exit 3
+  end;
+  Ok ()
+
+let serve_cmd =
+  let doc =
+    "Connectivity-as-a-service: a multi-domain DSU server with bounded \
+     ingestion queues and explicit backpressure, driven open-loop; \
+     $(b,--chaos) runs the crash-recovery drill and measures RPO/RTO \
+     (emits dsu-service/v1)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      term_result
+        (const run_serve $ n_arg $ ops_arg $ unite_frac_arg
+        $ serve_find_frac_arg $ seed_arg $ serve_gens_arg $ arrival_rates_arg
+        $ shape_arg $ serve_workers_arg $ serve_qcap_arg $ serve_batch_arg
+        $ serve_admission_arg $ plan_arg $ autotune_cache_arg $ serve_kind_arg
+        $ serve_wal_arg $ serve_deadline_arg $ serve_chaos_arg $ json_out_arg
+        $ baseline_arg $ diff_threshold_arg))
+
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in
   Cmd.group (Cmd.info "dsu_workload" ~doc)
@@ -1761,6 +1988,7 @@ let main =
       wal_cmd;
       durability_cmd;
       latency_cmd;
+      serve_cmd;
       perfdiff_cmd;
     ]
 

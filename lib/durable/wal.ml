@@ -121,6 +121,9 @@ type writer = {
   committed : int Atomic.t;
   commits : int Atomic.t;
   crashed : (Site.t * int) option Atomic.t;
+  failed : exn option Atomic.t;
+  close_mu : Mutex.t;
+  mutable closed : bool;
   mutable committer : unit Domain.t option;
 }
 
@@ -194,37 +197,35 @@ let run_committer w =
     Atomic.set w.force false;
     last := now
   in
-  try
-    let rec loop () =
-      drain ();
-      let now = Unix.gettimeofday () in
-      let committing =
-        !n_pending > 0
-        && (!n_pending >= w.flush_records
-           || now -. !last >= w.flush_interval
-           || Atomic.get w.force || Atomic.get w.stop)
-      in
-      if committing then commit_pending now
-      else if !n_pending = 0 && Atomic.get w.force then Atomic.set w.force false;
-      if Atomic.get w.stop then begin
-        (* Final drain: appends racing the stop flag may still be in the
-           shards; anything arriving after this is lost (documented). *)
-        drain ();
-        if !n_pending > 0 then commit_pending (Unix.gettimeofday ())
-      end
-      else begin
-        (* Sleep between rounds rather than spin: a spinning committer
-           (and its per-shard mutex sweep) steals mutator CPU — on a
-           fully loaded box it showed up as tens of percent of unite
-           throughput.  Only a just-finished commit or a waiting
-           [flush]er warrants an immediate next round. *)
-        if committing || Atomic.get w.force then Domain.cpu_relax ()
-        else Unix.sleepf (min 0.002 (w.flush_interval /. 2.));
-        loop ()
-      end
+  let rec loop () =
+    drain ();
+    let now = Unix.gettimeofday () in
+    let committing =
+      !n_pending > 0
+      && (!n_pending >= w.flush_records
+         || now -. !last >= w.flush_interval
+         || Atomic.get w.force || Atomic.get w.stop)
     in
-    loop ()
-  with Fi.Crashed (site, slot) -> Atomic.set w.crashed (Some (site, slot))
+    if committing then commit_pending now
+    else if !n_pending = 0 && Atomic.get w.force then Atomic.set w.force false;
+    if Atomic.get w.stop then begin
+      (* Final drain: appends racing the stop flag may still be in the
+         shards; anything arriving after this is lost (documented). *)
+      drain ();
+      if !n_pending > 0 then commit_pending (Unix.gettimeofday ())
+    end
+    else begin
+      (* Sleep between rounds rather than spin: a spinning committer
+         (and its per-shard mutex sweep) steals mutator CPU — on a
+         fully loaded box it showed up as tens of percent of unite
+         throughput.  Only a just-finished commit or a waiting
+         [flush]er warrants an immediate next round. *)
+      if committing || Atomic.get w.force then Domain.cpu_relax ()
+      else Unix.sleepf (min 0.002 (w.flush_interval /. 2.));
+      loop ()
+    end
+  in
+  loop ()
 
 let create_writer ?(shards = 8) ?(flush_records = 64) ?(flush_interval = 0.002)
     ?epoch ?on_committer_start path =
@@ -252,14 +253,26 @@ let create_writer ?(shards = 8) ?(flush_records = 64) ?(flush_interval = 0.002)
       committed = Atomic.make 0;
       commits = Atomic.make 0;
       crashed = Atomic.make None;
+      failed = Atomic.make None;
+      close_mu = Mutex.create ();
+      closed = false;
       committer = None;
     }
   in
+  (* The death latches wrap the whole domain body, [on_committer_start]
+     included: a committer that dies for ANY reason — injected crash, real
+     I/O failure, or a raising start hook — must leave a latch behind,
+     because [flush]/[close] wait loops key off them and an unlatched
+     death would leave every later [flush] spinning forever. *)
   w.committer <-
     Some
       (Domain.spawn (fun () ->
-           (match on_committer_start with None -> () | Some f -> f ());
-           run_committer w));
+           try
+             (match on_committer_start with None -> () | Some f -> f ());
+             run_committer w
+           with
+           | Fi.Crashed (site, slot) -> Atomic.set w.crashed (Some (site, slot))
+           | e -> Atomic.set w.failed (Some e)));
   w
 
 let epoch w = w.epoch
@@ -278,12 +291,17 @@ let append w ~child ~parent =
   ignore (Atomic.fetch_and_add w.appended 1)
 
 let crashed w = Atomic.get w.crashed
+let failed w = Atomic.get w.failed
+
+(* A dead committer will never advance [committed] again, so every wait
+   loop must give up as soon as either death latch is set. *)
+let dead w = Atomic.get w.crashed <> None || Atomic.get w.failed <> None
 
 let flush w =
   let target = Atomic.get w.appended in
   Atomic.set w.force true;
   let rec wait () =
-    if Atomic.get w.crashed <> None then ()
+    if dead w then ()
     else if Atomic.get w.committed >= target then ()
     else begin
       (* Sleep-poll: the committer needs the CPU more than this waiter. *)
@@ -308,11 +326,25 @@ let writer_stats w =
     ws_crashed = Atomic.get w.crashed;
   }
 
+(* Idempotent and safe against a dead committer: the mutex serializes
+   concurrent closers (the second waits, then sees [closed] and returns),
+   [flush] cannot hang (it exits on the death latches), and the single
+   [Domain.join] never re-raises — a committer that died took its
+   exception into a latch, not into the joiner. *)
 let close w =
-  flush w;
-  Atomic.set w.stop true;
-  (match w.committer with None -> () | Some d -> Domain.join d);
-  w.committer <- None;
-  close_out_noerr w.oc
+  Mutex.lock w.close_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.close_mu)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        flush w;
+        Atomic.set w.stop true;
+        (match w.committer with
+        | None -> ()
+        | Some d -> ( try Domain.join d with _ -> ()));
+        w.committer <- None;
+        close_out_noerr w.oc
+      end)
 
 let path w = w.path

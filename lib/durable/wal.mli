@@ -76,16 +76,28 @@ val append : writer -> child:int -> parent:int -> unit
 
 val flush : writer -> unit
 (** Block until everything appended so far is fsynced (group commit
-    forced), or the committer has crashed. *)
+    forced), or the committer has died ({!crashed} or {!failed}) — a dead
+    committer will never advance the commit watermark, so waiting on it
+    would hang forever.  Callers that need the durability guarantee must
+    check {!crashed}/{!failed} after [flush] returns. *)
 
 val close : writer -> unit
-(** {!flush}, stop and join the committer, close the file. *)
+(** {!flush}, stop and join the committer, close the file.  Idempotent
+    and safe under every committer state: concurrent or repeated [close]
+    calls are serialized and the non-first are no-ops, a committer that
+    already died (injected crash or real I/O failure) is joined without
+    hanging or re-raising, and the join happens exactly once. *)
 
 val epoch : writer -> Epoch.t
 val path : writer -> string
 
 val crashed : writer -> (Repro_fault.Site.t * int) option
 (** The latched [(site, slot)] if an injected crash killed the committer. *)
+
+val failed : writer -> exn option
+(** The latched exception if anything {e other} than an injected crash
+    killed the committer (disk full, closed descriptor, …).  Either latch
+    means no further record will ever commit. *)
 
 type writer_stats = {
   ws_appended : int;  (** records staged *)

@@ -13,6 +13,8 @@ type t =
   | Wal_commit_pre
   | Wal_commit_mid
   | Wal_commit_post
+  | Queue_enq_cas
+  | Queue_deq_cas
   | Link_cas
   | Split_cas
 
@@ -32,6 +34,8 @@ let all =
     Wal_commit_pre;
     Wal_commit_mid;
     Wal_commit_post;
+    Queue_enq_cas;
+    Queue_deq_cas;
     Link_cas;
     Split_cas;
   ]
@@ -51,6 +55,8 @@ let to_string = function
   | Wal_commit_pre -> "wal-commit-pre"
   | Wal_commit_mid -> "wal-commit-mid"
   | Wal_commit_post -> "wal-commit-post"
+  | Queue_enq_cas -> "queue-enq-cas"
+  | Queue_deq_cas -> "queue-deq-cas"
   | Link_cas -> "link-cas"
   | Split_cas -> "split-cas"
 
@@ -69,6 +75,8 @@ let of_string = function
   | "wal-commit-pre" -> Some Wal_commit_pre
   | "wal-commit-mid" -> Some Wal_commit_mid
   | "wal-commit-post" -> Some Wal_commit_post
+  | "queue-enq-cas" -> Some Queue_enq_cas
+  | "queue-deq-cas" -> Some Queue_deq_cas
   | "link-cas" -> Some Link_cas
   | "split-cas" -> Some Split_cas
   | _ -> None

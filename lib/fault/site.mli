@@ -50,6 +50,19 @@
     - [Wal_commit_post] — after the batch is written and fsynced; crashing
       here loses nothing (the batch is durable).
 
+    Serving sites, arming the bounded MPMC ingestion/completion queues of
+    {!Repro_service.Bounded_queue}:
+
+    - [Queue_enq_cas] — at the top of an enqueue attempt, before the
+      lock-free size probe and before any lock is taken; a crash here
+      abandons the submission with no queue state disturbed (the queue's
+      mutexes are never held across a site, so injected crash-stop cannot
+      leak a lock).
+    - [Queue_deq_cas] — at the top of a dequeue / batch-drain attempt,
+      same discipline; a worker crashed here dies between drains, the
+      "crash a worker domain mid-drain" scenario of the serving chaos
+      drill.
+
     Attribution-only labels, used by the contention profiler to key
     CAS-outcome counts ([Dsu.Contention]) and never offered to the
     injection engine — no injection rule ever fires at them:
@@ -72,6 +85,8 @@ type t =
   | Wal_commit_pre
   | Wal_commit_mid
   | Wal_commit_post
+  | Queue_enq_cas
+  | Queue_deq_cas
   | Link_cas
   | Split_cas
 

@@ -80,6 +80,10 @@ let arrival_offsets ~shape ~rate ~ops ~seed =
     done);
   off
 
+(* Exported as [arrivals]: the serving harness drives its generators with
+   the exact same schedules, so its open-loop accounting is comparable. *)
+let arrivals = arrival_offsets
+
 type op = Unite of int * int | Same_set of int * int
 
 let make_ops ~n ~unite_percent ~ops ~seed =

@@ -32,6 +32,12 @@ type config = {
 
 val default_config : config
 
+val arrivals : shape:shape -> rate:float -> ops:int -> seed:int -> int array
+(** The deterministic arrival-offset schedule (ns from the generator's
+    epoch) one generator walks: mean inter-arrival [1e9 /. rate] for
+    every shape.  Exposed so other open-loop harnesses ({!Service}) drive
+    identical schedules. *)
+
 type point = {
   rate : float;  (** offered arrivals/sec per generator *)
   offered_rate : float;  (** [rate *. domains] *)

@@ -127,6 +127,65 @@ let latency_entries doc =
          ps)
   | _ -> None
 
+(* dsu-service/v1 carries both sweep points (throughput up-is-good, tail
+   latency down-is-good) and crash drills (RTO down-is-good; RPO is a
+   correctness gate, not a perf metric, so it is not diffed). *)
+let service_entries doc =
+  let points =
+    match mem "points" doc with
+    | Some (J.List ps) ->
+      Some
+        (List.concat_map
+           (fun p ->
+             let key =
+               match num_field "offered_rate" p with
+               | Some r -> Printf.sprintf "serve rate=%.0f" r
+               | None -> "serve rate=?"
+             in
+             let lat name =
+               let* l = mem "latency" p in
+               num_field name l
+             in
+             List.filter_map Fun.id
+               [
+                 (let* v = num_field "achieved_rate" p in
+                  Some
+                    { e_key = key; e_metric = "achieved_rate";
+                      e_dir = Higher_better; e_value = v });
+                 (let* v = lat "p99_ns" in
+                  Some
+                    { e_key = key; e_metric = "latency_p99_ns";
+                      e_dir = Lower_better; e_value = v });
+                 (let* v = lat "p999_ns" in
+                  Some
+                    { e_key = key; e_metric = "latency_p999_ns";
+                      e_dir = Lower_better; e_value = v });
+               ])
+           ps)
+    | _ -> None
+  in
+  let drills =
+    match mem "drills" doc with
+    | Some (J.List ds) ->
+      Some
+        (List.filter_map
+           (fun d ->
+             let key =
+               "drill " ^ Option.value ~default:"?" (str_field "kind" d)
+             in
+             let* v = num_field "rto_ns" d in
+             Some
+               { e_key = key; e_metric = "rto_ns"; e_dir = Lower_better;
+                 e_value = v })
+           ds)
+    | _ -> None
+  in
+  match (points, drills) with
+  | None, None -> None
+  | _ ->
+    Some
+      (Option.value ~default:[] points @ Option.value ~default:[] drills)
+
 let durability_entries doc =
   let* points = mem "points" doc in
   match points with
@@ -172,6 +231,9 @@ let classify doc =
   | Some (J.String s) when String.length s >= 11
                            && String.sub s 0 11 = "dsu-latency" ->
     Some (s, latency_entries)
+  | Some (J.String s) when String.length s >= 11
+                           && String.sub s 0 11 = "dsu-service" ->
+    Some (s, service_entries)
   | Some (J.String s) when String.length s >= 14
                            && String.sub s 0 14 = "dsu-durability" ->
     Some (s, durability_entries)
@@ -188,8 +250,8 @@ let extract doc =
   | None ->
     Error
       "unrecognized perf document (expected bechamel results, \
-       dsu-scalability/*, dsu-latency/*, dsu-durability/* or \
-       dsu-autotune/*)"
+       dsu-scalability/*, dsu-latency/*, dsu-service/*, dsu-durability/* \
+       or dsu-autotune/*)"
   | Some (kind, f) -> (
     match f doc with
     | Some entries -> Ok (kind, entries)

@@ -2,11 +2,13 @@
 
     Compares two documents of the same kind — bechamel [bench --out]
     results, [dsu-scalability/*] sweeps, [dsu-latency/*] sweeps,
-    [dsu-durability/*] reports, or [dsu-autotune/*] reports
-    (auto-detected) — and flags per-configuration metric deltas beyond a
-    noise threshold, respecting each metric's better-direction
-    ([ns_per_run], latency quantiles and [pause_ns] lower-better,
-    [mops_per_sec] and [achieved_rate] higher-better).  For autotune
+    [dsu-service/*] serving reports (sweep points and crash-drill RTO;
+    RPO is a correctness gate, not a diffed metric), [dsu-durability/*]
+    reports, or [dsu-autotune/*] reports (auto-detected) — and flags
+    per-configuration metric deltas beyond a noise threshold, respecting
+    each metric's better-direction ([ns_per_run], latency quantiles,
+    [pause_ns] and [rto_ns] lower-better, [mops_per_sec] and
+    [achieved_rate] higher-better).  For autotune
     documents the per-plan throughputs diff as ordinary rows and a changed
     winning plan is reported in {!report.warnings} — a warning, not a
     structural error.  Consumed by [bench --baseline]/[--guard-tuned] and

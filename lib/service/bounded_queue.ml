@@ -1,0 +1,142 @@
+(* Bounded MPMC ring queue: a hybrid of the classic two-lock queue and a
+   lock-free size probe.
+
+   The Michael-Scott two-lock queue serializes producers on one mutex and
+   consumers on another, so producers never contend with consumers.  The
+   hybrid keeps that structure over a fixed ring but publishes occupancy
+   through a single atomic [size] counter:
+
+   - [size] is incremented only AFTER the slot write, under the enqueue
+     lock; decremented only AFTER the slot is taken, under the dequeue
+     lock.  The increment is the linearization point of enqueue, the
+     decrement of dequeue.
+   - The full/empty fast paths ([try_enqueue] on a full queue, [dequeue]
+     on an empty one) are a single atomic load — no lock is touched, so a
+     producer hammering a full queue (the backpressure case this queue
+     exists for) cannot slow the consumers down, and vice versa.
+   - Under the enqueue lock, [size] can only decrease concurrently
+     (consumers), so a capacity re-check that passes stays valid until
+     the publish; symmetrically under the dequeue lock [size] can only
+     grow, so a non-empty re-check stays valid until the take.  That is
+     the whole correctness argument — the CAS loop of a fully lock-free
+     ring buys nothing here because each side is already serialized.
+
+   Fault-injection sites ([Site.Queue_enq_cas] / [Site.Queue_deq_cas]) are
+   hit BEFORE any lock acquisition: an injected [Crash] aborts the attempt
+   with both mutexes free, so crash-stop chaos can never wedge the queue
+   for the surviving domains. *)
+
+module Site = Repro_fault.Site
+module Fi = Repro_fault.Inject
+module Backoff = Repro_util.Backoff
+module Clock = Repro_obs.Clock
+
+type 'a t = {
+  slots : 'a option array;
+  cap : int;
+  mutable head : int;  (* next take index; guarded by deq_mu *)
+  mutable tail : int;  (* next put index; guarded by enq_mu *)
+  size : int Atomic.t;  (* published occupancy: the lock-free probe *)
+  enq_mu : Mutex.t;
+  deq_mu : Mutex.t;
+}
+
+let create cap =
+  if cap < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    slots = Array.make cap None;
+    cap;
+    head = 0;
+    tail = 0;
+    size = Atomic.make 0;
+    enq_mu = Mutex.create ();
+    deq_mu = Mutex.create ();
+  }
+
+let capacity t = t.cap
+let length t = Atomic.get t.size
+let is_empty t = length t = 0
+
+let[@inline] hit site = if Atomic.get Fi.armed then Fi.hit site
+
+(* Put [v] into the ring; caller holds [enq_mu] and has room. *)
+let[@inline] put t v =
+  t.slots.(t.tail) <- Some v;
+  t.tail <- (t.tail + 1) mod t.cap;
+  Atomic.incr t.size
+
+(* Take the head slot; caller holds [deq_mu] and has checked non-empty. *)
+let[@inline] take t =
+  let v = t.slots.(t.head) in
+  t.slots.(t.head) <- None;
+  t.head <- (t.head + 1) mod t.cap;
+  Atomic.decr t.size;
+  match v with Some v -> v | None -> assert false
+
+(* The sites are hit after the occupancy probe and before the lock: a
+   fast-fail on a full/empty queue is not an injection point (nothing was
+   going to happen), an attempt that will take the lock is — and an
+   injected crash there still leaves both mutexes free. *)
+let try_enqueue t v =
+  if Atomic.get t.size >= t.cap then false
+  else begin
+    hit Site.Queue_enq_cas;
+    Mutex.lock t.enq_mu;
+    let ok = Atomic.get t.size < t.cap in
+    if ok then put t v;
+    Mutex.unlock t.enq_mu;
+    ok
+  end
+
+let enqueue_until t ~deadline_ns v =
+  let rec go spins =
+    if try_enqueue t v then true
+    else if Clock.now_ns () >= deadline_ns then false
+    else go (Backoff.once spins)
+  in
+  go Backoff.initial
+
+let shed_enqueue t v =
+  hit Site.Queue_enq_cas;
+  Mutex.lock t.enq_mu;
+  let dropped =
+    if Atomic.get t.size >= t.cap then begin
+      (* Full: displace the oldest.  Taking [deq_mu] inside [enq_mu] is
+         the one place both locks nest; dequeue-side paths never take
+         [enq_mu], so the order cannot invert. *)
+      Mutex.lock t.deq_mu;
+      let d = if Atomic.get t.size >= t.cap then Some (take t) else None in
+      Mutex.unlock t.deq_mu;
+      d
+    end
+    else None
+  in
+  (* Room is guaranteed now: under [enq_mu] no other producer runs, and
+     consumers only shrink [size]. *)
+  put t v;
+  Mutex.unlock t.enq_mu;
+  dropped
+
+let dequeue_opt t =
+  if Atomic.get t.size = 0 then None
+  else begin
+    hit Site.Queue_deq_cas;
+    Mutex.lock t.deq_mu;
+    let r = if Atomic.get t.size = 0 then None else Some (take t) in
+    Mutex.unlock t.deq_mu;
+    r
+  end
+
+let dequeue_batch t ~max =
+  if max < 1 then invalid_arg "Bounded_queue.dequeue_batch: max must be >= 1";
+  if Atomic.get t.size = 0 then []
+  else begin
+    hit Site.Queue_deq_cas;
+    Mutex.lock t.deq_mu;
+    let rec go k acc =
+      if k = 0 || Atomic.get t.size = 0 then acc else go (k - 1) (take t :: acc)
+    in
+    let r = List.rev (go max []) in
+    Mutex.unlock t.deq_mu;
+    r
+  end

@@ -1,0 +1,174 @@
+(** Connectivity-as-a-service: a long-running multi-domain DSU server
+    with bounded ingestion, explicit backpressure, and a durable ack
+    contract.
+
+    {2 Request path}
+
+    A client session {!submit}s an op; admission is governed by the
+    configured {!admission} policy over that session's per-worker bounded
+    {!Bounded_queue}:
+
+    - [Reject] — fail fast with [Rejected Queue_full] when the queue is
+      at capacity (the caller sees backpressure immediately);
+    - [Shed_oldest] — always admit, displacing the oldest queued op when
+      full; the victim receives a [Shed] response (displacement is never
+      silent);
+    - [Block t] — retry under bounded {!Repro_util.Backoff} until
+      admitted or the admission deadline [t] expires
+      ([Rejected Admission_deadline]).
+
+    Worker domains drain FIFO batches and apply them through the bulk
+    [unite_batch]/[same_set_batch] kernels where the layout has them
+    (flat, packed), falling back to the uniform per-op dispatchers
+    elsewhere.  An op carrying a [deadline_ns] that expired while queued
+    is answered [Timed_out] without touching the structure.
+
+    {2 Ack/durability contract}
+
+    With a WAL attached, a worker forces the group commit {e before}
+    acknowledging any op of a drained batch, and only acks if the
+    committer is still alive to have performed it.  Therefore:
+
+    - an acked ([Done]) unite is on disk — recovery must reproduce it
+      (RPO = 0, measured by the serving chaos drill);
+    - an op lost to a crash is lost {e unacknowledged} — admitted ops die
+      with a crashed worker and their submitters never see a response;
+    - every admitted op on a surviving path gets exactly one response:
+      [Done], [Shed], [Timed_out], or [Failed] (the last when durable
+      acking became impossible — dead committer — or at shutdown sweep).
+
+    {2 Snapshots}
+
+    With [snapshot_dir] set, an initial fuzzy snapshot is written
+    {e synchronously} before serving begins (recovery always has a
+    candidate) and a snapshotter domain checkpoints every
+    [snapshot_interval] seconds, epoch-stamped against the WAL
+    ({!Repro_durable.Fuzzy.of_restored}).
+
+    Do not {!submit} concurrently with {!stop}: the shutdown sweep can
+    miss a submission racing the final drain. *)
+
+type op = Unite of int * int | Same_set of int * int | Find of int
+
+val op_to_string : op -> string
+
+type admission = Reject | Shed_oldest | Block of float  (** seconds *)
+
+val admission_to_string : admission -> string
+val admission_of_string : string -> admission option
+(** ["reject"], ["shed-oldest"], ["block"] (= 5ms) or ["block:MS"]. *)
+
+type reject_reason = Queue_full | Admission_deadline | Stopped
+
+val reject_reason_to_string : reject_reason -> string
+
+type value = V_unit | V_bool of bool | V_int of int
+(** [V_unit] for unite, [V_bool] for same_set, [V_int] for find. *)
+
+type outcome =
+  | Done of value  (** applied and (with a WAL) durable *)
+  | Shed  (** displaced by shed-oldest admission before being applied *)
+  | Timed_out  (** missed its per-op deadline while queued *)
+  | Failed of string  (** not applied durably; safe to resubmit *)
+
+type response = {
+  r_id : int;
+  r_session : int;
+  r_op : op;
+  r_outcome : outcome;
+  r_intended_ns : int;
+  r_completed_ns : int;
+}
+
+type admit = Enqueued of int | Rejected of reject_reason
+(** [Enqueued id]: admitted; a response for [id] will arrive on the
+    session's completion lane (unless a crash takes it, unacked). *)
+
+type config = {
+  n : int;  (** universe size *)
+  workers : int;  (** drain domains (= ingestion queues) *)
+  clients : int;  (** completion lanes; sessions hash onto them *)
+  queue_capacity : int;  (** per-worker ingestion bound *)
+  batch : int;  (** max ops drained per lock acquisition *)
+  admission : admission;
+  plan : Dsu.Plan.t;  (** compaction/order/backoff knobs for the backend *)
+  seed : int;
+  snapshot_dir : string option;
+  snapshot_interval : float;  (** seconds between fuzzy checkpoints *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?backend:Repro_recover.Restore.restored ->
+  ?wal:Repro_durable.Wal.writer ->
+  ?on_worker_start:(int -> unit) ->
+  ?kind:Repro_recover.Snapshot.kind ->
+  config ->
+  t
+(** Build the backend (from [kind], default [Flat], under the config's
+    plan; WAL [on_link] attached when [wal] is given), write the initial
+    snapshot if configured, and spawn the worker and snapshotter domains.
+    [backend] overrides construction — pass a recovered
+    {!Repro_recover.Restore.restored} (with its own [on_link] re-attached
+    via {!Repro_durable.Recovery.recover_files}) to resume serving after
+    a crash.  The WAL writer remains owned by the caller and is {e not}
+    closed by {!stop}.  [on_worker_start k] runs first on worker domain
+    [k] — the chaos drill uses it to enroll workers for fault injection.
+    @raise Invalid_argument on nonsensical knobs. *)
+
+val submit :
+  t -> ?intended_ns:int -> ?deadline_ns:int -> session:int -> op -> admit
+(** [intended_ns] (default: now) is echoed in the response for open-loop
+    latency accounting; [deadline_ns] (default: none) expires the op if
+    still queued past that clock value.  Routing: session mod workers.
+    @raise Invalid_argument if an element is outside [\[0, n)]. *)
+
+val poll : ?max:int -> t -> session:int -> response list
+(** Drain (up to [max]) responses from the session's completion lane.
+    Lanes are shared by sessions congruent mod [clients]; give each
+    polling domain its own lane. *)
+
+val stop : t -> unit
+(** Graceful shutdown: workers drain their queues and exit, the
+    snapshotter stops, then any ops stranded in crashed workers' queues
+    are answered [Failed "shutdown"], and a final WAL flush is forced.
+    The WAL writer is not closed. *)
+
+type health = {
+  h_dead_workers : (int * (Repro_fault.Site.t * int)) list;
+      (** worker index ↦ latched injected crash *)
+  h_committer_dead : bool;
+}
+
+val health : t -> health
+val healthy : t -> bool
+
+val backend : t -> Repro_recover.Restore.restored
+val kind : t -> Repro_recover.Snapshot.kind
+
+val snapshot_files : t -> string list
+(** Checkpoints written so far (sorted), for recovery. *)
+
+type stats = {
+  s_submitted : int;
+  s_accepted : int;
+  s_rejected_full : int;
+  s_rejected_deadline : int;
+  s_rejected_stopped : int;
+  s_shed : int;
+  s_timed_out : int;
+  s_acked : int;
+  s_failed : int;
+  s_displaced : int;
+      (** completion-lane displacements: always 0 (lanes are sized for the
+          worst-case in-flight population); nonzero means a sizing bug *)
+  s_batches : int;
+  s_max_batch : int;
+  s_max_depth : int;  (** max ingestion depth seen at submit *)
+  s_snapshots : int;
+}
+
+val stats : t -> stats

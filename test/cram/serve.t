@@ -1,0 +1,69 @@
+Connectivity-as-a-service: the serve subcommand drives a multi-domain
+DSU server open-loop and emits the versioned dsu-service/v1 document
+(docs/ROBUSTNESS.md).  Timing numbers are host-dependent, so the checks
+pin schema, structure, and the accounting invariants only.
+
+  $ ../../bin/dsu_workload.exe serve -n 256 --ops 300 --gens 1 --workers 1 \
+  >   --arrival-rate 100000 --shape fixed --queue-capacity 32 \
+  >   --json serve.json | head -1
+  serving sweep (open-loop, intended-start accounting)
+
+  $ grep -o '"schema":"dsu-service/v1"' serve.json
+  "schema":"dsu-service/v1"
+  $ grep -o '"admission":"reject"' serve.json
+  "admission":"reject"
+  $ grep -o '"knee_rate"' serve.json
+  "knee_rate"
+
+Backpressure accounting is part of the document: queue depth stays
+bounded by the configured capacity, and every accepted op is accounted
+for (acked + shed + timed_out + failed + lost = accepted — nothing is
+silently dropped after admission):
+
+  $ grep -o '"depth_bound_ok":true' serve.json
+  "depth_bound_ok":true
+  $ grep -o '"accounted_ok":true' serve.json
+  "accounted_ok":true
+
+Admission policies parse, including the block-with-deadline form:
+
+  $ ../../bin/dsu_workload.exe serve -n 128 --ops 100 --gens 1 --workers 1 \
+  >   --arrival-rate 100000 --admission shed-oldest --json - | grep -o '"admission":"shed-oldest"'
+  "admission":"shed-oldest"
+  $ ../../bin/dsu_workload.exe serve -n 128 --ops 100 --gens 1 --workers 1 \
+  >   --arrival-rate 100000 --admission block:2 --json - | grep -o '"admission":"block:2"'
+  "admission":"block:2"
+
+A self-diff of the serving document is exactly clean (1 point x 3
+metrics = 3 comparisons):
+
+  $ ../../bin/dsu_workload.exe perfdiff --baseline serve.json --current serve.json
+  perfdiff (dsu-service/v1, threshold 10.0%): 3 compared, 0 regressions, 0 improvements
+
+Bad flags are Cmdliner errors (one-line diagnostic, CLI-error exit
+status), never raw exceptions or backtraces:
+
+  $ ../../bin/dsu_workload.exe serve -n 1 2>&1 | grep -c Fatal
+  0
+  [1]
+  $ ../../bin/dsu_workload.exe serve -n 1
+  dsu_workload: --elements must be >= 2
+  [124]
+  $ ../../bin/dsu_workload.exe serve --workers 0
+  dsu_workload: --workers must be >= 1
+  [124]
+  $ ../../bin/dsu_workload.exe serve --queue-capacity 0
+  dsu_workload: --queue-capacity must be >= 1
+  [124]
+  $ ../../bin/dsu_workload.exe serve --arrival-rate 0
+  dsu_workload: --arrival-rate must be positive
+  [124]
+  $ ../../bin/dsu_workload.exe serve --unite-frac 0.9 --find-frac 0.9
+  dsu_workload: --unite-frac and --find-frac must be nonnegative and sum to <= 1
+  [124]
+  $ ../../bin/dsu_workload.exe serve --admission sometimes 2>&1 | grep -o "unknown admission policy"
+  unknown admission policy
+  $ ../../bin/dsu_workload.exe serve --admission sometimes > /dev/null 2>&1
+  [124]
+  $ ../../bin/dsu_workload.exe serve --kind marble 2>&1 | grep -o "unknown snapshot kind"
+  unknown snapshot kind

@@ -95,6 +95,94 @@ let test_group_commit_stats () =
   check Alcotest.bool "chunked into >= 4 commits of <= 16" true
     (s.Wal.ws_commits >= 4)
 
+(* ------------------------------------------------------------- shutdown *)
+
+module Fi = Repro_fault.Inject
+module Site = Repro_fault.Site
+
+(* Kill the committer with an injected crash mid-commit, then exercise the
+   shutdown paths that used to be able to hang (flush waiting on a commit
+   watermark that will never advance) or raise (a second close joining an
+   already-joined domain). *)
+let test_close_after_committer_crash () =
+  let path = temp_wal () in
+  Fi.arm
+    {
+      Fi.seed = 7;
+      rules_for =
+        (fun slot ->
+          if slot = 9 then [ Fi.rule ~sites:[ Site.Wal_commit_mid ] Fi.Crash ]
+          else []);
+    };
+  let w =
+    Wal.create_writer ~shards:1 ~flush_records:4 ~flush_interval:0.0005
+      ~on_committer_start:(fun () -> Fi.enroll ~slot:9)
+      path
+  in
+  for i = 0 to 31 do
+    Wal.append w ~child:i ~parent:(i + 1)
+  done;
+  (* The first commit attempt dies at Wal_commit_mid; wait for the latch. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Wal.crashed w = None && Unix.gettimeofday () < deadline do
+    Wal.flush w;
+    Unix.sleepf 0.001
+  done;
+  check Alcotest.bool "committer crashed" true (Wal.crashed w <> None);
+  Wal.flush w;
+  (* must not hang *)
+  Wal.close w;
+  (* must not hang or re-raise *)
+  Wal.close w;
+  (* second close: no double join *)
+  Fi.disarm ();
+  Sys.remove path;
+  check Alcotest.bool "injected crash is not a failure" true
+    (Wal.failed w = None)
+
+(* A committer killed by a real exception (not an injected crash) must
+   latch it too: here the start hook raises before the commit loop even
+   begins, the historically worst case — nothing was ever going to set the
+   old crash latch. *)
+let test_close_after_committer_failure () =
+  let path = temp_wal () in
+  let w =
+    Wal.create_writer ~shards:1 ~flush_interval:0.0005
+      ~on_committer_start:(fun () -> failwith "committer start blew up")
+      path
+  in
+  Wal.append w ~child:0 ~parent:1;
+  Wal.flush w;
+  (* must not hang: the failure latch ends the wait *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Wal.failed w = None && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  (match Wal.failed w with
+  | Some (Failure msg) ->
+    check Alcotest.string "latched exception" "committer start blew up" msg
+  | Some e -> Alcotest.failf "unexpected latched exception %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "committer failure never latched");
+  Wal.close w;
+  Wal.close w;
+  Sys.remove path;
+  check Alcotest.bool "no injected-crash latch" true (Wal.crashed w = None)
+
+(* Concurrent closers: exactly one does the join, the rest are no-ops. *)
+let test_concurrent_close () =
+  let path = temp_wal () in
+  let w = Wal.create_writer ~shards:2 path in
+  for i = 0 to 99 do
+    Wal.append w ~child:i ~parent:(i + 1)
+  done;
+  let closers =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Wal.close w))
+  in
+  List.iter Domain.join closers;
+  let s = Wal.writer_stats w in
+  Sys.remove path;
+  check Alcotest.int "everything committed" 100 s.Wal.ws_committed
+
 (* ----------------------------------------------------------- torn tails *)
 
 (* Truncate a valid WAL at EVERY byte length: the reader must return
@@ -446,6 +534,12 @@ let () =
           case "record roundtrip" test_record_roundtrip;
           case "writer roundtrip" test_writer_roundtrip;
           case "group commit stats" test_group_commit_stats;
+        ] );
+      ( "wal-shutdown",
+        [
+          case "close after committer crash" test_close_after_committer_crash;
+          case "close after committer failure" test_close_after_committer_failure;
+          case "concurrent close" test_concurrent_close;
         ] );
       ( "torn-tails",
         [

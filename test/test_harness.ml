@@ -406,6 +406,41 @@ let perfdiff_tests =
             check Alcotest.string "key is the offered rate" "rate=1000"
               row.Perfdiff.key)
           r.Perfdiff.regressions);
+    case "service documents diff throughput, tails and drill RTO" (fun () ->
+        let doc achieved p99 rto =
+          Printf.sprintf
+            {|{"schema":"dsu-service/v1","points":[{"offered_rate":1000.0,"achieved_rate":%f,"latency":{"p99_ns":%d,"p999_ns":%d}}],"drills":[{"kind":"flat","rpo_lost":0,"rto_ns":%d}]}|}
+            achieved p99 (2 * p99) rto
+        in
+        let r =
+          diff_ok ~base:(doc 990.0 100 1_000_000)
+            ~current:(doc 500.0 300 5_000_000)
+            ()
+        in
+        check Alcotest.string "kind" "dsu-service/v1" r.Perfdiff.kind;
+        let keyed =
+          List.map
+            (fun row -> (row.Perfdiff.key, row.Perfdiff.metric))
+            r.Perfdiff.regressions
+          |> List.sort compare
+        in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "throughput, both tails and RTO all regressed"
+          [
+            ("drill flat", "rto_ns");
+            ("serve rate=1000", "achieved_rate");
+            ("serve rate=1000", "latency_p999_ns");
+            ("serve rate=1000", "latency_p99_ns");
+          ]
+          keyed;
+        let faster =
+          diff_ok ~base:(doc 500.0 300 5_000_000)
+            ~current:(doc 990.0 100 1_000_000)
+            ()
+        in
+        check Alcotest.int "all improvements the other way" 4
+          (List.length faster.Perfdiff.improvements));
     case "disjoint keys land in only_base / only_current" (fun () ->
         let base = bechamel_doc [ ("old", 1.0); ("shared", 2.0) ] in
         let current = bechamel_doc [ ("shared", 2.0); ("new", 3.0) ] in
