@@ -201,14 +201,14 @@ let bench_lincheck =
 (* E12 family: the applications. *)
 let bench_components =
   let g =
-    Graphs.Generators.erdos_renyi ~rng:(Rng.create 23) ~n:n_medium ~m:(2 * n_medium)
+    Graphs.Generators.erdos_renyi ~rng:(Rng.create 23) ~n:n_medium ~m:(2 * n_medium) ()
   in
   Test.make ~name:"apps/connected-components"
     (Staged.stage (fun () -> ignore (Graphs.Components.sequential g)))
 
 let bench_kruskal =
   let rng = Rng.create 29 in
-  let g = Graphs.Generators.erdos_renyi ~rng ~n:n_small ~m:(4 * n_small) in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n:n_small ~m:(4 * n_small) () in
   let w = Graphs.Graph.with_random_weights ~rng g in
   Test.make ~name:"apps/kruskal-msf"
     (Staged.stage (fun () -> ignore (Graphs.Kruskal.run_concurrent_dsu ~seed:3 w)))
@@ -232,7 +232,7 @@ let bench_scc =
 (* New-application families (E12 extensions). *)
 let bench_boruvka =
   let rng = Rng.create 63 in
-  let g = Graphs.Generators.erdos_renyi ~rng ~n:n_small ~m:(4 * n_small) in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n:n_small ~m:(4 * n_small) () in
   let w = Graphs.Graph.with_random_weights ~rng g in
   Test.make ~name:"apps/boruvka-msf"
     (Staged.stage (fun () -> ignore (Graphs.Boruvka.run w)))
@@ -607,6 +607,10 @@ let parallel_backoffs = ref [ true ]
 let parallel_dists = ref [ Harness.Scalability.Uniform ]
 let guard_tuned = ref None
 let durability = ref false
+let connectivity = ref false
+let conn_scale = ref 16
+let conn_edge_factor = ref 8
+let guard_finish = ref None
 let max_wal_overhead = ref None
 let plan_request : [ `Auto | `Plan of Dsu.Plan.t ] option ref = ref None
 let autotune_cache = ref Harness.Autotune.default_cache_dir
@@ -757,6 +761,25 @@ let speclist =
        PCT percent: with --plan, the plan vs the default plan through the \
        perfdiff differ; without, the single-domain smoke pair (flat / \
        two-try, seq-cst vs relaxed-reads)" );
+    ( "--connectivity",
+      Arg.Set connectivity,
+      " run the streaming-connectivity edges/sec family (ConnectIt-style \
+       sample+finish over chunked edge streams, racy and deterministic \
+       engines, Anderson-Woll and Boruvka baselines) instead of the \
+       bechamel micro-benchmarks; --out writes dsu-connectivity/v1.  \
+       Honors --max-domains, --plan and --fast." );
+    ( "--conn-scale",
+      Arg.Set_int conn_scale,
+      "S  with --connectivity: 2^S vertices per stream (default 16; --fast \
+       caps it at 12)" );
+    ( "--conn-edge-factor",
+      Arg.Set_int conn_edge_factor,
+      "E  with --connectivity: E * 2^scale streamed edges (default 8)" );
+    ( "--guard-finish",
+      Arg.Float (fun r -> guard_finish := Some r),
+      "RATIO  with --connectivity, exit 1 unless every bulk finish reaches \
+       RATIO x its per-op twin's finish-phase edges/sec at the highest \
+       domain count" );
     ( "--durability",
       Arg.Set durability,
       " run the durability cost measurement (WAL throughput overhead, \
@@ -1076,6 +1099,97 @@ let run_durability_mode () =
       exit 1
     end
 
+(* Connectivity mode: the streaming edges/sec family, routed through the
+   same --out / --baseline plumbing.  --fast shrinks the streams and
+   drops the baselines so the CI smoke run stays in seconds. *)
+let run_connectivity_mode () =
+  let module C = Harness.Connectivity in
+  let rec counts d = if d > !max_domains then [] else d :: counts (2 * d) in
+  let domains_list = match counts 1 with [] -> [ 1 ] | l -> l in
+  let scale = if !fast then Stdlib.min !conn_scale 12 else !conn_scale in
+  let plan =
+    match !plan_request with
+    | None -> Dsu.Plan.default
+    | Some (`Plan p) -> p
+    | Some `Auto ->
+      let profile =
+        {
+          Harness.Autotune.n = 1 lsl scale;
+          domains = List.fold_left max 1 domains_list;
+          unite_percent = 100;
+          dist = Harness.Scalability.Uniform;
+          total_ops = !conn_edge_factor * (1 lsl scale);
+          seed = 21;
+        }
+      in
+      let result, source =
+        Harness.Autotune.auto ~cache_dir:!autotune_cache ~profile ()
+      in
+      Printf.printf "plan: %s (auto, %s)\n%!"
+        (Dsu.Plan.to_string result.Harness.Autotune.winner)
+        (match source with `Cached -> "cached" | `Measured -> "measured");
+      (match !autotune_out with
+      | None -> ()
+      | Some f -> write_json f (Harness.Autotune.to_json result));
+      result.Harness.Autotune.winner
+  in
+  let config =
+    {
+      C.default_config with
+      C.scale;
+      edge_factor = !conn_edge_factor;
+      chunk_size = (if !fast then 1 lsl 12 else 1 lsl 14);
+      domains_list;
+      modes = [ Graphs.Connectit.Racy; Graphs.Connectit.Deterministic ];
+      plan;
+      baselines = not !fast;
+      adversarial_n = (if !fast then 4096 else 16384);
+    }
+  in
+  let points =
+    C.sweep ~config
+      ~progress:(fun p ->
+        Printf.printf "%-12s %-4s %-9s %-6s d=%d  %8.2f Medges/s\n%!"
+          p.C.gen p.C.mode p.C.sampling p.C.finish p.C.domains
+          (p.C.edges_per_sec /. 1e6))
+      ()
+  in
+  print_newline ();
+  C.pp_table Format.std_formatter points;
+  Format.pp_print_newline Format.std_formatter ();
+  let baselines = if config.C.baselines then C.run_baselines ~config () else [] in
+  if baselines <> [] then begin
+    C.pp_baselines Format.std_formatter baselines;
+    Format.pp_print_newline Format.std_formatter ()
+  end;
+  let adversarial =
+    if config.C.adversarial_n = 0 then None
+    else
+      Some
+        (C.run_adversarial ~config ~domains:(List.fold_left max 1 domains_list) ())
+  in
+  (match adversarial with
+  | None -> ()
+  | Some a ->
+    Printf.printf "adversarial: n=%d, %d ops on %d domain(s), %.2f Mops/s\n"
+      a.C.a_n a.C.a_ops a.C.a_domains
+      (a.C.a_ops_per_sec /. 1e6));
+  let doc = C.to_json ~config ~baselines ?adversarial points in
+  (match !out_file with None -> () | Some file -> write_json file doc);
+  run_baseline_diff doc;
+  match !guard_finish with
+  | None -> ()
+  | Some min_ratio -> (
+    match C.guard_finish ~min_ratio points with
+    | Ok (worst, pairs) ->
+      Printf.printf
+        "guard-finish: ok — worst bulk/per-op finish ratio %.2f over %d \
+         pair(s) (floor %.2f)\n"
+        worst (List.length pairs) min_ratio
+    | Error e ->
+      Printf.eprintf "guard-finish: FAIL — %s\n%!" e;
+      exit 1)
+
 let run_bechamel () =
   let tests =
     List.filter (fun t -> matches_filters (Test.name t)) (all_tests ())
@@ -1144,6 +1258,7 @@ let () =
   if !metrics_file <> None then Repro_obs.Metrics.set_enabled true;
   if !plan_request <> None then parallel := true;
   if !durability then run_durability_mode ()
+  else if !connectivity then run_connectivity_mode ()
   else if !parallel then run_parallel_sweep ()
   else run_bechamel ();
   match !metrics_file with

@@ -1975,6 +1975,324 @@ let serve_cmd =
         $ serve_wal_arg $ serve_deadline_arg $ serve_chaos_arg $ json_out_arg
         $ baseline_arg $ diff_threshold_arg))
 
+(* ---------------------------------------------------- connectivity mode *)
+
+module Connectivity = Harness.Connectivity
+module Connectit = Graphs.Connectit
+
+let conn_gen_conv =
+  let parse s =
+    match Connectivity.gen_of_string s with
+    | Some g -> Ok g
+    | None -> Error (`Msg (Printf.sprintf "unknown generator %S" s))
+  in
+  let print ppf g = Format.pp_print_string ppf (Connectivity.gen_to_string g) in
+  Arg.conv (parse, print)
+
+let conn_gens_arg =
+  Arg.(
+    value
+    & opt_all conn_gen_conv []
+    & info [ "gen" ] ~docv:"GEN"
+        ~doc:
+          "Streamed generator: rmat, er or power-law (repeatable; default \
+           rmat and er).")
+
+let conn_sampling_conv =
+  let parse s =
+    match Connectit.sampling_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown sampling strategy %S" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Connectit.sampling_to_string v) in
+  Arg.conv (parse, print)
+
+let conn_samplings_arg =
+  Arg.(
+    value
+    & opt_all conn_sampling_conv []
+    & info [ "sampling" ] ~docv:"S"
+        ~doc:
+          "Sampling phase: none, k-out:K or bfs-hubs:H (repeatable; default \
+           none and k-out:2).")
+
+let conn_finish_conv =
+  let parse s =
+    match Connectit.finish_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown finish kernel %S" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Connectit.finish_to_string v) in
+  Arg.conv (parse, print)
+
+let conn_finishes_arg =
+  Arg.(
+    value
+    & opt_all conn_finish_conv []
+    & info [ "finish" ] ~docv:"F"
+        ~doc:
+          "Finish kernel: per-op or bulk (repeatable; default both).")
+
+let conn_mode_conv =
+  let parse s =
+    match Connectit.mode_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Connectit.mode_to_string v) in
+  Arg.conv (parse, print)
+
+let conn_modes_arg =
+  Arg.(
+    value
+    & opt_all conn_mode_conv []
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Engine mode: racy (the paper's wait-free engine) or det \
+           (schedule-independent bulk rounds); repeatable, default racy.")
+
+let conn_domains_arg =
+  Arg.(
+    value
+    & opt_all int []
+    & info [ "domains" ] ~docv:"D"
+        ~doc:"Domain count to sweep (repeatable; default 1 and 4).")
+
+let conn_scale_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "scale" ] ~docv:"S" ~doc:"2^$(docv) vertices (default 16).")
+
+let conn_edge_factor_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "edge-factor" ] ~docv:"E"
+        ~doc:"Edges = $(docv) * 2^scale (default 8).")
+
+let conn_chunk_arg =
+  Arg.(
+    value & opt int 16384
+    & info [ "chunk" ] ~docv:"C" ~doc:"Stream chunk size in edges (default 16384).")
+
+let conn_simple_arg =
+  Arg.(
+    value & flag
+    & info [ "simple" ]
+        ~doc:"Reject self-loops in the streamed generators (resampled endpoint).")
+
+let conn_block_chunks_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "block-chunks" ] ~docv:"B"
+        ~doc:"Chunks per deterministic-engine round block (default 8).")
+
+let conn_no_baselines_arg =
+  Arg.(
+    value & flag
+    & info [ "no-baselines" ]
+        ~doc:"Skip the Anderson-Woll and Boruvka baseline passes.")
+
+let conn_adversarial_arg =
+  Arg.(
+    value & opt int 16384
+    & info [ "adversarial" ] ~docv:"N"
+        ~doc:
+          "Elements for the Patrascu-Thorup incremental-connectivity point \
+           (0 disables it; default 16384).")
+
+let conn_check_det_arg =
+  Arg.(
+    value & flag
+    & info [ "check-determinism" ]
+        ~doc:
+          "After the sweep, replay the deterministic engine across domain \
+           counts 1/2/4 x three perturbation schedules (injected yields) \
+           and demand byte-identical labels; exit 3 on any disagreement.")
+
+let conn_guard_finish_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "guard-finish" ] ~docv:"RATIO"
+        ~doc:
+          "CI gate: at the highest racy domain count, every bulk finish \
+           must reach $(docv) x its per-op twin's finish-phase edges/sec; \
+           exit 1 otherwise.")
+
+let run_connectivity gens samplings finishes modes domains_list scale
+    edge_factor chunk seed simple plan autotune_cache block_chunks
+    no_baselines adversarial_n check_det guard_finish json_out baseline
+    threshold =
+  let* () = check_arg (scale >= 1 && scale <= 40) "--scale must be in [1, 40]" in
+  let* () = check_arg (edge_factor >= 1) "--edge-factor must be >= 1" in
+  let* () = check_arg (chunk >= 1) "--chunk must be >= 1" in
+  let* () = check_arg (block_chunks >= 1) "--block-chunks must be >= 1" in
+  let* () = check_arg (adversarial_n >= 0) "--adversarial must be >= 0" in
+  let* () =
+    check_arg
+      (List.for_all (fun d -> d >= 1) domains_list)
+      "--domains must be >= 1"
+  in
+  let defaults = Connectivity.default_config in
+  let domains_list =
+    if domains_list = [] then defaults.Connectivity.domains_list
+    else domains_list
+  in
+  let* plan =
+    match plan with
+    | None -> Ok Dsu.Plan.default
+    | Some (`Plan p) -> Ok p
+    | Some `Auto ->
+      let profile =
+        {
+          Harness.Autotune.n = 1 lsl scale;
+          domains = List.fold_left max 1 domains_list;
+          unite_percent = 100;
+          dist = Harness.Scalability.Uniform;
+          total_ops = edge_factor * (1 lsl scale);
+          seed;
+        }
+      in
+      let r, source =
+        Harness.Autotune.auto ~cache_dir:autotune_cache ~profile ()
+      in
+      Printf.printf "plan:     %s (auto, %s)\n%!"
+        (Dsu.Plan.to_string r.Harness.Autotune.winner)
+        (match source with `Cached -> "cached" | `Measured -> "measured");
+      Ok r.Harness.Autotune.winner
+  in
+  let config =
+    {
+      Connectivity.scale;
+      edge_factor;
+      chunk_size = chunk;
+      seed;
+      simple;
+      domains_list;
+      gens = (if gens = [] then defaults.Connectivity.gens else gens);
+      samplings =
+        (if samplings = [] then defaults.Connectivity.samplings else samplings);
+      finishes =
+        (if finishes = [] then defaults.Connectivity.finishes else finishes);
+      modes = (if modes = [] then defaults.Connectivity.modes else modes);
+      plan;
+      block_chunks;
+      baselines = not no_baselines;
+      adversarial_n;
+    }
+  in
+  let points =
+    Connectivity.sweep ~config
+      ~progress:(fun p ->
+        Printf.eprintf "connectivity: %s %s %s %s d=%d  %.2f Medges/s\n%!"
+          p.Connectivity.gen p.Connectivity.mode p.Connectivity.sampling
+          p.Connectivity.finish p.Connectivity.domains
+          (p.Connectivity.edges_per_sec /. 1e6))
+      ()
+  in
+  let baselines_pts =
+    if config.Connectivity.baselines then Connectivity.run_baselines ~config ()
+    else []
+  in
+  let adversarial =
+    if adversarial_n = 0 then None
+    else
+      Some
+        (Connectivity.run_adversarial ~config
+           ~domains:(List.fold_left max 1 domains_list)
+           ())
+  in
+  let doc = Connectivity.to_json ~config ?adversarial ~baselines:baselines_pts points in
+  (* Artifact before table, same SIGPIPE discipline as [latency]. *)
+  (match json_out with
+  | None -> ()
+  | Some out ->
+    with_out out (fun oc ->
+        output_string oc (Repro_obs.Json.to_string doc);
+        output_char oc '\n'));
+  Format.printf "%a@." Connectivity.pp_table points;
+  if baselines_pts <> [] then
+    Format.printf "%a@." Connectivity.pp_baselines baselines_pts;
+  (match adversarial with
+  | None -> ()
+  | Some a ->
+    Printf.printf
+      "adversarial: n=%d, %d ops (%d unions, %d queries) on %d domain(s), \
+       %.2f Mops/s\n"
+      a.Connectivity.a_n a.Connectivity.a_ops a.Connectivity.a_unions
+      a.Connectivity.a_queries a.Connectivity.a_domains
+      (a.Connectivity.a_ops_per_sec /. 1e6));
+  let* () =
+    match baseline with
+    | None -> Ok ()
+    | Some file ->
+      let* base = read_file file in
+      (match
+         Perfdiff.diff_strings ~threshold_pct:threshold ~base
+           ~current:(Repro_obs.Json.to_string doc) ()
+       with
+      | Error e -> Error (`Msg e)
+      | Ok rep ->
+        Format.printf "%a" Perfdiff.pp rep;
+        Ok ())
+  in
+  if check_det then begin
+    let stream =
+      Connectivity.make_stream config
+        (List.hd (if gens = [] then defaults.Connectivity.gens else gens))
+    in
+    let outcome =
+      Lincheck.Determinism.check
+        ~run:(fun ~domains ~on_round ->
+          let labels, _ =
+            Graphs.Det_bulk.run ~domains ~block_chunks ~on_round stream
+          in
+          labels)
+        ()
+    in
+    Printf.printf "determinism: %d runs, %s\n" outcome.Lincheck.Determinism.runs
+      (if outcome.Lincheck.Determinism.ok then
+         Printf.sprintf "all labels byte-identical (digest %s)"
+           outcome.Lincheck.Determinism.digest
+       else "DISAGREEMENT");
+    if not outcome.Lincheck.Determinism.ok then begin
+      List.iter (Printf.printf "  %s\n")
+        outcome.Lincheck.Determinism.failures;
+      exit 3
+    end
+  end;
+  (match guard_finish with
+  | None -> ()
+  | Some min_ratio -> (
+    match Connectivity.guard_finish ~min_ratio points with
+    | Ok (worst, pairs) ->
+      Printf.printf
+        "guard-finish: ok — worst bulk/per-op finish ratio %.2f over %d \
+         pair(s) (floor %.2f)\n"
+        worst (List.length pairs) min_ratio
+    | Error e ->
+      Printf.eprintf "guard-finish: FAIL — %s\n%!" e;
+      exit 1));
+  Ok ()
+
+let connectivity_cmd =
+  let doc =
+    "Streaming-connectivity benchmark family: ConnectIt-style sample+finish \
+     pipeline over chunked edge streams (never materialized), racy vs \
+     deterministic engines, edges/sec per phase vs the Anderson-Woll and \
+     Boruvka baselines (emits dsu-connectivity/v1)."
+  in
+  Cmd.v (Cmd.info "connectivity" ~doc)
+    Term.(
+      term_result
+        (const run_connectivity $ conn_gens_arg $ conn_samplings_arg
+        $ conn_finishes_arg $ conn_modes_arg $ conn_domains_arg
+        $ conn_scale_arg $ conn_edge_factor_arg $ conn_chunk_arg $ seed_arg
+        $ conn_simple_arg $ plan_arg $ autotune_cache_arg
+        $ conn_block_chunks_arg $ conn_no_baselines_arg $ conn_adversarial_arg
+        $ conn_check_det_arg $ conn_guard_finish_arg $ json_out_arg
+        $ baseline_arg $ diff_threshold_arg))
+
 let main =
   let doc = "Workload driver for the concurrent disjoint-set-union library" in
   Cmd.group (Cmd.info "dsu_workload" ~doc)
@@ -1989,6 +2307,7 @@ let main =
       durability_cmd;
       latency_cmd;
       serve_cmd;
+      connectivity_cmd;
       perfdiff_cmd;
     ]
 

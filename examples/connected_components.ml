@@ -16,7 +16,7 @@ let () =
   let rng = Repro_util.Rng.create 2024 in
   let n = 200_000 and m = 300_000 in
   Printf.printf "generating Erdos-Renyi graph: n=%d m=%d...\n%!" n m;
-  let g = Graphs.Generators.erdos_renyi ~rng ~n ~m in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n ~m () in
 
   let seq_labels, seq_time = time (fun () -> Graphs.Components.sequential g) in
   Printf.printf "sequential DSU:  %d components in %.3fs\n%!"

@@ -24,7 +24,7 @@ let () =
   (* A larger random instance, solved with both the sequential DSU and the
      concurrent one; the forests may differ (ties) but weights must agree. *)
   let n = 50_000 and m = 200_000 in
-  let g = Graphs.Generators.erdos_renyi ~rng ~n ~m in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n ~m () in
   let w = Graphs.Graph.with_random_weights ~rng g in
   let seq = Graphs.Kruskal.run w in
   let conc = Graphs.Kruskal.run_concurrent_dsu ~seed:13 w in
@@ -43,7 +43,7 @@ let () =
   assert (Float.abs (b.Graphs.Boruvka.total_weight -. seq.Graphs.Kruskal.total_weight) < 1e-6);
 
   (* Sparse graphs leave a forest: count the trees. *)
-  let sparse = Graphs.Generators.erdos_renyi ~rng ~n:10_000 ~m:4_000 in
+  let sparse = Graphs.Generators.erdos_renyi ~rng ~n:10_000 ~m:4_000 () in
   let sw = Graphs.Graph.with_random_weights ~rng sparse in
   let rf = Graphs.Kruskal.run sw in
   Printf.printf "sparse graph: %d trees in the minimum spanning forest\n"

@@ -55,6 +55,9 @@ module Packed = Packed_dsu
     supports every {!Find_policy} compaction rule. *)
 
 module Plan = Dsu_plan
+
+(** Plan-dispatched backend as a first-class closure record. *)
+module Driver = Dsu_driver
 (** First-class configuration points of the plan space (linking rule x
     compaction x memory order x backoff x layout), with the registry swept
     by [Harness.Autotune] and the [--plan] CLI spec syntax. *)

@@ -698,6 +698,24 @@ module Make (M : Memory_intf.S) = struct
     done;
     out
 
+  let find_batch t xs =
+    let len = Array.length xs in
+    for k = 0 to len - 1 do
+      check_node t (Array.unsafe_get xs k)
+    done;
+    let keys = Array.make cache_size (-1) and anc = Array.make cache_size 0 in
+    let out = Array.make len 0 in
+    for k = 0 to len - 1 do
+      if k + prefetch_dist < len then
+        M.prefetch t.mem (Array.unsafe_get xs (k + prefetch_dist));
+      let x = Array.unsafe_get xs k in
+      (* [find_root] bumps [incr_find] itself, as in [find]. *)
+      let r = find_root t (cache_hint keys anc x) in
+      cache_store keys anc x r;
+      Array.unsafe_set out k r
+    done;
+    out
+
   (* Quiescent inspection helpers.  These read through [M], so under the
      simulator they consume steps; call them only outside measured phases. *)
 

@@ -72,6 +72,15 @@ module Make (M : Memory_intf.S) : sig
       {!unite_batch}.
       @raise Invalid_argument on length mismatch or out-of-range nodes. *)
 
+  val find_batch : t -> int array -> int array
+  (** [find_batch t xs] answers [find t xs.(k)] for every [k], with the
+      same per-call root cache and prefetching as {!unite_batch}.  The
+      snapshot is per-element linearizable, not atomic as a whole: the
+      roots returned for distinct elements may belong to different
+      moments.  Quiescent callers (the phase-2 label pass of a
+      connectivity driver) get a consistent forest labelling.
+      @raise Invalid_argument on out-of-range nodes. *)
+
   val parent_of : t -> int -> int
   val is_root : t -> int -> bool
   val count_sets : t -> int

@@ -45,6 +45,27 @@ let find t x =
   if Atomic.get Dsu_obs.armed then Dsu_obs.record_find_op ();
   A.find t x
 
+let unite_batch t xs ys =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    A.unite_batch t xs ys;
+    Dsu_obs.record_unite_latency t0
+  end
+  else A.unite_batch t xs ys
+
+let same_set_batch t xs ys =
+  if Atomic.get Dsu_obs.armed then begin
+    let t0 = Dsu_obs.now_ns () in
+    let r = A.same_set_batch t xs ys in
+    Dsu_obs.record_same_set_latency t0;
+    r
+  end
+  else A.same_set_batch t xs ys
+
+let find_batch t xs =
+  if Atomic.get Dsu_obs.armed then Dsu_obs.record_find_op ();
+  A.find_batch t xs
+
 let id = A.id
 let parent_of = A.parent_of
 let is_root = A.is_root

@@ -28,6 +28,13 @@ val n : t -> int
 val same_set : t -> int -> int -> bool
 val unite : t -> int -> int -> unit
 val find : t -> int -> int
+
+val unite_batch : t -> int array -> int array -> unit
+(** The {!Dsu_algorithm.Make.unite_batch} bulk kernel over the boxed
+    layout, so bulk-vs-per-op comparisons can A/B memory layouts too. *)
+
+val same_set_batch : t -> int array -> int array -> bool array
+val find_batch : t -> int array -> int array
 val id : t -> int -> int
 val parent_of : t -> int -> int
 val is_root : t -> int -> bool

@@ -1,0 +1,30 @@
+(** A {!Dsu_plan}-dispatched DSU backend as a first-class value: one
+    layout dispatch at [create] time, then a record of closures over the
+    constructed structure.  Lets plan-parametric subsystems (the
+    connectivity pipeline, batch services) stay agnostic of the layout
+    without repeating the [Harness.Scalability]-style match.  The extra
+    indirect call is negligible on the batch entry points; keep per-op
+    hot loops layout-matched if the last few percent matter. *)
+
+type t = {
+  n : int;
+  plan : Dsu_plan.t;
+  find : int -> int;
+  same_set : int -> int -> bool;
+  unite : int -> int -> unit;
+  unite_batch : int array -> int array -> unit;
+  same_set_batch : int array -> int array -> bool array;
+  find_batch : int array -> int array;
+  count_sets : unit -> int;  (** Quiescent only. *)
+  parents_snapshot : unit -> int array;  (** Quiescent only. *)
+  stats : unit -> Dsu_stats.snapshot option;
+      (** [None] unless created with [~collect_stats:true]. *)
+}
+
+val create : ?plan:Dsu_plan.t -> ?seed:int -> ?collect_stats:bool -> int -> t
+(** [create n] builds the structure the plan names ([plan] defaults to
+    {!Dsu_plan.default}, i.e. the flat native layout).  [seed] feeds the
+    random priority permutation on the id-linking layouts (ignored by
+    [packed], whose rank linking is seedless).
+    @raise Invalid_argument if {!Dsu_plan.validate} rejects the plan, or
+    [n < 1] (packed additionally bounds [n] by its parent-field width). *)

@@ -70,6 +70,10 @@ let same_set_batch t xs ys =
   end
   else A.same_set_batch t xs ys
 
+let find_batch t xs =
+  if Atomic.get Dsu_obs.armed then Dsu_obs.record_find_op ();
+  A.find_batch t xs
+
 let id = A.id
 let parent_of = A.parent_of
 let is_root = A.is_root

@@ -77,6 +77,12 @@ val same_set_batch : t -> int array -> int array -> bool array
     same bulk kernel machinery as {!unite_batch}.
     @raise Invalid_argument on length mismatch or out-of-range nodes. *)
 
+val find_batch : t -> int array -> int array
+(** [find_batch t xs].(k) = [find t xs.(k)], through the same bulk kernel
+    machinery as {!unite_batch}.  Per-element linearizable; a quiescent
+    caller (e.g. a connectivity label pass) gets a consistent labelling.
+    @raise Invalid_argument on out-of-range nodes. *)
+
 val memory_order : t -> Memory_order.t
 (** The parent-load ordering mode this structure was created with. *)
 

@@ -69,6 +69,7 @@ module Make (M : Memory_intf.S) : sig
       cache + prefetch) over packed words. *)
 
   val same_set_batch : t -> int array -> int array -> bool array
+  val find_batch : t -> int array -> int array
   val parent_of : t -> int -> int
   val rank_of : t -> int -> int
   val is_root : t -> int -> bool
@@ -121,6 +122,7 @@ module Native : sig
   val unite : t -> int -> int -> unit
   val unite_batch : t -> int array -> int array -> unit
   val same_set_batch : t -> int array -> int array -> bool array
+  val find_batch : t -> int array -> int array
   val parent_of : t -> int -> int
   val rank_of : t -> int -> int
   val is_root : t -> int -> bool

@@ -8,7 +8,13 @@
     graph with a giant component into one class; a snapshot labeling then
     identifies that class, and the {e finish phase} skips every edge with
     both endpoints already inside it using two array reads instead of two
-    traversals — most edges never touch the DSU at all. *)
+    traversals — most edges never touch the DSU at all.
+
+    {!components} is the materialized-graph entry point;
+    {!run_stream} runs the same pipeline out-of-core over an
+    {!Edge_stream} (the edge list is never materialized), with a choice
+    of finish kernel (per-op vs bulk), any {!Dsu.Plan}, and an
+    internally deterministic mode ({!Det_bulk}). *)
 
 type strategy =
   | Direct  (** unite every edge; no sampling *)
@@ -25,8 +31,89 @@ val components :
   ?domains:int ->
   ?seed:int ->
   ?strategy:strategy ->
+  ?plan:Dsu.Plan.t ->
+  ?collect_stats:bool ->
   Graph.t ->
   int array * stats
 (** Component labels (normalized to smallest member, comparable with
-    {!Components.sequential}) plus work statistics.  [domains] defaults to
-    4, [strategy] to [Sampled 2]. *)
+    {!Components.sequential}) plus work statistics.  [domains] defaults
+    to 4, [strategy] to [Sampled 2].  [plan] (default {!Dsu.Plan.default})
+    picks the DSU backend via {!Dsu.Driver}; [collect_stats] (default
+    [true], matching the original API) feeds [dsu_work] — pass [false]
+    for timing runs, leaving [dsu_work = 0].
+    @raise Invalid_argument if {!Dsu.Plan.validate} rejects [plan]. *)
+
+(** {1 Streamed pipeline} *)
+
+type sampling =
+  | No_sampling
+  | K_out of int
+      (** Unite each vertex's first [k] stream-incident out-edges over a
+          prefix window of the stream. *)
+  | Bfs_hubs of int
+      (** Rank vertices by out-degree over a prefix window, then unite
+          every window edge incident to one of the top-[h] hubs. *)
+
+type finish =
+  | Per_op  (** one [unite] call per surviving edge *)
+  | Bulk  (** one [unite_batch] call per surviving chunk *)
+
+type mode =
+  | Racy
+      (** The paper's wait-free engine: fastest; the output forest
+          depends on the schedule (labels are still correct and
+          normalized). *)
+  | Deterministic
+      (** {!Det_bulk}: byte-identical labels for a given stream across
+          any domain count and schedule; sampling and plan are ignored
+          (they would reintroduce schedule dependence). *)
+
+val sampling_to_string : sampling -> string
+
+val sampling_of_string : string -> sampling option
+(** ["none"], ["k-out:<k>"] (bare ["k-out"] = 2), ["bfs-hubs:<h>"]
+    (bare = 64). *)
+
+val finish_to_string : finish -> string
+val finish_of_string : string -> finish option
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type stream_report = {
+  labels : int array;
+      (** Normalized component labels: [labels.(v)] is the minimum
+          vertex id of [v]'s component, in every mode. *)
+  components : int;
+  edges_total : int;
+  edges_skipped : int;  (** finish-phase edges skipped intra-giant *)
+  sample_unites : int;
+  det_rounds : int;  (** deterministic rounds (0 in [Racy] mode) *)
+  sample_ns : int;  (** sampling + giant-snapshot wall time *)
+  finish_ns : int;
+  label_ns : int;  (** final parallel label pass *)
+  total_ns : int;
+}
+
+val run_stream :
+  ?domains:int ->
+  ?seed:int ->
+  ?plan:Dsu.Plan.t ->
+  ?sampling:sampling ->
+  ?finish:finish ->
+  ?mode:mode ->
+  ?block_chunks:int ->
+  Edge_stream.t ->
+  stream_report
+(** One pass of the streaming pipeline.  Memory is bounded by the DSU
+    state ([O(n)]) plus per-domain chunk buffers — the stream's edge
+    list is never materialized.  Defaults: 4 domains, [K_out 2]
+    sampling, [Bulk] finish, [Racy] mode, plan {!Dsu.Plan.default};
+    [block_chunks] (default 8) is the deterministic engine's block size.
+    @raise Invalid_argument if {!Dsu.Plan.validate} rejects [plan]. *)
+
+(**/**)
+
+val in_domains : domains:int -> (int -> int -> unit) -> unit
+(** Internal: run [f k domains] on [domains] domains (rethrows the
+    first worker exception after joining all).  Shared with the harness
+    sweeps. *)

@@ -1,0 +1,221 @@
+module Faa = Repro_util.Flat_atomic_array
+
+(* ------------------------------------------------------------------ *)
+(* Internally deterministic bulk union-find over an edge stream, after
+   Fedorov–Hashemi–Nadiradze–Alistarh: the output forest is a function
+   of the input stream alone — independent of the number of domains,
+   the OS schedule, and any injected delays.
+
+   The stream is consumed in *blocks* of [block_chunks] chunks.  A block
+   is processed in barrier-separated rounds of three phases:
+
+   - {b propose}: the forest is frozen; every domain walks its share of
+     the block's (still unmerged) edges, chases both endpoints to their
+     roots, and for roots [ru <> rv] publishes [writeMin(propose[hi], lo)]
+     where [hi = max ru rv], [lo = min ru rv].  writeMin (a CAS-min loop)
+     is commutative and associative, so after the barrier [propose.(h)]
+     is the minimum over every proposal for [h] this round — whatever
+     the interleaving.
+   - {b link}: each domain re-reads the slots it touched and installs
+     [parent.(hi) <- propose.(hi)].  Several domains may write the same
+     slot; they write the same (now frozen) value, so the writes are
+     idempotent.  Links always point root -> strictly smaller id, so no
+     cycle can form and the final root of a component is its minimum id.
+   - {b reset}: touched propose slots return to the sentinel, so the
+     next round starts clean.
+
+   A round with no proposal anywhere ends the block (the shared
+   [progress] flag is an OR — again commutative).  Because every phase
+   is deterministic given the frozen state before it, by induction the
+   parent array after every round — and hence the final labels — is
+   schedule-independent.
+
+   Work partitioning is by *chunk index*, never by domain count: chunk
+   [j] of a block always belongs to domain [j mod domains], so changing
+   [domains] changes who does the work but not which edges are in the
+   block, and the min-reductions erase the difference.  Memory is
+   [2 * n] words of shared state plus one block of edges
+   ([block_chunks * chunk_size] pairs) spread across the domains —
+   the full edge list is never materialized. *)
+
+type report = {
+  n : int;
+  edges : int;
+  blocks : int;
+  rounds : int;
+  components : int;
+}
+
+(* Sense-reversing barrier.  Bounded cpu_relax spinning, then short
+   sleeps: on single-core CI hosts a pure spin waits out whole scheduler
+   timeslices (see the service-layer drain loop, which made the same
+   tradeoff). *)
+type barrier = { count : int Atomic.t; sense : bool Atomic.t; total : int }
+
+let barrier_make total = { count = Atomic.make 0; sense = Atomic.make false; total }
+
+let barrier_wait b ~local_sense =
+  if Atomic.fetch_and_add b.count 1 = b.total - 1 then begin
+    Atomic.set b.count 0;
+    Atomic.set b.sense local_sense
+  end
+  else begin
+    let spins = ref 0 in
+    while Atomic.get b.sense <> local_sense do
+      incr spins;
+      if !spins < 4096 then Domain.cpu_relax () else Unix.sleepf 0.0002
+    done
+  end
+
+(* One domain's slice of the current block, compacted across rounds. *)
+type slice = {
+  src : int array;
+  dst : int array;
+  mutable live : int;
+  touched : int array;
+  mutable touched_len : int;
+}
+
+let run ?(domains = 4) ?(block_chunks = 8) ?(flatten_every = 1)
+    ?(on_round = fun ~domain:_ ~round:_ -> ()) stream =
+  if domains < 1 then invalid_arg "Det_bulk.run: domains must be >= 1";
+  if block_chunks < 1 then
+    invalid_arg "Det_bulk.run: block_chunks must be >= 1";
+  if flatten_every < 1 then
+    invalid_arg "Det_bulk.run: flatten_every must be >= 1";
+  let n = Edge_stream.n stream in
+  let m = Edge_stream.total_edges stream in
+  let chunk_size = Edge_stream.chunk_size stream in
+  let chunks = Edge_stream.chunk_count stream in
+  let blocks = (chunks + block_chunks - 1) / block_chunks in
+  (* Plain parent array: written only in barrier-separated link/flatten
+     phases (same-value races only), read only in frozen phases. *)
+  let parent = Array.init n (fun i -> i) in
+  let sentinel = n in
+  let propose = Faa.make n (fun _ -> sentinel) in
+  let progress = Atomic.make false in
+  let barrier = barrier_make domains in
+  let rounds_total = ref 0 in
+  (* Per-domain slice capacity: chunks j mod domains = d of a block. *)
+  let slice_cap =
+    ((block_chunks + domains - 1) / domains) * chunk_size
+  in
+  let root v =
+    let r = ref v in
+    while Array.unsafe_get parent !r <> !r do
+      r := Array.unsafe_get parent !r
+    done;
+    !r
+  in
+  let body d =
+    let local_sense = ref true in
+    let bar () =
+      barrier_wait barrier ~local_sense:!local_sense;
+      local_sense := not !local_sense
+    in
+    let sl =
+      {
+        src = Array.make slice_cap 0;
+        dst = Array.make slice_cap 0;
+        live = 0;
+        touched = Array.make slice_cap 0;
+        touched_len = 0;
+      }
+    in
+    let buf = Edge_stream.make_chunk stream in
+    for b = 0 to blocks - 1 do
+      (* Load my chunks of block [b] into the slice. *)
+      sl.live <- 0;
+      let first = b * block_chunks in
+      let last = min chunks (first + block_chunks) - 1 in
+      for j = first to last do
+        if (j - first) mod domains = d then begin
+          Edge_stream.fill stream j buf;
+          Array.blit buf.Edge_stream.src 0 sl.src sl.live buf.Edge_stream.len;
+          Array.blit buf.Edge_stream.dst 0 sl.dst sl.live buf.Edge_stream.len;
+          sl.live <- sl.live + buf.Edge_stream.len
+        end
+      done;
+      let round = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (* Propose phase: compact live edges in place. *)
+        let keep = ref 0 in
+        sl.touched_len <- 0;
+        for k = 0 to sl.live - 1 do
+          let ru = root (Array.unsafe_get sl.src k) in
+          let rv = root (Array.unsafe_get sl.dst k) in
+          if ru <> rv then begin
+            let hi = if ru > rv then ru else rv in
+            let lo = if ru > rv then rv else ru in
+            (* writeMin *)
+            let rec write_min () =
+              let cur = Faa.get propose hi in
+              if lo < cur && not (Faa.cas propose hi cur lo) then write_min ()
+            in
+            write_min ();
+            sl.touched.(sl.touched_len) <- hi;
+            sl.touched_len <- sl.touched_len + 1;
+            Array.unsafe_set sl.src !keep ru;
+            Array.unsafe_set sl.dst !keep rv;
+            incr keep
+          end
+        done;
+        sl.live <- !keep;
+        if sl.touched_len > 0 && not (Atomic.get progress) then
+          Atomic.set progress true;
+        bar ();
+        on_round ~domain:d ~round:!round;
+        if Atomic.get progress then begin
+          (* Link phase: idempotent same-value writes. *)
+          for k = 0 to sl.touched_len - 1 do
+            let hi = sl.touched.(k) in
+            let p = Faa.get propose hi in
+            if p < hi then Array.unsafe_set parent hi p
+          done;
+          bar ();
+          (* Reset phase. *)
+          for k = 0 to sl.touched_len - 1 do
+            Faa.set propose sl.touched.(k) sentinel
+          done;
+          if d = 0 then begin
+            Atomic.set progress false;
+            incr rounds_total
+          end;
+          bar ();
+          incr round
+        end
+        else continue := false
+      done;
+      (* Deterministic flatten: each vertex's root is frozen, so the
+         range-partitioned writes commute with concurrent root chases
+         (a racy read sees the old or the new parent — both reach the
+         same root). *)
+      if (b + 1) mod flatten_every = 0 || b = blocks - 1 then begin
+        let lo = d * n / domains and hi = (d + 1) * n / domains in
+        for v = lo to hi - 1 do
+          let r = root v in
+          if Array.unsafe_get parent v <> r then Array.unsafe_set parent v r
+        done;
+        bar ()
+      end
+    done
+  in
+  if domains = 1 then body 0
+  else begin
+    let ds = Array.init domains (fun d -> Domain.spawn (fun () -> body d)) in
+    let failure = ref None in
+    Array.iter
+      (fun h ->
+        match Domain.join h with
+        | () -> ()
+        | exception e -> if !failure = None then failure := Some e)
+      ds;
+    match !failure with Some e -> raise e | None -> ()
+  end;
+  let components = ref 0 in
+  for v = 0 to n - 1 do
+    if parent.(v) = v then incr components
+  done;
+  ( Array.copy parent,
+    { n; edges = m; blocks; rounds = !rounds_total; components = !components } )

@@ -1,7 +1,57 @@
 module Rng = Repro_util.Rng
 
-let erdos_renyi ~rng ~n ~m =
-  let edges = Array.init m (fun _ -> (Rng.int rng n, Rng.int rng n)) in
+(* Self-loop rejection for the [~simple] modes: resample the second
+   endpoint until it differs from the first.  A bounded retry count keeps
+   the generators total even under adversarial rng states; the fallback
+   rotation is hit with probability ~[n^-64]. *)
+let max_resample = 64
+
+let other_endpoint rng ~n u =
+  let rec loop tries =
+    let v = Rng.int rng n in
+    if v <> u then v
+    else if tries >= max_resample then (u + 1) mod n
+    else loop (tries + 1)
+  in
+  loop 0
+
+let require_two op ~simple ~n =
+  if simple && n < 2 then
+    invalid_arg (Printf.sprintf "Generators.%s: ~simple needs n >= 2" op)
+
+let erdos_renyi ?(simple = false) ~rng ~n ~m () =
+  require_two "erdos_renyi" ~simple ~n;
+  let edges =
+    if not simple then Array.init m (fun _ -> (Rng.int rng n, Rng.int rng n))
+    else begin
+      (* Simple mode also drops duplicate undirected edges: resample the
+         pair until unseen.  Feasible here because the edge list is
+         materialized anyway (the streamed twin, {!Edge_stream}, only
+         rejects self-loops — cross-chunk dedup would need global
+         state).  Give up on dedup when the graph is denser than the
+         simple graph can be. *)
+      let max_pairs = n * (n - 1) / 2 in
+      if m > max_pairs then
+        invalid_arg
+          (Printf.sprintf
+             "Generators.erdos_renyi: ~simple cannot place %d distinct edges \
+              on %d vertices (max %d)"
+             m n max_pairs);
+      let seen = Hashtbl.create (2 * m) in
+      Array.init m (fun _ ->
+          let rec draw () =
+            let u = Rng.int rng n in
+            let v = other_endpoint rng ~n u in
+            let key = if u < v then (u, v) else (v, u) in
+            if Hashtbl.mem seen key then draw ()
+            else begin
+              Hashtbl.add seen key ();
+              (u, v)
+            end
+          in
+          draw ())
+    end
+  in
   Graph.create ~n ~edges
 
 let random_tree ~rng ~n =
@@ -25,24 +75,35 @@ let grid2d ~rows ~cols =
   done;
   Graph.create ~n:(rows * cols) ~edges:(Array.of_list !acc)
 
-let rmat ~rng ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) () =
+(* One R-MAT endpoint pair: recurse [scale] times into the quadrant the
+   (a, b, c, d) mix selects, accumulating one bit of each endpoint per
+   level.  Shared with {!Edge_stream.fill} so the streamed and
+   materialized generators draw identical edges from identical rng
+   states. *)
+let rmat_edge rng ~scale ~a ~b ~c =
+  let u = ref 0 and v = ref 0 in
+  for _bit = 1 to scale do
+    let r = Rng.float rng in
+    let du, dv =
+      if r < a then (0, 0)
+      else if r < a +. b then (0, 1)
+      else if r < a +. b +. c then (1, 0)
+      else (1, 1)
+    in
+    u := (!u lsl 1) lor du;
+    v := (!v lsl 1) lor dv
+  done;
+  (!u, !v)
+
+let rmat ?(simple = false) ~rng ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19)
+    ?(c = 0.19) () =
   if a +. b +. c >= 1. then invalid_arg "Generators.rmat: a + b + c must be < 1";
   let n = 1 lsl scale in
+  require_two "rmat" ~simple ~n;
   let m = edge_factor * n in
   let one_edge () =
-    let u = ref 0 and v = ref 0 in
-    for _bit = 1 to scale do
-      let r = Rng.float rng in
-      let du, dv =
-        if r < a then (0, 0)
-        else if r < a +. b then (0, 1)
-        else if r < a +. b +. c then (1, 0)
-        else (1, 1)
-      in
-      u := (!u lsl 1) lor du;
-      v := (!v lsl 1) lor dv
-    done;
-    (!u, !v)
+    let u, v = rmat_edge rng ~scale ~a ~b ~c in
+    if simple && u = v then (u, other_endpoint rng ~n u) else (u, v)
   in
   Graph.create ~n ~edges:(Array.init m (fun _ -> one_edge ()))
 

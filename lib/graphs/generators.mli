@@ -1,8 +1,25 @@
-(** Random graph generators for the application examples and benches. *)
+(** Random graph generators for the application examples and benches.
 
-val erdos_renyi : rng:Repro_util.Rng.t -> n:int -> m:int -> Graph.t
+    {b Edge hygiene contract.}  By default the random generators draw
+    endpoints independently, so they can emit [u = v] self-loops and
+    duplicate edges; every DSU application here tolerates both (a
+    self-loop or repeated edge is a no-op unite), but they inflate
+    edges/sec numbers — a skipped unite is much cheaper than a real one.
+    The generators that can produce them take [~simple:true] to reject
+    self-loops by resampling the second endpoint (bounded retries, then a
+    deterministic rotation); [erdos_renyi ~simple:true] additionally
+    dedupes undirected edges (feasible only because its edge list is
+    materialized — the streamed twins in {!Edge_stream} reject self-loops
+    only).  [rmat ~simple:true] keeps duplicates: they are intrinsic to
+    the R-MAT skew and deduping them would need a global seen-set. *)
+
+val erdos_renyi :
+  ?simple:bool -> rng:Repro_util.Rng.t -> n:int -> m:int -> unit -> Graph.t
 (** [m] edges with endpoints uniform (parallel edges possible) — G(n, m)
-    up to multi-edges, which the DSU applications tolerate. *)
+    up to multi-edges, which the DSU applications tolerate.
+    [~simple:true] (default [false]) resamples away self-loops {e and}
+    duplicate undirected edges; raises [Invalid_argument] if [n < 2] or
+    [m] exceeds [n(n-1)/2]. *)
 
 val random_tree : rng:Repro_util.Rng.t -> n:int -> Graph.t
 (** A uniformly random recursive tree: connected, [n - 1] edges. *)
@@ -11,11 +28,23 @@ val grid2d : rows:int -> cols:int -> Graph.t
 (** The 4-neighbour lattice; vertex [(r, c)] is [r * cols + c]. *)
 
 val rmat :
-  rng:Repro_util.Rng.t -> scale:int -> edge_factor:int ->
+  ?simple:bool -> rng:Repro_util.Rng.t -> scale:int -> edge_factor:int ->
   ?a:float -> ?b:float -> ?c:float -> unit -> Graph.t
 (** R-MAT power-law graph on [2^scale] vertices with
     [edge_factor * 2^scale] edges; defaults (a, b, c) = (0.57, 0.19, 0.19),
-    the Graph500 parameters. *)
+    the Graph500 parameters.  [~simple:true] resamples the second endpoint
+    of self-loops (duplicates remain; see the module contract). *)
+
+val rmat_edge :
+  Repro_util.Rng.t -> scale:int -> a:float -> b:float -> c:float -> int * int
+(** One R-MAT endpoint pair from the given rng state — the single-edge
+    kernel {!rmat} and {!Edge_stream} share, so streamed chunks replay
+    exactly the edges the materialized generator draws. *)
+
+val other_endpoint : Repro_util.Rng.t -> n:int -> int -> int
+(** [other_endpoint rng ~n u] draws a vertex distinct from [u] (the
+    [~simple] self-loop rejection kernel: bounded resampling, then the
+    deterministic rotation [(u + 1) mod n]).  Requires [n >= 2]. *)
 
 val preferential : rng:Repro_util.Rng.t -> n:int -> deg:int -> Graph.t
 (** Barabási–Albert-style preferential attachment: each new vertex attaches

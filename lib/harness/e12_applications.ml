@@ -9,7 +9,7 @@ let run ppf =
   let table = Table.create ~headers:[ "application"; "instance"; "check"; "result" ] in
   let rng = Repro_util.Rng.create 99 in
   (* Connected components: concurrent labels must equal sequential labels. *)
-  let g = Graphs.Generators.erdos_renyi ~rng ~n:20_000 ~m:30_000 in
+  let g = Graphs.Generators.erdos_renyi ~rng ~n:20_000 ~m:30_000 () in
   let seq_labels = Graphs.Components.sequential g in
   let conc_labels = Graphs.Components.concurrent ~domains:4 ~seed:5 g in
   Table.add_row table
@@ -22,7 +22,7 @@ let run ppf =
         (Graphs.Components.count seq_labels);
     ];
   (* Minimum spanning forest: same total weight from both DSUs. *)
-  let base = Graphs.Generators.erdos_renyi ~rng ~n:2_000 ~m:6_000 in
+  let base = Graphs.Generators.erdos_renyi ~rng ~n:2_000 ~m:6_000 () in
   let w = Graphs.Graph.with_random_weights ~rng base in
   let mst_seq = Graphs.Kruskal.run w in
   let mst_conc = Graphs.Kruskal.run_concurrent_dsu ~seed:7 w in
@@ -58,7 +58,7 @@ let run ppf =
         (Graphs.Scc.count (Graphs.Scc.tarjan cond.Graphs.Scc.quotient));
     ];
   (* Parallel Boruvka MSF: rounds of concurrent finds + contractions. *)
-  let bw = Graphs.Graph.with_random_weights ~rng (Graphs.Generators.erdos_renyi ~rng ~n:3_000 ~m:9_000) in
+  let bw = Graphs.Graph.with_random_weights ~rng (Graphs.Generators.erdos_renyi ~rng ~n:3_000 ~m:9_000 ()) in
   let bk = Graphs.Kruskal.run bw in
   let bb = Graphs.Boruvka.run_parallel ~domains:4 bw in
   Table.add_row table

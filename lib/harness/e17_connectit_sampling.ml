@@ -16,8 +16,8 @@ let run ppf =
   let rng = Repro_util.Rng.create 321 in
   let instances =
     [
-      ("ER n=16k m=64k (giant)", Graphs.Generators.erdos_renyi ~rng ~n:16_384 ~m:65_536);
-      ("ER n=16k m=16k (critical)", Graphs.Generators.erdos_renyi ~rng ~n:16_384 ~m:16_384);
+      ("ER n=16k m=64k (giant)", Graphs.Generators.erdos_renyi ~rng ~n:16_384 ~m:65_536 ());
+      ("ER n=16k m=16k (critical)", Graphs.Generators.erdos_renyi ~rng ~n:16_384 ~m:16_384 ());
       ("grid 128x128", Graphs.Generators.grid2d ~rows:128 ~cols:128);
       ("rmat scale 13", Graphs.Generators.rmat ~rng ~scale:13 ~edge_factor:8 ());
     ]

@@ -208,6 +208,90 @@ let durability_entries doc =
          ps)
   | _ -> None
 
+(* dsu-connectivity/v1: pipeline points (total and finish-phase
+   edges/sec up-is-good), streamed baselines, and the adversarial PT
+   point (ops/sec up-is-good).  The skipped ratio is workload shape, not
+   a perf metric, so it is not diffed. *)
+let connectivity_entries doc =
+  let points =
+    match mem "points" doc with
+    | Some (J.List ps) ->
+      Some
+        (List.concat_map
+           (fun p ->
+             let part name =
+               match mem name p with
+               | Some (J.String s) -> name ^ "=" ^ s
+               | Some (J.Int i) -> name ^ "=" ^ string_of_int i
+               | _ -> ""
+             in
+             let key =
+               [ "gen"; "mode"; "sampling"; "finish"; "domains" ]
+               |> List.map part
+               |> List.filter (fun s -> s <> "")
+               |> String.concat " "
+             in
+             List.filter_map Fun.id
+               [
+                 (let* v = num_field "edges_per_sec" p in
+                  Some
+                    { e_key = key; e_metric = "edges_per_sec";
+                      e_dir = Higher_better; e_value = v });
+                 (let* v = num_field "finish_edges_per_sec" p in
+                  Some
+                    { e_key = key; e_metric = "finish_edges_per_sec";
+                      e_dir = Higher_better; e_value = v });
+               ])
+           ps)
+    | _ -> None
+  in
+  let baselines =
+    match mem "baselines" doc with
+    | Some (J.List bs) ->
+      Some
+        (List.filter_map
+           (fun b ->
+             let name = Option.value ~default:"?" (str_field "name" b) in
+             let gen = Option.value ~default:"?" (str_field "gen" b) in
+             let domains =
+               match num_field "domains" b with
+               | Some d -> string_of_int (int_of_float d)
+               | None -> "?"
+             in
+             let* v = num_field "edges_per_sec" b in
+             Some
+               { e_key =
+                   Printf.sprintf "baseline=%s gen=%s domains=%s" name gen
+                     domains;
+                 e_metric = "edges_per_sec"; e_dir = Higher_better;
+                 e_value = v })
+           bs)
+    | _ -> None
+  in
+  let adversarial =
+    match mem "adversarial" doc with
+    | Some a ->
+      let* v = num_field "ops_per_sec" a in
+      let domains =
+        match num_field "domains" a with
+        | Some d -> string_of_int (int_of_float d)
+        | None -> "?"
+      in
+      Some
+        [
+          { e_key = "adversarial=pt domains=" ^ domains;
+            e_metric = "ops_per_sec"; e_dir = Higher_better; e_value = v };
+        ]
+    | None -> None
+  in
+  match (points, baselines, adversarial) with
+  | None, None, None -> None
+  | _ ->
+    Some
+      (Option.value ~default:[] points
+      @ Option.value ~default:[] baselines
+      @ Option.value ~default:[] adversarial)
+
 let autotune_entries doc =
   let* ms = mem "measurements" doc in
   match ms with
@@ -237,6 +321,9 @@ let classify doc =
   | Some (J.String s) when String.length s >= 14
                            && String.sub s 0 14 = "dsu-durability" ->
     Some (s, durability_entries)
+  | Some (J.String s) when String.length s >= 16
+                           && String.sub s 0 16 = "dsu-connectivity" ->
+    Some (s, connectivity_entries)
   | Some (J.String s) when String.length s >= 12
                            && String.sub s 0 12 = "dsu-autotune" ->
     Some (s, autotune_entries)
@@ -250,8 +337,8 @@ let extract doc =
   | None ->
     Error
       "unrecognized perf document (expected bechamel results, \
-       dsu-scalability/*, dsu-latency/*, dsu-service/*, dsu-durability/* \
-       or dsu-autotune/*)"
+       dsu-scalability/*, dsu-latency/*, dsu-service/*, dsu-durability/*, \
+       dsu-connectivity/* or dsu-autotune/*)"
   | Some (kind, f) -> (
     match f doc with
     | Some entries -> Ok (kind, entries)

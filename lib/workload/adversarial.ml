@@ -16,3 +16,35 @@ let all_same_set ~rng ~n ~m =
       let x = Repro_util.Rng.int rng n in
       let y = Repro_util.Rng.int rng n in
       Op.Same_set (x, y))
+
+let pt_incremental ~rng ~n ~queries_per_phase =
+  (* Pătrașcu–Thorup-style incremental connectivity: union phases that
+     halve the number of components (pairing off the current roots, as
+     in a binomial merge tree), each followed by a burst of connectivity
+     queries across the freshly merged halves.  Late-phase queries must
+     traverse the deepest structure the adversary could build, so the
+     instance stresses the update-time/query-time tradeoff their lower
+     bound is about. *)
+  let module Rng = Repro_util.Rng in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  (* Representatives of the current components; phase p merges block
+     2i with block 2i+1. *)
+  let reps = ref (Array.init n (fun i -> i)) in
+  while Array.length !reps > 1 do
+    let r = !reps in
+    let len = Array.length r in
+    let half = len / 2 in
+    for i = 0 to half - 1 do
+      emit (Op.Unite (r.(2 * i), r.((2 * i) + 1)))
+    done;
+    for _ = 1 to queries_per_phase do
+      (* Bias queries toward distinct just-merged blocks: endpoints from
+         two random components of the previous generation. *)
+      let a = r.(Rng.int rng len) and b = r.(Rng.int rng len) in
+      emit (Op.Same_set (a, b))
+    done;
+    reps := Array.init (half + (len land 1)) (fun i ->
+        if i < half then r.(2 * i) else r.(len - 1))
+  done;
+  List.rev !ops

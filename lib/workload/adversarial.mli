@@ -20,3 +20,12 @@ val contended_pair : m:int -> x:int -> y:int -> Op.t list
 
 val all_same_set : rng:Repro_util.Rng.t -> n:int -> m:int -> Op.t list
 (** [m] random queries, no unions: the read-only regime. *)
+
+val pt_incremental :
+  rng:Repro_util.Rng.t -> n:int -> queries_per_phase:int -> Op.t list
+(** Pătrașcu–Thorup-style incremental connectivity: [log2 n] union
+    phases, each pairing off the surviving component representatives (a
+    binomial merge tree), interleaved with [queries_per_phase] random
+    cross-component connectivity queries per phase.  Stresses the
+    update/query-time tradeoff of their lower bound: early unions are
+    cheap, late queries traverse the deepest accumulated structure. *)

@@ -1,0 +1,572 @@
+(* Tests for the streaming-connectivity pipeline: edge streams, the
+   ConnectIt-style sample+finish driver, the deterministic bulk engine
+   (with its lincheck-style determinism check and a racy-mode
+   counterexample), the plan-dispatched Dsu.Driver, batch find kernels,
+   the Patrascu-Thorup adversarial workload, and the dsu-connectivity/v1
+   harness (guard + perfdiff round trip). *)
+
+module Graph = Graphs.Graph
+module Generators = Graphs.Generators
+module Components = Graphs.Components
+module Edge_stream = Graphs.Edge_stream
+module Connectit = Graphs.Connectit
+module Det_bulk = Graphs.Det_bulk
+module Determinism = Lincheck.Determinism
+module Connectivity = Harness.Connectivity
+module Rng = Repro_util.Rng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+(* Small streams, one per generator kind, sized so every test stays
+   quick but still crosses several chunks. *)
+let small_streams ?(simple = false) ?(seed = 7) () =
+  [
+    Edge_stream.erdos_renyi ~simple ~chunk_size:256 ~seed ~n:600 ~m:2000 ();
+    Edge_stream.rmat ~simple ~chunk_size:256 ~seed ~scale:9 ~edge_factor:4 ();
+    Edge_stream.power_law ~simple ~chunk_size:256 ~seed ~n:600 ~m:2000 ();
+  ]
+
+let stream_edges stream =
+  let acc = ref [] in
+  Edge_stream.iter stream (fun u v -> acc := (u, v) :: !acc);
+  Array.of_list (List.rev !acc)
+
+(* ------------------------------------------------------------ streams *)
+
+let edge_stream_tests =
+  [
+    case "geometry and accessors" (fun () ->
+        let s =
+          Edge_stream.erdos_renyi ~chunk_size:256 ~seed:1 ~n:500 ~m:1000 ()
+        in
+        check Alcotest.int "n" 500 (Edge_stream.n s);
+        check Alcotest.int "m" 1000 (Edge_stream.total_edges s);
+        check Alcotest.int "chunks" 4 (Edge_stream.chunk_count s);
+        check Alcotest.string "kind" "erdos-renyi" (Edge_stream.kind_name s);
+        let last = Edge_stream.make_chunk s in
+        Edge_stream.fill s 3 last;
+        check Alcotest.int "last chunk len" 232 last.Edge_stream.len);
+    case "iter matches materialize (twin oracle)" (fun () ->
+        List.iter
+          (fun s ->
+            let streamed = stream_edges s in
+            let g = Edge_stream.materialize s in
+            check Alcotest.int "edge count"
+              (Edge_stream.total_edges s)
+              (Array.length streamed);
+            Array.iteri
+              (fun i (u, v) ->
+                let u', v' = (Graph.edges g).(i) in
+                if u <> u' || v <> v' then
+                  Alcotest.failf "%s edge %d: (%d,%d) vs (%d,%d)"
+                    (Edge_stream.kind_name s) i u v u' v')
+              streamed)
+          (small_streams ()));
+    case "fill is chunk-order independent" (fun () ->
+        List.iter
+          (fun s ->
+            let ordered = stream_edges s in
+            let buf = Edge_stream.make_chunk s in
+            let pos = ref 0 in
+            (* Regenerate chunks in reverse order; each must reproduce
+               exactly the slice the in-order scan produced. *)
+            for idx = Edge_stream.chunk_count s - 1 downto 0 do
+              Edge_stream.fill s idx buf;
+              let base = idx * Edge_stream.chunk_size s in
+              for k = 0 to buf.Edge_stream.len - 1 do
+                let u, v = ordered.(base + k) in
+                if
+                  buf.Edge_stream.src.(k) <> u || buf.Edge_stream.dst.(k) <> v
+                then
+                  Alcotest.failf "%s chunk %d offset %d differs"
+                    (Edge_stream.kind_name s) idx k;
+                incr pos
+              done
+            done;
+            check Alcotest.int "total regenerated"
+              (Array.length ordered) !pos)
+          (small_streams ()));
+    case "simple streams reject self-loops" (fun () ->
+        List.iter
+          (fun s ->
+            Edge_stream.iter s (fun u v ->
+                if u = v then
+                  Alcotest.failf "%s: self-loop %d" (Edge_stream.kind_name s) u))
+          (small_streams ~simple:true ()));
+    case "endpoints stay in range" (fun () ->
+        List.iter
+          (fun s ->
+            let n = Edge_stream.n s in
+            Edge_stream.iter s (fun u v ->
+                if u < 0 || u >= n || v < 0 || v >= n then
+                  Alcotest.failf "%s: (%d,%d) outside [0,%d)"
+                    (Edge_stream.kind_name s) u v n))
+          (small_streams ()));
+    case "parameter validation" (fun () ->
+        expect_invalid "scale" (fun () ->
+            Edge_stream.rmat ~seed:1 ~scale:41 ~edge_factor:4 ());
+        expect_invalid "probabilities" (fun () ->
+            Edge_stream.rmat ~seed:1 ~a:0.6 ~b:0.3 ~c:0.3 ~scale:4
+              ~edge_factor:2 ());
+        let s = Edge_stream.erdos_renyi ~seed:1 ~n:10 ~m:10 () in
+        expect_invalid "chunk index" (fun () ->
+            Edge_stream.fill s 7 (Edge_stream.make_chunk s)));
+  ]
+
+(* --------------------------------------------------- generator hygiene *)
+
+let generator_hygiene_tests =
+  [
+    case "erdos_renyi ~simple dedups and drops loops" (fun () ->
+        let g =
+          Generators.erdos_renyi ~simple:true ~rng:(Rng.create 5) ~n:30 ~m:200
+            ()
+        in
+        let seen = Hashtbl.create 256 in
+        Array.iter
+          (fun (u, v) ->
+            if u = v then Alcotest.failf "self-loop %d" u;
+            let key = (min u v, max u v) in
+            if Hashtbl.mem seen key then
+              Alcotest.failf "duplicate edge (%d,%d)" u v;
+            Hashtbl.add seen key ())
+          (Graph.edges g);
+        check Alcotest.int "m" 200 (Graph.num_edges g));
+    case "erdos_renyi ~simple rejects impossible m" (fun () ->
+        expect_invalid "m too large" (fun () ->
+            Generators.erdos_renyi ~simple:true ~rng:(Rng.create 1) ~n:5 ~m:11
+              ()));
+    case "rmat ~simple drops loops" (fun () ->
+        let g =
+          Generators.rmat ~simple:true ~rng:(Rng.create 6) ~scale:7
+            ~edge_factor:8 ()
+        in
+        Array.iter
+          (fun (u, v) -> if u = v then Alcotest.failf "self-loop %d" u)
+          (Graph.edges g));
+  ]
+
+(* ------------------------------------------------- streamed pipeline *)
+
+let oracle_labels stream = Components.sequential (Edge_stream.materialize stream)
+
+let pipeline_tests =
+  let check_stream ?(domains = 2) ?plan ?sampling ?finish ?mode name stream =
+    let expected = oracle_labels stream in
+    let r = Connectit.run_stream ~domains ?plan ?sampling ?finish ?mode stream in
+    if r.Connectit.labels <> expected then Alcotest.failf "%s: labels differ" name;
+    check Alcotest.int (name ^ " components")
+      (Components.count expected)
+      r.Connectit.components;
+    check Alcotest.int (name ^ " edges_total")
+      (Edge_stream.total_edges stream)
+      r.Connectit.edges_total
+  in
+  [
+    case "labels match sequential oracle on every generator" (fun () ->
+        List.iter
+          (fun s -> check_stream (Edge_stream.kind_name s) s)
+          (small_streams ()));
+    case "sampling x finish grid matches oracle" (fun () ->
+        let s =
+          Edge_stream.rmat ~chunk_size:256 ~seed:11 ~scale:9 ~edge_factor:4 ()
+        in
+        List.iter
+          (fun sampling ->
+            List.iter
+              (fun finish ->
+                check_stream
+                  (Printf.sprintf "%s/%s"
+                     (Connectit.sampling_to_string sampling)
+                     (Connectit.finish_to_string finish))
+                  ~sampling ~finish s)
+              [ Connectit.Per_op; Connectit.Bulk ])
+          [ Connectit.No_sampling; Connectit.K_out 2; Connectit.Bfs_hubs 8 ]);
+    case "deterministic mode matches oracle" (fun () ->
+        List.iter
+          (fun s ->
+            check_stream
+              ("det " ^ Edge_stream.kind_name s)
+              ~mode:Connectit.Deterministic s)
+          (small_streams ~seed:13 ()));
+    case "alternate plans match oracle" (fun () ->
+        let s =
+          Edge_stream.erdos_renyi ~chunk_size:256 ~seed:17 ~n:400 ~m:1200 ()
+        in
+        let packed =
+          { Dsu.Plan.default with linking = Dsu.Plan.By_rank; layout = Dsu.Plan.Packed }
+        in
+        let boxed =
+          {
+            Dsu.Plan.default with
+            layout = Dsu.Plan.Boxed;
+            memory_order = Dsu.Memory_order.Seq_cst;
+          }
+        in
+        check_stream "packed plan" ~plan:packed s;
+        check_stream "boxed plan" ~plan:boxed s);
+    case "sampling skips edges but keeps answers" (fun () ->
+        (* A dense-ish ER graph has a giant component, so k-out sampling
+           must actually skip a decent share of finish-phase edges. *)
+        let s =
+          Edge_stream.erdos_renyi ~chunk_size:256 ~seed:19 ~n:500 ~m:4000 ()
+        in
+        let r = Connectit.run_stream ~domains:2 ~sampling:(Connectit.K_out 2) s in
+        check Alcotest.bool "skipped some" true (r.Connectit.edges_skipped > 0);
+        if r.Connectit.labels <> oracle_labels s then
+          Alcotest.fail "sampled labels differ from oracle");
+    case "string round trips" (fun () ->
+        List.iter
+          (fun v ->
+            check
+              Alcotest.(option string)
+              "sampling"
+              (Some (Connectit.sampling_to_string v))
+              (Option.map Connectit.sampling_to_string
+                 (Connectit.sampling_of_string (Connectit.sampling_to_string v))))
+          [ Connectit.No_sampling; Connectit.K_out 3; Connectit.Bfs_hubs 5 ];
+        check Alcotest.bool "finish" true
+          (Connectit.finish_of_string "bulk" = Some Connectit.Bulk);
+        check Alcotest.bool "mode" true
+          (Connectit.mode_of_string "det" = Some Connectit.Deterministic));
+    case "components accepts a plan (old signature intact)" (fun () ->
+        let g =
+          Generators.erdos_renyi ~rng:(Rng.create 23) ~n:300 ~m:900 ()
+        in
+        let expected = Components.sequential g in
+        let labels, stats = Connectit.components ~domains:2 g in
+        check Alcotest.bool "default labels" true (labels = expected);
+        check Alcotest.bool "dsu_work collected" true
+          (stats.Connectit.dsu_work > 0);
+        let packed =
+          { Dsu.Plan.default with linking = Dsu.Plan.By_rank; layout = Dsu.Plan.Packed }
+        in
+        let labels', stats' =
+          Connectit.components ~domains:2 ~plan:packed ~collect_stats:false g
+        in
+        check Alcotest.bool "packed labels" true (labels' = expected);
+        check Alcotest.int "stats off" 0 stats'.Connectit.dsu_work);
+  ]
+
+(* --------------------------------------------------------- determinism *)
+
+let determinism_tests =
+  [
+    case "det engine: one digest across domains x perturbations" (fun () ->
+        let s =
+          Edge_stream.rmat ~chunk_size:256 ~seed:29 ~scale:9 ~edge_factor:4 ()
+        in
+        let out =
+          Determinism.check ~domain_counts:[ 1; 2; 4 ]
+            ~perturb_seeds:[ 0; 1; 2 ]
+            ~run:(fun ~domains ~on_round ->
+              let labels, _ = Det_bulk.run ~domains ~on_round s in
+              labels)
+            ()
+        in
+        check Alcotest.int "runs" 9 out.Determinism.runs;
+        if not out.Determinism.ok then
+          Alcotest.failf "determinism violated:\n%s"
+            (String.concat "\n" out.Determinism.failures));
+    case "det run_stream is byte-identical across domain counts" (fun () ->
+        let s =
+          Edge_stream.power_law ~chunk_size:256 ~seed:31 ~n:700 ~m:2800 ()
+        in
+        let run domains =
+          (Connectit.run_stream ~domains ~mode:Connectit.Deterministic s)
+            .Connectit.labels
+        in
+        let reference = run 1 in
+        List.iter
+          (fun domains ->
+            if run domains <> reference then
+              Alcotest.failf "domains=%d labels differ" domains)
+          [ 2; 3; 4 ]);
+    case "det report counts rounds and components" (fun () ->
+        let s =
+          Edge_stream.erdos_renyi ~chunk_size:256 ~seed:37 ~n:400 ~m:1600 ()
+        in
+        let labels, report = Det_bulk.run ~domains:2 s in
+        check Alcotest.int "components"
+          (Components.count (oracle_labels s))
+          report.Det_bulk.components;
+        check Alcotest.bool "rounds counted" true (report.Det_bulk.rounds > 0);
+        check Alcotest.int "labels length" 400 (Array.length labels));
+    case "racy forest is schedule-dependent (counterexample)" (fun () ->
+        (* The positive control: per-op racy unites with the same seed
+           but a different edge-processing order must produce a
+           different raw parent forest for at least one stream seed —
+           while the *normalized labels* always agree.  Variant 0
+           processes chunks forward, variant 1 in reverse: two legal
+           schedules of the same input. *)
+        let racy_forest stream ~variant =
+          let d = Dsu.Driver.create ~seed:1 (Edge_stream.n stream) in
+          let buf = Edge_stream.make_chunk stream in
+          let chunks = Edge_stream.chunk_count stream in
+          for j = 0 to chunks - 1 do
+            let idx = if variant = 0 then j else chunks - 1 - j in
+            Edge_stream.fill stream idx buf;
+            for k = 0 to buf.Edge_stream.len - 1 do
+              d.Dsu.Driver.unite buf.Edge_stream.src.(k)
+                buf.Edge_stream.dst.(k)
+            done
+          done;
+          d.Dsu.Driver.parents_snapshot ()
+        in
+        let distinguished =
+          List.exists
+            (fun seed ->
+              let s =
+                Edge_stream.rmat ~chunk_size:256 ~seed ~scale:9 ~edge_factor:4
+                  ()
+              in
+              Determinism.distinguish
+                ~schedules:[ (1, 0); (1, 1) ]
+                ~run:(fun ~domains:_ ~variant -> racy_forest s ~variant)
+                ())
+            [ 41; 42; 43; 44 ]
+        in
+        check Alcotest.bool "some seed distinguishes schedules" true
+          distinguished);
+  ]
+
+(* ----------------------------------------------------- driver + batch *)
+
+let reference_labels n edges =
+  Components.sequential (Graph.create ~n ~edges)
+
+let driver_tests =
+  let random_edges ~seed ~n ~m =
+    let rng = Rng.create seed in
+    Array.init m (fun _ -> (Rng.int rng n, Rng.int rng n))
+  in
+  [
+    case "driver agrees with the sequential oracle on every layout" (fun () ->
+        let n = 300 in
+        let edges = random_edges ~seed:51 ~n ~m:600 in
+        let expected = reference_labels n edges in
+        List.iter
+          (fun plan ->
+            let d = Dsu.Driver.create ~plan ~seed:3 n in
+            Array.iter (fun (u, v) -> d.Dsu.Driver.unite u v) edges;
+            let ok = ref true in
+            for v = 0 to n - 1 do
+              if
+                d.Dsu.Driver.same_set v expected.(v) = false
+                || d.Dsu.Driver.find v <> d.Dsu.Driver.find expected.(v)
+              then ok := false
+            done;
+            if not !ok then
+              Alcotest.failf "plan %s: wrong partition"
+                (Dsu.Plan.to_string plan);
+            check Alcotest.int
+              (Dsu.Plan.to_string plan ^ " count_sets")
+              (Components.count expected)
+              (d.Dsu.Driver.count_sets ()))
+          [
+            Dsu.Plan.default;
+            { Dsu.Plan.default with layout = Dsu.Plan.Padded };
+            {
+              Dsu.Plan.default with
+              layout = Dsu.Plan.Boxed;
+              memory_order = Dsu.Memory_order.Seq_cst;
+            };
+            {
+              Dsu.Plan.default with
+              linking = Dsu.Plan.By_rank;
+              layout = Dsu.Plan.Packed;
+            };
+          ]);
+    case "driver rejects invalid plans" (fun () ->
+        expect_invalid "by-rank needs packed" (fun () ->
+            Dsu.Driver.create
+              ~plan:{ Dsu.Plan.default with linking = Dsu.Plan.By_rank }
+              8);
+        expect_invalid "n < 1" (fun () -> Dsu.Driver.create 0));
+    case "find_batch agrees with find on every backend" (fun () ->
+        let n = 200 in
+        let edges = random_edges ~seed:53 ~n ~m:400 in
+        let xs = Array.init n (fun i -> i) in
+        List.iter
+          (fun plan ->
+            let d = Dsu.Driver.create ~plan ~seed:5 n in
+            Array.iter (fun (u, v) -> d.Dsu.Driver.unite u v) edges;
+            let batched = d.Dsu.Driver.find_batch xs in
+            Array.iteri
+              (fun i r ->
+                if d.Dsu.Driver.find i <> r then
+                  Alcotest.failf "plan %s: find_batch(%d) = %d <> find"
+                    (Dsu.Plan.to_string plan) i r)
+              batched)
+          [
+            Dsu.Plan.default;
+            {
+              Dsu.Plan.default with
+              layout = Dsu.Plan.Boxed;
+              memory_order = Dsu.Memory_order.Seq_cst;
+            };
+            {
+              Dsu.Plan.default with
+              linking = Dsu.Plan.By_rank;
+              layout = Dsu.Plan.Packed;
+            };
+          ]);
+    case "unite_batch equals per-op unites" (fun () ->
+        let n = 250 in
+        let edges = random_edges ~seed:57 ~n ~m:500 in
+        let xs = Array.map fst edges and ys = Array.map snd edges in
+        let expected = reference_labels n edges in
+        let d = Dsu.Driver.create ~seed:7 n in
+        d.Dsu.Driver.unite_batch xs ys;
+        check Alcotest.int "count" (Components.count expected)
+          (d.Dsu.Driver.count_sets ());
+        let answers = d.Dsu.Driver.same_set_batch xs ys in
+        Array.iter
+          (fun a -> if not a then Alcotest.fail "united pair not same_set")
+          answers);
+  ]
+
+(* ---------------------------------------------------------- adversarial *)
+
+let adversarial_tests =
+  [
+    case "pt_incremental shape" (fun () ->
+        let n = 64 and queries_per_phase = 16 in
+        let ops =
+          Workload.Adversarial.pt_incremental ~rng:(Rng.create 61) ~n
+            ~queries_per_phase
+        in
+        let unions = ref 0 and queries = ref 0 in
+        List.iter
+          (fun op ->
+            match op with
+            | Workload.Op.Unite (u, v) ->
+              incr unions;
+              if u < 0 || u >= n || v < 0 || v >= n then
+                Alcotest.fail "union out of range"
+            | Workload.Op.Same_set (u, v) ->
+              incr queries;
+              if u < 0 || u >= n || v < 0 || v >= n then
+                Alcotest.fail "query out of range"
+            | Workload.Op.Find _ -> Alcotest.fail "unexpected Find")
+          ops;
+        (* 64 reps halve over 6 phases: 32+16+8+4+2+1 unions. *)
+        check Alcotest.int "unions" 63 !unions;
+        check Alcotest.int "queries" (6 * queries_per_phase) !queries;
+        (* Replaying the whole workload must end fully connected. *)
+        let d = Dsu.Driver.create n in
+        List.iter
+          (function
+            | Workload.Op.Unite (u, v) -> d.Dsu.Driver.unite u v
+            | Workload.Op.Same_set (u, v) -> ignore (d.Dsu.Driver.same_set u v)
+            | Workload.Op.Find x -> ignore (d.Dsu.Driver.find x))
+          ops;
+        check Alcotest.int "one component" 1 (d.Dsu.Driver.count_sets ()));
+  ]
+
+(* -------------------------------------------------------------- harness *)
+
+let tiny_config =
+  {
+    Connectivity.default_config with
+    Connectivity.scale = 8;
+    edge_factor = 4;
+    chunk_size = 256;
+    seed = 71;
+    domains_list = [ 1; 2 ];
+    gens = [ Connectivity.Rmat ];
+    samplings = [ Connectit.No_sampling ];
+    finishes = [ Connectit.Per_op; Connectit.Bulk ];
+    modes = [ Connectit.Racy ];
+    adversarial_n = 256;
+  }
+
+let synthetic_point ~finish ~rate =
+  {
+    Connectivity.gen = "rmat";
+    n = 256;
+    m = 1024;
+    domains = 2;
+    sampling = "none";
+    finish;
+    mode = "racy";
+    plan = Dsu.Plan.to_string Dsu.Plan.default;
+    seconds = 0.1;
+    edges_per_sec = rate;
+    finish_edges_per_sec = rate;
+    sample_ns = 0;
+    finish_ns = 100;
+    label_ns = 0;
+    skipped_ratio = 0.;
+    components = 1;
+    det_rounds = 0;
+  }
+
+let harness_tests =
+  [
+    case "sweep produces the full grid with positive rates" (fun () ->
+        let points = Connectivity.sweep ~config:tiny_config () in
+        check Alcotest.int "points" 4 (List.length points);
+        List.iter
+          (fun p ->
+            check Alcotest.bool "rate > 0" true
+              (p.Connectivity.edges_per_sec > 0.);
+            check Alcotest.bool "finish rate > 0" true
+              (p.Connectivity.finish_edges_per_sec > 0.);
+            check Alcotest.int "m" 1024 p.Connectivity.m)
+          points);
+    case "guard_finish passes and fails as designed" (fun () ->
+        let per_op = synthetic_point ~finish:"per-op" ~rate:10.0 in
+        let ok_pair = [ per_op; synthetic_point ~finish:"bulk" ~rate:9.7 ] in
+        (match Connectivity.guard_finish ~min_ratio:0.9 ok_pair with
+        | Ok (worst, pairs) ->
+          check Alcotest.int "one pair" 1 (List.length pairs);
+          check Alcotest.bool "worst ~0.97" true (worst > 0.96 && worst < 0.98)
+        | Error e -> Alcotest.failf "unexpected guard failure: %s" e);
+        let bad_pair = [ per_op; synthetic_point ~finish:"bulk" ~rate:5.0 ] in
+        match Connectivity.guard_finish ~min_ratio:0.9 bad_pair with
+        | Ok _ -> Alcotest.fail "guard should have failed at ratio 0.5"
+        | Error _ -> ());
+    case "report round-trips through perfdiff" (fun () ->
+        let points = Connectivity.sweep ~config:tiny_config () in
+        let adversarial =
+          Connectivity.run_adversarial ~config:tiny_config ~domains:2 ()
+        in
+        check Alcotest.bool "adversarial ops" true
+          (adversarial.Connectivity.a_ops > 0);
+        let doc = Connectivity.to_json ~config:tiny_config ~adversarial points in
+        let s = Repro_obs.Json.to_string doc in
+        match Harness.Perfdiff.diff_strings ~base:s ~current:s () with
+        | Ok r ->
+          check Alcotest.string "kind" "dsu-connectivity/v1"
+            r.Harness.Perfdiff.kind;
+          check Alcotest.bool "rows" true (List.length r.Harness.Perfdiff.rows > 0);
+          check Alcotest.int "no regressions vs self" 0
+            (List.length r.Harness.Perfdiff.regressions)
+        | Error e -> Alcotest.failf "perfdiff: %s" e);
+    case "gen string round trip" (fun () ->
+        List.iter
+          (fun g ->
+            check Alcotest.bool "round trip" true
+              (Connectivity.gen_of_string (Connectivity.gen_to_string g)
+              = Some g))
+          Connectivity.all_gens);
+  ]
+
+let () =
+  Alcotest.run "connectivity"
+    [
+      ("edge_stream", edge_stream_tests);
+      ("generator_hygiene", generator_hygiene_tests);
+      ("pipeline", pipeline_tests);
+      ("determinism", determinism_tests);
+      ("driver", driver_tests);
+      ("adversarial", adversarial_tests);
+      ("harness", harness_tests);
+    ]

@@ -58,7 +58,7 @@ let digraph_tests =
 let generator_tests =
   [
     case "erdos_renyi sizes" (fun () ->
-        let g = Generators.erdos_renyi ~rng:(Rng.create 2) ~n:100 ~m:250 in
+        let g = Generators.erdos_renyi ~rng:(Rng.create 2) ~n:100 ~m:250 () in
         check Alcotest.int "n" 100 (Graph.n g);
         check Alcotest.int "m" 250 (Graph.num_edges g));
     case "random_tree is connected with n-1 edges" (fun () ->
@@ -105,7 +105,7 @@ let component_tests =
     case "concurrent equals sequential" (fun () ->
         List.iter
           (fun (n, m) ->
-            let g = Generators.erdos_renyi ~rng:(Rng.create (n + m)) ~n ~m in
+            let g = Generators.erdos_renyi ~rng:(Rng.create (n + m)) ~n ~m () in
             let s = Components.sequential g in
             let c = Components.concurrent ~domains:3 ~seed:9 g in
             check Alcotest.(array int) (Printf.sprintf "n=%d m=%d" n m) s c)
@@ -147,7 +147,7 @@ let kruskal_tests =
         check Alcotest.int "edges" 2 (List.length r.Kruskal.edges));
     case "concurrent DSU gives the same weight" (fun () ->
         let rng = Rng.create 11 in
-        let g = Generators.erdos_renyi ~rng ~n:300 ~m:900 in
+        let g = Generators.erdos_renyi ~rng ~n:300 ~m:900 () in
         let w = Graph.with_random_weights ~rng g in
         let seq = Kruskal.run w in
         let conc = Kruskal.run_concurrent_dsu ~seed:13 w in
@@ -163,7 +163,7 @@ let kruskal_tests =
         check Alcotest.int "edges" 99 (List.length r.Kruskal.edges));
     case "accepted edges come out sorted by weight" (fun () ->
         let rng = Rng.create 14 in
-        let g = Generators.erdos_renyi ~rng ~n:50 ~m:200 in
+        let g = Generators.erdos_renyi ~rng ~n:50 ~m:200 () in
         let w = Graph.with_random_weights ~rng g in
         let r = Kruskal.run w in
         let weights = List.map (fun (_, _, x) -> x) r.Kruskal.edges in
@@ -351,7 +351,7 @@ let verify_msf (w : Graph.weighted) (forest : (int * int * float) list) =
 let connectit_tests =
   [
     case "direct strategy equals sequential labels" (fun () ->
-        let g = Generators.erdos_renyi ~rng:(Rng.create 41) ~n:500 ~m:1200 in
+        let g = Generators.erdos_renyi ~rng:(Rng.create 41) ~n:500 ~m:1200 () in
         let labels, stats =
           Graphs.Connectit.components ~domains:3 ~strategy:Graphs.Connectit.Direct g
         in
@@ -360,7 +360,7 @@ let connectit_tests =
     case "sampled strategy equals sequential labels" (fun () ->
         List.iter
           (fun (n, m, k) ->
-            let g = Generators.erdos_renyi ~rng:(Rng.create (n + m + k)) ~n ~m in
+            let g = Generators.erdos_renyi ~rng:(Rng.create (n + m + k)) ~n ~m () in
             let labels, _ =
               Graphs.Connectit.components ~domains:3
                 ~strategy:(Graphs.Connectit.Sampled k) g
@@ -369,7 +369,7 @@ let connectit_tests =
               (Components.sequential g) labels)
           [ (200, 100, 1); (500, 2000, 2); (1000, 4000, 3); (300, 300, 2) ]);
     case "sampling skips edges on dense graphs" (fun () ->
-        let g = Generators.erdos_renyi ~rng:(Rng.create 43) ~n:2000 ~m:16_000 in
+        let g = Generators.erdos_renyi ~rng:(Rng.create 43) ~n:2000 ~m:16_000 () in
         let _, stats =
           Graphs.Connectit.components ~strategy:(Graphs.Connectit.Sampled 2) g
         in
@@ -378,7 +378,7 @@ let connectit_tests =
         check Alcotest.bool "sampling counted" true
           (stats.Graphs.Connectit.sample_unites > 0));
     case "k = 0 sampling degenerates to direct" (fun () ->
-        let g = Generators.erdos_renyi ~rng:(Rng.create 47) ~n:300 ~m:600 in
+        let g = Generators.erdos_renyi ~rng:(Rng.create 47) ~n:300 ~m:600 () in
         let labels, _ =
           Graphs.Connectit.components ~strategy:(Graphs.Connectit.Sampled 0) g
         in
@@ -411,7 +411,7 @@ let boruvka_tests =
         for trial = 1 to 5 do
           let n = 40 + Rng.int rng 80 in
           let m = n + Rng.int rng (2 * n) in
-          let g = Generators.erdos_renyi ~rng ~n ~m in
+          let g = Generators.erdos_renyi ~rng ~n ~m () in
           let w = Graph.with_random_weights ~rng g in
           ignore trial;
           verify_msf w (Kruskal.run w).Kruskal.edges;
@@ -422,7 +422,7 @@ let boruvka_tests =
         for trial = 1 to 8 do
           let n = 50 + Rng.int rng 200 in
           let m = n + Rng.int rng (3 * n) in
-          let g = Generators.erdos_renyi ~rng ~n ~m in
+          let g = Generators.erdos_renyi ~rng ~n ~m () in
           let w = Graph.with_random_weights ~rng g in
           let k = Kruskal.run w in
           let b = Graphs.Boruvka.run w in
@@ -434,7 +434,7 @@ let boruvka_tests =
         done);
     case "parallel matches sequential" (fun () ->
         let rng = Rng.create 23 in
-        let g = Generators.erdos_renyi ~rng ~n:2_000 ~m:8_000 in
+        let g = Generators.erdos_renyi ~rng ~n:2_000 ~m:8_000 () in
         let w = Graph.with_random_weights ~rng g in
         let seq = Graphs.Boruvka.run w in
         let par = Graphs.Boruvka.run_parallel ~domains:4 w in
@@ -452,7 +452,7 @@ let boruvka_tests =
         check Alcotest.int "edges" 1023 (List.length b.Graphs.Boruvka.edges));
     case "forest output is acyclic (edge count check)" (fun () ->
         let rng = Rng.create 31 in
-        let g = Generators.erdos_renyi ~rng ~n:300 ~m:900 in
+        let g = Generators.erdos_renyi ~rng ~n:300 ~m:900 () in
         let w = Graph.with_random_weights ~rng g in
         let b = Graphs.Boruvka.run_parallel ~domains:3 w in
         check Alcotest.int "edges = n - components"
